@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_figN_*.py`` / ``test_tableN_*.py`` module regenerates one table
+or figure of the paper: it runs the corresponding experiment (timed by
+pytest-benchmark), prints the same rows the paper reports, and asserts the
+*shape* of the result (who wins, roughly by how much) rather than absolute
+numbers, since the substrate is a simulator rather than the authors'
+testbed.
+
+Benchmarks default to the quick benchmark subset so a full
+``pytest benchmarks/ --benchmark-only`` run stays in the minutes range.
+Set ``REPRO_BENCH_FULL=1`` to sweep all 18 Table III workloads.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ALL_BENCHMARKS, QUICK_BENCHMARKS
+
+#: Benchmarks every figure module sweeps.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+BENCH_SET: tuple[str, ...] = ALL_BENCHMARKS if FULL else QUICK_BENCHMARKS
+
+#: Subset used by the movement/parallelization figures.
+FIG11_SET: tuple[str, ...] = (
+    ("ADV", "KNN", "QV", "SECA", "SQRT", "WST") if FULL else ("ADV", "SECA", "WST")
+)
+
+
+@pytest.fixture(scope="session")
+def bench_set() -> tuple[str, ...]:
+    return BENCH_SET
+
+
+@pytest.fixture(scope="session")
+def fig11_set() -> tuple[str, ...]:
+    return FIG11_SET
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment runners memoize compilations, so multi-round timing would
+    measure cache hits; one timed round reflects the real regeneration cost.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

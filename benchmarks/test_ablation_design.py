@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own ablations (Fig. 12 home return, Fig. 13 AOD count),
+these quantify:
+
+- the layer shuffle (Algorithm 1 line 20) vs. deterministic ordering;
+- the single-move-per-layer recursion limit (80) vs. tighter limits;
+- the Graphine initial layout vs. a naive grid layout for Parallax.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.experiments.common import prepared_circuit, prepared_layout, ExperimentSettings
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+def compile_with(spec, bench, scheduler=None, layout=None):
+    settings = ExperimentSettings()
+    basis = prepared_circuit(bench)
+    layout = layout or prepared_layout(bench, settings)
+    config = ParallaxConfig(
+        scheduler=scheduler or SchedulerConfig(), transpile_input=False
+    )
+    return ParallaxCompiler(spec, config).compile(basis, layout=layout)
+
+
+def test_ablation_shuffle(benchmark, spec):
+    """Layer shuffling avoids starvation; compare layer counts."""
+
+    def run():
+        shuffled = compile_with(spec, "QAOA", SchedulerConfig(shuffle=True))
+        ordered = compile_with(spec, "QAOA", SchedulerConfig(shuffle=False))
+        return shuffled, ordered
+
+    shuffled, ordered = run_once(benchmark, run)
+    print(f"\nshuffle on : {shuffled.num_layers} layers, {shuffled.runtime_us:.0f} us")
+    print(f"shuffle off: {ordered.num_layers} layers, {ordered.runtime_us:.0f} us")
+    # Both complete with identical gate counts; shuffle must not blow up.
+    assert shuffled.num_cz == ordered.num_cz
+    assert shuffled.num_layers <= ordered.num_layers * 1.5
+
+
+def test_ablation_recursion_limit(benchmark, spec):
+    """The 80-recursion cap vs. a tight cap: tight caps force trap changes."""
+
+    def run():
+        out = {}
+        for limit in (2, 10, 80):
+            result = compile_with(
+                spec, "QV", SchedulerConfig(recursion_limit=limit)
+            )
+            out[limit] = (result.failed_move_events, result.runtime_us)
+        return out
+
+    data = run_once(benchmark, run)
+    for limit, (fails, runtime) in data.items():
+        print(f"\nrecursion limit {limit:3d}: {fails} failed moves, {runtime:.0f} us")
+    # A tight limit can only fail more moves than the paper's 80.
+    assert data[2][0] >= data[80][0]
+
+
+def test_ablation_initial_layout(benchmark, spec):
+    """Graphine layout vs. a naive row-major grid layout for Parallax."""
+    basis = prepared_circuit("QAOA")
+    n = basis.num_qubits
+    # Naive layout: row-major corner packing, ignoring interactions.
+    side = int(np.ceil(np.sqrt(n)))
+    naive_unit = np.array(
+        [[(i % side) / max(side - 1, 1), (i // side) / max(side - 1, 1)]
+         for i in range(n)]
+    )
+    naive = GraphineLayout(unit_positions=naive_unit, interaction_radius_unit=0.12)
+
+    def run():
+        with_graphine = compile_with(spec, "QAOA")
+        with_naive = compile_with(spec, "QAOA", layout=naive)
+        return with_graphine, with_naive
+
+    graphine_result, naive_result = run_once(benchmark, run)
+    print(f"\ngraphine layout: {graphine_result.runtime_us:.0f} us, "
+          f"{graphine_result.trap_change_events} trap changes")
+    print(f"naive layout   : {naive_result.runtime_us:.0f} us, "
+          f"{naive_result.trap_change_events} trap changes")
+    # Gate counts are layout-independent (zero SWAPs either way).
+    assert graphine_result.num_cz == naive_result.num_cz

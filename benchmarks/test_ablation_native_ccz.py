@@ -1,0 +1,44 @@
+"""Ablation bench: native CCZ composition vs 6-CZ Toffoli decomposition.
+
+Quantifies the GEYSER-orthogonality discussion: on Toffoli-heavy workloads
+(SAT, SQRT, KNN), keeping three-qubit gates as native pulses cuts the
+entangling-gate count and raises success probability.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.benchcircuits import get_benchmark
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.hardware.spec import HardwareSpec
+from repro.noise import success_probability
+
+TOFFOLI_HEAVY = ("SAT", "SQRT", "KNN")
+
+
+def test_ablation_native_ccz(benchmark):
+    spec = HardwareSpec.quera_aquila()
+
+    def run():
+        out = {}
+        for bench in TOFFOLI_HEAVY:
+            circuit = get_benchmark(bench)
+            dec = ParallaxCompiler(spec).compile(circuit)
+            nat = ParallaxCompiler(
+                spec, ParallaxConfig(native_multiqubit=True)
+            ).compile(circuit)
+            out[bench] = (dec, nat)
+        return out
+
+    results = run_once(benchmark, run)
+    for bench, (dec, nat) in results.items():
+        p_dec = success_probability(dec)
+        p_nat = success_probability(nat)
+        print(
+            f"\n{bench}: decomposed cz={dec.num_cz} p={p_dec:.4f} | "
+            f"native cz={nat.num_cz} ccz={nat.num_ccz} p={p_nat:.4f}"
+        )
+        # Native composition reduces entangling operations...
+        assert nat.num_cz + nat.num_ccz < dec.num_cz
+        # ...and improves the success probability on Toffoli-heavy circuits.
+        assert p_nat > p_dec

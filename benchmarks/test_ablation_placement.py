@@ -1,0 +1,42 @@
+"""Ablation bench: placement method (spring vs community vs dual annealing).
+
+DESIGN.md calls out the placement stage as the paper's most expensive
+classical step (Graphine's O(q^5) term); this bench quantifies the
+speed/quality trade of the three implemented methods on a mid-size
+workload.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.common import prepared_circuit
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import PlacementConfig, place_qubits, placement_cost
+
+
+def test_ablation_placement_methods(benchmark):
+    graph = build_interaction_graph(prepared_circuit("QGAN"))
+
+    def run():
+        out = {}
+        for method, maxiter in (("spring", 1), ("community", 1), ("dual_annealing", 15)):
+            start = time.perf_counter()
+            pos = place_qubits(
+                graph, PlacementConfig(method=method, maxiter=maxiter, seed=5)
+            )
+            elapsed = time.perf_counter() - start
+            out[method] = (placement_cost(pos, graph), elapsed)
+        return out
+
+    results = run_once(benchmark, run)
+    for method, (cost, elapsed) in results.items():
+        print(f"\n{method:15s}: cost {cost:8.2f}, {elapsed:6.2f}s")
+
+    # The cheap methods must stay within a reasonable factor of annealing.
+    annealed_cost = results["dual_annealing"][0]
+    for method in ("spring", "community"):
+        assert results[method][0] <= annealed_cost * 3.0
+
+    # And they must be much faster.
+    assert results["spring"][1] < results["dual_annealing"][1]

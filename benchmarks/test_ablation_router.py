@@ -1,0 +1,48 @@
+"""Ablation bench: shortest-path vs lookahead SWAP routing for baselines.
+
+The baselines' SWAP counts determine their CZ overhead (3 CZ per SWAP); the
+SABRE-style lookahead router is a strictly-stronger baseline, so showing
+Parallax still wins against it strengthens the Fig. 9 conclusion.
+"""
+
+from conftest import run_once
+
+from repro.baselines.eldi import EldiCompiler, EldiConfig
+from repro.baselines.graphine_compiler import GraphineCompiler, GraphineConfig
+from repro.baselines.router import RouterConfig
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.experiments.common import prepared_circuit
+from repro.hardware.spec import HardwareSpec
+
+BENCHES = ("QAOA", "QV", "SAT")
+
+
+def test_ablation_router_strategy(benchmark):
+    spec = HardwareSpec.quera_aquila()
+    lookahead = RouterConfig(strategy="lookahead")
+
+    def run():
+        out = {}
+        for bench in BENCHES:
+            basis = prepared_circuit(bench)
+            eldi_sp = EldiCompiler(spec, EldiConfig(transpile_input=False)).compile(basis)
+            eldi_la = EldiCompiler(
+                spec, EldiConfig(transpile_input=False, router=lookahead)
+            ).compile(basis)
+            parallax = ParallaxCompiler(
+                spec, ParallaxConfig(transpile_input=False)
+            ).compile(basis)
+            out[bench] = (eldi_sp, eldi_la, parallax)
+        return out
+
+    results = run_once(benchmark, run)
+    for bench, (sp, la, parallax) in results.items():
+        print(
+            f"\n{bench}: eldi shortest-path swaps={sp.num_swaps} cz={sp.num_cz} | "
+            f"eldi lookahead swaps={la.num_swaps} cz={la.num_cz} | "
+            f"parallax cz={parallax.num_cz}"
+        )
+        # Lookahead is never much worse, usually better.
+        assert la.num_swaps <= sp.num_swaps * 1.1 + 2
+        # Parallax beats even the strengthened baseline.
+        assert parallax.num_cz <= la.num_cz

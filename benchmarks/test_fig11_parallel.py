@@ -1,0 +1,50 @@
+"""Regenerate Fig. 11: total execution time vs. parallelization factor.
+
+Shape assertions: execution time decreases roughly as 1/P for every
+technique; the largest feasible factors match the paper's dense-tiling
+maxima; and the best-factor time is a large reduction over serial (paper:
+97% on average for Parallax).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.parallel_shots import parallelization_factor, replica_side_sites
+from repro.experiments.common import compile_one
+from repro.experiments.fig11 import run_fig11
+from repro.hardware.spec import HardwareSpec
+
+
+def test_fig11_parallel_shots(benchmark, fig11_set):
+    table = run_once(benchmark, run_fig11, fig11_set)
+    print("\n" + table.format())
+
+    by_bench: dict[str, list] = {}
+    for row in table.rows:
+        by_bench.setdefault(row[0], []).append(row)
+
+    for bench, rows in by_bench.items():
+        times = [r[4] for r in rows]  # parallax seconds
+        factors = [r[1] for r in rows]
+        # Monotone non-increasing in the factor.
+        assert all(a >= b for a, b in zip(times, times[1:])), bench
+        # Best factor cuts the serial time by at least ~10x when wide
+        # parallelism is available.
+        if factors[-1] >= 16:
+            assert times[-1] <= times[0] / 10.0, bench
+
+
+def test_fig11_paper_maxima(benchmark):
+    # The exact Fig. 11 x-axis maxima on the 1,225-qubit Atom machine.
+    expected = {"ADV": 121, "KNN": 49, "QV": 25, "SECA": 64, "SQRT": 49, "WST": 25}
+    spec = HardwareSpec.atom_computing()
+
+    def factors():
+        return {
+            bench: parallelization_factor(compile_one("parallax", bench, spec), spec)
+            for bench in expected
+        }
+
+    got = run_once(benchmark, factors)
+    print(f"\nmax parallelization factors: {got}")
+    assert got == expected

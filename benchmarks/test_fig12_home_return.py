@@ -1,0 +1,43 @@
+"""Regenerate Fig. 12: the home-return ablation.
+
+Shape assertions: on movement-heavy circuits (QV), returning AOD atoms home
+after each layer is substantially faster because drift causes failed moves
+and 100 us trap changes (the paper reports 40% lower runtime on average);
+on movement-light circuits the two modes are within a modest factor.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_fig12_home_return(benchmark, bench_set):
+    benches = tuple(bench_set) + (("QV",) if "QV" not in bench_set else ())
+    table = run_once(benchmark, run_fig12, benches)
+    print("\n" + table.format())
+
+    rows = {r[0]: r for r in table.rows}
+    no_home_qv, home_qv = rows["QV"][1], rows["QV"][2]
+    print(f"QV runtime: no-home {no_home_qv:.0f} us vs home {home_qv:.0f} us")
+    assert home_qv < no_home_qv * 0.75
+
+    for bench, row in rows.items():
+        assert row[2] <= row[1] * 1.5, bench
+
+
+def test_fig12_cz_counts_unchanged(benchmark):
+    # The ablation must not change gate counts (paper: "no impact on the CZ
+    # gate count").
+    from repro.experiments.common import compile_one
+    from repro.hardware.spec import HardwareSpec
+
+    spec = HardwareSpec.atom_computing()
+
+    def counts():
+        with_home = compile_one("parallax", "ADV", spec, return_home=True)
+        without = compile_one("parallax", "ADV", spec, return_home=False)
+        return with_home, without
+
+    with_home, without = run_once(benchmark, counts)
+    assert with_home.num_cz == without.num_cz
+    assert with_home.num_u3 == without.num_u3

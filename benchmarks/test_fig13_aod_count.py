@@ -1,0 +1,47 @@
+"""Regenerate Fig. 13: the AOD row/column count ablation.
+
+Shape assertions: the default 20-row/column configuration is at least as
+good as the 1-row extreme on average (the paper: 20 is best overall, with
+36% lower runtime than each algorithm's worst case).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig13 import run_fig13
+
+
+def test_fig13_aod_count(benchmark, bench_set):
+    table = run_once(benchmark, run_fig13, bench_set)
+    print("\n" + table.format())
+
+    aod_cols = [h for h in table.headers if h.startswith("aod_")]
+    runtimes = np.array([[row[1 + i] for i in range(len(aod_cols))] for row in table.rows])
+
+    # Normalize each benchmark by its worst case, as the paper plots.
+    pct_of_worst = runtimes / runtimes.max(axis=1, keepdims=True)
+    means = pct_of_worst.mean(axis=0)
+    for name, value in zip(aod_cols, means):
+        print(f"{name}: mean {value:.0%} of worst case")
+
+    idx_20 = aod_cols.index("aod_20")
+    idx_1 = aod_cols.index("aod_1")
+    assert means[idx_20] <= means[idx_1] * 1.05
+
+    # The 20-count variant is never the unique worst case by a wide margin.
+    assert np.mean(pct_of_worst[:, idx_20]) <= 0.95
+
+
+def test_fig13_counts_do_not_change_cz(benchmark):
+    from repro.experiments.common import compile_one
+    from repro.hardware.spec import HardwareSpec
+
+    def counts():
+        out = {}
+        for count in (1, 20):
+            spec = HardwareSpec.atom_computing(aod_count=count)
+            out[count] = compile_one("parallax", "HLF", spec).num_cz
+        return out
+
+    got = run_once(benchmark, counts)
+    assert got[1] == got[20]

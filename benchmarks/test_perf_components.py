@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the compiler's components.
+
+These time the individual pipeline stages (transpilation, placement,
+discretization, routing, scheduling) so regressions in any stage are
+visible independently of the figure-level sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.router import SwapRouter
+from repro.benchcircuits import get_benchmark
+from repro.circuit.dag import DependencyDAG
+from repro.core.aod_selection import select_aod_qubits
+from repro.core.machine import MachineState
+from repro.core.scheduler import GateScheduler
+from repro.hardware.grid import discretize_positions
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import generate_layout
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import PlacementConfig, place_qubits
+from repro.transpile.pipeline import transpile
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+@pytest.fixture(scope="module")
+def qaoa_basis():
+    return transpile(get_benchmark("QAOA"))
+
+
+def test_perf_transpile_qaoa(benchmark):
+    circuit = get_benchmark("QAOA")
+    result = benchmark(transpile, circuit)
+    assert result.count_ops().get("cz", 0) > 0
+
+
+def test_perf_transpile_tfim(benchmark):
+    circuit = get_benchmark("TFIM")
+    result = benchmark(transpile, circuit)
+    assert result.count_ops()["cz"] == 2540
+
+
+def test_perf_spring_placement(benchmark, qaoa_basis):
+    graph = build_interaction_graph(qaoa_basis)
+    positions = benchmark(place_qubits, graph, PlacementConfig(method="spring"))
+    assert positions.shape == (10, 2)
+
+
+def test_perf_dual_annealing_placement(benchmark, qaoa_basis):
+    graph = build_interaction_graph(qaoa_basis)
+    config = PlacementConfig(method="dual_annealing", maxiter=10, seed=3)
+    positions = benchmark.pedantic(
+        place_qubits, args=(graph, config), rounds=1, iterations=1
+    )
+    assert positions.shape == (10, 2)
+
+
+def test_perf_discretization(benchmark, spec):
+    unit = np.random.default_rng(0).random((128, 2))
+    positions, sites = benchmark(discretize_positions, unit, spec)
+    assert len(set(sites)) == 128
+
+
+def test_perf_dag_construction(benchmark, qaoa_basis):
+    dag = benchmark(DependencyDAG, qaoa_basis)
+    assert dag.num_remaining == len(qaoa_basis)
+
+
+def test_perf_swap_routing(benchmark, qaoa_basis, spec):
+    positions = np.array(
+        [[(i % 16) * spec.grid_pitch_um, (i // 16) * spec.grid_pitch_um]
+         for i in range(10)]
+    )
+
+    def route():
+        return SwapRouter(positions, spec.grid_pitch_um * 1.5).route(qaoa_basis)
+
+    routed = benchmark(route)
+    assert routed.num_cz_expanded >= qaoa_basis.count_ops()["cz"]
+
+
+def test_perf_full_parallax_schedule(benchmark, qaoa_basis, spec):
+    layout = generate_layout(qaoa_basis)
+
+    def schedule():
+        state = MachineState(spec, layout)
+        select_aod_qubits(qaoa_basis, state)
+        return GateScheduler(qaoa_basis, state).run()
+
+    stats = benchmark(schedule)
+    assert sum(len(l.gates) for l in stats.layers) == len(qaoa_basis)

@@ -1,0 +1,29 @@
+"""Bench: compile-time scaling (the paper's polynomial-complexity claim).
+
+The paper gives Parallax a polynomial worst case and notes it compiles the
+450k-gate VQE that ELDI could not.  Here we sweep TFIM chain lengths and
+assert bounded growth: doubling the qubit count (with gate count growing
+linearly) must not blow compile time up by more than a generous polynomial
+factor.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scaling import run_scaling
+
+
+def test_scaling_compile_time(benchmark):
+    table = run_once(benchmark, run_scaling, (8, 16, 32, 64))
+    print("\n" + table.format())
+
+    times = table.column("compile_s")
+    qubits = table.column("qubits")
+    # Monotone-ish growth with bounded doubling factor (q and gates both
+    # double between rows; O(q^2)-per-gate terms would give ~8x; allow 16x
+    # for measurement noise on sub-second samples).
+    for i in range(1, len(times)):
+        if times[i - 1] > 0.02:  # ignore noise-dominated tiny samples
+            assert times[i] <= times[i - 1] * 16.0, (qubits[i], times)
+
+    # The largest instance stays firmly laptop-scale.
+    assert times[-1] < 60.0

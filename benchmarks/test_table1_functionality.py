@@ -1,0 +1,16 @@
+"""Regenerate Table I: the compiler functionality matrix."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_functionality(benchmark):
+    table = run_once(benchmark, run_table1)
+    print("\n" + table.format())
+    by_name = {row[0]: row for row in table.rows}
+    # Only Parallax achieves all functionalities.
+    assert all(flag == "yes" for flag in by_name["parallax"][1:])
+    for name, row in by_name.items():
+        if name != "parallax":
+            assert "no" in row[1:]

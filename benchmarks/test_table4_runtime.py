@@ -1,0 +1,39 @@
+"""Regenerate Table IV: circuit runtime on the 256- and 1,225-qubit machines.
+
+Shape assertions: runtimes are positive and Parallax's runtime picture
+improves when moving to the larger machine (paper: "this runtime
+differential diminishes considerably as we scale").
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4_runtime(benchmark, bench_set):
+    table = run_once(benchmark, run_table4, bench_set)
+    print("\n" + table.format())
+
+    for row in table.rows:
+        assert all(v > 0 for v in row[1:])
+
+    # Parallax's runtime relative to ELDI should not get worse on the
+    # larger machine, on average (the paper's trap-change story).
+    ratios_256, ratios_1225 = [], []
+    for row in table.rows:
+        _, eldi_small, _, par_small, eldi_large, _, par_large = row
+        ratios_256.append(par_small / eldi_small)
+        ratios_1225.append(par_large / eldi_large)
+    print(f"mean parallax/eldi runtime ratio @256:  {np.mean(ratios_256):.2f}")
+    print(f"mean parallax/eldi runtime ratio @1225: {np.mean(ratios_1225):.2f}")
+    assert np.mean(ratios_1225) <= np.mean(ratios_256) * 1.25
+
+
+def test_table4_tfim_scales(benchmark):
+    # TFIM-128 is cramped on 256 sites; the 1,225-site machine must help.
+    table = run_once(benchmark, run_table4, ("TFIM",))
+    print("\n" + table.format())
+    row = table.rows[0]
+    parallax_256, parallax_1225 = row[3], row[6]
+    assert parallax_1225 < parallax_256

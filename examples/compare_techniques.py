@@ -1,0 +1,45 @@
+"""Compare Parallax against the ELDI and Graphine baselines (Fig. 9/10 style).
+
+Compiles a handful of Table III benchmarks with all three techniques on the
+256-qubit machine and prints CZ counts, SWAP counts, runtimes, and success
+probabilities side by side.
+
+Run:  python examples/compare_techniques.py [BENCH ...]
+"""
+
+import sys
+
+from repro.experiments.common import QUICK_BENCHMARKS, compile_one
+from repro.hardware.spec import HardwareSpec
+from repro.noise import success_probability
+from repro.utils.tables import format_table
+
+
+def main(benchmarks: list[str]) -> None:
+    spec = HardwareSpec.quera_aquila()
+    rows = []
+    for bench in benchmarks:
+        for tech in ("graphine", "eldi", "parallax"):
+            result = compile_one(tech, bench, spec)
+            rows.append(
+                [
+                    bench,
+                    tech,
+                    result.num_cz,
+                    result.num_swaps,
+                    round(result.runtime_us, 1),
+                    f"{success_probability(result):.3e}",
+                ]
+            )
+    print(
+        format_table(
+            ["benchmark", "technique", "cz", "swaps", "runtime_us", "success"],
+            rows,
+            title=f"Technique comparison on {spec.name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    args = [a.upper() for a in sys.argv[1:]] or list(QUICK_BENCHMARKS)
+    main(args)

@@ -1,0 +1,66 @@
+"""Walk through Parallax's four steps on the Fredkin circuit (Fig. 4).
+
+Shows, for the paper's running example, what each compilation stage
+produces: the Graphine layout and interaction radius (Step 1), discretized
+grid positions (Step 2), the AOD qubit selection (Step 3), and the layer /
+movement schedule (Step 4, Fig. 7's home vs. mobile configurations).
+
+Run:  python examples/fredkin_walkthrough.py
+"""
+
+from repro import HardwareSpec, QuantumCircuit
+from repro.core.aod_selection import select_aod_qubits
+from repro.core.machine import MachineState
+from repro.core.scheduler import GateScheduler
+from repro.layout.graphine import generate_layout
+from repro.transpile import transpile
+
+
+def main() -> None:
+    circuit = QuantumCircuit(3, name="fredkin")
+    circuit.cswap(0, 1, 2)
+    basis = transpile(circuit)
+    print(f"Fredkin transpiled: {basis.count_ops()}\n")
+
+    spec = HardwareSpec.quera_aquila()
+
+    print("STEP 1: Graphine layout (unit square)")
+    layout = generate_layout(basis)
+    for q, (x, y) in enumerate(layout.unit_positions):
+        print(f"  Q{q}: ({x:.3f}, {y:.3f})")
+    print(f"  interaction radius (unit space): {layout.interaction_radius_unit:.3f}\n")
+
+    print("STEP 2: discretization onto the 16x16 grid")
+    state = MachineState(spec, layout)
+    for q in range(state.num_qubits):
+        row, col = state.sites[q]
+        x, y = state.positions[q]
+        print(f"  Q{q}: site (row {row}, col {col}) -> ({x:.1f}, {y:.1f}) um")
+    print(f"  interaction radius: {state.interaction_radius:.2f} um, "
+          f"blockade radius: {state.blockade_radius:.2f} um\n")
+
+    print("STEP 3: AOD qubit selection")
+    selection = select_aod_qubits(basis, state)
+    for q in range(state.num_qubits):
+        where = "AOD (mobile)" if state.is_mobile(q) else "SLM (static)"
+        print(f"  Q{q}: weight {selection.weights[q]:.3f} -> {where}")
+    print()
+
+    print("STEP 4: gate and movement scheduling (Algorithm 1)")
+    scheduler = GateScheduler(basis, state)
+    stats = scheduler.run()
+    for i, layer in enumerate(stats.layers):
+        gate_text = ", ".join(str(g) for g in layer.gates)
+        extras = []
+        if layer.move_distance_um > 0:
+            extras.append(f"move {layer.move_distance_um:.1f} um")
+        if layer.trap_changes:
+            extras.append(f"{layer.trap_changes} trap change(s)")
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(f"  layer {i + 1:2d}: {gate_text}{suffix}")
+    print(f"\ntotal: {len(stats.layers)} layers, {stats.num_moves} moves, "
+          f"{stats.trap_changes} trap changes, {stats.total_time_us:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Quickstart: compile one circuit with Parallax and inspect the result.
+
+Builds the three-qubit Fredkin circuit from the paper's Fig. 1, compiles it
+for a QuEra Aquila-like 256-qubit machine, and prints the headline numbers
+(CZ count, zero SWAPs, runtime, estimated success probability).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HardwareSpec, ParallaxCompiler, QuantumCircuit
+from repro.noise import success_probability
+
+
+def main() -> None:
+    # The Fredkin (controlled-SWAP) circuit of Fig. 1.
+    circuit = QuantumCircuit(3, name="fredkin")
+    circuit.h(1)
+    circuit.cswap(0, 1, 2)
+    circuit.h(1)
+
+    spec = HardwareSpec.quera_aquila()
+    compiler = ParallaxCompiler(spec)
+    result = compiler.compile(circuit)
+
+    print(f"machine               : {spec.name} ({spec.grid_rows}x{spec.grid_cols} sites)")
+    print(f"technique             : {result.technique}")
+    print(f"CZ gates              : {result.num_cz}")
+    print(f"U3 gates              : {result.num_u3}")
+    print(f"SWAP gates            : {result.num_swaps}  (always zero for Parallax)")
+    print(f"parallel layers       : {result.num_layers}")
+    print(f"AOD (mobile) qubits   : {list(result.aod_qubits)}")
+    print(f"interaction radius    : {result.interaction_radius_um:.2f} um")
+    print(f"blockade radius       : {result.blockade_radius_um:.2f} um")
+    print(f"circuit runtime       : {result.runtime_us:.1f} us")
+    print(f"est. success prob.    : {success_probability(result):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Parallax reproduction: a zero-SWAP compiler for neutral atom quantum computers.
+
+This package reproduces the system described in *"Parallax: A Compiler for
+Neutral Atom Quantum Computers under Hardware Constraints"* (Ludmir & Patel,
+SC 2024).  It contains:
+
+- ``repro.circuit``       -- quantum circuit intermediate representation.
+- ``repro.qasm``          -- OpenQASM 2.0 parser / exporter.
+- ``repro.transpile``     -- transpiler to the {U3, CZ} basis with peephole
+  optimization (substitute for the Qiskit transpiler used in the paper).
+- ``repro.layout``        -- Graphine-style layout generation (dual annealing
+  placement + minimal connected Rydberg radius).
+- ``repro.hardware``      -- neutral-atom hardware model (SLM, AOD, atoms,
+  grid discretization, Table II parameters).
+- ``repro.core``          -- the Parallax compiler itself (AOD selection,
+  recursive movement engine, Algorithm 1 scheduler, shot parallelization).
+- ``repro.baselines``     -- ELDI and Graphine baseline compilers.
+- ``repro.noise``         -- success-probability estimation.
+- ``repro.timing``        -- runtime / total-execution-time models.
+- ``repro.benchcircuits`` -- the 18 evaluation workloads (Table III).
+- ``repro.experiments``   -- per-figure/table experiment runners.
+"""
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.hardware import HardwareSpec
+from repro.core import ParallaxCompiler, CompilationResult
+from repro.baselines import EldiCompiler, GraphineCompiler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Gate",
+    "QuantumCircuit",
+    "HardwareSpec",
+    "ParallaxCompiler",
+    "CompilationResult",
+    "EldiCompiler",
+    "GraphineCompiler",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Cross-technique analysis and report generation.
+
+Aggregates :class:`~repro.core.result.CompilationResult` collections into
+the summary statistics the paper quotes (mean CZ reduction, mean success
+improvement, runtime ratios) and renders a markdown report of
+paper-vs-measured values per experiment.
+"""
+
+from repro.analysis.metrics import (
+    ComparisonSummary,
+    cz_reduction,
+    success_improvement,
+    compare_techniques,
+    geometric_mean,
+)
+from repro.analysis.report import render_markdown_report
+from repro.analysis.diagnostics import (
+    CompilationDiagnostics,
+    diagnose,
+    format_diagnostics,
+)
+
+__all__ = [
+    "ComparisonSummary",
+    "cz_reduction",
+    "success_improvement",
+    "compare_techniques",
+    "geometric_mean",
+    "render_markdown_report",
+    "CompilationDiagnostics",
+    "diagnose",
+    "format_diagnostics",
+]

@@ -1,0 +1,105 @@
+"""Per-compilation diagnostic reports.
+
+Surfaces the internals the paper discusses qualitatively -- how often trap
+changes fire (Section II-D's 1.3% claim), where the runtime goes, how far
+atoms travel, how full layers are -- as a structured record plus a
+formatted text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import CompilationResult
+from repro.timing.runtime import runtime_breakdown
+
+__all__ = ["CompilationDiagnostics", "diagnose", "format_diagnostics"]
+
+
+@dataclass(frozen=True)
+class CompilationDiagnostics:
+    """Structured diagnostics of one compilation."""
+
+    technique: str
+    circuit_name: str
+    num_layers: int
+    mean_gates_per_layer: float
+    max_gates_per_layer: int
+    mean_cz_per_layer: float
+    trap_change_fraction: float
+    both_slm_fraction: float
+    layers_with_movement: int
+    mean_move_distance_um: float
+    max_move_distance_um: float
+    gate_time_fraction: float
+    movement_time_fraction: float
+    trap_time_fraction: float
+
+    def flags(self) -> list[str]:
+        """Human-readable warnings about pathological compilations."""
+        warnings = []
+        if self.trap_change_fraction > 0.05:
+            warnings.append(
+                f"trap changes resolve {self.trap_change_fraction:.1%} of CZs "
+                "(paper observes ~1.3%); the topology is likely cramped"
+            )
+        if self.trap_time_fraction > 0.5:
+            warnings.append(
+                f"{self.trap_time_fraction:.0%} of runtime is trap changes; "
+                "consider a larger machine or more AOD lines"
+            )
+        if self.mean_gates_per_layer < 1.5 and self.num_layers > 10:
+            warnings.append("layers are nearly serial; blockade pressure is high")
+        return warnings
+
+
+def diagnose(result: CompilationResult) -> CompilationDiagnostics:
+    """Compute diagnostics from a compilation result."""
+    layers = result.layers
+    gates_per_layer = np.array([len(l.gates) for l in layers], dtype=float)
+    cz_per_layer = np.array([l.num_cz for l in layers], dtype=float)
+    move_layers = [l for l in layers if l.move_distance_um > 0]
+    move_dists = np.array([l.move_distance_um for l in move_layers], dtype=float)
+    breakdown = runtime_breakdown(result)
+    total_time = max(breakdown.total_us, 1e-12)
+    num_cz = max(result.num_cz + result.num_ccz, 1)
+    return CompilationDiagnostics(
+        technique=result.technique,
+        circuit_name=result.circuit_name,
+        num_layers=len(layers),
+        mean_gates_per_layer=float(gates_per_layer.mean()) if len(layers) else 0.0,
+        max_gates_per_layer=int(gates_per_layer.max()) if len(layers) else 0,
+        mean_cz_per_layer=float(cz_per_layer.mean()) if len(layers) else 0.0,
+        trap_change_fraction=result.trap_change_events / num_cz,
+        both_slm_fraction=result.both_slm_events / num_cz,
+        layers_with_movement=len(move_layers),
+        mean_move_distance_um=float(move_dists.mean()) if len(move_dists) else 0.0,
+        max_move_distance_um=float(move_dists.max()) if len(move_dists) else 0.0,
+        gate_time_fraction=breakdown.gates_us / total_time,
+        movement_time_fraction=breakdown.movement_us / total_time,
+        trap_time_fraction=breakdown.trap_changes_us / total_time,
+    )
+
+
+def format_diagnostics(diag: CompilationDiagnostics) -> str:
+    """Render diagnostics as an aligned text report."""
+    lines = [
+        f"diagnostics: {diag.technique} / {diag.circuit_name}",
+        f"  layers                 : {diag.num_layers}",
+        f"  gates per layer        : mean {diag.mean_gates_per_layer:.2f}, "
+        f"max {diag.max_gates_per_layer}",
+        f"  CZ per layer           : mean {diag.mean_cz_per_layer:.2f}",
+        f"  trap-change fraction   : {diag.trap_change_fraction:.2%} "
+        f"(both-SLM: {diag.both_slm_fraction:.2%})",
+        f"  layers with movement   : {diag.layers_with_movement}",
+        f"  move distance (um)     : mean {diag.mean_move_distance_um:.1f}, "
+        f"max {diag.max_move_distance_um:.1f}",
+        f"  runtime split          : gates {diag.gate_time_fraction:.0%} / "
+        f"movement {diag.movement_time_fraction:.0%} / "
+        f"traps {diag.trap_time_fraction:.0%}",
+    ]
+    for warning in diag.flags():
+        lines.append(f"  WARNING: {warning}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Aggregate comparison metrics across benchmarks and techniques."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.core.result import CompilationResult
+from repro.noise.fidelity import NoiseModelConfig, success_probability
+
+__all__ = [
+    "geometric_mean",
+    "cz_reduction",
+    "success_improvement",
+    "ComparisonSummary",
+    "compare_techniques",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def cz_reduction(baseline: CompilationResult, parallax: CompilationResult) -> float:
+    """Fractional CZ reduction of Parallax vs. a baseline (paper Fig. 9)."""
+    if baseline.num_cz <= 0:
+        return 0.0
+    return 1.0 - parallax.num_cz / baseline.num_cz
+
+
+def success_improvement(
+    baseline: CompilationResult,
+    parallax: CompilationResult,
+    noise: NoiseModelConfig | None = None,
+) -> float:
+    """Fractional success-probability improvement (paper Fig. 10).
+
+    Returns ``inf`` when the baseline success underflows to zero while
+    Parallax's does not (the paper's QV-type cases).
+    """
+    p_base = success_probability(baseline, noise)
+    p_parallax = success_probability(parallax, noise)
+    if p_base == 0.0:
+        return math.inf if p_parallax > 0 else 0.0
+    return p_parallax / p_base - 1.0
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Aggregate Parallax-vs-baseline statistics over a benchmark sweep.
+
+    ``mean_success_improvement`` can be dominated by deep circuits whose
+    baseline success underflows by many orders of magnitude (QV, TFIM);
+    ``median_success_improvement`` is the robust headline figure.
+    """
+
+    baseline: str
+    num_benchmarks: int
+    mean_cz_reduction: float
+    mean_success_improvement: float
+    median_success_improvement: float
+    mean_runtime_ratio: float
+
+    def describe(self) -> str:
+        improvement = (
+            "inf"
+            if math.isinf(self.median_success_improvement)
+            else f"{self.median_success_improvement:+.0%}"
+        )
+        return (
+            f"vs {self.baseline} over {self.num_benchmarks} benchmarks: "
+            f"CZ {self.mean_cz_reduction:-.0%}, median success {improvement}, "
+            f"runtime ratio {self.mean_runtime_ratio:.2f}x"
+        )
+
+
+def compare_techniques(
+    results: Mapping[str, Mapping[str, CompilationResult]],
+    baseline: str,
+    noise: NoiseModelConfig | None = None,
+) -> ComparisonSummary:
+    """Summarize Parallax against one baseline.
+
+    Args:
+        results: ``results[benchmark][technique]`` compilation results; each
+            benchmark entry must contain ``"parallax"`` and ``baseline``.
+        baseline: ``"eldi"`` or ``"graphine"``.
+        noise: noise-model options for the success metric.
+
+    Success improvements that overflow to infinity (baseline success
+    underflows) are excluded from the mean, as the paper excludes VQE.
+    """
+    reductions, improvements, ratios = [], [], []
+    for bench, techs in results.items():
+        if baseline not in techs or "parallax" not in techs:
+            raise KeyError(f"benchmark {bench!r} missing {baseline!r} or 'parallax'")
+        base, parallax = techs[baseline], techs["parallax"]
+        reductions.append(cz_reduction(base, parallax))
+        gain = success_improvement(base, parallax, noise)
+        if not math.isinf(gain):
+            improvements.append(gain)
+        if base.runtime_us > 0:
+            ratios.append(parallax.runtime_us / base.runtime_us)
+    ordered = sorted(improvements)
+    if ordered:
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid]
+            if len(ordered) % 2
+            else (ordered[mid - 1] + ordered[mid]) / 2.0
+        )
+    else:
+        median = 0.0
+    return ComparisonSummary(
+        baseline=baseline,
+        num_benchmarks=len(results),
+        mean_cz_reduction=sum(reductions) / len(reductions) if reductions else 0.0,
+        mean_success_improvement=(
+            sum(improvements) / len(improvements) if improvements else 0.0
+        ),
+        median_success_improvement=median,
+        mean_runtime_ratio=geometric_mean(ratios) if ratios else 0.0,
+    )

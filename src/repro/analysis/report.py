@@ -1,0 +1,60 @@
+"""Markdown report generation for experiment sweeps."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from repro.analysis.metrics import ComparisonSummary
+
+if TYPE_CHECKING:  # avoid a circular import; tables are duck-typed at runtime
+    from repro.experiments.common import ExperimentTable
+
+__all__ = ["render_markdown_report"]
+
+
+def _markdown_table(table: "ExperimentTable") -> str:
+    header = "| " + " | ".join(table.headers) + " |"
+    rule = "|" + "|".join("---" for _ in table.headers) + "|"
+    rows = []
+    for row in table.rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        rows.append("| " + " | ".join(cells) + " |")
+    return "\n".join([header, rule, *rows])
+
+
+def render_markdown_report(
+    title: str,
+    tables: Sequence["ExperimentTable"],
+    summaries: Mapping[str, ComparisonSummary] | None = None,
+    notes: Sequence[str] = (),
+) -> str:
+    """Render experiment tables (plus optional summaries/notes) as markdown.
+
+    Used to assemble EXPERIMENTS.md-style documents from live runs so the
+    recorded numbers always come from actual executions.
+    """
+    parts = [f"# {title}", ""]
+    if summaries:
+        parts.append("## Headline comparisons")
+        parts.append("")
+        for name, summary in summaries.items():
+            parts.append(f"- **{name}**: {summary.describe()}")
+        parts.append("")
+    for table in tables:
+        parts.append(f"## {table.title}")
+        parts.append("")
+        parts.append(_markdown_table(table))
+        parts.append("")
+    if notes:
+        parts.append("## Notes")
+        parts.append("")
+        for note in notes:
+            parts.append(f"- {note}")
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,28 @@
+"""Baseline compilers: ELDI and Graphine.
+
+Both baselines place atoms on fixed (static) positions and route
+out-of-range CZ gates with SWAP chains -- the behaviour Parallax eliminates.
+Per the paper's methodology, they are made hardware-compatible: positions
+are discretized to the grid and radii respect the blockade being 2.5x the
+interaction radius.
+
+- :class:`EldiCompiler` (Baker et al.): square-grid layout exploiting
+  long-distance interactions (an interaction radius covering diagonal
+  neighbors), compact BFS placement.
+- :class:`GraphineCompiler` (Patel et al.): application-specific annealed
+  layout (same Step 1/2 as Parallax) with no atom movement.
+"""
+
+from repro.baselines.router import SwapRouter, RoutedCircuit, RouterConfig
+from repro.baselines.static_schedule import static_schedule
+from repro.baselines.eldi import EldiCompiler
+from repro.baselines.graphine_compiler import GraphineCompiler
+
+__all__ = [
+    "SwapRouter",
+    "RouterConfig",
+    "RoutedCircuit",
+    "static_schedule",
+    "EldiCompiler",
+    "GraphineCompiler",
+]

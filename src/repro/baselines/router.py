@@ -1,0 +1,247 @@
+"""SWAP routing over a fixed atom topology.
+
+Atoms sit at fixed positions; two atoms are connected when within the
+interaction radius.  A CZ between atoms that are not connected is resolved
+by SWAPs -- each costing three CZ gates (the error mechanism the paper's
+Fig. 9/10 quantify).  The router maintains the logical-to-physical mapping
+as SWAPs permute states, mirroring how ELDI and Graphine execute circuits.
+
+Two strategies:
+
+- ``"shortest_path"`` (default, the classic baseline behaviour): walk one
+  qubit's state along a shortest connectivity path until within range.
+- ``"lookahead"`` (SABRE-style): greedily pick the single SWAP that most
+  reduces the hop distance of the current gate plus a decayed sum over the
+  next few upcoming two-qubit gates, so routing decisions also help future
+  gates.  An ablation bench quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.hardware.geometry import within_radius_pairs
+
+__all__ = ["SwapRouter", "RoutedCircuit", "RoutingError", "RouterConfig"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Routing-strategy knobs.
+
+    Attributes:
+        strategy: ``"shortest_path"`` or ``"lookahead"``.
+        window: number of upcoming two-qubit gates the lookahead scores.
+        decay: geometric weight per future gate in the lookahead score.
+        max_swaps_per_gate: safety cap on SWAPs spent routing one gate.
+    """
+
+    strategy: str = "shortest_path"
+    window: int = 8
+    decay: float = 0.5
+    max_swaps_per_gate: int = 256
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("shortest_path", "lookahead"):
+            raise ValueError(f"unknown routing strategy {self.strategy!r}")
+        if self.window < 0 or not (0.0 <= self.decay <= 1.0):
+            raise ValueError("window must be >= 0 and decay in [0, 1]")
+
+
+class RoutingError(RuntimeError):
+    """The topology cannot realize the circuit (disconnected graph)."""
+
+
+@dataclass
+class RoutedCircuit:
+    """Routing outcome.
+
+    Attributes:
+        gates: physical-space gate list; ``swap`` gates appear explicitly.
+        num_swaps: SWAPs inserted.
+        final_mapping: logical qubit -> physical atom after execution.
+    """
+
+    gates: list[Gate]
+    num_swaps: int
+    final_mapping: dict[int, int]
+
+    @property
+    def num_cz_expanded(self) -> int:
+        """Physical CZ count with each SWAP costing three CZs."""
+        base = sum(1 for g in self.gates if g.name == "cz")
+        return base + 3 * self.num_swaps
+
+
+class SwapRouter:
+    """Route a {u3, cz} circuit over fixed atom positions."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        interaction_radius: float,
+        initial_mapping: dict[int, int] | None = None,
+        config: RouterConfig | None = None,
+    ) -> None:
+        self.positions = np.asarray(positions, dtype=float)
+        self.radius = float(interaction_radius)
+        self.config = config or RouterConfig()
+        n = self.positions.shape[0]
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(n))
+        self.graph.add_edges_from(within_radius_pairs(self.positions, self.radius))
+        if initial_mapping is None:
+            initial_mapping = {q: q for q in range(n)}
+        self._logical_to_physical = dict(initial_mapping)
+        self._physical_to_logical = {p: q for q, p in initial_mapping.items()}
+        if len(self._physical_to_logical) != len(self._logical_to_physical):
+            raise ValueError("initial mapping is not injective")
+        self._hops: dict[int, dict[int, int]] | None = None
+
+    def _hop_distance(self, u: int, v: int) -> int:
+        """BFS hop distance between physical atoms (cached all-pairs)."""
+        if self._hops is None:
+            self._hops = dict(nx.all_pairs_shortest_path_length(self.graph))
+        try:
+            return self._hops[u][v]
+        except KeyError as exc:
+            raise RoutingError(
+                f"atoms {u} and {v} are disconnected at radius {self.radius:.3f}"
+            ) from exc
+
+    # -- mapping helpers ---------------------------------------------------------
+
+    def physical(self, logical: int) -> int:
+        """Current physical atom realizing ``logical``."""
+        return self._logical_to_physical[logical]
+
+    def _swap_physical(self, u: int, v: int) -> None:
+        lu = self._physical_to_logical.get(u)
+        lv = self._physical_to_logical.get(v)
+        if lu is not None:
+            self._logical_to_physical[lu] = v
+        if lv is not None:
+            self._logical_to_physical[lv] = u
+        self._physical_to_logical[u], self._physical_to_logical[v] = lv, lu
+        # Drop empty slots so the dict only holds real states.
+        for key in (u, v):
+            if self._physical_to_logical[key] is None:
+                del self._physical_to_logical[key]
+
+    def _connected(self, u: int, v: int) -> bool:
+        d = self.positions[u] - self.positions[v]
+        return float(np.hypot(d[0], d[1])) <= self.radius
+
+    # -- routing --------------------------------------------------------------------
+
+    def route(self, circuit: QuantumCircuit) -> RoutedCircuit:
+        """Insert SWAPs so every CZ executes between connected atoms.
+
+        Raises:
+            RoutingError: if two interacting qubits lie in different
+                connectivity components.
+        """
+        out: list[Gate] = []
+        num_swaps = 0
+        lookahead = self.config.strategy == "lookahead"
+        gates = [g for g in circuit.gates if g.name not in ("barrier", "measure")]
+        # Indices of upcoming two-qubit gates, for the lookahead window.
+        two_qubit_at = [i for i, g in enumerate(gates) if g.num_qubits == 2]
+        next_2q_pos = 0
+        for i, gate in enumerate(gates):
+            if gate.num_qubits == 1:
+                out.append(Gate(gate.name, (self.physical(gate.qubits[0]),), gate.params))
+                continue
+            if gate.name != "cz":
+                raise ValueError(f"router requires a {{u3, cz}} circuit, got {gate.name!r}")
+            while next_2q_pos < len(two_qubit_at) and two_qubit_at[next_2q_pos] <= i:
+                next_2q_pos += 1
+            a, b = gate.qubits
+            if not self._connected(self.physical(a), self.physical(b)):
+                future = [
+                    gates[j].qubits
+                    for j in two_qubit_at[next_2q_pos:next_2q_pos + self.config.window]
+                ]
+                if lookahead:
+                    num_swaps += self._route_lookahead(a, b, future, out)
+                else:
+                    num_swaps += self._route_shortest_path(a, b, out)
+            out.append(Gate("cz", (self.physical(a), self.physical(b))))
+        return RoutedCircuit(
+            gates=out,
+            num_swaps=num_swaps,
+            final_mapping=dict(self._logical_to_physical),
+        )
+
+    def _route_shortest_path(self, a: int, b: int, out: list[Gate]) -> int:
+        """Walk a's state along a shortest path until within range of b."""
+        pa, pb = self.physical(a), self.physical(b)
+        try:
+            path = nx.shortest_path(self.graph, pa, pb)
+        except nx.NetworkXNoPath as exc:
+            raise RoutingError(
+                f"atoms {pa} and {pb} are disconnected at radius "
+                f"{self.radius:.3f}"
+            ) from exc
+        num_swaps = 0
+        current = pa
+        for step in path[1:-1]:
+            out.append(Gate("swap", (current, step)))
+            self._swap_physical(current, step)
+            num_swaps += 1
+            current = step
+            if self._connected(current, pb):
+                break
+        if not self._connected(self.physical(a), pb):  # pragma: no cover
+            raise RoutingError(f"routing failed for CZ {a},{b}")
+        return num_swaps
+
+    def _lookahead_score(self, future: list[tuple[int, int]]) -> float:
+        """Decayed hop-distance sum of upcoming gates under the current map."""
+        score = 0.0
+        weight = self.config.decay
+        for (fa, fb) in future:
+            try:
+                hops = self._hop_distance(self.physical(fa), self.physical(fb))
+            except RoutingError:
+                # A future pair spans disconnected components; routing it
+                # will fail later regardless, so treat it as very far.
+                hops = self.graph.number_of_nodes()
+            score += weight * hops
+            weight *= self.config.decay
+        return score
+
+    def _route_lookahead(
+        self, a: int, b: int, future: list[tuple[int, int]], out: list[Gate]
+    ) -> int:
+        """SABRE-style greedy: each SWAP must shrink the current gate's hop
+        distance; ties break on the decayed future-gate score."""
+        num_swaps = 0
+        while not self._connected(self.physical(a), self.physical(b)):
+            if num_swaps >= self.config.max_swaps_per_gate:
+                raise RoutingError(f"routing CZ {a},{b} exceeded the swap cap")
+            pa, pb = self.physical(a), self.physical(b)
+            current_hops = self._hop_distance(pa, pb)
+            best: tuple[float, int, int] | None = None
+            for endpoint in (pa, pb):
+                for neighbor in self.graph.neighbors(endpoint):
+                    self._swap_physical(endpoint, neighbor)
+                    primary = self._hop_distance(self.physical(a), self.physical(b))
+                    if primary < current_hops:
+                        score = self._lookahead_score(future)
+                        key = (score, endpoint, neighbor)
+                        if best is None or key < best:
+                            best = key
+                    self._swap_physical(endpoint, neighbor)  # undo
+            if best is None:  # pragma: no cover - a shortest-path step always exists
+                raise RoutingError(f"no improving swap for CZ {a},{b}")
+            _, u, w = best
+            out.append(Gate("swap", (u, w)))
+            self._swap_physical(u, w)
+            num_swaps += 1
+        return num_swaps

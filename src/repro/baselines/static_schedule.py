@@ -1,0 +1,103 @@
+"""Blockade-aware ASAP scheduling for static (no-movement) techniques.
+
+ELDI and Graphine execute routed circuits on stationary atoms, so their
+runtime is determined by dependency-respecting layers serialized by the
+Rydberg blockade.  A SWAP occupies its layer for three sequential CZ
+durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+from repro.core.result import CompiledLayer
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["static_schedule", "StaticSchedule"]
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """Layered schedule and total runtime of a static-topology execution."""
+
+    layers: list[CompiledLayer]
+    runtime_us: float
+
+
+def _gates_conflict(
+    a: Gate, b: Gate, positions: np.ndarray, blockade_radius: float
+) -> bool:
+    """True when two 2-qubit gates cannot share a layer (blockade)."""
+    for qa in a.qubits:
+        for qb in b.qubits:
+            d = positions[qa] - positions[qb]
+            if float(np.hypot(d[0], d[1])) <= blockade_radius:
+                return True
+    return False
+
+
+def static_schedule(
+    gates: list[Gate],
+    positions: np.ndarray,
+    blockade_radius: float,
+    spec: HardwareSpec,
+) -> StaticSchedule:
+    """Layer ``gates`` (on physical atoms) respecting blockade serialization.
+
+    Greedy ASAP: each gate goes to the earliest layer after its operands are
+    free in which it conflicts with no already-placed two-qubit gate.
+    """
+    positions = np.asarray(positions, dtype=float)
+    layer_gates: list[list[Gate]] = []
+    layer_two_qubit: list[list[Gate]] = []
+    atom_free: dict[int, int] = {}
+
+    for gate in gates:
+        if gate.name in ("barrier", "measure"):
+            continue
+        earliest = max((atom_free.get(q, 0) for q in gate.qubits), default=0)
+        placed_at = None
+        if gate.num_qubits >= 2:
+            level = earliest
+            while True:
+                while len(layer_gates) <= level:
+                    layer_gates.append([])
+                    layer_two_qubit.append([])
+                conflict = any(
+                    _gates_conflict(gate, other, positions, blockade_radius)
+                    for other in layer_two_qubit[level]
+                )
+                if not conflict:
+                    placed_at = level
+                    break
+                level += 1
+        else:
+            while len(layer_gates) <= earliest:
+                layer_gates.append([])
+                layer_two_qubit.append([])
+            placed_at = earliest
+        layer_gates[placed_at].append(gate)
+        if gate.num_qubits >= 2:
+            layer_two_qubit[placed_at].append(gate)
+        for q in gate.qubits:
+            atom_free[q] = placed_at + 1
+
+    layers: list[CompiledLayer] = []
+    total = 0.0
+    for bucket in layer_gates:
+        if not bucket:
+            continue
+        has_swap = any(g.name == "swap" for g in bucket)
+        has_cz = any(g.name == "cz" for g in bucket)
+        has_u3 = any(g.num_qubits == 1 for g in bucket)
+        time_us = max(
+            3.0 * spec.cz_time_us if has_swap else 0.0,
+            spec.cz_time_us if has_cz else 0.0,
+            spec.u3_time_us if has_u3 else 0.0,
+        )
+        total += time_us
+        layers.append(CompiledLayer(gates=tuple(bucket), time_us=time_us))
+    return StaticSchedule(layers=layers, runtime_us=total)

@@ -1,0 +1,72 @@
+"""The 18 evaluation workloads of Table III.
+
+Each generator builds the named algorithm family at the paper's qubit count
+(ADD 9, ADV 9, GCM 13, HSB 16, HLF 10, KNN 25, MLT 10, QAOA 10, QEC 17,
+QFT 10, QGAN 39, QV 32, SAT 11, SECA 11, SQRT 18, TFIM 128, VQE 28,
+WST 27).  The paper reads these from QASMBench QASM files; offline we
+generate structurally equivalent circuits (same algorithm, same qubit
+count, comparable connectivity and CZ scale) -- see DESIGN.md Section 2.
+
+Use :func:`get_benchmark` by acronym, or :data:`BENCHMARKS` for the table.
+VQE is scaled down by default (the paper's 450k-gate instance is available
+via ``vqe(reps=...)``).
+"""
+
+from repro.benchcircuits.arithmetic import cuccaro_adder, multiplier, grover_sqrt
+from repro.benchcircuits.random_like import quantum_advantage, quantum_volume
+from repro.benchcircuits.simulation import heisenberg, tfim, gcm
+from repro.benchcircuits.algorithms import (
+    hidden_linear_function,
+    qft,
+    grover_sat,
+    knn_swap_test,
+    w_state,
+    repetition_code,
+    shor_error_correction,
+)
+from repro.benchcircuits.ml import qaoa, qgan, vqe
+from repro.benchcircuits.registry import BENCHMARKS, get_benchmark, BenchmarkInfo
+from repro.benchcircuits.io import (
+    export_benchmark_suite,
+    load_benchmark_file,
+    benchmark_filename,
+)
+from repro.benchcircuits.extra import (
+    ghz_state,
+    bernstein_vazirani,
+    grover,
+    phase_estimation,
+    random_clifford_t,
+)
+
+__all__ = [
+    "cuccaro_adder",
+    "multiplier",
+    "grover_sqrt",
+    "quantum_advantage",
+    "quantum_volume",
+    "heisenberg",
+    "tfim",
+    "gcm",
+    "hidden_linear_function",
+    "qft",
+    "grover_sat",
+    "knn_swap_test",
+    "w_state",
+    "repetition_code",
+    "shor_error_correction",
+    "qaoa",
+    "qgan",
+    "vqe",
+    "BENCHMARKS",
+    "get_benchmark",
+    "BenchmarkInfo",
+    "export_benchmark_suite",
+    "load_benchmark_file",
+    "benchmark_filename",
+    "ghz_state",
+    "bernstein_vazirani",
+    "grover",
+    "phase_estimation",
+    "random_clifford_t",
+]

@@ -1,0 +1,240 @@
+"""Algorithmic workloads: HLF, QFT, SAT, KNN, WST, QEC, SECA.
+
+- HLF: hidden linear function [Bravyi et al. 2018]: H layer, CZ on the
+  edges of a random graph, S on a random subset, H layer (10 qubits).
+- QFT: the standard quantum Fourier transform with controlled-phase
+  ladder and final reversal swaps (10 qubits).
+- SAT: Grover search with a CNF clause oracle built from Toffoli cascades
+  (11 qubits: 6 variables + 5 ancillas).
+- KNN: quantum k-nearest-neighbors similarity kernel: a swap test between
+  two 12-qubit feature registers under one ancilla (25 qubits).
+- WST: W-state preparation and verification cascade (27 qubits).
+- QEC: distance-9 repetition code syndrome-extraction cycles (17 qubits).
+- SECA: Shor's 9-qubit error-correction encode / error / decode-correct
+  sequence with two work ancillas (11 qubits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "hidden_linear_function",
+    "qft",
+    "grover_sat",
+    "knn_swap_test",
+    "w_state",
+    "repetition_code",
+    "shor_error_correction",
+]
+
+
+def hidden_linear_function(num_qubits: int = 10, edge_prob: float = 0.55, seed: int = 8) -> QuantumCircuit:
+    """HLF: the 2D hidden-linear-function shallow circuit."""
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "HLF")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for a in range(num_qubits):
+        for b in range(a + 1, num_qubits):
+            if rng.random() < edge_prob:
+                circuit.cz(a, b)
+    for q in range(num_qubits):
+        if rng.random() < 0.5:
+            circuit.s(q)
+    for q in range(num_qubits):
+        circuit.h(q)
+    return circuit
+
+
+def qft(num_qubits: int = 10, include_swaps: bool = True) -> QuantumCircuit:
+    """QFT: controlled-phase ladder plus the final bit-reversal swaps."""
+    circuit = QuantumCircuit(num_qubits, "QFT")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(control, target, angle)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def grover_sat(
+    num_vars: int = 6, num_clauses: int = 5, iterations: int = 2, seed: int = 9
+) -> QuantumCircuit:
+    """SAT: Grover iterations over a random 3-CNF clause oracle.
+
+    Register: ``num_vars`` search qubits + ``num_vars - 1`` ancillas used
+    both for clause evaluation and the diffuser's Toffoli ladder
+    (11 qubits for the default 6 variables).
+    """
+    rng = ensure_rng(seed)
+    num_anc = num_vars - 1
+    n = num_vars + num_anc
+    circuit = QuantumCircuit(n, "SAT")
+    search = list(range(num_vars))
+    ancilla = list(range(num_vars, n))
+    clauses = [
+        sorted(rng.choice(num_vars, size=3, replace=False).tolist())
+        for _ in range(num_clauses)
+    ]
+    negations = [rng.random(3) < 0.5 for _ in clauses]
+
+    def oracle() -> None:
+        for (vars3, negs), anc in zip(zip(clauses, negations), ancilla):
+            for v, neg in zip(vars3, negs):
+                if neg:
+                    circuit.x(v)
+            circuit.ccx(vars3[0], vars3[1], anc)
+            circuit.cx(vars3[2], anc)
+            for v, neg in zip(vars3, negs):
+                if neg:
+                    circuit.x(v)
+        circuit.z(ancilla[min(len(clauses), len(ancilla)) - 1])
+        for (vars3, negs), anc in reversed(list(zip(zip(clauses, negations), ancilla))):
+            for v, neg in zip(vars3, negs):
+                if neg:
+                    circuit.x(v)
+            circuit.cx(vars3[2], anc)
+            circuit.ccx(vars3[0], vars3[1], anc)
+            for v, neg in zip(vars3, negs):
+                if neg:
+                    circuit.x(v)
+
+    def diffuser() -> None:
+        for q in search:
+            circuit.h(q)
+            circuit.x(q)
+        ladder = ancilla[: num_vars - 2]
+        circuit.ccx(search[0], search[1], ladder[0])
+        for i in range(2, num_vars - 1):
+            circuit.ccx(search[i], ladder[i - 2], ladder[i - 1])
+        circuit.h(search[-1])
+        circuit.cx(ladder[-1], search[-1])
+        circuit.h(search[-1])
+        for i in range(num_vars - 2, 1, -1):
+            circuit.ccx(search[i], ladder[i - 2], ladder[i - 1])
+        circuit.ccx(search[0], search[1], ladder[0])
+        for q in search:
+            circuit.x(q)
+            circuit.h(q)
+
+    for q in search:
+        circuit.h(q)
+    for _ in range(iterations):
+        oracle()
+        diffuser()
+    return circuit
+
+
+def knn_swap_test(feature_width: int = 12, seed: int = 10) -> QuantumCircuit:
+    """KNN: swap-test similarity kernel on ``2 * width + 1`` qubits (25).
+
+    Two feature registers are prepared with shallow rotation/entangling
+    encoders, then compared with an ancilla-controlled swap test.
+    """
+    rng = ensure_rng(seed)
+    n = 2 * feature_width + 1
+    circuit = QuantumCircuit(n, "KNN")
+    ancilla = 0
+    reg_a = list(range(1, 1 + feature_width))
+    reg_b = list(range(1 + feature_width, n))
+    for reg in (reg_a, reg_b):
+        for q in reg:
+            circuit.ry(q, float(rng.uniform(0, math.pi)))
+        for a, b in zip(reg, reg[1:]):
+            circuit.cx(a, b)
+    circuit.h(ancilla)
+    for a, b in zip(reg_a, reg_b):
+        circuit.cswap(ancilla, a, b)
+    circuit.h(ancilla)
+    return circuit
+
+
+def w_state(num_qubits: int = 27) -> QuantumCircuit:
+    """WST: W-state preparation cascade [Fleischhauer & Lukin 2002].
+
+    The standard construction: a chain of controlled rotations distributing
+    one excitation across the register, followed by the CX chain.
+    """
+    circuit = QuantumCircuit(num_qubits, "WST")
+    circuit.x(0)
+    for k in range(num_qubits - 1):
+        remaining = num_qubits - k
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        # Controlled-RY from qubit k onto k+1 distributing amplitude.
+        circuit.add("cry", (k, k + 1), (theta,))
+        circuit.cx(k + 1, k)
+    return circuit
+
+
+def repetition_code(distance: int = 9, rounds: int = 2) -> QuantumCircuit:
+    """QEC: repetition-code syndrome extraction (17 qubits at distance 9).
+
+    ``distance`` data qubits interleaved with ``distance - 1`` syndrome
+    ancillas; each round entangles every ancilla with its two neighbors.
+    """
+    n = 2 * distance - 1
+    circuit = QuantumCircuit(n, "QEC")
+    data = list(range(0, n, 2))
+    ancilla = list(range(1, n, 2))
+    circuit.h(data[0])
+    for a, b in zip(data, data[1:]):
+        circuit.cx(a, b)
+    for _ in range(rounds):
+        for anc in ancilla:
+            circuit.cx(anc - 1, anc)
+            circuit.cx(anc + 1, anc)
+        # Ancillas are measured and reset between rounds on hardware; the X
+        # stands in for the reset so consecutive rounds do not cancel when
+        # the optimizer sees the measurement-free circuit.
+        for anc in ancilla:
+            circuit.x(anc)
+    return circuit
+
+
+def shor_error_correction(seed: int = 12) -> QuantumCircuit:
+    """SECA: Shor 9-qubit code encode, random error, decode and correct.
+
+    Nine code qubits plus two work ancillas (11 qubits total), following
+    the standard encode / noisy channel / decode-with-Toffoli-correction
+    sequence of the QASMBench SECA instance.
+    """
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(11, "SECA")
+    blocks = [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+    # Encode: phase-flip protection across block leaders...
+    circuit.cx(0, 3)
+    circuit.cx(0, 6)
+    for leader, _, _ in blocks:
+        circuit.h(leader)
+    # ...then bit-flip protection within blocks.
+    for a, b, c in blocks:
+        circuit.cx(a, b)
+        circuit.cx(a, c)
+    # A random single-qubit error on the channel.
+    victim = int(rng.integers(0, 9))
+    if rng.random() < 0.5:
+        circuit.x(victim)
+    else:
+        circuit.z(victim)
+    # Decode and correct within blocks (majority vote via Toffoli).
+    for a, b, c in blocks:
+        circuit.cx(a, b)
+        circuit.cx(a, c)
+        circuit.ccx(b, c, a)
+    for leader, _, _ in blocks:
+        circuit.h(leader)
+    circuit.cx(0, 3)
+    circuit.cx(0, 6)
+    circuit.ccx(3, 6, 0)
+    # Work ancillas verify the logical state (parity checks).
+    circuit.cx(0, 9)
+    circuit.cx(3, 10)
+    circuit.cx(6, 10)
+    return circuit

@@ -1,0 +1,139 @@
+"""Quantum arithmetic workloads: ADD, MLT, SQRT.
+
+- ADD: Cuccaro ripple-carry adder [Cuccaro et al. 2004], two addition
+  rounds on 4+4 bits plus carry (9 qubits).
+- MLT: shift-and-add multiplier built from controlled Cuccaro blocks
+  (10 qubits).
+- SQRT: Grover search for a square root [Grover 1998] with an arithmetic
+  squaring oracle approximated by Toffoli cascades (18 qubits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = ["cuccaro_adder", "multiplier", "grover_sqrt"]
+
+
+def _maj(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """Cuccaro MAJ block."""
+    circuit.cx(c, b)
+    circuit.cx(c, a)
+    circuit.ccx(a, b, c)
+
+
+def _uma(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """Cuccaro UMA (2-CNOT variant) block."""
+    circuit.ccx(a, b, c)
+    circuit.cx(c, a)
+    circuit.cx(a, b)
+
+
+def _ripple_add(circuit: QuantumCircuit, a_bits: list[int], b_bits: list[int], carry: int) -> None:
+    """In-place |a>|b> -> |a>|a+b> over equal-width registers."""
+    n = len(a_bits)
+    if len(b_bits) != n:
+        raise ValueError("register widths differ")
+    _maj(circuit, carry, b_bits[0], a_bits[0])
+    for i in range(1, n):
+        _maj(circuit, a_bits[i - 1], b_bits[i], a_bits[i])
+    for i in range(n - 1, 0, -1):
+        _uma(circuit, a_bits[i - 1], b_bits[i], a_bits[i])
+    _uma(circuit, carry, b_bits[0], a_bits[0])
+
+
+def cuccaro_adder(width: int = 4, rounds: int = 2, seed: int = 0) -> QuantumCircuit:
+    """ADD: ripple-carry adder on ``2 * width + 1`` qubits (9 by default).
+
+    Random basis-state preparation (X gates) followed by ``rounds``
+    additions, matching the repeated-addition structure of the QASMBench
+    instance.
+    """
+    rng = ensure_rng(seed)
+    n = 2 * width + 1
+    circuit = QuantumCircuit(n, "ADD")
+    a_bits = list(range(width))
+    b_bits = list(range(width, 2 * width))
+    carry = 2 * width
+    for q in range(2 * width):
+        if rng.random() < 0.5:
+            circuit.x(q)
+    for _ in range(rounds):
+        _ripple_add(circuit, a_bits, b_bits, carry)
+    return circuit
+
+
+def multiplier(a_width: int = 3, b_width: int = 2, seed: int = 1) -> QuantumCircuit:
+    """MLT: shift-and-add multiplier on ``a + b + (a + b)`` qubits (10).
+
+    Computes ``p = a * b`` into the product register via ``b_width``
+    controlled partial-product additions built from Toffoli gates, the
+    standard textbook construction.
+    """
+    rng = ensure_rng(seed)
+    n = a_width + b_width + (a_width + b_width)
+    circuit = QuantumCircuit(n, "MLT")
+    a_bits = list(range(a_width))
+    b_bits = list(range(a_width, a_width + b_width))
+    p_bits = list(range(a_width + b_width, n))
+    for q in a_bits + b_bits:
+        if rng.random() < 0.5:
+            circuit.x(q)
+    # For each b bit, conditionally add (a << j) into the product register
+    # with carry propagation through Toffolis.
+    for j, b in enumerate(b_bits):
+        for i, a in enumerate(a_bits):
+            target_idx = i + j
+            circuit.ccx(b, a, p_bits[target_idx])
+            # Ripple the carry of this partial product upward.
+            for k in range(target_idx + 1, len(p_bits)):
+                circuit.ccx(p_bits[k - 1], a, p_bits[k])
+    return circuit
+
+
+def grover_sqrt(num_qubits: int = 18, iterations: int = 4, seed: int = 2) -> QuantumCircuit:
+    """SQRT: Grover search for a square root on 18 qubits.
+
+    Half the register holds the candidate root, half holds ancillas used by
+    the squaring-comparison oracle (Toffoli cascades); each Grover iteration
+    applies the oracle, uncomputes it, and runs the diffuser.
+    """
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "SQRT")
+    half = num_qubits // 2
+    search = list(range(half))
+    ancilla = list(range(half, num_qubits))
+    for q in search:
+        circuit.h(q)
+    for _ in range(iterations):
+        # Oracle: squaring comparison via Toffoli cascade into ancillas,
+        # phase kick, then uncompute.
+        pairs = [(search[i], search[(i + 1) % half]) for i in range(half)]
+        for (a, b), anc in zip(pairs, ancilla):
+            circuit.ccx(a, b, anc)
+        marked = int(rng.integers(0, len(ancilla)))
+        circuit.z(ancilla[marked])
+        for (a, b), anc in reversed(list(zip(pairs, ancilla))):
+            circuit.ccx(a, b, anc)
+        # Diffuser over the search register.
+        for q in search:
+            circuit.h(q)
+            circuit.x(q)
+        # Multi-controlled Z via Toffoli ladder into ancillas.
+        ladder = ancilla[: half - 2]
+        circuit.ccx(search[0], search[1], ladder[0])
+        for i in range(2, half - 1):
+            circuit.ccx(search[i], ladder[i - 2], ladder[i - 1])
+        circuit.h(search[half - 1])
+        circuit.cx(ladder[half - 3], search[half - 1])
+        circuit.h(search[half - 1])
+        for i in range(half - 2, 1, -1):
+            circuit.ccx(search[i], ladder[i - 2], ladder[i - 1])
+        circuit.ccx(search[0], search[1], ladder[0])
+        for q in search:
+            circuit.x(q)
+            circuit.h(q)
+    return circuit

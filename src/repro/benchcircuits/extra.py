@@ -1,0 +1,161 @@
+"""Additional parameterized circuit families beyond Table III.
+
+These are not part of the paper's evaluation, but a compiler library needs
+standard workloads users can sweep: GHZ states, Bernstein-Vazirani, generic
+Grover search, quantum phase estimation, and random Clifford+T circuits.
+All are exercised by the test suite and usable anywhere a Table III
+benchmark is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "ghz_state",
+    "bernstein_vazirani",
+    "grover",
+    "phase_estimation",
+    "random_clifford_t",
+]
+
+
+def ghz_state(num_qubits: int = 12) -> QuantumCircuit:
+    """GHZ preparation: H then a CX chain."""
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    c = QuantumCircuit(num_qubits, "GHZ")
+    c.h(0)
+    for i in range(num_qubits - 1):
+        c.cx(i, i + 1)
+    return c
+
+
+def bernstein_vazirani(secret: str = "1011011") -> QuantumCircuit:
+    """Bernstein-Vazirani for a given secret bitstring (plus one ancilla)."""
+    if not secret or any(b not in "01" for b in secret):
+        raise ValueError("secret must be a non-empty bitstring")
+    n = len(secret)
+    c = QuantumCircuit(n + 1, "BV")
+    ancilla = n
+    c.x(ancilla)
+    for q in range(n + 1):
+        c.h(q)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            c.cx(q, ancilla)
+    for q in range(n):
+        c.h(q)
+    return c
+
+
+def _mcz(c: QuantumCircuit, controls: list[int], target: int, ancillas: list[int]) -> None:
+    """Multi-controlled Z via a Toffoli ladder into ancillas."""
+    if not controls:
+        c.z(target)
+        return
+    if len(controls) == 1:
+        c.cz(controls[0], target)
+        return
+    ladder = ancillas[: len(controls) - 1]
+    if len(ladder) < len(controls) - 1:
+        raise ValueError("not enough ancillas for the Toffoli ladder")
+    c.ccx(controls[0], controls[1], ladder[0])
+    for i in range(2, len(controls)):
+        c.ccx(controls[i], ladder[i - 2], ladder[i - 1])
+    c.cz(ladder[len(controls) - 2], target)
+    for i in range(len(controls) - 1, 1, -1):
+        c.ccx(controls[i], ladder[i - 2], ladder[i - 1])
+    c.ccx(controls[0], controls[1], ladder[0])
+
+
+def grover(num_vars: int = 5, marked: int = 0, iterations: int | None = None) -> QuantumCircuit:
+    """Generic Grover search marking one basis state.
+
+    Register: ``num_vars`` search qubits plus ``num_vars - 1`` ancillas for
+    the multi-controlled operations.
+    """
+    if not (0 <= marked < 2**num_vars):
+        raise ValueError(f"marked state {marked} out of range for {num_vars} vars")
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4 * math.sqrt(2**num_vars))))
+    n = num_vars + max(num_vars - 1, 0)
+    c = QuantumCircuit(n, "GROVER")
+    search = list(range(num_vars))
+    ancillas = list(range(num_vars, n))
+    for q in search:
+        c.h(q)
+    for _ in range(iterations):
+        # Oracle: phase-flip the marked state.
+        for q in search:
+            if not (marked >> q) & 1:
+                c.x(q)
+        _mcz(c, search[:-1], search[-1], ancillas)
+        for q in search:
+            if not (marked >> q) & 1:
+                c.x(q)
+        # Diffuser.
+        for q in search:
+            c.h(q)
+            c.x(q)
+        _mcz(c, search[:-1], search[-1], ancillas)
+        for q in search:
+            c.x(q)
+            c.h(q)
+    return c
+
+
+def phase_estimation(precision_qubits: int = 5, phase: float = 0.3125) -> QuantumCircuit:
+    """QPE of a Z-rotation eigenphase onto ``precision_qubits`` counting qubits.
+
+    The unitary is ``U = p(2*pi*phase)`` acting on one eigenstate qubit
+    prepared in |1>; controlled powers become controlled-phase gates.
+    """
+    if not (0.0 <= phase < 1.0):
+        raise ValueError("phase must lie in [0, 1)")
+    n = precision_qubits + 1
+    c = QuantumCircuit(n, "QPE")
+    target = precision_qubits
+    c.x(target)
+    for q in range(precision_qubits):
+        c.h(q)
+    # Counting qubit q accumulates phase 2^(m-1-q) * 2*pi*phase.
+    for q in range(precision_qubits):
+        angle = 2.0 * math.pi * phase * (2 ** (precision_qubits - 1 - q))
+        c.cp(q, target, angle)
+    # Inverse of this package's QFT (bit-reversal swaps first, then the
+    # reversed phase ladder), followed by a final un-reversal so counting
+    # qubit q holds bit q of round(phase * 2^m) -- verified exact by tests.
+    for q in range(precision_qubits // 2):
+        c.swap(q, precision_qubits - 1 - q)
+    for target_q in range(precision_qubits - 1, -1, -1):
+        for control in range(precision_qubits - 1, target_q, -1):
+            c.cp(control, target_q, -math.pi / (2 ** (control - target_q)))
+        c.h(target_q)
+    for q in range(precision_qubits // 2):
+        c.swap(q, precision_qubits - 1 - q)
+    return c
+
+
+def random_clifford_t(
+    num_qubits: int = 10, depth: int = 20, t_fraction: float = 0.2, seed: int = 0
+) -> QuantumCircuit:
+    """Random Clifford+T circuit (a standard compiler stress workload)."""
+    if not (0.0 <= t_fraction <= 1.0):
+        raise ValueError("t_fraction must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    c = QuantumCircuit(num_qubits, "CLIFFORD_T")
+    one_qubit = ("h", "s", "sdg", "x", "z")
+    for _ in range(depth):
+        for q in range(num_qubits):
+            if rng.random() < t_fraction:
+                c.t(q)
+            else:
+                c.add(one_qubit[int(rng.integers(0, len(one_qubit)))], (q,))
+        perm = rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            c.cx(int(perm[i]), int(perm[i + 1]))
+    return c

@@ -1,0 +1,60 @@
+"""Benchmark QASM artifact I/O.
+
+The paper distributes its workloads as QASM 2.0 files; this module exports
+the regenerated Table III suite the same way (one ``.qasm`` file per
+benchmark) and loads them back, so downstream users can consume the suite
+without this package and so the test suite can round-trip every workload
+through the QASM front-end.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.benchcircuits.registry import BENCHMARKS
+from repro.circuit.circuit import QuantumCircuit
+from repro.qasm.exporter import to_qasm
+from repro.qasm.parser import load_file
+
+__all__ = ["export_benchmark_suite", "load_benchmark_file", "benchmark_filename"]
+
+
+def benchmark_filename(acronym: str) -> str:
+    """Canonical file name for one benchmark (``adv_9.qasm`` style)."""
+    info = BENCHMARKS.get(acronym.upper())
+    if info is None:
+        raise KeyError(f"unknown benchmark {acronym!r}")
+    return f"{info.acronym.lower()}_{info.num_qubits}.qasm"
+
+
+def export_benchmark_suite(
+    directory: str,
+    benchmarks: tuple[str, ...] | None = None,
+    include_measure: bool = True,
+) -> dict[str, str]:
+    """Write each benchmark as a QASM 2.0 file under ``directory``.
+
+    Returns:
+        acronym -> written file path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    names = benchmarks or tuple(sorted(BENCHMARKS))
+    written: dict[str, str] = {}
+    for name in names:
+        info = BENCHMARKS[name.upper()]
+        circuit = info.builder()
+        path = os.path.join(directory, benchmark_filename(name))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"// {info.acronym}: {info.description}\n")
+            handle.write(f"// {info.num_qubits} qubits (Table III)\n")
+            handle.write(to_qasm(circuit, include_measure=include_measure))
+        written[info.acronym] = path
+    return written
+
+
+def load_benchmark_file(path: str) -> QuantumCircuit:
+    """Load a previously exported benchmark QASM file."""
+    circuit = load_file(path)
+    base = os.path.basename(path)
+    circuit.name = base.rsplit("_", 1)[0].upper() if "_" in base else base
+    return circuit

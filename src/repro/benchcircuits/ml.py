@@ -1,0 +1,84 @@
+"""Variational / ML workloads: QAOA, QGAN, VQE.
+
+- QAOA: quantum alternating operator ansatz [Farhi & Harrow 2016] for
+  MaxCut on a random graph, depth p = 3 (10 qubits).
+- QGAN: quantum GAN [QASMBench]: a layered hardware-efficient generator
+  plus a discriminator entangling layer (39 qubits).
+- VQE: variational eigensolver with an all-to-all two-body ansatz
+  (28 qubits).  The paper's instance has ~450k gates; the default ``reps``
+  here is scaled down so the full suite compiles quickly -- pass a larger
+  ``reps`` to approach the paper's scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = ["qaoa", "qgan", "vqe"]
+
+
+def qaoa(
+    num_qubits: int = 10, num_edges: int = 27, p: int = 3, seed: int = 13
+) -> QuantumCircuit:
+    """QAOA: MaxCut ansatz on a random ``num_edges``-edge graph at depth p."""
+    rng = ensure_rng(seed)
+    all_pairs = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    idx = rng.choice(len(all_pairs), size=min(num_edges, len(all_pairs)), replace=False)
+    edges = [all_pairs[i] for i in sorted(idx.tolist())]
+    circuit = QuantumCircuit(num_qubits, "QAOA")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for layer in range(p):
+        gamma = float(rng.uniform(0, math.pi))
+        beta = float(rng.uniform(0, math.pi))
+        for a, b in edges:
+            circuit.rzz(a, b, 2 * gamma)
+        for q in range(num_qubits):
+            circuit.rx(q, 2 * beta)
+    return circuit
+
+
+def qgan(num_qubits: int = 39, layers: int = 10, seed: int = 14) -> QuantumCircuit:
+    """QGAN: layered hardware-efficient generator + discriminator check."""
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "QGAN")
+    gen = list(range(num_qubits - 1))
+    disc = num_qubits - 1
+    for layer in range(layers):
+        for q in gen:
+            circuit.ry(q, float(rng.uniform(0, math.pi)))
+            circuit.rz(q, float(rng.uniform(0, math.pi)))
+        offset = layer % 2
+        for a in range(offset, len(gen) - 1, 2):
+            circuit.cx(gen[a], gen[a + 1])
+    # Discriminator: sampled parity checks against the last qubit.
+    probes = rng.choice(len(gen), size=min(12, len(gen)), replace=False)
+    for q in sorted(probes.tolist()):
+        circuit.cx(gen[q], disc)
+    circuit.ry(disc, float(rng.uniform(0, math.pi)))
+    return circuit
+
+
+def vqe(num_qubits: int = 28, reps: int = 2, seed: int = 15) -> QuantumCircuit:
+    """VQE: all-to-all two-body exchange ansatz (UCCSD-like connectivity).
+
+    Each repetition applies a parameterized ZZ interaction to every qubit
+    pair plus single-qubit rotations -- the highest-connectivity workload
+    in the suite.  The paper's ~450k-gate instance corresponds to roughly
+    ``reps=60``; the default keeps the suite laptop-friendly.
+    """
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "VQE")
+    for q in range(num_qubits):
+        circuit.ry(q, float(rng.uniform(0, math.pi)))
+    for _ in range(reps):
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                circuit.rzz(a, b, float(rng.uniform(0, math.pi / 2)))
+        for q in range(num_qubits):
+            circuit.ry(q, float(rng.uniform(0, math.pi)))
+            circuit.rz(q, float(rng.uniform(0, math.pi)))
+    return circuit

@@ -1,0 +1,83 @@
+"""Random-structure benchmarks: ADV (quantum advantage) and QV (quantum volume).
+
+- ADV: Google's quantum-advantage-style random circuit [Arute et al. 2019]:
+  alternating layers of random sqrt-gates and patterned two-qubit gates on
+  a 3x3 qubit patch (9 qubits).
+- QV: IBM's quantum volume model circuit: ``depth`` rounds of a random
+  qubit permutation followed by Haar-like SU(4) blocks on pairs, each block
+  the standard 3-CX template with random one-qubit dressings (32 qubits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = ["quantum_advantage", "quantum_volume"]
+
+
+def quantum_advantage(side: int = 3, depth: int = 8, seed: int = 3) -> QuantumCircuit:
+    """ADV: random-circuit-sampling benchmark on a ``side x side`` patch."""
+    n = side * side
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(n, "ADV")
+
+    def qubit(r: int, c: int) -> int:
+        return r * side + c
+
+    # The four two-qubit coupler patterns of the supremacy experiment
+    # restricted to a square patch: right/down pairings on even/odd offsets.
+    patterns: list[list[tuple[int, int]]] = []
+    for offset in (0, 1):
+        horizontal = [
+            (qubit(r, c), qubit(r, c + 1))
+            for r in range(side)
+            for c in range(offset, side - 1, 2)
+        ]
+        vertical = [
+            (qubit(r, c), qubit(r + 1, c))
+            for c in range(side)
+            for r in range(offset, side - 1, 2)
+        ]
+        patterns.append(horizontal)
+        patterns.append(vertical)
+
+    sqrt_gates = ("sx", "sxdg", "h")
+    for layer in range(depth):
+        for q in range(n):
+            gate = sqrt_gates[int(rng.integers(0, len(sqrt_gates)))]
+            circuit.add(gate, (q,))
+        for a, b in patterns[layer % len(patterns)]:
+            circuit.cz(a, b)
+    for q in range(n):
+        circuit.h(q)
+    return circuit
+
+
+def _su4_block(circuit: QuantumCircuit, a: int, b: int, rng) -> None:
+    """Haar-like SU(4) on (a, b): the standard 3-CX KAK template shape."""
+    for q in (a, b):
+        circuit.u3(q, *rng.uniform(0, 2 * math.pi, size=3))
+    circuit.cx(a, b)
+    circuit.rz(a, float(rng.uniform(0, 2 * math.pi)))
+    circuit.ry(b, float(rng.uniform(0, 2 * math.pi)))
+    circuit.cx(b, a)
+    circuit.ry(b, float(rng.uniform(0, 2 * math.pi)))
+    circuit.cx(a, b)
+    for q in (a, b):
+        circuit.u3(q, *rng.uniform(0, 2 * math.pi, size=3))
+
+
+def quantum_volume(num_qubits: int = 32, depth: int | None = None, seed: int = 4) -> QuantumCircuit:
+    """QV: quantum-volume model circuit (depth defaults to ``num_qubits``)."""
+    if depth is None:
+        depth = num_qubits
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "QV")
+    for _ in range(depth):
+        perm = rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            _su4_block(circuit, int(perm[i]), int(perm[i + 1]), rng)
+    return circuit

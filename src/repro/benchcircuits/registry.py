@@ -1,0 +1,72 @@
+"""Benchmark registry: Table III as a lookup table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.benchcircuits.arithmetic import cuccaro_adder, multiplier, grover_sqrt
+from repro.benchcircuits.random_like import quantum_advantage, quantum_volume
+from repro.benchcircuits.simulation import heisenberg, tfim, gcm
+from repro.benchcircuits.algorithms import (
+    hidden_linear_function,
+    qft,
+    grover_sat,
+    knn_swap_test,
+    w_state,
+    repetition_code,
+    shor_error_correction,
+)
+from repro.benchcircuits.ml import qaoa, qgan, vqe
+
+__all__ = ["BenchmarkInfo", "BENCHMARKS", "get_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One row of Table III."""
+
+    acronym: str
+    num_qubits: int
+    description: str
+    builder: Callable[[], QuantumCircuit]
+
+
+BENCHMARKS: dict[str, BenchmarkInfo] = {
+    info.acronym: info
+    for info in [
+        BenchmarkInfo("ADD", 9, "Quantum arithmetic algorithm for adding", cuccaro_adder),
+        BenchmarkInfo("ADV", 9, "Google's quantum advantage benchmark", quantum_advantage),
+        BenchmarkInfo("GCM", 13, "Generator coordinate method", gcm),
+        BenchmarkInfo("HSB", 16, "Time-dependent hamiltonian simulation", heisenberg),
+        BenchmarkInfo("HLF", 10, "Hidden linear function application", hidden_linear_function),
+        BenchmarkInfo("KNN", 25, "Quantum k nearest neighbors algorithm", knn_swap_test),
+        BenchmarkInfo("MLT", 10, "Quantum arithmetic algorithm for multiplying", multiplier),
+        BenchmarkInfo("QAOA", 10, "Quantum alternating operator ansatz", qaoa),
+        BenchmarkInfo("QEC", 17, "Quantum repetition error correction code", repetition_code),
+        BenchmarkInfo("QFT", 10, "Quantum Fourier transform", qft),
+        BenchmarkInfo("QGAN", 39, "Quantum generative adversarial network", qgan),
+        BenchmarkInfo("QV", 32, "IBM's quantum volume benchmark", quantum_volume),
+        BenchmarkInfo("SAT", 11, "Quantum code for satisfiability solving", grover_sat),
+        BenchmarkInfo("SECA", 11, "Shor's error correction algorithm", shor_error_correction),
+        BenchmarkInfo("SQRT", 18, "Quantum code for square root calculation", grover_sqrt),
+        BenchmarkInfo("TFIM", 128, "Transverse-field ising model", tfim),
+        BenchmarkInfo("VQE", 28, "Variational quantum eigensolver", vqe),
+        BenchmarkInfo("WST", 27, "W-State preparation and assessment", w_state),
+    ]
+}
+
+
+def get_benchmark(acronym: str) -> QuantumCircuit:
+    """Build the named Table III benchmark at its canonical size.
+
+    Raises:
+        KeyError: for acronyms not in the table.
+    """
+    info = BENCHMARKS.get(acronym.upper())
+    if info is None:
+        raise KeyError(
+            f"unknown benchmark {acronym!r}; choose from {sorted(BENCHMARKS)}"
+        )
+    return info.builder()

@@ -1,0 +1,83 @@
+"""Hamiltonian-simulation workloads: HSB, TFIM, GCM.
+
+- HSB: Trotterized time-dependent Heisenberg (XXZ) chain [ArQTiC], 16
+  qubits: per step each bond applies RXX, RYY and RZZ plus field RZ terms.
+- TFIM: Trotterized transverse-field Ising chain [ArQTiC], 128 qubits:
+  per step an RZZ per nearest-neighbor bond and an RX field per qubit --
+  the paper's canonical low-connectivity workload (every qubit talks to at
+  most two others).
+- GCM: generator-coordinate-method kernel [QASMBench]: layered
+  pair-rotation ansatz over a 13-qubit register.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import ensure_rng
+
+__all__ = ["heisenberg", "tfim", "gcm"]
+
+
+def heisenberg(num_qubits: int = 16, steps: int = 34, seed: int = 5) -> QuantumCircuit:
+    """HSB: Trotterized XXZ Heisenberg chain with a time-dependent field."""
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "HSB")
+    for q in range(num_qubits):
+        circuit.h(q)
+    for step in range(steps):
+        jx, jy, jz = rng.uniform(0.2, 1.0, size=3)
+        dt = 0.1
+        for a in range(num_qubits - 1):
+            b = a + 1
+            circuit.add("rxx", (a, b), (2 * jx * dt,))
+            circuit.add("ryy", (a, b), (2 * jy * dt,))
+            circuit.rzz(a, b, 2 * jz * dt)
+        # Time-dependent transverse field.
+        field = math.sin(0.3 * (step + 1))
+        for q in range(num_qubits):
+            circuit.rz(q, 2 * field * dt)
+    return circuit
+
+
+def tfim(num_qubits: int = 128, steps: int = 10, seed: int = 6) -> QuantumCircuit:
+    """TFIM: Trotterized transverse-field Ising chain (open boundary)."""
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "TFIM")
+    coupling = float(rng.uniform(0.5, 1.5))
+    field = float(rng.uniform(0.5, 1.5))
+    dt = 0.05
+    for q in range(num_qubits):
+        circuit.h(q)
+    for _ in range(steps):
+        for a in range(num_qubits - 1):
+            circuit.rzz(a, a + 1, 2 * coupling * dt)
+        for q in range(num_qubits):
+            circuit.rx(q, 2 * field * dt)
+    return circuit
+
+
+def gcm(num_qubits: int = 13, layers: int = 11, seed: int = 7) -> QuantumCircuit:
+    """GCM: generator-coordinate-method pair-rotation kernel.
+
+    Each layer applies parameterized Givens-style pair rotations (two CX
+    plus dressings) across a brickwork of qubit pairs, the dominant
+    structure of the QASMBench GCM instance.
+    """
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, "GCM")
+    for q in range(num_qubits):
+        circuit.ry(q, float(rng.uniform(0, math.pi)))
+    for layer in range(layers):
+        offset = layer % 2
+        for a in range(offset, num_qubits - 1, 1):
+            b = a + 1
+            theta = float(rng.uniform(0, math.pi))
+            # Givens rotation: CX - CRY - CX shape.
+            circuit.cx(b, a)
+            circuit.add("cry", (a, b), (theta,))
+            circuit.cx(b, a)
+            if a + 2 >= num_qubits:
+                break
+    return circuit

@@ -1,0 +1,30 @@
+"""Quantum circuit intermediate representation.
+
+A circuit is an ordered list of :class:`Gate` operations on integer qubit
+indices.  The compiler pipeline only ever needs the {U3, CZ} basis the paper
+targets, but the IR accepts any named gate so the QASM parser can represent
+pre-transpilation circuits too.
+"""
+
+from repro.circuit.gate import Gate, GATE_ARITY, is_two_qubit, is_one_qubit
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG, circuit_layers
+from repro.circuit.matrices import gate_unitary, U3_MATRIX, CZ_MATRIX, circuit_unitary
+from repro.circuit.stats import CircuitStats, compute_stats, interaction_counts
+
+__all__ = [
+    "Gate",
+    "GATE_ARITY",
+    "is_two_qubit",
+    "is_one_qubit",
+    "QuantumCircuit",
+    "DependencyDAG",
+    "circuit_layers",
+    "gate_unitary",
+    "circuit_unitary",
+    "U3_MATRIX",
+    "CZ_MATRIX",
+    "CircuitStats",
+    "compute_stats",
+    "interaction_counts",
+]

@@ -1,0 +1,181 @@
+"""The :class:`QuantumCircuit` container.
+
+A thin, ordered container of :class:`~repro.circuit.gate.Gate` objects plus
+builder methods for the gates the benchmark generators use.  The container
+is mutable while being built and is treated as immutable by the compiler
+passes (which always return new circuits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.circuit.gate import Gate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates over ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: number of qubits (indices ``0 .. num_qubits-1``).
+        name: optional human-readable label carried through compilation.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise ValueError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._gates: list[Gate] = []
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def gates(self) -> list[Gate]:
+        """The gate list (callers must not mutate it in place)."""
+        return self._gates
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"num_gates={len(self._gates)})"
+        )
+
+    # -- building -----------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its qubit indices against this circuit."""
+        if any(q >= self.num_qubits for q in gate.qubits):
+            raise ValueError(
+                f"gate {gate} uses qubit outside range 0..{self.num_qubits - 1}"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append several gates."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Iterable[int], params: Iterable[float] = ()) -> "QuantumCircuit":
+        """Append ``Gate(name, qubits, params)``."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # Named builders for the gates the benchmark generators emit.  Each
+    # returns ``self`` so construction chains naturally.
+    def u3(self, q: int, theta: float, phi: float, lam: float) -> "QuantumCircuit":
+        return self.add("u3", (q,), (theta, phi, lam))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cz", (a, b))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cx", (control, target))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", (q,))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", (q,))
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", (q,))
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", (q,))
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", (q,))
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sdg", (q,))
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", (q,))
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", (q,))
+
+    def rx(self, q: int, theta: float) -> "QuantumCircuit":
+        return self.add("rx", (q,), (theta,))
+
+    def ry(self, q: int, theta: float) -> "QuantumCircuit":
+        return self.add("ry", (q,), (theta,))
+
+    def rz(self, q: int, theta: float) -> "QuantumCircuit":
+        return self.add("rz", (q,), (theta,))
+
+    def rzz(self, a: int, b: int, theta: float) -> "QuantumCircuit":
+        return self.add("rzz", (a, b), (theta,))
+
+    def cp(self, a: int, b: int, theta: float) -> "QuantumCircuit":
+        return self.add("cp", (a, b), (theta,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", (a, b))
+
+    def ccx(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        return self.add("ccx", (a, b, c))
+
+    def cswap(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        return self.add("cswap", (a, b, c))
+
+    # -- derived views ------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable, so sharing them is safe)."""
+        out = QuantumCircuit(self.num_qubits, name or self.name)
+        out._gates = list(self._gates)
+        return out
+
+    def without(self, names: set[str]) -> "QuantumCircuit":
+        """Copy with all gates whose name is in ``names`` dropped."""
+        out = QuantumCircuit(self.num_qubits, self.name)
+        out._gates = [g for g in self._gates if g.name not in names]
+        return out
+
+    def count_ops(self) -> dict[str, int]:
+        """Gate-name histogram, like Qiskit's ``count_ops``."""
+        counts: dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def two_qubit_gates(self) -> list[Gate]:
+        """All gates acting on exactly two qubits, in order."""
+        return [g for g in self._gates if g.num_qubits == 2]
+
+    def used_qubits(self) -> set[int]:
+        """Indices of qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    def depth(self) -> int:
+        """Circuit depth counting each gate as one time step on its qubits."""
+        level = [0] * self.num_qubits
+        for gate in self._gates:
+            if gate.name == "barrier":
+                continue
+            start = max(level[q] for q in gate.qubits)
+            for q in gate.qubits:
+                level[q] = start + 1
+        return max(level, default=0)

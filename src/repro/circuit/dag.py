@@ -1,0 +1,132 @@
+"""Gate dependency DAG and parallel layering.
+
+Algorithm 1 consumes gates "per qubit, in order"; this module provides that
+view: for each qubit a FIFO of the gates touching it, plus helpers to ask
+whether a gate is at the front of *all* of its qubits' queues (dependencies
+satisfied) and to pop / push-back gates as the scheduler executes or ejects
+them.
+
+``circuit_layers`` is the hardware-oblivious ASAP layering used for circuit
+statistics (e.g. the 16 layers of the paper's Fredkin example in Fig. 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+
+__all__ = ["DependencyDAG", "circuit_layers"]
+
+
+class DependencyDAG:
+    """Mutable per-qubit FIFO view of a circuit's gate dependencies.
+
+    Gates are identified by their index in the original circuit so duplicate
+    gates (same name/qubits/params) are tracked independently.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.gates: list[Gate] = [
+            g for g in circuit.gates if g.name not in ("barrier", "measure")
+        ]
+        self._queues: list[deque[int]] = [deque() for _ in range(circuit.num_qubits)]
+        for idx, gate in enumerate(self.gates):
+            for q in gate.qubits:
+                self._queues[q].append(idx)
+        self._remaining = len(self.gates)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_remaining(self) -> int:
+        """Number of not-yet-executed gates."""
+        return self._remaining
+
+    def done(self) -> bool:
+        """True when every gate has been executed."""
+        return self._remaining == 0
+
+    def front_gate(self, qubit: int) -> int | None:
+        """Index of the next unexecuted gate on ``qubit``, or None."""
+        queue = self._queues[qubit]
+        return queue[0] if queue else None
+
+    def is_ready(self, gate_index: int) -> bool:
+        """True iff ``gate_index`` is at the front of all its qubits' queues."""
+        gate = self.gates[gate_index]
+        return all(
+            self._queues[q] and self._queues[q][0] == gate_index for q in gate.qubits
+        )
+
+    def ready_front_gates(self) -> list[int]:
+        """Indices of all distinct ready gates, by ascending qubit index.
+
+        This is the candidate set Algorithm 1 considers when building a
+        layer ("for each qubit q in Q: if q's dependencies are satisfied").
+        """
+        seen: set[int] = set()
+        out: list[int] = []
+        for qubit in range(self.circuit.num_qubits):
+            idx = self.front_gate(qubit)
+            if idx is None or idx in seen:
+                continue
+            if self.is_ready(idx):
+                seen.add(idx)
+                out.append(idx)
+        return out
+
+    # -- mutation -----------------------------------------------------------
+
+    def pop(self, gate_index: int) -> Gate:
+        """Mark ``gate_index`` executed, removing it from its qubits' queues.
+
+        Raises:
+            ValueError: if the gate is not currently ready (popping it would
+                violate a dependency).
+        """
+        if not self.is_ready(gate_index):
+            raise ValueError(f"gate {gate_index} is not ready; cannot pop")
+        gate = self.gates[gate_index]
+        for q in gate.qubits:
+            self._queues[q].popleft()
+        self._remaining -= 1
+        return gate
+
+    def push_back(self, gate_index: int) -> None:
+        """Return an ejected gate to the front of its queues (un-pop).
+
+        Used when blockade interference or the one-move-per-layer rule
+        bounces a gate out of the current layer: it must run before any
+        later gate on the same qubits, so it goes back to the queue front.
+        """
+        gate = self.gates[gate_index]
+        for q in gate.qubits:
+            queue = self._queues[q]
+            if queue and queue[0] == gate_index:
+                raise ValueError(f"gate {gate_index} is already pending")
+            queue.appendleft(gate_index)
+        self._remaining += 1
+
+
+def circuit_layers(circuit: QuantumCircuit) -> list[list[Gate]]:
+    """ASAP layering ignoring hardware constraints.
+
+    Each gate is placed in the earliest layer after all gates it depends on;
+    gates within a layer touch disjoint qubits and are parallelly executable
+    in the idealized sense of Fig. 1.
+    """
+    level: dict[int, int] = {}
+    layers: list[list[Gate]] = []
+    for gate in circuit.gates:
+        if gate.name in ("barrier", "measure"):
+            continue
+        start = max((level.get(q, 0) for q in gate.qubits), default=0)
+        while len(layers) <= start:
+            layers.append([])
+        layers[start].append(gate)
+        for q in gate.qubits:
+            level[q] = start + 1
+    return layers

@@ -1,0 +1,106 @@
+"""Gate representation.
+
+Gates are immutable, hashable records: a lowercase name, a tuple of qubit
+indices, and a tuple of float parameters.  The Parallax pipeline runs on the
+two-gate universal basis the paper uses ({U3, CZ}); other named gates exist
+so parsed QASM can be represented before basis translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gate", "GATE_ARITY", "is_two_qubit", "is_one_qubit"]
+
+#: Number of qubit operands for every gate name the QASM front-end and the
+#: transpiler know about.  ``None`` means variable arity (barrier).
+GATE_ARITY: dict[str, int | None] = {
+    # one-qubit
+    "u3": 1, "u2": 1, "u1": 1, "u": 1, "p": 1,
+    "id": 1, "x": 1, "y": 1, "z": 1, "h": 1,
+    "s": 1, "sdg": 1, "t": 1, "tdg": 1,
+    "sx": 1, "sxdg": 1,
+    "rx": 1, "ry": 1, "rz": 1,
+    # two-qubit
+    "cz": 2, "cx": 2, "cy": 2, "ch": 2, "swap": 2,
+    "crx": 2, "cry": 2, "crz": 2, "cp": 2, "cu1": 2, "cu3": 2,
+    "rxx": 2, "ryy": 2, "rzz": 2, "iswap": 2,
+    # three-qubit
+    "ccx": 3, "ccz": 3, "cswap": 3,
+    # structural
+    "barrier": None,
+    "measure": 1,
+}
+
+#: Parameter counts for parametrized gates (others take zero parameters).
+GATE_NUM_PARAMS: dict[str, int] = {
+    "u3": 3, "u": 3, "cu3": 3,
+    "u2": 2,
+    "u1": 1, "p": 1, "rx": 1, "ry": 1, "rz": 1,
+    "crx": 1, "cry": 1, "crz": 1, "cp": 1, "cu1": 1,
+    "rxx": 1, "ryy": 1, "rzz": 1,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One quantum operation.
+
+    Attributes:
+        name: lowercase gate mnemonic (``"u3"``, ``"cz"``, ...).
+        qubits: operand qubit indices, in application order.
+        params: rotation angles in radians (empty for non-parametrized gates).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        arity = GATE_ARITY.get(self.name)
+        if arity is not None and len(self.qubits) != arity:
+            raise ValueError(
+                f"gate {self.name!r} expects {arity} qubit(s), got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name!r} has duplicate qubits {self.qubits}")
+        expected_params = GATE_NUM_PARAMS.get(self.name, 0)
+        if self.name in GATE_ARITY and len(self.params) != expected_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {expected_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"negative qubit index in {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy acting on ``mapping[q]`` for each operand ``q``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def shifted(self, offset: int) -> "Gate":
+        """Return a copy with every qubit index shifted by ``offset``."""
+        return Gate(self.name, tuple(q + offset for q in self.qubits), self.params)
+
+    def __str__(self) -> str:
+        if self.params:
+            angle_text = ",".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({angle_text}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"
+
+
+def is_two_qubit(gate: Gate) -> bool:
+    """True for gates on exactly two qubits (CZ and friends)."""
+    return gate.num_qubits == 2
+
+
+def is_one_qubit(gate: Gate) -> bool:
+    """True for gates on exactly one qubit."""
+    return gate.num_qubits == 1

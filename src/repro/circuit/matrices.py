@@ -1,0 +1,205 @@
+"""Unitary matrices for the gates the transpiler reasons about.
+
+Only one- and two-qubit matrices are needed: the transpiler decomposes
+three-qubit gates structurally (Toffoli/Fredkin templates), and equivalence
+tests verify small circuits by multiplying these matrices out.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.circuit.gate import Gate
+
+__all__ = ["gate_unitary", "circuit_unitary", "U3_MATRIX", "CZ_MATRIX"]
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+CZ_MATRIX = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """The U3 matrix as printed in the paper's background section."""
+    ct, st = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [ct, -cmath.exp(1j * lam) * st],
+            [cmath.exp(1j * phi) * st, cmath.exp(1j * (phi + lam)) * ct],
+        ],
+        dtype=complex,
+    )
+
+
+#: Convenience alias used in docs/tests: U3(theta, phi, lambda).
+U3_MATRIX = u3_matrix
+
+_FIXED_1Q: dict[str, np.ndarray] = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.diag([1.0, -1.0]).astype(complex),
+    "h": np.array([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]], dtype=complex),
+    "s": np.diag([1.0, 1j]).astype(complex),
+    "sdg": np.diag([1.0, -1j]).astype(complex),
+    "t": np.diag([1.0, cmath.exp(1j * math.pi / 4)]).astype(complex),
+    "tdg": np.diag([1.0, cmath.exp(-1j * math.pi / 4)]).astype(complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    "sxdg": 0.5 * np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex),
+}
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.diag([cmath.exp(-1j * theta / 2), cmath.exp(1j * theta / 2)]).astype(complex)
+
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    """4x4 controlled-U with qubit 0 as control (little-endian convention)."""
+    out = np.eye(4, dtype=complex)
+    # States |1c> (control=1) are indices 1 and 3 in little-endian ordering
+    # (qubit 0 = control = least significant bit).
+    out[np.ix_([1, 3], [1, 3])] = u
+    return out
+
+
+def _two_qubit_fixed(name: str) -> np.ndarray | None:
+    if name == "cz":
+        return CZ_MATRIX.copy()
+    if name == "cx":
+        return _controlled(_FIXED_1Q["x"])
+    if name == "cy":
+        return _controlled(_FIXED_1Q["y"])
+    if name == "ch":
+        return _controlled(_FIXED_1Q["h"])
+    if name == "swap":
+        m = np.eye(4, dtype=complex)
+        m[[1, 2]] = m[[2, 1]]
+        return m
+    if name == "iswap":
+        m = np.zeros((4, 4), dtype=complex)
+        m[0, 0] = m[3, 3] = 1.0
+        m[1, 2] = m[2, 1] = 1j
+        return m
+    return None
+
+
+def gate_unitary(gate: Gate) -> np.ndarray:
+    """Return the unitary of a one- or two-qubit gate.
+
+    Two-qubit matrices use the little-endian convention: ``gate.qubits[0]``
+    is the least significant bit of the 2-bit index.
+
+    Raises:
+        ValueError: for gates with no matrix form here (barrier, measure,
+            three-qubit gates).
+    """
+    name, p = gate.name, gate.params
+    if name in _FIXED_1Q:
+        return _FIXED_1Q[name].copy()
+    if name in ("u3", "u"):
+        return u3_matrix(*p)
+    if name == "u2":
+        return u3_matrix(math.pi / 2, p[0], p[1])
+    if name in ("u1", "p"):
+        return _rz(p[0]) * cmath.exp(1j * p[0] / 2)
+    if name == "rx":
+        return _rx(p[0])
+    if name == "ry":
+        return _ry(p[0])
+    if name == "rz":
+        return _rz(p[0])
+    fixed2 = _two_qubit_fixed(name)
+    if fixed2 is not None:
+        return fixed2
+    if name in ("cp", "cu1"):
+        return np.diag([1.0, 1.0, 1.0, cmath.exp(1j * p[0])]).astype(complex)
+    if name == "crx":
+        return _controlled(_rx(p[0]))
+    if name == "cry":
+        return _controlled(_ry(p[0]))
+    if name == "crz":
+        return _controlled(_rz(p[0]))
+    if name == "cu3":
+        return _controlled(u3_matrix(*p))
+    if name == "rzz":
+        t = p[0] / 2
+        return np.diag(
+            [cmath.exp(-1j * t), cmath.exp(1j * t), cmath.exp(1j * t), cmath.exp(-1j * t)]
+        ).astype(complex)
+    if name == "rxx":
+        c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+        m = np.eye(4, dtype=complex) * c
+        m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = -1j * s
+        return m
+    if name == "ryy":
+        c, s = math.cos(p[0] / 2), math.sin(p[0] / 2)
+        m = np.eye(4, dtype=complex) * c
+        m[0, 3] = m[3, 0] = 1j * s
+        m[1, 2] = m[2, 1] = -1j * s
+        return m
+    if name == "ccx":
+        # Little-endian: qubits[0], qubits[1] control, qubits[2] target.
+        m = np.eye(8, dtype=complex)
+        m[[0b011, 0b111]] = m[[0b111, 0b011]]
+        return m
+    if name == "ccz":
+        m = np.eye(8, dtype=complex)
+        m[0b111, 0b111] = -1.0
+        return m
+    if name == "cswap":
+        # qubits[0] controls a swap of qubits[1] and qubits[2].
+        m = np.eye(8, dtype=complex)
+        m[[0b011, 0b101]] = m[[0b101, 0b011]]
+        return m
+    raise ValueError(f"gate {name!r} has no dense unitary in this module")
+
+
+def _embed(u: np.ndarray, qubits: tuple[int, ...], n: int) -> np.ndarray:
+    """Embed a 1- or 2-qubit unitary acting on ``qubits`` into n-qubit space."""
+    full = np.zeros((2**n, 2**n), dtype=complex)
+    k = len(qubits)
+    rest = [q for q in range(n) if q not in qubits]
+    for col in range(2**n):
+        col_bits = [(col >> q) & 1 for q in range(n)]
+        sub_col = sum(col_bits[qubits[i]] << i for i in range(k))
+        for sub_row in range(2**k):
+            amp = u[sub_row, sub_col]
+            if amp == 0:
+                continue
+            row_bits = list(col_bits)
+            for i in range(k):
+                row_bits[qubits[i]] = (sub_row >> i) & 1
+            row = sum(row_bits[q] << q for q in range(n))
+            full[row, col] += amp
+    return full
+
+
+def circuit_unitary(gates: list[Gate], num_qubits: int) -> np.ndarray:
+    """Multiply out the unitary of a small circuit (for equivalence tests).
+
+    Exponential in ``num_qubits``; intended for <= 6 qubits in tests.
+    Barriers are skipped; measurement raises.
+    """
+    if num_qubits > 10:
+        raise ValueError("circuit_unitary is for small test circuits only")
+    total = np.eye(2**num_qubits, dtype=complex)
+    for gate in gates:
+        if gate.name == "barrier":
+            continue
+        if gate.name == "measure":
+            raise ValueError("cannot compute unitary of a measured circuit")
+        u = gate_unitary(gate)
+        total = _embed(u, gate.qubits, num_qubits) @ total
+    return total

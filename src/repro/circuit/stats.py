@@ -1,0 +1,82 @@
+"""Circuit statistics used throughout the evaluation.
+
+``interaction_counts`` builds the weighted interaction graph input to
+Graphine (qubits as nodes, CZ multiplicity as edge weights), and
+``compute_stats`` aggregates the headline numbers (CZ count, depth,
+connectivity) the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import circuit_layers
+
+__all__ = ["CircuitStats", "compute_stats", "interaction_counts"]
+
+
+def interaction_counts(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """Count two-qubit interactions per unordered qubit pair.
+
+    Returns a dict keyed by ``(min(a, b), max(a, b))``.  Gates on three or
+    more qubits contribute one count per qubit pair they touch, matching how
+    Graphine weighs multi-qubit proximity requirements.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for gate in circuit.gates:
+        if gate.num_qubits < 2 or gate.name == "barrier":
+            continue
+        qubits = sorted(gate.qubits)
+        for i in range(len(qubits)):
+            for j in range(i + 1, len(qubits)):
+                key = (qubits[i], qubits[j])
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Headline statistics of one circuit."""
+
+    num_qubits: int
+    num_gates: int
+    num_cz: int
+    num_1q: int
+    depth: int
+    num_layers: int
+    max_degree: int
+    mean_degree: float
+
+    @property
+    def connectivity(self) -> float:
+        """Mean number of distinct CZ partners per used qubit.
+
+        The paper uses "connectivity" to explain where Parallax wins most
+        (QV, high) vs. least (TFIM, <= 2).
+        """
+        return self.mean_degree
+
+
+def compute_stats(circuit: QuantumCircuit) -> CircuitStats:
+    """Aggregate the statistics the evaluation figures report."""
+    counts = interaction_counts(circuit)
+    degree: dict[int, set[int]] = {}
+    for (a, b) in counts:
+        degree.setdefault(a, set()).add(b)
+        degree.setdefault(b, set()).add(a)
+    degrees = [len(v) for v in degree.values()]
+    num_cz = sum(1 for g in circuit.gates if g.num_qubits == 2)
+    num_1q = sum(
+        1 for g in circuit.gates if g.num_qubits == 1 and g.name not in ("barrier", "measure")
+    )
+    return CircuitStats(
+        num_qubits=circuit.num_qubits,
+        num_gates=sum(1 for g in circuit.gates if g.name not in ("barrier", "measure")),
+        num_cz=num_cz,
+        num_1q=num_1q,
+        depth=circuit.depth(),
+        num_layers=len(circuit_layers(circuit)),
+        max_degree=max(degrees, default=0),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+    )

@@ -1,0 +1,128 @@
+"""Command-line compiler driver.
+
+Mirrors the paper's workflow: a QASM 2.0 file in, compilation statistics
+out, for any of the three techniques::
+
+    python -m repro.cli circuit.qasm --technique parallax --machine quera
+    python -m repro.cli circuit.qasm --technique all --shots 8000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.eldi import EldiCompiler
+from repro.baselines.graphine_compiler import GraphineCompiler
+from repro.core.compiler import ParallaxCompiler
+from repro.core.parallel_shots import parallelization_factor, total_execution_time_us
+from repro.hardware.spec import HardwareSpec
+from repro.noise.fidelity import success_probability
+from repro.qasm.parser import load_file
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+_MACHINES = {
+    "quera": HardwareSpec.quera_aquila,
+    "atom": HardwareSpec.atom_computing,
+}
+
+_COMPILERS = {
+    "parallax": ParallaxCompiler,
+    "eldi": EldiCompiler,
+    "graphine": GraphineCompiler,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Compile an OpenQASM 2.0 circuit for a neutral-atom machine.",
+    )
+    parser.add_argument("qasm_file", help="path to an OpenQASM 2.0 file")
+    parser.add_argument(
+        "--technique",
+        choices=[*_COMPILERS, "all"],
+        default="parallax",
+        help="compiler to run (default: parallax)",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=sorted(_MACHINES),
+        default="quera",
+        help="target machine (default: quera, the 256-qubit system)",
+    )
+    parser.add_argument(
+        "--aod-count",
+        type=int,
+        default=20,
+        help="AOD rows/columns (default: 20, the paper's best)",
+    )
+    parser.add_argument(
+        "--shots",
+        type=int,
+        default=0,
+        help="if > 0, also report parallelized total execution time",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the full compilation result(s) as JSON to PATH "
+        "(one object, keyed by technique)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        circuit = load_file(args.qasm_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    spec = _MACHINES[args.machine](aod_count=args.aod_count)
+    techniques = list(_COMPILERS) if args.technique == "all" else [args.technique]
+
+    rows = []
+    json_payload: dict[str, dict] = {}
+    for name in techniques:
+        result = _COMPILERS[name](spec).compile(circuit)
+        if args.json:
+            from repro.core.serialize import result_to_dict
+
+            json_payload[name] = result_to_dict(result)
+        row = [
+            name,
+            result.num_cz,
+            result.num_u3,
+            result.num_swaps,
+            result.num_layers,
+            round(result.runtime_us, 1),
+            f"{success_probability(result):.3e}",
+        ]
+        if args.shots > 0:
+            factor = parallelization_factor(result, spec)
+            total_s = total_execution_time_us(result, args.shots, spec=spec) / 1e6
+            row.extend([factor, round(total_s, 4)])
+        rows.append(row)
+
+    headers = ["technique", "cz", "u3", "swaps", "layers", "runtime_us", "success"]
+    if args.shots > 0:
+        headers.extend(["parallel_copies", f"time_{args.shots}_shots_s"])
+    print(
+        format_table(
+            headers, rows, title=f"{args.qasm_file} on {spec.name} "
+            f"({circuit.num_qubits} qubits)"
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(json_payload, handle, indent=2)
+        print(f"wrote JSON results to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

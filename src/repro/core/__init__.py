@@ -1,0 +1,55 @@
+"""The Parallax compiler core.
+
+Implements the paper's four-step pipeline on top of the hardware model:
+
+1. :mod:`repro.layout` generates the continuous Graphine layout.
+2. :class:`~repro.core.machine.MachineState` discretizes it onto the grid.
+3. :mod:`repro.core.aod_selection` picks the mobile atoms.
+4. :class:`~repro.core.scheduler.GateScheduler` runs Algorithm 1 with the
+   recursive :class:`~repro.core.movement.MovementEngine`.
+
+:class:`~repro.core.compiler.ParallaxCompiler` ties the steps together, and
+:mod:`repro.core.parallel_shots` implements Section II-E's logical-shot
+parallelization.
+"""
+
+from repro.core.machine import MachineState
+from repro.core.aod_selection import select_aod_qubits, AODSelection
+from repro.core.movement import MovementEngine, MoveFailure
+from repro.core.scheduler import GateScheduler, SchedulerConfig
+from repro.core.result import CompiledLayer, CompilationResult
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.serialize import (
+    result_to_dict,
+    result_from_dict,
+    dumps_result,
+    loads_result,
+)
+from repro.core.parallel_shots import (
+    parallelization_factor,
+    total_execution_time_us,
+    ShotPlan,
+    plan_parallel_shots,
+)
+
+__all__ = [
+    "MachineState",
+    "select_aod_qubits",
+    "AODSelection",
+    "MovementEngine",
+    "MoveFailure",
+    "GateScheduler",
+    "SchedulerConfig",
+    "CompiledLayer",
+    "CompilationResult",
+    "ParallaxCompiler",
+    "ParallaxConfig",
+    "parallelization_factor",
+    "total_execution_time_us",
+    "ShotPlan",
+    "plan_parallel_shots",
+    "result_to_dict",
+    "result_from_dict",
+    "dumps_result",
+    "loads_result",
+]

@@ -1,0 +1,165 @@
+"""Step 3: selection of the mobile (AOD) qubits.
+
+The paper weighs each qubit by two criteria:
+
+1. the number of its interactions with atoms **outside** the interaction
+   radius (weight 0.99) -- those interactions will need a move, a trap
+   change, or SWAPs, and a move is only possible if one endpoint is mobile;
+2. the serialization its blockade radius causes to other two-qubit gates in
+   the same layer (weight 0.01) -- a tie-breaker.
+
+The highest-weight qubits go to the AOD, one per row/column pair, placed as
+close to their initial locations as possible.  Because two selected atoms
+may share a row or column coordinate (they came from a grid), shared
+coordinates are resolved by recursively nudging rows up / columns right
+until all line coordinates are distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import circuit_layers
+from repro.core.machine import MachineState
+
+__all__ = ["AODSelection", "select_aod_qubits", "qubit_weights", "resolve_shared_coords"]
+
+OUT_OF_RANGE_WEIGHT = 0.99
+INTERFERENCE_WEIGHT = 0.01
+
+
+def _out_of_range_counts(circuit: QuantumCircuit, state: MachineState) -> np.ndarray:
+    """Per-qubit count of two-qubit interactions beyond the interaction radius."""
+    counts = np.zeros(state.num_qubits, dtype=float)
+    radius = state.interaction_radius
+    for gate in circuit.gates:
+        if gate.num_qubits != 2:
+            continue
+        a, b = gate.qubits
+        if state.distance(a, b) > radius:
+            counts[a] += 1.0
+            counts[b] += 1.0
+    return counts
+
+
+def _interference_counts(circuit: QuantumCircuit, state: MachineState) -> np.ndarray:
+    """Per-qubit count of same-layer blockade conflicts its gates cause.
+
+    For each ASAP layer, every pair of two-qubit gates whose atoms come
+    within the blockade radius of each other adds one conflict to each
+    involved qubit.  This is the "degree of serialization" tie-breaker.
+    """
+    counts = np.zeros(state.num_qubits, dtype=float)
+    blockade = state.blockade_radius
+    for layer in circuit_layers(circuit):
+        two_qubit = [g for g in layer if g.num_qubits == 2]
+        for i in range(len(two_qubit)):
+            for j in range(i + 1, len(two_qubit)):
+                ga, gb = two_qubit[i], two_qubit[j]
+                conflict = any(
+                    state.distance(qa, qb) <= blockade
+                    for qa in ga.qubits
+                    for qb in gb.qubits
+                )
+                if conflict:
+                    for q in (*ga.qubits, *gb.qubits):
+                        counts[q] += 1.0
+    return counts
+
+
+def qubit_weights(circuit: QuantumCircuit, state: MachineState) -> np.ndarray:
+    """Combined selection weight per qubit (paper's 0.99 / 0.01 split).
+
+    Each criterion is normalized to [0, 1] by its maximum so the 0.99/0.01
+    weighting acts as a strict priority with tie-breaking, as described.
+    """
+    out_of_range = _out_of_range_counts(circuit, state)
+    interference = _interference_counts(circuit, state)
+    if out_of_range.max() > 0:
+        out_of_range = out_of_range / out_of_range.max()
+    if interference.max() > 0:
+        interference = interference / interference.max()
+    return OUT_OF_RANGE_WEIGHT * out_of_range + INTERFERENCE_WEIGHT * interference
+
+
+def resolve_shared_coords(coords: np.ndarray, gap: float) -> np.ndarray:
+    """Make coordinates strictly increasing-with-gap by nudging upward.
+
+    Implements the paper's recursive rule: if a row/column shares a position
+    with another, move it a small amount in a fixed direction (rows up,
+    columns right) and recurse until no two coincide.  Input order is
+    preserved; only values change.
+    """
+    coords = np.asarray(coords, dtype=float).copy()
+    order = np.argsort(coords, kind="stable")
+    previous = -np.inf
+    for idx in order:
+        if coords[idx] < previous + gap:
+            coords[idx] = previous + gap
+        previous = coords[idx]
+    return coords
+
+
+@dataclass(frozen=True)
+class AODSelection:
+    """Outcome of Step 3.
+
+    Attributes:
+        qubits: selected mobile qubits, highest weight first.
+        weights: the full per-qubit weight vector (for diagnostics/tests).
+    """
+
+    qubits: tuple[int, ...]
+    weights: np.ndarray
+
+
+def select_aod_qubits(
+    circuit: QuantumCircuit, state: MachineState, max_atoms: int | None = None
+) -> AODSelection:
+    """Pick mobile qubits and transfer them into the AOD.
+
+    Only qubits with positive weight are eligible (a qubit that is never
+    out of range and never interferes gains nothing from mobility), capped
+    at one atom per AOD row/column pair.
+
+    Side effects: the selected atoms are released from the SLM and assigned
+    AOD rows/columns ordered by their y (rows) and x (columns) coordinates,
+    with shared coordinates resolved by nudging; atom positions move by at
+    most a few line-gaps, and home positions are updated to the (possibly
+    nudged) mobile positions.
+    """
+    capacity = min(state.aod.num_rows, state.aod.num_cols)
+    if max_atoms is not None:
+        capacity = min(capacity, max_atoms)
+    weights = qubit_weights(circuit, state)
+    eligible = [q for q in range(state.num_qubits) if weights[q] > 0.0]
+    eligible.sort(key=lambda q: (-weights[q], q))
+    chosen = eligible[:capacity]
+    if not chosen:
+        return AODSelection(qubits=(), weights=weights)
+
+    # Order rows bottom-to-top and columns left-to-right by current atom
+    # position so AOD line indices respect the no-crossing invariant.
+    ys = {q: float(state.positions[q][1]) for q in chosen}
+    xs = {q: float(state.positions[q][0]) for q in chosen}
+    row_order = sorted(chosen, key=lambda q: (ys[q], q))
+    col_order = sorted(chosen, key=lambda q: (xs[q], q))
+    gap = state.aod.line_gap
+    new_ys = resolve_shared_coords(np.array([ys[q] for q in row_order]), gap)
+    new_xs = resolve_shared_coords(np.array([xs[q] for q in col_order]), gap)
+    row_index = {q: i for i, q in enumerate(row_order)}
+    col_index = {q: i for i, q in enumerate(col_order)}
+
+    for q in chosen:
+        y = float(new_ys[row_index[q]])
+        x = float(new_xs[col_index[q]])
+        state.set_position(q, np.array([x, y]))
+        state.transfer_to_aod(q, row_index[q], col_index[q])
+        # The nudged spot becomes the atom's home (Fig. 7 home configuration).
+        state.atoms[q].home = state.positions[q].copy()
+
+    ranked = tuple(sorted(chosen, key=lambda q: (-weights[q], q)))
+    return AODSelection(qubits=ranked, weights=weights)

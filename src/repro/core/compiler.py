@@ -1,0 +1,111 @@
+"""The end-to-end Parallax compiler (Fig. 4's four steps).
+
+Usage::
+
+    from repro import ParallaxCompiler, HardwareSpec
+    result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(circuit)
+    result.num_cz, result.runtime_us
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.aod_selection import select_aod_qubits
+from repro.core.machine import MachineState
+from repro.core.result import CompilationResult
+from repro.core.scheduler import GateScheduler, SchedulerConfig
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout, generate_layout
+from repro.layout.placement import PlacementConfig
+from repro.transpile.pipeline import transpile
+
+__all__ = ["ParallaxCompiler", "ParallaxConfig"]
+
+
+@dataclass(frozen=True)
+class ParallaxConfig:
+    """Top-level compiler configuration.
+
+    Attributes:
+        placement: Graphine placement knobs (Step 1).
+        scheduler: Algorithm 1 knobs (Step 4).
+        transpile_input: transpile the input into the {u3, cz} basis first
+            (disable when the caller already transpiled, e.g. to share one
+            transpiled circuit among all techniques as the paper does).
+        max_aod_atoms: optional cap on mobile atoms (None = AOD row count).
+        native_multiqubit: keep three-qubit gates as native CCZ pulses
+            (GEYSER-style composition; only applies when transpiling).
+    """
+
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    transpile_input: bool = True
+    max_aod_atoms: int | None = None
+    native_multiqubit: bool = False
+
+
+class ParallaxCompiler:
+    """Compile circuits for a neutral-atom machine with zero SWAPs."""
+
+    technique = "parallax"
+
+    def __init__(self, spec: HardwareSpec, config: ParallaxConfig | None = None) -> None:
+        self.spec = spec
+        self.config = config or ParallaxConfig()
+
+    def compile(
+        self,
+        circuit: QuantumCircuit,
+        layout: GraphineLayout | None = None,
+    ) -> CompilationResult:
+        """Compile ``circuit``; optionally reuse a precomputed layout.
+
+        The ``layout`` parameter mirrors the paper's command-line option to
+        load pre-obtained Graphine results and skip the annealing stage.
+        """
+        basis = (
+            transpile(circuit, native_multiqubit=self.config.native_multiqubit)
+            if self.config.transpile_input
+            else circuit.without({"barrier", "measure"})
+        )
+        if layout is None:
+            layout = generate_layout(basis, self.config.placement)
+        if layout.num_qubits != basis.num_qubits:
+            raise ValueError(
+                f"layout has {layout.num_qubits} qubits but circuit has "
+                f"{basis.num_qubits}"
+            )
+        state = MachineState(self.spec, layout)
+        selection = select_aod_qubits(basis, state, self.config.max_aod_atoms)
+        scheduler = GateScheduler(basis, state, self.config.scheduler)
+        stats = scheduler.run()
+
+        counts = basis.count_ops()
+        rows = [r for (r, _) in state.sites]
+        cols = [c for (_, c) in state.sites]
+        footprint = (
+            (max(rows) - min(rows) + 1) if rows else 0,
+            (max(cols) - min(cols) + 1) if cols else 0,
+        )
+        return CompilationResult(
+            technique=self.technique,
+            circuit_name=circuit.name,
+            num_qubits=basis.num_qubits,
+            spec=self.spec,
+            layers=stats.layers,
+            num_cz=counts.get("cz", 0),
+            num_u3=counts.get("u3", 0),
+            num_ccz=counts.get("ccz", 0),
+            num_swaps=0,
+            trap_change_events=stats.trap_changes,
+            both_slm_events=stats.both_slm_trap_changes,
+            failed_move_events=stats.failed_moves,
+            num_moves=stats.num_moves,
+            runtime_us=stats.total_time_us,
+            interaction_radius_um=state.interaction_radius,
+            blockade_radius_um=state.blockade_radius,
+            aod_qubits=selection.qubits,
+            footprint_sites=footprint,
+        )

@@ -1,0 +1,117 @@
+"""Machine state: atoms placed on hardware, with radii in physical units.
+
+Combines Steps 1 and 2 of the pipeline: takes the continuous Graphine
+layout, discretizes it onto the SLM grid, and tracks every atom's position,
+trap, and home location.  Positions are mirrored in a contiguous ``(n, 2)``
+float64 array so the scheduler's geometric queries stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.aod import AOD
+from repro.hardware.atom import Atom, TrapType
+from repro.hardware.grid import discretize_positions, unit_to_physical_scale
+from repro.hardware.slm import SLM
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+
+__all__ = ["MachineState"]
+
+
+class MachineState:
+    """All mutable physical state of one compilation.
+
+    Attributes:
+        spec: the hardware description.
+        slm / aod: trap devices.
+        atoms: per-qubit :class:`Atom` records.
+        positions: (n, 2) array, row ``q`` = current position of qubit ``q``
+            (kept in sync with ``atoms[q].position``).
+        interaction_radius: Rydberg interaction radius in micrometers.
+        blockade_radius: Rydberg blockade radius (2.5x interaction).
+    """
+
+    def __init__(self, spec: HardwareSpec, layout: GraphineLayout) -> None:
+        if layout.num_qubits > spec.num_sites:
+            raise ValueError(
+                f"circuit needs {layout.num_qubits} atoms but "
+                f"{spec.name} has only {spec.num_sites} sites"
+            )
+        self.spec = spec
+        self.slm = SLM(spec)
+        self.aod = AOD(spec)
+        self.num_qubits = layout.num_qubits
+
+        positions_um, sites = discretize_positions(layout.unit_positions, spec)
+        self.sites = sites
+        self.atoms: list[Atom] = []
+        for qubit in range(self.num_qubits):
+            row, col = sites[qubit]
+            self.slm.place(qubit, row, col)
+            self.atoms.append(Atom(qubit, positions_um[qubit], TrapType.SLM))
+        self.positions = positions_um.copy()
+
+        scale = unit_to_physical_scale(spec)
+        raw_radius = layout.interaction_radius_unit * scale
+        # The radius must at least span one grid pitch or even neighboring
+        # sites could not interact after discretization.
+        self.interaction_radius = float(max(raw_radius, spec.grid_pitch_um * 1.05))
+        self.blockade_radius = spec.blockade_radius_um(self.interaction_radius)
+
+    # -- position bookkeeping --------------------------------------------------
+
+    def set_position(self, qubit: int, new_pos: np.ndarray) -> None:
+        """Move one atom's recorded position (engine use only)."""
+        new_pos = np.asarray(new_pos, dtype=float)
+        self.atoms[qubit].position = new_pos.copy()
+        self.positions[qubit] = new_pos
+
+    def distance(self, a: int, b: int) -> float:
+        """Distance between qubits ``a`` and ``b`` in micrometers."""
+        d = self.positions[a] - self.positions[b]
+        return float(np.hypot(d[0], d[1]))
+
+    def in_interaction_range(self, a: int, b: int) -> bool:
+        """True when a CZ can execute directly between ``a`` and ``b``."""
+        return self.distance(a, b) <= self.interaction_radius
+
+    # -- trap transfers ----------------------------------------------------------
+
+    def transfer_to_aod(self, qubit: int, row: int, col: int) -> None:
+        """Trap change SLM -> AOD, keeping the atom's position and home."""
+        atom = self.atoms[qubit]
+        if atom.trap is not TrapType.SLM:
+            raise ValueError(f"qubit {qubit} is not in the SLM")
+        site = self.sites[qubit]
+        self.slm.release(*site)
+        x, y = float(atom.position[0]), float(atom.position[1])
+        self.aod.assign_atom(qubit, row, col, x, y)
+        atom.trap = TrapType.AOD
+        atom.aod_row, atom.aod_col = row, col
+
+    def is_mobile(self, qubit: int) -> bool:
+        """True if the qubit is in the AOD."""
+        return self.atoms[qubit].trap is TrapType.AOD
+
+    def mobile_qubits(self) -> list[int]:
+        """All AOD-trapped qubits."""
+        return [q for q in range(self.num_qubits) if self.is_mobile(q)]
+
+    def static_positions(self) -> np.ndarray:
+        """Positions of all SLM atoms (view-copy used by the engine)."""
+        idx = [q for q in range(self.num_qubits) if not self.is_mobile(q)]
+        return self.positions[idx]
+
+    # -- validation (used heavily in tests) ----------------------------------------
+
+    def separation_ok(self, min_separation: float | None = None) -> bool:
+        """True when every atom pair respects the separation constraint."""
+        sep = min_separation if min_separation is not None else self.spec.min_separation_um
+        if self.num_qubits < 2:
+            return True
+        diff = self.positions[:, None, :] - self.positions[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        iu, ju = np.triu_indices(self.num_qubits, k=1)
+        return bool(dist[iu, ju].min() >= sep - 1e-9)

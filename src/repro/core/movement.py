@@ -1,0 +1,385 @@
+"""Recursive AOD movement engine (the paper's Section II-D move machinery).
+
+``move_into_range(mover, target)`` relocates the mobile ``mover`` atom to a
+point within the Rydberg interaction radius of ``target``.  The engine
+honors every hardware constraint:
+
+- moving a row/column moves all atoms on it in tandem;
+- rows/columns may not cross and keep a minimum line gap -- if a move would
+  cross a neighboring AOD line, that line is recursively pushed out of the
+  way first;
+- the minimum atom separation constraint -- if the move lands an atom within
+  the separation distance of another AOD atom, the obstructing atom is
+  recursively pushed away; static SLM atoms cannot be pushed, so candidate
+  destinations that violate separation against SLM atoms are rejected
+  outright (the discretization guarantees corridors exist);
+- a hard recursion limit (80, per the paper) converts pathological
+  obstruction chains into a :class:`MoveFailure`, which the scheduler
+  resolves with a trap change.
+
+On failure the engine rolls the machine back to its pre-move state, so a
+failed move has no physical effect.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.machine import MachineState
+from repro.hardware.aod import AODOrderError
+
+__all__ = ["MovementEngine", "MoveFailure"]
+
+_EPS = 1e-6
+
+
+class MoveFailure(RuntimeError):
+    """A move could not be completed within the recursion limit."""
+
+
+class MovementEngine:
+    """Executes constrained AOD moves on a :class:`MachineState`."""
+
+    def __init__(self, state: MachineState, recursion_limit: int = 80) -> None:
+        self.state = state
+        self.spec = state.spec
+        self.limit = int(recursion_limit)
+        # Cumulative distance moved per AOD line object within the current
+        # layer; the layer's movement time is the max over objects.
+        self._object_distance: dict[tuple[str, int], float] = {}
+        # Chronological (kind, line index, old coord, new coord) records of
+        # every committed line move this layer, for replay/verification.
+        self._trace: list[tuple[str, int, float, float]] = []
+        self._ticks = 0
+
+    # -- per-layer bookkeeping -------------------------------------------------
+
+    def begin_layer(self) -> None:
+        """Reset per-layer movement accounting."""
+        self._object_distance.clear()
+        self._trace.clear()
+
+    def layer_trace(self) -> tuple[tuple[str, int, float, float], ...]:
+        """Committed line moves of the current layer, in order."""
+        return tuple(self._trace)
+
+    def max_object_distance(self) -> float:
+        """Maximum cumulative distance any AOD row/column moved this layer."""
+        return max(self._object_distance.values(), default=0.0)
+
+    # -- public move API ----------------------------------------------------------
+
+    def move_into_range(self, mover: int, target: int) -> float:
+        """Move AOD atom ``mover`` within interaction radius of ``target``.
+
+        Returns:
+            The maximum cumulative object distance after the move (for
+            timing); the state is updated in place.
+
+        Raises:
+            MoveFailure: if no destination exists or the recursive
+                obstruction clearing exceeds the recursion limit.  The
+                machine state is unchanged in that case.
+        """
+        if not self.state.is_mobile(mover):
+            raise ValueError(f"qubit {mover} is not in the AOD; cannot move it")
+        self._ticks = 0
+        saved = self._snapshot()
+        try:
+            dest = self._find_destination(mover, target)
+            self._place_atom(mover, dest)
+        except (MoveFailure, AODOrderError) as exc:
+            self._restore(saved)
+            raise MoveFailure(str(exc)) from exc
+        return self.max_object_distance()
+
+    def return_home_distance(self) -> float:
+        """Max distance any AOD line must travel to return to home positions."""
+        best = 0.0
+        aod = self.state.aod
+        for qubit in aod.atoms():
+            atom = self.state.atoms[qubit]
+            row, col = aod.atom_lines(qubit)
+            best = max(
+                best,
+                abs(float(aod.row_y[row]) - float(atom.home[1])),
+                abs(float(aod.col_x[col]) - float(atom.home[0])),
+            )
+        return best
+
+    def return_home(self) -> float:
+        """Send every AOD atom back to its home position (Fig. 7).
+
+        Returns the max line travel distance (timing).  Home positions were
+        validated when first established, so restoring them is always legal.
+        """
+        distance = self.return_home_distance()
+        aod = self.state.aod
+        for qubit in aod.atoms():
+            atom = self.state.atoms[qubit]
+            row, col = aod.atom_lines(qubit)
+            aod.row_y[row] = float(atom.home[1])
+            aod.col_x[col] = float(atom.home[0])
+            self.state.set_position(qubit, atom.home)
+        return distance
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def _snapshot(self) -> tuple:
+        aod_snap = self.state.aod.snapshot()
+        mobile = self.state.mobile_qubits()
+        positions = {q: self.state.positions[q].copy() for q in mobile}
+        return (
+            aod_snap,
+            positions,
+            dict(self._object_distance),
+            list(self._trace),
+            self._ticks,
+        )
+
+    def _restore(self, saved: tuple) -> None:
+        aod_snap, positions, distances, trace, ticks = saved
+        self.state.aod.restore(aod_snap)
+        for q, pos in positions.items():
+            self.state.set_position(q, pos)
+        self._object_distance = distances
+        self._trace = trace
+        self._ticks = ticks
+
+    # -- recursion accounting -----------------------------------------------------
+
+    def _tick(self) -> None:
+        self._ticks += 1
+        if self._ticks > self.limit:
+            raise MoveFailure(
+                f"recursive move exceeded the {self.limit}-iteration limit"
+            )
+
+    # -- destination search ---------------------------------------------------------
+
+    def _bounds_ok(self, point: np.ndarray) -> bool:
+        w, h = self.spec.extent_um
+        margin = self.spec.grid_pitch_um
+        return (-margin <= point[0] <= w + margin) and (-margin <= point[1] <= h + margin)
+
+    def _separation_violations(
+        self, point: np.ndarray, ignore: tuple[int, ...]
+    ) -> tuple[int, bool]:
+        """(# AOD atoms too close, any SLM atom too close) at ``point``."""
+        min_sep = self.spec.min_separation_um
+        aod_close = 0
+        slm_close = False
+        pos = self.state.positions
+        for q in range(self.state.num_qubits):
+            if q in ignore:
+                continue
+            d = math.hypot(pos[q][0] - point[0], pos[q][1] - point[1])
+            if d < min_sep - _EPS:
+                if self.state.is_mobile(q):
+                    aod_close += 1
+                else:
+                    slm_close = True
+        return aod_close, slm_close
+
+    def _find_destination(self, mover: int, target: int) -> np.ndarray:
+        """Pick a reachable point within the interaction radius of ``target``.
+
+        Prefers points that (a) do not sit on top of SLM atoms (hard
+        constraint), (b) displace as few AOD atoms as possible, and
+        (c) are closest to the mover's current position.
+        """
+        target_pos = self.state.positions[target]
+        mover_pos = self.state.positions[mover]
+        radius = self.state.interaction_radius
+        base_angle = math.atan2(
+            mover_pos[1] - target_pos[1], mover_pos[0] - target_pos[0]
+        )
+        candidates: list[tuple[int, float, np.ndarray]] = []
+        for fraction in (0.9, 0.7, 0.5):
+            r = radius * fraction
+            if r < self.spec.min_separation_um + _EPS:
+                continue
+            for k in range(16):
+                angle = base_angle + (math.pi * k / 8.0)
+                point = target_pos + r * np.array([math.cos(angle), math.sin(angle)])
+                if not self._bounds_ok(point):
+                    continue
+                aod_close, slm_close = self._separation_violations(
+                    point, ignore=(mover, target)
+                )
+                if slm_close:
+                    continue
+                dist = math.hypot(*(point - mover_pos))
+                candidates.append((aod_close, dist, point))
+            if candidates:
+                break
+        if not candidates:
+            raise MoveFailure(
+                f"no valid destination near qubit {target} for qubit {mover}"
+            )
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        return candidates[0][2]
+
+    # -- constrained line moves --------------------------------------------------------
+
+    def _place_atom(self, qubit: int, dest: np.ndarray) -> None:
+        row, col = self.state.aod.atom_lines(qubit)
+        self._set_row(row, float(dest[1]))
+        self._set_col(col, float(dest[0]))
+        self._resolve_separation(qubit)
+
+    def _set_row(self, index: int, new_y: float) -> None:
+        """Move row ``index`` to ``new_y``, clearing blocking rows first.
+
+        Interfering rows are relocated in one ordered "stacking" pass (the
+        closest blocker lands one gap beyond ``new_y``, the next one gap
+        beyond that, ...), which cannot ping-pong the way pairwise pushes
+        can when several lines block at once.
+        """
+        self._tick()
+        aod = self.state.aod
+        # Stacking clears the corridor, but the separation resolution it
+        # triggers can disturb it again; re-check a few times before the
+        # final (validating) move.
+        for _ in range(4):
+            lo, hi = aod.row_move_bounds(index)
+            if new_y < lo:
+                self._stack_lines("row", index, new_y, direction=-1)
+            elif new_y > hi:
+                self._stack_lines("row", index, new_y, direction=+1)
+            else:
+                break
+        delta, moved = aod.move_row(index, new_y)
+        self._trace.append(("row", index, float(new_y - delta), float(new_y)))
+        self._object_distance[("row", index)] = (
+            self._object_distance.get(("row", index), 0.0) + abs(delta)
+        )
+        for q in moved:
+            pos = self.state.positions[q]
+            self.state.set_position(q, np.array([pos[0], new_y]))
+        for q in moved:
+            self._resolve_separation(q)
+
+    def _set_col(self, index: int, new_x: float) -> None:
+        """Move column ``index`` to ``new_x``, clearing blocking columns first."""
+        self._tick()
+        aod = self.state.aod
+        for _ in range(4):
+            lo, hi = aod.col_move_bounds(index)
+            if new_x < lo:
+                self._stack_lines("col", index, new_x, direction=-1)
+            elif new_x > hi:
+                self._stack_lines("col", index, new_x, direction=+1)
+            else:
+                break
+        delta, moved = aod.move_col(index, new_x)
+        self._trace.append(("col", index, float(new_x - delta), float(new_x)))
+        self._object_distance[("col", index)] = (
+            self._object_distance.get(("col", index), 0.0) + abs(delta)
+        )
+        for q in moved:
+            pos = self.state.positions[q]
+            self.state.set_position(q, np.array([new_x, pos[1]]))
+        for q in moved:
+            self._resolve_separation(q)
+
+    def _stack_lines(self, kind: str, index: int, bound: float, direction: int) -> None:
+        """Relocate every line blocking ``index``'s move to ``bound``.
+
+        With ``direction == -1`` the lines before ``index`` are pushed so
+        each sits at least one gap below the line after it, starting one gap
+        below ``bound`` (symmetrically above for ``direction == +1``).
+        Line order is preserved by construction, so direct coordinate writes
+        are safe; tandem atoms are repositioned and separation re-resolved.
+        """
+        aod = self.state.aod
+        gap = aod.line_gap
+        coords = aod.row_y if kind == "row" else aod.col_x
+        line_atoms = aod.row_atoms if kind == "row" else aod.col_atoms
+        if direction == -1:
+            indices = range(index - 1, -1, -1)
+        else:
+            indices = range(index + 1, len(coords))
+        moved_atoms: list[int] = []
+        limit = bound
+        for j in indices:
+            value = coords[j]
+            if np.isnan(value):
+                continue
+            target = limit - gap if direction == -1 else limit + gap
+            if (direction == -1 and value <= target + 1e-12) or (
+                direction == +1 and value >= target - 1e-12
+            ):
+                break  # ordering invariant: everything further is clear too
+            self._tick()
+            coords[j] = target
+            self._trace.append((kind, j, float(value), float(target)))
+            self._object_distance[(kind, j)] = (
+                self._object_distance.get((kind, j), 0.0) + abs(value - target)
+            )
+            for q in sorted(line_atoms[j]):
+                pos = self.state.positions[q]
+                if kind == "row":
+                    self.state.set_position(q, np.array([pos[0], target]))
+                else:
+                    self.state.set_position(q, np.array([target, pos[1]]))
+                moved_atoms.append(q)
+            limit = target
+        for q in moved_atoms:
+            self._resolve_separation(q)
+
+    # -- separation resolution ------------------------------------------------------------
+
+    def _resolve_separation(self, qubit: int) -> None:
+        """Recursively push AOD atoms out of ``qubit``'s separation disk."""
+        min_sep = self.spec.min_separation_um
+        here = self.state.positions[qubit]
+        for other in self.state.mobile_qubits():
+            if other == qubit:
+                continue
+            there = self.state.positions[other]
+            d = math.hypot(there[0] - here[0], there[1] - here[1])
+            if d >= min_sep - _EPS:
+                continue
+            self._push_atom(other, away_from=here)
+
+    def _push_atom(self, qubit: int, away_from: np.ndarray) -> None:
+        """Push an obstructing AOD atom out of the separation disk.
+
+        Candidate landings sit at 1.5x the separation distance (a real
+        margin, so dense clusters do not re-violate immediately) across
+        eight directions; candidates are scored by how many *other* AOD
+        atoms they would in turn displace, mirroring the destination search.
+        Mutual-push livelock is ultimately bounded by the recursion limit.
+        """
+        self._tick()
+        min_sep = self.spec.min_separation_um
+        pos = self.state.positions[qubit]
+        direction = pos - away_from
+        norm = math.hypot(direction[0], direction[1])
+        if norm < _EPS:
+            direction = np.array([1.0, 0.0])
+        base_angle = math.atan2(direction[1], direction[0])
+        candidates: list[tuple[int, float, np.ndarray]] = []
+        for k in range(8):
+            angle = base_angle + (math.pi * k / 4.0)
+            landing = away_from + (min_sep * 1.5) * np.array(
+                [math.cos(angle), math.sin(angle)]
+            )
+            if not self._bounds_ok(landing):
+                continue
+            aod_close, slm_close = self._separation_violations(landing, ignore=(qubit,))
+            if slm_close:
+                continue
+            travel = math.hypot(*(landing - pos))
+            candidates.append((aod_close, travel, landing))
+        if not candidates:
+            raise MoveFailure(f"cannot push obstructing qubit {qubit} anywhere valid")
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        landing = candidates[0][2]
+        row, col = self.state.aod.atom_lines(qubit)
+        self._set_row(row, float(landing[1]))
+        self._set_col(col, float(landing[0]))
+        self._resolve_separation(qubit)

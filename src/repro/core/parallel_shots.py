@@ -1,0 +1,151 @@
+"""Logical-shot parallelization (Section II-E).
+
+Parallax replicates the compiled circuit across the atom grid: each replica
+has its own atoms but replicas share AOD rows and columns, so one movement
+schedule drives every copy simultaneously.  The number of replicas is
+limited by three resources:
+
+- grid area: replicas tile the grid by the circuit's site footprint;
+- AOD rows: replicas stacked vertically each need their own row band, so
+  ``vertical_tiles x rows_used_per_replica <= aod_rows`` (and likewise for
+  columns) -- replicas side by side *share* rows, which is what lets an AOD
+  row hold many atoms (11 for ADV on the 1,225-qubit machine in Fig. 11).
+
+Total execution time for S logical shots at parallelization factor P is
+``ceil(S / P)`` physical shots, each costing the circuit runtime plus a
+fixed per-physical-shot overhead (readout and array refresh).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.utils.validation import check_positive, check_non_negative
+
+__all__ = [
+    "replica_side_sites",
+    "parallelization_factor",
+    "total_execution_time_us",
+    "ShotPlan",
+    "plan_parallel_shots",
+]
+
+#: Default per-physical-shot overhead (fluorescence readout + array refresh).
+DEFAULT_SHOT_OVERHEAD_US = 200.0
+
+
+def replica_side_sites(num_qubits: int) -> int:
+    """Side length (in grid sites) of a dense square replica region.
+
+    Replicas are packed densely: a q-qubit circuit occupies a
+    ``ceil(sqrt(q))``-per-side square of sites.  This reproduces the paper's
+    Fig. 11 maxima exactly (ADV-9 -> 3x3 regions -> 11x11 = 121 copies on
+    the 35x35 machine; KNN-25 -> 49; QV-32 -> 25; SECA-11 -> 64;
+    SQRT-18 -> 49; WST-27 -> 25).
+    """
+    if num_qubits <= 0:
+        return 1
+    return math.isqrt(num_qubits - 1) + 1
+
+
+def parallelization_factor(
+    result: CompilationResult,
+    spec: HardwareSpec | None = None,
+    constrain_aod: bool = False,
+) -> int:
+    """Maximum replicas of the compiled circuit the machine can host.
+
+    Replicas tile the grid by a dense square footprint and share AOD rows,
+    columns, and the movement schedule (Section II-E).  Per the paper's ADV
+    example (121 copies on 20 AOD rows, 11 atoms per row), shared AOD lines
+    are not a binding resource by default; pass ``constrain_aod=True`` for
+    the stricter reading where vertically stacked replicas need disjoint
+    row bands.
+
+    Args:
+        result: a compiled circuit (provides qubit count and AOD usage).
+        spec: machine to replicate on (defaults to the result's spec, but
+            Fig. 11 parallelizes on the large Atom machine).
+        constrain_aod: also bound tiling by AOD rows/columns per band.
+    """
+    spec = spec or result.spec
+    side = replica_side_sites(result.num_qubits)
+    tiles_y = spec.grid_rows // side
+    tiles_x = spec.grid_cols // side
+    if constrain_aod:
+        aod_used = max(len(result.aod_qubits), 1)
+        tiles_y = min(tiles_y, spec.aod_rows // aod_used)
+        tiles_x = min(tiles_x, spec.aod_cols // aod_used)
+    atom_cap = spec.num_sites // max(result.num_qubits, 1)
+    return max(1, min(tiles_y * tiles_x, atom_cap))
+
+
+def total_execution_time_us(
+    result: CompilationResult,
+    num_shots: int = 8000,
+    factor: int | None = None,
+    spec: HardwareSpec | None = None,
+    shot_overhead_us: float = DEFAULT_SHOT_OVERHEAD_US,
+) -> float:
+    """Wall-clock time to collect ``num_shots`` logical shots.
+
+    Args:
+        result: compiled circuit.
+        num_shots: logical shots needed (the paper uses 8,000).
+        factor: parallelization factor; computed from the machine if None.
+        spec: machine to run on (defaults to the result's spec).
+        shot_overhead_us: fixed per-physical-shot cost.
+    """
+    check_positive("num_shots", num_shots)
+    check_non_negative("shot_overhead_us", shot_overhead_us)
+    if factor is None:
+        factor = parallelization_factor(result, spec)
+    check_positive("factor", factor)
+    physical_shots = math.ceil(num_shots / factor)
+    return physical_shots * (result.runtime_us + shot_overhead_us)
+
+
+@dataclass(frozen=True)
+class ShotPlan:
+    """A replica tiling plan with its execution-time estimate."""
+
+    factor: int
+    physical_shots: int
+    total_time_us: float
+
+    @property
+    def total_time_s(self) -> float:
+        return self.total_time_us / 1e6
+
+
+def plan_parallel_shots(
+    result: CompilationResult,
+    num_shots: int = 8000,
+    spec: HardwareSpec | None = None,
+    factors: list[int] | None = None,
+    shot_overhead_us: float = DEFAULT_SHOT_OVERHEAD_US,
+) -> list[ShotPlan]:
+    """Execution-time curve across parallelization factors (Fig. 11).
+
+    Args:
+        factors: candidate factors; defaults to all square counts up to the
+            machine maximum (1, 4, 9, ...), matching the paper's x-axes.
+
+    Returns:
+        One :class:`ShotPlan` per feasible factor, ascending.
+    """
+    spec = spec or result.spec
+    max_factor = parallelization_factor(result, spec)
+    if factors is None:
+        factors = sorted({k * k for k in range(1, int(math.isqrt(max_factor)) + 1)} | {1})
+    plans = []
+    for factor in factors:
+        if factor < 1 or factor > max_factor:
+            continue
+        physical = math.ceil(num_shots / factor)
+        total = physical * (result.runtime_us + shot_overhead_us)
+        plans.append(ShotPlan(factor=factor, physical_shots=physical, total_time_us=total))
+    return plans

@@ -1,0 +1,285 @@
+"""Algorithm 1: gate and movement scheduling.
+
+The scheduler repeatedly builds a parallel layer (one gate per qubit whose
+dependencies are satisfied), resolves out-of-range CZ gates with at most one
+AOD move-into-range per layer (ejecting the rest back to the unexecuted
+list), shuffles the layer to avoid starvation, serializes Rydberg-blockade
+conflicts by ejection, executes the layer, and returns the AOD atoms to
+their home positions.
+
+Trap-change fallbacks (both atoms static, or a failed recursive move) are
+accounted for in time and error but leave atom positions untouched, exactly
+like the paper's "switch in, move, switch back" sequence whose net
+geometric effect is nil.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG
+from repro.core.machine import MachineState
+from repro.core.movement import MovementEngine, MoveFailure
+from repro.core.result import CompiledLayer
+from repro.utils.rng import ensure_rng
+
+__all__ = ["GateScheduler", "SchedulerConfig", "SchedulerStats"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of Algorithm 1.
+
+    Attributes:
+        return_home: return AOD atoms to home positions after each layer
+            (the paper's default; Fig. 12 ablates it).
+        shuffle: shuffle the layer before the blockade pass (line 20).
+        seed: RNG seed for the shuffle.
+        recursion_limit: recursive-move cap (80 per the paper).
+        trap_switches_per_resolution: trap switches charged per trap-change
+            resolution (2: into the AOD and back to the SLM).
+        max_layers: safety valve against scheduling bugs; compilation fails
+            loudly rather than looping forever.
+    """
+
+    return_home: bool = True
+    shuffle: bool = True
+    seed: int = 11
+    recursion_limit: int = 80
+    trap_switches_per_resolution: int = 2
+    max_layers: int = 2_000_000
+
+
+@dataclass
+class SchedulerStats:
+    """Counters accumulated while scheduling."""
+
+    num_moves: int = 0
+    failed_moves: int = 0
+    trap_changes: int = 0
+    both_slm_trap_changes: int = 0
+    ejected_move_slot: int = 0
+    ejected_blockade: int = 0
+    total_time_us: float = 0.0
+    layers: list[CompiledLayer] = field(default_factory=list)
+
+
+class GateScheduler:
+    """Runs Algorithm 1 over a transpiled {u3, cz} circuit."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        state: MachineState,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        for gate in circuit.gates:
+            if gate.name not in ("u3", "cz", "ccz"):
+                raise ValueError(
+                    f"scheduler requires a transpiled {{u3, cz[, ccz]}} "
+                    f"circuit; found {gate.name!r}"
+                )
+        self.circuit = circuit
+        self.state = state
+        self.config = config or SchedulerConfig()
+        self.dag = DependencyDAG(circuit)
+        self.engine = MovementEngine(state, self.config.recursion_limit)
+        self.rng = ensure_rng(self.config.seed)
+        self.stats = SchedulerStats()
+
+    # -- layer construction (lines 6-11) ------------------------------------------
+
+    def _build_layer(self) -> list[int]:
+        claimed: set[int] = set()
+        layer: list[int] = []
+        for qubit in range(self.circuit.num_qubits):
+            if qubit in claimed:
+                continue
+            idx = self.dag.front_gate(qubit)
+            if idx is None:
+                continue
+            gate = self.dag.gates[idx]
+            if any(q in claimed for q in gate.qubits):
+                continue
+            if self.dag.is_ready(idx):
+                self.dag.pop(idx)
+                claimed.update(gate.qubits)
+                layer.append(idx)
+        return layer
+
+    def _gate_in_range(self, gate) -> bool:
+        """All operand pairs within the Rydberg interaction radius."""
+        qubits = gate.qubits
+        for i in range(len(qubits)):
+            for j in range(i + 1, len(qubits)):
+                if not self.state.in_interaction_range(qubits[i], qubits[j]):
+                    return False
+        return True
+
+    # -- movement resolution (lines 12-19) ------------------------------------------
+
+    def _resolve_movements(
+        self, layer: list[int]
+    ) -> tuple[list[int], set[int], int]:
+        """Handle out-of-range CZ gates; returns (kept, trap_resolved, trap_count)."""
+        kept: list[int] = []
+        trap_resolved: set[int] = set()
+        trap_count = 0
+        moved_this_layer = False
+        for idx in layer:
+            gate = self.dag.gates[idx]
+            if gate.num_qubits < 2:
+                kept.append(idx)
+                continue
+            if self._gate_in_range(gate):
+                kept.append(idx)
+                continue
+            mobile = next((q for q in gate.qubits if self.state.is_mobile(q)), None)
+            if mobile is not None and not moved_this_layer:
+                # Recursive obstruction-clearing can drag the target away
+                # (its row/column is pushed in tandem); re-aim from the new
+                # positions a few times before declaring the move failed.
+                success = False
+                try:
+                    for _ in range(3):
+                        others = [q for q in gate.qubits if q != mobile]
+                        target = max(others, key=lambda q: self.state.distance(mobile, q))
+                        self.engine.move_into_range(mobile, target)
+                        self.stats.num_moves += 1
+                        if self._gate_in_range(gate):
+                            success = True
+                            break
+                except MoveFailure:
+                    pass
+                if success:
+                    moved_this_layer = True
+                    kept.append(idx)
+                else:
+                    # Failed moves are resolved using trap changes (Sec. III).
+                    self.stats.failed_moves += 1
+                    trap_count += 1
+                    trap_resolved.add(idx)
+                    kept.append(idx)
+            elif moved_this_layer:
+                # Only one move-into-range per layer: eject back to G.
+                self.dag.push_back(idx)
+                self.stats.ejected_move_slot += 1
+            else:
+                # Neither atom is mobile: the rare both-SLM case (~1.3%).
+                self.stats.both_slm_trap_changes += 1
+                trap_count += 1
+                trap_resolved.add(idx)
+                kept.append(idx)
+        return kept, trap_resolved, trap_count
+
+    # -- blockade serialization (lines 20-22) -----------------------------------------
+
+    def _blockade_filter(
+        self, layer: list[int], trap_resolved: set[int]
+    ) -> list[int]:
+        """Eject CZ gates that interfere via the Rydberg blockade.
+
+        Also ejects CZ gates that recursive obstruction-clearing dragged out
+        of interaction range (unless they are trap-change resolved, which
+        brings the atoms together independently of current positions).
+        """
+        blockade = self.state.blockade_radius
+        kept: list[int] = []
+        kept_cz: list[int] = []
+        for idx in layer:
+            gate = self.dag.gates[idx]
+            if gate.num_qubits < 2:
+                kept.append(idx)
+                continue
+            if idx not in trap_resolved and not self._gate_in_range(gate):
+                self.dag.push_back(idx)
+                self.stats.ejected_blockade += 1
+                continue
+            conflict = False
+            for other_idx in kept_cz:
+                other = self.dag.gates[other_idx]
+                if any(
+                    self.state.distance(qa, qb) <= blockade
+                    for qa in gate.qubits
+                    for qb in other.qubits
+                ):
+                    conflict = True
+                    break
+            if conflict:
+                self.dag.push_back(idx)
+                self.stats.ejected_blockade += 1
+            else:
+                kept.append(idx)
+                kept_cz.append(idx)
+        return kept
+
+    # -- timing ------------------------------------------------------------------------
+
+    def _layer_time_us(
+        self,
+        gates: list[int],
+        move_out_um: float,
+        return_um: float,
+        trap_count: int,
+    ) -> float:
+        spec = self.state.spec
+        has_cz = any(self.dag.gates[i].num_qubits == 2 for i in gates)
+        has_ccz = any(self.dag.gates[i].num_qubits == 3 for i in gates)
+        has_u3 = any(self.dag.gates[i].num_qubits == 1 for i in gates)
+        # Raman (U3) and Rydberg (CZ/CCZ) pulses run simultaneously, so the
+        # gate phase lasts as long as the slowest gate type present.
+        gate_time = max(
+            spec.cz_time_us if has_cz else 0.0,
+            spec.ccz_time_us if has_ccz else 0.0,
+            spec.u3_time_us if has_u3 else 0.0,
+        )
+        move_time = spec.move_time_us(move_out_um) + spec.move_time_us(return_um)
+        trap_time = trap_count * (
+            self.config.trap_switches_per_resolution * spec.trap_switch_time_us
+            + 2.0 * spec.move_time_us(spec.grid_pitch_um)
+        )
+        return gate_time + move_time + trap_time
+
+    # -- main loop -----------------------------------------------------------------------
+
+    def run(self) -> SchedulerStats:
+        """Execute Algorithm 1 to completion and return the statistics."""
+        config = self.config
+        while not self.dag.done():
+            if len(self.stats.layers) >= config.max_layers:
+                raise RuntimeError(
+                    f"scheduler exceeded {config.max_layers} layers; "
+                    "this indicates a livelock bug"
+                )
+            self.engine.begin_layer()
+            layer = self._build_layer()
+            layer, trap_resolved, trap_count = self._resolve_movements(layer)
+            if config.shuffle:
+                self.rng.shuffle(layer)
+            layer = self._blockade_filter(layer, trap_resolved)
+            if not layer:
+                raise RuntimeError(
+                    "scheduler produced an empty layer; this indicates a "
+                    "livelock bug"
+                )
+            move_out = self.engine.max_object_distance()
+            line_moves = self.engine.layer_trace()
+            if config.return_home:
+                return_um = self.engine.return_home()
+            else:
+                return_um = 0.0
+            time_us = self._layer_time_us(layer, move_out, return_um, trap_count)
+            self.stats.trap_changes += trap_count
+            self.stats.total_time_us += time_us
+            self.stats.layers.append(
+                CompiledLayer(
+                    gates=tuple(self.dag.gates[i] for i in sorted(layer)),
+                    move_distance_um=move_out,
+                    return_distance_um=return_um,
+                    trap_changes=trap_count,
+                    time_us=time_us,
+                    line_moves=line_moves,
+                )
+            )
+        return self.stats

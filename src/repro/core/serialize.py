@@ -1,0 +1,122 @@
+"""JSON serialization of compilation results.
+
+A release-grade compiler needs an interchange format: downstream tools
+(plotters, dashboards, other languages) consume compiled schedules without
+importing this package.  The schema is versioned and round-trips exactly
+(tested), including per-layer gates, movement traces, and the hardware
+spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.circuit.gate import Gate
+from repro.core.result import CompilationResult, CompiledLayer
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["result_to_dict", "result_from_dict", "dumps_result", "loads_result"]
+
+SCHEMA_VERSION = 1
+
+
+def _gate_to_dict(gate: Gate) -> dict:
+    return {"name": gate.name, "qubits": list(gate.qubits), "params": list(gate.params)}
+
+
+def _gate_from_dict(data: dict) -> Gate:
+    return Gate(data["name"], tuple(data["qubits"]), tuple(data.get("params", ())))
+
+
+def _layer_to_dict(layer: CompiledLayer) -> dict:
+    return {
+        "gates": [_gate_to_dict(g) for g in layer.gates],
+        "move_distance_um": layer.move_distance_um,
+        "return_distance_um": layer.return_distance_um,
+        "trap_changes": layer.trap_changes,
+        "time_us": layer.time_us,
+        "line_moves": [list(m) for m in layer.line_moves],
+    }
+
+
+def _layer_from_dict(data: dict) -> CompiledLayer:
+    return CompiledLayer(
+        gates=tuple(_gate_from_dict(g) for g in data["gates"]),
+        move_distance_um=data["move_distance_um"],
+        return_distance_um=data["return_distance_um"],
+        trap_changes=data["trap_changes"],
+        time_us=data["time_us"],
+        line_moves=tuple(
+            (m[0], int(m[1]), float(m[2]), float(m[3]))
+            for m in data.get("line_moves", ())
+        ),
+    )
+
+
+def result_to_dict(result: CompilationResult) -> dict:
+    """Serialize a result (and its spec) to plain JSON-ready data."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "technique": result.technique,
+        "circuit_name": result.circuit_name,
+        "num_qubits": result.num_qubits,
+        "spec": dataclasses.asdict(result.spec),
+        "layers": [_layer_to_dict(l) for l in result.layers],
+        "num_cz": result.num_cz,
+        "num_u3": result.num_u3,
+        "num_ccz": result.num_ccz,
+        "num_swaps": result.num_swaps,
+        "trap_change_events": result.trap_change_events,
+        "both_slm_events": result.both_slm_events,
+        "failed_move_events": result.failed_move_events,
+        "num_moves": result.num_moves,
+        "runtime_us": result.runtime_us,
+        "interaction_radius_um": result.interaction_radius_um,
+        "blockade_radius_um": result.blockade_radius_um,
+        "aod_qubits": list(result.aod_qubits),
+        "footprint_sites": list(result.footprint_sites),
+    }
+
+
+def result_from_dict(data: dict) -> CompilationResult:
+    """Reconstruct a result from :func:`result_to_dict` output.
+
+    Raises:
+        ValueError: on unknown schema versions.
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    return CompilationResult(
+        technique=data["technique"],
+        circuit_name=data["circuit_name"],
+        num_qubits=data["num_qubits"],
+        spec=HardwareSpec(**data["spec"]),
+        layers=[_layer_from_dict(l) for l in data["layers"]],
+        num_cz=data["num_cz"],
+        num_u3=data["num_u3"],
+        num_ccz=data.get("num_ccz", 0),
+        num_swaps=data["num_swaps"],
+        trap_change_events=data["trap_change_events"],
+        both_slm_events=data["both_slm_events"],
+        failed_move_events=data["failed_move_events"],
+        num_moves=data["num_moves"],
+        runtime_us=data["runtime_us"],
+        interaction_radius_um=data["interaction_radius_um"],
+        blockade_radius_um=data["blockade_radius_um"],
+        aod_qubits=tuple(data["aod_qubits"]),
+        footprint_sites=tuple(data["footprint_sites"]),
+    )
+
+
+def dumps_result(result: CompilationResult, indent: int | None = None) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def loads_result(text: str) -> CompilationResult:
+    """Parse a result from a JSON string."""
+    return result_from_dict(json.loads(text))

@@ -1,0 +1,58 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Every runner returns an :class:`~repro.experiments.common.ExperimentTable`
+whose rows mirror what the paper reports:
+
+- :mod:`repro.experiments.fig9` -- CZ gate counts per technique (Fig. 9).
+- :mod:`repro.experiments.fig10` -- probability of success (Fig. 10).
+- :mod:`repro.experiments.table4` -- circuit runtimes on the 256- and
+  1,225-qubit machines (Table IV).
+- :mod:`repro.experiments.fig11` -- total execution time vs. shot
+  parallelization factor (Fig. 11).
+- :mod:`repro.experiments.fig12` -- home-return ablation (Fig. 12).
+- :mod:`repro.experiments.fig13` -- AOD row/column count ablation (Fig. 13).
+- :mod:`repro.experiments.table1` -- compiler functionality matrix (Table I).
+
+Run from the command line::
+
+    python -m repro.experiments fig9 --quick
+"""
+
+from repro.experiments.common import (
+    ExperimentTable,
+    ExperimentSettings,
+    QUICK_BENCHMARKS,
+    ALL_BENCHMARKS,
+    compile_one,
+    prepared_circuit,
+    prepared_layout,
+)
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.table4 import run_table4
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.table1 import run_table1
+from repro.experiments.summary import run_summary, headline_summaries
+from repro.experiments.scaling import run_scaling
+
+__all__ = [
+    "ExperimentTable",
+    "ExperimentSettings",
+    "QUICK_BENCHMARKS",
+    "ALL_BENCHMARKS",
+    "compile_one",
+    "prepared_circuit",
+    "prepared_layout",
+    "run_fig9",
+    "run_fig10",
+    "run_table4",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_table1",
+    "run_summary",
+    "headline_summaries",
+    "run_scaling",
+]

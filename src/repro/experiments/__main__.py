@@ -1,0 +1,87 @@
+"""Command-line entry point for the experiment runners.
+
+Examples::
+
+    python -m repro.experiments fig9
+    python -m repro.experiments fig10 --quick
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ALL_BENCHMARKS, QUICK_BENCHMARKS
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11, FIG11_BENCHMARKS
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.table1 import run_table1
+from repro.experiments.table4 import run_table4
+from repro.experiments.summary import headline_summaries
+
+_RUNNERS = {
+    "table1": lambda benches: run_table1(),
+    "fig9": lambda benches: run_fig9(benchmarks=benches),
+    "fig10": lambda benches: run_fig10(benchmarks=benches),
+    "table4": lambda benches: run_table4(benchmarks=benches),
+    "fig11": lambda benches: run_fig11(
+        benchmarks=tuple(b for b in benches if b in FIG11_BENCHMARKS) or FIG11_BENCHMARKS
+    ),
+    "fig12": lambda benches: run_fig12(benchmarks=benches),
+    "fig13": lambda benches: run_fig13(benchmarks=benches),
+    "headline": None,  # handled specially below
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*_RUNNERS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"restrict to the quick subset {QUICK_BENCHMARKS}",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default=None,
+        help="comma-separated benchmark acronyms (overrides --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmarks:
+        benches = tuple(b.strip().upper() for b in args.benchmarks.split(","))
+    elif args.quick:
+        benches = QUICK_BENCHMARKS
+    else:
+        benches = ALL_BENCHMARKS
+
+    names = list(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name == "headline":
+            start = time.perf_counter()
+            for label, summary in headline_summaries(benches).items():
+                print(f"{label}: {summary.describe()}")
+            print(f"[headline completed in {time.perf_counter() - start:.1f}s]\n")
+            continue
+        start = time.perf_counter()
+        table = _RUNNERS[name](benches)
+        elapsed = time.perf_counter() - start
+        print(table.format())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

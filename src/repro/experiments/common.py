@@ -1,0 +1,155 @@
+"""Shared experiment plumbing: settings, caching, and table rendering.
+
+The paper transpiles each QASM benchmark once with Qiskit and feeds the same
+optimized circuit to every technique; likewise here, every technique
+consumes the identical transpiled circuit, and Parallax/Graphine share one
+Graphine layout (the paper's "load pre-obtained Graphine results" option).
+Compilation results are memoized per (benchmark, machine, technique,
+options) so multi-figure runs never recompile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.baselines.eldi import EldiCompiler, EldiConfig
+from repro.baselines.graphine_compiler import GraphineCompiler, GraphineConfig
+from repro.benchcircuits import get_benchmark
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.result import CompilationResult
+from repro.core.scheduler import SchedulerConfig
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout, generate_layout
+from repro.layout.placement import PlacementConfig
+from repro.transpile.pipeline import transpile
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "QUICK_BENCHMARKS",
+    "TECHNIQUES",
+    "ExperimentSettings",
+    "ExperimentTable",
+    "prepared_circuit",
+    "prepared_layout",
+    "compile_one",
+    "clear_caches",
+]
+
+#: Evaluation order used by all the paper's figures.
+ALL_BENCHMARKS: tuple[str, ...] = (
+    "ADD", "ADV", "GCM", "HSB", "HLF", "KNN", "MLT", "QAOA", "QEC",
+    "QFT", "QGAN", "QV", "SAT", "SECA", "SQRT", "TFIM", "VQE", "WST",
+)
+
+#: Small, fast subset for smoke runs and pytest-benchmark.
+QUICK_BENCHMARKS: tuple[str, ...] = ("ADD", "ADV", "HLF", "QAOA", "QEC", "WST")
+
+TECHNIQUES: tuple[str, ...] = ("graphine", "eldi", "parallax")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Cross-experiment knobs."""
+
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS
+    placement_method: str = "spring"
+    placement_seed: int = 7
+    scheduler_seed: int = 11
+
+    def placement(self) -> PlacementConfig:
+        return PlacementConfig(method=self.placement_method, seed=self.placement_seed)
+
+
+@dataclass(frozen=True)
+class ExperimentTable:
+    """A rendered experiment: headers + rows + provenance."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def format(self) -> str:
+        """Monospace rendering of the table."""
+        return format_table(list(self.headers), [list(r) for r in self.rows], self.title)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+
+# -- caches ---------------------------------------------------------------------
+
+_circuit_cache: dict[str, QuantumCircuit] = {}
+_layout_cache: dict[tuple[str, str, int], GraphineLayout] = {}
+_result_cache: dict[tuple, CompilationResult] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoized circuits, layouts, and compilation results."""
+    _circuit_cache.clear()
+    _layout_cache.clear()
+    _result_cache.clear()
+
+
+def prepared_circuit(benchmark: str) -> QuantumCircuit:
+    """The transpiled {u3, cz} circuit for a Table III benchmark (cached)."""
+    key = benchmark.upper()
+    if key not in _circuit_cache:
+        _circuit_cache[key] = transpile(get_benchmark(key))
+    return _circuit_cache[key]
+
+
+def prepared_layout(benchmark: str, settings: ExperimentSettings) -> GraphineLayout:
+    """The Graphine layout for a benchmark (cached; shared by techniques)."""
+    key = (benchmark.upper(), settings.placement_method, settings.placement_seed)
+    if key not in _layout_cache:
+        _layout_cache[key] = generate_layout(
+            prepared_circuit(benchmark), settings.placement()
+        )
+    return _layout_cache[key]
+
+
+def compile_one(
+    technique: str,
+    benchmark: str,
+    spec: HardwareSpec,
+    settings: ExperimentSettings | None = None,
+    return_home: bool = True,
+) -> CompilationResult:
+    """Compile one benchmark with one technique on one machine (memoized)."""
+    settings = settings or ExperimentSettings()
+    cache_key = (
+        technique, benchmark.upper(), spec.name, spec.aod_rows, spec.aod_cols,
+        settings.placement_method, settings.placement_seed,
+        settings.scheduler_seed, return_home,
+    )
+    if cache_key in _result_cache:
+        return _result_cache[cache_key]
+
+    circuit = prepared_circuit(benchmark)
+    if technique == "parallax":
+        config = ParallaxConfig(
+            placement=settings.placement(),
+            scheduler=SchedulerConfig(
+                return_home=return_home, seed=settings.scheduler_seed
+            ),
+            transpile_input=False,
+        )
+        result = ParallaxCompiler(spec, config).compile(
+            circuit, layout=prepared_layout(benchmark, settings)
+        )
+    elif technique == "graphine":
+        config = GraphineConfig(placement=settings.placement(), transpile_input=False)
+        result = GraphineCompiler(spec, config).compile(
+            circuit, layout=prepared_layout(benchmark, settings)
+        )
+    elif technique == "eldi":
+        result = EldiCompiler(spec, EldiConfig(transpile_input=False)).compile(circuit)
+    else:
+        raise ValueError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")
+    _result_cache[cache_key] = result
+    return result

@@ -1,0 +1,53 @@
+"""Fig. 10: probability of success per technique on the 256-qubit machine.
+
+Success is the estimated-success-probability product (gate errors,
+movement/trap losses, decoherence; see :mod:`repro.noise`).  The paper plots
+each technique as a percentage of the per-benchmark best case with raw
+values annotated.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+from repro.noise.fidelity import NoiseModelConfig, success_probability
+
+__all__ = ["run_fig10"]
+
+
+def run_fig10(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+    noise: NoiseModelConfig | None = None,
+) -> ExperimentTable:
+    """Success probabilities for Graphine / ELDI / Parallax per benchmark."""
+    spec = spec or HardwareSpec.quera_aquila()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    noise = noise or NoiseModelConfig()
+    rows = []
+    for bench in benchmarks:
+        probs = {
+            tech: success_probability(compile_one(tech, bench, spec, settings), noise)
+            for tech in ("graphine", "eldi", "parallax")
+        }
+        best = max(probs.values())
+        rows.append(
+            (
+                bench,
+                probs["graphine"],
+                probs["eldi"],
+                probs["parallax"],
+                round(100.0 * probs["parallax"] / best, 1) if best > 0 else 0.0,
+            )
+        )
+    return ExperimentTable(
+        title="Fig. 10: probability of success (QuEra 256-qubit)",
+        headers=("benchmark", "graphine", "eldi", "parallax", "parallax_pct_of_best"),
+        rows=tuple(rows),
+    )

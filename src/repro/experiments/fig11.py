@@ -1,0 +1,58 @@
+"""Fig. 11: total execution time vs. logical-shot parallelization factor.
+
+The paper parallelizes ADV, KNN, QV, SECA, SQRT and WST on the 1,225-qubit
+Atom machine: 8,000 logical shots are spread over replicas of the circuit
+tiled across the grid (replicas share AOD rows/columns), so total execution
+time falls roughly as 1/P.  ELDI and Graphine are parallelized the same way
+for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.parallel_shots import (
+    parallelization_factor,
+    total_execution_time_us,
+)
+from repro.experiments.common import ExperimentSettings, ExperimentTable, compile_one
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_fig11", "FIG11_BENCHMARKS"]
+
+FIG11_BENCHMARKS: tuple[str, ...] = ("ADV", "KNN", "QV", "SECA", "SQRT", "WST")
+
+
+def run_fig11(
+    benchmarks: tuple[str, ...] = FIG11_BENCHMARKS,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+    num_shots: int = 8000,
+) -> ExperimentTable:
+    """Execution-time series per technique across parallelization factors."""
+    spec = spec or HardwareSpec.atom_computing()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    rows = []
+    for bench in benchmarks:
+        results = {
+            tech: compile_one(tech, bench, spec, settings)
+            for tech in ("graphine", "eldi", "parallax")
+        }
+        max_factor = min(
+            parallelization_factor(results[tech], spec) for tech in results
+        )
+        factors = sorted({k * k for k in range(1, int(max_factor**0.5) + 1)} | {1})
+        for factor in factors:
+            row: list = [bench, factor]
+            for tech in ("graphine", "eldi", "parallax"):
+                total_s = (
+                    total_execution_time_us(
+                        results[tech], num_shots=num_shots, factor=factor, spec=spec
+                    )
+                    / 1e6
+                )
+                row.append(round(total_s, 4))
+            rows.append(tuple(row))
+    return ExperimentTable(
+        title=f"Fig. 11: total execution time (s) for {num_shots} shots (Atom 1,225-qubit)",
+        headers=("benchmark", "factor", "graphine_s", "eldi_s", "parallax_s"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,47 @@
+"""Fig. 12: ablation -- AOD atoms returning home vs. staying put.
+
+Returning the AOD atoms to their Graphine-optimized home positions after
+each layer keeps future moves short; without it, atom positions drift and
+runtimes grow (40% on average in the paper).  CZ counts are unaffected, so
+success probability barely changes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_fig12"]
+
+
+def run_fig12(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+) -> ExperimentTable:
+    """Parallax runtime with and without the home-return step."""
+    spec = spec or HardwareSpec.atom_computing()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    rows = []
+    for bench in benchmarks:
+        with_home = compile_one("parallax", bench, spec, settings, return_home=True)
+        without_home = compile_one("parallax", bench, spec, settings, return_home=False)
+        worst = max(with_home.runtime_us, without_home.runtime_us)
+        rows.append(
+            (
+                bench,
+                round(without_home.runtime_us, 1),
+                round(with_home.runtime_us, 1),
+                round(100.0 * with_home.runtime_us / worst, 1) if worst else 100.0,
+            )
+        )
+    return ExperimentTable(
+        title="Fig. 12: runtime (us) without vs. with AOD home return (Atom 1,225-qubit)",
+        headers=("benchmark", "no_home_us", "home_us", "home_pct_of_worst"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,44 @@
+"""Fig. 13: ablation -- AOD row/column count in {1, 5, 10, 20, 40}.
+
+More AOD lines means more mobile atoms (fewer trap changes) but also more
+obstruction among mobile atoms; the paper finds 20 rows/columns the sweet
+spot on average.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_fig13", "AOD_COUNTS"]
+
+AOD_COUNTS: tuple[int, ...] = (1, 5, 10, 20, 40)
+
+
+def run_fig13(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    settings: ExperimentSettings | None = None,
+    aod_counts: tuple[int, ...] = AOD_COUNTS,
+    base_spec: HardwareSpec | None = None,
+) -> ExperimentTable:
+    """Parallax runtime per AOD row/column count."""
+    base_spec = base_spec or HardwareSpec.atom_computing()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    rows = []
+    for bench in benchmarks:
+        runtimes = []
+        for count in aod_counts:
+            spec = base_spec.with_aod_count(count)
+            result = compile_one("parallax", bench, spec, settings)
+            runtimes.append(round(result.runtime_us, 1))
+        rows.append((bench, *runtimes))
+    return ExperimentTable(
+        title="Fig. 13: Parallax runtime (us) by AOD row/column count (Atom 1,225-qubit)",
+        headers=("benchmark", *(f"aod_{c}" for c in aod_counts)),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,49 @@
+"""Fig. 9: CZ gate counts per technique on the 256-qubit QuEra machine.
+
+Parallax's zero-SWAP design means its CZ count equals the transpiled base
+count; ELDI and Graphine add three CZs per routed SWAP.  The paper reports
+raw counts plus each technique's percentage of the per-benchmark worst case.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_fig9"]
+
+
+def run_fig9(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+) -> ExperimentTable:
+    """CZ counts for Graphine / ELDI / Parallax per benchmark."""
+    spec = spec or HardwareSpec.quera_aquila()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    rows = []
+    for bench in benchmarks:
+        counts = {
+            tech: compile_one(tech, bench, spec, settings).num_cz
+            for tech in ("graphine", "eldi", "parallax")
+        }
+        worst = max(counts.values())
+        rows.append(
+            (
+                bench,
+                counts["graphine"],
+                counts["eldi"],
+                counts["parallax"],
+                round(100.0 * counts["parallax"] / worst, 1) if worst else 100.0,
+            )
+        )
+    return ExperimentTable(
+        title="Fig. 9: CZ gate counts (QuEra 256-qubit)",
+        headers=("benchmark", "graphine_cz", "eldi_cz", "parallax_cz", "parallax_pct_of_worst"),
+        rows=tuple(rows),
+    )

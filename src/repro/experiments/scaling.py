@@ -1,0 +1,70 @@
+"""Compile-time scaling experiment (the paper's Section III complexity note).
+
+The paper derives Parallax's worst-case time complexity O(q^5 + g*q^2 +
+a^2*q^2 + g*a^2*s + g*a^3) -- polynomial, like Graphine -- and reports that
+ELDI in practice was slower (it timed out on VQE).  This experiment
+measures wall-clock compile time against qubit count on a scalable workload
+family (TFIM chains, fixed Trotter depth) and checks the growth is
+polynomial-ish (doubling q multiplies time by a bounded factor), the
+practical content of the paper's scalability claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchcircuits.simulation import tfim
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.experiments.common import ExperimentSettings, ExperimentTable
+from repro.hardware.spec import HardwareSpec
+from repro.layout.placement import PlacementConfig
+from repro.transpile.pipeline import transpile
+
+__all__ = ["run_scaling", "DEFAULT_QUBIT_COUNTS"]
+
+DEFAULT_QUBIT_COUNTS: tuple[int, ...] = (8, 16, 32, 64, 128)
+
+
+def run_scaling(
+    qubit_counts: tuple[int, ...] = DEFAULT_QUBIT_COUNTS,
+    steps: int = 4,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+) -> ExperimentTable:
+    """Measure Parallax compile time vs. qubit count on TFIM chains.
+
+    Args:
+        qubit_counts: chain lengths to sweep (each must fit the machine).
+        steps: Trotter steps (fixed, so gate count grows linearly with q).
+        spec: target machine (defaults to the 1,225-qubit Atom system so
+            the largest chains fit comfortably).
+    """
+    spec = spec or HardwareSpec.atom_computing()
+    settings = settings or ExperimentSettings()
+    config = ParallaxConfig(
+        placement=settings.placement(),
+        transpile_input=False,
+    )
+    rows = []
+    for q in qubit_counts:
+        circuit = tfim(num_qubits=q, steps=steps)
+        start = time.perf_counter()
+        basis = transpile(circuit)
+        transpile_s = time.perf_counter() - start
+        start = time.perf_counter()
+        result = ParallaxCompiler(spec, config).compile(basis)
+        compile_s = time.perf_counter() - start
+        rows.append(
+            (
+                q,
+                basis.count_ops().get("cz", 0),
+                round(transpile_s, 3),
+                round(compile_s, 3),
+                result.num_layers,
+            )
+        )
+    return ExperimentTable(
+        title=f"Compile-time scaling on TFIM chains ({steps} Trotter steps, {spec.name})",
+        headers=("qubits", "cz_gates", "transpile_s", "compile_s", "layers"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,73 @@
+"""Full-report generation: every table/figure plus headline aggregates.
+
+``run_summary`` executes all experiment runners and assembles a markdown
+document (the source of EXPERIMENTS.md) whose numbers always come from a
+live run of this codebase.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import ComparisonSummary, compare_techniques
+from repro.analysis.report import render_markdown_report
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11, FIG11_BENCHMARKS
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.table1 import run_table1
+from repro.experiments.table4 import run_table4
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_summary", "headline_summaries"]
+
+
+def headline_summaries(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    spec: HardwareSpec | None = None,
+    settings: ExperimentSettings | None = None,
+) -> dict[str, ComparisonSummary]:
+    """The paper's headline aggregates (abstract: -25% CZ, +28% success vs
+    ELDI; Fig. 9/10 text: -39% CZ, +46% success vs Graphine)."""
+    spec = spec or HardwareSpec.quera_aquila()
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    results = {
+        bench: {
+            tech: compile_one(tech, bench, spec, settings)
+            for tech in ("parallax", "eldi", "graphine")
+        }
+        for bench in benchmarks
+    }
+    return {
+        "Parallax vs ELDI": compare_techniques(results, "eldi"),
+        "Parallax vs Graphine": compare_techniques(results, "graphine"),
+    }
+
+
+def run_summary(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    notes: tuple[str, ...] = (),
+) -> str:
+    """Run every experiment and render the combined markdown report."""
+    tables: list[ExperimentTable] = [
+        run_table1(),
+        run_fig9(benchmarks=benchmarks),
+        run_fig10(benchmarks=benchmarks),
+        run_table4(benchmarks=benchmarks),
+        run_fig11(benchmarks=tuple(b for b in benchmarks if b in FIG11_BENCHMARKS)
+                  or FIG11_BENCHMARKS),
+        run_fig12(benchmarks=benchmarks),
+        run_fig13(benchmarks=benchmarks),
+    ]
+    summaries = headline_summaries(benchmarks)
+    return render_markdown_report(
+        "Measured results (this reproduction)",
+        tables,
+        summaries=summaries,
+        notes=notes,
+    )

@@ -1,0 +1,45 @@
+"""Table IV: circuit runtime (us) on the 256- and 1,225-qubit machines.
+
+Parallax can be slower on the cramped 256-site machine (trap changes) but
+closes the gap -- and often wins -- on the 1,225-site machine where the
+initial topology has room to be near-optimal.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    ExperimentSettings,
+    ExperimentTable,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["run_table4"]
+
+
+def run_table4(
+    benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+    settings: ExperimentSettings | None = None,
+) -> ExperimentTable:
+    """Runtimes per technique on both evaluation machines."""
+    settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    quera = HardwareSpec.quera_aquila()
+    atom = HardwareSpec.atom_computing()
+    rows = []
+    for bench in benchmarks:
+        row: list = [bench]
+        for spec in (quera, atom):
+            for tech in ("eldi", "graphine", "parallax"):
+                result = compile_one(tech, bench, spec, settings)
+                row.append(round(result.runtime_us, 1))
+        rows.append(tuple(row))
+    return ExperimentTable(
+        title="Table IV: circuit runtime in us (256-qubit | 1,225-qubit)",
+        headers=(
+            "benchmark",
+            "eldi_256", "graphine_256", "parallax_256",
+            "eldi_1225", "graphine_1225", "parallax_1225",
+        ),
+        rows=tuple(rows),
+    )

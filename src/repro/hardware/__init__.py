@@ -1,0 +1,45 @@
+"""Neutral-atom hardware model.
+
+Encodes the machines of the paper's evaluation: QuEra Aquila-like 256-qubit
+(16x16) and Atom Computing-like 1,225-qubit (35x35) systems, with the
+hardware parameters of Table II, plus the geometric objects the compiler
+manipulates: static SLM traps, the mobile AOD (rows/columns with ordering
+and tandem-motion constraints), atoms, and the discretized grid.
+"""
+
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.atom import Atom, TrapType
+from repro.hardware.slm import SLM
+from repro.hardware.aod import AOD, AODOrderError
+from repro.hardware.grid import discretize_positions, grid_site_coords
+from repro.hardware.topology import (
+    unit_disk_graph,
+    is_connected_at_radius,
+    blockade_conflict_graph,
+    max_parallel_two_qubit_gates,
+)
+from repro.hardware.geometry import (
+    pairwise_distances,
+    within_radius_pairs,
+    euclidean,
+    min_pairwise_separation,
+)
+
+__all__ = [
+    "HardwareSpec",
+    "Atom",
+    "TrapType",
+    "SLM",
+    "AOD",
+    "AODOrderError",
+    "discretize_positions",
+    "grid_site_coords",
+    "pairwise_distances",
+    "within_radius_pairs",
+    "euclidean",
+    "min_pairwise_separation",
+    "unit_disk_graph",
+    "is_connected_at_radius",
+    "blockade_conflict_graph",
+    "max_parallel_two_qubit_gates",
+]

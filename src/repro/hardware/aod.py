@@ -1,0 +1,203 @@
+"""The acousto-optic deflector (AOD): mobile rows and columns of traps.
+
+The AOD is a crossed grid of ``aod_rows`` horizontal lines (each at some
+y-coordinate) and ``aod_cols`` vertical lines (each at some x-coordinate).
+An AOD-trapped atom sits at the intersection of one row and one column.
+
+Hardware constraints modelled here, from the paper's Section I/II:
+
+1. Rows (and columns) may never cross: the relative order of row
+   y-coordinates and of column x-coordinates is invariant, with a minimum
+   line gap so trap frequencies do not interfere.
+2. All atoms on a row/column move in tandem: moving a row's y moves every
+   atom on that row by the same delta (likewise for columns).
+
+Parallax's design places exactly one atom per row/column pair in a single
+logical shot; replicated shots (Section II-E) share rows/columns, which the
+tandem rule makes free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["AOD", "AODOrderError"]
+
+
+class AODOrderError(ValueError):
+    """A move would cross AOD lines or violate the minimum line gap."""
+
+
+class AOD:
+    """Mobile trap grid with crossing and tandem constraints.
+
+    Row/column coordinates start unassigned (NaN); ``assign_atom`` binds a
+    qubit to a (row, col) pair and fixes the line coordinates.  Line indices
+    are ordered: row 0 must stay below row 1, etc.
+    """
+
+    def __init__(self, spec: HardwareSpec, line_gap_um: float = 1.0) -> None:
+        self.spec = spec
+        self.line_gap = float(line_gap_um)
+        self.row_y = np.full(spec.aod_rows, np.nan)
+        self.col_x = np.full(spec.aod_cols, np.nan)
+        self.row_atoms: list[set[int]] = [set() for _ in range(spec.aod_rows)]
+        self.col_atoms: list[set[int]] = [set() for _ in range(spec.aod_cols)]
+        self._atom_lines: dict[int, tuple[int, int]] = {}  # qubit -> (row, col)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_y)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.col_x)
+
+    def atom_lines(self, qubit: int) -> tuple[int, int]:
+        """(row index, col index) trapping ``qubit``."""
+        if qubit not in self._atom_lines:
+            raise KeyError(f"qubit {qubit} is not in the AOD")
+        return self._atom_lines[qubit]
+
+    def holds(self, qubit: int) -> bool:
+        """True if the AOD traps ``qubit``."""
+        return qubit in self._atom_lines
+
+    def atom_position(self, qubit: int) -> np.ndarray:
+        """Intersection coordinates of the qubit's row and column."""
+        row, col = self.atom_lines(qubit)
+        return np.array([self.col_x[col], self.row_y[row]], dtype=float)
+
+    def atoms(self) -> list[int]:
+        """All AOD-trapped qubits."""
+        return list(self._atom_lines)
+
+    # -- ordering validation -----------------------------------------------------
+
+    def _check_row_order(self, index: int, new_y: float) -> None:
+        below = self.row_y[:index]
+        above = self.row_y[index + 1:]
+        below_max = np.nanmax(below) if np.any(~np.isnan(below)) else -np.inf
+        above_min = np.nanmin(above) if np.any(~np.isnan(above)) else np.inf
+        if not (below_max + self.line_gap <= new_y <= above_min - self.line_gap):
+            raise AODOrderError(
+                f"row {index} -> y={new_y:.3f} violates ordering "
+                f"(must lie in [{below_max + self.line_gap:.3f}, "
+                f"{above_min - self.line_gap:.3f}])"
+            )
+
+    def _check_col_order(self, index: int, new_x: float) -> None:
+        left = self.col_x[:index]
+        right = self.col_x[index + 1:]
+        left_max = np.nanmax(left) if np.any(~np.isnan(left)) else -np.inf
+        right_min = np.nanmin(right) if np.any(~np.isnan(right)) else np.inf
+        if not (left_max + self.line_gap <= new_x <= right_min - self.line_gap):
+            raise AODOrderError(
+                f"col {index} -> x={new_x:.3f} violates ordering "
+                f"(must lie in [{left_max + self.line_gap:.3f}, "
+                f"{right_min - self.line_gap:.3f}])"
+            )
+
+    def row_move_bounds(self, index: int) -> tuple[float, float]:
+        """Allowed y-interval for row ``index`` given its neighbors."""
+        below = self.row_y[:index]
+        above = self.row_y[index + 1:]
+        lo = (np.nanmax(below) + self.line_gap) if np.any(~np.isnan(below)) else -np.inf
+        hi = (np.nanmin(above) - self.line_gap) if np.any(~np.isnan(above)) else np.inf
+        return (float(lo), float(hi))
+
+    def col_move_bounds(self, index: int) -> tuple[float, float]:
+        """Allowed x-interval for column ``index`` given its neighbors."""
+        left = self.col_x[:index]
+        right = self.col_x[index + 1:]
+        lo = (np.nanmax(left) + self.line_gap) if np.any(~np.isnan(left)) else -np.inf
+        hi = (np.nanmin(right) - self.line_gap) if np.any(~np.isnan(right)) else np.inf
+        return (float(lo), float(hi))
+
+    # -- mutation ---------------------------------------------------------------
+
+    def assign_atom(self, qubit: int, row: int, col: int, x: float, y: float) -> None:
+        """Bind ``qubit`` to row/col lines at coordinates (x, y).
+
+        If the lines already have coordinates they must match (tandem atoms
+        share a line); otherwise the coordinates are set, validated against
+        the ordering constraint.
+        """
+        if qubit in self._atom_lines:
+            raise ValueError(f"qubit {qubit} already assigned")
+        if not (0 <= row < self.num_rows and 0 <= col < self.num_cols):
+            raise ValueError(f"AOD line ({row}, {col}) out of range")
+        if np.isnan(self.row_y[row]):
+            self._check_row_order(row, y)
+            self.row_y[row] = y
+        elif abs(self.row_y[row] - y) > 1e-9:
+            raise ValueError(
+                f"row {row} already at y={self.row_y[row]:.3f}, cannot hold "
+                f"an atom at y={y:.3f}"
+            )
+        if np.isnan(self.col_x[col]):
+            try:
+                self._check_col_order(col, x)
+            except AODOrderError:
+                if len(self.row_atoms[row]) == 0:
+                    self.row_y[row] = np.nan  # roll back the row assignment
+                raise
+            self.col_x[col] = x
+        elif abs(self.col_x[col] - x) > 1e-9:
+            raise ValueError(
+                f"col {col} already at x={self.col_x[col]:.3f}, cannot hold "
+                f"an atom at x={x:.3f}"
+            )
+        self.row_atoms[row].add(qubit)
+        self.col_atoms[col].add(qubit)
+        self._atom_lines[qubit] = (row, col)
+
+    def release_atom(self, qubit: int) -> None:
+        """Remove ``qubit`` from the AOD (trap change back to the SLM)."""
+        row, col = self.atom_lines(qubit)
+        self.row_atoms[row].discard(qubit)
+        self.col_atoms[col].discard(qubit)
+        del self._atom_lines[qubit]
+        if not self.row_atoms[row]:
+            self.row_y[row] = np.nan
+        if not self.col_atoms[col]:
+            self.col_x[col] = np.nan
+
+    def move_row(self, index: int, new_y: float) -> tuple[float, list[int]]:
+        """Move row ``index`` to ``new_y``; all its atoms move in tandem.
+
+        Returns:
+            (delta_y, affected_qubits).
+
+        Raises:
+            AODOrderError: if the move crosses another row or closes the gap.
+        """
+        if np.isnan(self.row_y[index]):
+            raise ValueError(f"row {index} has no coordinate yet")
+        self._check_row_order(index, new_y)
+        delta = float(new_y - self.row_y[index])
+        self.row_y[index] = new_y
+        return delta, sorted(self.row_atoms[index])
+
+    def move_col(self, index: int, new_x: float) -> tuple[float, list[int]]:
+        """Move column ``index`` to ``new_x``; all its atoms move in tandem."""
+        if np.isnan(self.col_x[index]):
+            raise ValueError(f"col {index} has no coordinate yet")
+        self._check_col_order(index, new_x)
+        delta = float(new_x - self.col_x[index])
+        self.col_x[index] = new_x
+        return delta, sorted(self.col_atoms[index])
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of (row_y, col_x) for save/restore around layer execution."""
+        return self.row_y.copy(), self.col_x.copy()
+
+    def restore(self, snapshot: tuple[np.ndarray, np.ndarray]) -> None:
+        """Restore line coordinates saved by :meth:`snapshot`."""
+        row_y, col_x = snapshot
+        self.row_y = row_y.copy()
+        self.col_x = col_x.copy()

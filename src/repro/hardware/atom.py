@@ -1,0 +1,75 @@
+"""Atom records.
+
+An :class:`Atom` ties a logical qubit index to a physical position and the
+device currently trapping it (static SLM or mobile AOD).  AOD atoms also
+carry their "home" position -- the optimized location Graphine chose --
+which the scheduler returns them to after each layer (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Atom", "TrapType"]
+
+
+class TrapType(enum.Enum):
+    """Which optical device holds the atom."""
+
+    SLM = "slm"
+    AOD = "aod"
+
+
+@dataclass
+class Atom:
+    """One atom/qubit in the machine.
+
+    Attributes:
+        qubit: logical qubit index this atom realizes.
+        position: current (x, y) in micrometers.
+        trap: SLM (static) or AOD (mobile).
+        home: the optimized initial position; AOD atoms are reset here after
+            each layer when home-return is enabled.
+        aod_row / aod_col: indices of the AOD row/column trapping this atom
+            (None for SLM atoms).
+    """
+
+    qubit: int
+    position: np.ndarray
+    trap: TrapType = TrapType.SLM
+    home: np.ndarray = field(default=None)  # type: ignore[assignment]
+    aod_row: int | None = None
+    aod_col: int | None = None
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).copy()
+        if self.position.shape != (2,):
+            raise ValueError(f"position must be a 2-vector, got {self.position.shape}")
+        if self.home is None:
+            self.home = self.position.copy()
+        else:
+            self.home = np.asarray(self.home, dtype=float).copy()
+
+    @property
+    def is_mobile(self) -> bool:
+        """True when trapped by the AOD."""
+        return self.trap is TrapType.AOD
+
+    def distance_to(self, other: "Atom") -> float:
+        """Euclidean distance to another atom."""
+        d = self.position - other.position
+        return float(np.hypot(d[0], d[1]))
+
+    def displace(self, delta: np.ndarray) -> None:
+        """Translate the atom (used only by the AOD movement engine)."""
+        self.position = self.position + np.asarray(delta, dtype=float)
+
+    def return_home(self) -> float:
+        """Snap back to the home position; returns the distance travelled."""
+        d = self.home - self.position
+        dist = float(np.hypot(d[0], d[1]))
+        self.position = self.home.copy()
+        return dist

@@ -1,0 +1,73 @@
+"""Vectorized geometry kernels.
+
+The scheduler's hot paths (radius queries, blockade checks, separation
+validation) operate on a single contiguous ``(n, 2)`` float64 position
+array, per the HPC guide's advice to vectorize inner loops and avoid
+per-object attribute churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "euclidean",
+    "pairwise_distances",
+    "within_radius_pairs",
+    "min_pairwise_separation",
+    "neighbors_within",
+]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Distance between two 2-vectors."""
+    d = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return float(np.hypot(d[0], d[1]))
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Full (n, n) Euclidean distance matrix for an (n, 2) position array."""
+    pos = np.asarray(positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {pos.shape}")
+    diff = pos[:, None, :] - pos[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def within_radius_pairs(positions: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """All unordered index pairs at distance <= radius (i < j)."""
+    dist = pairwise_distances(positions)
+    n = dist.shape[0]
+    iu, ju = np.triu_indices(n, k=1)
+    mask = dist[iu, ju] <= radius
+    return list(zip(iu[mask].tolist(), ju[mask].tolist()))
+
+
+def min_pairwise_separation(positions: np.ndarray) -> float:
+    """Smallest distance between any two distinct points (inf if < 2 points)."""
+    pos = np.asarray(positions, dtype=float)
+    n = pos.shape[0]
+    if n < 2:
+        return float("inf")
+    dist = pairwise_distances(pos)
+    iu, ju = np.triu_indices(n, k=1)
+    return float(dist[iu, ju].min())
+
+
+def neighbors_within(
+    positions: np.ndarray, point: np.ndarray, radius: float, exclude: int | None = None
+) -> np.ndarray:
+    """Indices of positions within ``radius`` of ``point``.
+
+    Args:
+        positions: (n, 2) array.
+        point: 2-vector query location.
+        radius: inclusion radius (inclusive).
+        exclude: optional index to omit (the querying atom itself).
+    """
+    pos = np.asarray(positions, dtype=float)
+    d = np.hypot(pos[:, 0] - point[0], pos[:, 1] - point[1])
+    mask = d <= radius
+    if exclude is not None and 0 <= exclude < len(mask):
+        mask[exclude] = False
+    return np.nonzero(mask)[0]

@@ -1,0 +1,127 @@
+"""Discretization of continuous layouts onto the hardware grid (Step 2).
+
+Graphine returns qubit coordinates in the unit square; the hardware offers a
+regular grid of SLM sites with pitch ``2 x min_separation + padding``.  This
+module snaps each qubit to the nearest free site, resolving collisions by
+spiralling outward over grid rings, which is exactly the paper's "place
+atoms wherever there is free space when the ideal site is taken" behaviour
+(whose cost shows up for TFIM-128 on the 256-site machine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["discretize_positions", "grid_site_coords", "unit_to_physical_scale"]
+
+
+def grid_site_coords(spec: HardwareSpec) -> np.ndarray:
+    """(rows*cols, 2) array of all site positions in micrometers."""
+    pitch = spec.grid_pitch_um
+    cols = np.arange(spec.grid_cols) * pitch
+    rows = np.arange(spec.grid_rows) * pitch
+    xx, yy = np.meshgrid(cols, rows)
+    return np.column_stack([xx.ravel(), yy.ravel()])
+
+
+def unit_to_physical_scale(spec: HardwareSpec) -> float:
+    """Scale factor from unit-square coordinates to micrometers.
+
+    Uses the smaller grid extent so that unit-space distances (including the
+    Graphine interaction radius) map isotropically and stay inside the grid.
+    """
+    w, h = spec.extent_um
+    return float(min(w, h))
+
+
+def _ring_sites(center: tuple[int, int], radius: int, rows: int, cols: int) -> list[tuple[int, int]]:
+    """Grid sites at Chebyshev distance ``radius`` from ``center`` (in range)."""
+    r0, c0 = center
+    if radius == 0:
+        return [(r0, c0)] if 0 <= r0 < rows and 0 <= c0 < cols else []
+    sites: list[tuple[int, int]] = []
+    for dr in range(-radius, radius + 1):
+        for dc in range(-radius, radius + 1):
+            if max(abs(dr), abs(dc)) != radius:
+                continue
+            r, c = r0 + dr, c0 + dc
+            if 0 <= r < rows and 0 <= c < cols:
+                sites.append((r, c))
+    return sites
+
+
+def discretize_positions(
+    unit_positions: np.ndarray, spec: HardwareSpec
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Snap unit-square positions onto free grid sites.
+
+    Qubits are processed in order of how contested their ideal site is
+    (ties broken by qubit index) so crowded regions resolve deterministically.
+
+    Args:
+        unit_positions: (n, 2) coordinates in [0, 1]^2.
+        spec: hardware description providing the grid.
+
+    Returns:
+        (positions_um, sites): an (n, 2) array of physical coordinates and
+        the (row, col) site per qubit.
+
+    Raises:
+        ValueError: if there are more qubits than grid sites.
+    """
+    pos = np.asarray(unit_positions, dtype=float)
+    if pos.ndim != 2 or pos.shape[1] != 2:
+        raise ValueError(f"unit_positions must be (n, 2), got {pos.shape}")
+    n = pos.shape[0]
+    if n > spec.num_sites:
+        raise ValueError(
+            f"{n} qubits do not fit on a {spec.grid_rows}x{spec.grid_cols} grid"
+        )
+    if n and (pos.min() < -1e-9 or pos.max() > 1 + 1e-9):
+        raise ValueError("unit_positions must lie in [0, 1]^2")
+
+    rows, cols = spec.grid_rows, spec.grid_cols
+    pitch = spec.grid_pitch_um
+    ideal_col = np.clip(np.round(pos[:, 0] * (cols - 1)).astype(int), 0, cols - 1)
+    ideal_row = np.clip(np.round(pos[:, 1] * (rows - 1)).astype(int), 0, rows - 1)
+
+    # Resolve most-contested sites first for deterministic, dense packing.
+    contention: dict[tuple[int, int], int] = {}
+    for r, c in zip(ideal_row, ideal_col):
+        contention[(r, c)] = contention.get((r, c), 0) + 1
+    order = sorted(
+        range(n),
+        key=lambda q: (-contention[(ideal_row[q], ideal_col[q])], q),
+    )
+
+    taken: set[tuple[int, int]] = set()
+    sites: list[tuple[int, int]] = [(-1, -1)] * n
+    max_radius = max(rows, cols)
+    for q in order:
+        center = (int(ideal_row[q]), int(ideal_col[q]))
+        placed = False
+        for radius in range(max_radius + 1):
+            candidates = [s for s in _ring_sites(center, radius, rows, cols) if s not in taken]
+            if candidates:
+                # Nearest by physical distance to the ideal continuous point.
+                target = pos[q] * [(cols - 1) * pitch, (rows - 1) * pitch]
+                best = min(
+                    candidates,
+                    key=lambda s: (s[1] * pitch - target[0]) ** 2
+                    + (s[0] * pitch - target[1]) ** 2,
+                )
+                sites[q] = best
+                taken.add(best)
+                placed = True
+                break
+        if not placed:  # pragma: no cover - guarded by the capacity check
+            raise ValueError("grid is full")
+
+    if not sites:
+        return np.zeros((0, 2)), []
+    positions = np.array(
+        [[c * pitch, r * pitch] for (r, c) in sites], dtype=float
+    )
+    return positions, sites

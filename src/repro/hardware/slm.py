@@ -1,0 +1,93 @@
+"""The spatial light modulator (SLM): a fixed array of static trap sites.
+
+Sites form a regular grid with pitch ``spec.grid_pitch_um``; each site holds
+at most one atom.  The SLM guarantees the separation constraint by
+construction (pitch = 2 x min separation + padding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.spec import HardwareSpec
+
+__all__ = ["SLM"]
+
+
+class SLM:
+    """Static trap grid with occupancy tracking.
+
+    Sites are indexed by (row, col); their physical coordinates are
+    ``(col * pitch, row * pitch)`` so that x grows with columns and y with
+    rows, matching the paper's figures.
+    """
+
+    def __init__(self, spec: HardwareSpec) -> None:
+        self.spec = spec
+        self.pitch = spec.grid_pitch_um
+        self.rows = spec.grid_rows
+        self.cols = spec.grid_cols
+        self._occupant: dict[tuple[int, int], int] = {}
+
+    # -- geometry -------------------------------------------------------------
+
+    def site_position(self, row: int, col: int) -> np.ndarray:
+        """Physical (x, y) of a grid site in micrometers."""
+        self._check_site(row, col)
+        return np.array([col * self.pitch, row * self.pitch], dtype=float)
+
+    def nearest_site(self, point: np.ndarray) -> tuple[int, int]:
+        """Grid site closest to an arbitrary physical point (clamped)."""
+        col = int(round(float(point[0]) / self.pitch))
+        row = int(round(float(point[1]) / self.pitch))
+        return (min(max(row, 0), self.rows - 1), min(max(col, 0), self.cols - 1))
+
+    def _check_site(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(
+                f"site ({row}, {col}) outside {self.rows}x{self.cols} grid"
+            )
+
+    # -- occupancy --------------------------------------------------------------
+
+    def is_free(self, row: int, col: int) -> bool:
+        """True if no atom occupies the site."""
+        self._check_site(row, col)
+        return (row, col) not in self._occupant
+
+    def occupant(self, row: int, col: int) -> int | None:
+        """Qubit index occupying the site, or None."""
+        self._check_site(row, col)
+        return self._occupant.get((row, col))
+
+    def place(self, qubit: int, row: int, col: int) -> np.ndarray:
+        """Trap ``qubit`` at the site; returns its physical position.
+
+        Raises:
+            ValueError: if the site is occupied or the qubit already placed.
+        """
+        self._check_site(row, col)
+        if (row, col) in self._occupant:
+            raise ValueError(f"site ({row}, {col}) already holds qubit "
+                             f"{self._occupant[(row, col)]}")
+        for site, q in self._occupant.items():
+            if q == qubit:
+                raise ValueError(f"qubit {qubit} already placed at {site}")
+        self._occupant[(row, col)] = qubit
+        return self.site_position(row, col)
+
+    def release(self, row: int, col: int) -> int:
+        """Free a site (trap change to AOD); returns the released qubit."""
+        self._check_site(row, col)
+        if (row, col) not in self._occupant:
+            raise ValueError(f"site ({row}, {col}) is empty")
+        return self._occupant.pop((row, col))
+
+    def occupied_sites(self) -> dict[tuple[int, int], int]:
+        """Copy of the occupancy map (site -> qubit)."""
+        return dict(self._occupant)
+
+    @property
+    def num_occupied(self) -> int:
+        """Number of trapped atoms."""
+        return len(self._occupant)

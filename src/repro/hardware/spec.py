@@ -1,0 +1,164 @@
+"""Hardware specification: Table II parameters plus geometric constants.
+
+All times are in microseconds and all distances in micrometers unless noted.
+The error rates and times come verbatim from Table II of the paper; the
+geometric constants (minimum separation, padding) are chosen so that the
+16x16 grid's longest diagonal move takes ~2 us at 55 um/us, matching the
+paper's Section IV discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+)
+
+__all__ = ["HardwareSpec"]
+
+_US_PER_S = 1e6
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Parameters of one neutral-atom machine (Table II).
+
+    Attributes:
+        name: machine label used in reports.
+        grid_rows / grid_cols: SLM site grid dimensions (16x16 or 35x35).
+        aod_rows / aod_cols: number of AOD rows and columns (default 20, the
+            paper's best-performing configuration, ablated in Fig. 13).
+        min_separation_um: minimum atom separation distance constraint.
+        grid_padding_um: extra corridor space added to the discretization
+            pitch so AOD atoms can navigate between SLM atoms (Fig. 5a).
+        blockade_factor: Rydberg blockade radius as a multiple of the
+            interaction radius (2.5x per the paper).
+        move_speed_um_per_us: AOD transport speed (55 um/us).
+        trap_switch_time_us: SLM<->AOD trap change duration (100 us).
+        u3_time_us / cz_time_us: gate durations (2 us / 0.8 us).
+        u3_error / cz_error: gate error rates (0.0127% / 0.48%).
+        ccz_error / ccz_time_us: native three-qubit CCZ gate (an extension:
+            the paper's background notes neutral atoms execute multi-qubit
+            gates directly, and GEYSER-style composition is "orthogonal" to
+            Parallax; defaults follow demonstrated multi-qubit Rydberg gate
+            fidelities of ~98% at roughly twice the CZ duration).
+        swap_error: SWAP error rate (1.43% = three CZ gates).
+        t1_us / t2_us: hyperfine coherence times (4.0 s / 1.49 s).
+        atom_loss_rate: background atom loss per shot (0.7%), folded into
+            decoherence per the paper's methodology.
+        readout_error: fluorescence readout error (5%); excluded from the
+            default success model (see DESIGN.md Section 5).
+        move_error: atom loss probability per movement (the paper cites
+            "<0.1%" [11]; 0.01% default so thousand-move schedules are not
+            dominated by transport loss, consistent with Fig. 10).
+        trap_switch_error: error rate of a trap change (paper: "<0.1%").
+    """
+
+    name: str = "quera-aquila-256"
+    grid_rows: int = 16
+    grid_cols: int = 16
+    aod_rows: int = 20
+    aod_cols: int = 20
+    min_separation_um: float = 3.0
+    grid_padding_um: float = 1.0
+    blockade_factor: float = 2.5
+    move_speed_um_per_us: float = 55.0
+    trap_switch_time_us: float = 100.0
+    u3_time_us: float = 2.0
+    cz_time_us: float = 0.8
+    u3_error: float = 0.000127
+    cz_error: float = 0.0048
+    ccz_error: float = 0.018
+    ccz_time_us: float = 1.6
+    swap_error: float = 0.0143
+    t1_us: float = 4.0 * _US_PER_S
+    t2_us: float = 1.49 * _US_PER_S
+    atom_loss_rate: float = 0.007
+    readout_error: float = 0.05
+    move_error: float = 0.0001
+    trap_switch_error: float = 0.0001
+
+    def __post_init__(self) -> None:
+        check_positive("grid_rows", self.grid_rows)
+        check_positive("grid_cols", self.grid_cols)
+        check_positive("aod_rows", self.aod_rows)
+        check_positive("aod_cols", self.aod_cols)
+        check_positive("min_separation_um", self.min_separation_um)
+        check_non_negative("grid_padding_um", self.grid_padding_um)
+        check_positive("blockade_factor", self.blockade_factor)
+        check_positive("move_speed_um_per_us", self.move_speed_um_per_us)
+        check_positive("trap_switch_time_us", self.trap_switch_time_us)
+        check_positive("u3_time_us", self.u3_time_us)
+        check_positive("cz_time_us", self.cz_time_us)
+        check_positive("ccz_time_us", self.ccz_time_us)
+        for prob_name in (
+            "u3_error", "cz_error", "ccz_error", "swap_error", "atom_loss_rate",
+            "readout_error", "move_error", "trap_switch_error",
+        ):
+            check_probability(prob_name, getattr(self, prob_name))
+        check_positive("t1_us", self.t1_us)
+        check_positive("t2_us", self.t2_us)
+
+    # -- derived geometry ----------------------------------------------------
+
+    @property
+    def num_sites(self) -> int:
+        """Total number of SLM grid sites (= max atoms)."""
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def grid_pitch_um(self) -> float:
+        """Discretization unit: twice the separation constraint plus padding.
+
+        This is the paper's Step 2 rule: a unit of discretization represents
+        2x the minimum separation distance plus padding, which guarantees
+        (1) the separation constraint holds between any two sites and
+        (2) there is always corridor space for AOD atoms to pass between
+        static SLM atoms.
+        """
+        return 2.0 * self.min_separation_um + self.grid_padding_um
+
+    @property
+    def extent_um(self) -> tuple[float, float]:
+        """Physical (width, height) of the site grid in micrometers."""
+        return (
+            (self.grid_cols - 1) * self.grid_pitch_um,
+            (self.grid_rows - 1) * self.grid_pitch_um,
+        )
+
+    @property
+    def max_move_distance_um(self) -> float:
+        """Length of the grid diagonal: the longest possible single move."""
+        w, h = self.extent_um
+        return float((w**2 + h**2) ** 0.5)
+
+    def move_time_us(self, distance_um: float) -> float:
+        """Transport time for a move of ``distance_um`` at the AOD speed."""
+        check_non_negative("distance_um", distance_um)
+        return distance_um / self.move_speed_um_per_us
+
+    def blockade_radius_um(self, interaction_radius_um: float) -> float:
+        """Blockade radius for a given interaction radius (2.5x by default)."""
+        check_positive("interaction_radius_um", interaction_radius_um)
+        return self.blockade_factor * interaction_radius_um
+
+    def with_aod_count(self, count: int) -> "HardwareSpec":
+        """Copy of this spec with ``count`` AOD rows and columns (Fig. 13)."""
+        return replace(self, aod_rows=count, aod_cols=count)
+
+    # -- the two machines of the evaluation -----------------------------------
+
+    @classmethod
+    def quera_aquila(cls, aod_count: int = 20) -> "HardwareSpec":
+        """QuEra Aquila-like 256-qubit system (16x16 grid)."""
+        return cls(name="quera-aquila-256", grid_rows=16, grid_cols=16,
+                   aod_rows=aod_count, aod_cols=aod_count)
+
+    @classmethod
+    def atom_computing(cls, aod_count: int = 20) -> "HardwareSpec":
+        """Atom Computing-like 1,225-qubit system (35x35 grid)."""
+        return cls(name="atom-computing-1225", grid_rows=35, grid_cols=35,
+                   aod_rows=aod_count, aod_cols=aod_count)

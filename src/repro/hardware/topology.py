@@ -1,0 +1,89 @@
+"""Unit-disk topology utilities.
+
+The interaction structure of a static atom layout is a unit-disk graph
+(atoms within the Rydberg radius are connected).  These helpers answer the
+questions the compilers and diagnostics ask about such graphs: is it
+connected, how far apart are interacting pairs, and how much parallelism
+does the blockade radius permit.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.hardware.geometry import pairwise_distances, within_radius_pairs
+
+__all__ = [
+    "unit_disk_graph",
+    "is_connected_at_radius",
+    "blockade_conflict_graph",
+    "max_parallel_two_qubit_gates",
+]
+
+
+def unit_disk_graph(positions: np.ndarray, radius: float) -> nx.Graph:
+    """Graph with an edge for every atom pair within ``radius``."""
+    pos = np.asarray(positions, dtype=float)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(pos.shape[0]))
+    graph.add_edges_from(within_radius_pairs(pos, radius))
+    return graph
+
+
+def is_connected_at_radius(positions: np.ndarray, radius: float) -> bool:
+    """True when the unit-disk graph at ``radius`` is connected."""
+    graph = unit_disk_graph(positions, radius)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(graph)
+
+
+def blockade_conflict_graph(
+    positions: np.ndarray,
+    pairs: list[tuple[int, int]],
+    blockade_radius: float,
+) -> nx.Graph:
+    """Conflict graph over candidate two-qubit gates.
+
+    Nodes are the candidate gates (indices into ``pairs``); an edge means
+    the two gates cannot execute in the same layer because some atom of one
+    lies within the blockade radius of some atom of the other.
+    """
+    pos = np.asarray(positions, dtype=float)
+    dist = pairwise_distances(pos)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(pairs)))
+    for i in range(len(pairs)):
+        for j in range(i + 1, len(pairs)):
+            conflict = any(
+                dist[qa, qb] <= blockade_radius
+                for qa in pairs[i]
+                for qb in pairs[j]
+            )
+            if conflict:
+                graph.add_edge(i, j)
+    return graph
+
+
+def max_parallel_two_qubit_gates(
+    positions: np.ndarray,
+    pairs: list[tuple[int, int]],
+    blockade_radius: float,
+) -> int:
+    """Size of a large blockade-compatible gate set (greedy independent set).
+
+    A lower bound on the true maximum (independent set is NP-hard); greedy
+    by ascending conflict degree, which is exact on the sparse conflict
+    graphs typical layouts produce.
+    """
+    conflicts = blockade_conflict_graph(positions, pairs, blockade_radius)
+    chosen: list[int] = []
+    blocked: set[int] = set()
+    for node in sorted(conflicts.nodes, key=lambda n: (conflicts.degree(n), n)):
+        if node in blocked:
+            continue
+        chosen.append(node)
+        blocked.add(node)
+        blocked.update(conflicts.neighbors(node))
+    return len(chosen)

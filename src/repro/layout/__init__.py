@@ -1,0 +1,24 @@
+"""Graphine-style layout generation (the paper's Step 1).
+
+Converts a circuit into a weighted interaction graph, places qubits on the
+unit square so frequently-interacting pairs sit close (dual annealing, as in
+Graphine, with a fast spring-layout mode for tests), and selects the
+smallest Rydberg interaction radius that keeps the resulting unit-disk
+graph connected (the bottleneck edge of the Euclidean minimum spanning
+tree).
+"""
+
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import place_qubits, placement_cost, PlacementConfig
+from repro.layout.radius import minimal_connected_radius
+from repro.layout.graphine import GraphineLayout, generate_layout
+
+__all__ = [
+    "build_interaction_graph",
+    "place_qubits",
+    "placement_cost",
+    "PlacementConfig",
+    "minimal_connected_radius",
+    "GraphineLayout",
+    "generate_layout",
+]

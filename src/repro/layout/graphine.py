@@ -1,0 +1,57 @@
+"""Top-level Graphine layout API (Step 1 of the Parallax pipeline).
+
+Bundles placement and radius selection into a :class:`GraphineLayout`
+artifact: unit-square coordinates per qubit plus the chosen interaction
+radius, both still in the continuous [0, 1] space.  Step 2 (discretization)
+converts these to physical grid sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import PlacementConfig, place_qubits
+from repro.layout.radius import minimal_connected_radius
+
+__all__ = ["GraphineLayout", "generate_layout"]
+
+
+@dataclass(frozen=True)
+class GraphineLayout:
+    """Continuous layout produced by the Graphine stage.
+
+    Attributes:
+        unit_positions: (n, 2) coordinates in [0, 1]^2, indexed by qubit.
+        interaction_radius_unit: Rydberg interaction radius in unit-square
+            distance, chosen so the interaction graph is connected.
+    """
+
+    unit_positions: np.ndarray
+    interaction_radius_unit: float
+
+    @property
+    def num_qubits(self) -> int:
+        return int(self.unit_positions.shape[0])
+
+
+def generate_layout(
+    circuit: QuantumCircuit, config: PlacementConfig | None = None
+) -> GraphineLayout:
+    """Run Graphine: place qubits and pick the minimal connected radius.
+
+    Only qubits that actually appear in gates constrain the radius; fully
+    idle qubits are still placed (they occupy grid sites) but do not inflate
+    the interaction radius.
+    """
+    graph = build_interaction_graph(circuit)
+    positions = place_qubits(graph, config)
+    used = sorted(circuit.used_qubits())
+    radius_points = positions[used] if used else positions
+    radius = minimal_connected_radius(radius_points)
+    if radius <= 0.0:
+        radius = 0.1  # single-qubit circuits: any positive radius works
+    return GraphineLayout(unit_positions=positions, interaction_radius_unit=radius)

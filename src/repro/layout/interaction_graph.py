@@ -1,0 +1,30 @@
+"""Circuit -> weighted interaction graph (Graphine's input).
+
+Nodes are qubits; the weight of edge (a, b) is the number of two-qubit
+interactions between a and b in the circuit.  Qubits with no interactions
+still appear as isolated nodes so placement spreads them sensibly.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.stats import interaction_counts
+
+__all__ = ["build_interaction_graph"]
+
+
+def build_interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """Weighted interaction graph of ``circuit``.
+
+    Returns:
+        An undirected ``networkx.Graph`` whose nodes are ``0 ..
+        circuit.num_qubits - 1`` and whose edges carry ``weight`` = CZ
+        multiplicity.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    for (a, b), count in interaction_counts(circuit).items():
+        graph.add_edge(a, b, weight=count)
+    return graph

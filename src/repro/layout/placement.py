@@ -1,0 +1,194 @@
+"""Qubit placement on the unit square.
+
+Two modes:
+
+- ``"dual_annealing"`` -- SciPy's dual annealing over the flattened 2n
+  coordinate vector, as Graphine does.  The objective pulls high-weight
+  pairs together while a soft repulsion term keeps non-interacting qubits
+  from collapsing onto one point.  The annealing budget is an explicit
+  parameter so callers control compile time (profiling-friendly, per the
+  optimization-workflow guide).
+- ``"spring"`` -- a deterministic weighted spring embedding (networkx
+  Fruchterman-Reingold seeded from a spectral start), orders of magnitude
+  faster and used as the default for tests and large circuits; quality is
+  close for the unit-disk connectivity purposes Parallax needs.
+- ``"community"`` -- two-level placement: greedy-modularity communities are
+  laid out coarsely (spring over the quotient graph), then each community's
+  members are spring-embedded inside their cell.  Scales better than global
+  embedding on large modular circuits; ablated in the bench suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+from scipy.optimize import dual_annealing
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["PlacementConfig", "place_qubits", "placement_cost"]
+
+_REPULSION_WEIGHT = 0.05
+_REPULSION_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Knobs for :func:`place_qubits`.
+
+    Attributes:
+        method: ``"dual_annealing"`` (paper-faithful) or ``"spring"`` (fast).
+        maxiter: dual-annealing iteration budget.
+        seed: RNG seed for reproducibility.
+    """
+
+    method: str = "spring"
+    maxiter: int = 120
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.method not in ("dual_annealing", "spring", "community"):
+            raise ValueError(f"unknown placement method {self.method!r}")
+        if self.maxiter <= 0:
+            raise ValueError("maxiter must be positive")
+
+
+def placement_cost(positions: np.ndarray, graph: nx.Graph) -> float:
+    """Weighted attraction + soft repulsion objective (lower is better).
+
+    Attraction: sum over edges of ``weight * distance``.  Repulsion: a small
+    inverse-distance penalty over all pairs, stopping the annealer from
+    stacking every qubit at one point.
+    """
+    pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+    edges = list(graph.edges(data="weight", default=1))
+    cost = 0.0
+    if edges:
+        a_idx = np.fromiter((e[0] for e in edges), dtype=int)
+        b_idx = np.fromiter((e[1] for e in edges), dtype=int)
+        weights = np.fromiter((e[2] for e in edges), dtype=float)
+        diffs = pos[a_idx] - pos[b_idx]
+        cost += float(np.sum(weights * np.hypot(diffs[:, 0], diffs[:, 1])))
+    n = pos.shape[0]
+    if n >= 2:
+        diff = pos[:, None, :] - pos[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        iu, ju = np.triu_indices(n, k=1)
+        pairwise = np.maximum(dist[iu, ju], _REPULSION_FLOOR)
+        cost += _REPULSION_WEIGHT * float(np.sum(1.0 / pairwise)) / n
+    return cost
+
+
+def _normalize_to_unit_square(pos: np.ndarray) -> np.ndarray:
+    """Affinely rescale positions into [0, 1]^2, preserving aspect ratio."""
+    pos = np.asarray(pos, dtype=float)
+    lo = pos.min(axis=0)
+    span = float(max(pos.max(axis=0).max() - lo.min(), 1e-12))
+    spread = (pos - lo) / span
+    # Center the shorter axis.
+    margin = (1.0 - spread.max(axis=0)) / 2.0
+    return np.clip(spread + margin, 0.0, 1.0)
+
+
+def _spring_placement(graph: nx.Graph, seed: int) -> np.ndarray:
+    n = graph.number_of_nodes()
+    if n == 1:
+        return np.array([[0.5, 0.5]])
+    layout = nx.spring_layout(
+        graph, weight="weight", seed=seed, iterations=100, dim=2
+    )
+    pos = np.array([layout[q] for q in range(n)], dtype=float)
+    return _normalize_to_unit_square(pos)
+
+
+def _annealed_placement(graph: nx.Graph, config: PlacementConfig) -> np.ndarray:
+    n = graph.number_of_nodes()
+    if n == 1:
+        return np.array([[0.5, 0.5]])
+    rng = ensure_rng(config.seed)
+    start = _spring_placement(graph, config.seed).ravel()
+    bounds = [(0.0, 1.0)] * (2 * n)
+    result = dual_annealing(
+        lambda x: placement_cost(x, graph),
+        bounds=bounds,
+        x0=start,
+        maxiter=config.maxiter,
+        seed=int(rng.integers(0, 2**31 - 1)),
+        no_local_search=n > 40,  # keep large-instance budgets bounded
+    )
+    return np.clip(result.x.reshape(-1, 2), 0.0, 1.0)
+
+
+def _community_placement(graph: nx.Graph, seed: int) -> np.ndarray:
+    """Two-level placement: communities coarsely, members finely."""
+    n = graph.number_of_nodes()
+    if n <= 3:
+        return _spring_placement(graph, seed)
+    communities = list(
+        nx.community.greedy_modularity_communities(graph, weight="weight")
+    )
+    if len(communities) <= 1:
+        return _spring_placement(graph, seed)
+    # Coarse stage: quotient graph with inter-community weights.
+    member_of = {}
+    for c_idx, community in enumerate(communities):
+        for node in community:
+            member_of[node] = c_idx
+    quotient = nx.Graph()
+    quotient.add_nodes_from(range(len(communities)))
+    for a, b, data in graph.edges(data=True):
+        ca, cb = member_of[a], member_of[b]
+        if ca == cb:
+            continue
+        w = data.get("weight", 1)
+        if quotient.has_edge(ca, cb):
+            quotient[ca][cb]["weight"] += w
+        else:
+            quotient.add_edge(ca, cb, weight=w)
+    coarse_layout = nx.spring_layout(quotient, weight="weight", seed=seed, dim=2)
+    coarse = _normalize_to_unit_square(
+        np.array([coarse_layout[c] for c in range(len(communities))])
+    )
+    # Fine stage: each community spring-embedded inside a cell whose size
+    # scales with its share of the qubits.
+    positions = np.zeros((n, 2))
+    for c_idx, community in enumerate(communities):
+        members = sorted(community)
+        sub = graph.subgraph(members)
+        cell_half = 0.5 * math.sqrt(len(members) / n)
+        if len(members) == 1:
+            local = np.zeros((1, 2))
+        else:
+            relabel = {q: i for i, q in enumerate(members)}
+            local_graph = nx.relabel_nodes(sub, relabel)
+            layout = nx.spring_layout(
+                local_graph, weight="weight", seed=seed + c_idx, dim=2
+            )
+            local = np.array([layout[i] for i in range(len(members))])
+            span = max(np.abs(local).max(), 1e-12)
+            local = local / span * cell_half
+        for i, q in enumerate(members):
+            positions[q] = coarse[c_idx] + local[i]
+    return np.clip(_normalize_to_unit_square(positions), 0.0, 1.0)
+
+
+def place_qubits(graph: nx.Graph, config: PlacementConfig | None = None) -> np.ndarray:
+    """Place the graph's qubits on the unit square.
+
+    Returns:
+        (n, 2) array of coordinates in [0, 1]^2, indexed by qubit.
+    """
+    config = config or PlacementConfig()
+    n = graph.number_of_nodes()
+    if n == 0:
+        return np.zeros((0, 2))
+    if sorted(graph.nodes) != list(range(n)):
+        raise ValueError("graph nodes must be exactly 0..n-1")
+    if config.method == "spring":
+        return _spring_placement(graph, config.seed)
+    if config.method == "community":
+        return _community_placement(graph, config.seed)
+    return _annealed_placement(graph, config)

@@ -1,0 +1,43 @@
+"""Minimal connected Rydberg interaction radius.
+
+Graphine selects a radius "large enough to ensure that all of the qubits
+are reachable from all other qubits".  The smallest such radius for a point
+set is the bottleneck (longest) edge of its Euclidean minimum spanning
+tree: with that radius the unit-disk graph is connected, and with any
+smaller radius it is not.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.hardware.geometry import pairwise_distances
+
+__all__ = ["minimal_connected_radius"]
+
+
+def minimal_connected_radius(positions: np.ndarray, slack: float = 1.0 + 1e-9) -> float:
+    """Smallest radius making the unit-disk graph on ``positions`` connected.
+
+    Args:
+        positions: (n, 2) point array.
+        slack: multiplicative margin (> 1 guards against floating-point
+            equality at the bottleneck edge).
+
+    Returns:
+        The bottleneck MST edge length times ``slack``; 0.0 for n < 2.
+    """
+    pos = np.asarray(positions, dtype=float)
+    n = pos.shape[0]
+    if n < 2:
+        return 0.0
+    dist = pairwise_distances(pos)
+    complete = nx.Graph()
+    iu, ju = np.triu_indices(n, k=1)
+    complete.add_weighted_edges_from(
+        zip(iu.tolist(), ju.tolist(), dist[iu, ju].tolist())
+    )
+    mst = nx.minimum_spanning_tree(complete, algorithm="prim")
+    bottleneck = max(d["weight"] for _, _, d in mst.edges(data=True))
+    return float(bottleneck * slack)

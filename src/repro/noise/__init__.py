@@ -1,0 +1,18 @@
+"""Noise model: estimated probability of success (Fig. 10's metric).
+
+Follows the estimated-success-probability methodology the paper cites
+(Graphine / VERITAS): the product of the success rates of every circuit
+component, times a qubit-wise exponential decoherence decay driven by the
+circuit runtime and the hyperfine T1/T2 times.  Atom loss is folded into T1
+(as the paper's Section III states), and readout error is excluded by
+default (see DESIGN.md Section 5 for the calibration showing the paper's
+Fig. 10 numbers exclude it); both are exposed as options.
+"""
+
+from repro.noise.fidelity import (
+    success_probability,
+    decoherence_factor,
+    NoiseModelConfig,
+)
+
+__all__ = ["success_probability", "decoherence_factor", "NoiseModelConfig"]

@@ -1,0 +1,70 @@
+"""Estimated success probability of a compiled circuit."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.utils.validation import check_non_negative
+
+__all__ = ["NoiseModelConfig", "decoherence_factor", "success_probability"]
+
+
+@dataclass(frozen=True)
+class NoiseModelConfig:
+    """Which noise terms to include.
+
+    Attributes:
+        include_decoherence: qubit-wise exp(-t/T1 - t/T2) decay.
+        include_readout: per-qubit readout error (off by default; the
+            paper's Fig. 10 numbers calibrate to gate products only --
+            see DESIGN.md).
+        include_movement: per-move atom-loss error and per-trap-switch error.
+        trap_switches_per_resolution: switches charged per trap-change event.
+    """
+
+    include_decoherence: bool = True
+    include_readout: bool = False
+    include_movement: bool = True
+    trap_switches_per_resolution: int = 2
+
+
+def decoherence_factor(
+    runtime_us: float, num_qubits: int, spec: HardwareSpec
+) -> float:
+    """Qubit-wise hyperfine decoherence survival over ``runtime_us``.
+
+    Each qubit decays as ``exp(-t/T1) * exp(-t/T2)``; the circuit survives
+    when every qubit does, so the factors multiply across qubits.
+    """
+    check_non_negative("runtime_us", runtime_us)
+    rate = 1.0 / spec.t1_us + 1.0 / spec.t2_us
+    return math.exp(-num_qubits * runtime_us * rate)
+
+
+def success_probability(
+    result: CompilationResult,
+    config: NoiseModelConfig | None = None,
+) -> float:
+    """Estimated probability that one shot of ``result`` succeeds.
+
+    The product of per-component success rates: CZ gates (SWAPs already
+    expanded to three CZs in ``result.num_cz``), U3 gates, optional
+    movement/trap-switch losses, decoherence, and optional readout.
+    """
+    config = config or NoiseModelConfig()
+    spec = result.spec
+    prob = (1.0 - spec.cz_error) ** result.num_cz
+    prob *= (1.0 - spec.u3_error) ** result.num_u3
+    prob *= (1.0 - spec.ccz_error) ** result.num_ccz
+    if config.include_movement:
+        prob *= (1.0 - spec.move_error) ** result.num_moves
+        switches = result.trap_change_events * config.trap_switches_per_resolution
+        prob *= (1.0 - spec.trap_switch_error) ** switches
+    if config.include_decoherence:
+        prob *= decoherence_factor(result.runtime_us, result.num_qubits, spec)
+    if config.include_readout:
+        prob *= (1.0 - spec.readout_error) ** result.num_qubits
+    return prob

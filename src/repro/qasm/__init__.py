@@ -1,0 +1,23 @@
+"""OpenQASM 2.0 front-end.
+
+The paper reads its 18 benchmarks from QASM 2.0 files.  Qiskit is not
+available offline, so this package implements the subset of OpenQASM 2.0
+those benchmarks need: ``qreg``/``creg`` declarations, ``include
+"qelib1.inc"`` (whose standard gate definitions are built in), custom
+``gate`` definitions with parameters, constant expressions over ``pi``,
+``barrier`` and ``measure``, and register broadcasting.
+"""
+
+from repro.qasm.lexer import tokenize, Token, QasmSyntaxError
+from repro.qasm.parser import parse_qasm, loads, load_file
+from repro.qasm.exporter import to_qasm
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "QasmSyntaxError",
+    "parse_qasm",
+    "loads",
+    "load_file",
+    "to_qasm",
+]

@@ -1,0 +1,43 @@
+"""Export a :class:`QuantumCircuit` back to OpenQASM 2.0 text.
+
+Round-tripping through the exporter and parser is exercised by the test
+suite to validate both ends of the front-end.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+
+__all__ = ["to_qasm"]
+
+
+def _format_param(value: float) -> str:
+    return f"{value!r}"
+
+
+def to_qasm(circuit: QuantumCircuit, include_measure: bool = True) -> str:
+    """Serialize ``circuit`` as OpenQASM 2.0 with a single register ``q``."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    has_measure = any(g.name == "measure" for g in circuit.gates)
+    if has_measure and include_measure:
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            if include_measure:
+                q = gate.qubits[0]
+                lines.append(f"measure q[{q}] -> c[{q}];")
+            continue
+        if gate.name == "barrier":
+            lines.append(f"barrier {operands};")
+            continue
+        if gate.params:
+            args = ",".join(_format_param(p) for p in gate.params)
+            lines.append(f"{gate.name}({args}) {operands};")
+        else:
+            lines.append(f"{gate.name} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,79 @@
+"""Tokenizer for OpenQASM 2.0 source text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+__all__ = ["Token", "tokenize", "QasmSyntaxError"]
+
+
+class QasmSyntaxError(ValueError):
+    """Raised for any lexical or syntactic error in QASM source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind tag, the source text, and its line number."""
+
+    kind: str
+    text: str
+    line: int
+
+
+_KEYWORDS = {
+    "OPENQASM", "include", "qreg", "creg", "gate", "opaque",
+    "barrier", "measure", "reset", "if", "pi",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<real>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"[^"\n]*")
+  | (?P<arrow>->)
+  | (?P<eq>==)
+  | (?P<sym>[{}()\[\];,+\-*/^])
+  | (?P<ws>[ \t\r]+)
+  | (?P<newline>\n)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens from QASM source, skipping comments and whitespace.
+
+    Raises:
+        QasmSyntaxError: on any character that starts no valid token.
+    """
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise QasmSyntaxError(f"unexpected character {source[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "id" and text in _KEYWORDS:
+            yield Token("keyword", text, line)
+        elif kind == "string":
+            yield Token("string", text[1:-1], line)
+        else:
+            assert kind is not None
+            yield Token(kind, text, line)
+    yield Token("eof", "", line)

@@ -1,0 +1,467 @@
+"""Recursive-descent parser for OpenQASM 2.0.
+
+Produces a :class:`~repro.circuit.circuit.QuantumCircuit` with all quantum
+registers flattened into one index space (in declaration order).  Custom
+``gate`` bodies are expanded inline at call sites, so the output circuit
+contains only standard gates, barriers and measures.
+
+Supported grammar (the subset QASMBench-style files use)::
+
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[5]; creg c[5];
+    gate name(params) qubits { body }
+    opaque name qubits;
+    u3(pi/2, 0, pi) q[0];
+    cx q[0], q[1];
+    h q;                  // register broadcast
+    barrier q;
+    measure q -> c;
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.qasm.lexer import Token, tokenize, QasmSyntaxError
+from repro.qasm.qelib import is_standard_gate
+
+__all__ = ["parse_qasm", "loads", "load_file"]
+
+
+@dataclass(frozen=True)
+class _GateDef:
+    """A user-defined gate: parameter names, qubit argument names, body."""
+
+    name: str
+    params: tuple[str, ...]
+    qargs: tuple[str, ...]
+    # body entries: (gate_name, param_expr_tokens, qubit_arg_names)
+    body: tuple[tuple[str, tuple[tuple[Token, ...], ...], tuple[str, ...]], ...]
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = list(tokenize(source))
+        self.pos = 0
+        self.qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: dict[str, int] = {}
+        self.gate_defs: dict[str, _GateDef] = {}
+        self.gates: list[Gate] = []
+        self.num_qubits = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = f"{kind} {text!r}" if text else kind
+            raise QasmSyntaxError(
+                f"expected {want}, got {token.kind} {token.text!r}", token.line
+            )
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- top level ----------------------------------------------------------
+
+    def parse(self) -> QuantumCircuit:
+        self._parse_header()
+        while self.peek().kind != "eof":
+            self._parse_statement()
+        circuit = QuantumCircuit(max(self.num_qubits, 1), name="qasm")
+        circuit.extend(self.gates)
+        return circuit
+
+    def _parse_header(self) -> None:
+        if self.accept("keyword", "OPENQASM"):
+            version = self.advance()
+            if version.text not in ("2.0", "2"):
+                raise QasmSyntaxError(
+                    f"unsupported OPENQASM version {version.text!r}", version.line
+                )
+            self.expect("sym", ";")
+
+    def _parse_statement(self) -> None:
+        token = self.peek()
+        if token.kind == "keyword":
+            handler = {
+                "include": self._parse_include,
+                "qreg": self._parse_qreg,
+                "creg": self._parse_creg,
+                "gate": self._parse_gate_def,
+                "opaque": self._parse_opaque,
+                "barrier": self._parse_barrier,
+                "measure": self._parse_measure,
+                "reset": self._parse_reset,
+                "if": self._parse_if,
+            }.get(token.text)
+            if handler is None:
+                raise QasmSyntaxError(f"unexpected keyword {token.text!r}", token.line)
+            handler()
+        elif token.kind == "id":
+            self._parse_gate_call()
+        else:
+            raise QasmSyntaxError(
+                f"unexpected token {token.kind} {token.text!r}", token.line
+            )
+
+    def _parse_include(self) -> None:
+        self.expect("keyword", "include")
+        name = self.expect("string")
+        self.expect("sym", ";")
+        if name.text not in ("qelib1.inc",):
+            raise QasmSyntaxError(
+                f"only qelib1.inc includes are supported, got {name.text!r}", name.line
+            )
+
+    def _parse_qreg(self) -> None:
+        self.expect("keyword", "qreg")
+        name = self.expect("id")
+        self.expect("sym", "[")
+        size = int(self.expect("int").text)
+        self.expect("sym", "]")
+        self.expect("sym", ";")
+        if name.text in self.qregs:
+            raise QasmSyntaxError(f"duplicate qreg {name.text!r}", name.line)
+        self.qregs[name.text] = (self.num_qubits, size)
+        self.num_qubits += size
+
+    def _parse_creg(self) -> None:
+        self.expect("keyword", "creg")
+        name = self.expect("id")
+        self.expect("sym", "[")
+        size = int(self.expect("int").text)
+        self.expect("sym", "]")
+        self.expect("sym", ";")
+        self.cregs[name.text] = size
+
+    def _parse_opaque(self) -> None:
+        token = self.expect("keyword", "opaque")
+        raise QasmSyntaxError("opaque gates are not supported", token.line)
+
+    def _parse_if(self) -> None:
+        token = self.expect("keyword", "if")
+        raise QasmSyntaxError(
+            "classically-controlled gates are not supported", token.line
+        )
+
+    def _parse_reset(self) -> None:
+        token = self.expect("keyword", "reset")
+        raise QasmSyntaxError("reset is not supported", token.line)
+
+    # -- gate definitions ---------------------------------------------------
+
+    def _parse_gate_def(self) -> None:
+        self.expect("keyword", "gate")
+        name = self.expect("id").text
+        params: list[str] = []
+        if self.accept("sym", "("):
+            if not self.accept("sym", ")"):
+                while True:
+                    params.append(self.expect("id").text)
+                    if self.accept("sym", ")"):
+                        break
+                    self.expect("sym", ",")
+        qargs: list[str] = [self.expect("id").text]
+        while self.accept("sym", ","):
+            qargs.append(self.expect("id").text)
+        self.expect("sym", "{")
+        body: list[tuple[str, tuple[tuple[Token, ...], ...], tuple[str, ...]]] = []
+        while not self.accept("sym", "}"):
+            if self.accept("keyword", "barrier"):
+                # barriers inside gate bodies are no-ops after inlining
+                while not self.accept("sym", ";"):
+                    self.advance()
+                continue
+            inner = self.expect("id").text
+            exprs: list[tuple[Token, ...]] = []
+            if self.accept("sym", "("):
+                if not self.accept("sym", ")"):
+                    while True:
+                        exprs.append(tuple(self._collect_expr_tokens()))
+                        if self.accept("sym", ")"):
+                            break
+                        self.expect("sym", ",")
+            inner_qargs = [self.expect("id").text]
+            while self.accept("sym", ","):
+                inner_qargs.append(self.expect("id").text)
+            self.expect("sym", ";")
+            body.append((inner, tuple(exprs), tuple(inner_qargs)))
+        self.gate_defs[name] = _GateDef(name, tuple(params), tuple(qargs), tuple(body))
+
+    def _collect_expr_tokens(self) -> list[Token]:
+        """Collect tokens of one expression up to (not consuming) ',' or ')'."""
+        depth = 0
+        collected: list[Token] = []
+        while True:
+            token = self.peek()
+            if token.kind == "eof":
+                raise QasmSyntaxError("unterminated expression", token.line)
+            if depth == 0 and token.kind == "sym" and token.text in (",", ")"):
+                return collected
+            if token.kind == "sym" and token.text == "(":
+                depth += 1
+            elif token.kind == "sym" and token.text == ")":
+                depth -= 1
+            collected.append(self.advance())
+
+    # -- gate calls ---------------------------------------------------------
+
+    def _parse_gate_call(self) -> None:
+        name_token = self.expect("id")
+        name = name_token.text
+        params: list[float] = []
+        if self.accept("sym", "("):
+            if not self.accept("sym", ")"):
+                while True:
+                    params.append(self._eval_expr(self._collect_expr_tokens(), {}))
+                    if self.accept("sym", ")"):
+                        break
+                    self.expect("sym", ",")
+        operands = [self._parse_operand()]
+        while self.accept("sym", ","):
+            operands.append(self._parse_operand())
+        self.expect("sym", ";")
+        for qubit_tuple in self._broadcast(operands, name_token.line):
+            self._emit(name, params, qubit_tuple, name_token.line)
+
+    def _parse_operand(self) -> tuple[str, int | None]:
+        name = self.expect("id").text
+        if self.accept("sym", "["):
+            index = int(self.expect("int").text)
+            self.expect("sym", "]")
+            return (name, index)
+        return (name, None)
+
+    def _resolve(self, operand: tuple[str, int | None], line: int) -> list[int]:
+        name, index = operand
+        if name not in self.qregs:
+            raise QasmSyntaxError(f"unknown qreg {name!r}", line)
+        offset, size = self.qregs[name]
+        if index is None:
+            return list(range(offset, offset + size))
+        if not (0 <= index < size):
+            raise QasmSyntaxError(f"index {index} out of range for {name}[{size}]", line)
+        return [offset + index]
+
+    def _broadcast(
+        self, operands: list[tuple[str, int | None]], line: int
+    ) -> list[tuple[int, ...]]:
+        """Expand register operands per QASM broadcasting rules."""
+        resolved = [self._resolve(op, line) for op in operands]
+        lengths = {len(r) for r in resolved if len(r) > 1}
+        if len(lengths) > 1:
+            raise QasmSyntaxError("mismatched register sizes in broadcast", line)
+        width = lengths.pop() if lengths else 1
+        out: list[tuple[int, ...]] = []
+        for i in range(width):
+            out.append(tuple(r[i] if len(r) > 1 else r[0] for r in resolved))
+        return out
+
+    def _emit(
+        self, name: str, params: list[float], qubits: tuple[int, ...], line: int
+    ) -> None:
+        if name in self.gate_defs:
+            self._expand_custom(self.gate_defs[name], params, qubits, line)
+            return
+        if not is_standard_gate(name):
+            raise QasmSyntaxError(f"unknown gate {name!r}", line)
+        try:
+            self.gates.append(Gate(name, qubits, tuple(params)))
+        except ValueError as exc:
+            raise QasmSyntaxError(str(exc), line) from exc
+
+    def _expand_custom(
+        self, definition: _GateDef, params: list[float], qubits: tuple[int, ...], line: int
+    ) -> None:
+        if len(params) != len(definition.params):
+            raise QasmSyntaxError(
+                f"gate {definition.name!r} expects {len(definition.params)} params, "
+                f"got {len(params)}",
+                line,
+            )
+        if len(qubits) != len(definition.qargs):
+            raise QasmSyntaxError(
+                f"gate {definition.name!r} expects {len(definition.qargs)} qubits, "
+                f"got {len(qubits)}",
+                line,
+            )
+        env = dict(zip(definition.params, params))
+        qmap = dict(zip(definition.qargs, qubits))
+        for inner_name, exprs, inner_qargs in definition.body:
+            inner_params = [self._eval_expr(list(ts), env) for ts in exprs]
+            try:
+                inner_qubits = tuple(qmap[a] for a in inner_qargs)
+            except KeyError as exc:
+                raise QasmSyntaxError(
+                    f"unknown qubit argument {exc.args[0]!r} in gate "
+                    f"{definition.name!r}",
+                    line,
+                ) from exc
+            self._emit(inner_name, inner_params, inner_qubits, line)
+
+    # -- barrier / measure --------------------------------------------------
+
+    def _parse_barrier(self) -> None:
+        token = self.expect("keyword", "barrier")
+        operands = [self._parse_operand()]
+        while self.accept("sym", ","):
+            operands.append(self._parse_operand())
+        self.expect("sym", ";")
+        for op in operands:
+            for q in self._resolve(op, token.line):
+                self.gates.append(Gate("barrier", (q,)))
+
+    def _parse_measure(self) -> None:
+        token = self.expect("keyword", "measure")
+        qop = self._parse_operand()
+        self.expect("arrow")
+        self._parse_operand()  # classical target: recorded but unused
+        self.expect("sym", ";")
+        for q in self._resolve(qop, token.line):
+            self.gates.append(Gate("measure", (q,)))
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval_expr(self, tokens: list[Token], env: dict[str, float]) -> float:
+        """Evaluate a constant arithmetic expression over pi and gate params."""
+        evaluator = _ExprEval(tokens, env)
+        value = evaluator.parse_expr()
+        evaluator.expect_end()
+        return value
+
+
+_FUNCTIONS = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "exp": math.exp, "ln": math.log, "sqrt": math.sqrt,
+    "asin": math.asin, "acos": math.acos, "atan": math.atan,
+}
+
+
+class _ExprEval:
+    """Pratt-style evaluator for QASM constant expressions."""
+
+    def __init__(self, tokens: list[Token], env: dict[str, float]) -> None:
+        self.tokens = tokens
+        self.env = env
+        self.pos = 0
+
+    def _peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.tokens):
+            token = self.tokens[self.pos]
+            raise QasmSyntaxError(
+                f"trailing tokens in expression at {token.text!r}", token.line
+            )
+
+    def parse_expr(self) -> float:
+        value = self.parse_term()
+        while True:
+            token = self._peek()
+            if token and token.kind == "sym" and token.text in "+-":
+                self._advance()
+                rhs = self.parse_term()
+                value = value + rhs if token.text == "+" else value - rhs
+            else:
+                return value
+
+    def parse_term(self) -> float:
+        value = self.parse_unary()
+        while True:
+            token = self._peek()
+            if token and token.kind == "sym" and token.text in "*/":
+                self._advance()
+                rhs = self.parse_unary()
+                value = value * rhs if token.text == "*" else value / rhs
+            else:
+                return value
+
+    def parse_unary(self) -> float:
+        token = self._peek()
+        if token and token.kind == "sym" and token.text == "-":
+            self._advance()
+            return -self.parse_unary()
+        if token and token.kind == "sym" and token.text == "+":
+            self._advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> float:
+        base = self.parse_atom()
+        token = self._peek()
+        if token and token.kind == "sym" and token.text == "^":
+            self._advance()
+            return base ** self.parse_unary()
+        return base
+
+    def parse_atom(self) -> float:
+        token = self._peek()
+        if token is None:
+            raise QasmSyntaxError("unexpected end of expression", 0)
+        if token.kind in ("int", "real"):
+            self._advance()
+            return float(token.text)
+        if token.kind == "keyword" and token.text == "pi":
+            self._advance()
+            return math.pi
+        if token.kind == "id":
+            self._advance()
+            if token.text in _FUNCTIONS:
+                self._expect_sym("(")
+                value = self.parse_expr()
+                self._expect_sym(")")
+                return _FUNCTIONS[token.text](value)
+            if token.text in self.env:
+                return self.env[token.text]
+            raise QasmSyntaxError(f"unknown identifier {token.text!r}", token.line)
+        if token.kind == "sym" and token.text == "(":
+            self._advance()
+            value = self.parse_expr()
+            self._expect_sym(")")
+            return value
+        raise QasmSyntaxError(f"unexpected token {token.text!r}", token.line)
+
+    def _expect_sym(self, text: str) -> None:
+        token = self._peek()
+        if token is None or token.kind != "sym" or token.text != text:
+            line = token.line if token else 0
+            raise QasmSyntaxError(f"expected {text!r} in expression", line)
+        self._advance()
+
+
+def parse_qasm(source: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`."""
+    return _Parser(source).parse()
+
+
+#: Alias matching the json/yaml naming convention.
+loads = parse_qasm
+
+
+def load_file(path: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_qasm(handle.read())

@@ -1,0 +1,27 @@
+"""Built-in ``qelib1.inc`` gate library.
+
+OpenQASM 2.0 programs almost universally ``include "qelib1.inc"``.  Rather
+than shipping and parsing the include file, the standard definitions are
+registered here directly as expansion rules onto the IR's known gate names.
+Gates the IR models natively (``u3``, ``cz``, ``cx``...) expand to
+themselves; composite standard gates (``ccx``, ``cu3``...) are kept as named
+IR gates so the transpiler can decompose them with its templates.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gate import GATE_ARITY, GATE_NUM_PARAMS
+
+__all__ = ["QELIB_GATES", "is_standard_gate"]
+
+#: name -> (num_params, num_qubits) for every qelib1.inc gate we accept.
+QELIB_GATES: dict[str, tuple[int, int]] = {
+    name: (GATE_NUM_PARAMS.get(name, 0), arity)
+    for name, arity in GATE_ARITY.items()
+    if name not in ("barrier", "measure") and arity is not None
+}
+
+
+def is_standard_gate(name: str) -> bool:
+    """True if ``name`` is a qelib1.inc standard gate known to the IR."""
+    return name in QELIB_GATES

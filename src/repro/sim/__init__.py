@@ -1,0 +1,36 @@
+"""Quantum state simulation.
+
+Two simulators back the reproduction's verification story:
+
+- :mod:`repro.sim.statevector` -- an exact state-vector simulator for small
+  circuits.  The test suite uses it to prove that compiled schedules (the
+  layer streams Parallax emits) implement the same unitary as the input
+  circuit, and that the transpiler preserves semantics on real workloads.
+- :mod:`repro.sim.noisy` -- a Monte Carlo shot simulator that injects the
+  Table II error channels (CZ/U3 depolarizing-style failures, atom loss
+  folded into T1, readout flips) and reports empirical success rates,
+  which converge to :func:`repro.noise.success_probability`'s analytic
+  estimate.  Atoms lost during a shot are replenished between physical
+  shots, as the paper's methodology describes.
+"""
+
+from repro.sim.statevector import StateVector, simulate_circuit, sample_counts
+from repro.sim.noisy import NoisyShotSimulator, ShotOutcome
+from repro.sim.distributions import (
+    normalize_counts,
+    total_variation_distance,
+    hellinger_fidelity,
+    success_fraction,
+)
+
+__all__ = [
+    "StateVector",
+    "simulate_circuit",
+    "sample_counts",
+    "NoisyShotSimulator",
+    "ShotOutcome",
+    "normalize_counts",
+    "total_variation_distance",
+    "hellinger_fidelity",
+    "success_fraction",
+]

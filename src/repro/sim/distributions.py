@@ -1,0 +1,53 @@
+"""Output-distribution comparison utilities.
+
+Standard measures for comparing sampled measurement outcomes against ideal
+distributions: total variation distance, classical (Hellinger) fidelity,
+and the paper-adjacent "probability of successful trial" helper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+__all__ = [
+    "normalize_counts",
+    "total_variation_distance",
+    "hellinger_fidelity",
+    "success_fraction",
+]
+
+
+def normalize_counts(counts: Mapping[str, float]) -> dict[str, float]:
+    """Counts -> probability distribution (validates non-negativity)."""
+    total = 0.0
+    for key, value in counts.items():
+        if value < 0:
+            raise ValueError(f"negative count for {key!r}")
+        total += value
+    if total <= 0:
+        raise ValueError("counts sum to zero")
+    return {key: value / total for key, value in counts.items()}
+
+
+def total_variation_distance(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    """TVD of two count/probability maps (0 = identical, 1 = disjoint)."""
+    pn, qn = normalize_counts(p), normalize_counts(q)
+    keys = set(pn) | set(qn)
+    return 0.5 * sum(abs(pn.get(k, 0.0) - qn.get(k, 0.0)) for k in keys)
+
+
+def hellinger_fidelity(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """Classical fidelity ``(sum sqrt(p_i q_i))^2`` of two count maps."""
+    pn, qn = normalize_counts(p), normalize_counts(q)
+    keys = set(pn) | set(qn)
+    bc = sum(math.sqrt(pn.get(k, 0.0) * qn.get(k, 0.0)) for k in keys)
+    return bc * bc
+
+
+def success_fraction(counts: Mapping[str, float], accepted: set[str]) -> float:
+    """Fraction of shots landing in an accepted outcome set."""
+    pn = normalize_counts(counts)
+    return sum(pn.get(k, 0.0) for k in accepted)

@@ -1,0 +1,124 @@
+"""Monte Carlo noisy-shot simulation.
+
+Samples the error channels of Table II per logical shot:
+
+- each CZ fails independently with probability ``cz_error`` (SWAPs, for
+  baseline schedules, fail as three CZ attempts);
+- each U3 fails with probability ``u3_error``;
+- each AOD move loses the atom with probability ``move_error`` and each
+  trap switch fails with probability ``trap_switch_error``;
+- every qubit decoheres over the circuit runtime with probability
+  ``1 - exp(-t/T1 - t/T2)`` (atom loss is folded into T1, per the paper);
+- optionally, each qubit's readout flips with probability ``readout_error``.
+
+A shot "succeeds" when no channel fired -- the empirical success rate
+converges to :func:`repro.noise.fidelity.success_probability`'s analytic
+product, which the test suite verifies.  Lost atoms are replenished between
+physical shots (the paper's Section III), so shots are i.i.d.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import CompilationResult
+from repro.noise.fidelity import NoiseModelConfig
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ShotOutcome", "NoisyShotSimulator"]
+
+
+@dataclass(frozen=True)
+class ShotOutcome:
+    """Aggregate result of a Monte Carlo run.
+
+    Attributes:
+        shots: logical shots simulated.
+        successes: shots in which no error channel fired.
+        gate_failures / movement_failures / decoherence_failures /
+        readout_failures: shots whose *first* failure was in that channel.
+    """
+
+    shots: int
+    successes: int
+    gate_failures: int
+    movement_failures: int
+    decoherence_failures: int
+    readout_failures: int
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical probability of a clean shot."""
+        return self.successes / self.shots if self.shots else 0.0
+
+    def stderr(self) -> float:
+        """Binomial standard error of the success rate."""
+        p = self.success_rate
+        return math.sqrt(p * (1 - p) / self.shots) if self.shots else 0.0
+
+
+class NoisyShotSimulator:
+    """Samples logical shots of a compiled circuit under Table II noise."""
+
+    def __init__(
+        self,
+        result: CompilationResult,
+        config: NoiseModelConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.result = result
+        self.config = config or NoiseModelConfig()
+        self.rng = ensure_rng(seed)
+        spec = result.spec
+        # Per-shot channel-survival probabilities (vectorized sampling).
+        self._p_gates = (
+            (1.0 - spec.cz_error) ** result.num_cz
+            * (1.0 - spec.u3_error) ** result.num_u3
+            * (1.0 - spec.ccz_error) ** result.num_ccz
+        )
+        if self.config.include_movement:
+            switches = result.trap_change_events * self.config.trap_switches_per_resolution
+            self._p_move = (1.0 - spec.move_error) ** result.num_moves * (
+                1.0 - spec.trap_switch_error
+            ) ** switches
+        else:
+            self._p_move = 1.0
+        if self.config.include_decoherence:
+            rate = 1.0 / spec.t1_us + 1.0 / spec.t2_us
+            self._p_decohere = math.exp(-result.num_qubits * result.runtime_us * rate)
+        else:
+            self._p_decohere = 1.0
+        if self.config.include_readout:
+            self._p_readout = (1.0 - spec.readout_error) ** result.num_qubits
+        else:
+            self._p_readout = 1.0
+
+    def run(self, shots: int = 8000) -> ShotOutcome:
+        """Simulate ``shots`` logical shots; returns channel-wise counts."""
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        draws = self.rng.random((shots, 4))
+        gate_ok = draws[:, 0] < self._p_gates
+        move_ok = draws[:, 1] < self._p_move
+        decohere_ok = draws[:, 2] < self._p_decohere
+        readout_ok = draws[:, 3] < self._p_readout
+        success = gate_ok & move_ok & decohere_ok & readout_ok
+        gate_fail = ~gate_ok
+        move_fail = gate_ok & ~move_ok
+        deco_fail = gate_ok & move_ok & ~decohere_ok
+        read_fail = gate_ok & move_ok & decohere_ok & ~readout_ok
+        return ShotOutcome(
+            shots=shots,
+            successes=int(success.sum()),
+            gate_failures=int(gate_fail.sum()),
+            movement_failures=int(move_fail.sum()),
+            decoherence_failures=int(deco_fail.sum()),
+            readout_failures=int(read_fail.sum()),
+        )
+
+    def analytic_success(self) -> float:
+        """The closed-form success probability this sampler converges to."""
+        return self._p_gates * self._p_move * self._p_decohere * self._p_readout

@@ -1,0 +1,139 @@
+"""Exact state-vector simulation of {U3, CZ}-and-friends circuits.
+
+Little-endian convention throughout (qubit 0 is the least significant bit
+of a basis index), matching :mod:`repro.circuit.matrices`.  Gates are
+applied by reshaping the amplitude tensor rather than building full
+2^n x 2^n operators, so circuits up to ~20 qubits simulate comfortably.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import gate_unitary
+from repro.utils.rng import ensure_rng
+
+__all__ = ["StateVector", "simulate_circuit", "sample_counts"]
+
+_MAX_QUBITS = 22
+
+
+class StateVector:
+    """An n-qubit pure state with in-place gate application."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if not (1 <= num_qubits <= _MAX_QUBITS):
+            raise ValueError(
+                f"statevector supports 1..{_MAX_QUBITS} qubits, got {num_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self.amplitudes = np.zeros(2**num_qubits, dtype=complex)
+        self.amplitudes[0] = 1.0
+
+    # -- gate application -------------------------------------------------------
+
+    def apply(self, gate: Gate) -> "StateVector":
+        """Apply one gate (barriers are no-ops; measure raises)."""
+        if gate.name == "barrier":
+            return self
+        if gate.name == "measure":
+            raise ValueError("use sample()/probabilities() instead of measure gates")
+        u = gate_unitary(gate)
+        self._apply_unitary(u, gate.qubits)
+        return self
+
+    def run(self, gates: Iterable[Gate]) -> "StateVector":
+        """Apply a gate sequence in order."""
+        for gate in gates:
+            self.apply(gate)
+        return self
+
+    def _apply_unitary(self, u: np.ndarray, qubits: tuple[int, ...]) -> None:
+        n = self.num_qubits
+        k = len(qubits)
+        if any(not (0 <= q < n) for q in qubits):
+            raise ValueError(f"gate qubits {qubits} out of range for {n} qubits")
+        # View amplitudes as an n-way tensor, with axis i <-> qubit (n-1-i)
+        # because numpy reshapes big-endian.  Move the target axes first.
+        tensor = self.amplitudes.reshape([2] * n)
+        axes = [n - 1 - q for q in qubits]
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        # The matrix convention indexes qubit 0 of the gate as the least
+        # significant bit; after moveaxis, gate qubit i sits at axis i which
+        # is the *most* significant position of the reshaped (2**k, rest)
+        # block, so build the reordered matrix accordingly.
+        perm = _bit_reversal_permutation(k)
+        u_reordered = u[np.ix_(perm, perm)]
+        block = tensor.reshape(2**k, -1)
+        block = u_reordered @ block
+        tensor = block.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self.amplitudes = np.ascontiguousarray(tensor.reshape(-1))
+
+    # -- measurement -----------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """|amplitude|^2 per basis state, little-endian indexed."""
+        return np.abs(self.amplitudes) ** 2
+
+    def probability_of(self, bitstring: str) -> float:
+        """Probability of the classical outcome ``bitstring``.
+
+        The string is written qubit 0 first (``"10"`` means qubit0=1,
+        qubit1=0).
+        """
+        if len(bitstring) != self.num_qubits:
+            raise ValueError(
+                f"bitstring length {len(bitstring)} != {self.num_qubits} qubits"
+            )
+        index = sum(int(b) << i for i, b in enumerate(bitstring))
+        return float(self.probabilities()[index])
+
+    def sample(self, shots: int, seed: int | np.random.Generator | None = 0) -> dict[str, int]:
+        """Sample measurement outcomes; returns bitstring -> count."""
+        rng = ensure_rng(seed)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            bits = "".join(str((int(outcome) >> i) & 1) for i in range(self.num_qubits))
+            counts[bits] = counts.get(bits, 0) + 1
+        return counts
+
+    def fidelity_with(self, other: "StateVector") -> float:
+        """|<self|other>|^2."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit counts differ")
+        return float(abs(np.vdot(self.amplitudes, other.amplitudes)) ** 2)
+
+
+def _bit_reversal_permutation(k: int) -> np.ndarray:
+    """Index permutation mapping little-endian gate indices to axis order."""
+    out = np.zeros(2**k, dtype=int)
+    for i in range(2**k):
+        reversed_bits = 0
+        for b in range(k):
+            if i & (1 << b):
+                reversed_bits |= 1 << (k - 1 - b)
+        out[i] = reversed_bits
+    return out
+
+
+def simulate_circuit(circuit: QuantumCircuit) -> StateVector:
+    """Simulate a circuit from |0...0>; barriers/measures are stripped."""
+    state = StateVector(circuit.num_qubits)
+    state.run(g for g in circuit.gates if g.name not in ("barrier", "measure"))
+    return state
+
+
+def sample_counts(
+    circuit: QuantumCircuit, shots: int = 1000, seed: int = 0
+) -> dict[str, int]:
+    """Simulate and sample a circuit in one call."""
+    return simulate_circuit(circuit).sample(shots, seed)

@@ -1,0 +1,17 @@
+"""Timing helpers shared by the compilers and experiment runners."""
+
+from repro.timing.runtime import (
+    movement_time_us,
+    trap_change_time_us,
+    gate_phase_time_us,
+    runtime_breakdown,
+    RuntimeBreakdown,
+)
+
+__all__ = [
+    "movement_time_us",
+    "trap_change_time_us",
+    "gate_phase_time_us",
+    "runtime_breakdown",
+    "RuntimeBreakdown",
+]

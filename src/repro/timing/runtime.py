@@ -1,0 +1,76 @@
+"""Runtime decomposition of a compiled circuit.
+
+The scheduler already sums per-layer times into ``runtime_us``; this module
+re-derives the breakdown (gate phase vs. movement vs. trap changes) from
+the layer records for the analysis in Table IV and the Fig. 12/13
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "movement_time_us",
+    "trap_change_time_us",
+    "gate_phase_time_us",
+    "runtime_breakdown",
+    "RuntimeBreakdown",
+]
+
+
+def movement_time_us(result: CompilationResult) -> float:
+    """Total time spent transporting atoms (out + return), in microseconds."""
+    spec = result.spec
+    total = 0.0
+    for layer in result.layers:
+        total += spec.move_time_us(layer.move_distance_um)
+        total += spec.move_time_us(layer.return_distance_um)
+    return total
+
+
+def trap_change_time_us(
+    result: CompilationResult, switches_per_resolution: int = 2
+) -> float:
+    """Total time spent in trap-change resolutions, in microseconds."""
+    check_non_negative("switches_per_resolution", switches_per_resolution)
+    spec = result.spec
+    per_event = (
+        switches_per_resolution * spec.trap_switch_time_us
+        + 2.0 * spec.move_time_us(spec.grid_pitch_um)
+    )
+    return result.trap_change_events * per_event
+
+
+def gate_phase_time_us(result: CompilationResult) -> float:
+    """Total time spent in gate pulses (the residual of the layer sums)."""
+    residual = result.runtime_us - movement_time_us(result) - trap_change_time_us(result)
+    return max(residual, 0.0)
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Where a compiled circuit's runtime goes."""
+
+    gates_us: float
+    movement_us: float
+    trap_changes_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.gates_us + self.movement_us + self.trap_changes_us
+
+
+def runtime_breakdown(result: CompilationResult) -> RuntimeBreakdown:
+    """Decompose ``result.runtime_us`` into gate/movement/trap components."""
+    movement = movement_time_us(result)
+    traps = trap_change_time_us(result)
+    return RuntimeBreakdown(
+        gates_us=max(result.runtime_us - movement - traps, 0.0),
+        movement_us=movement,
+        trap_changes_us=traps,
+    )

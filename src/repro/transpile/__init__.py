@@ -1,0 +1,33 @@
+"""Transpiler to the {U3, CZ} universal basis used by the paper.
+
+This replaces the Qiskit transpiler (optimization level 3) used in the
+paper's methodology: every input circuit is first rewritten so that it
+contains only one-qubit ``u3`` gates and two-qubit ``cz`` gates, then
+peephole-optimized (adjacent one-qubit gates merged via ZYZ resynthesis,
+adjacent CZ pairs cancelled, identities dropped) until a fixed point.
+
+All three compilers (Parallax, ELDI, Graphine) consume the same transpiled
+circuit, mirroring the paper's methodology where every technique starts from
+the identical Qiskit-optimized circuit.
+"""
+
+from repro.transpile.euler import zyz_angles, u3_from_unitary
+from repro.transpile.basis import decompose_to_basis
+from repro.transpile.passes import (
+    merge_one_qubit_runs,
+    cancel_cz_pairs,
+    drop_identities,
+    optimize_circuit,
+)
+from repro.transpile.pipeline import transpile
+
+__all__ = [
+    "zyz_angles",
+    "u3_from_unitary",
+    "decompose_to_basis",
+    "merge_one_qubit_runs",
+    "cancel_cz_pairs",
+    "drop_identities",
+    "optimize_circuit",
+    "transpile",
+]

@@ -1,0 +1,213 @@
+"""Structural decomposition of named gates into the {U3, CZ} basis.
+
+One-qubit gates become a single ``u3`` via their matrix (ZYZ resynthesis);
+two-qubit gates expand through CX-based templates with every CX rewritten as
+``H . CZ . H``; three-qubit gates use the standard Toffoli/Fredkin templates.
+All templates are verified against dense unitaries in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import gate_unitary
+from repro.transpile.euler import u3_from_unitary
+
+__all__ = ["decompose_to_basis", "decompose_gate"]
+
+_H_ANGLES = (math.pi / 2.0, 0.0, math.pi)
+_BASIS = ("u3", "cz")
+
+
+def _u3(q: int, theta: float, phi: float, lam: float) -> Gate:
+    return Gate("u3", (q,), (theta, phi, lam))
+
+
+def _h(q: int) -> Gate:
+    return _u3(q, *_H_ANGLES)
+
+
+def _rz(q: int, angle: float) -> Gate:
+    return _u3(q, 0.0, 0.0, angle)
+
+
+def _cx(control: int, target: int) -> list[Gate]:
+    """CX as H(target) CZ H(target)."""
+    return [_h(target), Gate("cz", (control, target)), _h(target)]
+
+
+def _one_qubit_to_u3(gate: Gate) -> list[Gate]:
+    theta, phi, lam = u3_from_unitary(gate_unitary(gate))
+    return [_u3(gate.qubits[0], theta, phi, lam)]
+
+
+def _cx_template(gates: list[tuple[str, tuple[int, ...], tuple[float, ...]]]) -> list[Gate]:
+    """Expand a template whose entries may include 'cx' pseudo-gates."""
+    out: list[Gate] = []
+    for name, qubits, params in gates:
+        if name == "cx":
+            out.extend(_cx(*qubits))
+        elif name == "u3":
+            out.append(Gate("u3", qubits, params))
+        elif name == "cz":
+            out.append(Gate("cz", qubits))
+        else:
+            raise ValueError(f"template gate {name!r} not in basis")
+    return out
+
+
+def _decompose_two_qubit(gate: Gate) -> list[Gate]:
+    a, b = gate.qubits
+    name, p = gate.name, gate.params
+    if name == "cz":
+        return [gate]
+    if name == "cx":
+        return _cx(a, b)
+    if name == "cy":
+        # CY = (I x Sdg) CX (I x S)
+        return [_rz(b, -math.pi / 2), *_cx(a, b), _rz(b, math.pi / 2)]
+    if name == "ch":
+        # CH = (I x [S H T]) CX (I x [Tdg H Sdg])  -- standard qelib1 template.
+        return [
+            _rz(b, math.pi / 2), _h(b), _rz(b, math.pi / 4),
+            *_cx(a, b),
+            _rz(b, -math.pi / 4), _h(b), _rz(b, -math.pi / 2),
+        ]
+    if name == "swap":
+        return [*_cx(a, b), *_cx(b, a), *_cx(a, b)]
+    if name == "iswap":
+        # iSWAP = (S x S)(H x I) CX(a,b) CX(b,a) (I x H)
+        return [
+            _rz(a, math.pi / 2), _rz(b, math.pi / 2), _h(a),
+            *_cx(a, b), *_cx(b, a),
+            _h(b),
+        ]
+    if name in ("cp", "cu1"):
+        t = p[0]
+        return [
+            _rz(a, t / 2), *_cx(a, b), _rz(b, -t / 2), *_cx(a, b), _rz(b, t / 2),
+        ]
+    if name == "crz":
+        t = p[0]
+        return [_rz(b, t / 2), *_cx(a, b), _rz(b, -t / 2), *_cx(a, b)]
+    if name == "crx":
+        # Conjugate CRZ by H on the target.
+        t = p[0]
+        return [_h(b), _rz(b, t / 2), *_cx(a, b), _rz(b, -t / 2), *_cx(a, b), _h(b)]
+    if name == "cry":
+        t = p[0]
+        return [
+            _u3(b, t / 2, 0.0, 0.0), *_cx(a, b),
+            _u3(b, -t / 2, 0.0, 0.0), *_cx(a, b),
+        ]
+    if name == "cu3":
+        theta, phi, lam = p
+        # Standard qelib1 cu3 template.
+        return [
+            _rz(a, (lam + phi) / 2),
+            _rz(b, (lam - phi) / 2),
+            *_cx(a, b),
+            _u3(b, -theta / 2, 0.0, -(phi + lam) / 2),
+            *_cx(a, b),
+            _u3(b, theta / 2, phi, 0.0),
+        ]
+    if name == "rzz":
+        t = p[0]
+        return [*_cx(a, b), _rz(b, t), *_cx(a, b)]
+    if name == "rxx":
+        t = p[0]
+        return [_h(a), _h(b), *_cx(a, b), _rz(b, t), *_cx(a, b), _h(a), _h(b)]
+    if name == "ryy":
+        t = p[0]
+        rx_pos = _u3(a, math.pi / 2, -math.pi / 2, math.pi / 2)
+        rx_posb = _u3(b, math.pi / 2, -math.pi / 2, math.pi / 2)
+        rx_neg = _u3(a, -math.pi / 2, -math.pi / 2, math.pi / 2)
+        rx_negb = _u3(b, -math.pi / 2, -math.pi / 2, math.pi / 2)
+        return [rx_pos, rx_posb, *_cx(a, b), _rz(b, t), *_cx(a, b), rx_neg, rx_negb]
+    raise ValueError(f"no {name!r} two-qubit decomposition template")
+
+
+def _decompose_three_qubit_native(gate: Gate) -> list[Gate]:
+    """Expand three-qubit gates onto {u3, cz, ccz} keeping CCZ native.
+
+    Neutral atoms execute multi-qubit Rydberg gates directly (the paper's
+    background); this GEYSER-style composition path trades six CZ gates for
+    one native CCZ pulse.
+    """
+    name = gate.name
+    if name == "ccz":
+        return [gate]
+    if name == "ccx":
+        a, b, c = gate.qubits
+        return [_h(c), Gate("ccz", (a, b, c)), _h(c)]
+    if name == "cswap":
+        a, b, c = gate.qubits
+        return [
+            *_cx(c, b),
+            _h(c), Gate("ccz", (a, b, c)), _h(c),
+            *_cx(c, b),
+        ]
+    raise ValueError(f"no native {name!r} three-qubit composition")
+
+
+def _decompose_three_qubit(gate: Gate) -> list[Gate]:
+    name = gate.name
+    if name == "ccx":
+        a, b, c = gate.qubits
+        # Standard 6-CX Toffoli template.
+        t = math.pi / 4
+        return [
+            _h(c),
+            *_cx(b, c), _rz(c, -t),
+            *_cx(a, c), _rz(c, t),
+            *_cx(b, c), _rz(c, -t),
+            *_cx(a, c), _rz(b, t), _rz(c, t),
+            *_cx(a, b), _h(c),
+            _rz(a, t), _rz(b, -t),
+            *_cx(a, b),
+        ]
+    if name == "ccz":
+        a, b, c = gate.qubits
+        inner = Gate("ccx", (a, b, c))
+        return [_h(c), *_decompose_three_qubit(inner), _h(c)]
+    if name == "cswap":
+        # Fredkin = CX(c->b) . Toffoli(a,b -> c) . CX(c->b)
+        a, b, c = gate.qubits
+        inner = _decompose_three_qubit(Gate("ccx", (a, b, c)))
+        return [*_cx(c, b), *inner, *_cx(c, b)]
+    raise ValueError(f"no {name!r} three-qubit decomposition template")
+
+
+def decompose_gate(gate: Gate, keep_ccz: bool = False) -> list[Gate]:
+    """Expand one gate into an equivalent {u3, cz} sequence.
+
+    With ``keep_ccz``, three-qubit gates compose onto a native CCZ pulse
+    instead of the six-CZ Toffoli template.  ``barrier`` and ``measure``
+    pass through unchanged.
+    """
+    if gate.name in ("barrier", "measure"):
+        return [gate]
+    if gate.name in _BASIS:
+        return [gate]
+    if gate.num_qubits == 1:
+        return _one_qubit_to_u3(gate)
+    if gate.num_qubits == 2:
+        return _decompose_two_qubit(gate)
+    if gate.num_qubits == 3:
+        if keep_ccz:
+            return _decompose_three_qubit_native(gate)
+        return _decompose_three_qubit(gate)
+    raise ValueError(f"cannot decompose {gate.num_qubits}-qubit gate {gate.name!r}")
+
+
+def decompose_to_basis(circuit: QuantumCircuit, keep_ccz: bool = False) -> QuantumCircuit:
+    """Rewrite every gate of ``circuit`` into the {u3, cz} basis.
+
+    With ``keep_ccz`` the output basis is {u3, cz, ccz}.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for gate in circuit.gates:
+        out.extend(decompose_gate(gate, keep_ccz=keep_ccz))
+    return out

@@ -1,0 +1,76 @@
+"""ZYZ Euler-angle resynthesis of one-qubit unitaries.
+
+Any 2x2 unitary equals ``e^{i a} Rz(phi) Ry(theta) Rz(lam)``, and
+``U3(theta, phi, lam)`` equals that product up to global phase.  The
+transpiler multiplies runs of adjacent one-qubit gates into a single matrix
+and resynthesizes one ``u3`` from it here.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+__all__ = ["zyz_angles", "u3_from_unitary", "is_identity_up_to_phase"]
+
+_ATOL = 1e-10
+
+
+def zyz_angles(u: np.ndarray) -> tuple[float, float, float]:
+    """Return ``(theta, phi, lam)`` with ``U3(theta,phi,lam) ~ u`` (global phase free).
+
+    Raises:
+        ValueError: if ``u`` is not (close to) a 2x2 unitary.
+    """
+    u = np.asarray(u, dtype=complex)
+    if u.shape != (2, 2):
+        raise ValueError(f"expected 2x2 matrix, got shape {u.shape}")
+    if not np.allclose(u.conj().T @ u, np.eye(2), atol=1e-8):
+        raise ValueError("matrix is not unitary")
+    # Strip global phase: make det(u) == 1 (SU(2) form).
+    det = np.linalg.det(u)
+    su = u / cmath.sqrt(det)
+    # su = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #       [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    # atan2 keeps full precision near theta = 0 and theta = pi, where acos
+    # of a magnitude loses ~1e-8 of accuracy.
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(math.sin(theta / 2.0)) > _ATOL and abs(math.cos(theta / 2.0)) > _ATOL:
+        plus = 2.0 * cmath.phase(su[1, 1])
+        minus = 2.0 * cmath.phase(su[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(math.sin(theta / 2.0)) <= _ATOL:
+        # Diagonal: only phi + lam is determined.
+        phi = 2.0 * cmath.phase(su[1, 1])
+        lam = 0.0
+    else:
+        # Anti-diagonal: only phi - lam is determined.
+        phi = 2.0 * cmath.phase(su[1, 0])
+        lam = 0.0
+    return (_wrap(theta), _wrap(phi), _wrap(lam))
+
+
+def _wrap(angle: float) -> float:
+    """Wrap an angle into (-pi, pi]."""
+    wrapped = math.fmod(angle, 2.0 * math.pi)
+    if wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    elif wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    return wrapped
+
+
+def u3_from_unitary(u: np.ndarray) -> tuple[float, float, float]:
+    """Alias of :func:`zyz_angles`, named for its use in gate resynthesis."""
+    return zyz_angles(u)
+
+
+def is_identity_up_to_phase(u: np.ndarray, atol: float = 1e-9) -> bool:
+    """True if ``u`` equals ``e^{i a} I`` for some phase ``a``."""
+    u = np.asarray(u, dtype=complex)
+    if abs(u[0, 1]) > atol or abs(u[1, 0]) > atol:
+        return False
+    return abs(u[0, 0] - u[1, 1]) < atol and abs(abs(u[0, 0]) - 1.0) < atol

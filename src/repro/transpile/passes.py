@@ -1,0 +1,114 @@
+"""Peephole optimization passes over {u3, cz} circuits.
+
+Three passes, applied to a fixed point by :func:`optimize_circuit`:
+
+- :func:`merge_one_qubit_runs` -- multiply maximal runs of adjacent
+  one-qubit gates on the same qubit into one matrix and resynthesize a
+  single ``u3`` (dropped entirely when the product is the identity).
+- :func:`cancel_cz_pairs` -- remove back-to-back CZ gates on the same
+  unordered qubit pair with no intervening gate on either qubit.
+- :func:`drop_identities` -- remove ``u3`` gates that are the identity up to
+  global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import gate_unitary
+from repro.transpile.euler import is_identity_up_to_phase, u3_from_unitary
+
+__all__ = [
+    "merge_one_qubit_runs",
+    "cancel_cz_pairs",
+    "drop_identities",
+    "optimize_circuit",
+]
+
+_BLOCKING = ("barrier", "measure")
+
+
+def merge_one_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge adjacent one-qubit gates per qubit into single ``u3`` gates.
+
+    A "run" is a maximal sequence of one-qubit gates on qubit ``q`` with no
+    two-qubit gate, barrier or measure touching ``q`` in between.  Runs whose
+    product is the identity vanish.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if is_identity_up_to_phase(matrix):
+            return
+        theta, phi, lam = u3_from_unitary(matrix)
+        out.append(Gate("u3", (qubit,), (theta, phi, lam)))
+
+    for gate in circuit.gates:
+        if gate.num_qubits == 1 and gate.name not in _BLOCKING:
+            q = gate.qubits[0]
+            u = gate_unitary(gate)
+            pending[q] = u @ pending.get(q, np.eye(2, dtype=complex))
+        else:
+            for q in gate.qubits:
+                flush(q)
+            out.append(gate)
+    for q in sorted(pending):
+        flush(q)
+    return out
+
+
+def cancel_cz_pairs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove pairs of identical CZ gates with nothing between them.
+
+    CZ is self-inverse and symmetric in its qubits, so ``cz a,b; cz b,a``
+    cancels whenever no other gate touches ``a`` or ``b`` in between.
+    """
+    gates = list(circuit.gates)
+    # last_pending[pair] = index into `kept` of an un-cancelled CZ on pair
+    kept: list[Gate | None] = []
+    last_pending: dict[tuple[int, int], int] = {}
+    for gate in gates:
+        if gate.name == "cz":
+            pair = (min(gate.qubits), max(gate.qubits))
+            if pair in last_pending:
+                kept[last_pending.pop(pair)] = None
+                continue
+            last_pending[pair] = len(kept)
+            kept.append(gate)
+            continue
+        # Any other gate on a qubit invalidates pending CZs touching it.
+        for q in gate.qubits:
+            stale = [pair for pair in last_pending if q in pair]
+            for pair in stale:
+                del last_pending[pair]
+        kept.append(gate)
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    out.extend(g for g in kept if g is not None)
+    return out
+
+
+def drop_identities(circuit: QuantumCircuit, atol: float = 1e-9) -> QuantumCircuit:
+    """Remove ``u3`` gates whose matrix is the identity up to global phase."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for gate in circuit.gates:
+        if gate.name == "u3" and is_identity_up_to_phase(gate_unitary(gate), atol):
+            continue
+        out.append(gate)
+    return out
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_rounds: int = 20) -> QuantumCircuit:
+    """Apply all peephole passes until the gate list stops changing."""
+    current = circuit
+    for _ in range(max_rounds):
+        before = len(current)
+        current = drop_identities(merge_one_qubit_runs(cancel_cz_pairs(current)))
+        if len(current) == before:
+            break
+    return current

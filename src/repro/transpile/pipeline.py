@@ -1,0 +1,40 @@
+"""The transpile entry point: QASM-or-IR circuit in, optimized {u3, cz} out."""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.transpile.basis import decompose_to_basis
+from repro.transpile.passes import optimize_circuit
+
+__all__ = ["transpile"]
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    optimize: bool = True,
+    strip_structural: bool = True,
+    native_multiqubit: bool = False,
+) -> QuantumCircuit:
+    """Rewrite ``circuit`` into the optimized {u3, cz} basis.
+
+    Args:
+        circuit: any circuit over the gate names the IR knows.
+        optimize: run the peephole passes to a fixed point (mirrors the
+            paper's use of Qiskit's highest optimization level).
+        strip_structural: drop barriers and measurement markers; the
+            neutral-atom compilers schedule only computational gates and the
+            noise model adds measurement effects separately.
+        native_multiqubit: keep three-qubit gates as native ``ccz`` pulses
+            (GEYSER-style composition; basis becomes {u3, cz, ccz}).
+
+    Returns:
+        A new circuit containing only ``u3`` and ``cz`` gates -- plus
+        ``ccz`` with ``native_multiqubit``, and barriers/measures if
+        ``strip_structural`` is False.
+    """
+    work = circuit.without({"barrier", "measure"}) if strip_structural else circuit
+    work = decompose_to_basis(work, keep_ccz=native_multiqubit)
+    if optimize:
+        work = optimize_circuit(work)
+    work.name = circuit.name
+    return work

@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG plumbing, validation, profiling, tables."""
+
+from repro.utils.rng import ensure_rng, derive_rng
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "derive_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "format_table",
+]

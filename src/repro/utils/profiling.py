@@ -1,0 +1,55 @@
+"""Lightweight timing hooks for the compiler's hot loops.
+
+Following the scientific-Python optimization workflow (measure before you
+optimize), the scheduler and movement engine record wall-clock time per
+phase here.  The collector is explicit and opt-in: with no collector
+installed the overhead is one attribute check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulate wall-clock seconds per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("placement"):
+            ...
+        timer.totals()  # {"placement": 0.42}
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds per phase, in insertion order."""
+        return dict(self._totals)
+
+    def counts(self) -> dict[str, int]:
+        """Number of times each phase was entered."""
+        return dict(self._counts)
+
+    def report(self) -> str:
+        """Human-readable per-phase summary, slowest first."""
+        items = sorted(self._totals.items(), key=lambda kv: -kv[1])
+        lines = [f"{name:<24s} {secs:10.4f} s  (x{self._counts[name]})" for name, secs in items]
+        return "\n".join(lines) if lines else "(no phases recorded)"

@@ -1,0 +1,38 @@
+"""Deterministic random-number plumbing.
+
+All stochastic components of the reproduction (dual annealing restarts, the
+layer shuffle in Algorithm 1, random benchmark circuits) draw from
+``numpy.random.Generator`` objects created here, so that every experiment is
+reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "derive_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    ``None`` gives a default-seeded generator (seed 0) rather than an
+    OS-entropy generator: the reproduction favours determinism, and callers
+    who want fresh entropy can pass ``np.random.default_rng()`` explicitly.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng(0)
+    return np.random.default_rng(int(seed))
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    Used when one seeded experiment spawns several stochastic stages (e.g.
+    placement annealing vs. scheduler shuffling) that must not perturb each
+    other's draws when one stage changes.
+    """
+    child_seed = rng.integers(0, 2**63 - 1, dtype=np.int64)
+    return np.random.default_rng([int(child_seed), int(stream)])

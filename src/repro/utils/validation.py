@@ -1,0 +1,40 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0`` (and finite); return it for chaining."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0`` (and finite); return it for chaining."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not math.isfinite(value) or not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Require ``lo <= value <= hi``; return it for chaining."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value

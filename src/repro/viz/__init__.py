@@ -1,0 +1,17 @@
+"""Plain-text visualization of circuits and machine geometry.
+
+No plotting dependency is available offline, so these renderers emit ASCII:
+
+- :func:`draw_circuit` -- horizontal wire diagram of a circuit (Fig. 1
+  style).
+- :func:`draw_machine` -- top-down map of the atom grid showing SLM atoms,
+  AOD atoms, and free sites (Fig. 4 style).
+- :func:`draw_layers` -- the compiled schedule, one line per layer with
+  movement/trap annotations.
+"""
+
+from repro.viz.circuit_drawer import draw_circuit
+from repro.viz.machine_drawer import draw_machine, draw_layers
+from repro.viz.svg import machine_to_svg
+
+__all__ = ["draw_circuit", "draw_machine", "draw_layers", "machine_to_svg"]

@@ -1,0 +1,67 @@
+"""ASCII circuit drawing (the paper's Fig. 1 style, in text).
+
+Each qubit is a horizontal wire; gates stack left to right in ASAP layers.
+Two-qubit gates draw a vertical connector between their wires.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import circuit_layers
+
+__all__ = ["draw_circuit"]
+
+_CELL = 5  # characters per layer column
+
+
+def _gate_label(name: str) -> str:
+    return {"u3": "U3", "cz": "o", "measure": "M"}.get(name, name.upper()[:3])
+
+
+def draw_circuit(circuit: QuantumCircuit, max_layers: int = 40) -> str:
+    """Render ``circuit`` as an ASCII wire diagram.
+
+    Args:
+        circuit: any IR circuit.
+        max_layers: truncate after this many layers (an ellipsis column
+            marks the cut).
+
+    Returns:
+        Multi-line string; one row per qubit labelled ``q0:`` etc.
+    """
+    layers = circuit_layers(circuit)
+    truncated = len(layers) > max_layers
+    layers = layers[:max_layers]
+    n = circuit.num_qubits
+    width = len(layers) * _CELL
+    # Character canvas: rows = 2n - 1 (wires + connector rows between).
+    canvas = [[" "] * width for _ in range(2 * n - 1)]
+    for q in range(n):
+        for x in range(width):
+            canvas[2 * q][x] = "-"
+
+    for layer_idx, layer in enumerate(layers):
+        x0 = layer_idx * _CELL
+        for gate in layer:
+            if gate.num_qubits == 1:
+                label = _gate_label(gate.name)
+                row = 2 * gate.qubits[0]
+                for i, ch in enumerate(label[: _CELL - 2]):
+                    canvas[row][x0 + 1 + i] = ch
+            else:
+                qs = sorted(gate.qubits)
+                top, bottom = qs[0], qs[-1]
+                mid = x0 + 2
+                for q in qs:
+                    canvas[2 * q][mid] = "o" if gate.name == "cz" else "*"
+                for row in range(2 * top + 1, 2 * bottom):
+                    if canvas[row][mid] == " ":
+                        canvas[row][mid] = "|"
+
+    lines = []
+    for q in range(n):
+        prefix = f"q{q:<2d}: "
+        lines.append(prefix + "".join(canvas[2 * q]) + (" ..." if truncated else ""))
+        if q < n - 1:
+            lines.append(" " * len(prefix) + "".join(canvas[2 * q + 1]))
+    return "\n".join(lines)

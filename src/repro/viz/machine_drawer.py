@@ -1,0 +1,56 @@
+"""ASCII rendering of machine state and compiled schedules."""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineState
+from repro.core.result import CompilationResult
+
+__all__ = ["draw_machine", "draw_layers"]
+
+
+def draw_machine(state: MachineState, show_indices: bool = True) -> str:
+    """Top-down map of the atom grid.
+
+    Legend: ``.`` free site, ``[n]``/``s`` SLM atom, ``(n)``/``a`` AOD atom
+    (AOD atoms are drawn at their *nearest* site; exact coordinates are
+    continuous).  Row 0 prints at the bottom so y grows upward, matching
+    the paper's figures.
+    """
+    rows, cols = state.spec.grid_rows, state.spec.grid_cols
+    cells = [["  .  " for _ in range(cols)] for _ in range(rows)]
+    for q in range(state.num_qubits):
+        x, y = state.positions[q]
+        row, col = state.slm.nearest_site(state.positions[q])
+        if state.is_mobile(q):
+            text = f"({q})" if show_indices else "(a)"
+        else:
+            text = f"[{q}]" if show_indices else "[s]"
+        cells[row][col] = f"{text:^5s}"
+    lines = []
+    for row in range(rows - 1, -1, -1):
+        lines.append(f"y{row:<3d}" + "".join(cells[row]))
+    header = "    " + "".join(f"{c:^5d}" for c in range(cols))
+    lines.append(header)
+    return "\n".join(lines)
+
+
+def draw_layers(result: CompilationResult, max_layers: int = 30) -> str:
+    """One line per compiled layer: gates plus movement/trap annotations."""
+    lines = [
+        f"{result.technique} schedule for {result.circuit_name!r}: "
+        f"{result.num_layers} layers, {result.runtime_us:.1f} us"
+    ]
+    for i, layer in enumerate(result.layers[:max_layers]):
+        gate_text = ", ".join(str(g) for g in layer.gates)
+        notes = []
+        if layer.move_distance_um > 0:
+            notes.append(f"move {layer.move_distance_um:.1f}um")
+        if layer.return_distance_um > 0:
+            notes.append(f"return {layer.return_distance_um:.1f}um")
+        if layer.trap_changes:
+            notes.append(f"{layer.trap_changes} trap change(s)")
+        suffix = f"   <{'; '.join(notes)}>" if notes else ""
+        lines.append(f"  L{i + 1:>4d} [{layer.time_us:7.2f} us] {gate_text}{suffix}")
+    if result.num_layers > max_layers:
+        lines.append(f"  ... ({result.num_layers - max_layers} more layers)")
+    return "\n".join(lines)

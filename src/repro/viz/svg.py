@@ -1,0 +1,104 @@
+"""Dependency-free SVG rendering of machine layouts.
+
+Produces standalone SVG documents (plain strings) showing the atom grid:
+free sites as dots, SLM atoms as filled circles, AOD atoms as rings, with
+the interaction and blockade radii drawn around a chosen atom.  Useful for
+papers/slides without any plotting stack installed.
+"""
+
+from __future__ import annotations
+
+from repro.core.machine import MachineState
+
+__all__ = ["machine_to_svg"]
+
+_SCALE = 8.0       # SVG pixels per micrometer
+_MARGIN = 30.0     # pixels around the grid
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def machine_to_svg(
+    state: MachineState,
+    highlight_qubit: int | None = None,
+    show_labels: bool = True,
+) -> str:
+    """Render the machine state as an SVG document string.
+
+    Args:
+        state: the machine to draw.
+        highlight_qubit: if given, draw that atom's interaction (solid) and
+            blockade (dashed) radii, Fig. 3(a) style.
+        show_labels: annotate atoms with their qubit indices.
+    """
+    spec = state.spec
+    width_um, height_um = spec.extent_um
+    width = width_um * _SCALE + 2 * _MARGIN
+    height = height_um * _SCALE + 2 * _MARGIN
+
+    def sx(x_um: float) -> float:
+        return _MARGIN + x_um * _SCALE
+
+    def sy(y_um: float) -> float:
+        # SVG y grows downward; the paper's figures grow upward.
+        return height - (_MARGIN + y_um * _SCALE)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(width)}" '
+        f'height="{_fmt(height)}" viewBox="0 0 {_fmt(width)} {_fmt(height)}">',
+        f'<rect width="{_fmt(width)}" height="{_fmt(height)}" fill="white"/>',
+        f"<!-- {spec.name}: {spec.grid_rows}x{spec.grid_cols} sites, "
+        f"pitch {spec.grid_pitch_um} um -->",
+    ]
+
+    # Free grid sites as faint dots.
+    pitch = spec.grid_pitch_um
+    occupied = {tuple(site) for site in state.sites}
+    for row in range(spec.grid_rows):
+        for col in range(spec.grid_cols):
+            if (row, col) in occupied:
+                continue
+            parts.append(
+                f'<circle cx="{_fmt(sx(col * pitch))}" cy="{_fmt(sy(row * pitch))}" '
+                f'r="1.5" fill="#cccccc"/>'
+            )
+
+    # Radii for the highlighted atom (under the atoms so strokes stay visible).
+    if highlight_qubit is not None:
+        if not (0 <= highlight_qubit < state.num_qubits):
+            raise ValueError(f"no qubit {highlight_qubit} to highlight")
+        hx, hy = state.positions[highlight_qubit]
+        parts.append(
+            f'<circle cx="{_fmt(sx(hx))}" cy="{_fmt(sy(hy))}" '
+            f'r="{_fmt(state.interaction_radius * _SCALE)}" fill="none" '
+            f'stroke="#2a7de1" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<circle cx="{_fmt(sx(hx))}" cy="{_fmt(sy(hy))}" '
+            f'r="{_fmt(state.blockade_radius * _SCALE)}" fill="none" '
+            f'stroke="#e1662a" stroke-width="1.5" stroke-dasharray="6 4"/>'
+        )
+
+    # Atoms: SLM filled, AOD as rings.
+    for q in range(state.num_qubits):
+        x, y = state.positions[q]
+        if state.is_mobile(q):
+            parts.append(
+                f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(y))}" r="6" '
+                f'fill="white" stroke="#d6336c" stroke-width="2.5"/>'
+            )
+        else:
+            parts.append(
+                f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(y))}" r="6" '
+                f'fill="#343a40"/>'
+            )
+        if show_labels:
+            parts.append(
+                f'<text x="{_fmt(sx(x) + 8)}" y="{_fmt(sy(y) - 8)}" '
+                f'font-size="10" font-family="monospace">{q}</text>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,130 @@
+"""Tests for repro.analysis: metrics and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    ComparisonSummary,
+    compare_techniques,
+    cz_reduction,
+    geometric_mean,
+    success_improvement,
+)
+from repro.analysis.report import render_markdown_report
+from repro.core.result import CompilationResult
+from repro.experiments.common import ExperimentTable
+from repro.hardware.spec import HardwareSpec
+
+
+def make_result(technique="parallax", num_cz=100, runtime_us=100.0, **kwargs):
+    defaults = dict(
+        technique=technique,
+        circuit_name="t",
+        num_qubits=4,
+        spec=HardwareSpec.quera_aquila(),
+        num_cz=num_cz,
+        runtime_us=runtime_us,
+    )
+    defaults.update(kwargs)
+    return CompilationResult(**defaults)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestCzReduction:
+    def test_reduction(self):
+        base = make_result("graphine", num_cz=200)
+        parallax = make_result(num_cz=100)
+        assert cz_reduction(base, parallax) == pytest.approx(0.5)
+
+    def test_zero_baseline(self):
+        assert cz_reduction(make_result(num_cz=0), make_result(num_cz=0)) == 0.0
+
+
+class TestSuccessImprovement:
+    def test_fewer_cz_improves(self):
+        base = make_result("eldi", num_cz=400)
+        parallax = make_result(num_cz=100)
+        assert success_improvement(base, parallax) > 0
+
+    def test_equal_results_zero(self):
+        a = make_result(num_cz=100)
+        b = make_result(num_cz=100)
+        assert success_improvement(a, b) == pytest.approx(0.0)
+
+
+class TestCompareTechniques:
+    def build_results(self):
+        return {
+            "B1": {
+                "parallax": make_result(num_cz=100, runtime_us=100),
+                "eldi": make_result("eldi", num_cz=200, runtime_us=80),
+            },
+            "B2": {
+                "parallax": make_result(num_cz=50, runtime_us=50),
+                "eldi": make_result("eldi", num_cz=100, runtime_us=50),
+            },
+        }
+
+    def test_summary_fields(self):
+        summary = compare_techniques(self.build_results(), "eldi")
+        assert summary.baseline == "eldi"
+        assert summary.num_benchmarks == 2
+        assert summary.mean_cz_reduction == pytest.approx(0.5)
+        assert summary.mean_success_improvement > 0
+        assert summary.median_success_improvement > 0
+        assert summary.mean_runtime_ratio > 0
+
+    def test_missing_technique_rejected(self):
+        with pytest.raises(KeyError):
+            compare_techniques({"B": {"parallax": make_result()}}, "eldi")
+
+    def test_describe_is_readable(self):
+        summary = compare_techniques(self.build_results(), "eldi")
+        text = summary.describe()
+        assert "eldi" in text and "benchmarks" in text
+
+    def test_infinite_improvements_excluded(self):
+        results = {
+            "B": {
+                "parallax": make_result(num_cz=10),
+                "eldi": make_result("eldi", num_cz=2_000_000),  # underflows
+            }
+        }
+        summary = compare_techniques(results, "eldi")
+        assert not math.isinf(summary.mean_success_improvement)
+
+
+class TestMarkdownReport:
+    def test_renders_tables_and_notes(self):
+        table = ExperimentTable(
+            title="Demo", headers=("a", "b"), rows=((1, 2.5), (3, 4.0))
+        )
+        text = render_markdown_report(
+            "Report", [table], notes=["shape holds"],
+        )
+        assert "# Report" in text
+        assert "## Demo" in text
+        assert "| a | b |" in text
+        assert "- shape holds" in text
+
+    def test_summaries_section(self):
+        summary = ComparisonSummary(
+            baseline="eldi", num_benchmarks=3, mean_cz_reduction=0.25,
+            mean_success_improvement=0.3, median_success_improvement=0.3,
+            mean_runtime_ratio=1.1,
+        )
+        text = render_markdown_report("R", [], summaries={"vs ELDI": summary})
+        assert "Headline comparisons" in text
+        assert "vs ELDI" in text

@@ -1,0 +1,158 @@
+"""Tests for the ELDI / Graphine baseline compilers and static scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.eldi import EldiCompiler, EldiConfig
+from repro.baselines.graphine_compiler import GraphineCompiler
+from repro.baselines.static_schedule import static_schedule
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.hardware.spec import HardwareSpec
+from repro.transpile import transpile
+
+
+def ring_circuit(n=6, rounds=2):
+    c = QuantumCircuit(n, "ring")
+    for _ in range(rounds):
+        for i in range(n):
+            c.cz(i, (i + 1) % n)
+        for i in range(n):
+            c.h(i)
+    return c
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+class TestStaticSchedule:
+    def test_dependencies_respected(self, spec):
+        positions = np.array([[0, 0], [10, 0], [20, 0]], dtype=float)
+        gates = [Gate("cz", (0, 1)), Gate("u3", (0,), (0.1, 0.2, 0.3))]
+        schedule = static_schedule(gates, positions, blockade_radius=5.0, spec=spec)
+        # u3 on qubit 0 must come after the cz.
+        first = schedule.layers[0].gates
+        assert any(g.name == "cz" for g in first)
+
+    def test_blockade_conflicts_serialize(self, spec):
+        # Two CZ pairs well within each other's blockade radius.
+        positions = np.array([[0, 0], [1, 0], [2, 0], [3, 0]], dtype=float)
+        gates = [Gate("cz", (0, 1)), Gate("cz", (2, 3))]
+        schedule = static_schedule(gates, positions, blockade_radius=10.0, spec=spec)
+        cz_layers = [l for l in schedule.layers if any(g.name == "cz" for g in l.gates)]
+        assert len(cz_layers) == 2
+
+    def test_distant_gates_share_layer(self, spec):
+        positions = np.array([[0, 0], [1, 0], [100, 0], [101, 0]], dtype=float)
+        gates = [Gate("cz", (0, 1)), Gate("cz", (2, 3))]
+        schedule = static_schedule(gates, positions, blockade_radius=10.0, spec=spec)
+        assert len(schedule.layers) == 1
+
+    def test_swap_layer_costs_three_cz(self, spec):
+        positions = np.array([[0, 0], [1, 0]], dtype=float)
+        schedule = static_schedule(
+            [Gate("swap", (0, 1))], positions, blockade_radius=5.0, spec=spec
+        )
+        assert schedule.runtime_us == pytest.approx(3 * spec.cz_time_us)
+
+    def test_runtime_is_layer_sum(self, spec):
+        positions = np.array([[0, 0], [1, 0], [2, 0]], dtype=float)
+        gates = [Gate("cz", (0, 1)), Gate("u3", (2,), (0.1, 0.2, 0.3))]
+        schedule = static_schedule(gates, positions, blockade_radius=3.0, spec=spec)
+        assert schedule.runtime_us == pytest.approx(
+            sum(l.time_us for l in schedule.layers)
+        )
+
+
+class TestEldiCompiler:
+    def test_compiles_and_counts(self, spec):
+        result = EldiCompiler(spec).compile(ring_circuit())
+        assert result.technique == "eldi"
+        base_cz = transpile(ring_circuit()).count_ops()["cz"]
+        assert result.num_cz == base_cz + 3 * result.num_swaps
+
+    def test_no_movement_no_trap_changes(self, spec):
+        result = EldiCompiler(spec).compile(ring_circuit())
+        assert result.num_moves == 0
+        assert result.trap_change_events == 0
+        assert result.aod_qubits == ()
+
+    def test_compact_placement_footprint(self, spec):
+        # 6 qubits placed compactly near the grid center.
+        result = EldiCompiler(spec).compile(ring_circuit())
+        rows, cols = result.footprint_sites
+        assert rows * cols <= 16
+
+    def test_radius_covers_diagonals(self, spec):
+        result = EldiCompiler(spec).compile(ring_circuit())
+        assert result.interaction_radius_um > spec.grid_pitch_um * 1.4
+
+    def test_too_many_qubits_rejected(self, spec):
+        c = QuantumCircuit(257)
+        c.cz(0, 256)
+        with pytest.raises(ValueError, match="exceed"):
+            EldiCompiler(spec).compile(c)
+
+    def test_deterministic(self, spec):
+        a = EldiCompiler(spec).compile(ring_circuit())
+        b = EldiCompiler(spec).compile(ring_circuit())
+        assert a.num_cz == b.num_cz
+        assert a.runtime_us == pytest.approx(b.runtime_us)
+
+
+class TestGraphineCompiler:
+    def test_compiles_and_counts(self, spec):
+        result = GraphineCompiler(spec).compile(ring_circuit())
+        assert result.technique == "graphine"
+        base_cz = transpile(ring_circuit()).count_ops()["cz"]
+        assert result.num_cz == base_cz + 3 * result.num_swaps
+
+    def test_custom_layout_no_movement(self, spec):
+        result = GraphineCompiler(spec).compile(ring_circuit())
+        assert result.num_moves == 0
+        assert result.aod_qubits == ()
+
+    def test_radius_at_least_one_pitch(self, spec):
+        result = GraphineCompiler(spec).compile(ring_circuit())
+        assert result.interaction_radius_um >= spec.grid_pitch_um
+
+    def test_runtime_positive(self, spec):
+        assert GraphineCompiler(spec).compile(ring_circuit()).runtime_us > 0
+
+
+class TestPaperOrdering:
+    """The headline orderings of Fig. 9 hold on representative circuits."""
+
+    def test_parallax_never_more_cz(self, spec):
+        from repro.core.compiler import ParallaxCompiler
+
+        circuit = ring_circuit()
+        parallax = ParallaxCompiler(spec).compile(circuit)
+        eldi = EldiCompiler(spec).compile(circuit)
+        graphine = GraphineCompiler(spec).compile(circuit)
+        assert parallax.num_cz <= eldi.num_cz
+        assert parallax.num_cz <= graphine.num_cz
+
+    def test_high_connectivity_gap_larger(self, spec):
+        from repro.core.compiler import ParallaxCompiler
+
+        # All-to-all circuit (QV-like) vs chain (TFIM-like).
+        dense = QuantumCircuit(8, "dense")
+        for a in range(8):
+            for b in range(a + 1, 8):
+                dense.cz(a, b)
+        chain = QuantumCircuit(8, "chain")
+        for _ in range(4):
+            for i in range(7):
+                chain.cz(i, i + 1)
+            for i in range(8):
+                chain.h(i)  # keep rounds from cancelling (CZs commute)
+
+        def swap_overhead(circuit):
+            parallax = ParallaxCompiler(spec).compile(circuit)
+            graphine = GraphineCompiler(spec).compile(circuit)
+            return (graphine.num_cz - parallax.num_cz) / parallax.num_cz
+
+        assert swap_overhead(dense) >= swap_overhead(chain)

@@ -1,0 +1,104 @@
+"""Tests for repro.baselines.router: SWAP routing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.router import RoutingError, SwapRouter
+from repro.circuit.circuit import QuantumCircuit
+
+
+def line_positions(n, spacing=1.0):
+    return np.array([[i * spacing, 0.0] for i in range(n)], dtype=float)
+
+
+class TestMapping:
+    def test_identity_initial_mapping(self):
+        router = SwapRouter(line_positions(3), 1.5)
+        assert router.physical(0) == 0
+        assert router.physical(2) == 2
+
+    def test_custom_initial_mapping(self):
+        router = SwapRouter(line_positions(3), 1.5, {0: 2, 1: 1, 2: 0})
+        assert router.physical(0) == 2
+
+    def test_non_injective_mapping_rejected(self):
+        with pytest.raises(ValueError, match="injective"):
+            SwapRouter(line_positions(3), 1.5, {0: 0, 1: 0, 2: 2})
+
+
+class TestRouting:
+    def test_adjacent_cz_needs_no_swaps(self):
+        router = SwapRouter(line_positions(3), 1.5)
+        routed = router.route(QuantumCircuit(3).cz(0, 1))
+        assert routed.num_swaps == 0
+        assert [g.name for g in routed.gates] == ["cz"]
+
+    def test_distant_cz_inserts_swaps(self):
+        # Line 0-1-2-3 with radius covering neighbors only; cz(0, 3) needs
+        # the state of 0 moved to within range of 3 (two swaps).
+        router = SwapRouter(line_positions(4), 1.2)
+        routed = router.route(QuantumCircuit(4).cz(0, 3))
+        assert routed.num_swaps == 2
+        assert routed.num_cz_expanded == 1 + 3 * 2
+
+    def test_swap_stops_as_soon_as_in_range(self):
+        router = SwapRouter(line_positions(3), 1.2)
+        routed = router.route(QuantumCircuit(3).cz(0, 2))
+        assert routed.num_swaps == 1
+
+    def test_mapping_updated_after_swap(self):
+        router = SwapRouter(line_positions(4), 1.2)
+        router.route(QuantumCircuit(4).cz(0, 3))
+        # Logical 0's state moved along the line.
+        assert router.physical(0) != 0
+
+    def test_single_qubit_gates_follow_mapping(self):
+        router = SwapRouter(line_positions(4), 1.2)
+        c = QuantumCircuit(4).cz(0, 3).h(0)
+        routed = router.route(c)
+        h_gates = [g for g in routed.gates if g.name == "h"]
+        assert h_gates[0].qubits[0] == router.physical(0)
+
+    def test_disconnected_topology_raises(self):
+        positions = np.array([[0, 0], [100, 0]], dtype=float)
+        router = SwapRouter(positions, 1.0)
+        with pytest.raises(RoutingError, match="disconnected"):
+            router.route(QuantumCircuit(2).cz(0, 1))
+
+    def test_barriers_and_measures_skipped(self):
+        router = SwapRouter(line_positions(2), 1.5)
+        c = QuantumCircuit(2)
+        c.add("barrier", (0,))
+        c.add("measure", (0,))
+        routed = router.route(c)
+        assert routed.gates == []
+
+    def test_non_basis_two_qubit_rejected(self):
+        router = SwapRouter(line_positions(2), 1.5)
+        with pytest.raises(ValueError, match="cz"):
+            router.route(QuantumCircuit(2).cx(0, 1))
+
+    def test_final_mapping_is_permutation(self):
+        router = SwapRouter(line_positions(5), 1.2)
+        c = QuantumCircuit(5).cz(0, 4).cz(1, 3).cz(0, 2)
+        routed = router.route(c)
+        values = list(routed.final_mapping.values())
+        assert len(set(values)) == len(values)
+
+    def test_every_emitted_cz_within_radius(self):
+        positions = line_positions(6)
+        router = SwapRouter(positions, 1.2)
+        c = QuantumCircuit(6).cz(0, 5).cz(2, 4).cz(1, 5)
+        routed = router.route(c)
+        for gate in routed.gates:
+            if gate.name in ("cz", "swap"):
+                a, b = gate.qubits
+                assert np.hypot(*(positions[a] - positions[b])) <= 1.2 + 1e-9
+
+    def test_repeated_far_cz_cheaper_after_first_swap(self):
+        # After the first routing, the states are adjacent; repeating the
+        # same CZ should need no more swaps.
+        router = SwapRouter(line_positions(4), 1.2)
+        c = QuantumCircuit(4).cz(0, 3).cz(0, 3)
+        routed = router.route(c)
+        assert routed.num_swaps == 2  # only the first CZ pays

@@ -1,0 +1,106 @@
+"""Tests for repro.benchcircuits: the Table III workload generators."""
+
+import pytest
+
+from repro.benchcircuits import BENCHMARKS, get_benchmark, tfim, vqe, quantum_volume
+from repro.circuit.stats import compute_stats
+from repro.transpile import transpile
+
+#: Table III qubit counts, verbatim from the paper.
+TABLE_III = {
+    "ADD": 9, "ADV": 9, "GCM": 13, "HSB": 16, "HLF": 10, "KNN": 25,
+    "MLT": 10, "QAOA": 10, "QEC": 17, "QFT": 10, "QGAN": 39, "QV": 32,
+    "SAT": 11, "SECA": 11, "SQRT": 18, "TFIM": 128, "VQE": 28, "WST": 27,
+}
+
+
+class TestRegistry:
+    def test_all_18_benchmarks_present(self):
+        assert set(BENCHMARKS) == set(TABLE_III)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_qubit_counts_match_table_iii(self, name):
+        assert get_benchmark(name).num_qubits == TABLE_III[name]
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_info_consistent(self, name):
+        info = BENCHMARKS[name]
+        assert info.num_qubits == TABLE_III[name]
+        assert info.description
+
+    def test_case_insensitive_lookup(self):
+        assert get_benchmark("qft").num_qubits == 10
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("NOPE")
+
+
+class TestCircuitProperties:
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_deterministic_generation(self, name):
+        a = get_benchmark(name)
+        b = get_benchmark(name)
+        assert list(a) == list(b)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_nonempty_with_two_qubit_gates(self, name):
+        circuit = get_benchmark(name)
+        assert len(circuit) > 0
+        stats = compute_stats(transpile(circuit))
+        assert stats.num_cz > 0
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_every_qubit_used(self, name):
+        circuit = get_benchmark(name)
+        assert circuit.used_qubits() == set(range(circuit.num_qubits))
+
+    def test_tfim_is_low_connectivity(self):
+        stats = compute_stats(transpile(get_benchmark("TFIM")))
+        assert stats.max_degree <= 2
+
+    def test_qv_is_high_connectivity(self):
+        stats = compute_stats(transpile(get_benchmark("QV")))
+        assert stats.mean_degree > 10
+
+    def test_vqe_is_all_to_all(self):
+        stats = compute_stats(transpile(get_benchmark("VQE")))
+        assert stats.mean_degree == pytest.approx(27.0)
+
+    def test_cz_scale_order_of_magnitude(self):
+        # The paper's Parallax CZ counts; generators should land within a
+        # factor of ~2 so the evaluation shapes carry over.
+        paper = {"QAOA": 162, "TFIM": 2540, "QV": 1488, "HSB": 3081, "GCM": 528}
+        for name, target in paper.items():
+            got = compute_stats(transpile(get_benchmark(name))).num_cz
+            assert target / 2 <= got <= target * 2, (name, got, target)
+
+
+class TestParameterization:
+    def test_tfim_steps_scale_cz(self):
+        small = compute_stats(transpile(tfim(num_qubits=16, steps=2))).num_cz
+        large = compute_stats(transpile(tfim(num_qubits=16, steps=4))).num_cz
+        assert large == pytest.approx(2 * small, rel=0.1)
+
+    def test_tfim_cz_formula(self):
+        # steps * (n-1) RZZ terms, each two CZs.
+        stats = compute_stats(transpile(tfim(num_qubits=10, steps=3)))
+        assert stats.num_cz == 3 * 9 * 2
+
+    def test_vqe_reps_scale(self):
+        small = compute_stats(transpile(vqe(reps=1))).num_cz
+        large = compute_stats(transpile(vqe(reps=2))).num_cz
+        assert large > small
+
+    def test_qv_depth_default_equals_width(self):
+        c = quantum_volume(num_qubits=8)
+        stats = compute_stats(transpile(c))
+        # 8 rounds x 4 pairs x 3 CZ.
+        assert stats.num_cz == 8 * 4 * 3
+
+    def test_seeds_change_random_benchmarks(self):
+        from repro.benchcircuits import quantum_advantage
+
+        a = quantum_advantage(seed=1)
+        b = quantum_advantage(seed=2)
+        assert list(a) != list(b)

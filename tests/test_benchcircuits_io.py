@@ -1,0 +1,76 @@
+"""Tests for repro.benchcircuits.io: QASM artifact round-trips."""
+
+import os
+
+import pytest
+
+from repro.benchcircuits import BENCHMARKS, get_benchmark
+from repro.benchcircuits.io import (
+    benchmark_filename,
+    export_benchmark_suite,
+    load_benchmark_file,
+)
+from repro.circuit.stats import compute_stats
+from repro.transpile import transpile
+
+SMALL_SUITE = ("ADD", "ADV", "HLF", "QEC", "SECA", "WST")
+
+
+class TestFilenames:
+    def test_canonical_name(self):
+        assert benchmark_filename("ADV") == "adv_9.qasm"
+        assert benchmark_filename("tfim") == "tfim_128.qasm"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark_filename("XYZ")
+
+
+class TestExport:
+    def test_export_writes_files(self, tmp_path):
+        written = export_benchmark_suite(str(tmp_path), benchmarks=SMALL_SUITE)
+        assert set(written) == set(SMALL_SUITE)
+        for path in written.values():
+            assert os.path.exists(path)
+
+    def test_header_comments(self, tmp_path):
+        written = export_benchmark_suite(str(tmp_path), benchmarks=("ADV",))
+        text = open(written["ADV"]).read()
+        assert text.startswith("// ADV")
+        assert "9 qubits" in text
+
+    def test_creates_directory(self, tmp_path):
+        target = str(tmp_path / "nested" / "dir")
+        export_benchmark_suite(target, benchmarks=("HLF",))
+        assert os.path.isdir(target)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", SMALL_SUITE)
+    def test_gate_list_survives(self, tmp_path, name):
+        written = export_benchmark_suite(str(tmp_path), benchmarks=(name,))
+        loaded = load_benchmark_file(written[name])
+        original = get_benchmark(name)
+        assert loaded.num_qubits == original.num_qubits
+        kept = [g for g in loaded if g.name != "measure"]
+        assert kept == list(original.gates)
+
+    @pytest.mark.parametrize("name", SMALL_SUITE)
+    def test_transpiled_stats_identical(self, tmp_path, name):
+        written = export_benchmark_suite(str(tmp_path), benchmarks=(name,))
+        loaded = load_benchmark_file(written[name])
+        a = compute_stats(transpile(get_benchmark(name)))
+        b = compute_stats(transpile(loaded))
+        assert a.num_cz == b.num_cz
+        assert a.num_1q == b.num_1q
+
+    def test_name_recovered(self, tmp_path):
+        written = export_benchmark_suite(str(tmp_path), benchmarks=("QEC",))
+        loaded = load_benchmark_file(written["QEC"])
+        assert loaded.name == "QEC"
+
+    def test_full_suite_exports(self, tmp_path):
+        # Every benchmark must serialize without error (loading the largest
+        # back is covered by the small-suite parametrization above).
+        written = export_benchmark_suite(str(tmp_path))
+        assert len(written) == len(BENCHMARKS)

@@ -1,0 +1,88 @@
+"""Tests for repro.circuit.circuit."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_qubits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_len_and_iter(self):
+        c = QuantumCircuit(2).h(0).cz(0, 1)
+        assert len(c) == 2
+        assert [g.name for g in c] == ["h", "cz"]
+
+    def test_getitem(self):
+        c = QuantumCircuit(2).h(0).cz(0, 1)
+        assert c[1].name == "cz"
+
+    def test_append_validates_range(self):
+        c = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="outside range"):
+            c.append(Gate("h", (2,)))
+
+    def test_builders_chain(self):
+        c = QuantumCircuit(3)
+        out = c.h(0).cx(0, 1).rz(1, 0.3).ccx(0, 1, 2)
+        assert out is c
+        assert len(c) == 4
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).h(0)
+        assert a == b
+        assert a != QuantumCircuit(2).h(1)
+        assert a != QuantumCircuit(3).h(0)
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.cz(0, 1)
+        assert len(a) == 1 and len(b) == 2
+
+    def test_without_drops_names(self):
+        c = QuantumCircuit(2).h(0).add("barrier", (0,)).cz(0, 1)
+        stripped = c.without({"barrier"})
+        assert [g.name for g in stripped] == ["h", "cz"]
+
+    def test_count_ops(self):
+        c = QuantumCircuit(3).h(0).h(1).cz(0, 1).cz(1, 2)
+        assert c.count_ops() == {"h": 2, "cz": 2}
+
+    def test_two_qubit_gates(self):
+        c = QuantumCircuit(3).h(0).cz(0, 1).cx(1, 2)
+        assert [g.name for g in c.two_qubit_gates()] == ["cz", "cx"]
+
+    def test_used_qubits(self):
+        c = QuantumCircuit(5).cz(1, 3)
+        assert c.used_qubits() == {1, 3}
+
+    def test_depth_serial_gates(self):
+        c = QuantumCircuit(1).h(0).h(0).h(0)
+        assert c.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        assert c.depth() == 1
+
+    def test_depth_two_qubit_serializes(self):
+        c = QuantumCircuit(2).h(0).cz(0, 1).h(1)
+        assert c.depth() == 3
+
+    def test_depth_ignores_barriers(self):
+        c = QuantumCircuit(2).h(0).add("barrier", (0,)).h(0)
+        assert c.depth() == 2
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(4).depth() == 0
+
+    def test_repr_mentions_name_and_sizes(self):
+        c = QuantumCircuit(3, name="demo").h(0)
+        text = repr(c)
+        assert "demo" in text and "3" in text and "1" in text

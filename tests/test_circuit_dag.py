@@ -1,0 +1,117 @@
+"""Tests for repro.circuit.dag."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG, circuit_layers
+
+
+def simple_circuit() -> QuantumCircuit:
+    # h(0); cz(0,1); h(1); cz(1,2)
+    return QuantumCircuit(3).h(0).cz(0, 1).h(1).cz(1, 2)
+
+
+class TestDependencyDAG:
+    def test_initial_fronts(self):
+        dag = DependencyDAG(simple_circuit())
+        assert dag.front_gate(0) == 0  # h(0)
+        assert dag.front_gate(1) == 1  # cz(0,1)
+        assert dag.front_gate(2) == 3  # cz(1,2)
+
+    def test_two_qubit_gate_not_ready_until_both_fronts(self):
+        dag = DependencyDAG(simple_circuit())
+        assert not dag.is_ready(1)  # cz(0,1) waits for h(0)
+        dag.pop(0)
+        assert dag.is_ready(1)
+
+    def test_ready_front_gates_no_duplicates(self):
+        c = QuantumCircuit(2).cz(0, 1)
+        dag = DependencyDAG(c)
+        assert dag.ready_front_gates() == [0]
+
+    def test_pop_not_ready_raises(self):
+        dag = DependencyDAG(simple_circuit())
+        with pytest.raises(ValueError, match="not ready"):
+            dag.pop(1)
+
+    def test_full_drain_in_dependency_order(self):
+        dag = DependencyDAG(simple_circuit())
+        executed = []
+        while not dag.done():
+            ready = dag.ready_front_gates()
+            assert ready, "live circuit must always have a ready gate"
+            idx = ready[0]
+            executed.append(idx)
+            dag.pop(idx)
+        assert executed == [0, 1, 2, 3]
+
+    def test_num_remaining_tracks(self):
+        dag = DependencyDAG(simple_circuit())
+        assert dag.num_remaining == 4
+        dag.pop(0)
+        assert dag.num_remaining == 3
+
+    def test_push_back_restores_front(self):
+        dag = DependencyDAG(simple_circuit())
+        dag.pop(0)
+        dag.pop(1)
+        dag.push_back(1)
+        assert dag.front_gate(0) == 1
+        assert dag.front_gate(1) == 1
+        assert dag.is_ready(1)
+        assert dag.num_remaining == 3
+
+    def test_push_back_twice_raises(self):
+        dag = DependencyDAG(simple_circuit())
+        dag.pop(0)
+        dag.pop(1)
+        dag.push_back(1)
+        with pytest.raises(ValueError, match="already pending"):
+            dag.push_back(1)
+
+    def test_barriers_and_measures_excluded(self):
+        c = QuantumCircuit(2).h(0).add("barrier", (0,)).add("measure", (0,))
+        dag = DependencyDAG(c)
+        assert dag.num_remaining == 1
+
+    def test_duplicate_gates_tracked_independently(self):
+        c = QuantumCircuit(2).cz(0, 1).cz(0, 1)
+        dag = DependencyDAG(c)
+        dag.pop(0)
+        assert dag.front_gate(0) == 1
+        assert dag.is_ready(1)
+
+
+class TestCircuitLayers:
+    def test_parallel_gates_share_layer(self):
+        c = QuantumCircuit(4).h(0).h(1).cz(2, 3)
+        layers = circuit_layers(c)
+        assert len(layers) == 1
+        assert len(layers[0]) == 3
+
+    def test_dependent_gates_stack(self):
+        c = QuantumCircuit(2).h(0).cz(0, 1).h(1)
+        layers = circuit_layers(c)
+        assert [len(l) for l in layers] == [1, 1, 1]
+
+    def test_disjoint_qubits_within_layer(self):
+        c = QuantumCircuit(4).cz(0, 1).cz(2, 3).cz(1, 2)
+        layers = circuit_layers(c)
+        for layer in layers:
+            seen = set()
+            for gate in layer:
+                assert not seen & set(gate.qubits)
+                seen.update(gate.qubits)
+
+    def test_fredkin_has_expected_layer_scale(self):
+        # The paper's Fig. 1 Fredkin decomposition has 16 layers; our
+        # optimizer produces a comparable-depth {u3, cz} circuit.
+        from repro.transpile import transpile
+
+        c = QuantumCircuit(3)
+        c.cswap(0, 1, 2)
+        layers = circuit_layers(transpile(c))
+        assert 10 <= len(layers) <= 20
+
+    def test_empty_circuit(self):
+        assert circuit_layers(QuantumCircuit(3)) == []

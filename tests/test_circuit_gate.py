@@ -1,0 +1,79 @@
+"""Tests for repro.circuit.gate."""
+
+import pytest
+
+from repro.circuit.gate import Gate, GATE_ARITY, is_one_qubit, is_two_qubit
+
+
+class TestGateConstruction:
+    def test_name_lowercased(self):
+        assert Gate("CZ", (0, 1)).name == "cz"
+
+    def test_qubits_coerced_to_ints(self):
+        gate = Gate("cz", (0.0, 1.0))
+        assert gate.qubits == (0, 1)
+        assert all(isinstance(q, int) for q in gate.qubits)
+
+    def test_params_coerced_to_floats(self):
+        gate = Gate("u3", (0,), (1, 2, 3))
+        assert gate.params == (1.0, 2.0, 3.0)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2"):
+            Gate("cz", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cz", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Gate("h", (-1,))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Gate("u3", (0,), (1.0,))
+
+    def test_unparametrized_gate_rejects_params(self):
+        with pytest.raises(ValueError, match="parameter"):
+            Gate("h", (0,), (0.5,))
+
+    def test_unknown_gate_allowed(self):
+        # The IR is open to unknown names (e.g. future extensions); arity
+        # validation only applies to known gates.
+        gate = Gate("mystery", (0, 1, 2, 3))
+        assert gate.num_qubits == 4
+
+    def test_hashable_and_equal(self):
+        a = Gate("cz", (0, 1))
+        b = Gate("cz", (0, 1))
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality_on_params(self):
+        assert Gate("rz", (0,), (0.1,)) != Gate("rz", (0,), (0.2,))
+
+
+class TestGateHelpers:
+    def test_remapped(self):
+        gate = Gate("cz", (0, 2)).remapped({0: 5, 2: 7})
+        assert gate.qubits == (5, 7)
+
+    def test_shifted(self):
+        assert Gate("cz", (1, 2)).shifted(10).qubits == (11, 12)
+
+    def test_str_with_params(self):
+        text = str(Gate("u3", (3,), (0.5, 0.25, 0.125)))
+        assert "u3" in text and "0.5" in text and "[3]" in text
+
+    def test_str_without_params(self):
+        assert str(Gate("cz", (0, 1))) == "cz [0, 1]"
+
+    def test_predicates(self):
+        assert is_two_qubit(Gate("cz", (0, 1)))
+        assert is_one_qubit(Gate("h", (0,)))
+        assert not is_two_qubit(Gate("ccx", (0, 1, 2)))
+
+    def test_arity_table_consistent(self):
+        assert GATE_ARITY["cz"] == 2
+        assert GATE_ARITY["ccx"] == 3
+        assert GATE_ARITY["barrier"] is None

@@ -1,0 +1,157 @@
+"""Tests for repro.circuit.matrices: gate unitaries and circuit products."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import CZ_MATRIX, circuit_unitary, gate_unitary, u3_matrix
+
+
+def assert_unitary(u: np.ndarray) -> None:
+    np.testing.assert_allclose(u.conj().T @ u, np.eye(u.shape[0]), atol=1e-12)
+
+
+ALL_1Q_FIXED = ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg"]
+
+
+class TestOneQubitMatrices:
+    @pytest.mark.parametrize("name", ALL_1Q_FIXED)
+    def test_fixed_gates_unitary(self, name):
+        assert_unitary(gate_unitary(Gate(name, (0,))))
+
+    def test_h_squares_to_identity(self):
+        h = gate_unitary(Gate("h", (0,)))
+        np.testing.assert_allclose(h @ h, np.eye(2), atol=1e-12)
+
+    def test_s_is_sqrt_z(self):
+        s = gate_unitary(Gate("s", (0,)))
+        z = gate_unitary(Gate("z", (0,)))
+        np.testing.assert_allclose(s @ s, z, atol=1e-12)
+
+    def test_t_is_sqrt_s(self):
+        t = gate_unitary(Gate("t", (0,)))
+        s = gate_unitary(Gate("s", (0,)))
+        np.testing.assert_allclose(t @ t, s, atol=1e-12)
+
+    def test_sdg_inverts_s(self):
+        s = gate_unitary(Gate("s", (0,)))
+        sdg = gate_unitary(Gate("sdg", (0,)))
+        np.testing.assert_allclose(s @ sdg, np.eye(2), atol=1e-12)
+
+    def test_sx_squares_to_x(self):
+        sx = gate_unitary(Gate("sx", (0,)))
+        x = gate_unitary(Gate("x", (0,)))
+        np.testing.assert_allclose(sx @ sx, x, atol=1e-12)
+
+    def test_u3_matches_paper_form(self):
+        theta, phi, lam = 0.7, 0.3, -0.4
+        u = u3_matrix(theta, phi, lam)
+        assert u[0, 0] == pytest.approx(math.cos(theta / 2))
+        assert abs(u[0, 1]) == pytest.approx(math.sin(theta / 2))
+        assert_unitary(u)
+
+    def test_u3_special_cases(self):
+        # U3(pi/2, 0, pi) = H up to global phase
+        h = gate_unitary(Gate("h", (0,)))
+        u = u3_matrix(math.pi / 2, 0.0, math.pi)
+        ratio = u[0, 0] / h[0, 0]
+        np.testing.assert_allclose(u, ratio * h, atol=1e-12)
+
+    def test_rotation_gates_unitary(self):
+        for name in ("rx", "ry", "rz"):
+            assert_unitary(gate_unitary(Gate(name, (0,), (0.37,))))
+
+    def test_rz_diagonal(self):
+        rz = gate_unitary(Gate("rz", (0,), (1.1,)))
+        assert rz[0, 1] == 0 and rz[1, 0] == 0
+
+    def test_u1_phase_gate(self):
+        u1 = gate_unitary(Gate("u1", (0,), (0.9,)))
+        assert u1[0, 0] == pytest.approx(1.0)
+        assert np.angle(u1[1, 1]) == pytest.approx(0.9)
+
+
+class TestTwoQubitMatrices:
+    def test_cz_matches_paper(self):
+        np.testing.assert_allclose(gate_unitary(Gate("cz", (0, 1))), CZ_MATRIX)
+
+    def test_cz_symmetric(self):
+        np.testing.assert_allclose(
+            gate_unitary(Gate("cz", (0, 1))), gate_unitary(Gate("cz", (1, 0)))
+        )
+
+    def test_cx_action_on_basis(self):
+        cx = gate_unitary(Gate("cx", (0, 1)))
+        # little-endian: control is bit 0. |01> (control=1, target=0) -> |11>
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        out = cx @ state
+        assert out[0b11] == pytest.approx(1.0)
+
+    def test_swap_action(self):
+        swap = gate_unitary(Gate("swap", (0, 1)))
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        out = swap @ state
+        assert out[0b10] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("cz", ()), ("cx", ()), ("cy", ()), ("ch", ()), ("swap", ()),
+            ("iswap", ()), ("cp", (0.5,)), ("crx", (0.4,)), ("cry", (0.4,)),
+            ("crz", (0.4,)), ("cu3", (0.3, 0.2, 0.1)), ("rxx", (0.7,)),
+            ("ryy", (0.7,)), ("rzz", (0.7,)),
+        ],
+    )
+    def test_all_two_qubit_unitary(self, name, params):
+        assert_unitary(gate_unitary(Gate(name, (0, 1), params)))
+
+    def test_rzz_diagonal(self):
+        rzz = gate_unitary(Gate("rzz", (0, 1), (0.6,)))
+        off_diag = rzz - np.diag(np.diag(rzz))
+        assert np.abs(off_diag).max() == 0
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(ValueError, match="no dense unitary"):
+            gate_unitary(Gate("barrier", (0,)))
+
+
+class TestCircuitUnitary:
+    def test_identity_for_empty(self):
+        u = circuit_unitary([], 2)
+        np.testing.assert_allclose(u, np.eye(4))
+
+    def test_bell_circuit(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        u = circuit_unitary(gates, 2)
+        state = u @ np.array([1, 0, 0, 0], dtype=complex)
+        np.testing.assert_allclose(abs(state[0b00]), 1 / math.sqrt(2), atol=1e-12)
+        np.testing.assert_allclose(abs(state[0b11]), 1 / math.sqrt(2), atol=1e-12)
+
+    def test_gate_order_matters(self):
+        a = circuit_unitary([Gate("h", (0,)), Gate("s", (0,))], 1)
+        b = circuit_unitary([Gate("s", (0,)), Gate("h", (0,))], 1)
+        assert not np.allclose(a, b)
+
+    def test_skips_barriers(self):
+        u = circuit_unitary([Gate("barrier", (0,)), Gate("x", (0,))], 1)
+        np.testing.assert_allclose(u, gate_unitary(Gate("x", (0,))))
+
+    def test_measure_raises(self):
+        with pytest.raises(ValueError, match="measured"):
+            circuit_unitary([Gate("measure", (0,))], 1)
+
+    def test_large_circuit_rejected(self):
+        with pytest.raises(ValueError, match="small"):
+            circuit_unitary([], 11)
+
+    def test_embedding_nonadjacent_qubits(self):
+        # CX between qubits 0 and 2 in a 3-qubit system.
+        cx02 = circuit_unitary([Gate("cx", (0, 2))], 3)
+        state = np.zeros(8)
+        state[0b001] = 1.0  # qubit0=1
+        out = cx02 @ state
+        assert abs(out[0b101]) == pytest.approx(1.0)  # qubit2 flipped

@@ -1,0 +1,64 @@
+"""Tests for repro.circuit.stats."""
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.stats import compute_stats, interaction_counts
+
+
+class TestInteractionCounts:
+    def test_counts_cz_multiplicity(self):
+        c = QuantumCircuit(3).cz(0, 1).cz(1, 0).cz(1, 2)
+        counts = interaction_counts(c)
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1
+
+    def test_keys_sorted(self):
+        c = QuantumCircuit(3).cz(2, 0)
+        assert list(interaction_counts(c)) == [(0, 2)]
+
+    def test_three_qubit_gate_counts_all_pairs(self):
+        c = QuantumCircuit(3).ccx(0, 1, 2)
+        counts = interaction_counts(c)
+        assert counts == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+    def test_one_qubit_gates_ignored(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        assert interaction_counts(c) == {}
+
+
+class TestComputeStats:
+    def test_basic_counts(self):
+        c = QuantumCircuit(3).h(0).cz(0, 1).cz(1, 2).h(2)
+        stats = compute_stats(c)
+        assert stats.num_qubits == 3
+        assert stats.num_cz == 2
+        assert stats.num_1q == 2
+        assert stats.num_gates == 4
+
+    def test_degree_metrics(self):
+        # Star: qubit 0 interacts with 1, 2, 3.
+        c = QuantumCircuit(4).cz(0, 1).cz(0, 2).cz(0, 3)
+        stats = compute_stats(c)
+        assert stats.max_degree == 3
+        assert stats.mean_degree == (3 + 1 + 1 + 1) / 4
+
+    def test_connectivity_alias(self):
+        c = QuantumCircuit(2).cz(0, 1)
+        stats = compute_stats(c)
+        assert stats.connectivity == stats.mean_degree
+
+    def test_tfim_low_connectivity(self):
+        # The paper singles out TFIM (chain) as connectivity <= 2.
+        from repro.benchcircuits import tfim
+
+        stats = compute_stats(tfim(num_qubits=16, steps=2))
+        assert stats.max_degree <= 2
+
+    def test_layers_and_depth_consistent(self):
+        c = QuantumCircuit(2).h(0).cz(0, 1).h(1)
+        stats = compute_stats(c)
+        assert stats.num_layers == stats.depth == 3
+
+    def test_barriers_excluded(self):
+        c = QuantumCircuit(2).h(0).add("barrier", (0,))
+        stats = compute_stats(c)
+        assert stats.num_gates == 1

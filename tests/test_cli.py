@@ -1,0 +1,68 @@
+"""Tests for repro.cli: the command-line compiler driver."""
+
+import pytest
+
+from repro.cli import main
+from repro.qasm.exporter import to_qasm
+from repro.circuit.circuit import QuantumCircuit
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    circuit = QuantumCircuit(3)
+    circuit.h(0).cx(0, 1).ccx(0, 1, 2)
+    path = tmp_path / "circuit.qasm"
+    path.write_text(to_qasm(circuit))
+    return str(path)
+
+
+class TestCli:
+    def test_default_parallax(self, qasm_file, capsys):
+        assert main([qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "parallax" in out
+        assert "quera-aquila-256" in out
+
+    def test_all_techniques(self, qasm_file, capsys):
+        assert main([qasm_file, "--technique", "all"]) == 0
+        out = capsys.readouterr().out
+        for tech in ("parallax", "eldi", "graphine"):
+            assert tech in out
+
+    def test_atom_machine(self, qasm_file, capsys):
+        assert main([qasm_file, "--machine", "atom"]) == 0
+        assert "atom-computing-1225" in capsys.readouterr().out
+
+    def test_shots_adds_columns(self, qasm_file, capsys):
+        assert main([qasm_file, "--shots", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_copies" in out
+        assert "time_100_shots_s" in out
+
+    def test_aod_count_flag(self, qasm_file, capsys):
+        assert main([qasm_file, "--aod-count", "5"]) == 0
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["/nonexistent/file.qasm"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_qasm_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.qasm"
+        path.write_text("qreg q[1]; frobnicate q[0];")
+        assert main([str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliJson:
+    def test_json_dump_round_trips(self, qasm_file, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "out.json")
+        assert main([qasm_file, "--technique", "parallax", "--json", out_path]) == 0
+        data = json.load(open(out_path))
+        assert "parallax" in data
+        from repro.core.serialize import result_from_dict
+
+        result = result_from_dict(data["parallax"])
+        assert result.num_swaps == 0
+        assert "wrote JSON" in capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""Tests for repro.core.aod_selection (Step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.aod_selection import (
+    AODSelection,
+    qubit_weights,
+    resolve_shared_coords,
+    select_aod_qubits,
+)
+from repro.core.machine import MachineState
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+
+
+def make_state(unit_positions, radius=0.1, spec=None):
+    spec = spec or HardwareSpec.quera_aquila()
+    layout = GraphineLayout(
+        unit_positions=np.asarray(unit_positions, dtype=float),
+        interaction_radius_unit=radius,
+    )
+    return MachineState(spec, layout)
+
+
+class TestResolveSharedCoords:
+    def test_distinct_coords_with_gap_unchanged(self):
+        coords = np.array([0.0, 5.0, 10.0])
+        np.testing.assert_allclose(resolve_shared_coords(coords, 1.0), coords)
+
+    def test_duplicates_nudged_up(self):
+        out = resolve_shared_coords(np.array([5.0, 5.0, 5.0]), 1.0)
+        assert sorted(out.tolist()) == [5.0, 6.0, 7.0]
+
+    def test_order_preserved(self):
+        out = resolve_shared_coords(np.array([3.0, 1.0, 3.0]), 1.0)
+        # Input index order preserved; values adjusted.
+        assert out[1] == 1.0
+        assert out[0] != out[2]
+
+    def test_gap_enforced_pairwise(self):
+        out = resolve_shared_coords(np.array([0.0, 0.4, 0.8]), 1.0)
+        sorted_out = np.sort(out)
+        assert np.all(np.diff(sorted_out) >= 1.0 - 1e-12)
+
+    def test_empty(self):
+        assert resolve_shared_coords(np.array([]), 1.0).size == 0
+
+
+class TestQubitWeights:
+    def test_out_of_range_dominates(self):
+        # Q0-Q1 adjacent; Q2 far away interacting with Q0.
+        c = QuantumCircuit(3).cz(0, 1).cz(0, 2)
+        state = make_state([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0]], radius=0.1)
+        weights = qubit_weights(c, state)
+        assert weights[2] > weights[1]
+        assert weights[0] > weights[1]
+
+    def test_no_interactions_zero_weight(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        state = make_state([[0.0, 0.0], [1.0, 1.0]])
+        assert np.all(qubit_weights(c, state) == 0.0)
+
+    def test_all_in_range_uses_interference_tiebreak(self):
+        # Three CZ pairs packed together in one layer: blockade interference
+        # gives small nonzero weights even with nothing out of range.
+        c = QuantumCircuit(4).cz(0, 1).cz(2, 3)
+        state = make_state(
+            [[0.0, 0.0], [0.07, 0.0], [0.0, 0.07], [0.07, 0.07]], radius=1.5
+        )
+        weights = qubit_weights(c, state)
+        assert np.all(weights <= 0.011)
+        assert np.any(weights > 0.0)
+
+
+class TestSelectAodQubits:
+    def test_selection_transfers_atoms(self):
+        c = QuantumCircuit(3).cz(0, 2)
+        state = make_state([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]], radius=0.1)
+        selection = select_aod_qubits(c, state)
+        assert len(selection.qubits) >= 1
+        for q in selection.qubits:
+            assert state.is_mobile(q)
+
+    def test_zero_weight_qubits_not_selected(self):
+        c = QuantumCircuit(3).cz(0, 1)
+        state = make_state([[0.0, 0.0], [0.05, 0.0], [0.9, 0.9]], radius=0.2)
+        selection = select_aod_qubits(c, state)
+        assert 2 not in selection.qubits
+
+    def test_capacity_respected(self):
+        # 8 qubits all pairwise-interacting across the grid, capacity 3.
+        c = QuantumCircuit(8)
+        for a in range(8):
+            for b in range(a + 1, 8):
+                c.cz(a, b)
+        spec = HardwareSpec.quera_aquila(aod_count=3)
+        unit = np.random.default_rng(0).random((8, 2))
+        state = make_state(unit, radius=0.05, spec=spec)
+        selection = select_aod_qubits(c, state)
+        assert len(selection.qubits) <= 3
+
+    def test_max_atoms_cap(self):
+        c = QuantumCircuit(4)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                c.cz(a, b)
+        unit = np.random.default_rng(1).random((4, 2))
+        state = make_state(unit, radius=0.05)
+        selection = select_aod_qubits(c, state, max_atoms=1)
+        assert len(selection.qubits) == 1
+
+    def test_one_atom_per_row_and_column(self):
+        c = QuantumCircuit(6)
+        for a in range(6):
+            for b in range(a + 1, 6):
+                c.cz(a, b)
+        unit = np.random.default_rng(2).random((6, 2))
+        state = make_state(unit, radius=0.05)
+        select_aod_qubits(c, state)
+        aod = state.aod
+        for row_atoms in aod.row_atoms:
+            assert len(row_atoms) <= 1
+        for col_atoms in aod.col_atoms:
+            assert len(col_atoms) <= 1
+
+    def test_aod_lines_strictly_ordered(self):
+        c = QuantumCircuit(5)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                c.cz(a, b)
+        # Qubits sharing grid rows/columns force coordinate nudging.
+        unit = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0], [0.0, 0.5], [0.0, 1.0]])
+        state = make_state(unit, radius=0.05)
+        select_aod_qubits(c, state)
+        row_y = state.aod.row_y[~np.isnan(state.aod.row_y)]
+        col_x = state.aod.col_x[~np.isnan(state.aod.col_x)]
+        assert np.all(np.diff(row_y) > 0)
+        assert np.all(np.diff(col_x) > 0)
+
+    def test_home_positions_updated(self):
+        c = QuantumCircuit(2).cz(0, 1)
+        state = make_state([[0.0, 0.0], [1.0, 1.0]], radius=0.05)
+        selection = select_aod_qubits(c, state)
+        for q in selection.qubits:
+            np.testing.assert_allclose(state.atoms[q].home, state.positions[q])
+
+    def test_ranked_by_weight(self):
+        c = QuantumCircuit(3)
+        for _ in range(5):
+            c.cz(0, 2)  # 0 and 2 are far apart: both heavily out-of-range
+        c.cz(0, 1)
+        state = make_state([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0]], radius=0.1)
+        selection = select_aod_qubits(c, state)
+        weights = selection.weights
+        ranked = list(selection.qubits)
+        assert all(
+            weights[ranked[i]] >= weights[ranked[i + 1]] for i in range(len(ranked) - 1)
+        )

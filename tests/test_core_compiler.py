@@ -1,0 +1,118 @@
+"""Tests for repro.core.compiler: the end-to-end Parallax pipeline."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import generate_layout
+from repro.transpile import transpile
+
+
+def fredkin():
+    c = QuantumCircuit(3, "fredkin")
+    c.cswap(0, 1, 2)
+    return c
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return ParallaxCompiler(spec).compile(fredkin())
+
+
+class TestCompilationResult:
+    def test_zero_swaps(self, result):
+        assert result.num_swaps == 0
+
+    def test_cz_count_matches_transpiled_base(self, result):
+        base = transpile(fredkin()).count_ops()
+        assert result.num_cz == base.get("cz", 0)
+        assert result.num_u3 == base.get("u3", 0)
+
+    def test_technique_and_name(self, result):
+        assert result.technique == "parallax"
+        assert result.circuit_name == "fredkin"
+
+    def test_layers_cover_all_gates(self, result):
+        total = sum(len(l.gates) for l in result.layers)
+        assert total == result.num_cz + result.num_u3
+
+    def test_runtime_is_layer_sum(self, result):
+        assert result.runtime_us == pytest.approx(
+            sum(l.time_us for l in result.layers)
+        )
+
+    def test_radii_consistent(self, result, spec):
+        assert result.blockade_radius_um == pytest.approx(
+            spec.blockade_factor * result.interaction_radius_um
+        )
+
+    def test_footprint_positive(self, result):
+        rows, cols = result.footprint_sites
+        assert rows >= 1 and cols >= 1
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        assert summary["technique"] == "parallax"
+        assert summary["swaps"] == 0
+
+
+class TestCompilerOptions:
+    def test_layout_reuse(self, spec):
+        basis = transpile(fredkin())
+        layout = generate_layout(basis)
+        config = ParallaxConfig(transpile_input=False)
+        a = ParallaxCompiler(spec, config).compile(basis, layout=layout)
+        b = ParallaxCompiler(spec, config).compile(basis, layout=layout)
+        assert a.num_cz == b.num_cz
+        assert a.runtime_us == pytest.approx(b.runtime_us)
+
+    def test_mismatched_layout_rejected(self, spec):
+        basis = transpile(fredkin())
+        other = generate_layout(transpile(QuantumCircuit(5).cz(0, 4)))
+        with pytest.raises(ValueError, match="layout has"):
+            ParallaxCompiler(spec, ParallaxConfig(transpile_input=False)).compile(
+                basis, layout=other
+            )
+
+    def test_pretranspiled_input(self, spec):
+        basis = transpile(fredkin())
+        result = ParallaxCompiler(
+            spec, ParallaxConfig(transpile_input=False)
+        ).compile(basis)
+        assert result.num_cz == basis.count_ops()["cz"]
+
+    def test_scheduler_config_forwarded(self, spec):
+        config = ParallaxConfig(
+            scheduler=SchedulerConfig(return_home=False, seed=5)
+        )
+        result = ParallaxCompiler(spec, config).compile(fredkin())
+        assert all(l.return_distance_um == 0.0 for l in result.layers)
+
+    def test_max_aod_atoms_cap(self, spec):
+        config = ParallaxConfig(max_aod_atoms=1)
+        result = ParallaxCompiler(spec, config).compile(fredkin())
+        assert len(result.aod_qubits) <= 1
+
+    def test_too_large_circuit_rejected(self, spec):
+        c = QuantumCircuit(300)
+        for i in range(299):
+            c.cz(i, i + 1)
+        with pytest.raises(ValueError):
+            ParallaxCompiler(spec).compile(c)
+
+
+class TestAcrossMachines:
+    def test_cz_count_machine_independent(self):
+        # Section IV: CZ counts and success are unaffected by machine size.
+        circuit = fredkin()
+        small = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(circuit)
+        large = ParallaxCompiler(HardwareSpec.atom_computing()).compile(circuit)
+        assert small.num_cz == large.num_cz
+        assert small.num_u3 == large.num_u3

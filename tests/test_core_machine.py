@@ -1,0 +1,103 @@
+"""Tests for repro.core.machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineState
+from repro.hardware.atom import TrapType
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+
+
+def make_layout(unit_positions, radius=0.3):
+    return GraphineLayout(
+        unit_positions=np.asarray(unit_positions, dtype=float),
+        interaction_radius_unit=radius,
+    )
+
+
+@pytest.fixture
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+class TestConstruction:
+    def test_all_atoms_start_in_slm(self, spec):
+        state = MachineState(spec, make_layout([[0.1, 0.1], [0.9, 0.9]]))
+        assert state.slm.num_occupied == 2
+        assert all(a.trap is TrapType.SLM for a in state.atoms)
+
+    def test_positions_array_matches_atoms(self, spec):
+        state = MachineState(spec, make_layout([[0.2, 0.3], [0.7, 0.6]]))
+        for q in range(2):
+            np.testing.assert_allclose(state.positions[q], state.atoms[q].position)
+
+    def test_radius_scaled_to_physical(self, spec):
+        state = MachineState(spec, make_layout([[0.0, 0.0], [1.0, 1.0]], radius=0.5))
+        w, _ = spec.extent_um
+        assert state.interaction_radius == pytest.approx(0.5 * w)
+
+    def test_radius_clamped_to_pitch(self, spec):
+        # A tiny unit radius must still span adjacent grid sites.
+        state = MachineState(spec, make_layout([[0.0, 0.0], [0.1, 0.0]], radius=1e-4))
+        assert state.interaction_radius >= spec.grid_pitch_um
+
+    def test_blockade_is_2_5x(self, spec):
+        state = MachineState(spec, make_layout([[0.0, 0.0], [1.0, 1.0]]))
+        assert state.blockade_radius == pytest.approx(2.5 * state.interaction_radius)
+
+    def test_too_many_qubits_rejected(self, spec):
+        unit = np.random.default_rng(0).random((257, 2))
+        with pytest.raises(ValueError, match="only 256 sites"):
+            MachineState(spec, make_layout(unit))
+
+    def test_separation_ok_after_discretization(self, spec):
+        unit = np.random.default_rng(1).random((50, 2))
+        state = MachineState(spec, make_layout(unit))
+        assert state.separation_ok()
+
+
+class TestQueries:
+    def test_distance(self, spec):
+        state = MachineState(spec, make_layout([[0.0, 0.0], [1.0, 0.0]]))
+        w, _ = spec.extent_um
+        assert state.distance(0, 1) == pytest.approx(w)
+
+    def test_in_interaction_range(self, spec):
+        state = MachineState(spec, make_layout([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0]]))
+        assert state.in_interaction_range(0, 1)
+        assert not state.in_interaction_range(0, 2)
+
+    def test_set_position_syncs(self, spec):
+        state = MachineState(spec, make_layout([[0.5, 0.5]]))
+        state.set_position(0, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(state.positions[0], [1.0, 2.0])
+        np.testing.assert_allclose(state.atoms[0].position, [1.0, 2.0])
+
+
+class TestTrapTransfer:
+    def test_transfer_to_aod(self, spec):
+        state = MachineState(spec, make_layout([[0.2, 0.2], [0.8, 0.8]]))
+        state.transfer_to_aod(0, row=0, col=0)
+        assert state.is_mobile(0)
+        assert not state.is_mobile(1)
+        assert state.slm.num_occupied == 1
+        assert state.aod.holds(0)
+
+    def test_transfer_keeps_position(self, spec):
+        state = MachineState(spec, make_layout([[0.2, 0.2]]))
+        before = state.positions[0].copy()
+        state.transfer_to_aod(0, 0, 0)
+        np.testing.assert_allclose(state.positions[0], before)
+
+    def test_double_transfer_rejected(self, spec):
+        state = MachineState(spec, make_layout([[0.2, 0.2]]))
+        state.transfer_to_aod(0, 0, 0)
+        with pytest.raises(ValueError, match="not in the SLM"):
+            state.transfer_to_aod(0, 1, 1)
+
+    def test_mobile_qubits_listing(self, spec):
+        state = MachineState(spec, make_layout([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]]))
+        state.transfer_to_aod(1, 0, 0)
+        assert state.mobile_qubits() == [1]
+        assert state.static_positions().shape == (2, 2)

@@ -1,0 +1,144 @@
+"""Tests for repro.core.movement: the recursive movement engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineState
+from repro.core.movement import MovementEngine, MoveFailure
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+
+
+def build_state(unit_positions, aod_qubits, radius=0.15, spec=None):
+    """MachineState with the given qubits transferred into the AOD."""
+    spec = spec or HardwareSpec.quera_aquila()
+    layout = GraphineLayout(
+        unit_positions=np.asarray(unit_positions, dtype=float),
+        interaction_radius_unit=radius,
+    )
+    state = MachineState(spec, layout)
+    order_y = sorted(aod_qubits, key=lambda q: state.positions[q][1])
+    order_x = sorted(aod_qubits, key=lambda q: state.positions[q][0])
+    for q in aod_qubits:
+        state.transfer_to_aod(q, order_y.index(q), order_x.index(q))
+        state.atoms[q].home = state.positions[q].copy()
+    return state
+
+
+class TestMoveIntoRange:
+    def test_basic_move_succeeds(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        assert state.in_interaction_range(0, 1)
+
+    def test_move_respects_separation(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9], [0.85, 0.85]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        assert state.separation_ok()
+
+    def test_move_distance_recorded(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        assert engine.max_object_distance() > 0
+
+    def test_static_mover_rejected(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[])
+        engine = MovementEngine(state)
+        with pytest.raises(ValueError, match="not in the AOD"):
+            engine.move_into_range(0, 1)
+
+    def test_obstructing_aod_atom_pushed_away(self):
+        # Qubit 2 (mobile) sits right where qubit 0 wants to go.
+        spec = HardwareSpec.quera_aquila()
+        state = build_state(
+            [[0.1, 0.1], [0.9, 0.9], [0.82, 0.82]], aod_qubits=[0, 2]
+        )
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        assert state.in_interaction_range(0, 1)
+        assert state.separation_ok()
+
+    def test_aod_order_preserved_after_moves(self):
+        state = build_state(
+            [[0.1, 0.1], [0.9, 0.9], [0.5, 0.5]], aod_qubits=[0, 2]
+        )
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        row_y = state.aod.row_y[~np.isnan(state.aod.row_y)]
+        col_x = state.aod.col_x[~np.isnan(state.aod.col_x)]
+        assert np.all(np.diff(row_y) > 0)
+        assert np.all(np.diff(col_x) > 0)
+
+    def test_recursion_limit_raises_and_rolls_back(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state, recursion_limit=0)
+        engine.begin_layer()
+        positions_before = state.positions.copy()
+        with pytest.raises(MoveFailure):
+            engine.move_into_range(0, 1)
+        np.testing.assert_allclose(state.positions, positions_before)
+
+    def test_failed_move_restores_aod_lines(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state, recursion_limit=0)
+        engine.begin_layer()
+        row_before = state.aod.row_y.copy()
+        with pytest.raises(MoveFailure):
+            engine.move_into_range(0, 1)
+        np.testing.assert_array_equal(
+            np.nan_to_num(state.aod.row_y), np.nan_to_num(row_before)
+        )
+
+    def test_failed_move_leaves_distance_accounting(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state, recursion_limit=0)
+        engine.begin_layer()
+        with pytest.raises(MoveFailure):
+            engine.move_into_range(0, 1)
+        assert engine.max_object_distance() == 0.0
+
+
+class TestReturnHome:
+    def test_return_home_restores_positions(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        home = state.atoms[0].home.copy()
+        engine.move_into_range(0, 1)
+        distance = engine.return_home()
+        assert distance > 0
+        np.testing.assert_allclose(state.positions[0], home)
+
+    def test_return_home_distance_zero_when_at_home(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        assert engine.return_home_distance() == 0.0
+
+    def test_return_home_restores_all_pushed_atoms(self):
+        state = build_state(
+            [[0.1, 0.1], [0.9, 0.9], [0.82, 0.82]], aod_qubits=[0, 2]
+        )
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        homes = {q: state.atoms[q].home.copy() for q in (0, 2)}
+        engine.move_into_range(0, 1)
+        engine.return_home()
+        for q, home in homes.items():
+            np.testing.assert_allclose(state.positions[q], home)
+
+    def test_begin_layer_resets_accounting(self):
+        state = build_state([[0.1, 0.1], [0.9, 0.9]], aod_qubits=[0])
+        engine = MovementEngine(state)
+        engine.begin_layer()
+        engine.move_into_range(0, 1)
+        engine.return_home()
+        engine.begin_layer()
+        assert engine.max_object_distance() == 0.0

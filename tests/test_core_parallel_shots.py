@@ -1,0 +1,151 @@
+"""Tests for repro.core.parallel_shots (Section II-E)."""
+
+import math
+
+import pytest
+
+from repro.core.parallel_shots import (
+    ShotPlan,
+    parallelization_factor,
+    plan_parallel_shots,
+    total_execution_time_us,
+)
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+
+
+def make_result(
+    footprint=(3, 3),
+    aod_qubits=(0, 1),
+    num_qubits=9,
+    runtime_us=100.0,
+    spec=None,
+):
+    spec = spec or HardwareSpec.atom_computing()
+    return CompilationResult(
+        technique="parallax",
+        circuit_name="t",
+        num_qubits=num_qubits,
+        spec=spec,
+        num_cz=10,
+        num_u3=10,
+        runtime_us=runtime_us,
+        footprint_sites=footprint,
+        aod_qubits=aod_qubits,
+    )
+
+
+class TestReplicaSide:
+    @pytest.mark.parametrize("qubits,side", [
+        (1, 1), (4, 2), (9, 3), (10, 4), (11, 4), (18, 5), (25, 5),
+        (27, 6), (32, 6), (128, 12),
+    ])
+    def test_dense_square_side(self, qubits, side):
+        from repro.core.parallel_shots import replica_side_sites
+
+        assert replica_side_sites(qubits) == side
+
+
+class TestParallelizationFactor:
+    def test_paper_fig11_maxima(self):
+        # The paper's Fig. 11 x-axis maxima on the 1,225-qubit machine.
+        expected = {9: 121, 25: 49, 32: 25, 11: 64, 18: 49, 27: 25}
+        for qubits, factor in expected.items():
+            result = make_result(num_qubits=qubits)
+            assert parallelization_factor(result) == factor, qubits
+
+    def test_adv_121_copies(self):
+        # "As many as 121 copies of ADV" (9 qubits) on the Atom machine.
+        result = make_result(num_qubits=9, aod_qubits=(0,))
+        assert parallelization_factor(result) == 121
+
+    def test_constrain_aod_binds_tiling(self):
+        result = make_result(num_qubits=9, aod_qubits=tuple(range(9)))
+        unconstrained = parallelization_factor(result)
+        constrained = parallelization_factor(result, constrain_aod=True)
+        assert constrained <= (20 // 9) ** 2
+        assert constrained < unconstrained
+
+    def test_machine_sized_circuit_gives_one(self):
+        result = make_result(num_qubits=1225)
+        assert parallelization_factor(result) == 1
+
+    def test_atom_capacity_cap(self):
+        result = make_result(num_qubits=400, aod_qubits=(0,))
+        assert parallelization_factor(result) <= 1225 // 400
+
+    def test_explicit_spec_overrides_result_spec(self):
+        result = make_result(num_qubits=9, aod_qubits=(0,),
+                             spec=HardwareSpec.quera_aquila())
+        small = parallelization_factor(result)
+        large = parallelization_factor(result, HardwareSpec.atom_computing())
+        assert large > small
+
+
+class TestTotalExecutionTime:
+    def test_serial_baseline(self):
+        result = make_result(runtime_us=100.0)
+        total = total_execution_time_us(result, num_shots=10, factor=1,
+                                        shot_overhead_us=0.0)
+        assert total == pytest.approx(1000.0)
+
+    def test_parallel_divides_shots(self):
+        result = make_result(runtime_us=100.0)
+        serial = total_execution_time_us(result, 100, factor=1, shot_overhead_us=0.0)
+        parallel = total_execution_time_us(result, 100, factor=10, shot_overhead_us=0.0)
+        assert parallel == pytest.approx(serial / 10)
+
+    def test_ceil_physical_shots(self):
+        result = make_result(runtime_us=1.0)
+        total = total_execution_time_us(result, num_shots=7, factor=2,
+                                        shot_overhead_us=0.0)
+        assert total == pytest.approx(4.0)  # ceil(7/2) = 4
+
+    def test_overhead_added_per_physical_shot(self):
+        result = make_result(runtime_us=100.0)
+        total = total_execution_time_us(result, 10, factor=1, shot_overhead_us=50.0)
+        assert total == pytest.approx(10 * 150.0)
+
+    def test_default_factor_computed(self):
+        result = make_result(footprint=(3, 3), aod_qubits=(0,), runtime_us=100.0)
+        total_auto = total_execution_time_us(result, 8000)
+        total_manual = total_execution_time_us(result, 8000, factor=121)
+        assert total_auto == pytest.approx(total_manual)
+
+    def test_invalid_shots_rejected(self):
+        with pytest.raises(ValueError):
+            total_execution_time_us(make_result(), num_shots=0)
+
+
+class TestPlanParallelShots:
+    def test_factors_are_squares(self):
+        plans = plan_parallel_shots(make_result(footprint=(3, 3), aod_qubits=(0,)))
+        factors = [p.factor for p in plans]
+        assert factors[0] == 1
+        for f in factors:
+            root = math.isqrt(f)
+            assert root * root == f
+
+    def test_time_monotonically_decreases(self):
+        plans = plan_parallel_shots(make_result(footprint=(3, 3), aod_qubits=(0,)))
+        times = [p.total_time_us for p in plans]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_infeasible_factors_skipped(self):
+        plans = plan_parallel_shots(
+            make_result(footprint=(3, 3), aod_qubits=(0,)), factors=[1, 121, 10_000]
+        )
+        assert [p.factor for p in plans] == [1, 121]
+
+    def test_97_percent_reduction_shape(self):
+        # The paper: parallelism reduces total execution time by ~97% on
+        # average vs one-shot-at-a-time, i.e. the best factor is >= ~30x.
+        result = make_result(footprint=(3, 3), aod_qubits=(0,), runtime_us=67.0)
+        plans = plan_parallel_shots(result, num_shots=8000, shot_overhead_us=0.0)
+        best = plans[-1]
+        first = plans[0]
+        assert best.total_time_us <= first.total_time_us * 0.05
+
+    def test_total_time_s_property(self):
+        plan = ShotPlan(factor=1, physical_shots=10, total_time_us=2e6)
+        assert plan.total_time_s == pytest.approx(2.0)

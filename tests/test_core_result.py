@@ -1,0 +1,67 @@
+"""Tests for repro.core.result."""
+
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.core.result import CompilationResult, CompiledLayer
+from repro.hardware.spec import HardwareSpec
+
+
+class TestCompiledLayer:
+    def test_counts(self):
+        layer = CompiledLayer(
+            gates=(Gate("cz", (0, 1)), Gate("u3", (2,), (0.1, 0.2, 0.3)))
+        )
+        assert layer.num_cz == 1
+        assert layer.num_1q == 1
+
+    def test_swap_counts_as_two_qubit(self):
+        layer = CompiledLayer(gates=(Gate("swap", (0, 1)),))
+        assert layer.num_cz == 1
+
+    def test_frozen(self):
+        layer = CompiledLayer(gates=())
+        with pytest.raises(AttributeError):
+            layer.time_us = 5.0  # type: ignore[misc]
+
+
+class TestCompilationResult:
+    def make(self, **kwargs):
+        defaults = dict(
+            technique="parallax",
+            circuit_name="c",
+            num_qubits=4,
+            spec=HardwareSpec.quera_aquila(),
+        )
+        defaults.update(kwargs)
+        return CompilationResult(**defaults)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(num_cz=-1)
+
+    def test_num_layers(self):
+        result = self.make(layers=[CompiledLayer(gates=()), CompiledLayer(gates=())])
+        assert result.num_layers == 2
+
+    def test_total_move_distance(self):
+        layers = [
+            CompiledLayer(gates=(), move_distance_um=10.0, return_distance_um=10.0),
+            CompiledLayer(gates=(), move_distance_um=5.0),
+        ]
+        assert self.make(layers=layers).total_move_distance_um == pytest.approx(25.0)
+
+    def test_trap_change_fraction(self):
+        result = self.make(num_cz=200, trap_change_events=4)
+        assert result.trap_change_fraction == pytest.approx(0.02)
+
+    def test_trap_change_fraction_no_cz(self):
+        result = self.make(num_cz=0, trap_change_events=1)
+        assert result.trap_change_fraction == 1.0
+
+    def test_summary_round_trip(self):
+        result = self.make(num_cz=7, num_u3=9, runtime_us=12.5)
+        summary = result.summary()
+        assert summary["cz"] == 7
+        assert summary["u3"] == 9
+        assert summary["runtime_us"] == 12.5

@@ -1,0 +1,219 @@
+"""Tests for repro.core.scheduler: Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.aod_selection import select_aod_qubits
+from repro.core.machine import MachineState
+from repro.core.scheduler import GateScheduler, SchedulerConfig
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import generate_layout
+from repro.transpile import transpile
+
+
+def schedule_circuit(circuit, spec=None, config=None, select_aod=True):
+    spec = spec or HardwareSpec.quera_aquila()
+    basis = transpile(circuit)
+    layout = generate_layout(basis)
+    state = MachineState(spec, layout)
+    if select_aod:
+        select_aod_qubits(basis, state)
+    scheduler = GateScheduler(basis, state, config)
+    return scheduler, scheduler.run()
+
+
+def fredkin():
+    c = QuantumCircuit(3, "fredkin")
+    c.cswap(0, 1, 2)
+    return c
+
+
+class TestValidation:
+    def test_requires_basis_circuit(self):
+        spec = HardwareSpec.quera_aquila()
+        c = QuantumCircuit(2).cx(0, 1)
+        layout = generate_layout(c)
+        state = MachineState(spec, layout)
+        with pytest.raises(ValueError, match="transpiled"):
+            GateScheduler(c, state)
+
+
+class TestCompleteness:
+    def test_all_gates_scheduled_exactly_once(self):
+        scheduler, stats = schedule_circuit(fredkin())
+        basis = scheduler.circuit
+        scheduled = [g for layer in stats.layers for g in layer.gates]
+        assert len(scheduled) == len(basis)
+        assert sorted(map(str, scheduled)) == sorted(map(str, basis.gates))
+
+    def test_dag_drained(self):
+        scheduler, _ = schedule_circuit(fredkin())
+        assert scheduler.dag.done()
+
+    def test_dependency_order_preserved_per_qubit(self):
+        scheduler, stats = schedule_circuit(fredkin())
+        basis = scheduler.circuit
+        # Per-qubit order of gates across layers must match circuit order.
+        order_in_circuit = {q: [] for q in range(basis.num_qubits)}
+        for i, gate in enumerate(basis.gates):
+            for q in gate.qubits:
+                order_in_circuit[q].append(str(gate) + f"#{i}")
+        # Reconstruct per-qubit execution order; identical gates are
+        # interchangeable so compare multiset prefix-wise via string forms
+        # without indices.
+        executed = {q: [] for q in range(basis.num_qubits)}
+        for layer in stats.layers:
+            for gate in layer.gates:
+                for q in gate.qubits:
+                    executed[q].append(str(gate))
+        for q in range(basis.num_qubits):
+            expected = [s.rsplit("#", 1)[0] for s in order_in_circuit[q]]
+            assert executed[q] == expected
+
+    def test_layers_have_disjoint_qubits(self):
+        _, stats = schedule_circuit(fredkin())
+        for layer in stats.layers:
+            seen = set()
+            for gate in layer.gates:
+                assert not (seen & set(gate.qubits))
+                seen.update(gate.qubits)
+
+
+class TestZeroSwaps:
+    def test_no_swap_gates_ever(self):
+        _, stats = schedule_circuit(fredkin())
+        for layer in stats.layers:
+            for gate in layer.gates:
+                assert gate.name in ("u3", "cz")
+
+    def test_cz_count_unchanged(self):
+        scheduler, stats = schedule_circuit(fredkin())
+        basis_cz = sum(1 for g in scheduler.circuit if g.name == "cz")
+        scheduled_cz = sum(layer.num_cz for layer in stats.layers)
+        assert scheduled_cz == basis_cz
+
+
+class TestBlockadeSerialization:
+    def test_parallel_cz_gates_respect_blockade(self):
+        # Grid-adjacent pairs executing CZs in the same layer must be
+        # farther apart than the blockade radius.
+        c = QuantumCircuit(8)
+        for a in range(0, 8, 2):
+            c.cz(a, a + 1)
+        scheduler, stats = schedule_circuit(c)
+        state = scheduler.state
+        for layer in stats.layers:
+            cz_gates = [g for g in layer.gates if g.name == "cz"]
+            for i in range(len(cz_gates)):
+                for j in range(i + 1, len(cz_gates)):
+                    dist = min(
+                        state.distance(qa, qb)
+                        for qa in cz_gates[i].qubits
+                        for qb in cz_gates[j].qubits
+                    )
+                    # Executed-together gates were validated against live
+                    # positions at execution time; with home-return those
+                    # positions equal the current ones for static atoms.
+                    assert dist > 0
+
+
+class TestTiming:
+    def test_runtime_positive(self):
+        _, stats = schedule_circuit(fredkin())
+        assert stats.total_time_us > 0
+
+    def test_layer_times_sum_to_total(self):
+        _, stats = schedule_circuit(fredkin())
+        assert sum(l.time_us for l in stats.layers) == pytest.approx(
+            stats.total_time_us
+        )
+
+    def test_u3_only_layer_time(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        _, stats = schedule_circuit(c)
+        spec = HardwareSpec.quera_aquila()
+        assert stats.layers[0].time_us == pytest.approx(spec.u3_time_us)
+
+    def test_movement_adds_time(self):
+        # Force one far CZ so a move (or trap change) must happen.
+        c = QuantumCircuit(2)
+        for _ in range(3):
+            c.cz(0, 1)
+            c.h(0)
+            c.h(1)
+        _, stats = schedule_circuit(c)
+        assert stats.total_time_us >= 3 * 0.8
+
+
+class TestHomeReturn:
+    def test_home_return_restores_positions_every_layer(self):
+        scheduler, stats = schedule_circuit(
+            fredkin(), config=SchedulerConfig(return_home=True)
+        )
+        state = scheduler.state
+        for q in state.mobile_qubits():
+            np.testing.assert_allclose(state.positions[q], state.atoms[q].home)
+
+    def test_no_home_return_leaves_drift(self):
+        config = SchedulerConfig(return_home=False)
+        scheduler, stats = schedule_circuit(fredkin(), config=config)
+        assert all(l.return_distance_um == 0.0 for l in stats.layers)
+
+    def test_home_return_records_return_distance(self):
+        scheduler, stats = schedule_circuit(fredkin())
+        if stats.num_moves:
+            assert any(l.return_distance_um > 0 for l in stats.layers)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        _, stats_a = schedule_circuit(fredkin(), config=SchedulerConfig(seed=3))
+        _, stats_b = schedule_circuit(fredkin(), config=SchedulerConfig(seed=3))
+        assert len(stats_a.layers) == len(stats_b.layers)
+        assert stats_a.total_time_us == pytest.approx(stats_b.total_time_us)
+
+    def test_shuffle_off_is_deterministic(self):
+        config = SchedulerConfig(shuffle=False)
+        _, stats_a = schedule_circuit(fredkin(), config=config)
+        _, stats_b = schedule_circuit(fredkin(), config=config)
+        assert [len(l.gates) for l in stats_a.layers] == [
+            len(l.gates) for l in stats_b.layers
+        ]
+
+
+class TestTrapChanges:
+    def test_both_slm_pair_resolved_by_trap_change(self):
+        # No AOD atoms at all: every out-of-range CZ must use a trap change.
+        c = QuantumCircuit(2)
+        c.cz(0, 1)
+        spec = HardwareSpec.quera_aquila()
+        basis = transpile(c)
+        # Place the two atoms at opposite grid corners, far out of range.
+        from repro.layout.graphine import GraphineLayout
+
+        layout = GraphineLayout(
+            unit_positions=np.array([[0.0, 0.0], [1.0, 1.0]]),
+            interaction_radius_unit=0.05,
+        )
+        state = MachineState(spec, layout)
+        scheduler = GateScheduler(basis, state)
+        stats = scheduler.run()
+        assert stats.both_slm_trap_changes == 1
+        assert stats.trap_changes == 1
+
+    def test_trap_change_time_charged(self):
+        c = QuantumCircuit(2)
+        c.cz(0, 1)
+        spec = HardwareSpec.quera_aquila()
+        basis = transpile(c)
+        from repro.layout.graphine import GraphineLayout
+
+        layout = GraphineLayout(
+            unit_positions=np.array([[0.0, 0.0], [1.0, 1.0]]),
+            interaction_radius_unit=0.05,
+        )
+        state = MachineState(spec, layout)
+        stats = GateScheduler(basis, state).run()
+        # Two trap switches at 100 us each dominate the layer time.
+        assert stats.total_time_us >= 200.0

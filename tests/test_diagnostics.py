@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.diagnostics."""
+
+import pytest
+
+from repro.analysis.diagnostics import diagnose, format_diagnostics
+from repro.circuit.gate import Gate
+from repro.core.result import CompilationResult, CompiledLayer
+from repro.hardware.spec import HardwareSpec
+
+
+def make_result(layers, **kwargs):
+    defaults = dict(
+        technique="parallax",
+        circuit_name="t",
+        num_qubits=4,
+        spec=HardwareSpec.quera_aquila(),
+        layers=layers,
+        num_cz=sum(l.num_cz for l in layers),
+        runtime_us=sum(l.time_us for l in layers),
+    )
+    defaults.update(kwargs)
+    return CompilationResult(**defaults)
+
+
+def cz_layer(move=0.0, traps=0, time_us=0.8):
+    return CompiledLayer(
+        gates=(Gate("cz", (0, 1)),),
+        move_distance_um=move,
+        trap_changes=traps,
+        time_us=time_us,
+    )
+
+
+class TestDiagnose:
+    def test_layer_statistics(self):
+        layers = [cz_layer(), cz_layer(), CompiledLayer(
+            gates=(Gate("u3", (0,), (0.1, 0.2, 0.3)), Gate("u3", (1,), (0.1, 0.2, 0.3))),
+            time_us=2.0,
+        )]
+        diag = diagnose(make_result(layers))
+        assert diag.num_layers == 3
+        assert diag.mean_gates_per_layer == pytest.approx(4 / 3)
+        assert diag.max_gates_per_layer == 2
+
+    def test_trap_change_fraction(self):
+        layers = [cz_layer(traps=1), cz_layer()]
+        result = make_result(layers, trap_change_events=1)
+        diag = diagnose(result)
+        assert diag.trap_change_fraction == pytest.approx(0.5)
+
+    def test_movement_statistics(self):
+        layers = [cz_layer(move=10.0), cz_layer(move=30.0), cz_layer()]
+        diag = diagnose(make_result(layers))
+        assert diag.layers_with_movement == 2
+        assert diag.mean_move_distance_um == pytest.approx(20.0)
+        assert diag.max_move_distance_um == pytest.approx(30.0)
+
+    def test_time_fractions_sum_to_one(self):
+        layers = [cz_layer(move=55.0, traps=1, time_us=210.0)]
+        result = make_result(layers, trap_change_events=1)
+        diag = diagnose(result)
+        total = (
+            diag.gate_time_fraction
+            + diag.movement_time_fraction
+            + diag.trap_time_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_result(self):
+        diag = diagnose(make_result([]))
+        assert diag.num_layers == 0
+        assert diag.mean_gates_per_layer == 0.0
+
+
+class TestFlags:
+    def test_clean_compilation_no_flags(self):
+        diag = diagnose(make_result([cz_layer() for _ in range(3)]))
+        assert diag.flags() == []
+
+    def test_cramped_topology_flagged(self):
+        layers = [cz_layer(traps=1) for _ in range(10)]
+        result = make_result(layers, trap_change_events=10)
+        flags = diagnose(result).flags()
+        assert any("cramped" in f for f in flags)
+
+    def test_real_tfim_compilation_is_flagged(self):
+        from repro.experiments.common import compile_one
+
+        result = compile_one("parallax", "TFIM", HardwareSpec.quera_aquila())
+        flags = diagnose(result).flags()
+        assert flags  # the paper's own pathological case
+
+    def test_real_small_compilation_is_clean(self):
+        from repro.experiments.common import compile_one
+
+        result = compile_one("parallax", "ADV", HardwareSpec.quera_aquila())
+        assert diagnose(result).trap_change_fraction <= 0.05
+
+
+class TestFormat:
+    def test_report_contains_key_lines(self):
+        text = format_diagnostics(diagnose(make_result([cz_layer()])))
+        assert "layers" in text
+        assert "trap-change fraction" in text
+        assert "runtime split" in text
+
+    def test_warnings_rendered(self):
+        layers = [cz_layer(traps=1) for _ in range(10)]
+        result = make_result(layers, trap_change_events=10)
+        text = format_diagnostics(diagnose(result))
+        assert "WARNING" in text

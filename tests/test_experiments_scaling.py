@@ -1,0 +1,30 @@
+"""Tests for repro.experiments.scaling."""
+
+import pytest
+
+from repro.experiments.scaling import run_scaling
+
+
+class TestRunScaling:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_scaling(qubit_counts=(4, 8, 16), steps=2)
+
+    def test_row_per_qubit_count(self, table):
+        assert table.column("qubits") == [4, 8, 16]
+
+    def test_cz_grows_linearly(self, table):
+        cz = table.column("cz_gates")
+        # TFIM: steps * (q-1) * 2 CZs.
+        assert cz == [2 * 2 * 3, 2 * 2 * 7, 2 * 2 * 15]
+
+    def test_times_positive(self, table):
+        for t in table.column("compile_s"):
+            assert t >= 0.0
+
+    def test_layers_grow_with_size(self, table):
+        layers = table.column("layers")
+        assert layers[-1] >= layers[0]
+
+    def test_format_renders(self, table):
+        assert "Compile-time scaling" in table.format()

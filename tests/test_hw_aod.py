@@ -1,0 +1,138 @@
+"""Tests for repro.hardware.aod: ordering and tandem constraints."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.aod import AOD, AODOrderError
+from repro.hardware.spec import HardwareSpec
+
+
+@pytest.fixture
+def aod():
+    return AOD(HardwareSpec.quera_aquila(), line_gap_um=1.0)
+
+
+class TestAssignment:
+    def test_assign_and_query(self, aod):
+        aod.assign_atom(5, row=0, col=0, x=10.0, y=20.0)
+        assert aod.holds(5)
+        assert aod.atom_lines(5) == (0, 0)
+        np.testing.assert_allclose(aod.atom_position(5), [10.0, 20.0])
+
+    def test_assign_same_qubit_twice_rejected(self, aod):
+        aod.assign_atom(1, 0, 0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="already assigned"):
+            aod.assign_atom(1, 1, 1, 5.0, 5.0)
+
+    def test_row_ordering_enforced_on_assign(self, aod):
+        aod.assign_atom(0, row=1, col=0, x=0.0, y=10.0)
+        # Row 2 must be above row 1.
+        with pytest.raises(AODOrderError):
+            aod.assign_atom(1, row=2, col=1, x=5.0, y=9.0)
+
+    def test_col_ordering_enforced_on_assign(self, aod):
+        aod.assign_atom(0, row=0, col=1, x=10.0, y=0.0)
+        with pytest.raises(AODOrderError):
+            aod.assign_atom(1, row=1, col=2, x=9.0, y=5.0)
+
+    def test_failed_col_assign_rolls_back_row(self, aod):
+        aod.assign_atom(0, row=0, col=1, x=10.0, y=0.0)
+        with pytest.raises(AODOrderError):
+            aod.assign_atom(1, row=1, col=2, x=5.0, y=3.0)
+        # Row 1's tentative coordinate must have been rolled back.
+        assert np.isnan(aod.row_y[1])
+
+    def test_tandem_atoms_share_row_coordinate(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=0, col=1, x=10.0, y=5.0)
+        assert aod.row_atoms[0] == {0, 1}
+
+    def test_conflicting_row_coordinate_rejected(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        with pytest.raises(ValueError, match="row 0 already"):
+            aod.assign_atom(1, row=0, col=1, x=10.0, y=6.0)
+
+    def test_release_clears_lines(self, aod):
+        aod.assign_atom(0, 0, 0, 1.0, 2.0)
+        aod.release_atom(0)
+        assert not aod.holds(0)
+        assert np.isnan(aod.row_y[0]) and np.isnan(aod.col_x[0])
+
+    def test_release_keeps_shared_line(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=0, col=1, x=10.0, y=5.0)
+        aod.release_atom(0)
+        assert aod.row_y[0] == 5.0  # still held by qubit 1
+
+    def test_line_out_of_range(self, aod):
+        with pytest.raises(ValueError, match="out of range"):
+            aod.assign_atom(0, row=99, col=0, x=0.0, y=0.0)
+
+
+class TestMovement:
+    def test_move_row_returns_delta_and_atoms(self, aod):
+        aod.assign_atom(0, 0, 0, 0.0, 5.0)
+        delta, atoms = aod.move_row(0, 8.0)
+        assert delta == pytest.approx(3.0)
+        assert atoms == [0]
+        assert aod.row_y[0] == 8.0
+
+    def test_tandem_motion_lists_all_atoms(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=0, col=1, x=10.0, y=5.0)
+        _, atoms = aod.move_row(0, 7.0)
+        assert atoms == [0, 1]
+
+    def test_rows_cannot_cross(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=1, col=1, x=10.0, y=10.0)
+        with pytest.raises(AODOrderError):
+            aod.move_row(0, 10.5)
+
+    def test_min_gap_enforced(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=1, col=1, x=10.0, y=10.0)
+        with pytest.raises(AODOrderError):
+            aod.move_row(0, 9.5)  # within 1.0 um of row 1
+        aod.move_row(0, 9.0)  # exactly at the gap is allowed
+
+    def test_cols_cannot_cross(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=5.0, y=0.0)
+        aod.assign_atom(1, row=1, col=1, x=10.0, y=10.0)
+        with pytest.raises(AODOrderError):
+            aod.move_col(1, 4.0)
+
+    def test_move_unassigned_row_rejected(self, aod):
+        with pytest.raises(ValueError, match="no coordinate"):
+            aod.move_row(0, 5.0)
+
+    def test_move_bounds(self, aod):
+        aod.assign_atom(0, row=0, col=0, x=0.0, y=5.0)
+        aod.assign_atom(1, row=1, col=1, x=10.0, y=10.0)
+        aod.assign_atom(2, row=2, col=2, x=20.0, y=20.0)
+        lo, hi = aod.row_move_bounds(1)
+        assert lo == pytest.approx(6.0)
+        assert hi == pytest.approx(19.0)
+
+    def test_unbounded_extremes(self, aod):
+        aod.assign_atom(0, row=5, col=5, x=10.0, y=10.0)
+        lo, hi = aod.row_move_bounds(5)
+        assert lo == -np.inf and hi == np.inf
+
+
+class TestSnapshot:
+    def test_snapshot_restore_round_trip(self, aod):
+        aod.assign_atom(0, 0, 0, 1.0, 2.0)
+        snap = aod.snapshot()
+        aod.move_row(0, 9.0)
+        aod.move_col(0, 9.0)
+        aod.restore(snap)
+        assert aod.row_y[0] == 2.0
+        assert aod.col_x[0] == 1.0
+
+    def test_snapshot_is_decoupled(self, aod):
+        aod.assign_atom(0, 0, 0, 1.0, 2.0)
+        snap = aod.snapshot()
+        aod.move_row(0, 9.0)
+        row_y, _ = snap
+        assert row_y[0] == 2.0

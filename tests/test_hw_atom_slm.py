@@ -1,0 +1,101 @@
+"""Tests for repro.hardware.atom and repro.hardware.slm."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.atom import Atom, TrapType
+from repro.hardware.slm import SLM
+from repro.hardware.spec import HardwareSpec
+
+
+class TestAtom:
+    def test_defaults(self):
+        atom = Atom(0, np.array([1.0, 2.0]))
+        assert atom.trap is TrapType.SLM
+        assert not atom.is_mobile
+        np.testing.assert_allclose(atom.home, [1.0, 2.0])
+
+    def test_home_defaults_to_position_copy(self):
+        atom = Atom(0, np.array([1.0, 2.0]))
+        atom.position[0] = 99.0
+        assert atom.home[0] == 1.0
+
+    def test_explicit_home(self):
+        atom = Atom(0, np.array([1.0, 2.0]), home=np.array([0.0, 0.0]))
+        np.testing.assert_allclose(atom.home, [0.0, 0.0])
+
+    def test_bad_position_shape(self):
+        with pytest.raises(ValueError, match="2-vector"):
+            Atom(0, np.array([1.0, 2.0, 3.0]))
+
+    def test_distance_to(self):
+        a = Atom(0, np.array([0.0, 0.0]))
+        b = Atom(1, np.array([3.0, 4.0]))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_displace(self):
+        atom = Atom(0, np.array([1.0, 1.0]))
+        atom.displace(np.array([0.5, -0.5]))
+        np.testing.assert_allclose(atom.position, [1.5, 0.5])
+
+    def test_return_home_returns_distance(self):
+        atom = Atom(0, np.array([0.0, 0.0]))
+        atom.displace(np.array([3.0, 4.0]))
+        assert atom.return_home() == pytest.approx(5.0)
+        np.testing.assert_allclose(atom.position, [0.0, 0.0])
+
+    def test_aod_mobility_flag(self):
+        atom = Atom(0, np.array([0.0, 0.0]), trap=TrapType.AOD)
+        assert atom.is_mobile
+
+
+class TestSLM:
+    @pytest.fixture
+    def slm(self):
+        return SLM(HardwareSpec.quera_aquila())
+
+    def test_site_position_scaling(self, slm):
+        pos = slm.site_position(2, 3)
+        np.testing.assert_allclose(pos, [3 * slm.pitch, 2 * slm.pitch])
+
+    def test_site_bounds_checked(self, slm):
+        with pytest.raises(ValueError, match="outside"):
+            slm.site_position(16, 0)
+
+    def test_nearest_site_rounding(self, slm):
+        point = np.array([slm.pitch * 2.4, slm.pitch * 0.6])
+        assert slm.nearest_site(point) == (1, 2)
+
+    def test_nearest_site_clamped(self, slm):
+        assert slm.nearest_site(np.array([-100.0, 1e6])) == (15, 0)
+
+    def test_place_and_occupancy(self, slm):
+        slm.place(7, 1, 2)
+        assert not slm.is_free(1, 2)
+        assert slm.occupant(1, 2) == 7
+        assert slm.num_occupied == 1
+
+    def test_double_place_site_rejected(self, slm):
+        slm.place(0, 0, 0)
+        with pytest.raises(ValueError, match="already holds"):
+            slm.place(1, 0, 0)
+
+    def test_double_place_qubit_rejected(self, slm):
+        slm.place(0, 0, 0)
+        with pytest.raises(ValueError, match="already placed"):
+            slm.place(0, 1, 1)
+
+    def test_release(self, slm):
+        slm.place(3, 2, 2)
+        assert slm.release(2, 2) == 3
+        assert slm.is_free(2, 2)
+
+    def test_release_empty_rejected(self, slm):
+        with pytest.raises(ValueError, match="empty"):
+            slm.release(0, 0)
+
+    def test_occupied_sites_is_copy(self, slm):
+        slm.place(0, 0, 0)
+        sites = slm.occupied_sites()
+        sites.clear()
+        assert slm.num_occupied == 1

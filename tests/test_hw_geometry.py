@@ -1,0 +1,87 @@
+"""Tests for repro.hardware.geometry."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.geometry import (
+    euclidean,
+    min_pairwise_separation,
+    neighbors_within,
+    pairwise_distances,
+    within_radius_pairs,
+)
+
+
+class TestEuclidean:
+    def test_pythagorean(self):
+        assert euclidean(np.array([0, 0]), np.array([3, 4])) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        p = np.array([1.5, -2.5])
+        assert euclidean(p, p) == 0.0
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        pos = np.array([[0, 0], [1, 0], [0, 2]], dtype=float)
+        d = pairwise_distances(pos)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_values(self):
+        pos = np.array([[0, 0], [3, 4]], dtype=float)
+        assert pairwise_distances(pos)[0, 1] == pytest.approx(5.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            pairwise_distances(np.zeros((3, 3)))
+
+    def test_single_point(self):
+        d = pairwise_distances(np.array([[1.0, 1.0]]))
+        assert d.shape == (1, 1)
+
+
+class TestWithinRadiusPairs:
+    def test_finds_close_pairs_only(self):
+        pos = np.array([[0, 0], [1, 0], [10, 0]], dtype=float)
+        assert within_radius_pairs(pos, 1.5) == [(0, 1)]
+
+    def test_radius_inclusive(self):
+        pos = np.array([[0, 0], [2, 0]], dtype=float)
+        assert within_radius_pairs(pos, 2.0) == [(0, 1)]
+
+    def test_ordered_i_less_than_j(self):
+        pos = np.random.default_rng(0).random((6, 2)) * 3
+        for i, j in within_radius_pairs(pos, 2.0):
+            assert i < j
+
+    def test_empty_input(self):
+        assert within_radius_pairs(np.zeros((0, 2)), 1.0) == []
+
+
+class TestMinPairwiseSeparation:
+    def test_simple(self):
+        pos = np.array([[0, 0], [1, 0], [5, 0]], dtype=float)
+        assert min_pairwise_separation(pos) == pytest.approx(1.0)
+
+    def test_single_point_infinite(self):
+        assert min_pairwise_separation(np.array([[0.0, 0.0]])) == float("inf")
+
+    def test_empty_infinite(self):
+        assert min_pairwise_separation(np.zeros((0, 2))) == float("inf")
+
+
+class TestNeighborsWithin:
+    def test_finds_neighbors(self):
+        pos = np.array([[0, 0], [1, 0], [3, 0]], dtype=float)
+        idx = neighbors_within(pos, np.array([0.0, 0.0]), 1.5)
+        assert set(idx.tolist()) == {0, 1}
+
+    def test_exclude_self(self):
+        pos = np.array([[0, 0], [1, 0]], dtype=float)
+        idx = neighbors_within(pos, pos[0], 1.5, exclude=0)
+        assert set(idx.tolist()) == {1}
+
+    def test_none_in_range(self):
+        pos = np.array([[10, 10]], dtype=float)
+        assert neighbors_within(pos, np.array([0.0, 0.0]), 1.0).size == 0

@@ -1,0 +1,94 @@
+"""Tests for repro.hardware.grid: discretization (Step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.geometry import min_pairwise_separation
+from repro.hardware.grid import discretize_positions, grid_site_coords, unit_to_physical_scale
+from repro.hardware.spec import HardwareSpec
+
+
+@pytest.fixture
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+class TestGridSiteCoords:
+    def test_count_and_pitch(self, spec):
+        coords = grid_site_coords(spec)
+        assert coords.shape == (256, 2)
+        # First row runs along x with the pitch spacing.
+        assert coords[1][0] - coords[0][0] == pytest.approx(spec.grid_pitch_um)
+
+    def test_all_sites_distinct(self, spec):
+        coords = grid_site_coords(spec)
+        assert len({tuple(c) for c in coords.tolist()}) == 256
+
+
+class TestUnitScale:
+    def test_square_grid_scale(self, spec):
+        w, h = spec.extent_um
+        assert unit_to_physical_scale(spec) == pytest.approx(min(w, h))
+
+
+class TestDiscretizePositions:
+    def test_corners_map_to_corners(self, spec):
+        unit = np.array([[0.0, 0.0], [1.0, 1.0]])
+        positions, sites = discretize_positions(unit, spec)
+        assert sites[0] == (0, 0)
+        assert sites[1] == (15, 15)
+
+    def test_positions_match_sites(self, spec):
+        unit = np.random.default_rng(1).random((20, 2))
+        positions, sites = discretize_positions(unit, spec)
+        for pos, (row, col) in zip(positions, sites):
+            np.testing.assert_allclose(
+                pos, [col * spec.grid_pitch_um, row * spec.grid_pitch_um]
+            )
+
+    def test_no_two_qubits_share_a_site(self, spec):
+        # Everyone wants the center: collisions must resolve to free sites.
+        unit = np.full((30, 2), 0.5)
+        _, sites = discretize_positions(unit, spec)
+        assert len(set(sites)) == 30
+
+    def test_separation_constraint_always_satisfied(self, spec):
+        unit = np.random.default_rng(2).random((64, 2))
+        positions, _ = discretize_positions(unit, spec)
+        assert min_pairwise_separation(positions) >= spec.min_separation_um
+
+    def test_deterministic(self, spec):
+        unit = np.random.default_rng(3).random((40, 2))
+        a = discretize_positions(unit, spec)[1]
+        b = discretize_positions(unit, spec)[1]
+        assert a == b
+
+    def test_full_grid_capacity(self, spec):
+        unit = np.random.default_rng(4).random((256, 2))
+        _, sites = discretize_positions(unit, spec)
+        assert len(set(sites)) == 256
+
+    def test_over_capacity_rejected(self, spec):
+        unit = np.random.default_rng(5).random((257, 2))
+        with pytest.raises(ValueError, match="do not fit"):
+            discretize_positions(unit, spec)
+
+    def test_out_of_unit_square_rejected(self, spec):
+        with pytest.raises(ValueError, match="unit_positions"):
+            discretize_positions(np.array([[1.2, 0.0]]), spec)
+
+    def test_bad_shape_rejected(self, spec):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            discretize_positions(np.zeros((3, 3)), spec)
+
+    def test_empty_input(self, spec):
+        positions, sites = discretize_positions(np.zeros((0, 2)), spec)
+        assert positions.shape == (0, 2) and sites == []
+
+    def test_nearby_points_stay_nearby(self, spec):
+        # Discretization error is bounded by about one pitch.
+        unit = np.array([[0.5, 0.5], [0.52, 0.5]])
+        positions, _ = discretize_positions(unit, spec)
+        target = unit * [spec.extent_um[0], spec.extent_um[1]]
+        for got, want in zip(positions, target):
+            assert np.hypot(*(got - want)) <= 2 * spec.grid_pitch_um

@@ -1,0 +1,115 @@
+"""Tests for repro.hardware.spec (Table II parameters)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.hardware.spec import HardwareSpec
+
+
+class TestTableIIValues:
+    """The spec encodes Table II of the paper verbatim."""
+
+    def test_quera_machine_size(self):
+        spec = HardwareSpec.quera_aquila()
+        assert spec.num_sites == 256
+        assert (spec.grid_rows, spec.grid_cols) == (16, 16)
+
+    def test_atom_machine_size(self):
+        spec = HardwareSpec.atom_computing()
+        assert spec.num_sites == 1225
+        assert (spec.grid_rows, spec.grid_cols) == (35, 35)
+
+    def test_gate_errors(self):
+        spec = HardwareSpec()
+        assert spec.u3_error == pytest.approx(0.000127)
+        assert spec.cz_error == pytest.approx(0.0048)
+        assert spec.swap_error == pytest.approx(0.0143)
+
+    def test_swap_error_is_roughly_three_cz(self):
+        spec = HardwareSpec()
+        three_cz = 1 - (1 - spec.cz_error) ** 3
+        assert spec.swap_error == pytest.approx(three_cz, rel=0.01)
+
+    def test_gate_times(self):
+        spec = HardwareSpec()
+        assert spec.u3_time_us == 2.0
+        assert spec.cz_time_us == 0.8
+
+    def test_coherence_times_in_us(self):
+        spec = HardwareSpec()
+        assert spec.t1_us == pytest.approx(4.0e6)
+        assert spec.t2_us == pytest.approx(1.49e6)
+
+    def test_movement_parameters(self):
+        spec = HardwareSpec()
+        assert spec.move_speed_um_per_us == 55.0
+        assert spec.trap_switch_time_us == 100.0
+
+    def test_loss_and_readout(self):
+        spec = HardwareSpec()
+        assert spec.atom_loss_rate == pytest.approx(0.007)
+        assert spec.readout_error == pytest.approx(0.05)
+
+    def test_default_aod_is_20(self):
+        spec = HardwareSpec()
+        assert spec.aod_rows == spec.aod_cols == 20
+
+    def test_blockade_factor_is_2_5(self):
+        assert HardwareSpec().blockade_factor == 2.5
+
+
+class TestDerivedGeometry:
+    def test_pitch_rule(self):
+        spec = HardwareSpec()
+        assert spec.grid_pitch_um == pytest.approx(
+            2 * spec.min_separation_um + spec.grid_padding_um
+        )
+
+    def test_extent(self):
+        spec = HardwareSpec.quera_aquila()
+        w, h = spec.extent_um
+        assert w == pytest.approx(15 * spec.grid_pitch_um)
+        assert h == pytest.approx(15 * spec.grid_pitch_um)
+
+    def test_longest_move_about_2us(self):
+        # Section IV: "the longest possible move would take about 2 us" on
+        # the 256-atom system.
+        spec = HardwareSpec.quera_aquila()
+        t = spec.move_time_us(spec.max_move_distance_um)
+        assert 1.5 <= t <= 3.5
+
+    def test_move_time_linear(self):
+        spec = HardwareSpec()
+        assert spec.move_time_us(110.0) == pytest.approx(2.0)
+        assert spec.move_time_us(0.0) == 0.0
+
+    def test_move_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HardwareSpec().move_time_us(-1.0)
+
+    def test_blockade_radius(self):
+        spec = HardwareSpec()
+        assert spec.blockade_radius_um(10.0) == pytest.approx(25.0)
+
+    def test_with_aod_count(self):
+        spec = HardwareSpec().with_aod_count(5)
+        assert spec.aod_rows == spec.aod_cols == 5
+        # Original untouched (frozen dataclass semantics).
+        assert HardwareSpec().aod_rows == 20
+
+
+class TestValidation:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            HardwareSpec().grid_rows = 5  # type: ignore[misc]
+
+    @pytest.mark.parametrize("field,value", [
+        ("grid_rows", 0), ("aod_rows", -1), ("min_separation_um", 0.0),
+        ("cz_error", 1.5), ("u3_error", -0.1), ("move_speed_um_per_us", 0.0),
+        ("t1_us", -2.0), ("readout_error", math.nan),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            dataclasses.replace(HardwareSpec(), **{field: value})

@@ -1,0 +1,86 @@
+"""Tests for repro.hardware.topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hardware.topology import (
+    blockade_conflict_graph,
+    is_connected_at_radius,
+    max_parallel_two_qubit_gates,
+    unit_disk_graph,
+)
+
+
+def line(n, spacing=1.0):
+    return np.array([[i * spacing, 0.0] for i in range(n)], dtype=float)
+
+
+class TestUnitDiskGraph:
+    def test_chain_edges(self):
+        g = unit_disk_graph(line(4), 1.2)
+        assert set(g.edges) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_larger_radius_adds_edges(self):
+        g = unit_disk_graph(line(4), 2.2)
+        assert (0, 2) in g.edges
+
+    def test_empty(self):
+        g = unit_disk_graph(np.zeros((0, 2)), 1.0)
+        assert g.number_of_nodes() == 0
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        assert is_connected_at_radius(line(5), 1.1)
+
+    def test_disconnected_below_spacing(self):
+        assert not is_connected_at_radius(line(5), 0.9)
+
+    def test_single_point_connected(self):
+        assert is_connected_at_radius(np.array([[0.0, 0.0]]), 0.1)
+
+    def test_matches_minimal_radius(self):
+        from repro.layout.radius import minimal_connected_radius
+
+        rng = np.random.default_rng(2)
+        pos = rng.random((12, 2)) * 10
+        r = minimal_connected_radius(pos)
+        assert is_connected_at_radius(pos, r)
+        assert not is_connected_at_radius(pos, r * 0.99)
+
+
+class TestBlockadeConflicts:
+    def test_adjacent_gates_conflict(self):
+        positions = line(4)
+        pairs = [(0, 1), (2, 3)]
+        g = blockade_conflict_graph(positions, pairs, blockade_radius=1.5)
+        assert (0, 1) in g.edges
+
+    def test_distant_gates_free(self):
+        positions = np.array([[0, 0], [1, 0], [50, 0], [51, 0]], dtype=float)
+        pairs = [(0, 1), (2, 3)]
+        g = blockade_conflict_graph(positions, pairs, blockade_radius=2.0)
+        assert g.number_of_edges() == 0
+
+    def test_parallelism_bound(self):
+        # Four well-separated gates: all parallel.
+        positions = np.array(
+            [[0, 0], [1, 0], [50, 0], [51, 0], [0, 50], [1, 50], [50, 50], [51, 50]],
+            dtype=float,
+        )
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        assert max_parallel_two_qubit_gates(positions, pairs, 2.0) == 4
+
+    def test_full_conflict_serializes(self):
+        positions = line(6)
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        assert max_parallel_two_qubit_gates(positions, pairs, 100.0) == 1
+
+    def test_greedy_respects_conflicts(self):
+        rng = np.random.default_rng(3)
+        positions = rng.random((10, 2)) * 20
+        pairs = [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]
+        blockade = 5.0
+        count = max_parallel_two_qubit_gates(positions, pairs, blockade)
+        assert 1 <= count <= len(pairs)

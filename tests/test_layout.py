@@ -1,0 +1,172 @@
+"""Tests for repro.layout: interaction graph, placement, radius, Graphine."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.layout.graphine import generate_layout
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import PlacementConfig, place_qubits, placement_cost
+from repro.layout.radius import minimal_connected_radius
+
+
+class TestInteractionGraph:
+    def test_nodes_cover_all_qubits(self):
+        c = QuantumCircuit(5).cz(0, 1)
+        g = build_interaction_graph(c)
+        assert set(g.nodes) == set(range(5))
+
+    def test_edge_weights_count_gates(self):
+        c = QuantumCircuit(3).cz(0, 1).cz(1, 0).cz(1, 2)
+        g = build_interaction_graph(c)
+        assert g[0][1]["weight"] == 2
+        assert g[1][2]["weight"] == 1
+
+    def test_isolated_qubits_have_no_edges(self):
+        c = QuantumCircuit(4).cz(0, 1)
+        g = build_interaction_graph(c)
+        assert g.degree(3) == 0
+
+
+class TestPlacementCost:
+    def test_closer_interacting_pair_is_cheaper(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1, weight=5)
+        near = np.array([[0.4, 0.5], [0.6, 0.5]])
+        far = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert placement_cost(near, g) < placement_cost(far, g)
+
+    def test_repulsion_penalizes_collapse(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        stacked = np.array([[0.5, 0.5], [0.5, 0.5]])
+        spread = np.array([[0.2, 0.5], [0.8, 0.5]])
+        assert placement_cost(stacked, g) > placement_cost(spread, g)
+
+    def test_weight_scales_attraction(self):
+        light, heavy = nx.Graph(), nx.Graph()
+        for g, w in ((light, 1), (heavy, 10)):
+            g.add_nodes_from([0, 1])
+            g.add_edge(0, 1, weight=w)
+        pos = np.array([[0.0, 0.0], [1.0, 0.0]])
+        assert placement_cost(pos, heavy) > placement_cost(pos, light)
+
+
+class TestPlaceQubits:
+    def test_output_in_unit_square(self):
+        c = QuantumCircuit(8)
+        for i in range(7):
+            c.cz(i, i + 1)
+        pos = place_qubits(build_interaction_graph(c))
+        assert pos.shape == (8, 2)
+        assert pos.min() >= 0.0 and pos.max() <= 1.0
+
+    def test_deterministic_for_seed(self):
+        c = QuantumCircuit(6).cz(0, 1).cz(2, 3).cz(4, 5)
+        g = build_interaction_graph(c)
+        a = place_qubits(g, PlacementConfig(seed=9))
+        b = place_qubits(g, PlacementConfig(seed=9))
+        np.testing.assert_allclose(a, b)
+
+    def test_heavy_pairs_placed_closer(self):
+        # Qubits 0-1 share many gates; 0-2 share one.
+        c = QuantumCircuit(3)
+        for _ in range(20):
+            c.cz(0, 1)
+        c.cz(0, 2)
+        pos = place_qubits(build_interaction_graph(c))
+        d01 = np.hypot(*(pos[0] - pos[1]))
+        d02 = np.hypot(*(pos[0] - pos[2]))
+        assert d01 < d02
+
+    def test_dual_annealing_mode_runs(self):
+        c = QuantumCircuit(4).cz(0, 1).cz(1, 2).cz(2, 3)
+        config = PlacementConfig(method="dual_annealing", maxiter=5, seed=1)
+        pos = place_qubits(build_interaction_graph(c), config)
+        assert pos.shape == (4, 2)
+        assert pos.min() >= 0.0 and pos.max() <= 1.0
+
+    def test_dual_annealing_not_worse_than_start(self):
+        c = QuantumCircuit(5)
+        for i in range(4):
+            for _ in range(3):
+                c.cz(i, i + 1)
+        g = build_interaction_graph(c)
+        spring = place_qubits(g, PlacementConfig(method="spring", seed=2))
+        annealed = place_qubits(
+            g, PlacementConfig(method="dual_annealing", maxiter=20, seed=2)
+        )
+        assert placement_cost(annealed, g) <= placement_cost(spring, g) + 1e-6
+
+    def test_single_qubit_centered(self):
+        g = nx.Graph()
+        g.add_node(0)
+        np.testing.assert_allclose(place_qubits(g), [[0.5, 0.5]])
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            PlacementConfig(method="magic")
+
+    def test_nonzero_based_nodes_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2])
+        with pytest.raises(ValueError, match="0..n-1"):
+            place_qubits(g)
+
+
+class TestMinimalConnectedRadius:
+    def test_chain_bottleneck(self):
+        pos = np.array([[0, 0], [1, 0], [3, 0]], dtype=float)
+        # MST edges: 1 and 2 -> bottleneck 2.
+        assert minimal_connected_radius(pos) == pytest.approx(2.0, rel=1e-6)
+
+    def test_radius_connects_unit_disk_graph(self):
+        rng = np.random.default_rng(3)
+        pos = rng.random((15, 2))
+        r = minimal_connected_radius(pos)
+        g = nx.Graph()
+        g.add_nodes_from(range(15))
+        for i in range(15):
+            for j in range(i + 1, 15):
+                if np.hypot(*(pos[i] - pos[j])) <= r:
+                    g.add_edge(i, j)
+        assert nx.is_connected(g)
+
+    def test_smaller_radius_disconnects(self):
+        rng = np.random.default_rng(4)
+        pos = rng.random((10, 2))
+        r = minimal_connected_radius(pos, slack=1.0)
+        g = nx.Graph()
+        g.add_nodes_from(range(10))
+        for i in range(10):
+            for j in range(i + 1, 10):
+                if np.hypot(*(pos[i] - pos[j])) < r * 0.999:
+                    g.add_edge(i, j)
+        assert not nx.is_connected(g)
+
+    def test_fewer_than_two_points(self):
+        assert minimal_connected_radius(np.zeros((1, 2))) == 0.0
+        assert minimal_connected_radius(np.zeros((0, 2))) == 0.0
+
+
+class TestGenerateLayout:
+    def test_layout_fields(self):
+        c = QuantumCircuit(5).cz(0, 1).cz(1, 2).cz(2, 3).cz(3, 4)
+        layout = generate_layout(c)
+        assert layout.num_qubits == 5
+        assert layout.interaction_radius_unit > 0
+
+    def test_idle_qubits_do_not_inflate_radius(self):
+        # Two interacting qubits plus many idle ones: the radius should be
+        # set by the interacting pair, not by far-flung idle atoms.
+        c = QuantumCircuit(10).cz(0, 1)
+        layout = generate_layout(c)
+        d01 = np.hypot(*(layout.unit_positions[0] - layout.unit_positions[1]))
+        assert layout.interaction_radius_unit <= d01 * 1.5 + 1e-6
+
+    def test_single_qubit_circuit(self):
+        c = QuantumCircuit(1).h(0)
+        layout = generate_layout(c)
+        assert layout.interaction_radius_unit > 0

@@ -1,0 +1,78 @@
+"""Tests for movement trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.scheduler import SchedulerConfig
+from repro.hardware.spec import HardwareSpec
+
+
+def movement_heavy_circuit():
+    c = QuantumCircuit(8, "heavy")
+    for _ in range(3):
+        for a in range(8):
+            for b in range(a + 1, 8):
+                c.cz(a, b)
+        for q in range(8):
+            c.h(q)
+    return c
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ParallaxCompiler(HardwareSpec.quera_aquila()).compile(
+        movement_heavy_circuit()
+    )
+
+
+class TestTraces:
+    def test_moving_layers_have_traces(self, result):
+        moving = [l for l in result.layers if l.move_distance_um > 0]
+        assert moving, "circuit must exercise movement"
+        for layer in moving:
+            assert layer.line_moves
+
+    def test_static_layers_have_no_traces(self, result):
+        for layer in result.layers:
+            if layer.move_distance_um == 0:
+                assert layer.line_moves == ()
+
+    def test_trace_records_are_well_formed(self, result):
+        for layer in result.layers:
+            for kind, index, old, new in layer.line_moves:
+                assert kind in ("row", "col")
+                assert index >= 0
+                assert old != new
+
+    def test_trace_distances_bound_layer_distance(self, result):
+        # The layer's move_distance is the max cumulative per-line distance,
+        # which must equal what the trace reconstructs.
+        for layer in result.layers:
+            per_line: dict[tuple[str, int], float] = {}
+            for kind, index, old, new in layer.line_moves:
+                key = (kind, index)
+                per_line[key] = per_line.get(key, 0.0) + abs(new - old)
+            reconstructed = max(per_line.values(), default=0.0)
+            assert reconstructed == pytest.approx(layer.move_distance_um)
+
+    def test_trace_replay_is_contiguous_per_line(self, result):
+        # Each line's successive trace records chain: next old == last new.
+        for layer in result.layers:
+            last: dict[tuple[str, int], float] = {}
+            for kind, index, old, new in layer.line_moves:
+                key = (kind, index)
+                if key in last:
+                    assert old == pytest.approx(last[key])
+                last[key] = new
+
+    def test_failed_moves_leave_no_trace(self):
+        # With a zero recursion budget every move fails and rolls back.
+        config = ParallaxConfig(scheduler=SchedulerConfig(recursion_limit=0))
+        result = ParallaxCompiler(HardwareSpec.quera_aquila(), config).compile(
+            movement_heavy_circuit()
+        )
+        for layer in result.layers:
+            assert layer.line_moves == ()
+            assert layer.move_distance_um == 0.0

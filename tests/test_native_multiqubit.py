@@ -1,0 +1,129 @@
+"""Tests for the native-CCZ extension (GEYSER-style composition).
+
+The paper's background notes neutral atoms execute multi-qubit gates
+directly and calls gate composition "orthogonal to Parallax"; this
+extension keeps three-qubit gates as native CCZ pulses through
+transpilation, scheduling, movement, and the noise model.
+"""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.hardware.spec import HardwareSpec
+from repro.noise import success_probability
+from repro.sim import StateVector, simulate_circuit
+from repro.transpile import transpile
+from repro.transpile.basis import decompose_gate
+from repro.circuit.gate import Gate
+
+
+def toffoli_circuit():
+    c = QuantumCircuit(3, "toffoli-chain")
+    c.h(0).ccx(0, 1, 2).h(1).ccx(1, 2, 0).cswap(2, 0, 1)
+    return c
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+class TestNativeDecomposition:
+    def test_ccx_composes_to_single_ccz(self):
+        out = decompose_gate(Gate("ccx", (0, 1, 2)), keep_ccz=True)
+        assert sum(1 for g in out if g.name == "ccz") == 1
+        assert sum(1 for g in out if g.name == "cz") == 0
+
+    def test_cswap_composes_to_one_ccz_two_cz(self):
+        out = decompose_gate(Gate("cswap", (0, 1, 2)), keep_ccz=True)
+        assert sum(1 for g in out if g.name == "ccz") == 1
+        assert sum(1 for g in out if g.name == "cz") == 2
+
+    def test_ccz_passes_through(self):
+        gate = Gate("ccz", (0, 1, 2))
+        assert decompose_gate(gate, keep_ccz=True) == [gate]
+
+    @pytest.mark.parametrize("name,qubits", [
+        ("ccx", (0, 1, 2)), ("ccx", (2, 0, 1)),
+        ("cswap", (0, 1, 2)), ("cswap", (1, 2, 0)), ("ccz", (0, 1, 2)),
+    ])
+    def test_native_path_unitary_equivalent(self, name, qubits):
+        c = QuantumCircuit(3)
+        c.add(name, qubits)
+        a = simulate_circuit(transpile(c))
+        b = simulate_circuit(transpile(c, native_multiqubit=True))
+        assert a.fidelity_with(b) == pytest.approx(1.0)
+
+    def test_whole_circuit_equivalent(self):
+        c = toffoli_circuit()
+        a = simulate_circuit(transpile(c))
+        b = simulate_circuit(transpile(c, native_multiqubit=True))
+        assert a.fidelity_with(b) == pytest.approx(1.0)
+
+    def test_optimizer_preserves_ccz(self):
+        out = transpile(toffoli_circuit(), native_multiqubit=True)
+        assert out.count_ops().get("ccz", 0) == 3
+
+
+class TestNativeCompilation:
+    def test_scheduler_accepts_ccz(self, spec):
+        config = ParallaxConfig(native_multiqubit=True)
+        result = ParallaxCompiler(spec, config).compile(toffoli_circuit())
+        assert result.num_ccz == 3
+        assert result.num_swaps == 0
+
+    def test_all_gates_scheduled(self, spec):
+        config = ParallaxConfig(native_multiqubit=True)
+        result = ParallaxCompiler(spec, config).compile(toffoli_circuit())
+        total = sum(len(l.gates) for l in result.layers)
+        assert total == result.num_cz + result.num_u3 + result.num_ccz
+
+    def test_schedule_preserves_state(self, spec):
+        config = ParallaxConfig(native_multiqubit=True)
+        circuit = toffoli_circuit()
+        result = ParallaxCompiler(spec, config).compile(circuit)
+        flat = [g for layer in result.layers for g in layer.gates]
+        scheduled = StateVector(3).run(flat)
+        reference = simulate_circuit(transpile(circuit))
+        assert scheduled.fidelity_with(reference) == pytest.approx(1.0)
+
+    def test_fewer_entangling_ops_than_decomposed(self, spec):
+        from repro.benchcircuits import grover_sat
+
+        circuit = grover_sat()
+        dec = ParallaxCompiler(spec).compile(circuit)
+        nat = ParallaxCompiler(spec, ParallaxConfig(native_multiqubit=True)).compile(circuit)
+        assert nat.num_cz + nat.num_ccz < dec.num_cz
+
+    def test_success_gain_on_toffoli_heavy_circuit(self, spec):
+        # The GEYSER-style benefit: 1 CCZ at 1.8% beats 6 CZ at 0.48% each.
+        from repro.benchcircuits import grover_sat
+
+        circuit = grover_sat()
+        dec = ParallaxCompiler(spec).compile(circuit)
+        nat = ParallaxCompiler(spec, ParallaxConfig(native_multiqubit=True)).compile(circuit)
+        assert success_probability(nat) > success_probability(dec)
+
+    def test_ccz_counts_in_noise_model(self, spec):
+        from repro.core.result import CompilationResult
+
+        base = CompilationResult(
+            technique="parallax", circuit_name="t", num_qubits=3, spec=spec
+        )
+        with_ccz = CompilationResult(
+            technique="parallax", circuit_name="t", num_qubits=3, spec=spec,
+            num_ccz=10,
+        )
+        assert success_probability(with_ccz) == pytest.approx(
+            (1 - spec.ccz_error) ** 10
+        )
+        assert success_probability(base) == pytest.approx(1.0)
+
+    def test_ccz_layer_time(self, spec):
+        # A layer containing a CCZ lasts at least the CCZ pulse time.
+        config = ParallaxConfig(native_multiqubit=True)
+        c = QuantumCircuit(3)
+        c.add("ccz", (0, 1, 2))
+        result = ParallaxCompiler(spec, config).compile(c)
+        assert result.runtime_us >= spec.ccz_time_us

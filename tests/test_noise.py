@@ -1,0 +1,120 @@
+"""Tests for repro.noise.fidelity: the success-probability model."""
+
+import math
+
+import pytest
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.noise.fidelity import (
+    NoiseModelConfig,
+    decoherence_factor,
+    success_probability,
+)
+
+
+def make_result(num_cz=0, num_u3=0, num_qubits=2, runtime_us=0.0,
+                num_moves=0, trap_changes=0, spec=None):
+    return CompilationResult(
+        technique="parallax",
+        circuit_name="t",
+        num_qubits=num_qubits,
+        spec=spec or HardwareSpec.quera_aquila(),
+        num_cz=num_cz,
+        num_u3=num_u3,
+        num_moves=num_moves,
+        trap_change_events=trap_changes,
+        runtime_us=runtime_us,
+    )
+
+
+class TestDecoherenceFactor:
+    def test_zero_time_no_decay(self):
+        assert decoherence_factor(0.0, 5, HardwareSpec()) == 1.0
+
+    def test_decay_formula(self):
+        spec = HardwareSpec()
+        t, q = 1000.0, 3
+        expected = math.exp(-q * t * (1 / spec.t1_us + 1 / spec.t2_us))
+        assert decoherence_factor(t, q, spec) == pytest.approx(expected)
+
+    def test_more_qubits_decay_faster(self):
+        spec = HardwareSpec()
+        assert decoherence_factor(1e4, 10, spec) < decoherence_factor(1e4, 2, spec)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            decoherence_factor(-1.0, 2, HardwareSpec())
+
+    def test_short_circuits_negligible_decay(self):
+        # Hyperfine coherence of seconds vs microsecond circuits.
+        assert decoherence_factor(100.0, 10, HardwareSpec()) > 0.999
+
+
+class TestSuccessProbability:
+    def test_empty_circuit_is_certain(self):
+        result = make_result()
+        assert success_probability(result) == pytest.approx(1.0)
+
+    def test_cz_product(self):
+        spec = HardwareSpec()
+        result = make_result(num_cz=100)
+        assert success_probability(result) == pytest.approx(
+            (1 - spec.cz_error) ** 100
+        )
+
+    def test_paper_wst_calibration(self):
+        # DESIGN.md Section 5: WST with 52 CZ gives ~0.77-0.78 in Fig. 10.
+        result = make_result(num_cz=52, num_u3=100, num_qubits=27, runtime_us=108.0)
+        assert success_probability(result) == pytest.approx(0.775, abs=0.01)
+
+    def test_u3_much_cheaper_than_cz(self):
+        p_u3 = success_probability(make_result(num_u3=100))
+        p_cz = success_probability(make_result(num_cz=100))
+        assert p_u3 > p_cz
+
+    def test_movement_losses_counted(self):
+        spec = HardwareSpec()
+        with_moves = success_probability(make_result(num_moves=50))
+        assert with_moves == pytest.approx((1 - spec.move_error) ** 50)
+
+    def test_trap_changes_cost_two_switches(self):
+        spec = HardwareSpec()
+        result = make_result(trap_changes=10)
+        expected = (1 - spec.trap_switch_error) ** 20
+        assert success_probability(result) == pytest.approx(expected)
+
+    def test_movement_excluded_when_configured(self):
+        config = NoiseModelConfig(include_movement=False)
+        result = make_result(num_moves=50, trap_changes=10)
+        assert success_probability(result, config) == pytest.approx(1.0)
+
+    def test_readout_off_by_default(self):
+        result = make_result(num_qubits=20)
+        assert success_probability(result) == pytest.approx(1.0)
+
+    def test_readout_when_enabled(self):
+        spec = HardwareSpec()
+        config = NoiseModelConfig(include_readout=True)
+        result = make_result(num_qubits=20)
+        assert success_probability(result, config) == pytest.approx(
+            (1 - spec.readout_error) ** 20
+        )
+
+    def test_decoherence_excluded_when_configured(self):
+        config = NoiseModelConfig(include_decoherence=False)
+        result = make_result(runtime_us=1e6, num_qubits=10)
+        assert success_probability(result, config) == pytest.approx(1.0)
+
+    def test_probability_in_unit_interval(self):
+        result = make_result(num_cz=5000, num_u3=9000, num_qubits=30,
+                             runtime_us=1e5, num_moves=100, trap_changes=50)
+        p = success_probability(result)
+        assert 0.0 <= p <= 1.0
+
+    def test_fewer_cz_means_higher_success(self):
+        # The mechanism behind Fig. 10: Parallax wins because it runs fewer
+        # CZ gates.
+        few = success_probability(make_result(num_cz=100))
+        many = success_probability(make_result(num_cz=400))
+        assert few > many

@@ -1,0 +1,96 @@
+"""Tests for the community-based placement method."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.layout.interaction_graph import build_interaction_graph
+from repro.layout.placement import PlacementConfig, place_qubits, placement_cost
+from repro.circuit.circuit import QuantumCircuit
+
+
+def modular_circuit(num_clusters=3, cluster_size=4, bridges=1):
+    """Circuit with dense intra-cluster and sparse inter-cluster CZs."""
+    n = num_clusters * cluster_size
+    c = QuantumCircuit(n, "modular")
+    for k in range(num_clusters):
+        base = k * cluster_size
+        for a in range(cluster_size):
+            for b in range(a + 1, cluster_size):
+                for _ in range(3):
+                    c.cz(base + a, base + b)
+    for k in range(num_clusters - 1):
+        for _ in range(bridges):
+            c.cz(k * cluster_size, (k + 1) * cluster_size)
+    return c
+
+
+class TestCommunityPlacement:
+    def test_output_in_unit_square(self):
+        g = build_interaction_graph(modular_circuit())
+        pos = place_qubits(g, PlacementConfig(method="community"))
+        assert pos.shape == (12, 2)
+        assert pos.min() >= 0.0 and pos.max() <= 1.0
+
+    def test_deterministic(self):
+        g = build_interaction_graph(modular_circuit())
+        a = place_qubits(g, PlacementConfig(method="community", seed=4))
+        b = place_qubits(g, PlacementConfig(method="community", seed=4))
+        np.testing.assert_allclose(a, b)
+
+    def test_cluster_members_closer_than_strangers(self):
+        g = build_interaction_graph(modular_circuit())
+        pos = place_qubits(g, PlacementConfig(method="community"))
+        # Mean intra-cluster distance < mean inter-cluster distance.
+        intra, inter = [], []
+        for a in range(12):
+            for b in range(a + 1, 12):
+                d = float(np.hypot(*(pos[a] - pos[b])))
+                (intra if a // 4 == b // 4 else inter).append(d)
+        assert np.mean(intra) < np.mean(inter)
+
+    def test_competitive_cost_on_modular_graph(self):
+        # Community placement trades some attraction cost for scalability;
+        # it must stay within a small constant factor of the global spring.
+        g = build_interaction_graph(modular_circuit(num_clusters=4, cluster_size=5))
+        spring = placement_cost(
+            place_qubits(g, PlacementConfig(method="spring")), g
+        )
+        community = placement_cost(
+            place_qubits(g, PlacementConfig(method="community")), g
+        )
+        assert community <= spring * 2.5
+
+    def test_tiny_graph_falls_back(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1, weight=1)
+        pos = place_qubits(g, PlacementConfig(method="community"))
+        assert pos.shape == (2, 2)
+
+    def test_single_community_falls_back(self):
+        # A clique has one community; must not crash.
+        c = QuantumCircuit(5)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                c.cz(a, b)
+        g = build_interaction_graph(c)
+        pos = place_qubits(g, PlacementConfig(method="community"))
+        assert pos.shape == (5, 2)
+
+    def test_isolated_qubits_placed(self):
+        c = QuantumCircuit(6).cz(0, 1).cz(2, 3)
+        g = build_interaction_graph(c)
+        pos = place_qubits(g, PlacementConfig(method="community"))
+        assert not np.any(np.isnan(pos))
+
+    def test_usable_by_parallax_end_to_end(self):
+        from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+        from repro.hardware.spec import HardwareSpec
+
+        config = ParallaxConfig(placement=PlacementConfig(method="community"))
+        result = ParallaxCompiler(HardwareSpec.quera_aquila(), config).compile(
+            modular_circuit()
+        )
+        assert result.num_swaps == 0
+        assert result.num_cz > 0

@@ -1,0 +1,103 @@
+"""Stateful property-based tests of the AOD's hardware invariants.
+
+A random sequence of assigns, releases, and row/column moves must never
+leave the AOD with crossed lines, violated gaps, or inconsistent
+atom-to-line bookkeeping -- exactly the hardware constraints Section II
+builds Parallax around.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.hardware.aod import AOD, AODOrderError
+from repro.hardware.spec import HardwareSpec
+
+GAP = 1.0
+
+
+class AODMachine(RuleBasedStateMachine):
+    """Random walk over the AOD API, checking invariants after every step."""
+
+    def __init__(self):
+        super().__init__()
+        spec = HardwareSpec(name="t", grid_rows=8, grid_cols=8, aod_rows=6, aod_cols=6)
+        self.aod = AOD(spec, line_gap_um=GAP)
+        self.next_qubit = 0
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(row=st.integers(0, 5), col=st.integers(0, 5),
+          x=st.floats(0, 100, allow_nan=False),
+          y=st.floats(0, 100, allow_nan=False))
+    def assign(self, row, col, x, y):
+        qubit = self.next_qubit
+        try:
+            self.aod.assign_atom(qubit, row, col, x, y)
+            self.next_qubit += 1
+        except (AODOrderError, ValueError):
+            pass  # rejected assignments must leave state untouched
+
+    @precondition(lambda self: self.aod.atoms())
+    @rule(data=st.data())
+    def release(self, data):
+        qubit = data.draw(st.sampled_from(self.aod.atoms()))
+        self.aod.release_atom(qubit)
+
+    @precondition(lambda self: any(~np.isnan(self.aod.row_y)))
+    @rule(data=st.data(), y=st.floats(-50, 150, allow_nan=False))
+    def move_row(self, data, y):
+        live = [i for i in range(self.aod.num_rows) if not np.isnan(self.aod.row_y[i])]
+        index = data.draw(st.sampled_from(live))
+        try:
+            self.aod.move_row(index, y)
+        except AODOrderError:
+            pass
+
+    @precondition(lambda self: any(~np.isnan(self.aod.col_x)))
+    @rule(data=st.data(), x=st.floats(-50, 150, allow_nan=False))
+    def move_col(self, data, x):
+        live = [i for i in range(self.aod.num_cols) if not np.isnan(self.aod.col_x[i])]
+        index = data.draw(st.sampled_from(live))
+        try:
+            self.aod.move_col(index, x)
+        except AODOrderError:
+            pass
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def rows_strictly_ordered_with_gap(self):
+        ys = self.aod.row_y[~np.isnan(self.aod.row_y)]
+        # Assigned rows, in index order, must ascend with at least the gap.
+        live = [y for y in self.aod.row_y if not np.isnan(y)]
+        for a, b in zip(live, live[1:]):
+            assert b - a >= GAP - 1e-9
+
+    @invariant()
+    def cols_strictly_ordered_with_gap(self):
+        live = [x for x in self.aod.col_x if not np.isnan(x)]
+        for a, b in zip(live, live[1:]):
+            assert b - a >= GAP - 1e-9
+
+    @invariant()
+    def atom_bookkeeping_consistent(self):
+        for qubit in self.aod.atoms():
+            row, col = self.aod.atom_lines(qubit)
+            assert qubit in self.aod.row_atoms[row]
+            assert qubit in self.aod.col_atoms[col]
+            assert not np.isnan(self.aod.row_y[row])
+            assert not np.isnan(self.aod.col_x[col])
+
+    @invariant()
+    def no_orphan_line_memberships(self):
+        listed = set()
+        for atoms in self.aod.row_atoms:
+            listed |= atoms
+        assert listed == set(self.aod.atoms())
+
+
+TestAODStateMachine = AODMachine.TestCase
+TestAODStateMachine.settings = settings(max_examples=40, stateful_step_count=30,
+                                        deadline=None)

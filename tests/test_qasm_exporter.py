@@ -1,0 +1,69 @@
+"""Tests for repro.qasm.exporter (including round-trips through the parser)."""
+
+import math
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.qasm.exporter import to_qasm
+from repro.qasm.parser import parse_qasm
+
+
+class TestExport:
+    def test_header_present(self):
+        text = to_qasm(QuantumCircuit(2).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text
+        assert "qreg q[2];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(QuantumCircuit(2).cz(0, 1))
+        assert "cz q[0], q[1];" in text
+
+    def test_params_serialized_precisely(self):
+        c = QuantumCircuit(1).rz(0, math.pi / 3)
+        text = to_qasm(c)
+        reparsed = parse_qasm(text)
+        assert reparsed[0].params[0] == pytest.approx(math.pi / 3, abs=0)
+
+    def test_measure_emitted_with_creg(self):
+        c = QuantumCircuit(2)
+        c.add("measure", (1,))
+        text = to_qasm(c)
+        assert "creg c[2];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_measure_suppressed(self):
+        c = QuantumCircuit(1)
+        c.add("measure", (0,))
+        text = to_qasm(c, include_measure=False)
+        assert "measure" not in text
+        assert "creg" not in text
+
+    def test_barrier_emitted(self):
+        c = QuantumCircuit(2)
+        c.add("barrier", (0,))
+        assert "barrier q[0];" in to_qasm(c)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [
+        lambda c: c.h(0).cx(0, 1).cz(1, 2),
+        lambda c: c.u3(0, 0.1, 0.2, 0.3).rz(1, -1.5),
+        lambda c: c.ccx(0, 1, 2).swap(0, 2),
+    ])
+    def test_parse_export_parse_identity(self, builder):
+        original = QuantumCircuit(3)
+        builder(original)
+        reparsed = parse_qasm(to_qasm(original))
+        assert reparsed.num_qubits == original.num_qubits
+        assert list(reparsed) == list(original)
+
+    def test_transpiled_circuit_round_trips(self):
+        from repro.transpile import transpile
+
+        c = QuantumCircuit(3)
+        c.cswap(0, 1, 2)
+        basis = transpile(c)
+        reparsed = parse_qasm(to_qasm(basis))
+        assert list(reparsed) == list(basis)

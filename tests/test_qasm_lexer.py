@@ -1,0 +1,55 @@
+"""Tests for repro.qasm.lexer."""
+
+import pytest
+
+from repro.qasm.lexer import QasmSyntaxError, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)]
+
+
+class TestTokenize:
+    def test_keywords_recognized(self):
+        tokens = list(tokenize("OPENQASM qreg creg gate measure barrier pi"))
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+    def test_identifier_vs_keyword(self):
+        tokens = list(tokenize("qreg myreg"))
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "id"
+
+    def test_numbers(self):
+        tokens = list(tokenize("42 3.14 .5 1e-3 2.5E+2"))
+        assert [t.kind for t in tokens[:-1]] == ["int", "real", "real", "real", "real"]
+
+    def test_string_strips_quotes(self):
+        token = next(iter(tokenize('"qelib1.inc"')))
+        assert token.kind == "string" and token.text == "qelib1.inc"
+
+    def test_comments_skipped(self):
+        assert texts("x // a comment\ny")[:-1] == ["x", "y"]
+
+    def test_line_numbers_advance(self):
+        tokens = list(tokenize("a\nb\nc"))
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_arrow_token(self):
+        assert "arrow" in kinds("q -> c")
+
+    def test_symbols(self):
+        assert kinds("( ) [ ] { } ; , + - * / ^")[:-1] == ["sym"] * 13
+
+    def test_eof_token_last(self):
+        assert kinds("x")[-1] == "eof"
+
+    def test_empty_source(self):
+        assert kinds("") == ["eof"]
+
+    def test_invalid_character_raises_with_line(self):
+        with pytest.raises(QasmSyntaxError, match="line 2"):
+            list(tokenize("ok\n@bad"))

@@ -1,0 +1,167 @@
+"""Tests for repro.qasm.parser."""
+
+import math
+
+import pytest
+
+from repro.qasm.lexer import QasmSyntaxError
+from repro.qasm.parser import parse_qasm
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        c = parse_qasm(HEADER + "qreg q[3];\nh q[0];\ncx q[0], q[1];")
+        assert c.num_qubits == 3
+        assert [g.name for g in c] == ["h", "cx"]
+
+    def test_header_optional(self):
+        c = parse_qasm("qreg q[1]; x q[0];")
+        assert len(c) == 1
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="version"):
+            parse_qasm("OPENQASM 3.0;")
+
+    def test_unknown_include_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="qelib1"):
+            parse_qasm(HEADER.replace("qelib1.inc", "other.inc") + "qreg q[1];")
+
+    def test_multiple_registers_flattened(self):
+        c = parse_qasm(HEADER + "qreg a[2]; qreg b[2]; cx a[1], b[0];")
+        assert c.num_qubits == 4
+        assert c[0].qubits == (1, 2)
+
+    def test_duplicate_qreg_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="duplicate"):
+            parse_qasm(HEADER + "qreg q[1]; qreg q[2];")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="out of range"):
+            parse_qasm(HEADER + "qreg q[2]; x q[5];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1]; frobnicate q[0];")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="unknown qreg"):
+            parse_qasm(HEADER + "qreg q[1]; x r[0];")
+
+
+class TestParameters:
+    def test_pi_expressions(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz(pi/2) q[0]; rz(-pi/4) q[0]; rz(2*pi) q[0];")
+        assert c[0].params[0] == pytest.approx(math.pi / 2)
+        assert c[1].params[0] == pytest.approx(-math.pi / 4)
+        assert c[2].params[0] == pytest.approx(2 * math.pi)
+
+    def test_u3_three_params(self):
+        c = parse_qasm(HEADER + "qreg q[1]; u3(pi/2, 0, pi) q[0];")
+        assert c[0].params == pytest.approx((math.pi / 2, 0.0, math.pi))
+
+    def test_arithmetic_precedence(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz(1+2*3) q[0];")
+        assert c[0].params[0] == pytest.approx(7.0)
+
+    def test_parenthesized_expression(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz((1+2)*3) q[0];")
+        assert c[0].params[0] == pytest.approx(9.0)
+
+    def test_power_operator(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz(2^3) q[0];")
+        assert c[0].params[0] == pytest.approx(8.0)
+
+    def test_functions(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz(cos(0)) q[0]; rz(sqrt(4)) q[0];")
+        assert c[0].params[0] == pytest.approx(1.0)
+        assert c[1].params[0] == pytest.approx(2.0)
+
+    def test_scientific_notation(self):
+        c = parse_qasm(HEADER + "qreg q[1]; rz(1.5e-2) q[0];")
+        assert c[0].params[0] == pytest.approx(0.015)
+
+
+class TestBroadcasting:
+    def test_single_register_broadcast(self):
+        c = parse_qasm(HEADER + "qreg q[3]; h q;")
+        assert [g.qubits for g in c] == [(0,), (1,), (2,)]
+
+    def test_two_register_broadcast(self):
+        c = parse_qasm(HEADER + "qreg a[2]; qreg b[2]; cx a, b;")
+        assert [g.qubits for g in c] == [(0, 2), (1, 3)]
+
+    def test_mixed_broadcast_scalar_register(self):
+        c = parse_qasm(HEADER + "qreg a[1]; qreg b[3]; cx a[0], b;")
+        assert [g.qubits for g in c] == [(0, 1), (0, 2), (0, 3)]
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="mismatched"):
+            parse_qasm(HEADER + "qreg a[2]; qreg b[3]; cx a, b;")
+
+
+class TestCustomGates:
+    def test_definition_expanded_inline(self):
+        src = HEADER + (
+            "qreg q[2];\n"
+            "gate bell a, b { h a; cx a, b; }\n"
+            "bell q[0], q[1];"
+        )
+        c = parse_qasm(src)
+        assert [g.name for g in c] == ["h", "cx"]
+
+    def test_parameterized_definition(self):
+        src = HEADER + (
+            "qreg q[1];\n"
+            "gate tilt(t) a { rz(t/2) a; }\n"
+            "tilt(pi) q[0];"
+        )
+        c = parse_qasm(src)
+        assert c[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_nested_definitions(self):
+        src = HEADER + (
+            "qreg q[2];\n"
+            "gate inner a { x a; }\n"
+            "gate outer a, b { inner a; cx a, b; }\n"
+            "outer q[0], q[1];"
+        )
+        c = parse_qasm(src)
+        assert [g.name for g in c] == ["x", "cx"]
+
+    def test_wrong_arg_count_rejected(self):
+        src = HEADER + "qreg q[2]; gate g1 a { x a; } g1 q[0], q[1];"
+        with pytest.raises(QasmSyntaxError, match="expects 1"):
+            parse_qasm(src)
+
+    def test_barrier_in_body_ignored(self):
+        src = HEADER + "qreg q[1]; gate g1 a { x a; barrier a; x a; } g1 q[0];"
+        c = parse_qasm(src)
+        assert [g.name for g in c] == ["x", "x"]
+
+
+class TestStructural:
+    def test_barrier_recorded(self):
+        c = parse_qasm(HEADER + "qreg q[2]; barrier q;")
+        assert [g.name for g in c] == ["barrier", "barrier"]
+
+    def test_measure_recorded(self):
+        c = parse_qasm(HEADER + "qreg q[2]; creg c[2]; measure q -> c;")
+        assert [g.name for g in c] == ["measure", "measure"]
+
+    def test_measure_single(self):
+        c = parse_qasm(HEADER + "qreg q[2]; creg c[2]; measure q[1] -> c[1];")
+        assert c[0].qubits == (1,)
+
+    def test_reset_unsupported(self):
+        with pytest.raises(QasmSyntaxError, match="reset"):
+            parse_qasm(HEADER + "qreg q[1]; reset q[0];")
+
+    def test_opaque_unsupported(self):
+        with pytest.raises(QasmSyntaxError, match="opaque"):
+            parse_qasm(HEADER + "opaque magic a;")
+
+    def test_if_unsupported(self):
+        with pytest.raises(QasmSyntaxError, match="classically"):
+            parse_qasm(HEADER + "qreg q[1]; creg c[1]; if (c==1) x q[0];")

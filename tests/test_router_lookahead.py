@@ -1,0 +1,112 @@
+"""Tests for the SABRE-style lookahead routing strategy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.router import RouterConfig, SwapRouter
+from repro.circuit.circuit import QuantumCircuit
+
+
+def line_positions(n, spacing=1.0):
+    return np.array([[i * spacing, 0.0] for i in range(n)], dtype=float)
+
+
+def grid_positions(side, spacing=1.0):
+    return np.array(
+        [[c * spacing, r * spacing] for r in range(side) for c in range(side)],
+        dtype=float,
+    )
+
+
+class TestRouterConfig:
+    def test_defaults(self):
+        config = RouterConfig()
+        assert config.strategy == "shortest_path"
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            RouterConfig(strategy="magic")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(window=-1)
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(decay=1.5)
+
+
+class TestLookaheadCorrectness:
+    @pytest.fixture
+    def config(self):
+        return RouterConfig(strategy="lookahead")
+
+    def test_adjacent_cz_free(self, config):
+        router = SwapRouter(line_positions(3), 1.5, config=config)
+        routed = router.route(QuantumCircuit(3).cz(0, 1))
+        assert routed.num_swaps == 0
+
+    def test_distant_cz_resolved(self, config):
+        router = SwapRouter(line_positions(5), 1.2, config=config)
+        routed = router.route(QuantumCircuit(5).cz(0, 4))
+        assert routed.num_swaps >= 1
+        # Every emitted CZ/SWAP is between connected atoms.
+        for gate in routed.gates:
+            if gate.num_qubits == 2:
+                a, b = gate.qubits
+                assert abs(a - b) == 1  # line topology neighbors
+
+    def test_matches_shortest_path_swap_count_on_line(self, config):
+        # On a line there is only one route; both strategies pay the same.
+        for target in (2, 3, 4):
+            sp = SwapRouter(line_positions(5), 1.2)
+            la = SwapRouter(line_positions(5), 1.2, config=config)
+            circuit = QuantumCircuit(5).cz(0, target)
+            assert sp.route(circuit).num_swaps == la.route(circuit).num_swaps
+
+    def test_final_mapping_is_permutation(self, config):
+        router = SwapRouter(grid_positions(3), 1.2, config=config)
+        c = QuantumCircuit(9).cz(0, 8).cz(2, 6).cz(1, 7)
+        routed = router.route(c)
+        values = list(routed.final_mapping.values())
+        assert len(set(values)) == len(values)
+
+    def test_lookahead_no_worse_on_repeated_pattern(self):
+        # Repeating far pair + interleaved near pair: lookahead should not
+        # do worse than independent shortest-path walks.
+        c = QuantumCircuit(9)
+        for _ in range(4):
+            c.cz(0, 8)
+            c.cz(0, 1)
+        sp = SwapRouter(grid_positions(3), 1.2).route(c)
+        la = SwapRouter(
+            grid_positions(3), 1.2, config=RouterConfig(strategy="lookahead")
+        ).route(c)
+        assert la.num_swaps <= sp.num_swaps
+
+    def test_swap_cap_enforced(self):
+        config = RouterConfig(strategy="lookahead", max_swaps_per_gate=1)
+        router = SwapRouter(line_positions(8), 1.2, config=config)
+        from repro.baselines.router import RoutingError
+
+        with pytest.raises(RoutingError, match="cap"):
+            router.route(QuantumCircuit(8).cz(0, 7))
+
+
+class TestLookaheadInBaselines:
+    def test_eldi_with_lookahead_compiles(self):
+        from repro.baselines.eldi import EldiCompiler, EldiConfig
+        from repro.hardware.spec import HardwareSpec
+
+        c = QuantumCircuit(8, "ring")
+        for i in range(8):
+            c.cz(i, (i + 1) % 8)
+            c.h(i)
+        spec = HardwareSpec.quera_aquila()
+        base = EldiCompiler(spec).compile(c)
+        smart = EldiCompiler(
+            spec, EldiConfig(router=RouterConfig(strategy="lookahead"))
+        ).compile(c)
+        # Same base CZ count; lookahead may only reduce SWAP overhead.
+        assert smart.num_cz - 3 * smart.num_swaps == base.num_cz - 3 * base.num_swaps
+        assert smart.num_swaps <= base.num_swaps + 2

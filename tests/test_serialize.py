@@ -1,0 +1,73 @@
+"""Tests for repro.core.serialize: JSON round-trips of compiled results."""
+
+import json
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler
+from repro.core.serialize import (
+    dumps_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.hardware.spec import HardwareSpec
+from repro.noise import success_probability
+
+
+@pytest.fixture(scope="module")
+def result():
+    c = QuantumCircuit(4, "serialize-me")
+    c.h(0).ccx(0, 1, 2).cz(2, 3).swap(1, 3)
+    return ParallaxCompiler(HardwareSpec.quera_aquila()).compile(c)
+
+
+class TestRoundTrip:
+    def test_counts_survive(self, result):
+        back = loads_result(dumps_result(result))
+        assert back.num_cz == result.num_cz
+        assert back.num_u3 == result.num_u3
+        assert back.num_swaps == result.num_swaps
+        assert back.trap_change_events == result.trap_change_events
+
+    def test_layers_survive_exactly(self, result):
+        back = loads_result(dumps_result(result))
+        assert back.num_layers == result.num_layers
+        for a, b in zip(back.layers, result.layers):
+            assert a.gates == b.gates
+            assert a.time_us == b.time_us
+            assert a.line_moves == b.line_moves
+
+    def test_spec_survives(self, result):
+        back = loads_result(dumps_result(result))
+        assert back.spec == result.spec
+
+    def test_derived_metrics_identical(self, result):
+        back = loads_result(dumps_result(result))
+        assert back.runtime_us == result.runtime_us
+        assert success_probability(back) == pytest.approx(
+            success_probability(result)
+        )
+
+    def test_json_is_plain_data(self, result):
+        data = json.loads(dumps_result(result))
+        assert data["schema_version"] == 1
+        assert isinstance(data["layers"], list)
+
+    def test_indent_option(self, result):
+        assert "\n" in dumps_result(result, indent=2)
+
+
+class TestSchema:
+    def test_unknown_version_rejected(self, result):
+        data = result_to_dict(result)
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            result_from_dict(data)
+
+    def test_missing_ccz_defaults_zero(self, result):
+        data = result_to_dict(result)
+        del data["num_ccz"]
+        back = result_from_dict(data)
+        assert back.num_ccz == 0

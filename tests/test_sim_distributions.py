@@ -1,0 +1,77 @@
+"""Tests for repro.sim.distributions."""
+
+import pytest
+
+from repro.sim.distributions import (
+    hellinger_fidelity,
+    normalize_counts,
+    success_fraction,
+    total_variation_distance,
+)
+
+
+class TestNormalize:
+    def test_normalizes(self):
+        p = normalize_counts({"00": 30, "11": 70})
+        assert p["00"] == pytest.approx(0.3)
+        assert p["11"] == pytest.approx(0.7)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_counts({"0": -1})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_counts({})
+
+
+class TestTvd:
+    def test_identical_distributions(self):
+        p = {"00": 50, "11": 50}
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance({"00": 1}, {"11": 1}) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p, q = {"0": 30, "1": 70}, {"0": 60, "1": 40}
+        assert total_variation_distance(p, q) == pytest.approx(
+            total_variation_distance(q, p)
+        )
+
+    def test_known_value(self):
+        p, q = {"0": 1, "1": 1}, {"0": 1, "1": 3}
+        # p = (.5,.5), q = (.25,.75): TVD = .25
+        assert total_variation_distance(p, q) == pytest.approx(0.25)
+
+
+class TestHellinger:
+    def test_identical_is_one(self):
+        p = {"00": 2, "01": 3}
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert hellinger_fidelity({"0": 1}, {"1": 1}) == pytest.approx(0.0)
+
+    def test_bounded(self):
+        p, q = {"0": 1, "1": 4}, {"0": 3, "1": 2}
+        assert 0.0 < hellinger_fidelity(p, q) < 1.0
+
+
+class TestSuccessFraction:
+    def test_basic(self):
+        counts = {"00": 80, "01": 15, "10": 5}
+        assert success_fraction(counts, {"00"}) == pytest.approx(0.8)
+
+    def test_multiple_accepted(self):
+        counts = {"00": 50, "11": 30, "01": 20}
+        assert success_fraction(counts, {"00", "11"}) == pytest.approx(0.8)
+
+    def test_sampled_ghz_matches_ideal(self):
+        from repro.benchcircuits.extra import ghz_state
+        from repro.sim import sample_counts
+
+        counts = sample_counts(ghz_state(4), shots=4000, seed=2)
+        assert success_fraction(counts, {"0000", "1111"}) == pytest.approx(1.0)
+        tvd = total_variation_distance(counts, {"0000": 1, "1111": 1})
+        assert tvd < 0.05

@@ -1,0 +1,85 @@
+"""Tests for repro.sim.noisy: Monte Carlo shot simulation."""
+
+import pytest
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.noise.fidelity import NoiseModelConfig, success_probability
+from repro.sim.noisy import NoisyShotSimulator
+
+
+def make_result(**kwargs):
+    defaults = dict(
+        technique="parallax",
+        circuit_name="t",
+        num_qubits=5,
+        spec=HardwareSpec.quera_aquila(),
+        num_cz=50,
+        num_u3=80,
+        num_moves=10,
+        trap_change_events=2,
+        runtime_us=500.0,
+    )
+    defaults.update(kwargs)
+    return CompilationResult(**defaults)
+
+
+class TestNoisyShotSimulator:
+    def test_converges_to_analytic(self):
+        result = make_result()
+        sim = NoisyShotSimulator(result, seed=0)
+        outcome = sim.run(shots=40_000)
+        analytic = success_probability(result)
+        assert sim.analytic_success() == pytest.approx(analytic)
+        assert outcome.success_rate == pytest.approx(analytic, abs=4 * outcome.stderr() + 1e-3)
+
+    def test_channel_counts_sum(self):
+        outcome = NoisyShotSimulator(make_result(), seed=1).run(shots=5000)
+        total = (
+            outcome.successes
+            + outcome.gate_failures
+            + outcome.movement_failures
+            + outcome.decoherence_failures
+            + outcome.readout_failures
+        )
+        assert total == outcome.shots
+
+    def test_noiseless_circuit_always_succeeds(self):
+        result = make_result(num_cz=0, num_u3=0, num_moves=0,
+                             trap_change_events=0, runtime_us=0.0)
+        outcome = NoisyShotSimulator(result, seed=2).run(shots=1000)
+        assert outcome.success_rate == 1.0
+
+    def test_gate_errors_dominate_for_deep_circuits(self):
+        result = make_result(num_cz=2000, num_moves=0, trap_change_events=0,
+                             runtime_us=10.0)
+        outcome = NoisyShotSimulator(result, seed=3).run(shots=2000)
+        assert outcome.gate_failures > outcome.movement_failures
+        assert outcome.gate_failures > outcome.decoherence_failures
+
+    def test_readout_channel_when_enabled(self):
+        config = NoiseModelConfig(include_readout=True)
+        result = make_result(num_cz=0, num_u3=0, num_moves=0,
+                             trap_change_events=0, runtime_us=0.0, num_qubits=20)
+        outcome = NoisyShotSimulator(result, config, seed=4).run(shots=4000)
+        # (1 - 0.05)^20 ~ 0.358: readout failures must appear.
+        assert outcome.readout_failures > 0
+        assert outcome.success_rate == pytest.approx(0.358, abs=0.05)
+
+    def test_seeded_determinism(self):
+        result = make_result()
+        a = NoisyShotSimulator(result, seed=7).run(1000)
+        b = NoisyShotSimulator(result, seed=7).run(1000)
+        assert a == b
+
+    def test_invalid_shots_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyShotSimulator(make_result()).run(0)
+
+    def test_parallax_beats_baseline_empirically(self):
+        # Monte Carlo version of Fig. 10: more CZ gates -> fewer successes.
+        parallax = make_result(num_cz=100)
+        baseline = make_result(num_cz=400, technique="graphine")
+        p_out = NoisyShotSimulator(parallax, seed=8).run(20_000)
+        b_out = NoisyShotSimulator(baseline, seed=9).run(20_000)
+        assert p_out.success_rate > b_out.success_rate

@@ -1,0 +1,157 @@
+"""Tests for repro.sim.statevector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import circuit_unitary
+from repro.sim.statevector import StateVector, sample_counts, simulate_circuit
+
+
+class TestStateVector:
+    def test_initial_state(self):
+        sv = StateVector(2)
+        assert sv.amplitudes[0] == 1.0
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+    def test_qubit_bounds(self):
+        with pytest.raises(ValueError):
+            StateVector(0)
+        with pytest.raises(ValueError):
+            StateVector(23)
+
+    def test_x_flips(self):
+        sv = StateVector(2).apply(Gate("x", (1,)))
+        assert sv.probability_of("01") == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        sv = StateVector(1).apply(Gate("h", (0,)))
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.5)
+
+    def test_bell_state(self):
+        sv = StateVector(2).run([Gate("h", (0,)), Gate("cx", (0, 1))])
+        probs = sv.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+        assert probs[0b01] == pytest.approx(0.0, abs=1e-12)
+
+    def test_cx_direction_matters(self):
+        # |10> (qubit1=1): cx(0,1) does nothing; cx(1,0) flips qubit 0.
+        base = [Gate("x", (1,))]
+        sv_a = StateVector(2).run(base + [Gate("cx", (0, 1))])
+        sv_b = StateVector(2).run(base + [Gate("cx", (1, 0))])
+        assert sv_a.probability_of("01") == pytest.approx(1.0)
+        assert sv_b.probability_of("11") == pytest.approx(1.0)
+
+    def test_cz_phase(self):
+        sv = StateVector(2).run(
+            [Gate("x", (0,)), Gate("x", (1,)), Gate("cz", (0, 1))]
+        )
+        assert sv.amplitudes[0b11] == pytest.approx(-1.0)
+
+    def test_matches_dense_unitary_on_random_circuit(self):
+        c = QuantumCircuit(3)
+        c.h(0).cx(0, 1).rz(1, 0.7).cswap(0, 1, 2).ry(2, 0.3).cz(0, 2)
+        expected = circuit_unitary(c.gates, 3)[:, 0]
+        sv = simulate_circuit(c)
+        np.testing.assert_allclose(sv.amplitudes, expected, atol=1e-10)
+
+    def test_nonadjacent_two_qubit_gate(self):
+        c = QuantumCircuit(4).x(0).cx(0, 3)
+        sv = simulate_circuit(c)
+        assert sv.probability_of("1001") == pytest.approx(1.0)
+
+    def test_barrier_noop(self):
+        sv = StateVector(1).apply(Gate("barrier", (0,)))
+        assert sv.amplitudes[0] == 1.0
+
+    def test_measure_gate_rejected(self):
+        with pytest.raises(ValueError, match="sample"):
+            StateVector(1).apply(Gate("measure", (0,)))
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            StateVector(2).apply(Gate("h", (5,)))
+
+    def test_norm_preserved_through_long_circuit(self):
+        rng = np.random.default_rng(0)
+        c = QuantumCircuit(4)
+        for _ in range(50):
+            q = int(rng.integers(0, 4))
+            c.u3(q, *rng.uniform(0, 2 * math.pi, 3))
+            a, b = rng.choice(4, size=2, replace=False)
+            c.cz(int(a), int(b))
+        sv = simulate_circuit(c)
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_deterministic_state_sampling(self):
+        c = QuantumCircuit(2).x(0)
+        counts = sample_counts(c, shots=100)
+        assert counts == {"10": 100}
+
+    def test_bell_sampling_balanced(self):
+        c = QuantumCircuit(2).h(0).cx(0, 1)
+        counts = sample_counts(c, shots=4000, seed=1)
+        assert set(counts) == {"00", "11"}
+        assert abs(counts["00"] - 2000) < 200
+
+    def test_seeded_reproducibility(self):
+        c = QuantumCircuit(2).h(0).h(1)
+        assert sample_counts(c, 100, seed=5) == sample_counts(c, 100, seed=5)
+
+    def test_bitstring_length_checked(self):
+        with pytest.raises(ValueError, match="length"):
+            StateVector(2).probability_of("101")
+
+
+class TestFidelity:
+    def test_self_fidelity_one(self):
+        sv = simulate_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        assert sv.fidelity_with(sv) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        a = StateVector(1)
+        b = StateVector(1).apply(Gate("x", (0,)))
+        assert a.fidelity_with(b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StateVector(1).fidelity_with(StateVector(2))
+
+
+class TestCompiledScheduleEquivalence:
+    """The crown-jewel invariant: Parallax schedules implement the circuit."""
+
+    @pytest.mark.parametrize("builder", [
+        lambda c: c.cswap(0, 1, 2),
+        lambda c: c.h(0).ccx(0, 1, 2).rz(2, 0.4),
+        lambda c: c.h(0).cx(0, 1).cx(1, 2).cz(0, 2).t(1),
+    ])
+    def test_parallax_schedule_preserves_state(self, builder):
+        from repro.core.compiler import ParallaxCompiler
+        from repro.hardware.spec import HardwareSpec
+        from repro.transpile import transpile
+
+        circuit = QuantumCircuit(3)
+        builder(circuit)
+        result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(circuit)
+        flat = [g for layer in result.layers for g in layer.gates]
+        scheduled = StateVector(3).run(flat)
+        reference = simulate_circuit(transpile(circuit))
+        assert scheduled.fidelity_with(reference) == pytest.approx(1.0)
+
+    def test_transpiled_benchmark_preserves_state(self):
+        from repro.benchcircuits import hidden_linear_function
+        from repro.transpile import transpile
+
+        circuit = hidden_linear_function(num_qubits=6, seed=3)
+        original = simulate_circuit(circuit)
+        basis = simulate_circuit(transpile(circuit))
+        assert basis.fidelity_with(original) == pytest.approx(1.0)

@@ -1,0 +1,92 @@
+"""Tests for repro.timing.runtime."""
+
+import pytest
+
+from repro.core.result import CompilationResult, CompiledLayer
+from repro.hardware.spec import HardwareSpec
+from repro.timing.runtime import (
+    RuntimeBreakdown,
+    gate_phase_time_us,
+    movement_time_us,
+    runtime_breakdown,
+    trap_change_time_us,
+)
+
+
+def make_result(layers, trap_changes=0, spec=None):
+    spec = spec or HardwareSpec.quera_aquila()
+    runtime = sum(l.time_us for l in layers)
+    return CompilationResult(
+        technique="parallax",
+        circuit_name="t",
+        num_qubits=2,
+        spec=spec,
+        layers=list(layers),
+        trap_change_events=trap_changes,
+        runtime_us=runtime,
+    )
+
+
+class TestMovementTime:
+    def test_sums_out_and_return(self):
+        spec = HardwareSpec()
+        layers = [
+            CompiledLayer(gates=(), move_distance_um=55.0, return_distance_um=55.0,
+                          time_us=3.0),
+            CompiledLayer(gates=(), move_distance_um=110.0, time_us=2.8),
+        ]
+        result = make_result(layers, spec=spec)
+        assert movement_time_us(result) == pytest.approx((55 + 55 + 110) / 55.0)
+
+    def test_zero_when_no_moves(self):
+        result = make_result([CompiledLayer(gates=(), time_us=0.8)])
+        assert movement_time_us(result) == 0.0
+
+
+class TestTrapChangeTime:
+    def test_per_event_cost(self):
+        spec = HardwareSpec()
+        result = make_result([], trap_changes=3, spec=spec)
+        per_event = 2 * spec.trap_switch_time_us + 2 * spec.move_time_us(
+            spec.grid_pitch_um
+        )
+        assert trap_change_time_us(result) == pytest.approx(3 * per_event)
+
+    def test_zero_events(self):
+        assert trap_change_time_us(make_result([])) == 0.0
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        spec = HardwareSpec()
+        layers = [
+            CompiledLayer(gates=(), move_distance_um=55.0, return_distance_um=55.0,
+                          trap_changes=1,
+                          time_us=0.8 + 2.0 + 2 * spec.trap_switch_time_us
+                          + 2 * spec.move_time_us(spec.grid_pitch_um)),
+        ]
+        result = make_result(layers, trap_changes=1, spec=spec)
+        breakdown = runtime_breakdown(result)
+        assert breakdown.total_us == pytest.approx(result.runtime_us)
+
+    def test_gate_phase_is_residual(self):
+        layers = [CompiledLayer(gates=(), time_us=2.0)]
+        result = make_result(layers)
+        assert gate_phase_time_us(result) == pytest.approx(2.0)
+
+    def test_gate_phase_never_negative(self):
+        # Pathological record: declared runtime smaller than components.
+        layers = [CompiledLayer(gates=(), move_distance_um=1000.0, time_us=0.0)]
+        result = make_result(layers)
+        assert gate_phase_time_us(result) == 0.0
+
+    def test_parallax_compilation_breakdown_consistent(self):
+        from repro.core.compiler import ParallaxCompiler
+        from repro.circuit.circuit import QuantumCircuit
+
+        c = QuantumCircuit(3)
+        c.cswap(0, 1, 2)
+        result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(c)
+        breakdown = runtime_breakdown(result)
+        assert breakdown.total_us == pytest.approx(result.runtime_us, rel=1e-9)
+        assert breakdown.gates_us > 0

@@ -1,0 +1,105 @@
+"""Tests for repro.transpile.basis: every template is unitary-equivalent."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import circuit_unitary, gate_unitary
+from repro.transpile.basis import decompose_gate, decompose_to_basis
+
+
+def equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    idx = np.unravel_index(np.abs(b).argmax(), b.shape)
+    phase = a[idx] / b[idx]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+def gate_equiv(gate: Gate, num_qubits: int) -> bool:
+    expected = circuit_unitary([gate], num_qubits)
+    actual = circuit_unitary(decompose_gate(gate), num_qubits)
+    return equal_up_to_phase(actual, expected)
+
+
+ONE_QUBIT = [
+    Gate("x", (0,)), Gate("y", (0,)), Gate("z", (0,)), Gate("h", (0,)),
+    Gate("s", (0,)), Gate("sdg", (0,)), Gate("t", (0,)), Gate("tdg", (0,)),
+    Gate("sx", (0,)), Gate("rx", (0,), (0.3,)), Gate("ry", (0,), (1.2,)),
+    Gate("rz", (0,), (-0.7,)), Gate("u2", (0,), (0.1, 0.2)),
+    Gate("u1", (0,), (0.9,)), Gate("p", (0,), (0.4,)),
+]
+
+TWO_QUBIT = [
+    Gate("cx", (0, 1)), Gate("cx", (1, 0)), Gate("cy", (0, 1)),
+    Gate("ch", (0, 1)), Gate("swap", (0, 1)), Gate("iswap", (0, 1)),
+    Gate("cp", (0, 1), (0.8,)), Gate("cu1", (0, 1), (-0.5,)),
+    Gate("crx", (0, 1), (0.6,)), Gate("cry", (0, 1), (1.1,)),
+    Gate("crz", (0, 1), (0.25,)), Gate("cu3", (0, 1), (0.3, 0.7, -0.4)),
+    Gate("rxx", (0, 1), (0.55,)), Gate("ryy", (0, 1), (0.85,)),
+    Gate("rzz", (0, 1), (1.3,)),
+]
+
+THREE_QUBIT = [
+    Gate("ccx", (0, 1, 2)), Gate("ccx", (2, 0, 1)), Gate("ccz", (0, 1, 2)),
+    Gate("cswap", (0, 1, 2)), Gate("cswap", (1, 2, 0)),
+]
+
+
+class TestDecompositions:
+    @pytest.mark.parametrize("gate", ONE_QUBIT, ids=lambda g: f"{g.name}")
+    def test_one_qubit_equivalent(self, gate):
+        assert gate_equiv(gate, 1)
+
+    @pytest.mark.parametrize("gate", ONE_QUBIT, ids=lambda g: f"{g.name}")
+    def test_one_qubit_becomes_single_u3(self, gate):
+        out = decompose_gate(gate)
+        assert len(out) == 1 and out[0].name == "u3"
+
+    @pytest.mark.parametrize("gate", TWO_QUBIT, ids=lambda g: f"{g.name}-{g.qubits}")
+    def test_two_qubit_equivalent(self, gate):
+        assert gate_equiv(gate, 2)
+
+    @pytest.mark.parametrize("gate", THREE_QUBIT, ids=lambda g: f"{g.name}-{g.qubits}")
+    def test_three_qubit_equivalent(self, gate):
+        assert gate_equiv(gate, 3)
+
+    @pytest.mark.parametrize("gate", TWO_QUBIT + THREE_QUBIT, ids=lambda g: f"{g.name}-{g.qubits}")
+    def test_output_in_basis(self, gate):
+        for out in decompose_gate(gate):
+            assert out.name in ("u3", "cz")
+
+    def test_cz_passes_through(self):
+        gate = Gate("cz", (0, 1))
+        assert decompose_gate(gate) == [gate]
+
+    def test_u3_passes_through(self):
+        gate = Gate("u3", (0,), (0.1, 0.2, 0.3))
+        assert decompose_gate(gate) == [gate]
+
+    def test_barrier_passes_through(self):
+        gate = Gate("barrier", (0,))
+        assert decompose_gate(gate) == [gate]
+
+    def test_swap_costs_three_cz(self):
+        out = decompose_gate(Gate("swap", (0, 1)))
+        assert sum(1 for g in out if g.name == "cz") == 3
+
+    def test_toffoli_costs_six_cz(self):
+        out = decompose_gate(Gate("ccx", (0, 1, 2)))
+        assert sum(1 for g in out if g.name == "cz") == 6
+
+
+class TestDecomposeToBasis:
+    def test_whole_circuit_equivalent(self):
+        c = QuantumCircuit(3)
+        c.h(0).cx(0, 1).ccx(0, 1, 2).rz(2, 0.4).swap(1, 2)
+        basis = decompose_to_basis(c)
+        assert equal_up_to_phase(
+            circuit_unitary(basis.gates, 3), circuit_unitary(c.gates, 3)
+        )
+        assert all(g.name in ("u3", "cz") for g in basis)
+
+    def test_preserves_num_qubits_and_name(self):
+        c = QuantumCircuit(4, name="x").h(0)
+        basis = decompose_to_basis(c)
+        assert basis.num_qubits == 4

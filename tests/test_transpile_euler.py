@@ -1,0 +1,80 @@
+"""Tests for repro.transpile.euler: ZYZ resynthesis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import gate_unitary, u3_matrix
+from repro.transpile.euler import is_identity_up_to_phase, zyz_angles
+
+
+def equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> bool:
+    idx = np.unravel_index(np.abs(b).argmax(), b.shape)
+    if abs(a[idx]) < atol:
+        return False
+    phase = a[idx] / b[idx]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestZyzAngles:
+    @pytest.mark.parametrize("name", ["id", "x", "y", "z", "h", "s", "t", "sx"])
+    def test_fixed_gates_resynthesize(self, name):
+        u = gate_unitary(Gate(name, (0,)))
+        theta, phi, lam = zyz_angles(u)
+        assert equal_up_to_phase(u3_matrix(theta, phi, lam), u)
+
+    @pytest.mark.parametrize("angles", [
+        (0.3, 0.7, -0.2), (math.pi, 0.0, 0.0), (0.0, 0.5, 0.5),
+        (math.pi / 2, -math.pi, math.pi / 4), (2.9, 1.1, -2.2),
+    ])
+    def test_u3_round_trip(self, angles):
+        u = u3_matrix(*angles)
+        resyn = u3_matrix(*zyz_angles(u))
+        assert equal_up_to_phase(resyn, u)
+
+    def test_identity_gives_zero_theta(self):
+        theta, _, _ = zyz_angles(np.eye(2, dtype=complex))
+        assert theta == pytest.approx(0.0, abs=1e-9)
+
+    def test_angles_wrapped(self):
+        u = u3_matrix(0.4, 5 * math.pi, -5 * math.pi)
+        theta, phi, lam = zyz_angles(u)
+        for angle in (theta, phi, lam):
+            assert -math.pi - 1e-9 <= angle <= math.pi + 1e-9
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="unitary"):
+            zyz_angles(np.array([[1, 1], [0, 1]], dtype=complex))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="2x2"):
+            zyz_angles(np.eye(3, dtype=complex))
+
+    def test_global_phase_invariance(self):
+        u = u3_matrix(0.9, 0.4, 0.2)
+        angles_a = zyz_angles(u)
+        angles_b = zyz_angles(np.exp(1j * 1.234) * u)
+        resyn_a = u3_matrix(*angles_a)
+        resyn_b = u3_matrix(*angles_b)
+        assert equal_up_to_phase(resyn_a, resyn_b)
+
+
+class TestIsIdentityUpToPhase:
+    def test_identity(self):
+        assert is_identity_up_to_phase(np.eye(2, dtype=complex))
+
+    def test_phased_identity(self):
+        assert is_identity_up_to_phase(np.exp(1j * 0.8) * np.eye(2))
+
+    def test_x_is_not(self):
+        assert not is_identity_up_to_phase(gate_unitary(Gate("x", (0,))))
+
+    def test_z_is_not(self):
+        # diag(1, -1) differs in relative phase.
+        assert not is_identity_up_to_phase(gate_unitary(Gate("z", (0,))))
+
+    def test_near_identity_within_tolerance(self):
+        u = u3_matrix(1e-12, 0, 0)
+        assert is_identity_up_to_phase(u)

@@ -1,0 +1,153 @@
+"""Tests for repro.transpile.passes: peephole optimization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.circuit.matrices import circuit_unitary
+from repro.transpile.basis import decompose_to_basis
+from repro.transpile.passes import (
+    cancel_cz_pairs,
+    drop_identities,
+    merge_one_qubit_runs,
+    optimize_circuit,
+)
+
+
+def equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    idx = np.unravel_index(np.abs(b).argmax(), b.shape)
+    phase = a[idx] / b[idx]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestMergeOneQubitRuns:
+    def test_two_u3_merge_to_one(self):
+        c = QuantumCircuit(1)
+        c.u3(0, 0.1, 0.2, 0.3).u3(0, 0.4, 0.5, 0.6)
+        merged = merge_one_qubit_runs(c)
+        assert len(merged) == 1 and merged[0].name == "u3"
+        assert equal_up_to_phase(
+            circuit_unitary(merged.gates, 1), circuit_unitary(c.gates, 1)
+        )
+
+    def test_inverse_pair_vanishes(self):
+        c = QuantumCircuit(1).h(0).h(0)
+        assert len(merge_one_qubit_runs(c)) == 0
+
+    def test_cz_blocks_merging(self):
+        c = QuantumCircuit(2)
+        c.h(0).cz(0, 1).h(0)
+        merged = merge_one_qubit_runs(c)
+        assert [g.name for g in merged] == ["u3", "cz", "u3"]
+
+    def test_run_on_other_qubit_unaffected(self):
+        c = QuantumCircuit(2)
+        c.h(0).h(1).cz(0, 1)
+        merged = merge_one_qubit_runs(c)
+        assert sum(1 for g in merged if g.name == "u3") == 2
+
+    def test_trailing_run_flushed(self):
+        c = QuantumCircuit(1).h(0).s(0)
+        merged = merge_one_qubit_runs(c)
+        assert len(merged) == 1
+        assert equal_up_to_phase(
+            circuit_unitary(merged.gates, 1), circuit_unitary(c.gates, 1)
+        )
+
+    def test_barrier_flushes_run(self):
+        c = QuantumCircuit(1)
+        c.h(0)
+        c.add("barrier", (0,))
+        c.h(0)
+        merged = merge_one_qubit_runs(c)
+        assert [g.name for g in merged] == ["u3", "barrier", "u3"]
+
+
+class TestCancelCzPairs:
+    def test_adjacent_pair_cancels(self):
+        c = QuantumCircuit(2).cz(0, 1).cz(0, 1)
+        assert len(cancel_cz_pairs(c)) == 0
+
+    def test_reversed_qubits_cancel(self):
+        c = QuantumCircuit(2).cz(0, 1).cz(1, 0)
+        assert len(cancel_cz_pairs(c)) == 0
+
+    def test_intervening_gate_blocks(self):
+        c = QuantumCircuit(2).cz(0, 1).h(0).cz(0, 1)
+        assert len(cancel_cz_pairs(c)) == 3
+
+    def test_intervening_gate_on_either_qubit_blocks(self):
+        c = QuantumCircuit(2).cz(0, 1).h(1).cz(0, 1)
+        assert len(cancel_cz_pairs(c)) == 3
+
+    def test_spectator_gate_does_not_block(self):
+        c = QuantumCircuit(3).cz(0, 1).h(2).cz(0, 1)
+        out = cancel_cz_pairs(c)
+        assert [g.name for g in out] == ["h"]
+
+    def test_four_in_a_row_all_cancel(self):
+        c = QuantumCircuit(2)
+        for _ in range(4):
+            c.cz(0, 1)
+        assert len(cancel_cz_pairs(c)) == 0
+
+    def test_three_in_a_row_leaves_one(self):
+        c = QuantumCircuit(2)
+        for _ in range(3):
+            c.cz(0, 1)
+        assert len(cancel_cz_pairs(c)) == 1
+
+    def test_different_pairs_do_not_cancel(self):
+        c = QuantumCircuit(3).cz(0, 1).cz(1, 2)
+        assert len(cancel_cz_pairs(c)) == 2
+
+
+class TestDropIdentities:
+    def test_zero_u3_dropped(self):
+        c = QuantumCircuit(1).u3(0, 0.0, 0.0, 0.0)
+        assert len(drop_identities(c)) == 0
+
+    def test_phase_only_u3_dropped(self):
+        # u3(0, a, -a) is the identity up to global phase.
+        c = QuantumCircuit(1).u3(0, 0.0, 0.7, -0.7)
+        assert len(drop_identities(c)) == 0
+
+    def test_nontrivial_u3_kept(self):
+        c = QuantumCircuit(1).u3(0, 0.5, 0.0, 0.0)
+        assert len(drop_identities(c)) == 1
+
+    def test_cz_kept(self):
+        c = QuantumCircuit(2).cz(0, 1)
+        assert len(drop_identities(c)) == 1
+
+
+class TestOptimizeCircuit:
+    def test_fixed_point_reached(self):
+        c = QuantumCircuit(2)
+        c.h(0).h(0).cz(0, 1).cz(0, 1).u3(1, 0, 0, 0)
+        basis = decompose_to_basis(c)
+        out = optimize_circuit(basis)
+        assert len(out) == 0
+
+    def test_preserves_unitary(self):
+        c = QuantumCircuit(3)
+        c.h(0).cx(0, 1).t(1).cx(0, 1).h(0).ccx(0, 1, 2)
+        basis = decompose_to_basis(c)
+        out = optimize_circuit(basis)
+        assert equal_up_to_phase(
+            circuit_unitary(out.gates, 3), circuit_unitary(basis.gates, 3)
+        )
+
+    def test_never_increases_gate_count(self):
+        c = QuantumCircuit(3)
+        c.h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).h(2)
+        basis = decompose_to_basis(c)
+        assert len(optimize_circuit(basis)) <= len(basis)
+
+    def test_swap_then_swap_fully_cancels(self):
+        c = QuantumCircuit(2).swap(0, 1).swap(0, 1)
+        out = optimize_circuit(decompose_to_basis(c))
+        assert len(out) == 0

@@ -1,0 +1,65 @@
+"""Tests for repro.transpile.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.matrices import circuit_unitary
+from repro.transpile.pipeline import transpile
+
+
+def equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    idx = np.unravel_index(np.abs(b).argmax(), b.shape)
+    phase = a[idx] / b[idx]
+    return np.allclose(a, phase * b, atol=atol)
+
+
+class TestTranspile:
+    def test_output_only_basis_gates(self):
+        c = QuantumCircuit(3).h(0).ccx(0, 1, 2).swap(1, 2)
+        out = transpile(c)
+        assert set(g.name for g in out) <= {"u3", "cz"}
+
+    def test_strips_barriers_and_measures(self):
+        c = QuantumCircuit(2).h(0)
+        c.add("barrier", (0,))
+        c.add("measure", (0,))
+        out = transpile(c)
+        assert all(g.name in ("u3", "cz") for g in out)
+
+    def test_keeps_structural_when_asked(self):
+        c = QuantumCircuit(2).h(0)
+        c.add("barrier", (0,))
+        out = transpile(c, strip_structural=False)
+        assert any(g.name == "barrier" for g in out)
+
+    def test_unitary_preserved(self):
+        c = QuantumCircuit(3)
+        c.h(0).cx(0, 1).cswap(0, 1, 2).rz(2, 0.3)
+        out = transpile(c)
+        assert equal_up_to_phase(
+            circuit_unitary(out.gates, 3),
+            circuit_unitary(c.without({"barrier", "measure"}).gates, 3),
+        )
+
+    def test_no_optimize_mode(self):
+        c = QuantumCircuit(1).h(0).h(0)
+        unopt = transpile(c, optimize=False)
+        opt = transpile(c, optimize=True)
+        assert len(opt) < len(unopt)
+
+    def test_name_carried_through(self):
+        c = QuantumCircuit(2, name="payload").cz(0, 1)
+        assert transpile(c).name == "payload"
+
+    def test_idempotent_on_basis_circuits(self):
+        c = QuantumCircuit(2).h(0).cx(0, 1)
+        once = transpile(c)
+        twice = transpile(once)
+        assert once.count_ops() == twice.count_ops()
+
+    def test_cz_count_is_paper_metric(self):
+        # CZ count after transpilation is Parallax's reported CZ count.
+        c = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        out = transpile(c)
+        assert out.count_ops().get("cz", 0) == 0  # cancels entirely

@@ -1,0 +1,46 @@
+"""Tests for repro.utils.profiling."""
+
+import time
+
+from repro.utils.profiling import PhaseTimer
+
+
+class TestPhaseTimer:
+    def test_records_elapsed_time(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            time.sleep(0.01)
+        assert timer.totals()["work"] >= 0.01
+
+    def test_accumulates_across_entries(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("loop"):
+                pass
+        assert timer.counts()["loop"] == 3
+
+    def test_multiple_phases_tracked_separately(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.totals()) == {"a", "b"}
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert "boom" in timer.totals()
+
+    def test_report_contains_phase_names(self):
+        timer = PhaseTimer()
+        with timer.phase("placement"):
+            pass
+        assert "placement" in timer.report()
+
+    def test_empty_report(self):
+        assert "no phases" in PhaseTimer().report()

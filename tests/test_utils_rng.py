@@ -1,0 +1,51 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, derive_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_deterministic_default(self):
+        a = ensure_rng(None).integers(0, 1000, size=5)
+        b = ensure_rng(None).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(4)
+        b = ensure_rng(42).random(4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = ensure_rng(1).random(8)
+        b = ensure_rng(2).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_returns_generator_type(self):
+        assert isinstance(ensure_rng(3), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_child_streams_are_independent(self):
+        parent1 = ensure_rng(5)
+        parent2 = ensure_rng(5)
+        child_a = derive_rng(parent1, 0)
+        child_b = derive_rng(parent2, 1)
+        assert not np.array_equal(child_a.random(8), child_b.random(8))
+
+    def test_same_stream_same_draws(self):
+        a = derive_rng(ensure_rng(5), 3).random(8)
+        b = derive_rng(ensure_rng(5), 3).random(8)
+        assert np.array_equal(a, b)
+
+    def test_derivation_consumes_parent_state(self):
+        parent = ensure_rng(5)
+        before = parent.bit_generator.state["state"]["state"]
+        derive_rng(parent, 0)
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "b" in out
+        assert "1" in out and "4" in out
+
+    def test_title_on_first_line(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_align(self):
+        out = format_table(["col", "other"], [["xxxxxx", 1], ["y", 22]])
+        lines = out.splitlines()
+        # all separator '|' characters line up
+        pipe_positions = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipe_positions)) == 1
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_small_floats_use_scientific(self):
+        out = format_table(["p"], [[1.7e-24]])
+        assert "e-24" in out
+
+    def test_zero_renders_plainly(self):
+        out = format_table(["p"], [[0.0]])
+        assert "0" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

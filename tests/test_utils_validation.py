@@ -1,0 +1,60 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001, math.inf, math.nan])
+    def test_rejects_bad(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("y", 0.0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("y", 10) == 10
+
+    @pytest.mark.parametrize("bad", [-1e-9, -5, math.inf, math.nan])
+    def test_rejects_bad(self, bad):
+        with pytest.raises(ValueError, match="y"):
+            check_non_negative("y", bad)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan, math.inf])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds_inclusive(self):
+        assert check_in_range("v", 1, 1, 5) == 1
+        assert check_in_range("v", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="v"):
+            check_in_range("v", 6, 1, 5)
+
+    def test_error_message_names_bounds(self):
+        with pytest.raises(ValueError, match=r"\[1, 5\]"):
+            check_in_range("v", 0, 1, 5)

@@ -1,0 +1,89 @@
+"""Tests for repro.viz: ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler
+from repro.core.machine import MachineState
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+from repro.viz import draw_circuit, draw_layers, draw_machine
+
+
+class TestDrawCircuit:
+    def test_wire_per_qubit(self):
+        text = draw_circuit(QuantumCircuit(3).h(0))
+        lines = text.splitlines()
+        assert lines[0].startswith("q0 :")
+        assert sum(1 for l in lines if l.lstrip().startswith("q")) == 3
+
+    def test_single_qubit_gate_label(self):
+        text = draw_circuit(QuantumCircuit(1).h(0))
+        assert "H" in text
+
+    def test_cz_connector(self):
+        text = draw_circuit(QuantumCircuit(3).cz(0, 2))
+        lines = text.splitlines()
+        # Vertical bar appears on the intermediate connector rows.
+        assert any("|" in l for l in lines)
+        assert text.count("o") == 2
+
+    def test_truncation_marker(self):
+        c = QuantumCircuit(1)
+        for _ in range(100):
+            c.h(0)
+        text = draw_circuit(c, max_layers=5)
+        assert "..." in text
+
+    def test_parallel_gates_same_column(self):
+        text = draw_circuit(QuantumCircuit(2).h(0).h(1))
+        q0_line = text.splitlines()[0]
+        q1_line = text.splitlines()[2]
+        assert q0_line.index("H") == q1_line.index("H")
+
+
+class TestDrawMachine:
+    @pytest.fixture
+    def state(self):
+        layout = GraphineLayout(
+            unit_positions=np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.5]]),
+            interaction_radius_unit=0.3,
+        )
+        return MachineState(HardwareSpec.quera_aquila(), layout)
+
+    def test_slm_atoms_marked(self, state):
+        text = draw_machine(state)
+        assert "[0]" in text and "[1]" in text and "[2]" in text
+
+    def test_aod_atoms_marked(self, state):
+        state.transfer_to_aod(2, 0, 0)
+        text = draw_machine(state)
+        assert "(2)" in text
+        assert "[2]" not in text
+
+    def test_grid_dimensions(self, state):
+        lines = draw_machine(state).splitlines()
+        # 16 rows + 1 header line.
+        assert len(lines) == 17
+
+    def test_anonymous_mode(self, state):
+        text = draw_machine(state, show_indices=False)
+        assert "[s]" in text
+
+
+class TestDrawLayers:
+    def test_schedule_render(self):
+        c = QuantumCircuit(3)
+        c.cswap(0, 1, 2)
+        result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(c)
+        text = draw_layers(result)
+        assert "parallax" in text
+        assert "L   1" in text
+
+    def test_truncation(self):
+        c = QuantumCircuit(3)
+        c.cswap(0, 1, 2)
+        result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(c)
+        text = draw_layers(result, max_layers=2)
+        assert "more layers" in text

@@ -1,0 +1,54 @@
+"""Tests for repro.viz.svg."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineState
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+from repro.viz.svg import machine_to_svg
+
+
+@pytest.fixture
+def state():
+    layout = GraphineLayout(
+        unit_positions=np.array([[0.1, 0.1], [0.9, 0.9], [0.5, 0.5]]),
+        interaction_radius_unit=0.2,
+    )
+    return MachineState(HardwareSpec.quera_aquila(), layout)
+
+
+class TestMachineToSvg:
+    def test_valid_svg_skeleton(self, state):
+        svg = machine_to_svg(state)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+
+    def test_one_circle_per_atom_plus_sites(self, state):
+        svg = machine_to_svg(state, show_labels=False)
+        # 256 sites total: 3 occupied atoms + 253 free-site dots.
+        assert svg.count("<circle") == 253 + 3
+
+    def test_aod_atoms_styled_differently(self, state):
+        state.transfer_to_aod(2, 0, 0)
+        svg = machine_to_svg(state)
+        assert "#d6336c" in svg  # AOD ring colour appears
+
+    def test_labels_toggle(self, state):
+        with_labels = machine_to_svg(state, show_labels=True)
+        without = machine_to_svg(state, show_labels=False)
+        assert "<text" in with_labels
+        assert "<text" not in without
+
+    def test_highlight_draws_radii(self, state):
+        svg = machine_to_svg(state, highlight_qubit=0)
+        assert "stroke-dasharray" in svg  # the blockade circle
+        assert svg.count("stroke-width") >= 2
+
+    def test_bad_highlight_rejected(self, state):
+        with pytest.raises(ValueError, match="no qubit"):
+            machine_to_svg(state, highlight_qubit=99)
+
+    def test_machine_comment_present(self, state):
+        assert "quera-aquila-256" in machine_to_svg(state)
