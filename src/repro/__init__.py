@@ -15,6 +15,9 @@ SC 2024).  It contains:
 - ``repro.core``          -- the Parallax compiler itself (AOD selection,
   recursive movement engine, Algorithm 1 scheduler, shot parallelization).
 - ``repro.baselines``     -- ELDI and Graphine baseline compilers.
+- ``repro.pipeline``      -- the unified staged pass pipeline, technique
+  registry, content-addressed compilation cache, and the parallel
+  batch-compilation engine shared by all techniques.
 - ``repro.noise``         -- success-probability estimation.
 - ``repro.timing``        -- runtime / total-execution-time models.
 - ``repro.benchcircuits`` -- the 18 evaluation workloads (Table III).
@@ -25,6 +28,14 @@ from repro.circuit import Gate, QuantumCircuit
 from repro.hardware import HardwareSpec
 from repro.core import ParallaxCompiler, CompilationResult
 from repro.baselines import EldiCompiler, GraphineCompiler
+from repro.pipeline import (
+    CompilationCache,
+    CompilerRegistry,
+    available_techniques,
+    compile_many,
+    get_compiler,
+    register_compiler,
+)
 
 __version__ = "1.0.0"
 
@@ -36,5 +47,11 @@ __all__ = [
     "CompilationResult",
     "EldiCompiler",
     "GraphineCompiler",
+    "CompilationCache",
+    "CompilerRegistry",
+    "available_techniques",
+    "compile_many",
+    "get_compiler",
+    "register_compiler",
     "__version__",
 ]

@@ -6,6 +6,10 @@ interactions: its interaction radius covers diagonal neighbors, giving an
 interaction graph and placed along a boustrophedon (snake) path over a
 compact centered region, so BFS-consecutive qubits are grid-adjacent;
 out-of-range CZ gates are SWAP-routed.  No custom layout, no atom movement.
+
+Runs on the shared :class:`~repro.pipeline.stage.PassPipeline` (its
+``layout`` stage is the BFS ordering; caller-provided Graphine layouts are
+not applicable and are ignored) and is registered under ``"eldi"``.
 """
 
 from __future__ import annotations
@@ -19,11 +23,11 @@ import numpy as np
 
 from repro.baselines.router import RouterConfig, SwapRouter
 from repro.baselines.static_schedule import static_schedule
-from repro.circuit.circuit import QuantumCircuit
 from repro.core.result import CompilationResult
-from repro.hardware.spec import HardwareSpec
 from repro.layout.interaction_graph import build_interaction_graph
-from repro.transpile.pipeline import transpile
+from repro.pipeline.compiler_base import StagedCompiler
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 
 __all__ = ["EldiCompiler", "EldiConfig"]
 
@@ -86,61 +90,68 @@ class EldiConfig:
     router: RouterConfig = field(default_factory=RouterConfig)
 
 
-class EldiCompiler:
+@register_compiler()
+class EldiCompiler(StagedCompiler):
     """Grid placement + SWAP routing baseline."""
 
     technique = "eldi"
+    uses_layout = False
+    config_type = EldiConfig
 
-    def __init__(self, spec: HardwareSpec, config: EldiConfig | None = None) -> None:
-        self.spec = spec
-        self.config = config or EldiConfig()
-
-    def compile(self, circuit: QuantumCircuit) -> CompilationResult:
-        basis = (
-            transpile(circuit)
-            if self.config.transpile_input
-            else circuit.without({"barrier", "measure"})
-        )
+    def stage_layout(self, ctx: CompileContext) -> None:
+        """ELDI's layout decision: a BFS ordering of the interaction graph."""
         spec = self.spec
-        if basis.num_qubits > spec.num_sites:
+        if ctx.basis.num_qubits > spec.num_sites:
             raise ValueError(
-                f"{basis.num_qubits} qubits exceed {spec.name}'s {spec.num_sites} sites"
+                f"{ctx.basis.num_qubits} qubits exceed {spec.name}'s "
+                f"{spec.num_sites} sites"
             )
-        graph = build_interaction_graph(basis)
-        qubit_order = _bfs_qubit_order(graph)
-        sites = _snake_sites(spec.grid_rows, spec.grid_cols, basis.num_qubits)
+        graph = build_interaction_graph(ctx.basis)
+        ctx.artifacts["qubit_order"] = _bfs_qubit_order(graph)
+
+    def stage_placement(self, ctx: CompileContext) -> None:
+        """Snake the BFS order over a compact centered grid region."""
+        spec = self.spec
+        num_qubits = ctx.basis.num_qubits
+        sites = _snake_sites(spec.grid_rows, spec.grid_cols, num_qubits)
         pitch = spec.grid_pitch_um
-        positions = np.zeros((basis.num_qubits, 2), dtype=float)
-        assigned_sites: list[tuple[int, int]] = [(-1, -1)] * basis.num_qubits
-        for qubit, site in zip(qubit_order, sites):
+        positions = np.zeros((num_qubits, 2), dtype=float)
+        assigned_sites: list[tuple[int, int]] = [(-1, -1)] * num_qubits
+        for qubit, site in zip(ctx.artifacts["qubit_order"], sites):
             r, c = site
             positions[qubit] = (c * pitch, r * pitch)
             assigned_sites[qubit] = site
+        ctx.positions = positions
+        ctx.sites = assigned_sites
+        ctx.interaction_radius_um = self.config.radius_pitches * pitch
+        ctx.blockade_radius_um = spec.blockade_radius_um(ctx.interaction_radius_um)
 
-        radius = self.config.radius_pitches * pitch
-        blockade = spec.blockade_radius_um(radius)
-        router = SwapRouter(positions, radius, config=self.config.router)
-        routed = router.route(basis)
-        schedule = static_schedule(routed.gates, positions, blockade, spec)
-
-        counts = basis.count_ops()
-        rows = [s[0] for s in assigned_sites]
-        cols = [s[1] for s in assigned_sites]
-        footprint = (
-            (max(rows) - min(rows) + 1) if rows else 0,
-            (max(cols) - min(cols) + 1) if cols else 0,
+    def stage_schedule(self, ctx: CompileContext) -> None:
+        """SWAP-route out-of-range CZs, then schedule statically."""
+        router = SwapRouter(
+            ctx.positions, ctx.interaction_radius_um, config=self.config.router
         )
-        return CompilationResult(
+        routed = router.route(ctx.basis)
+        ctx.artifacts["routed"] = routed
+        ctx.artifacts["schedule"] = static_schedule(
+            routed.gates, ctx.positions, ctx.blockade_radius_um, self.spec
+        )
+
+    def stage_finalize(self, ctx: CompileContext) -> None:
+        routed = ctx.artifacts["routed"]
+        schedule = ctx.artifacts["schedule"]
+        counts = ctx.basis.count_ops()
+        ctx.result = CompilationResult(
             technique=self.technique,
-            circuit_name=circuit.name,
-            num_qubits=basis.num_qubits,
-            spec=spec,
+            circuit_name=ctx.circuit.name,
+            num_qubits=ctx.basis.num_qubits,
+            spec=self.spec,
             layers=schedule.layers,
             num_cz=routed.num_cz_expanded,
             num_u3=counts.get("u3", 0),
             num_swaps=routed.num_swaps,
             runtime_us=schedule.runtime_us,
-            interaction_radius_um=radius,
-            blockade_radius_um=blockade,
-            footprint_sites=footprint,
+            interaction_radius_um=ctx.interaction_radius_um,
+            blockade_radius_um=ctx.blockade_radius_um,
+            footprint_sites=ctx.footprint(),
         )

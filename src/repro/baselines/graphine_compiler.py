@@ -6,24 +6,25 @@ are SWAP-routed through the unit-disk connectivity graph of the layout.
 Per the paper's methodology it is made hardware-compatible by discretizing
 the layout and recomputing the interaction radius on the discretized
 positions (so the topology stays connected).
+
+Runs on the shared :class:`~repro.pipeline.stage.PassPipeline` and is
+registered under ``"graphine"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines.router import RouterConfig, SwapRouter
 from repro.baselines.static_schedule import static_schedule
-from repro.circuit.circuit import QuantumCircuit
 from repro.core.result import CompilationResult
 from repro.hardware.grid import discretize_positions
-from repro.hardware.spec import HardwareSpec
-from repro.layout.graphine import GraphineLayout, generate_layout
+from repro.layout.graphine import generate_layout
 from repro.layout.placement import PlacementConfig
 from repro.layout.radius import minimal_connected_radius
-from repro.transpile.pipeline import transpile
+from repro.pipeline.compiler_base import StagedCompiler
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 
 __all__ = ["GraphineCompiler", "GraphineConfig"]
 
@@ -37,60 +38,66 @@ class GraphineConfig:
     router: RouterConfig = field(default_factory=RouterConfig)
 
 
-class GraphineCompiler:
+@register_compiler()
+class GraphineCompiler(StagedCompiler):
     """Custom annealed layout + SWAP routing, no movement."""
 
     technique = "graphine"
+    uses_layout = True
+    config_type = GraphineConfig
 
-    def __init__(self, spec: HardwareSpec, config: GraphineConfig | None = None) -> None:
-        self.spec = spec
-        self.config = config or GraphineConfig()
+    def stage_layout(self, ctx: CompileContext) -> None:
+        """Annealed continuous layout (reused when the caller provides one)."""
+        if ctx.layout is None:
+            ctx.layout = generate_layout(ctx.basis, self.config.placement)
+        if ctx.layout.num_qubits != ctx.basis.num_qubits:
+            raise ValueError(
+                f"layout has {ctx.layout.num_qubits} qubits but circuit has "
+                f"{ctx.basis.num_qubits}"
+            )
 
-    def compile(
-        self,
-        circuit: QuantumCircuit,
-        layout: GraphineLayout | None = None,
-    ) -> CompilationResult:
-        basis = (
-            transpile(circuit)
-            if self.config.transpile_input
-            else circuit.without({"barrier", "measure"})
-        )
-        spec = self.spec
-        if layout is None:
-            layout = generate_layout(basis, self.config.placement)
-        positions, sites = discretize_positions(layout.unit_positions, spec)
-
+    def stage_placement(self, ctx: CompileContext) -> None:
+        """Discretize onto the grid and recompute a connected radius."""
+        positions, sites = discretize_positions(ctx.layout.unit_positions, self.spec)
+        ctx.positions = positions
+        ctx.sites = sites
         # Hardware compatibility: recompute the radius on the discretized
         # positions so the unit-disk topology is connected, and never below
         # one grid pitch.
-        radius = max(
+        ctx.interaction_radius_um = max(
             minimal_connected_radius(positions),
-            spec.grid_pitch_um * 1.05,
+            self.spec.grid_pitch_um * 1.05,
         )
-        blockade = spec.blockade_radius_um(radius)
-        router = SwapRouter(positions, radius, config=self.config.router)
-        routed = router.route(basis)
-        schedule = static_schedule(routed.gates, positions, blockade, spec)
+        ctx.blockade_radius_um = self.spec.blockade_radius_um(
+            ctx.interaction_radius_um
+        )
 
-        counts = basis.count_ops()
-        rows = [s[0] for s in sites]
-        cols = [s[1] for s in sites]
-        footprint = (
-            (max(rows) - min(rows) + 1) if rows else 0,
-            (max(cols) - min(cols) + 1) if cols else 0,
+    def stage_schedule(self, ctx: CompileContext) -> None:
+        """SWAP-route out-of-range CZs, then schedule statically."""
+        router = SwapRouter(
+            ctx.positions, ctx.interaction_radius_um, config=self.config.router
         )
-        return CompilationResult(
+        routed = router.route(ctx.basis)
+        ctx.artifacts["routed"] = routed
+        ctx.artifacts["schedule"] = static_schedule(
+            routed.gates, ctx.positions, ctx.blockade_radius_um, self.spec
+        )
+
+    def stage_finalize(self, ctx: CompileContext) -> None:
+        routed = ctx.artifacts["routed"]
+        schedule = ctx.artifacts["schedule"]
+        counts = ctx.basis.count_ops()
+        ctx.result = CompilationResult(
             technique=self.technique,
-            circuit_name=circuit.name,
-            num_qubits=basis.num_qubits,
-            spec=spec,
+            circuit_name=ctx.circuit.name,
+            num_qubits=ctx.basis.num_qubits,
+            spec=self.spec,
             layers=schedule.layers,
             num_cz=routed.num_cz_expanded,
             num_u3=counts.get("u3", 0),
             num_swaps=routed.num_swaps,
             runtime_us=schedule.runtime_us,
-            interaction_radius_um=radius,
-            blockade_radius_um=blockade,
-            footprint_sites=footprint,
+            interaction_radius_um=ctx.interaction_radius_um,
+            blockade_radius_um=ctx.blockade_radius_um,
+            footprint_sites=ctx.footprint(),
         )

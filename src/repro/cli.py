@@ -1,10 +1,19 @@
 """Command-line compiler driver.
 
-Mirrors the paper's workflow: a QASM 2.0 file in, compilation statistics
-out, for any of the three techniques::
+Mirrors the paper's workflow: a circuit in (an OpenQASM 2.0 file or a named
+Table III benchmark), compilation statistics out, for any registered
+technique::
 
     python -m repro.cli circuit.qasm --technique parallax --machine quera
+    python -m repro.cli --benchmark QAOA --technique all --jobs 3
     python -m repro.cli circuit.qasm --technique all --shots 8000
+
+Techniques are resolved by name through the
+:mod:`repro.pipeline.registry`, benchmarks through
+:mod:`repro.benchcircuits.registry`, and all compilation is routed through
+the :func:`~repro.pipeline.batch.compile_many` batch engine (``--jobs`` fans
+techniques out across processes, ``--cache-dir`` enables the persistent
+on-disk compilation cache).
 """
 
 from __future__ import annotations
@@ -12,12 +21,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.baselines.eldi import EldiCompiler
-from repro.baselines.graphine_compiler import GraphineCompiler
-from repro.core.compiler import ParallaxCompiler
+from repro.benchcircuits.registry import BENCHMARKS, get_benchmark
 from repro.core.parallel_shots import parallelization_factor, total_execution_time_us
 from repro.hardware.spec import HardwareSpec
 from repro.noise.fidelity import success_probability
+from repro.pipeline.batch import compile_many
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.registry import available_techniques
 from repro.qasm.parser import load_file
 from repro.utils.tables import format_table
 
@@ -28,22 +38,30 @@ _MACHINES = {
     "atom": HardwareSpec.atom_computing,
 }
 
-_COMPILERS = {
-    "parallax": ParallaxCompiler,
-    "eldi": EldiCompiler,
-    "graphine": GraphineCompiler,
-}
-
 
 def main(argv: list[str] | None = None) -> int:
+    techniques_available = available_techniques()
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
-        description="Compile an OpenQASM 2.0 circuit for a neutral-atom machine.",
+        description="Compile an OpenQASM 2.0 circuit (or a named Table III "
+        "benchmark) for a neutral-atom machine.",
     )
-    parser.add_argument("qasm_file", help="path to an OpenQASM 2.0 file")
+    parser.add_argument(
+        "qasm_file",
+        nargs="?",
+        default=None,
+        help="path to an OpenQASM 2.0 file (or use --benchmark)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default=None,
+        metavar="ACRONYM",
+        help="named Table III benchmark (e.g. QAOA) instead of a QASM file; "
+        f"one of {sorted(BENCHMARKS)}",
+    )
     parser.add_argument(
         "--technique",
-        choices=[*_COMPILERS, "all"],
+        choices=[*techniques_available, "all"],
         default="parallax",
         help="compiler to run (default: parallax)",
     )
@@ -66,6 +84,19 @@ def main(argv: list[str] | None = None) -> int:
         help="if > 0, also report parallelized total execution time",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile techniques in parallel over N processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent compilation cache directory (reruns become hits)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -74,19 +105,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if (args.qasm_file is None) == (args.benchmark is None):
+        parser.error("provide exactly one of: a QASM file path, or --benchmark")
+
     try:
-        circuit = load_file(args.qasm_file)
-    except (OSError, ValueError) as exc:
+        if args.benchmark is not None:
+            circuit = get_benchmark(args.benchmark)
+            source = f"benchmark {args.benchmark.upper()}"
+        else:
+            circuit = load_file(args.qasm_file)
+            source = args.qasm_file
+    except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     spec = _MACHINES[args.machine](aod_count=args.aod_count)
-    techniques = list(_COMPILERS) if args.technique == "all" else [args.technique]
+    techniques = (
+        list(techniques_available) if args.technique == "all" else [args.technique]
+    )
+    cache = CompilationCache(args.cache_dir) if args.cache_dir else None
+    results = compile_many(
+        [circuit], techniques, [spec], workers=args.jobs, cache=cache
+    )
 
     rows = []
     json_payload: dict[str, dict] = {}
-    for name in techniques:
-        result = _COMPILERS[name](spec).compile(circuit)
+    for name, result in zip(techniques, results):
         if args.json:
             from repro.core.serialize import result_to_dict
 
@@ -111,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         headers.extend(["parallel_copies", f"time_{args.shots}_shots_s"])
     print(
         format_table(
-            headers, rows, title=f"{args.qasm_file} on {spec.name} "
+            headers, rows, title=f"{source} on {spec.name} "
             f"({circuit.num_qubits} qubits)"
         )
     )

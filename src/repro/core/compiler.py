@@ -1,5 +1,11 @@
 """The end-to-end Parallax compiler (Fig. 4's four steps).
 
+Expressed as the five canonical stages of the shared
+:class:`~repro.pipeline.stage.PassPipeline` (the paper's Step 1/2 map to the
+``layout``/``placement`` stages, Step 3 to ``placement``'s AOD selection and
+Step 4 to ``schedule``), and registered with the technique registry under
+``"parallax"``.
+
 Usage::
 
     from repro import ParallaxCompiler, HardwareSpec
@@ -11,15 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.circuit.circuit import QuantumCircuit
 from repro.core.aod_selection import select_aod_qubits
 from repro.core.machine import MachineState
 from repro.core.result import CompilationResult
 from repro.core.scheduler import GateScheduler, SchedulerConfig
-from repro.hardware.spec import HardwareSpec
-from repro.layout.graphine import GraphineLayout, generate_layout
+from repro.layout.graphine import generate_layout
 from repro.layout.placement import PlacementConfig
-from repro.transpile.pipeline import transpile
+from repro.pipeline.compiler_base import StagedCompiler
+from repro.pipeline.registry import register_compiler
+from repro.pipeline.stage import CompileContext
 
 __all__ = ["ParallaxCompiler", "ParallaxConfig"]
 
@@ -46,53 +52,49 @@ class ParallaxConfig:
     native_multiqubit: bool = False
 
 
-class ParallaxCompiler:
+@register_compiler()
+class ParallaxCompiler(StagedCompiler):
     """Compile circuits for a neutral-atom machine with zero SWAPs."""
 
     technique = "parallax"
+    uses_layout = True
+    config_type = ParallaxConfig
 
-    def __init__(self, spec: HardwareSpec, config: ParallaxConfig | None = None) -> None:
-        self.spec = spec
-        self.config = config or ParallaxConfig()
-
-    def compile(
-        self,
-        circuit: QuantumCircuit,
-        layout: GraphineLayout | None = None,
-    ) -> CompilationResult:
-        """Compile ``circuit``; optionally reuse a precomputed layout.
-
-        The ``layout`` parameter mirrors the paper's command-line option to
-        load pre-obtained Graphine results and skip the annealing stage.
-        """
-        basis = (
-            transpile(circuit, native_multiqubit=self.config.native_multiqubit)
-            if self.config.transpile_input
-            else circuit.without({"barrier", "measure"})
-        )
-        if layout is None:
-            layout = generate_layout(basis, self.config.placement)
-        if layout.num_qubits != basis.num_qubits:
+    def stage_layout(self, ctx: CompileContext) -> None:
+        """Step 1: Graphine layout (reused when the caller provides one)."""
+        if ctx.layout is None:
+            ctx.layout = generate_layout(ctx.basis, self.config.placement)
+        if ctx.layout.num_qubits != ctx.basis.num_qubits:
             raise ValueError(
-                f"layout has {layout.num_qubits} qubits but circuit has "
-                f"{basis.num_qubits}"
+                f"layout has {ctx.layout.num_qubits} qubits but circuit has "
+                f"{ctx.basis.num_qubits}"
             )
-        state = MachineState(self.spec, layout)
-        selection = select_aod_qubits(basis, state, self.config.max_aod_atoms)
-        scheduler = GateScheduler(basis, state, self.config.scheduler)
-        stats = scheduler.run()
 
-        counts = basis.count_ops()
-        rows = [r for (r, _) in state.sites]
-        cols = [c for (_, c) in state.sites]
-        footprint = (
-            (max(rows) - min(rows) + 1) if rows else 0,
-            (max(cols) - min(cols) + 1) if cols else 0,
+    def stage_placement(self, ctx: CompileContext) -> None:
+        """Steps 2-3: discretize onto the grid and pick the mobile atoms."""
+        state = MachineState(self.spec, ctx.layout)
+        ctx.artifacts["machine_state"] = state
+        ctx.artifacts["aod_selection"] = select_aod_qubits(
+            ctx.basis, state, self.config.max_aod_atoms
         )
-        return CompilationResult(
+        ctx.sites = state.sites
+        ctx.interaction_radius_um = state.interaction_radius
+        ctx.blockade_radius_um = state.blockade_radius
+
+    def stage_schedule(self, ctx: CompileContext) -> None:
+        """Step 4: Algorithm 1 gate scheduling with the movement engine."""
+        state: MachineState = ctx.artifacts["machine_state"]
+        scheduler = GateScheduler(ctx.basis, state, self.config.scheduler)
+        ctx.artifacts["stats"] = scheduler.run()
+
+    def stage_finalize(self, ctx: CompileContext) -> None:
+        stats = ctx.artifacts["stats"]
+        selection = ctx.artifacts["aod_selection"]
+        counts = ctx.basis.count_ops()
+        ctx.result = CompilationResult(
             technique=self.technique,
-            circuit_name=circuit.name,
-            num_qubits=basis.num_qubits,
+            circuit_name=ctx.circuit.name,
+            num_qubits=ctx.basis.num_qubits,
             spec=self.spec,
             layers=stats.layers,
             num_cz=counts.get("cz", 0),
@@ -104,8 +106,8 @@ class ParallaxCompiler:
             failed_move_events=stats.failed_moves,
             num_moves=stats.num_moves,
             runtime_us=stats.total_time_us,
-            interaction_radius_um=state.interaction_radius,
-            blockade_radius_um=state.blockade_radius,
+            interaction_radius_um=ctx.interaction_radius_um,
+            blockade_radius_um=ctx.blockade_radius_um,
             aod_qubits=selection.qubits,
-            footprint_sites=footprint,
+            footprint_sites=ctx.footprint(),
         )

@@ -24,8 +24,10 @@ from repro.experiments.common import (
     QUICK_BENCHMARKS,
     ALL_BENCHMARKS,
     compile_one,
+    compile_batch,
     prepared_circuit,
     prepared_layout,
+    result_cache,
 )
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -43,8 +45,10 @@ __all__ = [
     "QUICK_BENCHMARKS",
     "ALL_BENCHMARKS",
     "compile_one",
+    "compile_batch",
     "prepared_circuit",
     "prepared_layout",
+    "result_cache",
     "run_fig9",
     "run_fig10",
     "run_table4",

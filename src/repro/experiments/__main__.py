@@ -4,7 +4,12 @@ Examples::
 
     python -m repro.experiments fig9
     python -m repro.experiments fig10 --quick
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --jobs 8
+
+``--jobs N`` pre-compiles every (benchmark, technique, machine) combination
+the selected experiments need through the parallel batch engine
+(:func:`repro.experiments.common.compile_batch`), so the figure runners are
+then served from the shared compilation cache.
 """
 
 from __future__ import annotations
@@ -13,28 +18,69 @@ import argparse
 import sys
 import time
 
-from repro.experiments.common import ALL_BENCHMARKS, QUICK_BENCHMARKS
+from repro.experiments.common import (
+    ALL_BENCHMARKS,
+    QUICK_BENCHMARKS,
+    TECHNIQUES,
+    compile_batch,
+    result_cache,
+)
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11, FIG11_BENCHMARKS
 from repro.experiments.fig12 import run_fig12
-from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig13 import run_fig13, AOD_COUNTS
+from repro.experiments.scaling import run_scaling
 from repro.experiments.table1 import run_table1
 from repro.experiments.table4 import run_table4
 from repro.experiments.summary import headline_summaries
+from repro.hardware.spec import HardwareSpec
 
 _RUNNERS = {
-    "table1": lambda benches: run_table1(),
-    "fig9": lambda benches: run_fig9(benchmarks=benches),
-    "fig10": lambda benches: run_fig10(benchmarks=benches),
-    "table4": lambda benches: run_table4(benchmarks=benches),
-    "fig11": lambda benches: run_fig11(
+    "table1": lambda benches, jobs: run_table1(),
+    "fig9": lambda benches, jobs: run_fig9(benchmarks=benches),
+    "fig10": lambda benches, jobs: run_fig10(benchmarks=benches),
+    "table4": lambda benches, jobs: run_table4(benchmarks=benches),
+    "fig11": lambda benches, jobs: run_fig11(
         benchmarks=tuple(b for b in benches if b in FIG11_BENCHMARKS) or FIG11_BENCHMARKS
     ),
-    "fig12": lambda benches: run_fig12(benchmarks=benches),
-    "fig13": lambda benches: run_fig13(benchmarks=benches),
+    "fig12": lambda benches, jobs: run_fig12(benchmarks=benches),
+    "fig13": lambda benches, jobs: run_fig13(benchmarks=benches),
+    "scaling": lambda benches, jobs: run_scaling(workers=jobs),
     "headline": None,  # handled specially below
 }
+
+
+def _warm_cache(names: list[str], benches: tuple[str, ...], jobs: int) -> None:
+    """Batch-compile exactly what the selected experiments will ask for.
+
+    Each experiment warms only its own (benchmarks x techniques x machines)
+    combinations; overlap between experiments is deduplicated by the shared
+    cache (the second batch sees hits, not recompiles).
+    """
+    wants = set(names)
+    quera = HardwareSpec.quera_aquila()
+    atom = HardwareSpec.atom_computing()
+
+    if wants & {"fig9", "fig10", "table4", "headline"}:
+        compile_batch(benches, TECHNIQUES, quera, workers=jobs)
+    if "table4" in wants:
+        compile_batch(benches, TECHNIQUES, atom, workers=jobs)
+    if "fig11" in wants:
+        fig11_benches = (
+            tuple(b for b in benches if b in FIG11_BENCHMARKS) or FIG11_BENCHMARKS
+        )
+        compile_batch(fig11_benches, TECHNIQUES, atom, workers=jobs)
+    if "fig12" in wants:  # parallax only, both home-return arms
+        compile_batch(benches, ("parallax",), atom, workers=jobs)
+        compile_batch(benches, ("parallax",), atom, return_home=False, workers=jobs)
+    if "fig13" in wants:
+        compile_batch(
+            benches,
+            ("parallax",),
+            [atom.with_aod_count(count) for count in AOD_COUNTS],
+            workers=jobs,
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated benchmark acronyms (overrides --quick)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-compile through a process pool of N workers (default: 1)",
+    )
     args = parser.parse_args(argv)
 
     if args.benchmarks:
@@ -68,6 +121,14 @@ def main(argv: list[str] | None = None) -> int:
         benches = ALL_BENCHMARKS
 
     names = list(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    if args.jobs > 1:
+        start = time.perf_counter()
+        _warm_cache(names, benches, args.jobs)
+        stats = result_cache().stats
+        print(
+            f"[warmed {stats.stores} compilations with {args.jobs} workers "
+            f"in {time.perf_counter() - start:.1f}s]\n"
+        )
     for name in names:
         if name == "headline":
             start = time.perf_counter()
@@ -76,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[headline completed in {time.perf_counter() - start:.1f}s]\n")
             continue
         start = time.perf_counter()
-        table = _RUNNERS[name](benches)
+        table = _RUNNERS[name](benches, args.jobs)
         elapsed = time.perf_counter() - start
         print(table.format())
         print(f"[{name} completed in {elapsed:.1f}s]\n")

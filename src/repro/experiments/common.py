@@ -4,27 +4,39 @@ The paper transpiles each QASM benchmark once with Qiskit and feeds the same
 optimized circuit to every technique; likewise here, every technique
 consumes the identical transpiled circuit, and Parallax/Graphine share one
 Graphine layout (the paper's "load pre-obtained Graphine results" option).
-Compilation results are memoized per (benchmark, machine, technique,
-options) so multi-figure runs never recompile.
+
+Compilation results are memoized in a content-addressed
+:class:`~repro.pipeline.cache.CompilationCache` keyed by (circuit, full
+hardware spec, technique config) fingerprints, so multi-figure runs never
+recompile and techniques are never invalidated by knobs they do not consume
+(ELDI ignores placement/scheduler seeds, for example).  Techniques are
+resolved by name through :mod:`repro.pipeline.registry`, and
+:func:`compile_batch` fans a whole benchmark sweep out over the
+:func:`~repro.pipeline.batch.compile_many` process-pool engine with cache
+write-back.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Sequence
+import os
+import typing
+from dataclasses import dataclass
 
-from repro.baselines.eldi import EldiCompiler, EldiConfig
-from repro.baselines.graphine_compiler import GraphineCompiler, GraphineConfig
 from repro.benchcircuits import get_benchmark
 from repro.circuit.circuit import QuantumCircuit
-from repro.core.compiler import ParallaxCompiler, ParallaxConfig
 from repro.core.result import CompilationResult
 from repro.core.scheduler import SchedulerConfig
 from repro.hardware.spec import HardwareSpec
 from repro.layout.graphine import GraphineLayout, generate_layout
 from repro.layout.placement import PlacementConfig
+from repro.pipeline.batch import compile_many
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.registry import get_compiler
 from repro.transpile.pipeline import transpile
 from repro.utils.tables import format_table
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Callable, Sequence
 
 __all__ = [
     "ALL_BENCHMARKS",
@@ -35,6 +47,9 @@ __all__ = [
     "prepared_circuit",
     "prepared_layout",
     "compile_one",
+    "compile_batch",
+    "result_cache",
+    "settings_config_factory",
     "clear_caches",
 ]
 
@@ -85,14 +100,26 @@ class ExperimentTable:
 
 _circuit_cache: dict[str, QuantumCircuit] = {}
 _layout_cache: dict[tuple[str, str, int], GraphineLayout] = {}
-_result_cache: dict[tuple, CompilationResult] = {}
+#: Shared result cache; set REPRO_CACHE_DIR to persist results across runs.
+_result_cache = CompilationCache(os.environ.get("REPRO_CACHE_DIR") or None)
+
+
+def result_cache() -> CompilationCache:
+    """The process-wide experiment result cache (hit/miss stats included)."""
+    return _result_cache
 
 
 def clear_caches() -> None:
-    """Drop all memoized circuits, layouts, and compilation results."""
+    """Drop all memoized circuits, layouts, and compilation results.
+
+    Clears the on-disk backend too (when ``REPRO_CACHE_DIR`` is set):
+    callers use this to force genuinely fresh compilation, so stale disk
+    entries must not be silently reloaded afterwards.
+    """
     _circuit_cache.clear()
     _layout_cache.clear()
-    _result_cache.clear()
+    _result_cache.clear(disk=True)
+    _result_cache.stats.reset()
 
 
 def prepared_circuit(benchmark: str) -> QuantumCircuit:
@@ -113,6 +140,29 @@ def prepared_layout(benchmark: str, settings: ExperimentSettings) -> GraphineLay
     return _layout_cache[key]
 
 
+def settings_config_factory(
+    settings: ExperimentSettings, return_home: bool = True
+) -> "Callable[[str, QuantumCircuit, HardwareSpec], object]":
+    """Per-task config factory matching :func:`compile_one`'s cache keys.
+
+    Each technique's ``make_config`` keeps only the knobs it consumes, so
+    the same factory serves all registered techniques.
+    """
+
+    def factory(
+        technique: str, circuit: QuantumCircuit, spec: HardwareSpec
+    ) -> object:
+        return get_compiler(technique).make_config(
+            placement=settings.placement(),
+            scheduler=SchedulerConfig(
+                return_home=return_home, seed=settings.scheduler_seed
+            ),
+            transpile_input=False,
+        )
+
+    return factory
+
+
 def compile_one(
     technique: str,
     benchmark: str,
@@ -122,34 +172,43 @@ def compile_one(
 ) -> CompilationResult:
     """Compile one benchmark with one technique on one machine (memoized)."""
     settings = settings or ExperimentSettings()
-    cache_key = (
-        technique, benchmark.upper(), spec.name, spec.aod_rows, spec.aod_cols,
-        settings.placement_method, settings.placement_seed,
-        settings.scheduler_seed, return_home,
+    cls = get_compiler(technique)  # raises ValueError on unknown techniques
+    config = settings_config_factory(settings, return_home)(
+        technique, prepared_circuit(benchmark), spec
     )
-    if cache_key in _result_cache:
-        return _result_cache[cache_key]
-
     circuit = prepared_circuit(benchmark)
-    if technique == "parallax":
-        config = ParallaxConfig(
-            placement=settings.placement(),
-            scheduler=SchedulerConfig(
-                return_home=return_home, seed=settings.scheduler_seed
-            ),
-            transpile_input=False,
-        )
-        result = ParallaxCompiler(spec, config).compile(
-            circuit, layout=prepared_layout(benchmark, settings)
-        )
-    elif technique == "graphine":
-        config = GraphineConfig(placement=settings.placement(), transpile_input=False)
-        result = GraphineCompiler(spec, config).compile(
-            circuit, layout=prepared_layout(benchmark, settings)
-        )
-    elif technique == "eldi":
-        result = EldiCompiler(spec, EldiConfig(transpile_input=False)).compile(circuit)
-    else:
-        raise ValueError(f"unknown technique {technique!r}; choose from {TECHNIQUES}")
-    _result_cache[cache_key] = result
+    cached = _result_cache.lookup(technique, circuit, spec, config)
+    if cached is not None:
+        return cached
+    layout = prepared_layout(benchmark, settings) if cls.uses_layout else None
+    result = cls(spec, config).compile(circuit, layout=layout)
+    _result_cache.store(technique, circuit, spec, config, result)
     return result
+
+
+def compile_batch(
+    benchmarks: "Sequence[str]",
+    techniques: "Sequence[str]" = TECHNIQUES,
+    specs: "HardwareSpec | Sequence[HardwareSpec] | None" = None,
+    settings: ExperimentSettings | None = None,
+    return_home: bool = True,
+    workers: int = 1,
+) -> list[CompilationResult]:
+    """Batch-compile ``benchmarks x techniques x specs`` with cache write-back.
+
+    Routes through :func:`repro.pipeline.batch.compile_many` against the
+    shared experiment cache, so a warmed batch makes every subsequent
+    :func:`compile_one` (and thus every figure runner) a cache hit.  Results
+    come back in product order (benchmark-major, then technique, then spec)
+    and are bit-identical for any ``workers`` value.
+    """
+    settings = settings or ExperimentSettings(benchmarks=tuple(benchmarks))
+    circuits = [prepared_circuit(b) for b in benchmarks]
+    return compile_many(
+        circuits,
+        list(techniques),
+        specs if specs is not None else HardwareSpec.quera_aquila(),
+        workers=workers,
+        cache=_result_cache,
+        config_factory=settings_config_factory(settings, return_home),
+    )

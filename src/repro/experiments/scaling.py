@@ -7,18 +7,20 @@ measures wall-clock compile time against qubit count on a scalable workload
 family (TFIM chains, fixed Trotter depth) and checks the growth is
 polynomial-ish (doubling q multiplies time by a bounded factor), the
 practical content of the paper's scalability claim.
+
+The sweep runs through :func:`repro.pipeline.batch.compile_many`, so the
+per-size timings come from the pass pipeline's stage timers (the
+``transpile`` stage vs. everything after it) and ``workers > 1`` fans the
+chain lengths out across processes.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.benchcircuits.simulation import tfim
-from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.core.compiler import ParallaxCompiler
 from repro.experiments.common import ExperimentSettings, ExperimentTable
 from repro.hardware.spec import HardwareSpec
-from repro.layout.placement import PlacementConfig
-from repro.transpile.pipeline import transpile
+from repro.pipeline.batch import compile_many
 
 __all__ = ["run_scaling", "DEFAULT_QUBIT_COUNTS"]
 
@@ -30,6 +32,7 @@ def run_scaling(
     steps: int = 4,
     spec: HardwareSpec | None = None,
     settings: ExperimentSettings | None = None,
+    workers: int = 1,
 ) -> ExperimentTable:
     """Measure Parallax compile time vs. qubit count on TFIM chains.
 
@@ -38,26 +41,38 @@ def run_scaling(
         steps: Trotter steps (fixed, so gate count grows linearly with q).
         spec: target machine (defaults to the 1,225-qubit Atom system so
             the largest chains fit comfortably).
+        settings: placement knobs (method/seed) shared with the figures.
+        workers: process-pool size for the sweep (1 = sequential; parallel
+            runs time each compilation inside its own worker, so the sizes
+            do not contend for the same interpreter).
     """
     spec = spec or HardwareSpec.atom_computing()
     settings = settings or ExperimentSettings()
-    config = ParallaxConfig(
-        placement=settings.placement(),
-        transpile_input=False,
+
+    def config_factory(technique, circuit, task_spec):
+        return ParallaxCompiler.make_config(placement=settings.placement())
+
+    circuits = [tfim(num_qubits=q, steps=steps) for q in qubit_counts]
+    compiled = compile_many(
+        circuits,
+        ["parallax"],
+        [spec],
+        workers=workers,
+        config_factory=config_factory,
+        return_timings=True,
     )
     rows = []
-    for q in qubit_counts:
-        circuit = tfim(num_qubits=q, steps=steps)
-        start = time.perf_counter()
-        basis = transpile(circuit)
-        transpile_s = time.perf_counter() - start
-        start = time.perf_counter()
-        result = ParallaxCompiler(spec, config).compile(basis)
-        compile_s = time.perf_counter() - start
+    for q, (result, stage_times) in zip(qubit_counts, compiled):
+        transpile_s = stage_times.get("parallax.transpile", 0.0)
+        compile_s = sum(
+            seconds
+            for phase, seconds in stage_times.items()
+            if phase != "parallax.transpile"
+        )
         rows.append(
             (
                 q,
-                basis.count_ops().get("cz", 0),
+                result.num_cz,  # zero SWAPs: equals the transpiled base count
                 round(transpile_s, 3),
                 round(compile_s, 3),
                 result.num_layers,

@@ -1,0 +1,85 @@
+"""The unified compiler pipeline: stages, registry, cache, and batch engine.
+
+This package is the architectural keystone tying the techniques together:
+
+- :mod:`repro.pipeline.stage` -- the five canonical compilation stages
+  (transpile, layout, placement, schedule, finalize) run by a timed
+  :class:`PassPipeline` over a :class:`CompileContext`.
+- :mod:`repro.pipeline.compiler_base` -- the :class:`Compiler` protocol and
+  the :class:`StagedCompiler` base class every technique subclasses.
+- :mod:`repro.pipeline.registry` -- decorator-based name -> compiler lookup
+  (:func:`get_compiler`, :func:`available_techniques`), so the CLI,
+  experiments, and benchmarks never import technique classes directly.
+- :mod:`repro.pipeline.fingerprint` -- content addresses for circuits,
+  hardware specs, and technique configs.
+- :mod:`repro.pipeline.cache` -- :class:`CompilationCache`, a
+  content-addressed result cache with an optional on-disk JSON backend.
+- :mod:`repro.pipeline.batch` -- :func:`compile_many`, the deterministic
+  process-pool batch compilation engine with cache write-back.
+
+Typical production-style usage::
+
+    from repro.pipeline import CompilationCache, compile_many
+
+    cache = CompilationCache("~/.cache/repro")
+    results = compile_many(circuits, ["parallax", "eldi"], spec,
+                           workers=8, cache=cache)
+"""
+
+from repro.pipeline.stage import (
+    STAGE_NAMES,
+    CompileContext,
+    PassPipeline,
+    PipelineStage,
+    install_pipeline_timer,
+    installed_pipeline_timer,
+    profiled_pipeline,
+)
+from repro.pipeline.compiler_base import Compiler, StagedCompiler
+from repro.pipeline.registry import (
+    CompilerRegistry,
+    REGISTRY,
+    available_techniques,
+    create_compiler,
+    get_compiler,
+    register_compiler,
+)
+from repro.pipeline.fingerprint import (
+    CacheKey,
+    cache_key,
+    fingerprint_circuit,
+    fingerprint_config,
+    fingerprint_obj,
+    fingerprint_spec,
+)
+from repro.pipeline.cache import CacheStats, CompilationCache
+from repro.pipeline.batch import CompileTask, compile_many, derive_task_seed
+
+__all__ = [
+    "STAGE_NAMES",
+    "CompileContext",
+    "PassPipeline",
+    "PipelineStage",
+    "install_pipeline_timer",
+    "installed_pipeline_timer",
+    "profiled_pipeline",
+    "Compiler",
+    "StagedCompiler",
+    "CompilerRegistry",
+    "REGISTRY",
+    "available_techniques",
+    "create_compiler",
+    "get_compiler",
+    "register_compiler",
+    "CacheKey",
+    "cache_key",
+    "fingerprint_circuit",
+    "fingerprint_config",
+    "fingerprint_obj",
+    "fingerprint_spec",
+    "CacheStats",
+    "CompilationCache",
+    "CompileTask",
+    "compile_many",
+    "derive_task_seed",
+]

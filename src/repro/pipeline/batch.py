@@ -1,0 +1,185 @@
+"""Parallel batch compilation: fan the registry out over a process pool.
+
+:func:`compile_many` compiles the product ``circuits x techniques x specs``,
+optionally through a shared :class:`~repro.pipeline.cache.CompilationCache`
+(hits are skipped, misses are written back) and over a
+``ProcessPoolExecutor``.  Every task's configuration -- including its RNG
+seeds -- is fixed *before* any work is dispatched, so the results are
+bit-identical whether ``workers`` is 1 or 32 and regardless of completion
+order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.spec import HardwareSpec
+from repro.layout.placement import PlacementConfig
+from repro.pipeline.fingerprint import fingerprint_circuit, fingerprint_spec
+from repro.pipeline.registry import REGISTRY, available_techniques, get_compiler
+from repro.utils.profiling import PhaseTimer
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Callable, Sequence
+    from repro.core.result import CompilationResult
+    from repro.pipeline.cache import CompilationCache
+
+__all__ = ["CompileTask", "compile_many", "derive_task_seed"]
+
+#: Stage timings (seconds) keyed by "<technique>.<stage>".
+StageTimings = typing.Dict[str, float]
+
+
+@dataclass(frozen=True)
+class CompileTask:
+    """One fully-specified unit of batch work (picklable)."""
+
+    technique: str
+    circuit: QuantumCircuit
+    spec: HardwareSpec
+    config: object = None
+
+
+def derive_task_seed(base_seed: int, *parts: object) -> int:
+    """A deterministic 31-bit seed derived from ``base_seed`` and ``parts``.
+
+    Pure function of its arguments (hash-based, no global RNG state), so a
+    task's seed never depends on worker count or scheduling order.
+    """
+    text = "|".join([str(int(base_seed)), *map(str, parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def _default_config(
+    technique: str,
+    circuit: QuantumCircuit,
+    spec: HardwareSpec,
+    base_seed: int | None,
+) -> object:
+    """Technique defaults, with per-task seeds derived when requested."""
+    cls = get_compiler(technique)
+    if base_seed is None:
+        return cls.make_config()
+    from repro.core.scheduler import SchedulerConfig
+
+    circuit_fp = fingerprint_circuit(circuit)
+    spec_fp = fingerprint_spec(spec)
+    return cls.make_config(
+        placement=PlacementConfig(
+            seed=derive_task_seed(base_seed, "placement", technique, circuit_fp, spec_fp)
+        ),
+        scheduler=SchedulerConfig(
+            seed=derive_task_seed(base_seed, "scheduler", technique, circuit_fp, spec_fp)
+        ),
+    )
+
+
+def _execute_task(task: CompileTask) -> tuple["CompilationResult", StageTimings]:
+    """Run one task (in a worker process) with per-stage timing."""
+    cls = REGISTRY.get(task.technique)
+    timer = PhaseTimer()
+    result = cls(task.spec, task.config).compile(task.circuit, timer=timer)
+    return result, timer.totals()
+
+
+def _as_list(value, scalar_type) -> list:
+    if isinstance(value, scalar_type):
+        return [value]
+    return list(value)
+
+
+def compile_many(
+    circuits: "QuantumCircuit | Sequence[QuantumCircuit]",
+    techniques: "str | Sequence[str] | None" = None,
+    specs: "HardwareSpec | Sequence[HardwareSpec] | None" = None,
+    *,
+    workers: int = 1,
+    cache: "CompilationCache | None" = None,
+    config_factory: "Callable[[str, QuantumCircuit, HardwareSpec], object] | None" = None,
+    base_seed: int | None = None,
+    return_timings: bool = False,
+):
+    """Compile every (circuit, technique, spec) combination, possibly in parallel.
+
+    Args:
+        circuits: one circuit or a sequence of circuits.
+        techniques: technique name(s); defaults to every registered technique.
+        specs: target machine(s); defaults to the QuEra Aquila 256 system.
+        workers: process-pool size; ``1`` compiles sequentially in-process.
+        cache: optional shared :class:`CompilationCache`; hits skip work and
+            misses are written back after compilation.
+        config_factory: ``(technique, circuit, spec) -> config`` override for
+            per-task configuration (used by the experiment runners to match
+            their settings).  Defaults to each technique's ``make_config``,
+            with deterministic per-task placement/scheduler seeds derived
+            from ``base_seed`` when one is given.
+        base_seed: see ``config_factory``.
+        return_timings: also return per-stage wall-clock timings; cache hits
+            report an empty mapping.
+
+    Returns:
+        Results in product order (circuit-major, then technique, then spec);
+        with ``return_timings``, a list of ``(result, timings)`` pairs.
+    """
+    circuit_list = _as_list(circuits, QuantumCircuit)
+    technique_list = (
+        list(available_techniques())
+        if techniques is None
+        else _as_list(techniques, str)
+    )
+    spec_list = (
+        [HardwareSpec.quera_aquila()]
+        if specs is None
+        else _as_list(specs, HardwareSpec)
+    )
+    for name in technique_list:
+        get_compiler(name)  # fail fast on unknown techniques
+
+    tasks: list[CompileTask] = []
+    for circuit in circuit_list:
+        for technique in technique_list:
+            for spec in spec_list:
+                config = (
+                    config_factory(technique, circuit, spec)
+                    if config_factory is not None
+                    else _default_config(technique, circuit, spec, base_seed)
+                )
+                tasks.append(CompileTask(technique, circuit, spec, config))
+
+    results: list = [None] * len(tasks)
+    timings: list[StageTimings] = [{} for _ in tasks]
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.lookup(task.technique, task.circuit, task.spec, task.config)
+            if hit is not None:
+                results[index] = hit
+                continue
+        pending.append(index)
+
+    if pending:
+        todo = [tasks[i] for i in pending]
+        computed = None
+        if workers > 1 and len(todo) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
+                    computed = list(pool.map(_execute_task, todo))
+            except (OSError, PermissionError):
+                computed = None  # pools unavailable (sandbox); fall through
+        if computed is None:
+            computed = [_execute_task(task) for task in todo]
+        for index, (result, stage_times) in zip(pending, computed):
+            results[index] = result
+            timings[index] = stage_times
+            if cache is not None:
+                task = tasks[index]
+                cache.store(task.technique, task.circuit, task.spec, task.config, result)
+
+    if return_timings:
+        return list(zip(results, timings))
+    return results

@@ -1,0 +1,171 @@
+"""Content-addressed compilation cache with an optional on-disk backend.
+
+Replaces the seed's ad-hoc module-level result dict: entries are addressed
+by :class:`~repro.pipeline.fingerprint.CacheKey` (circuit, spec, and config
+fingerprints), shared by the experiments, the CLI, and the batch engine.
+When constructed with a directory, every stored result is also persisted as
+versioned JSON (via :mod:`repro.core.serialize`), so a second process --
+or a second run -- starts warm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import typing
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.serialize import dumps_result, loads_result
+from repro.pipeline.fingerprint import CacheKey, cache_key
+
+if typing.TYPE_CHECKING:
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.core.result import CompilationResult
+    from repro.hardware.spec import HardwareSpec
+
+__all__ = ["CacheStats", "CompilationCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.disk_hits = 0
+
+
+class CompilationCache:
+    """Memoize :class:`CompilationResult` objects by content address.
+
+    Args:
+        directory: optional on-disk backend; results are written as one
+            JSON file per entry and read back on memory misses.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[CacheKey, "CompilationResult"] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- raw key interface ----------------------------------------------------
+
+    def get(self, key: CacheKey) -> "CompilationResult | None":
+        """The cached result for ``key``, or ``None`` (counts a hit/miss)."""
+        result = self._memory.get(key)
+        if result is not None:
+            self.stats.hits += 1
+            return result
+        result = self._read_disk(key)
+        if result is not None:
+            self._memory[key] = result
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: CacheKey, result: "CompilationResult") -> None:
+        """Store ``result`` under ``key`` (and on disk when configured)."""
+        self._memory[key] = result
+        self.stats.stores += 1
+        self._write_disk(key, result)
+
+    # -- fingerprinting interface ---------------------------------------------
+
+    def key_for(
+        self,
+        technique: str,
+        circuit: "QuantumCircuit",
+        spec: "HardwareSpec",
+        config: object = None,
+    ) -> CacheKey:
+        """Content address for one compilation (see :func:`cache_key`)."""
+        return cache_key(technique, circuit, spec, config)
+
+    def lookup(
+        self,
+        technique: str,
+        circuit: "QuantumCircuit",
+        spec: "HardwareSpec",
+        config: object = None,
+    ) -> "CompilationResult | None":
+        """Fingerprint the inputs and fetch the cached result, if any."""
+        return self.get(self.key_for(technique, circuit, spec, config))
+
+    def store(
+        self,
+        technique: str,
+        circuit: "QuantumCircuit",
+        spec: "HardwareSpec",
+        config: object,
+        result: "CompilationResult",
+    ) -> CacheKey:
+        """Fingerprint the inputs and store ``result``; returns the key."""
+        key = self.key_for(technique, circuit, spec, config)
+        self.put(key, result)
+        return key
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop all in-memory entries (and on-disk files when ``disk``)."""
+        self._memory.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._memory
+
+    # -- disk backend ---------------------------------------------------------
+
+    def _path(self, key: CacheKey) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key.technique}-{key.digest()[:40]}.json"
+
+    def _read_disk(self, key: CacheKey) -> "CompilationResult | None":
+        path = self._path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return loads_result(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            return None  # treat corrupt entries as misses
+
+    def _write_disk(self, key: CacheKey, result: "CompilationResult") -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            tmp.write_text(dumps_result(result), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

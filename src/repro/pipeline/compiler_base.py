@@ -1,0 +1,151 @@
+"""The common compiler contract: a protocol plus a staged base class.
+
+Every technique is a :class:`StagedCompiler` subclass that fills in the five
+canonical stages of :mod:`repro.pipeline.stage` and registers itself with
+:mod:`repro.pipeline.registry`.  Code that only *consumes* compilers should
+type against the :class:`Compiler` protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.pipeline.stage import (
+    STAGE_NAMES,
+    CompileContext,
+    PassPipeline,
+    PipelineStage,
+)
+from repro.transpile.pipeline import transpile
+
+if typing.TYPE_CHECKING:
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.core.result import CompilationResult
+    from repro.hardware.spec import HardwareSpec
+    from repro.layout.graphine import GraphineLayout
+    from repro.utils.profiling import PhaseTimer
+
+__all__ = ["Compiler", "StagedCompiler"]
+
+
+@typing.runtime_checkable
+class Compiler(typing.Protocol):
+    """What every compilation technique exposes to callers."""
+
+    technique: str
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit",
+        layout: "GraphineLayout | None" = None,
+    ) -> "CompilationResult":
+        """Compile ``circuit`` for this compiler's machine."""
+        ...
+
+
+class StagedCompiler:
+    """Base class running a technique through the shared :class:`PassPipeline`.
+
+    Subclasses set the class attributes and implement the ``stage_*``
+    methods; ``stage_transpile`` has a shared default (transpile to the
+    {U3, CZ} basis, or strip barriers/measures when the caller already
+    transpiled).
+
+    Class attributes:
+        technique: registry name (lowercase).
+        uses_layout: whether ``compile(..., layout=...)`` can reuse a
+            precomputed Graphine layout (Parallax and Graphine can; ELDI
+            always derives its own grid ordering).
+        config_type: the technique's configuration dataclass.
+    """
+
+    technique: typing.ClassVar[str] = ""
+    uses_layout: typing.ClassVar[bool] = False
+    config_type: typing.ClassVar[type | None] = None
+
+    def __init__(self, spec: "HardwareSpec", config: object = None) -> None:
+        self.spec = spec
+        self.config = config if config is not None else self.default_config()
+
+    # -- configuration --------------------------------------------------------
+
+    @classmethod
+    def default_config(cls) -> object:
+        """A default-constructed instance of :attr:`config_type`."""
+        return cls.config_type() if cls.config_type is not None else None
+
+    @classmethod
+    def make_config(cls, **options: object) -> object:
+        """Build a config from the shared experiment option vocabulary.
+
+        Callers pass the full vocabulary (``placement``, ``scheduler``,
+        ``transpile_input``, ...); only the keys that are actual fields of
+        this technique's :attr:`config_type` are kept, and ``None`` values
+        fall back to the field default.  This is what lets a cache key for
+        ELDI ignore placement/scheduler seeds it never consumes.
+        """
+        if cls.config_type is None:
+            return None
+        names = {f.name for f in dataclasses.fields(cls.config_type)}
+        kwargs = {k: v for k, v in options.items() if k in names and v is not None}
+        return cls.config_type(**kwargs)
+
+    # -- pipeline assembly ----------------------------------------------------
+
+    def build_pipeline(self, timer: "PhaseTimer | None" = None) -> PassPipeline:
+        """The five-stage pipeline bound to this compiler instance."""
+        return PassPipeline(
+            [
+                PipelineStage(name, getattr(self, f"stage_{name}"))
+                for name in STAGE_NAMES
+            ],
+            technique=self.technique,
+            timer=timer,
+        )
+
+    def compile(
+        self,
+        circuit: "QuantumCircuit",
+        layout: "GraphineLayout | None" = None,
+        *,
+        timer: "PhaseTimer | None" = None,
+    ) -> "CompilationResult":
+        """Compile ``circuit``; optionally reuse a precomputed layout.
+
+        The ``layout`` parameter mirrors the paper's command-line option to
+        load pre-obtained Graphine results and skip the annealing stage
+        (ignored by techniques with :attr:`uses_layout` false).
+        """
+        ctx = CompileContext(
+            circuit=circuit,
+            spec=self.spec,
+            config=self.config,
+            layout=layout if self.uses_layout else None,
+        )
+        return self.build_pipeline(timer=timer).run(ctx)
+
+    # -- stages ---------------------------------------------------------------
+
+    def stage_transpile(self, ctx: CompileContext) -> None:
+        """Lower to the {U3, CZ} basis (or strip structure if pre-transpiled)."""
+        config = self.config
+        if getattr(config, "transpile_input", True):
+            ctx.basis = transpile(
+                ctx.circuit,
+                native_multiqubit=bool(getattr(config, "native_multiqubit", False)),
+            )
+        else:
+            ctx.basis = ctx.circuit.without({"barrier", "measure"})
+
+    def stage_layout(self, ctx: CompileContext) -> None:
+        raise NotImplementedError
+
+    def stage_placement(self, ctx: CompileContext) -> None:
+        raise NotImplementedError
+
+    def stage_schedule(self, ctx: CompileContext) -> None:
+        raise NotImplementedError
+
+    def stage_finalize(self, ctx: CompileContext) -> None:
+        raise NotImplementedError

@@ -1,0 +1,151 @@
+"""Technique registry: look compilers up by name instead of importing classes.
+
+Mirrors :mod:`repro.benchcircuits.registry` for compilation techniques.
+Compiler classes self-register at import time::
+
+    @register_compiler()
+    class MyCompiler(StagedCompiler):
+        technique = "mine"
+        ...
+
+and consumers resolve them by name::
+
+    cls = get_compiler("parallax")
+    result = cls(spec).compile(circuit)
+
+The global registry lazily imports the built-in techniques (Parallax,
+Graphine, ELDI) on first lookup, so ``repro.pipeline`` itself stays
+import-light.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Iterator
+
+if typing.TYPE_CHECKING:
+    from repro.hardware.spec import HardwareSpec
+    from repro.pipeline.compiler_base import Compiler
+
+__all__ = [
+    "CompilerRegistry",
+    "REGISTRY",
+    "register_compiler",
+    "get_compiler",
+    "create_compiler",
+    "available_techniques",
+]
+
+
+class CompilerRegistry:
+    """A name -> compiler-class mapping with decorator-based registration.
+
+    Args:
+        load_builtins: when true (the global registry), the first lookup
+            imports the built-in technique modules so they self-register.
+    """
+
+    def __init__(self, *, load_builtins: bool = False) -> None:
+        self._classes: dict[str, type] = {}
+        self._load_builtins = load_builtins
+        self._builtins_loaded = False
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str | None = None):
+        """Class decorator registering a compiler under ``name``.
+
+        ``name`` defaults to the class's ``technique`` attribute.  Raises
+        :class:`ValueError` when the name is missing or already taken by a
+        different class (re-registering the same class is a no-op, so module
+        reloads stay harmless).
+        """
+
+        def decorator(cls: type) -> type:
+            technique = (name or getattr(cls, "technique", "") or "").lower()
+            if not technique:
+                raise ValueError(
+                    f"{cls.__name__} has no technique name; set a 'technique' "
+                    "class attribute or pass register(name=...)"
+                )
+            existing = self._classes.get(technique)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"technique {technique!r} already registered by "
+                    f"{existing.__name__}"
+                )
+            self._classes[technique] = cls
+            return cls
+
+        return decorator
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _ensure_builtins(self) -> None:
+        if not self._load_builtins or self._builtins_loaded:
+            return
+        self._builtins_loaded = True
+        # Imported for their registration side effects.
+        import repro.baselines.eldi  # noqa: F401
+        import repro.baselines.graphine_compiler  # noqa: F401
+        import repro.core.compiler  # noqa: F401
+
+    def get(self, name: str) -> type:
+        """The compiler class registered under ``name`` (case-insensitive).
+
+        Raises:
+            ValueError: for unknown technique names.
+        """
+        self._ensure_builtins()
+        cls = self._classes.get(str(name).lower())
+        if cls is None:
+            raise ValueError(
+                f"unknown technique {name!r}; choose from {self.names()}"
+            )
+        return cls
+
+    def create(
+        self, name: str, spec: "HardwareSpec", config: object = None
+    ) -> "Compiler":
+        """Instantiate the named technique for ``spec``."""
+        return self.get(name)(spec, config)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered technique names, sorted."""
+        self._ensure_builtins()
+        return tuple(sorted(self._classes))
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_builtins()
+        return str(name).lower() in self._classes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_builtins()
+        return len(self._classes)
+
+
+#: The process-wide registry holding the built-in techniques.
+REGISTRY = CompilerRegistry(load_builtins=True)
+
+
+def register_compiler(name: str | None = None):
+    """Register a compiler class with the global registry (decorator)."""
+    return REGISTRY.register(name)
+
+
+def get_compiler(name: str) -> type:
+    """Resolve a technique name to its compiler class (global registry)."""
+    return REGISTRY.get(name)
+
+
+def create_compiler(name: str, spec: "HardwareSpec", config: object = None) -> "Compiler":
+    """Instantiate a technique by name (global registry)."""
+    return REGISTRY.create(name, spec, config)
+
+
+def available_techniques() -> tuple[str, ...]:
+    """Sorted names of every registered technique."""
+    return REGISTRY.names()

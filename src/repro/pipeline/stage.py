@@ -1,0 +1,190 @@
+"""Staged compilation: the shared pass pipeline every technique runs on.
+
+The paper's four compilation steps generalize to five canonical stages that
+all techniques (Parallax, Graphine, ELDI, and any future registrant) share:
+
+1. ``transpile`` -- lower the input circuit to the {U3, CZ} basis.
+2. ``layout``    -- decide the technique's qubit layout (annealed positions,
+   BFS ordering, or reuse of a caller-provided layout).
+3. ``placement`` -- map the layout onto hardware sites / machine state.
+4. ``schedule``  -- order gates into parallel layers (movement or routing).
+5. ``finalize``  -- assemble the :class:`~repro.core.result.CompilationResult`.
+
+A :class:`PassPipeline` runs an ordered list of :class:`PipelineStage`
+callables over a mutable :class:`CompileContext`, timing each stage through
+:class:`~repro.utils.profiling.PhaseTimer` (phase names are
+``"<technique>.<stage>"``).  Timing is opt-in: install a process-wide timer
+with :func:`install_pipeline_timer` / :func:`profiled_pipeline`, or pass one
+per run.
+"""
+
+from __future__ import annotations
+
+import typing
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.utils.profiling import PhaseTimer
+
+if typing.TYPE_CHECKING:
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.core.result import CompilationResult
+    from repro.hardware.spec import HardwareSpec
+    from repro.layout.graphine import GraphineLayout
+
+__all__ = [
+    "STAGE_NAMES",
+    "CompileContext",
+    "PipelineStage",
+    "PassPipeline",
+    "install_pipeline_timer",
+    "installed_pipeline_timer",
+    "profiled_pipeline",
+]
+
+#: The canonical stage order every staged compiler follows.
+STAGE_NAMES: tuple[str, ...] = (
+    "transpile", "layout", "placement", "schedule", "finalize",
+)
+
+
+@dataclass
+class CompileContext:
+    """Mutable state threaded through a :class:`PassPipeline` run.
+
+    Attributes:
+        circuit: the caller's input circuit (never mutated).
+        spec: the target machine.
+        config: the technique's configuration dataclass (or ``None``).
+        layout: optional caller-provided layout (skips annealing when the
+            technique supports it, mirroring the paper's "load pre-obtained
+            Graphine results" option).
+        basis: the {U3, CZ}-basis circuit produced by the transpile stage.
+        positions: physical (n, 2) atom coordinates in micrometers, when the
+            technique places atoms explicitly.
+        sites: per-qubit (row, col) grid sites used for footprint reporting.
+        interaction_radius_um / blockade_radius_um: radii chosen by the
+            placement stage.
+        artifacts: free-form scratch shared between stages (machine state,
+            router output, scheduler statistics, ...).
+        result: the finished compilation result (set by ``finalize``).
+    """
+
+    circuit: "QuantumCircuit"
+    spec: "HardwareSpec"
+    config: object = None
+    layout: "GraphineLayout | None" = None
+    basis: "QuantumCircuit | None" = None
+    positions: object = None
+    sites: Sequence[tuple[int, int]] | None = None
+    interaction_radius_um: float | None = None
+    blockade_radius_um: float | None = None
+    artifacts: dict[str, object] = field(default_factory=dict)
+    result: "CompilationResult | None" = None
+
+    def footprint(self) -> tuple[int, int]:
+        """Bounding-box (rows, cols) of the occupied grid sites."""
+        sites = list(self.sites or ())
+        rows = [r for (r, _) in sites]
+        cols = [c for (_, c) in sites]
+        return (
+            (max(rows) - min(rows) + 1) if rows else 0,
+            (max(cols) - min(cols) + 1) if cols else 0,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One named pass: a callable mutating the :class:`CompileContext`."""
+
+    name: str
+    run: Callable[[CompileContext], None]
+
+
+# -- process-wide timing hook -------------------------------------------------
+
+_pipeline_timer: PhaseTimer | None = None
+
+
+def install_pipeline_timer(timer: PhaseTimer | None) -> PhaseTimer | None:
+    """Install ``timer`` as the process-wide pipeline timer.
+
+    Returns the previously installed timer (``None`` if there was none) so
+    callers can restore it.  Passing ``None`` uninstalls.
+    """
+    global _pipeline_timer
+    previous = _pipeline_timer
+    _pipeline_timer = timer
+    return previous
+
+
+def installed_pipeline_timer() -> PhaseTimer | None:
+    """The currently installed process-wide pipeline timer, if any."""
+    return _pipeline_timer
+
+
+@contextmanager
+def profiled_pipeline(timer: PhaseTimer | None = None) -> Iterator[PhaseTimer]:
+    """Scope with a pipeline timer installed; yields the timer.
+
+    Usage::
+
+        with profiled_pipeline() as timer:
+            ParallaxCompiler(spec).compile(circuit)
+        print(timer.report())
+    """
+    timer = timer if timer is not None else PhaseTimer()
+    previous = install_pipeline_timer(timer)
+    try:
+        yield timer
+    finally:
+        install_pipeline_timer(previous)
+
+
+class PassPipeline:
+    """An ordered, timed sequence of compilation stages.
+
+    Args:
+        stages: the passes to run, in order; names must be unique.
+        technique: label used as the timing-phase prefix.
+        timer: per-pipeline timer override; when ``None`` the process-wide
+            timer (see :func:`install_pipeline_timer`) is used, and when that
+            is also ``None`` stages run untimed (zero overhead).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[PipelineStage],
+        *,
+        technique: str = "",
+        timer: PhaseTimer | None = None,
+    ) -> None:
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in pipeline: {names}")
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.stages: tuple[PipelineStage, ...] = tuple(stages)
+        self.technique = technique
+        self.timer = timer
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def run(self, ctx: CompileContext) -> "CompilationResult":
+        """Run every stage over ``ctx`` and return the finished result."""
+        timer = self.timer if self.timer is not None else _pipeline_timer
+        label = self.technique or "pipeline"
+        for stage in self.stages:
+            if timer is None:
+                stage.run(ctx)
+            else:
+                with timer.phase(f"{label}.{stage.name}"):
+                    stage.run(ctx)
+        if ctx.result is None:
+            raise RuntimeError(
+                f"pipeline for {label!r} finished without producing a result"
+            )
+        return ctx.result

@@ -95,16 +95,26 @@ class StateVector:
         return float(self.probabilities()[index])
 
     def sample(self, shots: int, seed: int | np.random.Generator | None = 0) -> dict[str, int]:
-        """Sample measurement outcomes; returns bitstring -> count."""
+        """Sample measurement outcomes; returns bitstring -> count.
+
+        Vectorized: the per-shot Python loop is replaced by ``np.unique``
+        over the drawn outcomes plus array bit extraction, so only the
+        *distinct* outcomes (at most 2^n, typically far fewer than the shot
+        count) touch Python.  The RNG draw is unchanged, so counts are
+        identical to the historical per-shot implementation.
+        """
         rng = ensure_rng(seed)
         probs = self.probabilities()
         probs = probs / probs.sum()
         outcomes = rng.choice(len(probs), size=shots, p=probs)
-        counts: dict[str, int] = {}
-        for outcome in outcomes:
-            bits = "".join(str((int(outcome) >> i) & 1) for i in range(self.num_qubits))
-            counts[bits] = counts.get(bits, 0) + 1
-        return counts
+        values, freqs = np.unique(outcomes, return_counts=True)
+        # Bitstrings are written qubit 0 first (little-endian), matching
+        # probability_of(); column i holds qubit i's bit.
+        bits = (values[:, None] >> np.arange(self.num_qubits)) & 1
+        labels = ["".join(row) for row in bits.astype("U1")]
+        return {
+            label: int(freq) for label, freq in zip(labels, freqs)
+        }
 
     def fidelity_with(self, other: "StateVector") -> float:
         """|<self|other>|^2."""

@@ -53,6 +53,48 @@ class TestCli:
         assert "error" in capsys.readouterr().err
 
 
+class TestCliBenchmarks:
+    def test_named_benchmark(self, capsys):
+        assert main(["--benchmark", "QAOA"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark QAOA" in out
+        assert "parallax" in out
+
+    def test_benchmark_case_insensitive(self, capsys):
+        assert main(["--benchmark", "qaoa"]) == 0
+        assert "benchmark QAOA" in capsys.readouterr().out
+
+    def test_unknown_benchmark_errors(self, capsys):
+        assert main(["--benchmark", "NOPE"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_file_and_benchmark_rejected(self, qasm_file, capsys):
+        with pytest.raises(SystemExit):
+            main([qasm_file, "--benchmark", "QAOA"])
+
+    def test_neither_file_nor_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliBatch:
+    def test_jobs_all_techniques(self, qasm_file, capsys):
+        assert main([qasm_file, "--technique", "all", "--jobs", "3"]) == 0
+        out = capsys.readouterr().out
+        for tech in ("parallax", "eldi", "graphine"):
+            assert tech in out
+
+    def test_cache_dir_persists_and_hits(self, qasm_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([qasm_file, "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        import os
+
+        assert any(name.endswith(".json") for name in os.listdir(cache_dir))
+        assert main([qasm_file, "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == first  # warm rerun, same table
+
+
 class TestCliJson:
     def test_json_dump_round_trips(self, qasm_file, tmp_path, capsys):
         import json

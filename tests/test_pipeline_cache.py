@@ -1,0 +1,159 @@
+"""Tests for repro.pipeline.fingerprint and repro.pipeline.cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler, ParallaxConfig
+from repro.hardware.spec import HardwareSpec
+from repro.layout.placement import PlacementConfig
+from repro.pipeline.cache import CompilationCache
+from repro.pipeline.fingerprint import (
+    cache_key,
+    fingerprint_circuit,
+    fingerprint_config,
+    fingerprint_spec,
+)
+
+
+def bell(name="bell"):
+    return QuantumCircuit(2, name).h(0).cx(0, 1)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return ParallaxCompiler(spec).compile(bell())
+
+
+class TestFingerprints:
+    def test_circuit_fingerprint_content_addressed(self):
+        assert fingerprint_circuit(bell()) == fingerprint_circuit(bell())
+
+    def test_circuit_fingerprint_sees_gates(self):
+        other = bell().z(1)
+        assert fingerprint_circuit(bell()) != fingerprint_circuit(other)
+
+    def test_circuit_fingerprint_sees_params(self):
+        a = QuantumCircuit(1).rx(0, 0.5)
+        b = QuantumCircuit(1).rx(0, 0.5000001)
+        assert fingerprint_circuit(a) != fingerprint_circuit(b)
+
+    def test_spec_fingerprint_covers_every_field(self, spec):
+        # The seed cache keyed only (name, aod_rows, aod_cols); the
+        # fingerprint must change when ANY field changes.
+        base = fingerprint_spec(spec)
+        for field in dataclasses.fields(spec):
+            value = getattr(spec, field.name)
+            if isinstance(value, bool) or field.name == "name":
+                bumped = dataclasses.replace(spec, **{field.name: "x"})
+            elif isinstance(value, int):
+                bumped = dataclasses.replace(spec, **{field.name: value + 1})
+            else:
+                bumped = dataclasses.replace(spec, **{field.name: value * 1.5})
+            assert fingerprint_spec(bumped) != base, field.name
+
+    def test_config_fingerprint_distinguishes_types(self):
+        from repro.baselines.eldi import EldiConfig
+
+        assert fingerprint_config(ParallaxConfig()) != fingerprint_config(EldiConfig())
+
+    def test_config_fingerprint_sees_nested_changes(self):
+        a = ParallaxConfig(placement=PlacementConfig(seed=7))
+        b = ParallaxConfig(placement=PlacementConfig(seed=8))
+        assert fingerprint_config(a) != fingerprint_config(b)
+
+    def test_cache_key_technique_lowered(self, spec):
+        key = cache_key("PARALLAX", bell(), spec, None)
+        assert key.technique == "parallax"
+
+    def test_cache_key_stamped_with_code_version(self, spec, monkeypatch):
+        # A version bump must invalidate persistent entries: identical
+        # inputs compiled by different code versions get different keys.
+        import repro
+
+        old = cache_key("parallax", bell(), spec, None)
+        assert old.version == repro.__version__
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        new = cache_key("parallax", bell(), spec, None)
+        assert new != old
+        assert new.digest() != old.digest()
+
+
+class TestCompilationCache:
+    def test_miss_then_hit(self, spec, result):
+        cache = CompilationCache()
+        assert cache.lookup("parallax", bell(), spec, None) is None
+        cache.store("parallax", bell(), spec, None, result)
+        assert cache.lookup("parallax", bell(), spec, None) is result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_config_change_busts_key(self, spec, result):
+        cache = CompilationCache()
+        cache.store("parallax", bell(), spec, ParallaxConfig(), result)
+        other = ParallaxConfig(placement=PlacementConfig(seed=123))
+        assert cache.lookup("parallax", bell(), spec, other) is None
+
+    def test_spec_change_busts_key(self, spec, result):
+        cache = CompilationCache()
+        cache.store("parallax", bell(), spec, None, result)
+        tweaked = dataclasses.replace(spec, cz_error=spec.cz_error * 2)
+        assert cache.lookup("parallax", bell(), tweaked, None) is None
+
+    def test_technique_distinguishes_entries(self, spec, result):
+        cache = CompilationCache()
+        cache.store("parallax", bell(), spec, None, result)
+        assert cache.lookup("eldi", bell(), spec, None) is None
+
+    def test_clear(self, spec, result):
+        cache = CompilationCache()
+        cache.store("parallax", bell(), spec, None, result)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup("parallax", bell(), spec, None) is None
+
+
+class TestDiskBackend:
+    def test_round_trips_through_disk(self, tmp_path, spec, result):
+        directory = tmp_path / "cache"
+        writer = CompilationCache(directory)
+        key = writer.store("parallax", bell(), spec, None, result)
+        assert writer._path(key).exists()
+
+        reader = CompilationCache(directory)  # fresh memory, same disk
+        loaded = reader.lookup("parallax", bell(), spec, None)
+        assert loaded is not None
+        assert loaded.num_cz == result.num_cz
+        assert loaded.runtime_us == pytest.approx(result.runtime_us)
+        assert reader.stats.disk_hits == 1
+
+    def test_second_lookup_served_from_memory(self, tmp_path, spec, result):
+        directory = tmp_path / "cache"
+        CompilationCache(directory).store("parallax", bell(), spec, None, result)
+        reader = CompilationCache(directory)
+        reader.lookup("parallax", bell(), spec, None)
+        reader.lookup("parallax", bell(), spec, None)
+        assert reader.stats.hits == 2
+        assert reader.stats.disk_hits == 1  # only the first touched disk
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, spec, result):
+        directory = tmp_path / "cache"
+        writer = CompilationCache(directory)
+        key = writer.store("parallax", bell(), spec, None, result)
+        writer._path(key).write_text("{not json")
+        reader = CompilationCache(directory)
+        assert reader.lookup("parallax", bell(), spec, None) is None
+
+    def test_clear_disk(self, tmp_path, spec, result):
+        directory = tmp_path / "cache"
+        writer = CompilationCache(directory)
+        writer.store("parallax", bell(), spec, None, result)
+        writer.clear(disk=True)
+        assert not list(directory.glob("*.json"))

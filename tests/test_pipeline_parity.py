@@ -1,0 +1,67 @@
+"""Parity: the pipeline-refactored compilers reproduce the seed's numbers.
+
+The expected values below were captured from the pre-refactor (seed)
+implementations of ParallaxCompiler / GraphineCompiler / EldiCompiler on
+QUICK_BENCHMARKS with the default ExperimentSettings on the QuEra machine.
+The staged PassPipeline must reproduce them bit-for-bit -- any drift means
+the refactor changed compilation behavior, not just structure.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    QUICK_BENCHMARKS,
+    ExperimentSettings,
+    clear_caches,
+    compile_one,
+)
+from repro.hardware.spec import HardwareSpec
+
+#: (technique, benchmark) -> (num_cz, runtime_us) from the seed implementation.
+SEED_EXPECTED = {
+    ("graphine", "ADD"): (377, 423.6000000000001),
+    ("eldi", "ADD"): (215, 347.20000000000044),
+    ("parallax", "ADD"): (128, 325.96527763103035),
+    ("graphine", "ADV"): (24, 50.8),
+    ("eldi", "ADV"): (54, 73.6),
+    ("parallax", "ADV"): (24, 56.78842735109821),
+    ("graphine", "HLF"): (81, 75.99999999999997),
+    ("eldi", "HLF"): (99, 91.59999999999998),
+    ("parallax", "HLF"): (30, 51.08176906875217),
+    ("graphine", "QAOA"): (258, 362.40000000000026),
+    ("eldi", "QAOA"): (306, 393.2000000000003),
+    ("parallax", "QAOA"): (162, 328.0251840723085),
+    ("graphine", "QEC"): (73, 70.79999999999997),
+    ("eldi", "QEC"): (91, 102.79999999999997),
+    ("parallax", "QEC"): (40, 57.259539847409165),
+    ("graphine", "WST"): (78, 200.40000000000015),
+    ("eldi", "WST"): (81, 202.80000000000015),
+    ("parallax", "WST"): (78, 1204.9567288134874),
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(benchmarks=QUICK_BENCHMARKS)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return HardwareSpec.quera_aquila()
+
+
+@pytest.mark.parametrize(
+    "technique,bench", sorted(SEED_EXPECTED), ids=lambda v: str(v)
+)
+def test_seed_parity(technique, bench, spec, settings):
+    expected_cz, expected_runtime = SEED_EXPECTED[(technique, bench)]
+    result = compile_one(technique, bench, spec, settings)
+    assert result.num_cz == expected_cz
+    assert result.runtime_us == pytest.approx(expected_runtime, rel=1e-12, abs=0.0)

@@ -1,0 +1,134 @@
+"""Tests for repro.pipeline.registry: technique lookup by name."""
+
+import pytest
+
+from repro.baselines.eldi import EldiCompiler
+from repro.baselines.graphine_compiler import GraphineCompiler
+from repro.core.compiler import ParallaxCompiler
+from repro.hardware.spec import HardwareSpec
+from repro.pipeline.compiler_base import Compiler, StagedCompiler
+from repro.pipeline.registry import (
+    CompilerRegistry,
+    available_techniques,
+    create_compiler,
+    get_compiler,
+)
+
+
+class TestGlobalRegistry:
+    def test_builtins_registered(self):
+        assert available_techniques() == ("eldi", "graphine", "parallax")
+
+    def test_lookup_returns_classes(self):
+        assert get_compiler("parallax") is ParallaxCompiler
+        assert get_compiler("eldi") is EldiCompiler
+        assert get_compiler("graphine") is GraphineCompiler
+
+    def test_lookup_case_insensitive(self):
+        assert get_compiler("PARALLAX") is ParallaxCompiler
+
+    def test_unknown_technique_errors(self):
+        with pytest.raises(ValueError, match="unknown technique"):
+            get_compiler("magic")
+
+    def test_unknown_error_lists_choices(self):
+        with pytest.raises(ValueError, match="parallax"):
+            get_compiler("magic")
+
+    def test_create_instantiates(self):
+        spec = HardwareSpec.quera_aquila()
+        compiler = create_compiler("eldi", spec)
+        assert isinstance(compiler, EldiCompiler)
+        assert compiler.spec is spec
+
+    def test_compilers_satisfy_protocol(self):
+        spec = HardwareSpec.quera_aquila()
+        for name in available_techniques():
+            assert isinstance(create_compiler(name, spec), Compiler)
+
+
+class TestCustomRegistry:
+    def test_decorator_registers_by_technique_attribute(self):
+        registry = CompilerRegistry()
+
+        @registry.register()
+        class Dummy(StagedCompiler):
+            technique = "dummy"
+
+        assert registry.get("dummy") is Dummy
+        assert "dummy" in registry
+        assert len(registry) == 1
+
+    def test_explicit_name_overrides_attribute(self):
+        registry = CompilerRegistry()
+
+        @registry.register("other")
+        class Dummy(StagedCompiler):
+            technique = "dummy"
+
+        assert registry.get("other") is Dummy
+        with pytest.raises(ValueError):
+            registry.get("dummy")
+
+    def test_missing_name_rejected(self):
+        registry = CompilerRegistry()
+        with pytest.raises(ValueError, match="no technique name"):
+            registry.register()(type("Anon", (StagedCompiler,), {}))
+
+    def test_conflicting_registration_rejected(self):
+        registry = CompilerRegistry()
+
+        @registry.register()
+        class First(StagedCompiler):
+            technique = "clash"
+
+        with pytest.raises(ValueError, match="already registered"):
+            @registry.register()
+            class Second(StagedCompiler):
+                technique = "clash"
+
+    def test_reregistering_same_class_is_noop(self):
+        registry = CompilerRegistry()
+
+        @registry.register()
+        class Stable(StagedCompiler):
+            technique = "stable"
+
+        assert registry.register()(Stable) is Stable
+        assert len(registry) == 1
+
+    def test_iteration_sorted(self):
+        registry = CompilerRegistry()
+        for name in ("zeta", "alpha"):
+            registry.register(name)(type(name.title(), (StagedCompiler,), {"technique": name}))
+        assert list(registry) == ["alpha", "zeta"]
+
+
+class TestMakeConfig:
+    def test_filters_to_consumed_knobs(self):
+        from repro.core.scheduler import SchedulerConfig
+        from repro.layout.placement import PlacementConfig
+
+        placement = PlacementConfig(seed=99)
+        scheduler = SchedulerConfig(seed=42, return_home=False)
+        eldi = EldiCompiler.make_config(
+            placement=placement, scheduler=scheduler, transpile_input=False
+        )
+        assert not hasattr(eldi, "placement")
+        assert eldi.transpile_input is False
+
+        graphine = GraphineCompiler.make_config(
+            placement=placement, scheduler=scheduler, transpile_input=False
+        )
+        assert graphine.placement == placement
+        assert not hasattr(graphine, "scheduler")
+
+        parallax = ParallaxCompiler.make_config(
+            placement=placement, scheduler=scheduler, transpile_input=False
+        )
+        assert parallax.placement == placement
+        assert parallax.scheduler == scheduler
+
+    def test_none_values_fall_back_to_defaults(self):
+        config = ParallaxCompiler.make_config(placement=None, scheduler=None)
+        assert config == ParallaxCompiler.default_config()

@@ -1,0 +1,108 @@
+"""Tests for repro.pipeline.stage: PassPipeline mechanics and timing hooks."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.compiler import ParallaxCompiler
+from repro.hardware.spec import HardwareSpec
+from repro.pipeline.stage import (
+    STAGE_NAMES,
+    CompileContext,
+    PassPipeline,
+    PipelineStage,
+    install_pipeline_timer,
+    installed_pipeline_timer,
+    profiled_pipeline,
+)
+from repro.utils.profiling import PhaseTimer
+
+
+def small_circuit():
+    return QuantumCircuit(2, "tiny").h(0).cx(0, 1)
+
+
+@pytest.fixture
+def ctx():
+    return CompileContext(circuit=small_circuit(), spec=HardwareSpec.quera_aquila())
+
+
+class TestPassPipeline:
+    def test_runs_stages_in_order(self, ctx):
+        order = []
+
+        def make(name):
+            def run(context):
+                order.append(name)
+                if name == "last":
+                    context.result = "sentinel"
+            return PipelineStage(name, run)
+
+        pipeline = PassPipeline([make("first"), make("second"), make("last")])
+        assert pipeline.run(ctx) == "sentinel"
+        assert order == ["first", "second", "last"]
+
+    def test_missing_result_raises(self, ctx):
+        pipeline = PassPipeline([PipelineStage("noop", lambda c: None)])
+        with pytest.raises(RuntimeError, match="without producing a result"):
+            pipeline.run(ctx)
+
+    def test_duplicate_stage_names_rejected(self):
+        stages = [PipelineStage("a", lambda c: None), PipelineStage("a", lambda c: None)]
+        with pytest.raises(ValueError, match="duplicate"):
+            PassPipeline(stages)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            PassPipeline([])
+
+    def test_canonical_stage_names(self):
+        assert STAGE_NAMES == ("transpile", "layout", "placement", "schedule", "finalize")
+
+
+class TestTimingHooks:
+    def test_explicit_timer_records_every_stage(self, ctx):
+        timer = PhaseTimer()
+
+        def finish(context):
+            context.result = "done"
+
+        pipeline = PassPipeline(
+            [PipelineStage("work", lambda c: None), PipelineStage("finish", finish)],
+            technique="demo",
+            timer=timer,
+        )
+        pipeline.run(ctx)
+        assert set(timer.totals()) == {"demo.work", "demo.finish"}
+        assert timer.counts()["demo.work"] == 1
+
+    def test_installed_timer_used_when_no_override(self):
+        timer = PhaseTimer()
+        previous = install_pipeline_timer(timer)
+        try:
+            ParallaxCompiler(HardwareSpec.quera_aquila()).compile(small_circuit())
+        finally:
+            install_pipeline_timer(previous)
+        phases = set(timer.totals())
+        assert phases == {f"parallax.{name}" for name in STAGE_NAMES}
+
+    def test_profiled_pipeline_scopes_installation(self):
+        assert installed_pipeline_timer() is None
+        with profiled_pipeline() as timer:
+            assert installed_pipeline_timer() is timer
+            ParallaxCompiler(HardwareSpec.quera_aquila()).compile(small_circuit())
+        assert installed_pipeline_timer() is None
+        assert timer.totals()  # phases were recorded inside the scope
+
+    def test_untimed_by_default(self):
+        # No timer installed: compile still works, nothing recorded anywhere.
+        result = ParallaxCompiler(HardwareSpec.quera_aquila()).compile(small_circuit())
+        assert result.num_cz > 0
+
+
+class TestCompileContext:
+    def test_footprint_empty(self, ctx):
+        assert ctx.footprint() == (0, 0)
+
+    def test_footprint_bounding_box(self, ctx):
+        ctx.sites = [(2, 3), (4, 3), (2, 7)]
+        assert ctx.footprint() == (3, 5)
