@@ -22,6 +22,9 @@ SC 2024).  It contains:
 - ``repro.timing``        -- runtime / total-execution-time models.
 - ``repro.benchcircuits`` -- the 18 evaluation workloads (Table III).
 - ``repro.experiments``   -- per-figure/table experiment runners.
+- ``repro.sweeps``        -- declarative hardware/noise scenario sweeps over
+  the batch engine, with a vectorized Monte Carlo evaluator and a
+  resumable content-addressed result store.
 """
 
 from repro.circuit import Gate, QuantumCircuit

@@ -7,6 +7,7 @@ technique::
     python -m repro.cli circuit.qasm --technique parallax --machine quera
     python -m repro.cli --benchmark QAOA --technique all --jobs 3
     python -m repro.cli circuit.qasm --technique all --shots 8000
+    python -m repro.cli --benchmark ADD --technique all --mc-shots 20000
 
 Techniques are resolved by name through the
 :mod:`repro.pipeline.registry`, benchmarks through
@@ -84,6 +85,21 @@ def main(argv: list[str] | None = None) -> int:
         help="if > 0, also report parallelized total execution time",
     )
     parser.add_argument(
+        "--mc-shots",
+        type=int,
+        default=0,
+        metavar="N",
+        help="if > 0, also sample N Monte Carlo noisy shots per technique "
+        "(vectorized) and report the empirical success rate +/- stderr",
+    )
+    parser.add_argument(
+        "--mc-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the Monte Carlo shot sampler (default: 0)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -144,6 +160,13 @@ def main(argv: list[str] | None = None) -> int:
             round(result.runtime_us, 1),
             f"{success_probability(result):.3e}",
         ]
+        if args.mc_shots > 0:
+            from repro.sim.noisy import NoisyShotSimulator
+
+            outcome = NoisyShotSimulator(result, seed=args.mc_seed).run(
+                args.mc_shots
+            )
+            row.append(f"{outcome.success_rate:.4f}+/-{outcome.stderr():.4f}")
         if args.shots > 0:
             factor = parallelization_factor(result, spec)
             total_s = total_execution_time_us(result, args.shots, spec=spec) / 1e6
@@ -151,6 +174,8 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(row)
 
     headers = ["technique", "cz", "u3", "swaps", "layers", "runtime_us", "success"]
+    if args.mc_shots > 0:
+        headers.append(f"empirical_{args.mc_shots}")
     if args.shots > 0:
         headers.extend(["parallel_copies", f"time_{args.shots}_shots_s"])
     print(

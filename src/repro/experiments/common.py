@@ -29,7 +29,7 @@ from repro.core.scheduler import SchedulerConfig
 from repro.hardware.spec import HardwareSpec
 from repro.layout.graphine import GraphineLayout, generate_layout
 from repro.layout.placement import PlacementConfig
-from repro.pipeline.batch import compile_many
+from repro.pipeline.batch import CompileTask, compile_many, compile_tasks
 from repro.pipeline.cache import CompilationCache
 from repro.pipeline.registry import get_compiler
 from repro.transpile.pipeline import transpile
@@ -48,6 +48,7 @@ __all__ = [
     "prepared_layout",
     "compile_one",
     "compile_batch",
+    "compile_points",
     "result_cache",
     "settings_config_factory",
     "clear_caches",
@@ -212,3 +213,32 @@ def compile_batch(
         cache=_result_cache,
         config_factory=settings_config_factory(settings, return_home),
     )
+
+
+def compile_points(
+    points: "Sequence[tuple[str, str, HardwareSpec]]",
+    settings: ExperimentSettings | None = None,
+    return_home: bool = True,
+    workers: int = 1,
+) -> list[CompilationResult]:
+    """Compile an explicit (possibly non-product) list of points.
+
+    Each point is a ``(benchmark acronym, technique, spec)`` triple; unlike
+    :func:`compile_batch` the list need not be a full cartesian product, so
+    callers (the scenario-sweep runner) can dedup shared compilations before
+    dispatch.  Routed through
+    :func:`~repro.pipeline.batch.compile_tasks` against the shared
+    experiment cache with the same configs :func:`compile_one` uses, so
+    sweep compilations and figure compilations hit the same cache entries.
+    Results come back in point order, bit-identical for any ``workers``.
+    """
+    settings = settings or ExperimentSettings()
+    factory = settings_config_factory(settings, return_home)
+    tasks = []
+    for benchmark, technique, spec in points:
+        get_compiler(technique)  # fail fast on unknown techniques
+        circuit = prepared_circuit(benchmark)
+        tasks.append(
+            CompileTask(technique, circuit, spec, factory(technique, circuit, spec))
+        )
+    return compile_tasks(tasks, workers=workers, cache=_result_cache)

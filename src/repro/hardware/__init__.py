@@ -7,7 +7,7 @@ manipulates: static SLM traps, the mobile AOD (rows/columns with ordering
 and tandem-motion constraints), atoms, and the discretized grid.
 """
 
-from repro.hardware.spec import HardwareSpec
+from repro.hardware.spec import HardwareSpec, TRAP_SWITCHES_PER_RESOLUTION
 from repro.hardware.atom import Atom, TrapType
 from repro.hardware.slm import SLM
 from repro.hardware.aod import AOD, AODOrderError
@@ -27,6 +27,7 @@ from repro.hardware.geometry import (
 
 __all__ = [
     "HardwareSpec",
+    "TRAP_SWITCHES_PER_RESOLUTION",
     "Atom",
     "TrapType",
     "SLM",

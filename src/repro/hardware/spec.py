@@ -17,9 +17,16 @@ from repro.utils.validation import (
     check_probability,
 )
 
-__all__ = ["HardwareSpec"]
+__all__ = ["HardwareSpec", "TRAP_SWITCHES_PER_RESOLUTION"]
 
 _US_PER_S = 1e6
+
+#: Trap switches charged per trap-change resolution: one SLM->AOD pick-up and
+#: one AOD->SLM drop-off (Section II-D).  This is the single source of truth
+#: shared by the analytic noise model (`repro.noise.fidelity`), the Monte
+#: Carlo sampler (`repro.sim.noisy`), and the runtime decomposition
+#: (`repro.timing.runtime`), which previously carried independent copies.
+TRAP_SWITCHES_PER_RESOLUTION: int = 2
 
 
 @dataclass(frozen=True)

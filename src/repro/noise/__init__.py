@@ -11,8 +11,16 @@ Fig. 10 numbers exclude it); both are exposed as options.
 
 from repro.noise.fidelity import (
     success_probability,
+    channel_probabilities,
     decoherence_factor,
+    ChannelProbabilities,
     NoiseModelConfig,
 )
 
-__all__ = ["success_probability", "decoherence_factor", "NoiseModelConfig"]
+__all__ = [
+    "success_probability",
+    "channel_probabilities",
+    "decoherence_factor",
+    "ChannelProbabilities",
+    "NoiseModelConfig",
+]

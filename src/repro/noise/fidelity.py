@@ -6,10 +6,16 @@ import math
 from dataclasses import dataclass
 
 from repro.core.result import CompilationResult
-from repro.hardware.spec import HardwareSpec
+from repro.hardware.spec import HardwareSpec, TRAP_SWITCHES_PER_RESOLUTION
 from repro.utils.validation import check_non_negative
 
-__all__ = ["NoiseModelConfig", "decoherence_factor", "success_probability"]
+__all__ = [
+    "ChannelProbabilities",
+    "NoiseModelConfig",
+    "channel_probabilities",
+    "decoherence_factor",
+    "success_probability",
+]
 
 
 @dataclass(frozen=True)
@@ -22,13 +28,37 @@ class NoiseModelConfig:
             paper's Fig. 10 numbers calibrate to gate products only --
             see DESIGN.md).
         include_movement: per-move atom-loss error and per-trap-switch error.
-        trap_switches_per_resolution: switches charged per trap-change event.
+        trap_switches_per_resolution: switches charged per trap-change event;
+            defaults to the shared
+            :data:`~repro.hardware.spec.TRAP_SWITCHES_PER_RESOLUTION`
+            constant, the same assumption the runtime decomposition uses.
     """
 
     include_decoherence: bool = True
     include_readout: bool = False
     include_movement: bool = True
-    trap_switches_per_resolution: int = 2
+    trap_switches_per_resolution: int = TRAP_SWITCHES_PER_RESOLUTION
+
+
+@dataclass(frozen=True)
+class ChannelProbabilities:
+    """Per-channel survival probabilities of one shot of a compiled circuit.
+
+    The single source of the Table II error-channel arithmetic: both the
+    closed-form :func:`success_probability` and the Monte Carlo sampler in
+    :mod:`repro.sim.noisy` consume these numbers, so the analytic estimate
+    and the empirical rate can never use different formulas.
+    """
+
+    gates: float
+    movement: float = 1.0
+    decoherence: float = 1.0
+    readout: float = 1.0
+
+    @property
+    def product(self) -> float:
+        """Probability that no channel fires: the shot succeeds."""
+        return self.gates * self.movement * self.decoherence * self.readout
 
 
 def decoherence_factor(
@@ -44,6 +74,39 @@ def decoherence_factor(
     return math.exp(-num_qubits * runtime_us * rate)
 
 
+def channel_probabilities(
+    result: CompilationResult,
+    config: NoiseModelConfig | None = None,
+) -> ChannelProbabilities:
+    """Survival probability of each Table II error channel for one shot.
+
+    Channels excluded by ``config`` report probability 1.0 (they never
+    fire), so the product is always the configured success estimate.
+    """
+    config = config or NoiseModelConfig()
+    spec = result.spec
+    gates = (
+        (1.0 - spec.cz_error) ** result.num_cz
+        * (1.0 - spec.u3_error) ** result.num_u3
+        * (1.0 - spec.ccz_error) ** result.num_ccz
+    )
+    movement = 1.0
+    if config.include_movement:
+        switches = result.trap_change_events * config.trap_switches_per_resolution
+        movement = (1.0 - spec.move_error) ** result.num_moves * (
+            1.0 - spec.trap_switch_error
+        ) ** switches
+    decoherence = 1.0
+    if config.include_decoherence:
+        decoherence = decoherence_factor(result.runtime_us, result.num_qubits, spec)
+    readout = 1.0
+    if config.include_readout:
+        readout = (1.0 - spec.readout_error) ** result.num_qubits
+    return ChannelProbabilities(
+        gates=gates, movement=movement, decoherence=decoherence, readout=readout
+    )
+
+
 def success_probability(
     result: CompilationResult,
     config: NoiseModelConfig | None = None,
@@ -54,17 +117,4 @@ def success_probability(
     expanded to three CZs in ``result.num_cz``), U3 gates, optional
     movement/trap-switch losses, decoherence, and optional readout.
     """
-    config = config or NoiseModelConfig()
-    spec = result.spec
-    prob = (1.0 - spec.cz_error) ** result.num_cz
-    prob *= (1.0 - spec.u3_error) ** result.num_u3
-    prob *= (1.0 - spec.ccz_error) ** result.num_ccz
-    if config.include_movement:
-        prob *= (1.0 - spec.move_error) ** result.num_moves
-        switches = result.trap_change_events * config.trap_switches_per_resolution
-        prob *= (1.0 - spec.trap_switch_error) ** switches
-    if config.include_decoherence:
-        prob *= decoherence_factor(result.runtime_us, result.num_qubits, spec)
-    if config.include_readout:
-        prob *= (1.0 - spec.readout_error) ** result.num_qubits
-    return prob
+    return channel_probabilities(result, config).product

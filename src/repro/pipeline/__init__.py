@@ -52,8 +52,13 @@ from repro.pipeline.fingerprint import (
     fingerprint_obj,
     fingerprint_spec,
 )
-from repro.pipeline.cache import CacheStats, CompilationCache
-from repro.pipeline.batch import CompileTask, compile_many, derive_task_seed
+from repro.pipeline.cache import CacheStats, CompilationCache, atomic_write_text
+from repro.pipeline.batch import (
+    CompileTask,
+    compile_many,
+    compile_tasks,
+    derive_task_seed,
+)
 
 __all__ = [
     "STAGE_NAMES",
@@ -79,7 +84,9 @@ __all__ = [
     "fingerprint_spec",
     "CacheStats",
     "CompilationCache",
+    "atomic_write_text",
     "CompileTask",
     "compile_many",
+    "compile_tasks",
     "derive_task_seed",
 ]

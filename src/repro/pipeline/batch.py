@@ -28,7 +28,7 @@ if typing.TYPE_CHECKING:
     from repro.core.result import CompilationResult
     from repro.pipeline.cache import CompilationCache
 
-__all__ = ["CompileTask", "compile_many", "derive_task_seed"]
+__all__ = ["CompileTask", "compile_many", "compile_tasks", "derive_task_seed"]
 
 #: Stage timings (seconds) keyed by "<technique>.<stage>".
 StageTimings = typing.Dict[str, float]
@@ -150,7 +150,26 @@ def compile_many(
                     else _default_config(technique, circuit, spec, base_seed)
                 )
                 tasks.append(CompileTask(technique, circuit, spec, config))
+    return compile_tasks(
+        tasks, workers=workers, cache=cache, return_timings=return_timings
+    )
 
+
+def compile_tasks(
+    tasks: "Sequence[CompileTask]",
+    *,
+    workers: int = 1,
+    cache: "CompilationCache | None" = None,
+    return_timings: bool = False,
+):
+    """Compile an explicit list of :class:`CompileTask` units.
+
+    The lower-level entry behind :func:`compile_many` for callers whose work
+    is not a full cartesian product -- the scenario-sweep runner, for
+    example, dedups its (circuit, technique, spec) points before dispatch.
+    Cache hits are skipped, misses are written back, and results come back
+    in task order regardless of ``workers``.
+    """
     results: list = [None] * len(tasks)
     timings: list[StageTimings] = [{} for _ in tasks]
     pending: list[int] = []

@@ -24,7 +24,28 @@ if typing.TYPE_CHECKING:
     from repro.core.result import CompilationResult
     from repro.hardware.spec import HardwareSpec
 
-__all__ = ["CacheStats", "CompilationCache"]
+__all__ = ["CacheStats", "CompilationCache", "atomic_write_text"]
+
+
+def atomic_write_text(path: Path, text: str) -> bool:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    Concurrent writers (process-pool workers, parallel sweep jobs) each
+    write a pid-suffixed temporary file and rename it into place, so
+    readers never observe a half-written entry.  Returns False (after
+    cleaning up the temporary) when the filesystem refuses the write.
+    """
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+        return True
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
 
 
 @dataclass
@@ -160,12 +181,4 @@ class CompilationCache:
         path = self._path(key)
         if path is None:
             return
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        try:
-            tmp.write_text(dumps_result(result), encoding="utf-8")
-            tmp.replace(path)
-        except OSError:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
+        atomic_write_text(path, dumps_result(result))

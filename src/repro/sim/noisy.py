@@ -15,6 +15,15 @@ A shot "succeeds" when no channel fired -- the empirical success rate
 converges to :func:`repro.noise.fidelity.success_probability`'s analytic
 product, which the test suite verifies.  Lost atoms are replenished between
 physical shots (the paper's Section III), so shots are i.i.d.
+
+The per-channel survival probabilities come from
+:func:`repro.noise.fidelity.channel_probabilities` -- the same arithmetic
+the analytic estimate uses -- and the engine draws *all* shots' channel
+outcomes as one ``(shots, 4)`` array in a single pass (:meth:`run`).  The
+historical shot-at-a-time implementation survives as :meth:`run_loop`: it
+consumes the identical RNG stream, so with equal seeds the two paths return
+bit-identical :class:`ShotOutcome` objects (the seed-parity test), and it is
+the baseline the >=10x vectorization speedup is benchmarked against.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.result import CompilationResult
-from repro.noise.fidelity import NoiseModelConfig
+from repro.noise.fidelity import NoiseModelConfig, channel_probabilities
 from repro.utils.rng import ensure_rng
 
 __all__ = ["ShotOutcome", "NoisyShotSimulator"]
@@ -55,9 +64,41 @@ class ShotOutcome:
         return self.successes / self.shots if self.shots else 0.0
 
     def stderr(self) -> float:
-        """Binomial standard error of the success rate."""
-        p = self.success_rate
-        return math.sqrt(p * (1 - p) / self.shots) if self.shots else 0.0
+        """Standard error of the success rate.
+
+        Interior rates use the binomial formula ``sqrt(p (1-p) / n)``.  At
+        the boundaries (zero successes or zero failures) that formula
+        collapses to 0.0, falsely reporting an *exact* rate from finite
+        statistics; there the half-width of the one-sigma Wilson score
+        interval (``~0.5 / (n + 1)``) is returned instead, so downstream
+        error bars stay honest (cf. the rule of three for zero counts).
+        """
+        if not self.shots:
+            return 0.0
+        if 0 < self.successes < self.shots:
+            p = self.success_rate
+            return math.sqrt(p * (1 - p) / self.shots)
+        lo, hi = self.wilson_interval(z=1.0)
+        return (hi - lo) / 2.0
+
+    def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Wilson score confidence interval for the success rate.
+
+        Well-behaved at empirical rates of exactly 0 or 1, where the naive
+        binomial interval degenerates to a point: for zero successes at
+        ``z = 1.96`` the upper bound is ``~3.84 / n``, the Wilson analogue
+        of the rule-of-three bound ``3 / n``.
+
+        Args:
+            z: normal quantile (1.96 for a 95% interval, 1.0 for one sigma).
+        """
+        if not self.shots:
+            return (0.0, 1.0)
+        n, s = self.shots, self.successes
+        z2 = z * z
+        center = (s + z2 / 2.0) / (n + z2)
+        half = (z / (n + z2)) * math.sqrt(s * (n - s) / n + z2 / 4.0)
+        return (max(0.0, center - half), min(1.0, center + half))
 
 
 class NoisyShotSimulator:
@@ -72,53 +113,81 @@ class NoisyShotSimulator:
         self.result = result
         self.config = config or NoiseModelConfig()
         self.rng = ensure_rng(seed)
-        spec = result.spec
-        # Per-shot channel-survival probabilities (vectorized sampling).
-        self._p_gates = (
-            (1.0 - spec.cz_error) ** result.num_cz
-            * (1.0 - spec.u3_error) ** result.num_u3
-            * (1.0 - spec.ccz_error) ** result.num_ccz
+        self.channels = channel_probabilities(result, self.config)
+        #: Channel survival probabilities in sampling order
+        #: (gates, movement, decoherence, readout).
+        self._survival = np.array(
+            [
+                self.channels.gates,
+                self.channels.movement,
+                self.channels.decoherence,
+                self.channels.readout,
+            ]
         )
-        if self.config.include_movement:
-            switches = result.trap_change_events * self.config.trap_switches_per_resolution
-            self._p_move = (1.0 - spec.move_error) ** result.num_moves * (
-                1.0 - spec.trap_switch_error
-            ) ** switches
-        else:
-            self._p_move = 1.0
-        if self.config.include_decoherence:
-            rate = 1.0 / spec.t1_us + 1.0 / spec.t2_us
-            self._p_decohere = math.exp(-result.num_qubits * result.runtime_us * rate)
-        else:
-            self._p_decohere = 1.0
-        if self.config.include_readout:
-            self._p_readout = (1.0 - spec.readout_error) ** result.num_qubits
-        else:
-            self._p_readout = 1.0
 
-    def run(self, shots: int = 8000) -> ShotOutcome:
-        """Simulate ``shots`` logical shots; returns channel-wise counts."""
-        if shots <= 0:
-            raise ValueError(f"shots must be positive, got {shots}")
-        draws = self.rng.random((shots, 4))
-        gate_ok = draws[:, 0] < self._p_gates
-        move_ok = draws[:, 1] < self._p_move
-        decohere_ok = draws[:, 2] < self._p_decohere
-        readout_ok = draws[:, 3] < self._p_readout
+    def _tally(self, ok: np.ndarray, shots: int) -> ShotOutcome:
+        """Channel-wise first-failure attribution of an ``(shots, 4)`` mask."""
+        gate_ok, move_ok = ok[:, 0], ok[:, 1]
+        decohere_ok, readout_ok = ok[:, 2], ok[:, 3]
         success = gate_ok & move_ok & decohere_ok & readout_ok
-        gate_fail = ~gate_ok
         move_fail = gate_ok & ~move_ok
         deco_fail = gate_ok & move_ok & ~decohere_ok
         read_fail = gate_ok & move_ok & decohere_ok & ~readout_ok
         return ShotOutcome(
             shots=shots,
-            successes=int(success.sum()),
-            gate_failures=int(gate_fail.sum()),
-            movement_failures=int(move_fail.sum()),
-            decoherence_failures=int(deco_fail.sum()),
-            readout_failures=int(read_fail.sum()),
+            successes=int(np.count_nonzero(success)),
+            gate_failures=int(np.count_nonzero(~gate_ok)),
+            movement_failures=int(np.count_nonzero(move_fail)),
+            decoherence_failures=int(np.count_nonzero(deco_fail)),
+            readout_failures=int(np.count_nonzero(read_fail)),
+        )
+
+    def run(self, shots: int = 8000) -> ShotOutcome:
+        """Simulate ``shots`` logical shots; returns channel-wise counts.
+
+        Vectorized: every shot's four channel outcomes are drawn as one
+        ``(shots, 4)`` uniform array and compared against the survival
+        probabilities in a single pass -- no Python-level per-shot work.
+        """
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        draws = self.rng.random((shots, 4))
+        return self._tally(draws < self._survival, shots)
+
+    def run_loop(self, shots: int = 8000) -> ShotOutcome:
+        """Reference shot-at-a-time implementation of :meth:`run`.
+
+        Draws the same RNG stream in the same order as the vectorized path
+        (``shots`` successive length-4 uniform draws), so equal seeds give
+        bit-identical outcomes; kept as the seed-parity oracle and the
+        baseline for the vectorization benchmark.  Orders of magnitude
+        slower -- do not use outside tests and benchmarks.
+        """
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        p_gate, p_move, p_deco, p_read = self._survival
+        successes = gate_fail = move_fail = deco_fail = read_fail = 0
+        for _ in range(shots):
+            draws = self.rng.random(4)
+            if not draws[0] < p_gate:
+                gate_fail += 1
+            elif not draws[1] < p_move:
+                move_fail += 1
+            elif not draws[2] < p_deco:
+                deco_fail += 1
+            elif not draws[3] < p_read:
+                read_fail += 1
+            else:
+                successes += 1
+        return ShotOutcome(
+            shots=shots,
+            successes=successes,
+            gate_failures=gate_fail,
+            movement_failures=move_fail,
+            decoherence_failures=deco_fail,
+            readout_failures=read_fail,
         )
 
     def analytic_success(self) -> float:
         """The closed-form success probability this sampler converges to."""
-        return self._p_gates * self._p_move * self._p_decohere * self._p_readout
+        return self.channels.product

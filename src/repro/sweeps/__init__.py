@@ -1,0 +1,65 @@
+"""Scenario sweeps: hardware/noise parameter grids over the batch engine.
+
+This subsystem answers "how do the paper's conclusions move as the machine
+moves?" at scale: a declarative grid of (circuit, technique, hardware spec,
+noise model) scenarios is expanded deterministically, compiled through the
+parallel batch engine, evaluated by the vectorized Monte Carlo shot
+simulator, and persisted to a resumable content-addressed store.
+
+Components
+----------
+
+- :mod:`repro.sweeps.grid` -- :class:`SweepGrid`, the declarative grid: a
+  base :class:`~repro.hardware.spec.HardwareSpec` plus *spec axes* (any
+  spec field -> list of values) and *noise axes* (any
+  :class:`~repro.noise.fidelity.NoiseModelConfig` field -> values), crossed
+  with benchmarks and techniques.  Expansion yields :class:`Scenario`
+  objects in a fixed order with content-derived Monte Carlo seeds, so
+  results never depend on worker count, completion order, or grid
+  subsetting.  Spec fields only the noise model reads
+  (:data:`~repro.sweeps.grid.NOISE_ONLY_SPEC_FIELDS`) are detected at
+  expansion: scenarios differing only there share one compiled artifact.
+- :mod:`repro.sweeps.runner` -- :func:`run_sweep`: dedups the grid's unique
+  compile points, fans them through
+  :func:`repro.experiments.common.compile_points` (process pool + shared
+  compilation cache), then samples every scenario with
+  :class:`~repro.sim.noisy.NoisyShotSimulator`.
+- :mod:`repro.sweeps.store` -- :class:`SweepStore`: one atomically-written
+  JSON record per scenario, named by a SHA-256 scenario address covering
+  the circuit/config/spec/noise fingerprints plus shots, seed, and package
+  version (see the module docstring for the exact record schema).  A killed
+  sweep keeps every finished scenario; rerunning with ``resume`` skips them
+  byte-for-byte.
+- ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
+  explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
+  ``--jobs`` (compilation pool), ``--shots``, ``--store`` and ``--resume``.
+
+Example::
+
+    from repro.sweeps import SweepGrid, SweepStore, run_sweep
+
+    grid = SweepGrid(
+        benchmarks=("ADD", "QAOA"),
+        techniques=("parallax", "graphine"),
+        spec_axes={"cz_error": (0.0024, 0.0048, 0.0096)},
+        noise_axes={"include_readout": (False, True)},
+        shots=2000,
+    )
+    report = run_sweep(grid, SweepStore("sweep-out"), resume=True, workers=8)
+    best = max(report.records, key=lambda r: r["outcome"]["success_rate"])
+"""
+
+from repro.sweeps.grid import NOISE_ONLY_SPEC_FIELDS, Scenario, SweepGrid
+from repro.sweeps.runner import SweepReport, run_sweep
+from repro.sweeps.store import SCHEMA_VERSION, SweepStore, scenario_key
+
+__all__ = [
+    "NOISE_ONLY_SPEC_FIELDS",
+    "Scenario",
+    "SweepGrid",
+    "SweepReport",
+    "run_sweep",
+    "SCHEMA_VERSION",
+    "SweepStore",
+    "scenario_key",
+]

@@ -1,0 +1,206 @@
+"""Command-line scenario-sweep driver.
+
+Examples::
+
+    python -m repro.sweeps --preset smoke --shots 200
+    python -m repro.sweeps --jobs 8 --store sweep-out
+    python -m repro.sweeps --store sweep-out --resume --jobs 8
+    python -m repro.sweeps --benchmarks ADD,QAOA --techniques parallax \\
+        --spec-axis cz_error=0.0024,0.0048,0.0096 \\
+        --noise-axis include_readout=false,true --shots 2000
+
+``--store DIR`` persists every scenario record as it is evaluated;
+rerunning with ``--resume`` skips everything already on disk, so an
+interrupted sweep continues where it stopped.  Results are bit-identical
+for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hardware.spec import HardwareSpec
+from repro.sweeps.grid import SweepGrid
+from repro.sweeps.runner import run_sweep
+from repro.sweeps.store import SweepStore
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+_MACHINES = {
+    "quera": HardwareSpec.quera_aquila,
+    "atom": HardwareSpec.atom_computing,
+}
+
+
+def _parse_value(token: str):
+    """Axis value literal: int, float, bool, or bare string."""
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token.strip()
+
+
+def _parse_axes(entries: list[str] | None) -> dict:
+    """``FIELD=v1,v2,...`` option strings -> axis mapping."""
+    axes: dict = {}
+    for entry in entries or []:
+        name, _, values = entry.partition("=")
+        if not values:
+            raise argparse.ArgumentTypeError(
+                f"axis {entry!r} must look like FIELD=VALUE[,VALUE...]"
+            )
+        axes[name.strip()] = tuple(_parse_value(v) for v in values.split(","))
+    return axes
+
+
+def _summary_rows(records) -> list[list]:
+    """Aggregate records into one row per (benchmark, technique)."""
+    groups: dict[tuple[str, str], list] = {}
+    for record in records:
+        scenario = record["scenario"]
+        groups.setdefault(
+            (scenario["benchmark"], scenario["technique"]), []
+        ).append(record)
+    rows = []
+    for (benchmark, technique), group in sorted(groups.items()):
+        empirical = [r["outcome"]["success_rate"] for r in group]
+        analytic = [r["analytic_success"] for r in group]
+        rows.append(
+            [
+                benchmark,
+                technique,
+                len(group),
+                f"{sum(analytic) / len(analytic):.4f}",
+                f"{sum(empirical) / len(empirical):.4f}",
+                f"{min(empirical):.4f}",
+                f"{max(empirical):.4f}",
+            ]
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps",
+        description="Sweep (circuit x technique x hardware x noise) scenarios "
+        "through the batch compiler and the vectorized noisy-shot engine.",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("smoke", "default"),
+        default="default",
+        help="base grid: 'default' is 108 scenarios over CZ error, T2, and "
+        "readout; 'smoke' is an 8-scenario CI grid (default: default)",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="CSV",
+        help="comma-separated Table III acronyms overriding the preset",
+    )
+    parser.add_argument(
+        "--techniques", default=None, metavar="CSV",
+        help="comma-separated technique names overriding the preset",
+    )
+    parser.add_argument(
+        "--machine", choices=sorted(_MACHINES), default=None,
+        help="base machine overriding the preset's (quera or atom)",
+    )
+    parser.add_argument(
+        "--spec-axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a HardwareSpec field (repeatable; overrides preset axes)",
+    )
+    parser.add_argument(
+        "--noise-axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a NoiseModelConfig field (repeatable; overrides preset axes)",
+    )
+    parser.add_argument(
+        "--shots", type=int, default=1000, metavar="N",
+        help="Monte Carlo shots per scenario (default: 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="root seed the per-scenario seeds derive from (default: 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="compilation process-pool size (default: 1); results are "
+        "bit-identical for any value",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist per-scenario records to DIR (written as evaluated)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios already present in --store",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only run the first N scenarios of the grid",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+
+    preset = SweepGrid.smoke if args.preset == "smoke" else SweepGrid.default
+    grid = preset(shots=args.shots, base_seed=args.seed)
+    overrides: dict = {}
+    if args.benchmarks:
+        overrides["benchmarks"] = tuple(
+            b.strip().upper() for b in args.benchmarks.split(",")
+        )
+    if args.techniques:
+        overrides["techniques"] = tuple(
+            t.strip() for t in args.techniques.split(",")
+        )
+    if args.machine:
+        overrides["base_spec"] = _MACHINES[args.machine]()
+    try:
+        if args.spec_axis:
+            overrides["spec_axes"] = _parse_axes(args.spec_axis)
+        if args.noise_axis:
+            overrides["noise_axes"] = _parse_axes(args.noise_axis)
+        if overrides:
+            from dataclasses import replace
+
+            grid = replace(grid, **overrides)
+    except (argparse.ArgumentTypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.limit is not None and args.limit <= 0:
+        parser.error("--limit must be positive")
+
+    store = SweepStore(args.store) if args.store else None
+    log = None if args.quiet else print
+    report = run_sweep(
+        grid, store, resume=args.resume, workers=args.jobs,
+        limit=args.limit, log=log,
+    )
+
+    print(
+        format_table(
+            ["benchmark", "technique", "scenarios", "analytic(mean)",
+             "empirical(mean)", "empirical(min)", "empirical(max)"],
+            _summary_rows(report.records),
+            title=f"{report.scenarios} scenarios, {args.shots} shots each -- "
+            f"{report.computed} computed, {report.resumed} resumed, "
+            f"{report.compilations} compilations, {report.elapsed_s:.1f}s",
+        )
+    )
+    if store is not None:
+        print(f"store: {store.directory} ({len(store)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Declarative scenario grids over hardware and noise parameters.
+
+A :class:`SweepGrid` describes a cartesian product of scenarios::
+
+    benchmarks x techniques x spec-axis points x noise-axis points
+
+where *spec axes* vary :class:`~repro.hardware.spec.HardwareSpec` fields
+(e.g. ``cz_error``, ``aod_rows``, ``trap_switch_time_us``) and *noise axes*
+vary :class:`~repro.noise.fidelity.NoiseModelConfig` options.  Expansion is
+pure and deterministic: the same grid always yields the same scenarios in
+the same order, each with a Monte Carlo seed derived by hashing the
+scenario's content (never its position), so results are independent of
+worker count and completion order.
+
+Spec fields that only the noise model reads (error rates and coherence
+times -- :data:`NOISE_ONLY_SPEC_FIELDS`) are recognised at expansion time:
+scenarios that differ only in those fields share one compiled artifact, so
+an error-rate sweep costs one compilation, not one per grid point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+from dataclasses import dataclass, field, replace
+
+from repro.hardware.spec import HardwareSpec
+from repro.noise.fidelity import NoiseModelConfig
+from repro.pipeline.batch import derive_task_seed
+from repro.pipeline.fingerprint import fingerprint_obj, fingerprint_spec
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Mapping, Sequence
+
+__all__ = ["NOISE_ONLY_SPEC_FIELDS", "Scenario", "SweepGrid"]
+
+#: HardwareSpec fields consumed exclusively by the noise model
+#: (`repro.noise.fidelity` / `repro.sim.noisy`) -- never by compilation.
+#: Varying only these fields cannot change a compiled schedule, so the sweep
+#: runner reuses one compilation across all their values.
+NOISE_ONLY_SPEC_FIELDS: frozenset = frozenset(
+    {
+        "u3_error",
+        "cz_error",
+        "ccz_error",
+        "swap_error",
+        "move_error",
+        "trap_switch_error",
+        "readout_error",
+        "atom_loss_rate",
+        "t1_us",
+        "t2_us",
+    }
+)
+
+_SPEC_FIELDS = frozenset(f.name for f in dataclasses.fields(HardwareSpec))
+_NOISE_FIELDS = frozenset(f.name for f in dataclasses.fields(NoiseModelConfig))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified (circuit, technique, spec, noise) sweep point.
+
+    Attributes:
+        benchmark: Table III benchmark acronym.
+        technique: registered compiler name.
+        spec: the *effective* hardware spec the noise model evaluates.
+        compile_spec: the spec compilation runs against -- identical to
+            ``spec`` except that noise-only fields keep their base values,
+            so scenarios differing only in error rates share one compiled
+            artifact.
+        spec_overrides: the (field, value) pairs this scenario's spec axes
+            applied, for human-readable reports.
+        noise: the noise-model configuration.
+        shots: Monte Carlo logical shots.
+        seed: per-scenario RNG seed (a pure hash of the scenario content).
+    """
+
+    benchmark: str
+    technique: str
+    spec: HardwareSpec
+    compile_spec: HardwareSpec
+    spec_overrides: tuple
+    noise: NoiseModelConfig
+    shots: int
+    seed: int
+
+    def describe(self) -> str:
+        """Compact one-line label, e.g. ``ADD/parallax cz_error=0.0024``."""
+        parts = [f"{self.benchmark}/{self.technique}"]
+        parts += [f"{name}={value}" for name, value in self.spec_overrides]
+        if self.noise != NoiseModelConfig():
+            parts.append(f"noise={self.noise}")
+        return " ".join(parts)
+
+
+def _check_axes(axes: "Mapping[str, Sequence]", valid: frozenset, kind: str) -> dict:
+    """Validate axis names/values; returns a field-sorted plain dict."""
+    cleaned: dict = {}
+    for name in sorted(axes):
+        if name not in valid:
+            raise ValueError(
+                f"unknown {kind} axis field {name!r}; valid fields: "
+                f"{sorted(valid)}"
+            )
+        values = tuple(axes[name])
+        if not values:
+            raise ValueError(f"{kind} axis {name!r} has no values")
+        cleaned[name] = values
+    return cleaned
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative parameter grid of noisy-execution scenarios.
+
+    Attributes:
+        benchmarks: Table III benchmark acronyms to sweep.
+        techniques: registered compiler names to sweep.
+        base_spec: the hardware spec every spec axis perturbs.
+        spec_axes: mapping of ``HardwareSpec`` field name -> values.
+        noise_axes: mapping of ``NoiseModelConfig`` field name -> values.
+        base_noise: the noise config every noise axis perturbs.
+        shots: Monte Carlo shots per scenario.
+        base_seed: root seed the per-scenario seeds are derived from.
+    """
+
+    benchmarks: tuple = ("ADD", "HLF", "QAOA")
+    techniques: tuple = ("parallax", "graphine", "eldi")
+    base_spec: HardwareSpec = field(default_factory=HardwareSpec.quera_aquila)
+    spec_axes: "Mapping[str, Sequence]" = field(default_factory=dict)
+    noise_axes: "Mapping[str, Sequence]" = field(default_factory=dict)
+    base_noise: NoiseModelConfig = field(default_factory=NoiseModelConfig)
+    shots: int = 1000
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("grid needs at least one benchmark")
+        if not self.techniques:
+            raise ValueError("grid needs at least one technique")
+        if self.shots <= 0:
+            raise ValueError(f"shots must be positive, got {self.shots}")
+        object.__setattr__(
+            self,
+            "benchmarks",
+            tuple(b.upper() for b in self.benchmarks),
+        )
+        object.__setattr__(self, "techniques", tuple(self.techniques))
+        object.__setattr__(
+            self, "spec_axes", _check_axes(self.spec_axes, _SPEC_FIELDS, "spec")
+        )
+        object.__setattr__(
+            self, "noise_axes", _check_axes(self.noise_axes, _NOISE_FIELDS, "noise")
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the grid expands to."""
+        total = len(self.benchmarks) * len(self.techniques)
+        for values in self.spec_axes.values():
+            total *= len(values)
+        for values in self.noise_axes.values():
+            total *= len(values)
+        return total
+
+    def _spec_points(self) -> "list[tuple[tuple, HardwareSpec, HardwareSpec]]":
+        """Expand spec axes into (overrides, effective spec, compile spec)."""
+        names = list(self.spec_axes)
+        points = []
+        for combo in itertools.product(*(self.spec_axes[n] for n in names)):
+            overrides = tuple(zip(names, combo))
+            compile_overrides = {
+                n: v for n, v in overrides if n not in NOISE_ONLY_SPEC_FIELDS
+            }
+            compile_spec = (
+                replace(self.base_spec, **compile_overrides)
+                if compile_overrides
+                else self.base_spec
+            )
+            effective = (
+                replace(compile_spec, **dict(overrides)) if overrides else compile_spec
+            )
+            points.append((overrides, effective, compile_spec))
+        return points
+
+    def _noise_points(self) -> "list[NoiseModelConfig]":
+        names = list(self.noise_axes)
+        return [
+            replace(self.base_noise, **dict(zip(names, combo)))
+            for combo in itertools.product(*(self.noise_axes[n] for n in names))
+        ]
+
+    def scenarios(self) -> "list[Scenario]":
+        """Expand the grid into its full, deterministically-ordered list.
+
+        Order is benchmark-major, then technique, then spec point (axes in
+        field-name order), then noise point.  Each scenario's Monte Carlo
+        seed is ``derive_task_seed`` of the scenario *content* (fingerprints
+        of spec and noise, plus benchmark/technique/shots), so reordering or
+        subsetting the grid never changes any scenario's draw stream.
+        """
+        # Fingerprints hoisted per distinct point: expansion stays linear in
+        # scenarios, not scenarios x hash cost (ROADMAP targets ~1e5 grids).
+        spec_points = [
+            (overrides, effective, compile_spec, fingerprint_spec(effective))
+            for overrides, effective, compile_spec in self._spec_points()
+        ]
+        noise_points = [
+            (noise, fingerprint_obj(noise)) for noise in self._noise_points()
+        ]
+        out = []
+        for benchmark in self.benchmarks:
+            for technique in self.techniques:
+                for overrides, effective, compile_spec, spec_fp in spec_points:
+                    for noise, noise_fp in noise_points:
+                        seed = derive_task_seed(
+                            self.base_seed,
+                            "sweep-mc",
+                            benchmark,
+                            technique,
+                            spec_fp,
+                            noise_fp,
+                            self.shots,
+                        )
+                        out.append(
+                            Scenario(
+                                benchmark=benchmark,
+                                technique=technique,
+                                spec=effective,
+                                compile_spec=compile_spec,
+                                spec_overrides=overrides,
+                                noise=noise,
+                                shots=self.shots,
+                                seed=seed,
+                            )
+                        )
+        return out
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def smoke(cls, shots: int = 200, base_seed: int = 0) -> "SweepGrid":
+        """Tiny grid (8 scenarios, 2 compilations) for CI smoke runs."""
+        return cls(
+            benchmarks=("ADD",),
+            techniques=("parallax", "graphine"),
+            spec_axes={"cz_error": (0.0048, 0.0096)},
+            noise_axes={"include_readout": (False, True)},
+            shots=shots,
+            base_seed=base_seed,
+        )
+
+    @classmethod
+    def default(cls, shots: int = 1000, base_seed: int = 0) -> "SweepGrid":
+        """The standard hardware/noise sweep: 108 scenarios, 9 compilations.
+
+        Sweeps the CZ error rate (the dominant Fig. 10 channel) around its
+        Table II value, the T2 coherence time, and the readout-error toggle;
+        every spec axis is noise-only, so all 108 scenarios are served by
+        the 3 x 3 benchmark/technique compilations.
+        """
+        return cls(
+            benchmarks=("ADD", "HLF", "QAOA"),
+            techniques=("parallax", "graphine", "eldi"),
+            spec_axes={
+                "cz_error": (0.0024, 0.0048, 0.0096),
+                "t2_us": (0.745e6, 1.49e6),
+            },
+            noise_axes={"include_readout": (False, True)},
+            shots=shots,
+            base_seed=base_seed,
+        )

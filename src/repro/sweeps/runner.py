@@ -1,0 +1,259 @@
+"""Execute a :class:`~repro.sweeps.grid.SweepGrid` end to end.
+
+The runner separates the two costs of a sweep:
+
+1. **Compilation** -- the unique ``(benchmark, technique, compile spec)``
+   points behind the scenario list (noise-only spec axes collapse here) are
+   deduplicated and fanned through the parallel batch engine
+   (:func:`repro.experiments.common.compile_points`, ``workers`` processes,
+   shared content-addressed cache).
+2. **Evaluation** -- every scenario is sampled in-process by the vectorized
+   :class:`~repro.sim.noisy.NoisyShotSimulator` (one ``(shots, 4)`` draw
+   per scenario; evaluation is far cheaper than compilation, so it never
+   needs the pool).
+
+Every scenario's compile config and Monte Carlo seed are fixed before any
+work runs, so the produced records are bit-identical for any ``workers``
+value.  With a :class:`~repro.sweeps.store.SweepStore` attached, each record
+is persisted as soon as it is evaluated; ``resume=True`` then skips every
+scenario already on disk, which is what lets an interrupted sweep restart
+without recomputation.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+from dataclasses import asdict, dataclass, replace
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    compile_points,
+    prepared_circuit,
+    settings_config_factory,
+)
+from repro.pipeline.fingerprint import fingerprint_config, fingerprint_circuit, fingerprint_spec
+from repro.sim.noisy import NoisyShotSimulator
+from repro.sweeps.grid import SweepGrid
+from repro.sweeps.store import SCHEMA_VERSION, SweepStore, scenario_key
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Callable
+    from repro.core.result import CompilationResult
+    from repro.sweeps.grid import Scenario
+
+__all__ = ["SweepReport", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Outcome of one sweep run.
+
+    Attributes:
+        records: one record dict per scenario, in grid order (see
+            :mod:`repro.sweeps.store` for the schema).
+        computed: scenarios evaluated in this run.
+        resumed: scenarios served from the store without recomputation.
+        compilations: unique compile points dispatched this run.
+        elapsed_s: wall-clock duration of the run.
+    """
+
+    records: tuple
+    computed: int
+    resumed: int
+    compilations: int
+    elapsed_s: float
+
+    @property
+    def scenarios(self) -> int:
+        return len(self.records)
+
+
+def _make_record(
+    scenario: "Scenario",
+    key: str,
+    result: "CompilationResult",
+    sim: NoisyShotSimulator,
+    outcome,
+    fingerprints: dict,
+) -> dict:
+    # Mirrors the on-disk payload exactly (schema_version and key included),
+    # so a computed record and its store round-trip compare equal.
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "key": key,
+        "scenario": {
+            "benchmark": scenario.benchmark,
+            "technique": scenario.technique,
+            "shots": scenario.shots,
+            "seed": scenario.seed,
+            "spec_name": scenario.spec.name,
+            "spec_overrides": dict(scenario.spec_overrides),
+            "noise": asdict(scenario.noise),
+            "fingerprints": fingerprints,
+        },
+        "result": {
+            "num_cz": result.num_cz,
+            "num_u3": result.num_u3,
+            "num_ccz": result.num_ccz,
+            "num_swaps": result.num_swaps,
+            "num_moves": result.num_moves,
+            "trap_change_events": result.trap_change_events,
+            "num_layers": result.num_layers,
+            "runtime_us": result.runtime_us,
+        },
+        "outcome": {
+            "shots": outcome.shots,
+            "successes": outcome.successes,
+            "gate_failures": outcome.gate_failures,
+            "movement_failures": outcome.movement_failures,
+            "decoherence_failures": outcome.decoherence_failures,
+            "readout_failures": outcome.readout_failures,
+            "success_rate": outcome.success_rate,
+            "stderr": outcome.stderr(),
+        },
+        "analytic_success": sim.analytic_success(),
+    }
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: SweepStore | None = None,
+    *,
+    resume: bool = False,
+    workers: int = 1,
+    limit: int | None = None,
+    settings: ExperimentSettings | None = None,
+    log: "Callable[[str], None] | None" = None,
+) -> SweepReport:
+    """Evaluate every scenario of ``grid``; returns records in grid order.
+
+    Args:
+        grid: the scenario grid to expand and evaluate.
+        store: optional on-disk store; every evaluated record is persisted
+            immediately (so a killed run keeps its progress).
+        resume: with a store, skip scenarios whose records already exist;
+            without it, existing entries are recomputed and overwritten.
+        workers: process-pool size for the compilation phase.
+        limit: only evaluate the first ``limit`` scenarios of the grid
+            (truncation cannot shift any scenario's content-derived seed).
+        settings: experiment settings the compile configs derive from
+            (defaults match the figure runners, so compilations are shared).
+        log: optional progress sink (e.g. ``print``).
+    """
+    start = time.perf_counter()
+    settings = settings or ExperimentSettings()
+    if limit is not None and limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+    scenarios = grid.scenarios()
+    if limit is not None:
+        scenarios = scenarios[:limit]
+    emit = log or (lambda message: None)
+    emit(f"sweep: {len(scenarios)} scenarios ({grid.size} grid points)")
+
+    factory = settings_config_factory(settings)
+    circuit_fps: dict[str, str] = {}
+    config_fps: dict[tuple, str] = {}
+    keys: list[str] = []
+    compile_ids: list[tuple] = []
+    for scenario in scenarios:
+        benchmark = scenario.benchmark
+        if benchmark not in circuit_fps:
+            circuit_fps[benchmark] = fingerprint_circuit(prepared_circuit(benchmark))
+        compile_id = (
+            benchmark,
+            scenario.technique,
+            fingerprint_spec(scenario.compile_spec),
+        )
+        if compile_id not in config_fps:
+            config_fps[compile_id] = fingerprint_config(
+                factory(
+                    scenario.technique,
+                    prepared_circuit(benchmark),
+                    scenario.compile_spec,
+                )
+            )
+        compile_ids.append(compile_id)
+        keys.append(
+            scenario_key(scenario, circuit_fps[benchmark], config_fps[compile_id])
+        )
+
+    records: list = [None] * len(scenarios)
+    resumed = 0
+    if store is not None and resume:
+        for index, key in enumerate(keys):
+            record = store.get(key)
+            if record is not None:
+                records[index] = record
+                resumed += 1
+        emit(f"sweep: resumed {resumed} scenarios from {store.directory}")
+
+    pending = [i for i, record in enumerate(records) if record is None]
+
+    # Dedup compile points across pending scenarios (order-preserving).
+    point_order: list[tuple] = []
+    point_specs: dict[tuple, tuple] = {}
+    for index in pending:
+        compile_id = compile_ids[index]
+        if compile_id not in point_specs:
+            point_order.append(compile_id)
+            scenario = scenarios[index]
+            point_specs[compile_id] = (
+                scenario.benchmark,
+                scenario.technique,
+                scenario.compile_spec,
+            )
+    compiled: dict[tuple, "CompilationResult"] = {}
+    if point_order:
+        emit(
+            f"sweep: compiling {len(point_order)} unique points "
+            f"for {len(pending)} scenarios (workers={workers})"
+        )
+        results = compile_points(
+            [point_specs[cid] for cid in point_order],
+            settings=settings,
+            workers=workers,
+        )
+        compiled = dict(zip(point_order, results))
+
+    computed = 0
+    for index in pending:
+        scenario = scenarios[index]
+        result = compiled[compile_ids[index]]
+        if scenario.spec != result.spec:
+            # Noise-only axes: swap the effective spec onto the shared
+            # compiled artifact (error rates never influence compilation).
+            result = replace(result, spec=scenario.spec)
+        sim = NoisyShotSimulator(result, scenario.noise, seed=scenario.seed)
+        outcome = sim.run(scenario.shots)
+        record = _make_record(
+            scenario,
+            keys[index],
+            result,
+            sim,
+            outcome,
+            fingerprints={
+                "circuit": circuit_fps[scenario.benchmark],
+                "spec": fingerprint_spec(scenario.spec),
+                "config": config_fps[compile_ids[index]],
+            },
+        )
+        if store is not None:
+            store.put(keys[index], record)
+        records[index] = record
+        computed += 1
+        if computed % 50 == 0:
+            emit(f"sweep: evaluated {computed}/{len(pending)} scenarios")
+
+    elapsed = time.perf_counter() - start
+    emit(
+        f"sweep: done -- {computed} computed, {resumed} resumed, "
+        f"{len(point_order)} compilations in {elapsed:.1f}s"
+    )
+    return SweepReport(
+        records=tuple(records),
+        computed=computed,
+        resumed=resumed,
+        compilations=len(point_order),
+        elapsed_s=elapsed,
+    )

@@ -1,0 +1,138 @@
+"""Resumable on-disk store for sweep results.
+
+One JSON file per scenario, named by the scenario's content address (see
+:func:`scenario_key`), written atomically so parallel jobs and interrupted
+runs never leave half-written entries.  Resuming a sweep is then just "skip
+every scenario whose file already exists" -- no journal, no index, safe
+under concurrent writers.
+
+Record schema (``SCHEMA_VERSION = 1``)::
+
+    {
+      "schema_version": 1,
+      "key": "<sha256 scenario address>",
+      "scenario": {
+        "benchmark", "technique", "shots", "seed",
+        "spec_name", "spec_overrides": {field: value},
+        "noise": {NoiseModelConfig fields},
+        "fingerprints": {"circuit", "spec", "config"}
+      },
+      "result": {"num_cz", "num_u3", "num_ccz", "num_swaps", "num_moves",
+                 "trap_change_events", "num_layers", "runtime_us"},
+      "outcome": {"shots", "successes", "gate_failures",
+                  "movement_failures", "decoherence_failures",
+                  "readout_failures", "success_rate", "stderr"},
+      "analytic_success": float
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import typing
+from pathlib import Path
+
+from repro.pipeline.cache import atomic_write_text
+from repro.pipeline.fingerprint import fingerprint_obj
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Iterator
+    from repro.sweeps.grid import Scenario
+
+__all__ = ["SCHEMA_VERSION", "SweepStore", "scenario_key"]
+
+SCHEMA_VERSION = 1
+
+
+def scenario_key(
+    scenario: "Scenario", circuit_fp: str, config_fp: str
+) -> str:
+    """Content address of one evaluated scenario.
+
+    Hashes everything the stored record is a pure function of: the circuit
+    and compile-config fingerprints (which pin the compiled artifact), the
+    effective spec, the noise configuration, and the shot count and seed of
+    the Monte Carlo run, plus the package version (results from older
+    engine code must not be resumed into newer sweeps).
+    """
+    from repro import __version__
+
+    return fingerprint_obj(
+        {
+            "benchmark": scenario.benchmark,
+            "technique": scenario.technique,
+            "circuit": circuit_fp,
+            "config": config_fp,
+            "spec": fingerprint_obj(scenario.spec),
+            "noise": fingerprint_obj(scenario.noise),
+            "shots": scenario.shots,
+            "seed": scenario.seed,
+            "version": __version__,
+        }
+    )
+
+
+class SweepStore:
+    """Directory of per-scenario JSON records, addressed by scenario key."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        """File backing ``key`` (exists iff the scenario was evaluated)."""
+        return self.directory / f"{key[:40]}.json"
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None (corrupt files count as
+        missing, so an interrupted write is simply recomputed)."""
+        path = self.path(key)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        if record.get("schema_version") != SCHEMA_VERSION:
+            return None
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Persist ``record`` under ``key`` atomically.
+
+        The stamped ``key``/``schema_version`` fields are authoritative
+        (they overwrite any stale values in ``record``), and a failed
+        write raises: a sweep whose store cannot persist must not keep
+        reporting scenarios as safely computed.
+        """
+        payload = {**record, "schema_version": SCHEMA_VERSION, "key": key}
+        text = json.dumps(payload, indent=None, sort_keys=True)
+        if not atomic_write_text(self.path(key), text):
+            raise OSError(f"failed to persist sweep record to {self.path(key)}")
+
+    def records(self) -> "Iterator[dict]":
+        """Every readable record in the store (arbitrary order)."""
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(record, dict) and record.get("schema_version") == SCHEMA_VERSION:
+                yield record
+
+    def clear(self) -> None:
+        """Delete every record file (used by tests and --no-resume runs)."""
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -3,6 +3,7 @@
 from repro.timing.runtime import (
     movement_time_us,
     trap_change_time_us,
+    gate_phase_residual_us,
     gate_phase_time_us,
     runtime_breakdown,
     RuntimeBreakdown,
@@ -11,6 +12,7 @@ from repro.timing.runtime import (
 __all__ = [
     "movement_time_us",
     "trap_change_time_us",
+    "gate_phase_residual_us",
     "gate_phase_time_us",
     "runtime_breakdown",
     "RuntimeBreakdown",

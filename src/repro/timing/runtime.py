@@ -8,15 +8,17 @@ ablations.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.core.result import CompilationResult
-from repro.hardware.spec import HardwareSpec
+from repro.hardware.spec import TRAP_SWITCHES_PER_RESOLUTION
 from repro.utils.validation import check_non_negative
 
 __all__ = [
     "movement_time_us",
     "trap_change_time_us",
+    "gate_phase_residual_us",
     "gate_phase_time_us",
     "runtime_breakdown",
     "RuntimeBreakdown",
@@ -34,9 +36,17 @@ def movement_time_us(result: CompilationResult) -> float:
 
 
 def trap_change_time_us(
-    result: CompilationResult, switches_per_resolution: int = 2
+    result: CompilationResult,
+    switches_per_resolution: int = TRAP_SWITCHES_PER_RESOLUTION,
 ) -> float:
-    """Total time spent in trap-change resolutions, in microseconds."""
+    """Total time spent in trap-change resolutions, in microseconds.
+
+    ``switches_per_resolution`` defaults to the shared
+    :data:`~repro.hardware.spec.TRAP_SWITCHES_PER_RESOLUTION` constant --
+    the same physical assumption
+    :class:`~repro.noise.fidelity.NoiseModelConfig` charges errors for, so
+    the runtime decomposition and the noise model cannot drift apart.
+    """
     check_non_negative("switches_per_resolution", switches_per_resolution)
     spec = result.spec
     per_event = (
@@ -46,31 +56,76 @@ def trap_change_time_us(
     return result.trap_change_events * per_event
 
 
+def gate_phase_residual_us(result: CompilationResult) -> float:
+    """Raw gate-phase residual: ``runtime_us`` minus movement and traps.
+
+    May be negative when the layer records are inconsistent with the
+    declared total runtime; callers that need the clamped Table IV number
+    use :func:`gate_phase_time_us`, which warns on such inconsistency.
+    """
+    return result.runtime_us - movement_time_us(result) - trap_change_time_us(result)
+
+
+def _check_residual(residual: float, result: CompilationResult) -> None:
+    """Warn when the residual is negative beyond floating-point noise."""
+    tolerance = max(1e-9, 1e-9 * abs(result.runtime_us))
+    if residual < -tolerance:
+        warnings.warn(
+            f"runtime decomposition of {result.circuit_name!r} "
+            f"({result.technique}) is inconsistent: movement + trap-change "
+            f"time exceeds runtime_us by {-residual:.6g} us; the layer sums "
+            "disagree with the declared total (gate phase clamped to 0.0)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def gate_phase_time_us(result: CompilationResult) -> float:
-    """Total time spent in gate pulses (the residual of the layer sums)."""
-    residual = result.runtime_us - movement_time_us(result) - trap_change_time_us(result)
+    """Total time spent in gate pulses (the residual of the layer sums).
+
+    Clamped at zero; a genuinely negative residual means the layer records
+    are inconsistent with ``runtime_us`` and raises a :class:`RuntimeWarning`
+    instead of being silently hidden (the raw value stays available through
+    :func:`gate_phase_residual_us`).
+    """
+    residual = gate_phase_residual_us(result)
+    _check_residual(residual, result)
     return max(residual, 0.0)
 
 
 @dataclass(frozen=True)
 class RuntimeBreakdown:
-    """Where a compiled circuit's runtime goes."""
+    """Where a compiled circuit's runtime goes.
+
+    ``residual_us`` is the raw (unclamped) gate-phase residual; it equals
+    ``gates_us`` whenever the layer records are consistent and goes negative
+    exactly when the decomposition warned about inconsistency.
+    """
 
     gates_us: float
     movement_us: float
     trap_changes_us: float
+    residual_us: float = 0.0
 
     @property
     def total_us(self) -> float:
         return self.gates_us + self.movement_us + self.trap_changes_us
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when no gate-phase time had to be clamped away."""
+        return self.residual_us >= -max(1e-9, 1e-9 * abs(self.total_us))
 
 
 def runtime_breakdown(result: CompilationResult) -> RuntimeBreakdown:
     """Decompose ``result.runtime_us`` into gate/movement/trap components."""
     movement = movement_time_us(result)
     traps = trap_change_time_us(result)
+    residual = result.runtime_us - movement - traps
+    _check_residual(residual, result)
     return RuntimeBreakdown(
-        gates_us=max(result.runtime_us - movement - traps, 0.0),
+        gates_us=max(residual, 0.0),
         movement_us=movement,
         trap_changes_us=traps,
+        residual_us=residual,
     )

@@ -43,7 +43,9 @@ class TestDiagnose:
         assert diag.max_gates_per_layer == 2
 
     def test_trap_change_fraction(self):
-        layers = [cz_layer(traps=1), cz_layer()]
+        # 210 us covers the ~200 us trap-change resolution, keeping the
+        # layer records consistent with the declared runtime.
+        layers = [cz_layer(traps=1, time_us=210.0), cz_layer()]
         result = make_result(layers, trap_change_events=1)
         diag = diagnose(result)
         assert diag.trap_change_fraction == pytest.approx(0.5)
@@ -78,7 +80,7 @@ class TestFlags:
         assert diag.flags() == []
 
     def test_cramped_topology_flagged(self):
-        layers = [cz_layer(traps=1) for _ in range(10)]
+        layers = [cz_layer(traps=1, time_us=210.0) for _ in range(10)]
         result = make_result(layers, trap_change_events=10)
         flags = diagnose(result).flags()
         assert any("cramped" in f for f in flags)
@@ -105,7 +107,7 @@ class TestFormat:
         assert "runtime split" in text
 
     def test_warnings_rendered(self):
-        layers = [cz_layer(traps=1) for _ in range(10)]
+        layers = [cz_layer(traps=1, time_us=210.0) for _ in range(10)]
         result = make_result(layers, trap_change_events=10)
         text = format_diagnostics(diagnose(result))
         assert "WARNING" in text

@@ -6,8 +6,11 @@ import pytest
 
 from repro.core.result import CompilationResult
 from repro.hardware.spec import HardwareSpec
+from repro.hardware.spec import TRAP_SWITCHES_PER_RESOLUTION
 from repro.noise.fidelity import (
+    ChannelProbabilities,
     NoiseModelConfig,
+    channel_probabilities,
     decoherence_factor,
     success_probability,
 )
@@ -118,3 +121,47 @@ class TestSuccessProbability:
         few = success_probability(make_result(num_cz=100))
         many = success_probability(make_result(num_cz=400))
         assert few > many
+
+
+class TestChannelProbabilities:
+    def test_product_equals_success_probability(self):
+        result = make_result(num_cz=120, num_u3=300, num_qubits=12,
+                             runtime_us=800.0, num_moves=40, trap_changes=6)
+        for config in (None, NoiseModelConfig(include_readout=True),
+                       NoiseModelConfig(include_movement=False)):
+            channels = channel_probabilities(result, config)
+            assert channels.product == pytest.approx(
+                success_probability(result, config)
+            )
+
+    def test_excluded_channels_never_fire(self):
+        result = make_result(num_moves=50, trap_changes=5, num_qubits=10,
+                             runtime_us=1e4)
+        channels = channel_probabilities(
+            result,
+            NoiseModelConfig(include_movement=False,
+                             include_decoherence=False),
+        )
+        assert channels.movement == 1.0
+        assert channels.decoherence == 1.0
+        assert channels.readout == 1.0
+
+    def test_default_trap_switch_count_is_shared_constant(self):
+        assert (
+            NoiseModelConfig().trap_switches_per_resolution
+            == TRAP_SWITCHES_PER_RESOLUTION
+        )
+
+    def test_channel_values_are_probabilities(self):
+        result = make_result(num_cz=1000, num_u3=2000, num_qubits=25,
+                             runtime_us=1e5, num_moves=300, trap_changes=40)
+        channels = channel_probabilities(
+            result, NoiseModelConfig(include_readout=True)
+        )
+        for value in (channels.gates, channels.movement,
+                      channels.decoherence, channels.readout):
+            assert 0.0 <= value <= 1.0
+
+    def test_dataclass_defaults(self):
+        channels = ChannelProbabilities(gates=0.5)
+        assert channels.product == pytest.approx(0.5)

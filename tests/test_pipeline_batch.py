@@ -4,7 +4,12 @@ import pytest
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.spec import HardwareSpec
-from repro.pipeline.batch import CompileTask, compile_many, derive_task_seed
+from repro.pipeline.batch import (
+    CompileTask,
+    compile_many,
+    compile_tasks,
+    derive_task_seed,
+)
 from repro.pipeline.cache import CompilationCache
 
 
@@ -134,3 +139,41 @@ class TestCompileMany:
         clone = pickle.loads(pickle.dumps(task))
         assert clone.technique == "parallax"
         assert clone.circuit.num_qubits == 3
+
+
+class TestCompileTasks:
+    def test_non_product_task_list(self, spec):
+        # An explicit list that is NOT a cartesian product: the sweep
+        # runner's dedup shape.
+        from repro.pipeline.registry import get_compiler
+
+        tasks = [
+            CompileTask("parallax", ghz(3), spec,
+                        get_compiler("parallax").make_config()),
+            CompileTask("eldi", ghz(4), spec,
+                        get_compiler("eldi").make_config()),
+        ]
+        results = compile_tasks(tasks)
+        assert [r.technique for r in results] == ["parallax", "eldi"]
+        assert [r.num_qubits for r in results] == [3, 4]
+
+    def test_matches_compile_many(self, spec):
+        from repro.pipeline.registry import get_compiler
+
+        config = get_compiler("parallax").make_config()
+        via_tasks = compile_tasks([CompileTask("parallax", ghz(3), spec, config)])
+        via_many = compile_many([ghz(3)], ["parallax"], [spec])
+        assert via_tasks[0].num_cz == via_many[0].num_cz
+        assert via_tasks[0].runtime_us == via_many[0].runtime_us
+
+    def test_cache_hits_and_write_back(self, spec):
+        from repro.pipeline.registry import get_compiler
+
+        cache = CompilationCache()
+        config = get_compiler("eldi").make_config()
+        tasks = [CompileTask("eldi", ghz(3), spec, config)]
+        first = compile_tasks(tasks, cache=cache)
+        assert cache.stats.stores == 1
+        second = compile_tasks(tasks, cache=cache)
+        assert cache.stats.hits == 1
+        assert second[0] is first[0]

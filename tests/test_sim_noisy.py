@@ -1,11 +1,13 @@
 """Tests for repro.sim.noisy: Monte Carlo shot simulation."""
 
+import math
+
 import pytest
 
 from repro.core.result import CompilationResult
 from repro.hardware.spec import HardwareSpec
 from repro.noise.fidelity import NoiseModelConfig, success_probability
-from repro.sim.noisy import NoisyShotSimulator
+from repro.sim.noisy import NoisyShotSimulator, ShotOutcome
 
 
 def make_result(**kwargs):
@@ -83,3 +85,124 @@ class TestNoisyShotSimulator:
         p_out = NoisyShotSimulator(parallax, seed=8).run(20_000)
         b_out = NoisyShotSimulator(baseline, seed=9).run(20_000)
         assert p_out.success_rate > b_out.success_rate
+
+
+class TestSeedParity:
+    """The vectorized engine and the per-shot reference loop are one path."""
+
+    def test_vectorized_matches_loop(self):
+        result = make_result()
+        vec = NoisyShotSimulator(result, seed=42).run(3000)
+        loop = NoisyShotSimulator(result, seed=42).run_loop(3000)
+        assert vec == loop
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            NoiseModelConfig(),
+            NoiseModelConfig(include_readout=True),
+            NoiseModelConfig(include_movement=False),
+            NoiseModelConfig(include_decoherence=False),
+            NoiseModelConfig(trap_switches_per_resolution=4),
+        ],
+    )
+    def test_parity_across_configs(self, config):
+        result = make_result(num_cz=500, num_moves=200, trap_change_events=8,
+                             runtime_us=2e4)
+        vec = NoisyShotSimulator(result, config, seed=11).run(1500)
+        loop = NoisyShotSimulator(result, config, seed=11).run_loop(1500)
+        assert vec == loop
+
+    def test_loop_rejects_invalid_shots(self):
+        with pytest.raises(ValueError):
+            NoisyShotSimulator(make_result()).run_loop(0)
+
+
+class TestChannelwiseAnalyticParity:
+    """Empirical rates converge to success_probability channel by channel."""
+
+    def _check(self, result, config, shots=40_000):
+        sim = NoisyShotSimulator(result, config, seed=5)
+        outcome = sim.run(shots)
+        analytic = success_probability(result, config)
+        assert sim.analytic_success() == pytest.approx(analytic)
+        margin = 4 * outcome.stderr() + 1e-3
+        assert outcome.success_rate == pytest.approx(analytic, abs=margin)
+        return outcome
+
+    def test_movement_only(self):
+        result = make_result(num_cz=0, num_u3=0, num_moves=2000,
+                             trap_change_events=100, runtime_us=0.0)
+        config = NoiseModelConfig(include_decoherence=False)
+        outcome = self._check(result, config)
+        assert outcome.movement_failures > 0
+        assert outcome.gate_failures == 0
+        assert outcome.decoherence_failures == 0
+
+    def test_readout_only(self):
+        result = make_result(num_cz=0, num_u3=0, num_moves=0,
+                             trap_change_events=0, runtime_us=0.0,
+                             num_qubits=15)
+        config = NoiseModelConfig(include_readout=True)
+        outcome = self._check(result, config)
+        assert outcome.readout_failures > 0
+        assert outcome.gate_failures == 0
+        assert outcome.movement_failures == 0
+
+    def test_decoherence_only(self):
+        result = make_result(num_cz=0, num_u3=0, num_moves=0,
+                             trap_change_events=0, runtime_us=5e4,
+                             num_qubits=10)
+        config = NoiseModelConfig(include_movement=False)
+        outcome = self._check(result, config)
+        assert outcome.decoherence_failures > 0
+        assert outcome.gate_failures == 0
+        assert outcome.movement_failures == 0
+
+
+class TestShotOutcomeStderr:
+    def _outcome(self, shots, successes):
+        return ShotOutcome(shots=shots, successes=successes,
+                           gate_failures=shots - successes,
+                           movement_failures=0, decoherence_failures=0,
+                           readout_failures=0)
+
+    def test_interior_rate_uses_binomial_formula(self):
+        outcome = self._outcome(1000, 400)
+        expected = math.sqrt(0.4 * 0.6 / 1000)
+        assert outcome.stderr() == pytest.approx(expected)
+
+    def test_all_successes_not_exact(self):
+        # p == 1.0 at finite shots must not report zero uncertainty.
+        outcome = self._outcome(1000, 1000)
+        assert outcome.stderr() > 0.0
+        assert outcome.stderr() == pytest.approx(0.5 / 1001, rel=1e-6)
+
+    def test_zero_successes_not_exact(self):
+        outcome = self._outcome(1000, 0)
+        assert outcome.stderr() > 0.0
+        assert outcome.stderr() == pytest.approx(0.5 / 1001, rel=1e-6)
+
+    def test_boundary_stderr_shrinks_with_shots(self):
+        small = self._outcome(100, 100).stderr()
+        large = self._outcome(10_000, 10_000).stderr()
+        assert large < small
+
+    def test_wilson_interval_brackets_rate(self):
+        outcome = self._outcome(500, 350)
+        lo, hi = outcome.wilson_interval()
+        assert lo < outcome.success_rate < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_rule_of_three_analogue(self):
+        # Zero successes at z=1.96: upper bound ~ z^2/n, the Wilson analogue
+        # of the rule-of-three 3/n bound.
+        outcome = self._outcome(1000, 0)
+        lo, hi = outcome.wilson_interval(z=1.96)
+        assert lo == 0.0
+        assert hi == pytest.approx(1.96**2 / (1000 + 1.96**2), rel=1e-6)
+
+    def test_zero_shots_degenerate(self):
+        outcome = self._outcome(0, 0)
+        assert outcome.stderr() == 0.0
+        assert outcome.wilson_interval() == (0.0, 1.0)

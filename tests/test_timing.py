@@ -1,11 +1,15 @@
 """Tests for repro.timing.runtime."""
 
+import warnings
+
 import pytest
 
 from repro.core.result import CompilationResult, CompiledLayer
-from repro.hardware.spec import HardwareSpec
+from repro.hardware.spec import HardwareSpec, TRAP_SWITCHES_PER_RESOLUTION
+from repro.noise.fidelity import NoiseModelConfig
 from repro.timing.runtime import (
     RuntimeBreakdown,
+    gate_phase_residual_us,
     gate_phase_time_us,
     movement_time_us,
     runtime_breakdown,
@@ -74,11 +78,62 @@ class TestBreakdown:
         result = make_result(layers)
         assert gate_phase_time_us(result) == pytest.approx(2.0)
 
-    def test_gate_phase_never_negative(self):
+    def test_gate_phase_never_negative_but_warns(self):
         # Pathological record: declared runtime smaller than components.
+        # The clamp keeps Table IV well-formed, but the inconsistency is
+        # surfaced instead of silently hidden.
         layers = [CompiledLayer(gates=(), move_distance_um=1000.0, time_us=0.0)]
         result = make_result(layers)
-        assert gate_phase_time_us(result) == 0.0
+        with pytest.warns(RuntimeWarning, match="inconsistent"):
+            assert gate_phase_time_us(result) == 0.0
+
+    def test_negative_residual_exposed_raw(self):
+        layers = [CompiledLayer(gates=(), move_distance_um=1000.0, time_us=0.0)]
+        result = make_result(layers)
+        residual = gate_phase_residual_us(result)
+        assert residual == pytest.approx(-1000.0 / result.spec.move_speed_um_per_us)
+        with pytest.warns(RuntimeWarning, match="inconsistent"):
+            breakdown = runtime_breakdown(result)
+        assert breakdown.gates_us == 0.0
+        assert breakdown.residual_us == pytest.approx(residual)
+        assert not breakdown.is_consistent
+
+    def test_consistent_breakdown_does_not_warn(self):
+        layers = [CompiledLayer(gates=(), time_us=2.0)]
+        result = make_result(layers)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            breakdown = runtime_breakdown(result)
+        assert breakdown.is_consistent
+        assert breakdown.residual_us == pytest.approx(breakdown.gates_us)
+
+    def test_tiny_float_noise_does_not_warn(self):
+        # Residuals within floating-point noise of zero are not flagged.
+        spec = HardwareSpec()
+        time_us = spec.move_time_us(55.0)
+        layers = [CompiledLayer(gates=(), move_distance_um=55.0,
+                                time_us=time_us)]
+        result = make_result(layers, spec=spec)
+        result.runtime_us = time_us * (1.0 - 1e-15)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            gate_phase_time_us(result)
+
+    def test_shared_trap_switch_default(self):
+        # The analytic fidelity model and the runtime decomposition must
+        # charge the same number of switches per trap-change resolution:
+        # both defaults come from the single hardware.spec constant.
+        assert (
+            NoiseModelConfig().trap_switches_per_resolution
+            == TRAP_SWITCHES_PER_RESOLUTION
+        )
+        spec = HardwareSpec()
+        result = make_result([], trap_changes=5, spec=spec)
+        per_event = (
+            TRAP_SWITCHES_PER_RESOLUTION * spec.trap_switch_time_us
+            + 2.0 * spec.move_time_us(spec.grid_pitch_um)
+        )
+        assert trap_change_time_us(result) == pytest.approx(5 * per_event)
 
     def test_parallax_compilation_breakdown_consistent(self):
         from repro.core.compiler import ParallaxCompiler
