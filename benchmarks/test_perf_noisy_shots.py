@@ -1,11 +1,16 @@
-"""Vectorized noisy-shot engine vs. the per-shot reference loop.
+"""Noisy-shot engine generations benchmarked against each other.
 
-The acceptance bar for the vectorization rewrite: at 10,000 shots the
-one-pass ``(shots, 4)`` engine must be at least 10x faster than the
-shot-at-a-time loop it replaced (``NoisyShotSimulator.run_loop``, kept
-in-repo as the parity oracle).  Both paths are benchmarked individually,
-and the ratio is asserted directly with best-of-N timing so scheduler
-noise cannot produce a flaky pass/fail.
+Two acceptance bars, each asserted directly with best-of-N timing so
+scheduler noise cannot produce a flaky pass/fail:
+
+- **vectorization** (PR 2): at 10,000 shots the one-pass ``(shots, 4)``
+  array engine (``run_array``) must be at least 10x faster than the
+  shot-at-a-time loop it replaced (``run_loop``, kept as the parity
+  oracle);
+- **multinomial fast path** (PR 3): at 1,000,000 shots the single
+  ``rng.multinomial`` draw behind ``run`` must be at least 10x faster
+  than the array engine -- it is O(1) in the shot count, which is what
+  makes 10^6-shot sweep scenarios effectively free.
 """
 
 import time
@@ -17,6 +22,7 @@ from repro.hardware.spec import HardwareSpec
 from repro.sim.noisy import NoisyShotSimulator
 
 SHOTS = 10_000
+MULTINOMIAL_SHOTS = 1_000_000
 
 
 @pytest.fixture(scope="module")
@@ -34,9 +40,15 @@ def result():
     )
 
 
+def test_perf_multinomial_run(benchmark, result):
+    sim = NoisyShotSimulator(result, seed=0)
+    outcome = benchmark(sim.run, MULTINOMIAL_SHOTS)
+    assert outcome.shots == MULTINOMIAL_SHOTS
+
+
 def test_perf_vectorized_run(benchmark, result):
     sim = NoisyShotSimulator(result, seed=0)
-    outcome = benchmark(sim.run, SHOTS)
+    outcome = benchmark(sim.run_array, SHOTS)
     assert outcome.shots == SHOTS
 
 
@@ -46,22 +58,38 @@ def test_perf_per_shot_loop(benchmark, result):
     assert outcome.shots == SHOTS
 
 
-def _best_of(fn, rounds):
+def _best_of(fn, rounds, shots=SHOTS):
     best = float("inf")
     for _ in range(rounds):
         start = time.perf_counter()
-        fn(SHOTS)
+        fn(shots)
         best = min(best, time.perf_counter() - start)
     return best
 
 
 def test_vectorized_at_least_10x_faster_at_10k_shots(result):
     sim = NoisyShotSimulator(result, seed=0)
-    sim.run(SHOTS)  # warm numpy dispatch
-    t_vec = _best_of(sim.run, rounds=5)
+    sim.run_array(SHOTS)  # warm numpy dispatch
+    t_vec = _best_of(sim.run_array, rounds=5)
     t_loop = _best_of(sim.run_loop, rounds=3)
     speedup = t_loop / t_vec
     assert speedup >= 10.0, (
         f"vectorized engine only {speedup:.1f}x faster "
         f"({t_vec * 1e3:.3f} ms vs {t_loop * 1e3:.3f} ms at {SHOTS} shots)"
+    )
+
+
+def test_multinomial_at_least_10x_faster_than_array_at_1m_shots(result):
+    # The O(1)-per-scenario gate: one multinomial draw vs. the (shots, 4)
+    # uniform array at a million shots.  The true gap is orders of
+    # magnitude; 10x keeps the bar robust on loaded CI machines.
+    sim = NoisyShotSimulator(result, seed=0)
+    sim.run(MULTINOMIAL_SHOTS)  # warm numpy dispatch
+    t_multi = _best_of(sim.run, rounds=5, shots=MULTINOMIAL_SHOTS)
+    t_array = _best_of(sim.run_array, rounds=3, shots=MULTINOMIAL_SHOTS)
+    speedup = t_array / t_multi
+    assert speedup >= 10.0, (
+        f"multinomial path only {speedup:.1f}x faster "
+        f"({t_multi * 1e3:.3f} ms vs {t_array * 1e3:.3f} ms at "
+        f"{MULTINOMIAL_SHOTS} shots)"
     )

@@ -40,7 +40,10 @@ from repro.pipeline import (
     register_compiler,
 )
 
-__version__ = "1.0.0"
+# Minor version bumps whenever the Monte Carlo engine's draw stream changes
+# (sweep-store scenario keys hash this, so records from different engine
+# generations can never be mixed by --resume).
+__version__ = "1.1.0"
 
 __all__ = [
     "Gate",

@@ -1,9 +1,13 @@
 """Cross-technique analysis and report generation.
 
-Aggregates :class:`~repro.core.result.CompilationResult` collections into
-the summary statistics the paper quotes (mean CZ reduction, mean success
-improvement, runtime ratios) and renders a markdown report of
-paper-vs-measured values per experiment.
+Everything here consumes the unified results layer: the flat
+:class:`~repro.sweeps.analysis.ResultTable` rows that scenario sweeps
+persist and the figure runners emit.  :func:`compare_techniques` reduces a
+table to the summary statistics the paper quotes (mean CZ reduction, mean
+success improvement, runtime ratios); :func:`render_markdown_report`
+renders any mix of ``ExperimentTable`` views and ``ResultTable`` rows as a
+paper-vs-measured markdown document.  ``ResultTable`` and ``Crossover``
+are re-exported for convenience.
 """
 
 from repro.analysis.metrics import (
@@ -13,20 +17,24 @@ from repro.analysis.metrics import (
     compare_techniques,
     geometric_mean,
 )
-from repro.analysis.report import render_markdown_report
+from repro.analysis.report import render_markdown_report, render_markdown_table
 from repro.analysis.diagnostics import (
     CompilationDiagnostics,
     diagnose,
     format_diagnostics,
 )
+from repro.sweeps.analysis import Crossover, ResultTable
 
 __all__ = [
     "ComparisonSummary",
+    "Crossover",
+    "ResultTable",
     "cz_reduction",
     "success_improvement",
     "compare_techniques",
     "geometric_mean",
     "render_markdown_report",
+    "render_markdown_table",
     "CompilationDiagnostics",
     "diagnose",
     "format_diagnostics",

@@ -1,13 +1,28 @@
-"""Aggregate comparison metrics across benchmarks and techniques."""
+"""Aggregate comparison metrics across benchmarks and techniques.
+
+Since the results/aggregation unification, cross-technique comparison
+consumes the same flat :class:`~repro.sweeps.analysis.ResultTable` rows the
+scenario sweeps persist and the figure runners emit -- the former nested
+``results[benchmark][technique]`` mapping format is gone.  Build a table
+with :func:`repro.experiments.common.compilation_table` (or
+``ResultTable.from_store`` / ``from_compilations``) and hand it to
+:func:`compare_techniques`; per-pair scalar helpers
+(:func:`cz_reduction`, :func:`success_improvement`) still accept raw
+:class:`~repro.core.result.CompilationResult` objects.
+"""
 
 from __future__ import annotations
 
 import math
+import typing
 from dataclasses import dataclass
-from collections.abc import Mapping, Sequence
 
 from repro.core.result import CompilationResult
 from repro.noise.fidelity import NoiseModelConfig, success_probability
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Sequence
+    from repro.sweeps.analysis import ResultTable
 
 __all__ = [
     "geometric_mean",
@@ -18,7 +33,7 @@ __all__ = [
 ]
 
 
-def geometric_mean(values: Sequence[float]) -> float:
+def geometric_mean(values: "Sequence[float]") -> float:
     """Geometric mean of positive values (0.0 for an empty sequence)."""
     values = [v for v in values]
     if not values:
@@ -45,16 +60,20 @@ def success_improvement(
     Returns ``inf`` when the baseline success underflows to zero while
     Parallax's does not (the paper's QV-type cases).
     """
-    p_base = success_probability(baseline, noise)
-    p_parallax = success_probability(parallax, noise)
+    return _success_gain(
+        success_probability(baseline, noise), success_probability(parallax, noise)
+    )
+
+
+def _success_gain(p_base: float, p_target: float) -> float:
     if p_base == 0.0:
-        return math.inf if p_parallax > 0 else 0.0
-    return p_parallax / p_base - 1.0
+        return math.inf if p_target > 0 else 0.0
+    return p_target / p_base - 1.0
 
 
 @dataclass(frozen=True)
 class ComparisonSummary:
-    """Aggregate Parallax-vs-baseline statistics over a benchmark sweep.
+    """Aggregate target-vs-baseline statistics over a benchmark sweep.
 
     ``mean_success_improvement`` can be dominated by deep circuits whose
     baseline success underflows by many orders of magnitude (QV, TFIM);
@@ -81,33 +100,65 @@ class ComparisonSummary:
         )
 
 
+def _mean_by_group(table: "ResultTable", metric: str) -> dict:
+    """(benchmark, technique) -> mean of ``metric`` in one grouped pass."""
+    marg = table.marginal(value=metric, group_by=("benchmark", "technique"))
+    return {
+        (bench, tech): value
+        for bench, tech, value in zip(
+            marg.column("benchmark"), marg.column("technique"), marg.column(metric)
+        )
+    }
+
+
 def compare_techniques(
-    results: Mapping[str, Mapping[str, CompilationResult]],
+    table: "ResultTable",
     baseline: str,
-    noise: NoiseModelConfig | None = None,
+    target: str = "parallax",
 ) -> ComparisonSummary:
-    """Summarize Parallax against one baseline.
+    """Summarize ``target`` against ``baseline`` over unified result rows.
 
     Args:
-        results: ``results[benchmark][technique]`` compilation results; each
-            benchmark entry must contain ``"parallax"`` and ``baseline``.
+        table: a :class:`~repro.sweeps.analysis.ResultTable` whose rows
+            cover every benchmark for both ``target`` and ``baseline``
+            (e.g. from :func:`repro.experiments.common.compilation_table`
+            or a sweep store); multiple rows per (benchmark, technique) --
+            a sweep over noise axes, say -- are averaged first.
         baseline: ``"eldi"`` or ``"graphine"``.
-        noise: noise-model options for the success metric.
+        target: the technique being advocated (default ``"parallax"``).
 
     Success improvements that overflow to infinity (baseline success
     underflows) are excluded from the mean, as the paper excludes VQE.
+
+    Raises:
+        KeyError: when a benchmark in the table lacks rows for either
+            technique.
     """
+    benchmarks = sorted(set(table.column("benchmark")))
+    cz = _mean_by_group(table, "num_cz")
+    success = _mean_by_group(table, "analytic_success")
+    runtime = _mean_by_group(table, "runtime_us")
     reductions, improvements, ratios = [], [], []
-    for bench, techs in results.items():
-        if baseline not in techs or "parallax" not in techs:
-            raise KeyError(f"benchmark {bench!r} missing {baseline!r} or 'parallax'")
-        base, parallax = techs[baseline], techs["parallax"]
-        reductions.append(cz_reduction(base, parallax))
-        gain = success_improvement(base, parallax, noise)
+    for bench in benchmarks:
+        cz_base = cz.get((bench, baseline))
+        cz_target = cz.get((bench, target))
+        if cz_base is None or cz_target is None:
+            raise KeyError(
+                f"benchmark {bench!r} missing rows for {baseline!r} or {target!r}"
+            )
+        reductions.append(
+            1.0 - cz_target / cz_base if cz_base > 0 else 0.0
+        )
+        gain = _success_gain(
+            success.get((bench, baseline)) or 0.0,
+            success.get((bench, target)) or 0.0,
+        )
         if not math.isinf(gain):
             improvements.append(gain)
-        if base.runtime_us > 0:
-            ratios.append(parallax.runtime_us / base.runtime_us)
+        runtime_base = runtime.get((bench, baseline))
+        runtime_target = runtime.get((bench, target))
+        if runtime_base and runtime_base > 0 and runtime_target is not None:
+            ratios.append(runtime_target / runtime_base)
     ordered = sorted(improvements)
     if ordered:
         mid = len(ordered) // 2
@@ -120,7 +171,7 @@ def compare_techniques(
         median = 0.0
     return ComparisonSummary(
         baseline=baseline,
-        num_benchmarks=len(results),
+        num_benchmarks=len(benchmarks),
         mean_cz_reduction=sum(reductions) / len(reductions) if reductions else 0.0,
         mean_success_improvement=(
             sum(improvements) / len(improvements) if improvements else 0.0

@@ -1,26 +1,45 @@
-"""Markdown report generation for experiment sweeps."""
+"""Markdown report generation over the unified results layer.
+
+Accepts anything speaking the ``title`` / ``headers`` / ``rows`` table
+protocol -- both :class:`~repro.experiments.common.ExperimentTable` (the
+figure runners' rendered views) and
+:class:`~repro.sweeps.analysis.ResultTable` (raw unified rows, marginals,
+pivots) -- so one renderer serves figures, sweeps, and ad-hoc analysis.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
-from typing import TYPE_CHECKING
+import typing
 
 from repro.analysis.metrics import ComparisonSummary
 
-if TYPE_CHECKING:  # avoid a circular import; tables are duck-typed at runtime
-    from repro.experiments.common import ExperimentTable
+if typing.TYPE_CHECKING:
+    from collections.abc import Mapping, Sequence
 
-__all__ = ["render_markdown_report"]
+    class _Table(typing.Protocol):
+        title: str
+
+        @property
+        def headers(self) -> "Sequence[str]": ...
+
+        @property
+        def rows(self) -> "Sequence[Sequence]": ...
 
 
-def _markdown_table(table: "ExperimentTable") -> str:
+__all__ = ["render_markdown_report", "render_markdown_table"]
+
+
+def render_markdown_table(table: "_Table") -> str:
+    """One ``title``/``headers``/``rows`` table as a markdown table body."""
     header = "| " + " | ".join(table.headers) + " |"
     rule = "|" + "|".join("---" for _ in table.headers) + "|"
     rows = []
     for row in table.rows:
         cells = []
         for value in row:
-            if isinstance(value, float):
+            if value is None:
+                cells.append("")
+            elif isinstance(value, float):
                 cells.append(f"{value:.4g}")
             else:
                 cells.append(str(value))
@@ -30,14 +49,15 @@ def _markdown_table(table: "ExperimentTable") -> str:
 
 def render_markdown_report(
     title: str,
-    tables: Sequence["ExperimentTable"],
-    summaries: Mapping[str, ComparisonSummary] | None = None,
-    notes: Sequence[str] = (),
+    tables: "Sequence[_Table]",
+    summaries: "Mapping[str, ComparisonSummary] | None" = None,
+    notes: "Sequence[str]" = (),
 ) -> str:
-    """Render experiment tables (plus optional summaries/notes) as markdown.
+    """Render result tables (plus optional summaries/notes) as markdown.
 
     Used to assemble EXPERIMENTS.md-style documents from live runs so the
-    recorded numbers always come from actual executions.
+    recorded numbers always come from actual executions.  ``tables`` may
+    mix :class:`ExperimentTable` views and raw :class:`ResultTable` rows.
     """
     parts = [f"# {title}", ""]
     if summaries:
@@ -49,7 +69,7 @@ def render_markdown_report(
     for table in tables:
         parts.append(f"## {table.title}")
         parts.append("")
-        parts.append(_markdown_table(table))
+        parts.append(render_markdown_table(table))
         parts.append("")
     if notes:
         parts.append("## Notes")

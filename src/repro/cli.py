@@ -8,6 +8,7 @@ technique::
     python -m repro.cli --benchmark QAOA --technique all --jobs 3
     python -m repro.cli circuit.qasm --technique all --shots 8000
     python -m repro.cli --benchmark ADD --technique all --mc-shots 20000
+    python -m repro.cli --sweep-summary sweep-out
 
 Techniques are resolved by name through the
 :mod:`repro.pipeline.registry`, benchmarks through
@@ -119,7 +120,28 @@ def main(argv: list[str] | None = None) -> int:
         help="also dump the full compilation result(s) as JSON to PATH "
         "(one object, keyed by technique)",
     )
+    parser.add_argument(
+        "--sweep-summary",
+        metavar="DIR",
+        default=None,
+        help="instead of compiling, summarize the sweep store at DIR "
+        "(per-benchmark/technique marginals + technique crossovers)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sweep_summary is not None:
+        from repro.sweeps.analysis import ResultTable, render_store_summary
+        from repro.sweeps.store import SweepStore
+
+        table = ResultTable.from_store(SweepStore(args.sweep_summary))
+        if not len(table):
+            print(
+                f"error: no readable sweep records in {args.sweep_summary}",
+                file=sys.stderr,
+            )
+            return 1
+        print(render_store_summary(table))
+        return 0
 
     if (args.qasm_file is None) == (args.benchmark is None):
         parser.error("provide exactly one of: a QASM file path, or --benchmark")

@@ -14,6 +14,13 @@ resolved by name through :mod:`repro.pipeline.registry`, and
 :func:`compile_batch` fans a whole benchmark sweep out over the
 :func:`~repro.pipeline.batch.compile_many` process-pool engine with cache
 write-back.
+
+Aggregation is unified with the scenario sweeps:
+:func:`compilation_table` emits the same flat
+:class:`~repro.sweeps.analysis.ResultTable` rows a
+:class:`~repro.sweeps.store.SweepStore` holds, and every figure runner
+builds its :class:`ExperimentTable` view by pivoting that one row schema
+-- there is no figure-private results format.
 """
 
 from __future__ import annotations
@@ -32,11 +39,13 @@ from repro.layout.placement import PlacementConfig
 from repro.pipeline.batch import CompileTask, compile_many, compile_tasks
 from repro.pipeline.cache import CompilationCache
 from repro.pipeline.registry import get_compiler
+from repro.sweeps.analysis import ResultTable
 from repro.transpile.pipeline import transpile
 from repro.utils.tables import format_table
 
 if typing.TYPE_CHECKING:
-    from collections.abc import Callable, Sequence
+    from collections.abc import Callable, Mapping, Sequence
+    from repro.noise.fidelity import NoiseModelConfig
 
 __all__ = [
     "ALL_BENCHMARKS",
@@ -49,6 +58,7 @@ __all__ = [
     "compile_one",
     "compile_batch",
     "compile_points",
+    "compilation_table",
     "result_cache",
     "settings_config_factory",
     "clear_caches",
@@ -242,3 +252,45 @@ def compile_points(
             CompileTask(technique, circuit, spec, factory(technique, circuit, spec))
         )
     return compile_tasks(tasks, workers=workers, cache=_result_cache)
+
+
+def compilation_table(
+    points: "Sequence[tuple[str, str, HardwareSpec]]",
+    settings: ExperimentSettings | None = None,
+    noise: "NoiseModelConfig | None" = None,
+    return_home: bool = True,
+    workers: int = 1,
+    extras: "Sequence[Mapping[str, object]] | None" = None,
+    title: str = "compilation results",
+) -> ResultTable:
+    """Compile ``points`` and emit the unified :class:`ResultTable` rows.
+
+    This is the figure runners' bridge into the single aggregation layer:
+    the same flat row schema the scenario sweeps persist (identity + axis
+    columns + compile metrics + ``analytic_success``; empirical columns
+    stay ``None`` because nothing is Monte Carlo sampled here).  ``extras``
+    optionally supplies per-point axis columns (e.g. ``aod_count`` or
+    ``return_home``) so ablation sweeps stay pivotable like any other axis.
+    Compilations route through :func:`compile_points` (batch engine +
+    shared cache), so figure tables and scenario sweeps hit the same cache
+    entries.
+    """
+    if extras is not None and len(extras) != len(points):
+        raise ValueError(
+            f"extras has {len(extras)} entries for {len(points)} points"
+        )
+    results = compile_points(
+        points, settings=settings, return_home=return_home, workers=workers
+    )
+    entries = [
+        (
+            benchmark,
+            technique,
+            result,
+            extras[i] if extras is not None else {},
+        )
+        for i, ((benchmark, technique, _), result) in enumerate(
+            zip(points, results)
+        )
+    ]
+    return ResultTable.from_compilations(entries, noise=noise, title=title)

@@ -12,12 +12,14 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.hardware.spec import HardwareSpec
-from repro.noise.fidelity import NoiseModelConfig, success_probability
+from repro.noise.fidelity import NoiseModelConfig
 
 __all__ = ["run_fig10"]
+
+_TECHNIQUES = ("graphine", "eldi", "parallax")
 
 
 def run_fig10(
@@ -29,21 +31,27 @@ def run_fig10(
     """Success probabilities for Graphine / ELDI / Parallax per benchmark."""
     spec = spec or HardwareSpec.quera_aquila()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
-    noise = noise or NoiseModelConfig()
+    table = compilation_table(
+        [(bench, tech, spec) for bench in benchmarks for tech in _TECHNIQUES],
+        settings=settings,
+        noise=noise or NoiseModelConfig(),
+    )
+    pivoted = table.pivot(
+        index="benchmark",
+        column="technique",
+        value="analytic_success",
+        column_order=_TECHNIQUES,
+    )
     rows = []
-    for bench in benchmarks:
-        probs = {
-            tech: success_probability(compile_one(tech, bench, spec, settings), noise)
-            for tech in ("graphine", "eldi", "parallax")
-        }
-        best = max(probs.values())
+    for bench, graphine, eldi, parallax in pivoted.rows:
+        best = max(graphine, eldi, parallax)
         rows.append(
             (
                 bench,
-                probs["graphine"],
-                probs["eldi"],
-                probs["parallax"],
-                round(100.0 * probs["parallax"] / best, 1) if best > 0 else 0.0,
+                graphine,
+                eldi,
+                parallax,
+                round(100.0 * parallax / best, 1) if best > 0 else 0.0,
             )
         )
     return ExperimentTable(

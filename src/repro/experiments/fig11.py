@@ -5,6 +5,12 @@ Atom machine: 8,000 logical shots are spread over replicas of the circuit
 tiled across the grid (replicas share AOD rows/columns), so total execution
 time falls roughly as 1/P.  ELDI and Graphine are parallelized the same way
 for comparison.
+
+Unlike the other figures this one is a *derived time series* -- each row
+applies the :mod:`repro.core.parallel_shots` timing model to a compiled
+artifact at one parallelization factor -- so it consumes
+:class:`CompilationResult` objects directly (batched through
+:func:`compile_points`) rather than pivoting aggregated rows.
 """
 
 from __future__ import annotations
@@ -13,12 +19,18 @@ from repro.core.parallel_shots import (
     parallelization_factor,
     total_execution_time_us,
 )
-from repro.experiments.common import ExperimentSettings, ExperimentTable, compile_one
+from repro.experiments.common import (
+    ExperimentSettings,
+    ExperimentTable,
+    compile_points,
+)
 from repro.hardware.spec import HardwareSpec
 
 __all__ = ["run_fig11", "FIG11_BENCHMARKS"]
 
 FIG11_BENCHMARKS: tuple[str, ...] = ("ADV", "KNN", "QV", "SECA", "SQRT", "WST")
+
+_TECHNIQUES = ("graphine", "eldi", "parallax")
 
 
 def run_fig11(
@@ -30,22 +42,31 @@ def run_fig11(
     """Execution-time series per technique across parallelization factors."""
     spec = spec or HardwareSpec.atom_computing()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    points = [
+        (bench, tech, spec) for bench in benchmarks for tech in _TECHNIQUES
+    ]
+    compiled = dict(
+        zip(
+            ((bench, tech) for bench, tech, _ in points),
+            compile_points(points, settings=settings),
+        )
+    )
     rows = []
     for bench in benchmarks:
-        results = {
-            tech: compile_one(tech, bench, spec, settings)
-            for tech in ("graphine", "eldi", "parallax")
-        }
         max_factor = min(
-            parallelization_factor(results[tech], spec) for tech in results
+            parallelization_factor(compiled[bench, tech], spec)
+            for tech in _TECHNIQUES
         )
         factors = sorted({k * k for k in range(1, int(max_factor**0.5) + 1)} | {1})
         for factor in factors:
             row: list = [bench, factor]
-            for tech in ("graphine", "eldi", "parallax"):
+            for tech in _TECHNIQUES:
                 total_s = (
                     total_execution_time_us(
-                        results[tech], num_shots=num_shots, factor=factor, spec=spec
+                        compiled[bench, tech],
+                        num_shots=num_shots,
+                        factor=factor,
+                        spec=spec,
                     )
                     / 1e6
                 )

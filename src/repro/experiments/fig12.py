@@ -12,9 +12,10 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.hardware.spec import HardwareSpec
+from repro.sweeps.analysis import ResultTable
 
 __all__ = ["run_fig12"]
 
@@ -27,17 +28,32 @@ def run_fig12(
     """Parallax runtime with and without the home-return step."""
     spec = spec or HardwareSpec.atom_computing()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    # The home-return toggle is a compile-config axis, so each arm compiles
+    # separately and lands in the unified table as a `return_home` column.
+    arms = [
+        compilation_table(
+            [(bench, "parallax", spec) for bench in benchmarks],
+            settings=settings,
+            return_home=return_home,
+            extras=[{"return_home": return_home}] * len(benchmarks),
+        )
+        for return_home in (False, True)
+    ]
+    pivoted = ResultTable.concat(arms).pivot(
+        index="benchmark",
+        column="return_home",
+        value="runtime_us",
+        column_order=(False, True),
+    )
     rows = []
-    for bench in benchmarks:
-        with_home = compile_one("parallax", bench, spec, settings, return_home=True)
-        without_home = compile_one("parallax", bench, spec, settings, return_home=False)
-        worst = max(with_home.runtime_us, without_home.runtime_us)
+    for bench, no_home, home in pivoted.rows:
+        worst = max(no_home, home)
         rows.append(
             (
                 bench,
-                round(without_home.runtime_us, 1),
-                round(with_home.runtime_us, 1),
-                round(100.0 * with_home.runtime_us / worst, 1) if worst else 100.0,
+                round(no_home, 1),
+                round(home, 1),
+                round(100.0 * home / worst, 1) if worst else 100.0,
             )
         )
     return ExperimentTable(

@@ -11,7 +11,7 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.hardware.spec import HardwareSpec
 
@@ -29,14 +29,24 @@ def run_fig13(
     """Parallax runtime per AOD row/column count."""
     base_spec = base_spec or HardwareSpec.atom_computing()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
-    rows = []
+    points = []
+    extras = []
     for bench in benchmarks:
-        runtimes = []
         for count in aod_counts:
-            spec = base_spec.with_aod_count(count)
-            result = compile_one("parallax", bench, spec, settings)
-            runtimes.append(round(result.runtime_us, 1))
-        rows.append((bench, *runtimes))
+            points.append((bench, "parallax", base_spec.with_aod_count(count)))
+            extras.append({"aod_count": count})
+    table = compilation_table(points, settings=settings, extras=extras)
+    pivoted = table.pivot(
+        index="benchmark",
+        column="aod_count",
+        value="runtime_us",
+        column_order=aod_counts,
+        name=lambda count: f"aod_{count}",
+    )
+    rows = [
+        (bench, *(round(runtime, 1) for runtime in runtimes))
+        for bench, *runtimes in pivoted.rows
+    ]
     return ExperimentTable(
         title="Fig. 13: Parallax runtime (us) by AOD row/column count (Atom 1,225-qubit)",
         headers=("benchmark", *(f"aod_{c}" for c in aod_counts)),

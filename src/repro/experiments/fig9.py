@@ -11,11 +11,13 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.hardware.spec import HardwareSpec
 
 __all__ = ["run_fig9"]
+
+_TECHNIQUES = ("graphine", "eldi", "parallax")
 
 
 def run_fig9(
@@ -26,20 +28,27 @@ def run_fig9(
     """CZ counts for Graphine / ELDI / Parallax per benchmark."""
     spec = spec or HardwareSpec.quera_aquila()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
+    table = compilation_table(
+        [(bench, tech, spec) for bench in benchmarks for tech in _TECHNIQUES],
+        settings=settings,
+    )
+    pivoted = table.pivot(
+        index="benchmark",
+        column="technique",
+        value="num_cz",
+        column_order=_TECHNIQUES,
+        name=lambda tech: f"{tech}_cz",
+    )
     rows = []
-    for bench in benchmarks:
-        counts = {
-            tech: compile_one(tech, bench, spec, settings).num_cz
-            for tech in ("graphine", "eldi", "parallax")
-        }
-        worst = max(counts.values())
+    for bench, graphine, eldi, parallax in pivoted.rows:
+        worst = max(graphine, eldi, parallax)
         rows.append(
             (
                 bench,
-                counts["graphine"],
-                counts["eldi"],
-                counts["parallax"],
-                round(100.0 * counts["parallax"] / worst, 1) if worst else 100.0,
+                graphine,
+                eldi,
+                parallax,
+                round(100.0 * parallax / worst, 1) if worst else 100.0,
             )
         )
     return ExperimentTable(

@@ -13,7 +13,7 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -36,16 +36,17 @@ def headline_summaries(
     ELDI; Fig. 9/10 text: -39% CZ, +46% success vs Graphine)."""
     spec = spec or HardwareSpec.quera_aquila()
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
-    results = {
-        bench: {
-            tech: compile_one(tech, bench, spec, settings)
+    table = compilation_table(
+        [
+            (bench, tech, spec)
+            for bench in benchmarks
             for tech in ("parallax", "eldi", "graphine")
-        }
-        for bench in benchmarks
-    }
+        ],
+        settings=settings,
+    )
     return {
-        "Parallax vs ELDI": compare_techniques(results, "eldi"),
-        "Parallax vs Graphine": compare_techniques(results, "graphine"),
+        "Parallax vs ELDI": compare_techniques(table, "eldi"),
+        "Parallax vs Graphine": compare_techniques(table, "graphine"),
     }
 
 

@@ -11,11 +11,13 @@ from repro.experiments.common import (
     ALL_BENCHMARKS,
     ExperimentSettings,
     ExperimentTable,
-    compile_one,
+    compilation_table,
 )
 from repro.hardware.spec import HardwareSpec
 
 __all__ = ["run_table4"]
+
+_TECHNIQUES = ("eldi", "graphine", "parallax")
 
 
 def run_table4(
@@ -24,16 +26,31 @@ def run_table4(
 ) -> ExperimentTable:
     """Runtimes per technique on both evaluation machines."""
     settings = settings or ExperimentSettings(benchmarks=benchmarks)
-    quera = HardwareSpec.quera_aquila()
-    atom = HardwareSpec.atom_computing()
+    machines = (("256", HardwareSpec.quera_aquila()), ("1225", HardwareSpec.atom_computing()))
+    table = compilation_table(
+        [
+            (bench, tech, spec)
+            for bench in benchmarks
+            for _, spec in machines
+            for tech in _TECHNIQUES
+        ],
+        settings=settings,
+    )
+    pivots = {
+        label: table.filter(spec_name=spec.name).pivot(
+            index="benchmark",
+            column="technique",
+            value="runtime_us",
+            column_order=_TECHNIQUES,
+        )
+        for label, spec in machines
+    }
     rows = []
-    for bench in benchmarks:
-        row: list = [bench]
-        for spec in (quera, atom):
-            for tech in ("eldi", "graphine", "parallax"):
-                result = compile_one(tech, bench, spec, settings)
-                row.append(round(result.runtime_us, 1))
-        rows.append(tuple(row))
+    for quera_row, atom_row in zip(pivots["256"].rows, pivots["1225"].rows):
+        bench = quera_row[0]
+        rows.append(
+            (bench, *(round(v, 1) for v in (*quera_row[1:], *atom_row[1:])))
+        )
     return ExperimentTable(
         title="Table IV: circuit runtime in us (256-qubit | 1,225-qubit)",
         headers=(

@@ -185,10 +185,12 @@ def compile_tasks(
         todo = [tasks[i] for i in pending]
         computed = None
         if workers > 1 and len(todo) > 1:
+            from concurrent.futures.process import BrokenProcessPool
+
             try:
                 with ProcessPoolExecutor(max_workers=min(workers, len(todo))) as pool:
                     computed = list(pool.map(_execute_task, todo))
-            except (OSError, PermissionError):
+            except (OSError, BrokenProcessPool):
                 computed = None  # pools unavailable (sandbox); fall through
         if computed is None:
             computed = [_execute_task(task) for task in todo]

@@ -18,12 +18,25 @@ physical shots (the paper's Section III), so shots are i.i.d.
 
 The per-channel survival probabilities come from
 :func:`repro.noise.fidelity.channel_probabilities` -- the same arithmetic
-the analytic estimate uses -- and the engine draws *all* shots' channel
-outcomes as one ``(shots, 4)`` array in a single pass (:meth:`run`).  The
-historical shot-at-a-time implementation survives as :meth:`run_loop`: it
-consumes the identical RNG stream, so with equal seeds the two paths return
-bit-identical :class:`ShotOutcome` objects (the seed-parity test), and it is
-the baseline the >=10x vectorization speedup is benchmarked against.
+the analytic estimate uses.  Because every channel probability is a scalar
+(identical across shots), the channel-wise first-failure counts of a run
+are *exactly* multinomial over five categories (fail-at-gates,
+fail-at-movement, fail-at-decoherence, fail-at-readout, success), so
+:meth:`run` draws the whole outcome with **one** ``rng.multinomial`` call
+-- O(1) work and memory per scenario regardless of the shot count, which
+is what makes 10^6-shot sweep scenarios free.
+
+Two reference implementations are kept as oracles:
+
+- :meth:`run_array` -- the previous vectorized engine (one ``(shots, 4)``
+  uniform draw compared against the survival probabilities); the
+  multinomial path must agree with it statistically (the parity tests) and
+  it remains the production path if a future noise model makes channel
+  probabilities per-shot arrays.
+- :meth:`run_loop` -- the historical shot-at-a-time loop; it consumes the
+  identical RNG stream as :meth:`run_array`, so with equal seeds those two
+  return bit-identical :class:`ShotOutcome` objects (the seed-parity
+  test), and it is the baseline of the >=10x vectorization benchmark.
 """
 
 from __future__ import annotations
@@ -124,6 +137,28 @@ class NoisyShotSimulator:
                 self.channels.readout,
             ]
         )
+        #: First-failure category probabilities in attribution order
+        #: (gate fail, movement fail, decoherence fail, readout fail,
+        #: success); success is last so float rounding in the failure terms
+        #: can never push the multinomial pvals sum past 1.  Only defined
+        #: for scalar channels -- per-shot probability arrays fall back to
+        #: the per-shot engine.
+        self._pvals = None
+        if self._survival.ndim == 1:
+            p_gate, p_move, p_deco, p_read = (float(p) for p in self._survival)
+            fails = np.array(
+                [
+                    1.0 - p_gate,
+                    p_gate * (1.0 - p_move),
+                    p_gate * p_move * (1.0 - p_deco),
+                    p_gate * p_move * p_deco * (1.0 - p_read),
+                ]
+            )
+            total = float(fails.sum())
+            if total > 1.0:  # float-rounding guard; mathematically <= 1
+                fails /= total
+                total = 1.0
+            self._pvals = np.append(fails, max(0.0, 1.0 - total))
 
     def _tally(self, ok: np.ndarray, shots: int) -> ShotOutcome:
         """Channel-wise first-failure attribution of an ``(shots, 4)`` mask."""
@@ -145,9 +180,42 @@ class NoisyShotSimulator:
     def run(self, shots: int = 8000) -> ShotOutcome:
         """Simulate ``shots`` logical shots; returns channel-wise counts.
 
-        Vectorized: every shot's four channel outcomes are drawn as one
-        ``(shots, 4)`` uniform array and compared against the survival
-        probabilities in a single pass -- no Python-level per-shot work.
+        When every channel probability is a scalar (the current noise
+        model always is), the five first-failure counts are exactly
+        multinomial, so the whole run is **one** ``rng.multinomial`` draw
+        -- O(1) time and memory in the shot count.  Should a future noise
+        model supply per-shot probability arrays, the per-shot
+        :meth:`run_array` engine takes over transparently.
+
+        The multinomial and array paths sample the same distribution (the
+        statistical-parity tests pin this) but consume the RNG stream
+        differently, so only same-method runs are bit-reproducible.
+        """
+        if shots <= 0:
+            raise ValueError(f"shots must be positive, got {shots}")
+        if self._pvals is None:
+            return self.run_array(shots)
+        gate_fail, move_fail, deco_fail, read_fail, successes = (
+            int(n) for n in self.rng.multinomial(shots, self._pvals)
+        )
+        return ShotOutcome(
+            shots=shots,
+            successes=successes,
+            gate_failures=gate_fail,
+            movement_failures=move_fail,
+            decoherence_failures=deco_fail,
+            readout_failures=read_fail,
+        )
+
+    def run_array(self, shots: int = 8000) -> ShotOutcome:
+        """Vectorized per-shot engine: one ``(shots, 4)`` uniform draw.
+
+        Every shot's four channel outcomes are compared against the
+        survival probabilities in a single pass -- no Python-level
+        per-shot work.  Kept as the statistical oracle for the multinomial
+        fast path (and the production path for per-shot probability
+        arrays); draws the identical RNG stream as :meth:`run_loop`, so
+        equal seeds give bit-identical outcomes.
         """
         if shots <= 0:
             raise ValueError(f"shots must be positive, got {shots}")
@@ -155,7 +223,7 @@ class NoisyShotSimulator:
         return self._tally(draws < self._survival, shots)
 
     def run_loop(self, shots: int = 8000) -> ShotOutcome:
-        """Reference shot-at-a-time implementation of :meth:`run`.
+        """Reference shot-at-a-time implementation of :meth:`run_array`.
 
         Draws the same RNG stream in the same order as the vectorized path
         (``shots`` successive length-4 uniform draws), so equal seeds give

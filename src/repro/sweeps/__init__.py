@@ -22,8 +22,23 @@ Components
 - :mod:`repro.sweeps.runner` -- :func:`run_sweep`: dedups the grid's unique
   compile points, fans them through
   :func:`repro.experiments.common.compile_points` (process pool + shared
-  compilation cache), then samples every scenario with
-  :class:`~repro.sim.noisy.NoisyShotSimulator`.
+  compilation cache), then hands every pending scenario to the evaluation
+  engine.
+- :mod:`repro.sweeps.engine` -- the sharded evaluation phase:
+  :func:`evaluate_tasks` partitions pending scenarios into contiguous
+  chunks, fans the chunks over a ``ProcessPoolExecutor``
+  (``eval_workers`` / ``--eval-jobs``), and has each worker sample its
+  scenarios with the :class:`~repro.sim.noisy.NoisyShotSimulator`
+  multinomial fast path and persist records one by one through the
+  store's atomic writes -- bit-identical for any worker count, resumable
+  even when killed mid-shard.
+- :mod:`repro.sweeps.analysis` -- the unified aggregation layer:
+  :class:`ResultTable`, a pandas-free columnar table of flat result rows
+  shared with the figure runners, with marginals over any grid axis,
+  pivots, pairwise technique-crossover detection (piecewise-linear
+  interpolation), and text/CSV renderers.  ``python -m repro.sweeps
+  analyze STORE`` and ``repro.cli --sweep-summary`` are thin shells over
+  it.
 - :mod:`repro.sweeps.store` -- :class:`SweepStore`: one atomically-written
   JSON record per scenario, named by a SHA-256 scenario address covering
   the circuit/config/spec/noise fingerprints plus shots, seed, and package
@@ -32,7 +47,9 @@ Components
   byte-for-byte.
 - ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
   explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
-  ``--jobs`` (compilation pool), ``--shots``, ``--store`` and ``--resume``.
+  ``--jobs`` (compilation pool), ``--eval-jobs`` (evaluation pool),
+  ``--shots``, ``--store`` and ``--resume``; plus the ``analyze STORE``
+  subcommand for marginals, axis detection, and crossover reports.
 
 Example::
 
@@ -49,17 +66,47 @@ Example::
     best = max(report.records, key=lambda r: r["outcome"]["success_rate"])
 """
 
+from repro.sweeps.analysis import Crossover, ResultTable, render_store_summary
 from repro.sweeps.grid import NOISE_ONLY_SPEC_FIELDS, Scenario, SweepGrid
-from repro.sweeps.runner import SweepReport, run_sweep
 from repro.sweeps.store import SCHEMA_VERSION, SweepStore, scenario_key
 
 __all__ = [
     "NOISE_ONLY_SPEC_FIELDS",
+    "Crossover",
+    "EvalTask",
+    "ResultTable",
     "Scenario",
     "SweepGrid",
     "SweepReport",
+    "evaluate_tasks",
+    "render_store_summary",
     "run_sweep",
     "SCHEMA_VERSION",
     "SweepStore",
     "scenario_key",
 ]
+
+# The runner and the evaluation engine sit *above* repro.experiments.common
+# (they dispatch compilations through it), while repro.experiments.common
+# itself builds its unified tables on repro.sweeps.analysis.  Importing them
+# lazily (PEP 562) keeps `import repro.experiments.common` free of the
+# cycle while `from repro.sweeps import run_sweep` keeps working.
+_LAZY = {
+    "SweepReport": "repro.sweeps.runner",
+    "run_sweep": "repro.sweeps.runner",
+    "EvalTask": "repro.sweeps.engine",
+    "evaluate_tasks": "repro.sweeps.engine",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))

@@ -3,16 +3,25 @@
 Examples::
 
     python -m repro.sweeps --preset smoke --shots 200
-    python -m repro.sweeps --jobs 8 --store sweep-out
+    python -m repro.sweeps --jobs 8 --eval-jobs 8 --store sweep-out
     python -m repro.sweeps --store sweep-out --resume --jobs 8
     python -m repro.sweeps --benchmarks ADD,QAOA --techniques parallax \\
         --spec-axis cz_error=0.0024,0.0048,0.0096 \\
         --noise-axis include_readout=false,true --shots 2000
+    python -m repro.sweeps analyze sweep-out
+    python -m repro.sweeps analyze sweep-out --metric success_rate \\
+        --axis cz_error --csv sweep-out.csv
 
 ``--store DIR`` persists every scenario record as it is evaluated;
 rerunning with ``--resume`` skips everything already on disk, so an
-interrupted sweep continues where it stopped.  Results are bit-identical
-for any ``--jobs`` value.
+interrupted sweep continues where it stopped.  ``--jobs`` shards the
+compilation phase and ``--eval-jobs`` the Monte Carlo evaluation phase;
+results are bit-identical for any value of either.
+
+``analyze`` loads a store into the unified
+:class:`~repro.sweeps.analysis.ResultTable`, prints per-(benchmark,
+technique) marginals, detects sweep axes, and reports technique
+crossovers ("at what cz_error does ELDI overtake Graphine?").
 """
 
 from __future__ import annotations
@@ -21,10 +30,14 @@ import argparse
 import sys
 
 from repro.hardware.spec import HardwareSpec
+from repro.sweeps.analysis import (
+    METRIC_COLUMNS,
+    ResultTable,
+    render_store_summary,
+    technique_summary,
+)
 from repro.sweeps.grid import SweepGrid
-from repro.sweeps.runner import run_sweep
 from repro.sweeps.store import SweepStore
-from repro.utils.tables import format_table
 
 __all__ = ["main"]
 
@@ -60,37 +73,63 @@ def _parse_axes(entries: list[str] | None) -> dict:
     return axes
 
 
-def _summary_rows(records) -> list[list]:
-    """Aggregate records into one row per (benchmark, technique)."""
-    groups: dict[tuple[str, str], list] = {}
-    for record in records:
-        scenario = record["scenario"]
-        groups.setdefault(
-            (scenario["benchmark"], scenario["technique"]), []
-        ).append(record)
-    rows = []
-    for (benchmark, technique), group in sorted(groups.items()):
-        empirical = [r["outcome"]["success_rate"] for r in group]
-        analytic = [r["analytic_success"] for r in group]
-        rows.append(
-            [
-                benchmark,
-                technique,
-                len(group),
-                f"{sum(analytic) / len(analytic):.4f}",
-                f"{sum(empirical) / len(empirical):.4f}",
-                f"{min(empirical):.4f}",
-                f"{max(empirical):.4f}",
-            ]
+def _analyze_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps analyze",
+        description="Aggregate a sweep store: marginals per benchmark/"
+        "technique, axis detection, and technique-crossover report.",
+    )
+    parser.add_argument("store", help="sweep store directory to analyze")
+    parser.add_argument(
+        "--metric", default="analytic_success", metavar="COLUMN",
+        help="metric column to aggregate (default: analytic_success; "
+        "e.g. success_rate, runtime_us, num_cz)",
+    )
+    parser.add_argument(
+        "--axis", default=None, metavar="FIELD",
+        help="restrict crossover detection to one numeric axis "
+        "(default: every detected numeric axis)",
+    )
+    parser.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="also dump the full flat ResultTable as CSV to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    store = SweepStore(args.store)
+    table = ResultTable.from_store(store)
+    if not len(table):
+        print(f"error: no readable records in {store.directory}", file=sys.stderr)
+        return 1
+    valid_metrics = [m for m in METRIC_COLUMNS if m in table.names]
+    if args.metric not in valid_metrics:
+        print(
+            f"error: unknown metric {args.metric!r}; one of: "
+            f"{', '.join(valid_metrics)}",
+            file=sys.stderr,
         )
-    return rows
+        return 1
+    if args.axis is not None and args.axis not in table.numeric_axes():
+        print(
+            f"error: {args.axis!r} is not a numeric sweep axis of this store "
+            f"(numeric axes: {', '.join(table.numeric_axes()) or 'none'})",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_store_summary(table, metric=args.metric, axis=args.axis))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table.to_csv())
+        print(f"wrote {len(table)} rows to {args.csv}")
+    return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _run_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweeps",
         description="Sweep (circuit x technique x hardware x noise) scenarios "
-        "through the batch compiler and the vectorized noisy-shot engine.",
+        "through the batch compiler and the sharded noisy-shot engine "
+        "(or `analyze STORE` to aggregate an existing store).",
     )
     parser.add_argument(
         "--preset",
@@ -131,6 +170,12 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="compilation process-pool size (default: 1); results are "
         "bit-identical for any value",
+    )
+    parser.add_argument(
+        "--eval-jobs", type=int, default=1, metavar="N",
+        help="evaluation process-pool size (default: 1); scenario chunks "
+        "are sharded across workers that write straight to the store; "
+        "records are bit-identical for any value",
     )
     parser.add_argument(
         "--store", default=None, metavar="DIR",
@@ -180,18 +225,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.limit is not None and args.limit <= 0:
         parser.error("--limit must be positive")
 
+    from repro.sweeps.runner import run_sweep
+
     store = SweepStore(args.store) if args.store else None
     log = None if args.quiet else print
     report = run_sweep(
         grid, store, resume=args.resume, workers=args.jobs,
-        limit=args.limit, log=log,
+        eval_workers=args.eval_jobs, limit=args.limit, log=log,
     )
 
+    summary = technique_summary(ResultTable.from_records(report.records))
     print(
-        format_table(
-            ["benchmark", "technique", "scenarios", "analytic(mean)",
-             "empirical(mean)", "empirical(min)", "empirical(max)"],
-            _summary_rows(report.records),
+        summary.render(
             title=f"{report.scenarios} scenarios, {args.shots} shots each -- "
             f"{report.computed} computed, {report.resumed} resumed, "
             f"{report.compilations} compilations, {report.elapsed_s:.1f}s",
@@ -199,7 +244,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     if store is not None:
         print(f"store: {store.directory} ({len(store)} records)")
+        print(f"analyze with: python -m repro.sweeps analyze {store.directory}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "analyze":
+        return _analyze_main(argv[1:])
+    return _run_main(argv)
 
 
 if __name__ == "__main__":

@@ -1,30 +1,34 @@
 """Execute a :class:`~repro.sweeps.grid.SweepGrid` end to end.
 
-The runner separates the two costs of a sweep:
+The runner separates the two costs of a sweep and shards each across its
+own process pool:
 
 1. **Compilation** -- the unique ``(benchmark, technique, compile spec)``
    points behind the scenario list (noise-only spec axes collapse here) are
    deduplicated and fanned through the parallel batch engine
    (:func:`repro.experiments.common.compile_points`, ``workers`` processes,
    shared content-addressed cache).
-2. **Evaluation** -- every scenario is sampled in-process by the vectorized
-   :class:`~repro.sim.noisy.NoisyShotSimulator` (one ``(shots, 4)`` draw
-   per scenario; evaluation is far cheaper than compilation, so it never
-   needs the pool).
+2. **Evaluation** -- every pending scenario becomes an
+   :class:`~repro.sweeps.engine.EvalTask` and is sampled by
+   :func:`~repro.sweeps.engine.evaluate_tasks`: in-process when
+   ``eval_workers == 1``, otherwise chunked over a ``ProcessPoolExecutor``
+   whose workers write each finished record straight through the store's
+   atomic per-scenario files.
 
 Every scenario's compile config and Monte Carlo seed are fixed before any
-work runs, so the produced records are bit-identical for any ``workers``
-value.  With a :class:`~repro.sweeps.store.SweepStore` attached, each record
-is persisted as soon as it is evaluated; ``resume=True`` then skips every
-scenario already on disk, which is what lets an interrupted sweep restart
-without recomputation.
+work runs, so the produced records are bit-identical for any ``workers`` or
+``eval_workers`` value.  With a :class:`~repro.sweeps.store.SweepStore`
+attached, each record is persisted as soon as it is evaluated;
+``resume=True`` then skips every scenario already on disk, which is what
+lets an interrupted sweep -- killed even mid-shard -- restart without
+recomputation.
 """
 
 from __future__ import annotations
 
 import time
 import typing
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace
 
 from repro.experiments.common import (
     ExperimentSettings,
@@ -33,14 +37,13 @@ from repro.experiments.common import (
     settings_config_factory,
 )
 from repro.pipeline.fingerprint import fingerprint_config, fingerprint_circuit, fingerprint_spec
-from repro.sim.noisy import NoisyShotSimulator
+from repro.sweeps.engine import EvalTask, evaluate_tasks
 from repro.sweeps.grid import SweepGrid
-from repro.sweeps.store import SCHEMA_VERSION, SweepStore, scenario_key
+from repro.sweeps.store import SweepStore, scenario_key
 
 if typing.TYPE_CHECKING:
     from collections.abc import Callable
     from repro.core.result import CompilationResult
-    from repro.sweeps.grid import Scenario
 
 __all__ = ["SweepReport", "run_sweep"]
 
@@ -69,59 +72,13 @@ class SweepReport:
         return len(self.records)
 
 
-def _make_record(
-    scenario: "Scenario",
-    key: str,
-    result: "CompilationResult",
-    sim: NoisyShotSimulator,
-    outcome,
-    fingerprints: dict,
-) -> dict:
-    # Mirrors the on-disk payload exactly (schema_version and key included),
-    # so a computed record and its store round-trip compare equal.
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "key": key,
-        "scenario": {
-            "benchmark": scenario.benchmark,
-            "technique": scenario.technique,
-            "shots": scenario.shots,
-            "seed": scenario.seed,
-            "spec_name": scenario.spec.name,
-            "spec_overrides": dict(scenario.spec_overrides),
-            "noise": asdict(scenario.noise),
-            "fingerprints": fingerprints,
-        },
-        "result": {
-            "num_cz": result.num_cz,
-            "num_u3": result.num_u3,
-            "num_ccz": result.num_ccz,
-            "num_swaps": result.num_swaps,
-            "num_moves": result.num_moves,
-            "trap_change_events": result.trap_change_events,
-            "num_layers": result.num_layers,
-            "runtime_us": result.runtime_us,
-        },
-        "outcome": {
-            "shots": outcome.shots,
-            "successes": outcome.successes,
-            "gate_failures": outcome.gate_failures,
-            "movement_failures": outcome.movement_failures,
-            "decoherence_failures": outcome.decoherence_failures,
-            "readout_failures": outcome.readout_failures,
-            "success_rate": outcome.success_rate,
-            "stderr": outcome.stderr(),
-        },
-        "analytic_success": sim.analytic_success(),
-    }
-
-
 def run_sweep(
     grid: SweepGrid,
     store: SweepStore | None = None,
     *,
     resume: bool = False,
     workers: int = 1,
+    eval_workers: int = 1,
     limit: int | None = None,
     settings: ExperimentSettings | None = None,
     log: "Callable[[str], None] | None" = None,
@@ -135,6 +92,8 @@ def run_sweep(
         resume: with a store, skip scenarios whose records already exist;
             without it, existing entries are recomputed and overwritten.
         workers: process-pool size for the compilation phase.
+        eval_workers: process-pool size for the evaluation phase
+            (``--eval-jobs``); records are bit-identical for any value.
         limit: only evaluate the first ``limit`` scenarios of the grid
             (truncation cannot shift any scenario's content-derived seed).
         settings: experiment settings the compile configs derive from
@@ -216,7 +175,7 @@ def run_sweep(
         )
         compiled = dict(zip(point_order, results))
 
-    computed = 0
+    tasks = []
     for index in pending:
         scenario = scenarios[index]
         result = compiled[compile_ids[index]]
@@ -224,35 +183,37 @@ def run_sweep(
             # Noise-only axes: swap the effective spec onto the shared
             # compiled artifact (error rates never influence compilation).
             result = replace(result, spec=scenario.spec)
-        sim = NoisyShotSimulator(result, scenario.noise, seed=scenario.seed)
-        outcome = sim.run(scenario.shots)
-        record = _make_record(
-            scenario,
-            keys[index],
-            result,
-            sim,
-            outcome,
-            fingerprints={
-                "circuit": circuit_fps[scenario.benchmark],
-                "spec": fingerprint_spec(scenario.spec),
-                "config": config_fps[compile_ids[index]],
-            },
+        tasks.append(
+            EvalTask(
+                key=keys[index],
+                scenario=scenario,
+                result=result,
+                fingerprints={
+                    "circuit": circuit_fps[scenario.benchmark],
+                    "spec": fingerprint_spec(scenario.spec),
+                    "config": config_fps[compile_ids[index]],
+                },
+            )
         )
-        if store is not None:
-            store.put(keys[index], record)
+    if tasks:
+        emit(
+            f"sweep: evaluating {len(tasks)} scenarios "
+            f"(eval_workers={eval_workers})"
+        )
+    computed_records = evaluate_tasks(
+        tasks, store=store, workers=eval_workers, log=emit
+    )
+    for index, record in zip(pending, computed_records):
         records[index] = record
-        computed += 1
-        if computed % 50 == 0:
-            emit(f"sweep: evaluated {computed}/{len(pending)} scenarios")
 
     elapsed = time.perf_counter() - start
     emit(
-        f"sweep: done -- {computed} computed, {resumed} resumed, "
+        f"sweep: done -- {len(pending)} computed, {resumed} resumed, "
         f"{len(point_order)} compilations in {elapsed:.1f}s"
     )
     return SweepReport(
         records=tuple(records),
-        computed=computed,
+        computed=len(pending),
         resumed=resumed,
         compilations=len(point_order),
         elapsed_s=elapsed,

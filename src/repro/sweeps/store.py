@@ -6,10 +6,11 @@ runs never leave half-written entries.  Resuming a sweep is then just "skip
 every scenario whose file already exists" -- no journal, no index, safe
 under concurrent writers.
 
-Record schema (``SCHEMA_VERSION = 1``)::
+Record schema (``SCHEMA_VERSION = 2``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
+      "engine_version": "<repro.__version__ that computed the record>",
       "key": "<sha256 scenario address>",
       "scenario": {
         "benchmark", "technique", "shots", "seed",
@@ -31,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import typing
+import warnings
 from pathlib import Path
 
 from repro.pipeline.cache import atomic_write_text
@@ -42,7 +44,7 @@ if typing.TYPE_CHECKING:
 
 __all__ = ["SCHEMA_VERSION", "SweepStore", "scenario_key"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def scenario_key(
@@ -90,17 +92,41 @@ class SweepStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
+    def _load(self, path: Path) -> dict | None:
+        """Parse one record file; truncated/corrupt entries are *missing*.
+
+        A kill mid-write on a filesystem without atomic rename can leave a
+        half-written file behind; raising there would wedge every later
+        ``--resume``, so unreadable records warn once and read as absent
+        (the scenario is simply recomputed and the file overwritten).
+        """
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"sweep store: treating unreadable record {path.name} as "
+                f"missing ({exc})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if not isinstance(record, dict):
+            warnings.warn(
+                f"sweep store: treating non-object record {path.name} as missing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return record
+
     def get(self, key: str) -> dict | None:
         """The stored record for ``key``, or None (corrupt files count as
-        missing, so an interrupted write is simply recomputed)."""
+        missing-with-warning, so an interrupted write is simply recomputed)."""
         path = self.path(key)
         if not path.exists():
             return None
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(record, dict) or record.get("key") != key:
+        record = self._load(path)
+        if record is None or record.get("key") != key:
             return None
         if record.get("schema_version") != SCHEMA_VERSION:
             return None
@@ -109,25 +135,65 @@ class SweepStore:
     def put(self, key: str, record: dict) -> None:
         """Persist ``record`` under ``key`` atomically.
 
-        The stamped ``key``/``schema_version`` fields are authoritative
-        (they overwrite any stale values in ``record``), and a failed
-        write raises: a sweep whose store cannot persist must not keep
-        reporting scenarios as safely computed.
+        The stamped ``key``/``schema_version``/``engine_version`` fields
+        are authoritative (they overwrite any stale values in ``record``),
+        and a failed write raises: a sweep whose store cannot persist must
+        not keep reporting scenarios as safely computed.
         """
-        payload = {**record, "schema_version": SCHEMA_VERSION, "key": key}
+        from repro import __version__
+
+        payload = {
+            **record,
+            "schema_version": SCHEMA_VERSION,
+            "engine_version": __version__,
+            "key": key,
+        }
         text = json.dumps(payload, indent=None, sort_keys=True)
         if not atomic_write_text(self.path(key), text):
             raise OSError(f"failed to persist sweep record to {self.path(key)}")
 
     def records(self) -> "Iterator[dict]":
-        """Every readable record in the store (arbitrary order)."""
+        """Every readable same-generation record, in ascending key order.
+
+        Iteration order is deterministic -- sorted by each record's
+        embedded ``key`` (falling back to the filename for records missing
+        one) -- so aggregation built on a store is reproducible across
+        filesystems and directory-listing orders.  Unreadable,
+        wrong-schema, or foreign ``engine_version`` entries (left behind
+        when a store directory is reused across package upgrades -- the
+        Monte Carlo draw stream differs between generations, so their
+        numbers must never blend into one analysis) are skipped with a
+        warning.
+        """
+        from repro import __version__
+
+        loaded = []
         for path in sorted(self.directory.glob("*.json")):
-            try:
-                record = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
+            record = self._load(path)
+            if record is None:
                 continue
-            if isinstance(record, dict) and record.get("schema_version") == SCHEMA_VERSION:
-                yield record
+            if record.get("schema_version") != SCHEMA_VERSION:
+                warnings.warn(
+                    f"sweep store: skipping record {path.name} with "
+                    f"schema_version={record.get('schema_version')!r} "
+                    f"(expected {SCHEMA_VERSION})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if record.get("engine_version") != __version__:
+                warnings.warn(
+                    f"sweep store: skipping record {path.name} computed by "
+                    f"engine {record.get('engine_version')!r} (this is "
+                    f"{__version__}; rerun the sweep to refresh it)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            loaded.append((str(record.get("key") or path.stem), record))
+        loaded.sort(key=lambda item: item[0])
+        for _, record in loaded:
+            yield record
 
     def clear(self) -> None:
         """Delete every record file (used by tests and --no-resume runs)."""

@@ -15,6 +15,7 @@ from repro.analysis.report import render_markdown_report
 from repro.core.result import CompilationResult
 from repro.experiments.common import ExperimentTable
 from repro.hardware.spec import HardwareSpec
+from repro.sweeps.analysis import ResultTable
 
 
 def make_result(technique="parallax", num_cz=100, runtime_us=100.0, **kwargs):
@@ -65,20 +66,19 @@ class TestSuccessImprovement:
 
 
 class TestCompareTechniques:
-    def build_results(self):
-        return {
-            "B1": {
-                "parallax": make_result(num_cz=100, runtime_us=100),
-                "eldi": make_result("eldi", num_cz=200, runtime_us=80),
-            },
-            "B2": {
-                "parallax": make_result(num_cz=50, runtime_us=50),
-                "eldi": make_result("eldi", num_cz=100, runtime_us=50),
-            },
-        }
+    def build_table(self):
+        # The unified-rows equivalent of the old nested results mapping.
+        return ResultTable.from_compilations(
+            [
+                ("B1", "parallax", make_result(num_cz=100, runtime_us=100)),
+                ("B1", "eldi", make_result("eldi", num_cz=200, runtime_us=80)),
+                ("B2", "parallax", make_result(num_cz=50, runtime_us=50)),
+                ("B2", "eldi", make_result("eldi", num_cz=100, runtime_us=50)),
+            ]
+        )
 
     def test_summary_fields(self):
-        summary = compare_techniques(self.build_results(), "eldi")
+        summary = compare_techniques(self.build_table(), "eldi")
         assert summary.baseline == "eldi"
         assert summary.num_benchmarks == 2
         assert summary.mean_cz_reduction == pytest.approx(0.5)
@@ -87,23 +87,37 @@ class TestCompareTechniques:
         assert summary.mean_runtime_ratio > 0
 
     def test_missing_technique_rejected(self):
+        table = ResultTable.from_compilations([("B", "parallax", make_result())])
         with pytest.raises(KeyError):
-            compare_techniques({"B": {"parallax": make_result()}}, "eldi")
+            compare_techniques(table, "eldi")
 
     def test_describe_is_readable(self):
-        summary = compare_techniques(self.build_results(), "eldi")
+        summary = compare_techniques(self.build_table(), "eldi")
         text = summary.describe()
         assert "eldi" in text and "benchmarks" in text
 
     def test_infinite_improvements_excluded(self):
-        results = {
-            "B": {
-                "parallax": make_result(num_cz=10),
-                "eldi": make_result("eldi", num_cz=2_000_000),  # underflows
-            }
-        }
-        summary = compare_techniques(results, "eldi")
+        table = ResultTable.from_compilations(
+            [
+                ("B", "parallax", make_result(num_cz=10)),
+                ("B", "eldi", make_result("eldi", num_cz=2_000_000)),  # underflows
+            ]
+        )
+        summary = compare_techniques(table, "eldi")
         assert not math.isinf(summary.mean_success_improvement)
+
+    def test_sweep_rows_are_averaged_per_benchmark(self):
+        # Multiple rows per (benchmark, technique) -- e.g. a noise sweep --
+        # are reduced by their mean before comparison.
+        table = ResultTable.from_compilations(
+            [
+                ("B", "parallax", make_result(num_cz=100, runtime_us=100)),
+                ("B", "parallax", make_result(num_cz=200, runtime_us=100)),
+                ("B", "eldi", make_result("eldi", num_cz=300, runtime_us=100)),
+            ]
+        )
+        summary = compare_techniques(table, "eldi")
+        assert summary.mean_cz_reduction == pytest.approx(0.5)
 
 
 class TestMarkdownReport:

@@ -88,11 +88,11 @@ class TestNoisyShotSimulator:
 
 
 class TestSeedParity:
-    """The vectorized engine and the per-shot reference loop are one path."""
+    """The vectorized array engine and the per-shot loop are one path."""
 
     def test_vectorized_matches_loop(self):
         result = make_result()
-        vec = NoisyShotSimulator(result, seed=42).run(3000)
+        vec = NoisyShotSimulator(result, seed=42).run_array(3000)
         loop = NoisyShotSimulator(result, seed=42).run_loop(3000)
         assert vec == loop
 
@@ -109,13 +109,90 @@ class TestSeedParity:
     def test_parity_across_configs(self, config):
         result = make_result(num_cz=500, num_moves=200, trap_change_events=8,
                              runtime_us=2e4)
-        vec = NoisyShotSimulator(result, config, seed=11).run(1500)
+        vec = NoisyShotSimulator(result, config, seed=11).run_array(1500)
         loop = NoisyShotSimulator(result, config, seed=11).run_loop(1500)
         assert vec == loop
 
     def test_loop_rejects_invalid_shots(self):
         with pytest.raises(ValueError):
             NoisyShotSimulator(make_result()).run_loop(0)
+
+    def test_array_rejects_invalid_shots(self):
+        with pytest.raises(ValueError):
+            NoisyShotSimulator(make_result()).run_array(0)
+
+
+class TestMultinomialFastPath:
+    """`run` draws one multinomial; the array path is its statistical oracle."""
+
+    def _channel_rates(self, outcome):
+        return [
+            outcome.gate_failures / outcome.shots,
+            outcome.movement_failures / outcome.shots,
+            outcome.decoherence_failures / outcome.shots,
+            outcome.readout_failures / outcome.shots,
+            outcome.success_rate,
+        ]
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            NoiseModelConfig(),
+            NoiseModelConfig(include_readout=True),
+            NoiseModelConfig(include_movement=False),
+            NoiseModelConfig(include_decoherence=False),
+        ],
+    )
+    def test_statistical_parity_with_array_path(self, config):
+        # The two engines consume the RNG differently, so parity is
+        # statistical: every channel rate of both paths must sit within
+        # 5 sigma of the same closed-form expectation.
+        result = make_result(num_cz=500, num_moves=200, trap_change_events=8,
+                             runtime_us=2e4)
+        shots = 60_000
+        multi = NoisyShotSimulator(result, config, seed=13).run(shots)
+        array = NoisyShotSimulator(result, config, seed=14).run_array(shots)
+        sim = NoisyShotSimulator(result, config, seed=0)
+        expected = list(sim._pvals)
+        for outcome in (multi, array):
+            assert outcome.shots == shots
+            for rate, p in zip(self._channel_rates(outcome), expected):
+                sigma = math.sqrt(max(p * (1 - p), 1e-12) / shots)
+                assert rate == pytest.approx(p, abs=5 * sigma + 1e-4)
+
+    def test_run_is_multinomial_not_array(self):
+        # One multinomial draw consumes a different RNG stream than the
+        # (shots, 4) uniform array: after `run`, the next uniform draw
+        # must differ from the array path's.
+        result = make_result()
+        a = NoisyShotSimulator(result, seed=3)
+        b = NoisyShotSimulator(result, seed=3)
+        a.run(1000)
+        b.run_array(1000)
+        assert a.rng.random() != b.rng.random()
+
+    def test_category_probabilities_form_a_distribution(self):
+        sim = NoisyShotSimulator(make_result(), NoiseModelConfig(include_readout=True))
+        assert sim._pvals is not None
+        assert all(p >= 0.0 for p in sim._pvals)
+        assert sum(sim._pvals) == pytest.approx(1.0, abs=1e-12)
+        # Success category is the channel product.
+        assert sim._pvals[-1] == pytest.approx(sim.analytic_success(), rel=1e-12)
+
+    def test_extreme_error_rates_stay_valid(self):
+        result = make_result(num_cz=100_000, num_moves=50_000,
+                             trap_change_events=1000, runtime_us=1e6)
+        outcome = NoisyShotSimulator(result, seed=5).run(1000)
+        assert outcome.successes == 0
+        assert outcome.shots == 1000
+
+    def test_counts_sum_to_shots(self):
+        outcome = NoisyShotSimulator(make_result(), seed=6).run(123_456)
+        total = (
+            outcome.successes + outcome.gate_failures + outcome.movement_failures
+            + outcome.decoherence_failures + outcome.readout_failures
+        )
+        assert total == 123_456
 
 
 class TestChannelwiseAnalyticParity:

@@ -1,0 +1,420 @@
+"""Tests for repro.sweeps.analysis: ResultTable, marginals, crossovers."""
+
+import math
+
+import pytest
+
+from repro.core.result import CompilationResult
+from repro.hardware.spec import HardwareSpec
+from repro.sweeps import SweepGrid, SweepStore, run_sweep
+from repro.sweeps.analysis import (
+    METRIC_COLUMNS,
+    OUTCOME_COLUMNS,
+    ResultTable,
+    render_store_summary,
+)
+
+
+def make_result(technique="parallax", num_cz=100, **kwargs):
+    defaults = dict(
+        technique=technique,
+        circuit_name="t",
+        num_qubits=4,
+        spec=HardwareSpec.quera_aquila(),
+        num_cz=num_cz,
+        runtime_us=100.0,
+    )
+    defaults.update(kwargs)
+    return CompilationResult(**defaults)
+
+
+def crossing_rows():
+    """Two linear series in `x` that cross between x=2 and x=3.
+
+    a(x) = 10 - x   -> 9, 8, 7, 6
+    b(x) = 4 + x    -> 5, 6, 7.5... crafted below so the brute-force
+    reference interpolation is easy to state in the test.
+    """
+    a_vals = {1.0: 9.0, 2.0: 8.0, 3.0: 7.0, 4.0: 6.0}
+    b_vals = {1.0: 5.0, 2.0: 6.5, 3.0: 8.0, 4.0: 9.5}
+    rows = []
+    for x in sorted(a_vals):
+        rows.append({"benchmark": "B", "technique": "a", "x": x,
+                     "analytic_success": a_vals[x]})
+        rows.append({"benchmark": "B", "technique": "b", "x": x,
+                     "analytic_success": b_vals[x]})
+    return rows, a_vals, b_vals
+
+
+@pytest.fixture(scope="module")
+def sweep_table(tmp_path_factory):
+    store = SweepStore(tmp_path_factory.mktemp("store"))
+    grid = SweepGrid(
+        benchmarks=("ADD",),
+        techniques=("parallax", "graphine"),
+        spec_axes={"cz_error": (0.002, 0.004, 0.008)},
+        noise_axes={"include_readout": (False, True)},
+        shots=300,
+        base_seed=5,
+    )
+    run_sweep(grid, store)
+    return ResultTable.from_store(store)
+
+
+class TestConstruction:
+    def test_from_store_has_unified_schema(self, sweep_table):
+        table = sweep_table
+        assert len(table) == 12
+        for column in ("benchmark", "technique", "cz_error",
+                       "noise_include_readout", "num_cz", "runtime_us",
+                       "analytic_success", "success_rate", "stderr"):
+            assert column in table.names
+        assert all(v in (0.002, 0.004, 0.008) for v in table.column("cz_error"))
+
+    def test_store_load_is_key_ordered_and_deterministic(self, tmp_path):
+        store = SweepStore(tmp_path / "s")
+        for bench, key in (("X", "b" * 64), ("Y", "a" * 64)):
+            store.put(key, {"scenario": {"benchmark": bench},
+                            "analytic_success": 1.0})
+        t1 = ResultTable.from_store(store)
+        t2 = ResultTable.from_store(store)
+        assert t1.rows == t2.rows
+        # Store iteration is key-sorted, so "a"*64 (benchmark Y) leads.
+        assert t1.column("benchmark") == ["Y", "X"]
+
+    def test_from_compilations_rows(self):
+        table = ResultTable.from_compilations(
+            [
+                ("B1", "parallax", make_result(num_cz=10)),
+                ("B1", "eldi", make_result("eldi", num_cz=40), {"arm": 1}),
+            ]
+        )
+        assert len(table) == 2
+        assert table.column("num_cz") == [10, 40]
+        assert table.column("arm") == [None, 1]
+        assert all(v is None for v in table.column("success_rate"))
+        assert all(0 <= v <= 1 for v in table.column("analytic_success"))
+
+    def test_concat_unions_columns(self):
+        a = ResultTable.from_rows([{"benchmark": "A", "num_cz": 1}])
+        b = ResultTable.from_rows([{"benchmark": "B", "aod_count": 5}])
+        merged = ResultTable.concat([a, b])
+        assert len(merged) == 2
+        assert merged.column("aod_count") == [None, 5]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ResultTable({"a": [1, 2], "b": [1]})
+
+    def test_unknown_column_named_in_error(self, sweep_table):
+        with pytest.raises(KeyError, match="no column 'nope'"):
+            sweep_table.column("nope")
+
+
+class TestFilterAxesDistinct:
+    def test_filter(self, sweep_table):
+        sub = sweep_table.filter(technique="parallax", cz_error=0.004)
+        assert len(sub) == 2
+        assert set(sub.column("noise_include_readout")) == {False, True}
+
+    def test_axes_detected(self, sweep_table):
+        axes = sweep_table.axes()
+        assert "cz_error" in axes
+        assert "technique" in axes
+        assert "noise_include_readout" in axes
+        assert "seed" not in axes
+        assert "analytic_success" not in axes
+
+    def test_numeric_axes_exclude_categoricals_and_bools(self, sweep_table):
+        numeric = sweep_table.numeric_axes()
+        assert "cz_error" in numeric
+        assert "technique" not in numeric
+        assert "noise_include_readout" not in numeric
+
+    def test_distinct_sorted(self, sweep_table):
+        assert sweep_table.distinct("cz_error") == [0.002, 0.004, 0.008]
+
+
+class TestMarginal:
+    def test_marginal_matches_brute_force(self, sweep_table):
+        marg = sweep_table.marginal(
+            value="success_rate", over="cz_error",
+            group_by=("benchmark", "technique"),
+        )
+        rows = {  # brute-force reference straight off the flat rows
+            (r["benchmark"], r["technique"], r["cz_error"]): []
+            for r in sweep_table.row_dicts()
+        }
+        for r in sweep_table.row_dicts():
+            rows[r["benchmark"], r["technique"], r["cz_error"]].append(
+                r["success_rate"]
+            )
+        for row in marg.row_dicts():
+            expected = rows[row["benchmark"], row["technique"], row["cz_error"]]
+            assert row["n"] == len(expected) == 2
+            assert row["success_rate"] == pytest.approx(
+                sum(expected) / len(expected)
+            )
+
+    def test_axis_values_ascend_within_groups(self, sweep_table):
+        marg = sweep_table.marginal(value="analytic_success", over="cz_error")
+        per_group = {}
+        for row in marg.row_dicts():
+            per_group.setdefault((row["benchmark"], row["technique"]), []).append(
+                row["cz_error"]
+            )
+        for values in per_group.values():
+            assert values == sorted(values)
+
+    def test_none_values_ignored(self):
+        table = ResultTable.from_rows(
+            [
+                {"technique": "a", "analytic_success": 0.5},
+                {"technique": "a", "analytic_success": None},
+            ]
+        )
+        marg = table.marginal(group_by=("technique",))
+        assert marg.column("analytic_success") == [0.5]
+        assert marg.column("n") == [1]
+
+    def test_aggregates(self):
+        table = ResultTable.from_rows(
+            [{"technique": "a", "num_cz": v} for v in (1, 2, 3, 10)]
+        )
+        assert table.marginal("num_cz", group_by=("technique",), agg="min").column("num_cz") == [1]
+        assert table.marginal("num_cz", group_by=("technique",), agg="max").column("num_cz") == [10]
+        assert table.marginal("num_cz", group_by=("technique",), agg="median").column("num_cz") == [2.5]
+
+    def test_unknown_agg_rejected(self, sweep_table):
+        with pytest.raises(ValueError, match="unknown agg"):
+            sweep_table.marginal(agg="mode")
+
+
+class TestPivot:
+    def test_pivot_values_and_order(self):
+        table = ResultTable.from_rows(
+            [
+                {"benchmark": "B2", "technique": "x", "num_cz": 7},
+                {"benchmark": "B2", "technique": "y", "num_cz": 9},
+                {"benchmark": "B1", "technique": "x", "num_cz": 1},
+                {"benchmark": "B1", "technique": "y", "num_cz": 2},
+            ]
+        )
+        pivoted = table.pivot("benchmark", "technique", "num_cz",
+                              column_order=("y", "x"))
+        # First-appearance index order is preserved (figure tables rely
+        # on benchmark order), columns follow column_order.
+        assert pivoted.headers == ("benchmark", "y", "x")
+        assert pivoted.rows == (("B2", 9, 7), ("B1", 2, 1))
+
+    def test_single_cell_values_keep_type(self):
+        table = ResultTable.from_rows(
+            [{"benchmark": "B", "technique": "x", "num_cz": 7}]
+        )
+        cell = table.pivot("benchmark", "technique", "num_cz").rows[0][1]
+        assert cell == 7 and isinstance(cell, int)
+
+    def test_missing_cells_are_none(self):
+        table = ResultTable.from_rows(
+            [
+                {"benchmark": "B1", "technique": "x", "num_cz": 1},
+                {"benchmark": "B2", "technique": "y", "num_cz": 2},
+            ]
+        )
+        pivoted = table.pivot("benchmark", "technique", "num_cz",
+                              column_order=("x", "y"))
+        assert pivoted.rows == (("B1", 1, None), ("B2", None, 2))
+
+
+class TestCrossovers:
+    def test_crossover_matches_brute_force_reference(self):
+        rows, a_vals, b_vals = crossing_rows()
+        table = ResultTable.from_rows(rows)
+        found = table.crossovers(axis="x", value="analytic_success")
+        assert len(found) == 1
+        crossing = found[0]
+        # Brute-force reference: on [2, 3] the difference a-b goes from
+        # +1.5 to -1.0, so the crossing sits at t = 1.5/2.5 of the segment.
+        t = 1.5 / 2.5
+        x_ref = 2.0 + t * 1.0
+        y_ref = 8.0 + t * (7.0 - 8.0)
+        assert crossing.axis_value == pytest.approx(x_ref)
+        assert crossing.metric_value == pytest.approx(y_ref)
+        assert crossing.first == "a"  # a led below the crossing
+        assert crossing.second == "b"  # b overtakes as x grows
+        assert crossing.group == ("B",)
+
+    def test_no_crossover_when_series_never_meet(self):
+        rows = []
+        for x in (1.0, 2.0, 3.0):
+            rows.append({"benchmark": "B", "technique": "a", "x": x,
+                         "analytic_success": 1.0 + x})
+            rows.append({"benchmark": "B", "technique": "b", "x": x,
+                         "analytic_success": x})
+        table = ResultTable.from_rows(rows)
+        assert table.crossovers(axis="x") == []
+
+    def test_exact_grid_point_touch_is_reported(self):
+        rows = []
+        for x, (ya, yb) in {1.0: (2.0, 1.0), 2.0: (1.5, 1.5), 3.0: (1.0, 2.0)}.items():
+            rows.append({"benchmark": "B", "technique": "a", "x": x,
+                         "analytic_success": ya})
+            rows.append({"benchmark": "B", "technique": "b", "x": x,
+                         "analytic_success": yb})
+        table = ResultTable.from_rows(rows)
+        found = table.crossovers(axis="x")
+        assert len(found) == 1
+        assert found[0].axis_value == pytest.approx(2.0)
+        assert found[0].metric_value == pytest.approx(1.5)
+
+    def test_zero_plateau_flip_is_reported(self):
+        # Series exactly equal over consecutive grid points, with the lead
+        # flipping across the plateau: diffs +0.2, 0, 0, -0.2.
+        rows = []
+        for x, (ya, yb) in {1.0: (1.2, 1.0), 2.0: (1.0, 1.0),
+                            3.0: (0.9, 0.9), 4.0: (0.6, 0.8)}.items():
+            rows.append({"benchmark": "B", "technique": "a", "x": x,
+                         "analytic_success": ya})
+            rows.append({"benchmark": "B", "technique": "b", "x": x,
+                         "analytic_success": yb})
+        found = ResultTable.from_rows(rows).crossovers(axis="x")
+        assert len(found) == 1
+        assert found[0].axis_value == pytest.approx(3.0)  # plateau right edge
+        assert found[0].first == "a" and found[0].second == "b"
+
+    def test_leading_zero_diff_is_not_a_crossover(self):
+        # Equal at the first grid point, then one series leads throughout:
+        # no established lead was overturned, so nothing to report.
+        rows = []
+        for x, (ya, yb) in {1.0: (1.0, 1.0), 2.0: (0.9, 0.8),
+                            3.0: (0.8, 0.6)}.items():
+            rows.append({"benchmark": "B", "technique": "a", "x": x,
+                         "analytic_success": ya})
+            rows.append({"benchmark": "B", "technique": "b", "x": x,
+                         "analytic_success": yb})
+        assert ResultTable.from_rows(rows).crossovers(axis="x") == []
+
+    def test_describe_is_readable(self):
+        rows, _, _ = crossing_rows()
+        crossing = ResultTable.from_rows(rows).crossovers(axis="x")[0]
+        text = crossing.describe()
+        assert "overtakes" in text and "x=" in text
+
+    def test_store_to_crossover_end_to_end(self, tmp_path):
+        # Full path: records on disk -> from_store -> crossover report,
+        # with a crossing whose location is known in closed form.
+        store = SweepStore(tmp_path / "s")
+        series = {
+            "slow": {0.001: 0.9, 0.002: 0.7, 0.004: 0.3},
+            "steep": {0.001: 0.95, 0.002: 0.6, 0.004: 0.1},
+        }
+        key = 0
+        for tech, points in series.items():
+            for cz, rate in points.items():
+                key += 1
+                # Distinct leading chars: store filenames use key[:40].
+                store.put(
+                    f"{key:x}" * 64,
+                    {
+                        "scenario": {
+                            "benchmark": "ADD",
+                            "technique": tech,
+                            "shots": 1000,
+                            "seed": key,
+                            "spec_name": "synthetic",
+                            "spec_overrides": {"cz_error": cz},
+                            "noise": {},
+                        },
+                        "result": {"num_cz": 1, "runtime_us": 1.0},
+                        "outcome": {"success_rate": rate, "stderr": 0.01},
+                        "analytic_success": rate,
+                    },
+                )
+        assert len(store) == 6
+        table = ResultTable.from_store(store)
+        found = table.crossovers(axis="cz_error", value="success_rate")
+        assert len(found) == 1
+        crossing = found[0]
+        # Brute force on [0.001, 0.002]: diff steep-slow goes +0.05 -> -0.1.
+        t = 0.05 / 0.15
+        assert crossing.axis_value == pytest.approx(0.001 + t * 0.001)
+        assert crossing.metric_value == pytest.approx(0.95 + t * (0.6 - 0.95))
+        assert crossing.first == "steep" and crossing.second == "slow"
+        summary = render_store_summary(table, metric="success_rate")
+        assert "slow overtakes steep" in summary
+
+    def test_seeded_sweep_crossover_matches_reference(self, sweep_table):
+        # End-to-end acceptance: crossovers computed on a real seeded sweep
+        # match a brute-force scan of the marginal series.
+        found = sweep_table.crossovers(axis="cz_error", value="success_rate")
+        series: dict = {}
+        for row in sweep_table.marginal(
+            value="success_rate", over="cz_error",
+            group_by=("benchmark", "technique"),
+        ).row_dicts():
+            series.setdefault(row["technique"], {})[row["cz_error"]] = row[
+                "success_rate"
+            ]
+        expected = []
+        techs = sorted(series)
+        for i, a in enumerate(techs):
+            for b in techs[i + 1:]:
+                xs = sorted(set(series[a]) & set(series[b]))
+                for x0, x1 in zip(xs, xs[1:]):
+                    d0 = series[a][x0] - series[b][x0]
+                    d1 = series[a][x1] - series[b][x1]
+                    if d0 * d1 < 0:
+                        t = d0 / (d0 - d1)
+                        expected.append((a, b, x0 + t * (x1 - x0)))
+        assert len(found) == len(expected)
+        for crossing, (a, b, x_ref) in zip(found, expected):
+            assert {crossing.first, crossing.second} == {a, b}
+            assert crossing.axis_value == pytest.approx(x_ref)
+
+
+class TestRendering:
+    def test_render_text(self, sweep_table):
+        text = sweep_table.marginal().render()
+        assert "benchmark" in text and "technique" in text
+
+    def test_to_csv_round_trips_shape(self, sweep_table):
+        import csv as csv_module
+        import io
+
+        text = sweep_table.to_csv()
+        parsed = list(csv_module.reader(io.StringIO(text)))
+        assert tuple(parsed[0]) == sweep_table.names
+        assert len(parsed) == len(sweep_table) + 1
+
+    def test_none_cells_render_empty_in_csv(self):
+        table = ResultTable.from_rows([{"a": None, "b": 1}])
+        assert table.to_csv().splitlines()[1] == ",1"
+
+    def test_duck_typed_with_markdown_report(self, sweep_table):
+        from repro.analysis.report import render_markdown_report
+
+        text = render_markdown_report("R", [sweep_table.marginal()])
+        assert "| benchmark |" in text
+
+    def test_store_summary_mentions_crossovers_and_axes(self, sweep_table):
+        text = render_store_summary(sweep_table)
+        assert "crossover" in text
+        assert "axes:" in text
+        assert "cz_error" in text
+
+    def test_store_summary_empty(self):
+        assert render_store_summary(ResultTable({})) == "no records"
+
+
+class TestSchemaColumns:
+    def test_metric_columns_cover_outcome(self):
+        assert set(OUTCOME_COLUMNS) <= set(METRIC_COLUMNS)
+
+    def test_stderr_positive_on_sampled_rows(self, sweep_table):
+        assert all(v > 0 for v in sweep_table.column("stderr"))
+
+    def test_analytic_success_finite(self, sweep_table):
+        assert all(
+            v is not None and math.isfinite(v)
+            for v in sweep_table.column("analytic_success")
+        )

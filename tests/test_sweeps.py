@@ -119,7 +119,48 @@ class TestSweepStore:
         store = SweepStore(tmp_path / "s")
         assert store.get("a" * 64) is None
         store.path("b" * 64).write_text("{not json", encoding="utf-8")
-        assert store.get("b" * 64) is None
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            assert store.get("b" * 64) is None
+
+    def test_truncated_record_resumes_as_missing_with_warning(self, tmp_path):
+        # A kill mid-write on a filesystem without atomic rename leaves a
+        # truncated file; it must read as missing (recomputed), not raise.
+        store = SweepStore(tmp_path / "s")
+        store.put("d" * 64, {"scenario": {"benchmark": "ADD"}, "v": 1})
+        full = store.path("d" * 64).read_text(encoding="utf-8")
+        store.path("d" * 64).write_text(full[: len(full) // 2], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            assert store.get("d" * 64) is None
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            assert list(store.records()) == []
+
+    def test_records_sorted_by_key(self, tmp_path):
+        store = SweepStore(tmp_path / "s")
+        for key in ("f" * 64, "a" * 64, "c" * 64):
+            store.put(key, {"v": key[0]})
+        keys = [record["key"] for record in store.records()]
+        assert keys == sorted(keys)
+        assert len(keys) == 3
+
+    def test_foreign_engine_generation_excluded_from_iteration(self, tmp_path):
+        # A store directory reused across package upgrades holds records
+        # from two Monte Carlo engine generations; iteration must never
+        # blend them into one analysis.
+        store = SweepStore(tmp_path / "s")
+        store.put("a" * 64, {"v": 1})
+        record = {"v": 2, "schema_version": 2, "engine_version": "0.9.0",
+                  "key": "b" * 64}
+        store.path("b" * 64).write_text(json.dumps(record), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="engine '0.9.0'"):
+            kept = list(store.records())
+        assert [r["key"] for r in kept] == ["a" * 64]
+
+    def test_put_stamps_engine_version(self, tmp_path):
+        from repro import __version__
+
+        store = SweepStore(tmp_path / "s")
+        store.put("a" * 64, {"v": 1, "engine_version": "stale"})
+        assert store.get("a" * 64)["engine_version"] == __version__
 
     def test_key_mismatch_rejected(self, tmp_path):
         # A record stored under a truncated-collision path must not be
@@ -311,6 +352,80 @@ class TestSweepCLI:
             "--spec-axis", "warp_factor=1,2",
         ]) == 1
         assert "unknown spec axis" in capsys.readouterr().err
+
+    def test_eval_jobs_flag_matches_in_process(self, tmp_path, capsys):
+        from repro.sweeps.__main__ import main
+
+        one, four = tmp_path / "one", tmp_path / "four"
+        assert main(["--preset", "smoke", "--shots", "50", "--quiet",
+                     "--store", str(one)]) == 0
+        assert main(["--preset", "smoke", "--shots", "50", "--quiet",
+                     "--eval-jobs", "4", "--store", str(four)]) == 0
+        records_one = list(SweepStore(one).records())
+        records_four = list(SweepStore(four).records())
+        assert records_one == records_four
+
+
+class TestAnalyzeCLI:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        from repro.sweeps.__main__ import main
+
+        directory = tmp_path / "out"
+        assert main([
+            "--preset", "smoke", "--shots", "50", "--quiet",
+            "--store", str(directory),
+        ]) == 0
+        return directory
+
+    def test_analyze_prints_marginals_and_crossovers(self, store_dir, capsys):
+        from repro.sweeps.__main__ import main
+
+        assert main(["analyze", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark" in out
+        assert "axes:" in out
+        assert "crossover" in out
+
+    def test_analyze_csv_dump(self, store_dir, tmp_path, capsys):
+        from repro.sweeps.__main__ import main
+
+        csv_path = tmp_path / "flat.csv"
+        assert main(["analyze", str(store_dir), "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 9  # header + 8 smoke scenarios
+        assert "benchmark" in lines[0]
+
+    def test_analyze_empty_store_errors(self, tmp_path, capsys):
+        from repro.sweeps.__main__ import main
+
+        assert main(["analyze", str(tmp_path / "empty")]) == 1
+        assert "no readable records" in capsys.readouterr().err
+
+    def test_analyze_unknown_metric_errors(self, store_dir, capsys):
+        from repro.sweeps.__main__ import main
+
+        assert main(["analyze", str(store_dir), "--metric", "nope"]) == 1
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_analyze_bad_axis_errors(self, store_dir, capsys):
+        from repro.sweeps.__main__ import main
+
+        assert main(["analyze", str(store_dir), "--axis", "t2_us"]) == 1
+        assert "not a numeric sweep axis" in capsys.readouterr().err
+
+    def test_cli_sweep_summary_flag(self, store_dir, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--sweep-summary", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_cli_sweep_summary_empty_errors(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--sweep-summary", str(tmp_path / "none")]) == 1
+        assert "no readable sweep records" in capsys.readouterr().err
 
 
 class TestNoiseOnlyFieldSet:
