@@ -10,15 +10,56 @@ testbed.
 Benchmarks default to the quick benchmark subset so a full
 ``pytest benchmarks/ --benchmark-only`` run stays in the minutes range.
 Set ``REPRO_BENCH_FULL=1`` to sweep all 18 Table III workloads.
+
+Perf trajectory: the speedup-gate modules (``test_perf_noisy_shots``,
+``test_perf_store_load``) report their measured timings through
+:func:`record_perf`; when ``PERF_JSON`` is set in the environment, the
+session writes every entry to that path as machine-readable JSON.  CI's
+``perf-trajectory`` job uploads the file (``BENCH_4.json``) as a workflow
+artifact, so the perf numbers are tracked per-PR instead of living and
+dying inside a log.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
 import pytest
 
 from repro.experiments.common import ALL_BENCHMARKS, QUICK_BENCHMARKS
+
+_PERF_ENTRIES: list[dict] = []
+
+
+def record_perf(name: str, **fields) -> None:
+    """Log one perf measurement (seconds, speedups, sizes -- any scalars).
+
+    Entries accumulate for the whole pytest session and are flushed to
+    ``$PERF_JSON`` at exit; without the env var this is a no-op sink, so
+    the gates stay dependency-free locally.
+    """
+    _PERF_ENTRIES.append({"name": name, **fields})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("PERF_JSON")
+    if not path or not _PERF_ENTRIES:
+        return
+    from repro import __version__
+
+    payload = {
+        "schema_version": 1,
+        "engine_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "entries": _PERF_ENTRIES,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 #: Benchmarks every figure module sweeps.
 FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
@@ -28,6 +69,12 @@ BENCH_SET: tuple[str, ...] = ALL_BENCHMARKS if FULL else QUICK_BENCHMARKS
 FIG11_SET: tuple[str, ...] = (
     ("ADV", "KNN", "QV", "SECA", "SQRT", "WST") if FULL else ("ADV", "SECA", "WST")
 )
+
+
+@pytest.fixture(scope="session")
+def perf():
+    """The :func:`record_perf` sink, as a fixture (no conftest imports)."""
+    return record_perf
 
 
 @pytest.fixture(scope="session")

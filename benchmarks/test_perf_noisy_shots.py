@@ -67,19 +67,27 @@ def _best_of(fn, rounds, shots=SHOTS):
     return best
 
 
-def test_vectorized_at_least_10x_faster_at_10k_shots(result):
+def test_vectorized_at_least_10x_faster_at_10k_shots(result, perf):
     sim = NoisyShotSimulator(result, seed=0)
     sim.run_array(SHOTS)  # warm numpy dispatch
     t_vec = _best_of(sim.run_array, rounds=5)
     t_loop = _best_of(sim.run_loop, rounds=3)
     speedup = t_loop / t_vec
+    perf(
+        "noisy_shots.vectorized_vs_loop",
+        shots=SHOTS,
+        vectorized_s=t_vec,
+        loop_s=t_loop,
+        speedup=speedup,
+        gate=10.0,
+    )
     assert speedup >= 10.0, (
         f"vectorized engine only {speedup:.1f}x faster "
         f"({t_vec * 1e3:.3f} ms vs {t_loop * 1e3:.3f} ms at {SHOTS} shots)"
     )
 
 
-def test_multinomial_at_least_10x_faster_than_array_at_1m_shots(result):
+def test_multinomial_at_least_10x_faster_than_array_at_1m_shots(result, perf):
     # The O(1)-per-scenario gate: one multinomial draw vs. the (shots, 4)
     # uniform array at a million shots.  The true gap is orders of
     # magnitude; 10x keeps the bar robust on loaded CI machines.
@@ -88,6 +96,14 @@ def test_multinomial_at_least_10x_faster_than_array_at_1m_shots(result):
     t_multi = _best_of(sim.run, rounds=5, shots=MULTINOMIAL_SHOTS)
     t_array = _best_of(sim.run_array, rounds=3, shots=MULTINOMIAL_SHOTS)
     speedup = t_array / t_multi
+    perf(
+        "noisy_shots.multinomial_vs_array",
+        shots=MULTINOMIAL_SHOTS,
+        multinomial_s=t_multi,
+        array_s=t_array,
+        speedup=speedup,
+        gate=10.0,
+    )
     assert speedup >= 10.0, (
         f"multinomial path only {speedup:.1f}x faster "
         f"({t_multi * 1e3:.3f} ms vs {t_array * 1e3:.3f} ms at "

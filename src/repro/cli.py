@@ -133,7 +133,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sweeps.analysis import ResultTable, render_store_summary
         from repro.sweeps.store import SweepStore
 
-        table = ResultTable.from_store(SweepStore(args.sweep_summary))
+        store = SweepStore(args.sweep_summary)
+        table = ResultTable.from_store(store)
         if not len(table):
             print(
                 f"error: no readable sweep records in {args.sweep_summary}",
@@ -141,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(render_store_summary(table))
+        print(f"store backend: {store.stats().describe()}")
         return 0
 
     if (args.qasm_file is None) == (args.benchmark is None):

@@ -10,15 +10,46 @@ spec.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 
 from repro.circuit.gate import Gate
 from repro.core.result import CompilationResult, CompiledLayer
 from repro.hardware.spec import HardwareSpec
 
-__all__ = ["result_to_dict", "result_from_dict", "dumps_result", "loads_result"]
+__all__ = [
+    "canonical_dumps",
+    "result_to_dict",
+    "result_from_dict",
+    "dumps_result",
+    "loads_result",
+    "short_checksum",
+]
 
 SCHEMA_VERSION = 1
+
+
+def canonical_dumps(obj) -> str:
+    """Deterministic compact JSON: sorted keys, no whitespace.
+
+    The byte-stable serialization shared by every on-disk record format
+    (sweep store records, packed segment payloads): two equal payload
+    dicts always serialize to identical bytes, which is what lets stores
+    compare, checksum, and deduplicate records by their serialized form.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def short_checksum(data: bytes | str) -> str:
+    """First 16 hex chars of SHA-256 -- the record-level integrity stamp.
+
+    Collision resistance at 64 bits is ample for corruption *detection*
+    (the only use: content addressing uses full digests elsewhere), and
+    the short form keeps per-record framing overhead small.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()[:16]
 
 
 def _gate_to_dict(gate: Gate) -> dict:

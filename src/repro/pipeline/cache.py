@@ -24,11 +24,16 @@ if typing.TYPE_CHECKING:
     from repro.core.result import CompilationResult
     from repro.hardware.spec import HardwareSpec
 
-__all__ = ["CacheStats", "CompilationCache", "atomic_write_text"]
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
 
 
-def atomic_write_text(path: Path, text: str) -> bool:
-    """Write ``text`` to ``path`` atomically (tmp file + rename).
+def atomic_write_bytes(path: Path, data: bytes) -> bool:
+    """Write ``data`` to ``path`` atomically (tmp file + rename).
 
     Concurrent writers (process-pool workers, parallel sweep jobs) each
     write a pid-suffixed temporary file and rename it into place, so
@@ -37,7 +42,7 @@ def atomic_write_text(path: Path, text: str) -> bool:
     """
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
     try:
-        tmp.write_text(text, encoding="utf-8")
+        tmp.write_bytes(data)
         tmp.replace(path)
         return True
     except OSError:
@@ -46,6 +51,11 @@ def atomic_write_text(path: Path, text: str) -> bool:
         except OSError:
             pass
         return False
+
+
+def atomic_write_text(path: Path, text: str) -> bool:
+    """UTF-8 text form of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
 
 
 @dataclass

@@ -45,11 +45,21 @@ Components
   version (see the module docstring for the exact record schema).  A killed
   sweep keeps every finished scenario; rerunning with ``resume`` skips them
   byte-for-byte.
+- :mod:`repro.sweeps.segments` -- the packed store backend:
+  :meth:`SweepStore.compact` seals loose records into immutable,
+  checksummed, length-prefixed segment files behind an atomically swapped
+  manifest.  Resume semantics are untouched (corrupt or truncated data
+  reads as missing-with-warning), but a full-store load becomes
+  O(segments) bulk reads, and each segment's columnar block lets
+  ``ResultTable.from_store`` materialize analysis columns without building
+  per-record dicts (~10x+ faster at 10^4 records).
 - ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
   explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
   ``--jobs`` (compilation pool), ``--eval-jobs`` (evaluation pool),
-  ``--shots``, ``--store`` and ``--resume``; plus the ``analyze STORE``
-  subcommand for marginals, axis detection, and crossover reports.
+  ``--shots``, ``--store``, ``--resume`` and ``--seal`` (compact chunks as
+  they complete); plus the ``compact STORE`` subcommand (pack an existing
+  store) and ``analyze STORE`` for marginals, axis detection, and
+  crossover reports.
 
 Example::
 
@@ -68,14 +78,22 @@ Example::
 
 from repro.sweeps.analysis import Crossover, ResultTable, render_store_summary
 from repro.sweeps.grid import NOISE_ONLY_SPEC_FIELDS, Scenario, SweepGrid
-from repro.sweeps.store import SCHEMA_VERSION, SweepStore, scenario_key
+from repro.sweeps.store import (
+    SCHEMA_VERSION,
+    CompactionReport,
+    StoreStats,
+    SweepStore,
+    scenario_key,
+)
 
 __all__ = [
     "NOISE_ONLY_SPEC_FIELDS",
+    "CompactionReport",
     "Crossover",
     "EvalTask",
     "ResultTable",
     "Scenario",
+    "StoreStats",
     "SweepGrid",
     "SweepReport",
     "evaluate_tasks",

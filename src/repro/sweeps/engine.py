@@ -157,12 +157,39 @@ def _evaluate_chunk(
     return records
 
 
+def _seal_chunk(
+    store: SweepStore | None,
+    chunk: "Sequence[EvalTask]",
+    emit: "Callable[[str], None]",
+) -> None:
+    """Driver-side sealing: pack one finished chunk's loose spills.
+
+    Workers always spill loose records (atomic, resume-safe); with
+    ``seal=True`` the driver compacts each chunk's keys into a packed
+    segment the moment its future completes, so a long sweep finishes with
+    its store already in bulk-load form.  Sealing failures degrade to
+    leaving the records loose -- never to losing them.
+    """
+    if store is None:
+        return
+    try:
+        report = store.compact(keys=[task.key for task in chunk])
+    except OSError as exc:
+        emit(f"sweep: could not seal chunk ({exc}); records stay loose")
+        return
+    if report.sealed:
+        emit(
+            f"sweep: sealed {report.sealed} records into {report.segment}"
+        )
+
+
 def evaluate_tasks(
     tasks: "Sequence[EvalTask]",
     *,
     store: SweepStore | None = None,
     workers: int = 1,
     chunk_size: int | None = None,
+    seal: bool = False,
     log: "Callable[[str], None] | None" = None,
 ) -> list[dict]:
     """Evaluate every task, in task order, optionally sharded.
@@ -177,6 +204,10 @@ def evaluate_tasks(
         chunk_size: tasks per dispatched chunk; defaults to spreading the
             work over ~4 chunks per worker (amortizes pickling while
             keeping the pool busy near the tail).
+        seal: with a store, compact each chunk's freshly spilled loose
+            records into a packed segment as its future completes (the
+            in-process path seals once at the end).  Record *content* is
+            unaffected -- only the on-disk backend changes.
         log: optional progress sink.
 
     Returns:
@@ -214,8 +245,11 @@ def evaluate_tasks(
                     while pending:
                         done, pending = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
-                            by_chunk[futures[future]] = future.result()
+                            index = futures[future]
+                            by_chunk[index] = future.result()
                             done_count += 1
+                            if seal:
+                                _seal_chunk(store, chunks[index], emit)
                         emit(
                             f"sweep: evaluated {done_count}/{len(chunks)} "
                             f"shards (workers={workers})"
@@ -235,4 +269,6 @@ def evaluate_tasks(
         records.append(record)
         if count % 50 == 0:
             emit(f"sweep: evaluated {count}/{len(tasks)} scenarios")
+    if seal:
+        _seal_chunk(store, tasks, emit)
     return records

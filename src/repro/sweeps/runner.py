@@ -71,6 +71,20 @@ class SweepReport:
     def scenarios(self) -> int:
         return len(self.records)
 
+    @property
+    def summary_line(self) -> str:
+        """Stable machine-readable one-liner for scripts and CI.
+
+        The ``key=value`` fields are a compatibility contract: CI greps
+        ``RESUME computed=0 resumed=N`` to assert a no-op resume, so the
+        prefix and the first two fields must never be reworded (append new
+        fields at the end instead).
+        """
+        return (
+            f"RESUME computed={self.computed} resumed={self.resumed} "
+            f"scenarios={self.scenarios} compilations={self.compilations}"
+        )
+
 
 def run_sweep(
     grid: SweepGrid,
@@ -80,6 +94,7 @@ def run_sweep(
     workers: int = 1,
     eval_workers: int = 1,
     limit: int | None = None,
+    seal: bool = False,
     settings: ExperimentSettings | None = None,
     log: "Callable[[str], None] | None" = None,
 ) -> SweepReport:
@@ -96,6 +111,9 @@ def run_sweep(
             (``--eval-jobs``); records are bit-identical for any value.
         limit: only evaluate the first ``limit`` scenarios of the grid
             (truncation cannot shift any scenario's content-derived seed).
+        seal: with a store, compact each evaluation chunk's loose records
+            into packed segments as it completes (``--seal``), so the run
+            ends with a bulk-loadable store; record content is unchanged.
         settings: experiment settings the compile configs derive from
             (defaults match the figure runners, so compilations are shared).
         log: optional progress sink (e.g. ``print``).
@@ -201,7 +219,7 @@ def run_sweep(
             f"(eval_workers={eval_workers})"
         )
     computed_records = evaluate_tasks(
-        tasks, store=store, workers=eval_workers, log=emit
+        tasks, store=store, workers=eval_workers, seal=seal, log=emit
     )
     for index, record in zip(pending, computed_records):
         records[index] = record

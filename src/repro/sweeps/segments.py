@@ -1,0 +1,540 @@
+"""Packed append-only segment files behind :class:`~repro.sweeps.store.SweepStore`.
+
+One JSON file per scenario is ideal for resume (atomic, content-addressed,
+safe under concurrent writers) but pathological to *load*: a million-record
+analysis pays a million ``open``/``read``/``parse`` round trips.  This
+module packs finished records into immutable, checksummed **segments** so a
+full-store load is O(segments) bulk reads while every resume guarantee of
+the loose format survives untouched.
+
+Segment layout (``segment-NNNNNN.seg``, UTF-8 bytes)::
+
+    SEG reproseg <format> <schema_version> <engine_version>\\n   header
+    REC <key> <nbytes> <checksum16>\\n                           one frame
+    <payload bytes>\\n                                             per record
+    ...
+    COL <nbytes> <checksum16>\\n                                 columnar
+    <columnar payload bytes>\\n                                    block
+    END <count> <keys_checksum16>\\n                             seal footer
+
+- Every **record frame** carries the full record payload in the store's
+  canonical JSON bytes (:func:`repro.core.serialize.canonical_dumps`), so a
+  random-access read returns exactly the dict the loose file held --
+  ``--resume`` stays byte-for-byte exact.
+- The **columnar block** holds the same records flattened to the unified
+  analysis row schema (:func:`repro.sweeps.analysis.record_row`) as
+  ``{"keys": [...], "names": [...], "columns": {name: [...]}}``: one
+  ``json.loads`` materializes an entire segment's worth of
+  :class:`~repro.sweeps.analysis.ResultTable` columns without building a
+  single per-record dict.  That block is what makes ``ResultTable.from_store``
+  on a compacted store ~10x+ faster than the loose path (gated in
+  ``benchmarks/test_perf_store_load.py``).
+- The **footer** seals the segment.  A missing or malformed footer, a
+  truncated tail, or a frame whose checksum disagrees degrades to
+  *missing-with-warning* for the affected records -- exactly how a
+  half-written loose file reads -- and never crashes ``--resume`` or
+  ``analyze``.
+
+Segments are immutable once written (atomic tmp + rename) and are only
+reachable through the **manifest** (``MANIFEST.json``), which maps every
+sealed key to ``(segment, offset, length, checksum)``.  Compaction writes
+new segment files first and publishes them with one atomic manifest swap,
+so readers and concurrent loose-record writers never observe a partial
+compaction; a compactor killed between the two steps leaves an orphan
+segment file that is simply never referenced.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.serialize import canonical_dumps, short_checksum
+from repro.pipeline.cache import atomic_write_bytes
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Callable, Iterator, Sequence
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SEGMENT_FORMAT_VERSION",
+    "SEGMENT_MAGIC",
+    "SEGMENT_PATTERN",
+    "Manifest",
+    "SegmentColumns",
+    "SegmentEntry",
+    "iter_segment_records",
+    "load_manifest",
+    "next_segment_name",
+    "pack_segment",
+    "read_segment_columns",
+    "read_segment_record",
+    "write_manifest",
+    "write_segment",
+]
+
+SEGMENT_MAGIC = "reproseg"
+SEGMENT_FORMAT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+SEGMENT_PATTERN = "segment-*.seg"
+
+#: A ``warn(dedup_key, message)`` sink; the store passes its deduplicating
+#: warner so one bad file warns once per store, not once per access.
+WarnFn = "Callable[[str, str], None]"
+
+
+def _default_warn(dedup_key: str, message: str) -> None:
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+@dataclass(frozen=True)
+class SegmentEntry:
+    """Manifest pointer to one sealed record: where and what to verify.
+
+    ``offset``/``length`` bound the payload bytes inside ``segment``;
+    ``checksum`` is :func:`~repro.core.serialize.short_checksum` of exactly
+    those bytes.
+    """
+
+    key: str
+    segment: str
+    offset: int
+    length: int
+    checksum: str
+
+
+@dataclass(frozen=True)
+class SegmentColumns:
+    """Manifest pointer to one segment's columnar analysis block."""
+
+    offset: int
+    length: int
+    checksum: str
+    count: int
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The store's sealed-record index, swapped atomically on compaction.
+
+    Attributes:
+        entries: key -> :class:`SegmentEntry` for every sealed record.
+        segments: segment filename -> :class:`SegmentColumns`.
+        schema_version: record schema the sealed records were written under.
+        engine_version: package version that sealed them (sealed records
+            are generation-checked exactly like loose ones).
+    """
+
+    entries: dict
+    segments: dict
+    schema_version: int
+    engine_version: str
+
+
+# -- segment encoding ----------------------------------------------------------
+
+
+def pack_segment(
+    records: "Sequence[dict]",
+) -> tuple[bytes, list[tuple[str, int, int, str]], SegmentColumns]:
+    """Encode sealed ``records`` into one segment byte blob.
+
+    Records must already be store-stamped (``key``/``schema_version``/
+    ``engine_version`` present) and are framed in the given order; callers
+    sort by key first so a sealed segment's frames -- and its columnar
+    block -- are in ascending key order.
+
+    Returns ``(blob, frames, columns)`` where ``frames`` holds one
+    ``(key, payload_offset, payload_length, checksum)`` tuple per record.
+    """
+    from repro import __version__
+    from repro.sweeps.analysis import record_row, canonical_order
+    from repro.sweeps.store import SCHEMA_VERSION
+
+    parts: list[bytes] = []
+    frames: list[tuple[str, int, int, str]] = []
+    header = (
+        f"SEG {SEGMENT_MAGIC} {SEGMENT_FORMAT_VERSION} "
+        f"{SCHEMA_VERSION} {__version__}\n"
+    ).encode("utf-8")
+    parts.append(header)
+    pos = len(header)
+    keys: list[str] = []
+    for record in records:
+        key = str(record["key"])
+        payload = canonical_dumps(record).encode("utf-8")
+        checksum = short_checksum(payload)
+        frame_header = f"REC {key} {len(payload)} {checksum}\n".encode("utf-8")
+        parts.append(frame_header)
+        pos += len(frame_header)
+        frames.append((key, pos, len(payload), checksum))
+        parts.append(payload)
+        parts.append(b"\n")
+        pos += len(payload) + 1
+        keys.append(key)
+
+    rows = [record_row(record) for record in records]
+    names = canonical_order({name for row in rows for name in row})
+    block = canonical_dumps(
+        {
+            "keys": keys,
+            "names": names,
+            "columns": {n: [row.get(n) for row in rows] for n in names},
+        }
+    ).encode("utf-8")
+    block_checksum = short_checksum(block)
+    col_header = f"COL {len(block)} {block_checksum}\n".encode("utf-8")
+    parts.append(col_header)
+    columns = SegmentColumns(
+        offset=pos + len(col_header),
+        length=len(block),
+        checksum=block_checksum,
+        count=len(records),
+    )
+    parts.append(block)
+    parts.append(b"\n")
+    keys_checksum = short_checksum(",".join(keys))
+    parts.append(f"END {len(keys)} {keys_checksum}\n".encode("utf-8"))
+    return b"".join(parts), frames, columns
+
+
+def next_segment_name(directory: Path) -> str:
+    """First unused ``segment-NNNNNN.seg`` name (orphans count as used)."""
+    highest = 0
+    for path in directory.glob(SEGMENT_PATTERN):
+        stem = path.name[len("segment-") : -len(".seg")]
+        if stem.isdigit():
+            highest = max(highest, int(stem))
+    return f"segment-{highest + 1:06d}.seg"
+
+
+def write_segment(
+    directory: Path, records: "Sequence[dict]"
+) -> tuple[str, list[SegmentEntry], SegmentColumns] | None:
+    """Pack ``records`` and write them as a new immutable segment file.
+
+    The write is atomic (tmp + rename); the segment is *not* yet visible to
+    readers -- it becomes reachable only when the caller publishes it in
+    the manifest.  The name is reserved with an exclusive create first, so
+    even a rogue second compactor (possible only after a stale lock was
+    force-broken) can never overwrite an existing segment.  Returns None
+    when the filesystem refuses the write.
+    """
+    blob, frames, columns = pack_segment(records)
+    name = None
+    for _ in range(1000):
+        candidate = next_segment_name(directory)
+        try:
+            (directory / candidate).touch(exist_ok=False)
+        except FileExistsError:
+            continue
+        except OSError:
+            return None
+        name = candidate
+        break
+    if name is None:
+        return None
+    if not atomic_write_bytes(directory / name, blob):
+        return None
+    entries = [
+        SegmentEntry(key=k, segment=name, offset=o, length=n, checksum=c)
+        for k, o, n, c in frames
+    ]
+    return name, entries, columns
+
+
+# -- segment decoding ----------------------------------------------------------
+
+
+def _read_line(data: bytes, pos: int) -> tuple[str, int] | None:
+    """Decode one ``\\n``-terminated ASCII line at ``pos``; None at EOF or
+    on an unterminated (truncated) tail."""
+    end = data.find(b"\n", pos)
+    if end < 0:
+        return None
+    try:
+        return data[pos:end].decode("utf-8"), end + 1
+    except UnicodeDecodeError:
+        return None
+
+
+def iter_segment_records(
+    data: bytes, source: str, warn: "WarnFn" = _default_warn
+) -> "Iterator[tuple[str, dict]]":
+    """Yield every intact ``(key, record)`` of one segment's bytes.
+
+    Tolerant by design: a malformed header drops the whole segment, a
+    corrupt or truncated frame drops that record *and everything after it*
+    (framing can no longer be trusted), and a checksum mismatch drops just
+    that record -- each with one warning through ``warn``.  Whatever
+    prefix of the segment survives reads normally, mirroring how a
+    half-written loose file degrades to missing-with-warning.
+    """
+    line = _read_line(data, 0)
+    if line is None or not line[0].startswith(f"SEG {SEGMENT_MAGIC} "):
+        warn(
+            f"{source}:header",
+            f"sweep store: segment {source} has no valid header; "
+            f"treating its records as missing",
+        )
+        return
+    header, pos = line
+    fields = header.split()
+    if len(fields) < 3 or fields[2] != str(SEGMENT_FORMAT_VERSION):
+        warn(
+            f"{source}:format",
+            f"sweep store: segment {source} has unsupported format "
+            f"{fields[2] if len(fields) > 2 else '?'!r} "
+            f"(expected {SEGMENT_FORMAT_VERSION}); treating its records as missing",
+        )
+        return
+    while True:
+        line = _read_line(data, pos)
+        if line is None:
+            warn(
+                f"{source}:truncated",
+                f"sweep store: segment {source} is truncated before its "
+                f"seal footer; records past the damage read as missing",
+            )
+            return
+        text, pos = line
+        if text.startswith("END "):
+            return
+        if text.startswith("COL "):
+            # Skip over the columnar block to reach the footer.
+            parts = text.split()
+            if len(parts) != 3 or not parts[1].isdigit():
+                warn(
+                    f"{source}:columns-frame",
+                    f"sweep store: segment {source} has a malformed "
+                    f"columnar frame; remainder unreadable",
+                )
+                return
+            pos += int(parts[1]) + 1
+            continue
+        parts = text.split()
+        if len(parts) != 4 or parts[0] != "REC" or not parts[2].isdigit():
+            warn(
+                f"{source}:frame@{pos}",
+                f"sweep store: segment {source} has a corrupt record frame; "
+                f"records past the damage read as missing",
+            )
+            return
+        _, key, length_text, checksum = parts
+        length = int(length_text)
+        payload = data[pos : pos + length]
+        if len(payload) < length:
+            warn(
+                f"{source}:truncated",
+                f"sweep store: segment {source} is truncated mid-record; "
+                f"records past the damage read as missing",
+            )
+            return
+        pos += length + 1
+        if short_checksum(payload) != checksum:
+            warn(
+                f"{source}:{key[:12]}",
+                f"sweep store: sealed record {key[:12]}... in {source} "
+                f"fails its checksum; treating it as missing",
+            )
+            continue
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError:
+            warn(
+                f"{source}:{key[:12]}",
+                f"sweep store: sealed record {key[:12]}... in {source} "
+                f"is not valid JSON; treating it as missing",
+            )
+            continue
+        if isinstance(record, dict):
+            yield key, record
+
+
+def read_segment_record(
+    path: Path, entry: SegmentEntry, warn: "WarnFn" = _default_warn
+) -> dict | None:
+    """Random-access one sealed record through its manifest entry.
+
+    Seeks straight to the payload, verifies its checksum, and parses it;
+    any failure (missing segment, short read, checksum or JSON mismatch)
+    reads as missing-with-warning, never an exception.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(entry.offset)
+            payload = handle.read(entry.length)
+    except OSError as exc:
+        warn(
+            f"{path.name}:missing",
+            f"sweep store: manifest points at unreadable segment "
+            f"{path.name} ({exc}); its records read as missing",
+        )
+        return None
+    if len(payload) < entry.length or short_checksum(payload) != entry.checksum:
+        warn(
+            f"{path.name}:{entry.key[:12]}",
+            f"sweep store: sealed record {entry.key[:12]}... in {path.name} "
+            f"fails its checksum; treating it as missing",
+        )
+        return None
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        warn(
+            f"{path.name}:{entry.key[:12]}",
+            f"sweep store: sealed record {entry.key[:12]}... in {path.name} "
+            f"is not valid JSON; treating it as missing",
+        )
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def read_segment_columns(
+    path: Path, columns: SegmentColumns, warn: "WarnFn" = _default_warn
+) -> dict | None:
+    """Load one segment's columnar block (the bulk-analysis fast path).
+
+    One seek + one read + one ``json.loads`` per segment.  Returns the
+    ``{"keys", "names", "columns"}`` mapping, or None (with a warning) on
+    any integrity failure -- callers then fall back to the per-frame scan,
+    which salvages whatever records are intact.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(columns.offset)
+            block = handle.read(columns.length)
+    except OSError as exc:
+        warn(
+            f"{path.name}:missing",
+            f"sweep store: manifest points at unreadable segment "
+            f"{path.name} ({exc}); its records read as missing",
+        )
+        return None
+    if len(block) < columns.length or short_checksum(block) != columns.checksum:
+        warn(
+            f"{path.name}:columns",
+            f"sweep store: columnar block of {path.name} fails its "
+            f"checksum; falling back to the record frames",
+        )
+        return None
+    try:
+        parsed = json.loads(block)
+    except json.JSONDecodeError:
+        warn(
+            f"{path.name}:columns",
+            f"sweep store: columnar block of {path.name} is not valid "
+            f"JSON; falling back to the record frames",
+        )
+        return None
+    if (
+        not isinstance(parsed, dict)
+        or not isinstance(parsed.get("keys"), list)
+        or not isinstance(parsed.get("names"), list)
+        or not isinstance(parsed.get("columns"), dict)
+    ):
+        warn(
+            f"{path.name}:columns",
+            f"sweep store: columnar block of {path.name} has an unexpected "
+            f"shape; falling back to the record frames",
+        )
+        return None
+    return parsed
+
+
+# -- manifest ------------------------------------------------------------------
+
+
+def load_manifest(directory: Path, warn: "WarnFn" = _default_warn) -> Manifest | None:
+    """Read the store's manifest; None when absent or unreadable.
+
+    An unreadable or malformed manifest degrades exactly like a corrupt
+    record: the sealed records it pointed at read as missing-with-warning
+    (loose records are unaffected), and the next compaction rebuilds it.
+    """
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        warn(
+            f"{MANIFEST_NAME}:unreadable",
+            f"sweep store: unreadable manifest {path.name} ({exc}); "
+            f"sealed records read as missing until the next compaction",
+        )
+        return None
+    if not isinstance(data, dict) or data.get("manifest_version") != MANIFEST_VERSION:
+        warn(
+            f"{MANIFEST_NAME}:version",
+            f"sweep store: manifest {path.name} has unsupported version "
+            f"{data.get('manifest_version') if isinstance(data, dict) else '?'!r}; "
+            f"sealed records read as missing",
+        )
+        return None
+    try:
+        entries = {
+            key: SegmentEntry(
+                key=key,
+                segment=str(spec[0]),
+                offset=int(spec[1]),
+                length=int(spec[2]),
+                checksum=str(spec[3]),
+            )
+            for key, spec in (data.get("entries") or {}).items()
+        }
+        segments = {
+            name: SegmentColumns(
+                offset=int(spec["columns_offset"]),
+                length=int(spec["columns_length"]),
+                checksum=str(spec["columns_checksum"]),
+                count=int(spec["count"]),
+            )
+            for name, spec in (data.get("segments") or {}).items()
+        }
+    except (KeyError, IndexError, TypeError, ValueError):
+        warn(
+            f"{MANIFEST_NAME}:malformed",
+            f"sweep store: malformed manifest {path.name}; sealed records "
+            f"read as missing until the next compaction",
+        )
+        return None
+    return Manifest(
+        entries=entries,
+        segments=segments,
+        schema_version=data.get("schema_version"),
+        engine_version=data.get("engine_version"),
+    )
+
+
+def write_manifest(directory: Path, manifest: Manifest) -> bool:
+    """Atomically publish ``manifest`` (the compaction commit point).
+
+    Readers see either the old manifest or the new one, never a mix; the
+    rename is what makes compaction safe under concurrent record writers.
+    """
+    payload = {
+        "manifest_version": MANIFEST_VERSION,
+        "schema_version": manifest.schema_version,
+        "engine_version": manifest.engine_version,
+        "entries": {
+            key: [e.segment, e.offset, e.length, e.checksum]
+            for key, e in sorted(manifest.entries.items())
+        },
+        "segments": {
+            name: {
+                "count": c.count,
+                "columns_offset": c.offset,
+                "columns_length": c.length,
+                "columns_checksum": c.checksum,
+            }
+            for name, c in sorted(manifest.segments.items())
+        },
+    }
+    return atomic_write_bytes(
+        directory / MANIFEST_NAME, canonical_dumps(payload).encode("utf-8")
+    )

@@ -1,10 +1,25 @@
 """Resumable on-disk store for sweep results.
 
-One JSON file per scenario, named by the scenario's content address (see
-:func:`scenario_key`), written atomically so parallel jobs and interrupted
-runs never leave half-written entries.  Resuming a sweep is then just "skip
-every scenario whose file already exists" -- no journal, no index, safe
-under concurrent writers.
+Finished scenarios live in one of two interchangeable backends inside the
+same store directory:
+
+- **loose records** -- one JSON file per scenario, named by the scenario's
+  content address (see :func:`scenario_key`), written atomically so
+  parallel jobs and interrupted runs never leave half-written entries.
+  Ideal for resume: "skip every scenario whose file already exists", no
+  journal, safe under concurrent writers.
+- **packed segments** (:mod:`repro.sweeps.segments`) -- immutable,
+  checksummed, length-prefixed segment files produced by
+  :meth:`SweepStore.compact`, indexed by an atomically-swapped manifest.
+  Ideal for load: a million-record analysis is O(segments) bulk reads
+  instead of O(records) file opens, and each segment carries a columnar
+  block that materializes :class:`~repro.sweeps.analysis.ResultTable`
+  columns without per-record parsing.
+
+Both backends answer :meth:`get`/:meth:`records` identically (loose wins
+when a key exists in both), corrupt or truncated data always reads as
+missing-with-warning, and each distinct problem warns **once per store**
+(a 10^5-record scan over a few bad files must not flood the log).
 
 Record schema (``SCHEMA_VERSION = 2``)::
 
@@ -33,18 +48,29 @@ import json
 import os
 import typing
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.serialize import canonical_dumps
 from repro.pipeline.cache import atomic_write_text
 from repro.pipeline.fingerprint import fingerprint_obj
+from repro.sweeps import segments as seg
 
 if typing.TYPE_CHECKING:
-    from collections.abc import Iterator
+    from collections.abc import Iterable, Iterator
     from repro.sweeps.grid import Scenario
 
-__all__ = ["SCHEMA_VERSION", "SweepStore", "scenario_key"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "CompactionReport",
+    "StoreStats",
+    "SweepStore",
+    "scenario_key",
+]
 
 SCHEMA_VERSION = 2
+
+_UNLOADED = object()
 
 
 def scenario_key(
@@ -75,25 +101,141 @@ def scenario_key(
     )
 
 
+@dataclass(frozen=True)
+class CompactionReport:
+    """Outcome of one :meth:`SweepStore.compact` pass.
+
+    Attributes:
+        sealed: loose records packed into the new segment this pass.
+        deduped: loose files removed because their key was already sealed
+            (e.g. a previous compaction was killed between its manifest
+            swap and its loose-file cleanup).
+        skipped: loose files left untouched (unreadable, wrong schema, or
+            foreign engine generation -- never silently destroyed).
+        segment: filename of the newly sealed segment, or None when there
+            was nothing to seal.
+    """
+
+    sealed: int
+    deduped: int
+    skipped: int
+    segment: str | None
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Backend census of one store directory."""
+
+    loose: int
+    sealed: int
+    segments: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.loose} loose + {self.sealed} sealed records "
+            f"in {self.segments} segment(s)"
+        )
+
+
 class SweepStore:
-    """Directory of per-scenario JSON records, addressed by scenario key."""
+    """Directory of per-scenario records, addressed by scenario key."""
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._warned: set[str] = set()
+        self._manifest: object = _UNLOADED
+
+    # -- warnings --------------------------------------------------------------
+
+    def _warn(self, dedup_key: str, message: str) -> None:
+        """Warn once per distinct problem per store instance.
+
+        Every corrupt-data path funnels through here so a large scan over
+        a store with a few bad files emits a few warnings, not one per
+        access per iteration.
+        """
+        if dedup_key in self._warned:
+            return
+        self._warned.add(dedup_key)
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+    # -- paths and manifest ----------------------------------------------------
 
     def path(self, key: str) -> Path:
-        """File backing ``key`` (exists iff the scenario was evaluated)."""
+        """Loose file backing ``key`` (exists iff stored loose)."""
         return self.directory / f"{key[:40]}.json"
 
+    def loose_paths(self) -> "Iterator[Path]":
+        """Every loose record file (the manifest is not a record)."""
+        for path in self.directory.glob("*.json"):
+            if path.name != seg.MANIFEST_NAME:
+                yield path
+
+    def manifest(self, reload: bool = False) -> "seg.Manifest | None":
+        """The sealed-record index, lazily loaded and cached."""
+        if reload or self._manifest is _UNLOADED:
+            self._manifest = seg.load_manifest(self.directory, warn=self._warn)
+        return self._manifest  # type: ignore[return-value]
+
+    def _current_manifest(self) -> "seg.Manifest | None":
+        """The manifest, if it indexes this schema + engine generation.
+
+        A manifest written by an older package version is skipped whole
+        (with one warning): its Monte Carlo numbers must never blend into
+        a newer analysis, mirroring the per-record generation check on
+        loose files.
+        """
+        from repro import __version__
+
+        manifest = self.manifest()
+        if manifest is None:
+            return None
+        if (
+            manifest.schema_version != SCHEMA_VERSION
+            or manifest.engine_version != __version__
+        ):
+            self._warn(
+                f"{seg.MANIFEST_NAME}:generation",
+                f"sweep store: skipping {len(manifest.entries)} sealed "
+                f"records from engine {manifest.engine_version!r} / schema "
+                f"{manifest.schema_version!r} (this is {__version__} / "
+                f"{SCHEMA_VERSION}; recompact to refresh)",
+            )
+            return None
+        return manifest
+
+    # -- membership ------------------------------------------------------------
+
     def __contains__(self, key: object) -> bool:
-        return isinstance(key, str) and self.path(key).exists()
+        if not isinstance(key, str):
+            return False
+        if self.path(key).exists():
+            return True
+        manifest = self._current_manifest()
+        return manifest is not None and key in manifest.entries
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        prefixes = {path.stem for path in self.loose_paths()}
+        manifest = self._current_manifest()
+        if manifest is not None:
+            prefixes |= {key[:40] for key in manifest.entries}
+        return len(prefixes)
+
+    def stats(self) -> StoreStats:
+        """Loose/sealed record counts and the segment census."""
+        manifest = self._current_manifest()
+        return StoreStats(
+            loose=sum(1 for _ in self.loose_paths()),
+            sealed=len(manifest.entries) if manifest is not None else 0,
+            segments=len(manifest.segments) if manifest is not None else 0,
+        )
+
+    # -- loose-record parsing --------------------------------------------------
 
     def _load(self, path: Path) -> dict | None:
-        """Parse one record file; truncated/corrupt entries are *missing*.
+        """Parse one loose record file; truncated/corrupt entries are
+        *missing*.
 
         A kill mid-write on a filesystem without atomic rename can leave a
         half-written file behind; raising there would wedge every later
@@ -103,37 +245,84 @@ class SweepStore:
         try:
             record = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            warnings.warn(
+            self._warn(
+                f"{path.name}:unreadable",
                 f"sweep store: treating unreadable record {path.name} as "
                 f"missing ({exc})",
-                RuntimeWarning,
-                stacklevel=3,
             )
             return None
         if not isinstance(record, dict):
-            warnings.warn(
+            self._warn(
+                f"{path.name}:non-object",
                 f"sweep store: treating non-object record {path.name} as missing",
-                RuntimeWarning,
-                stacklevel=3,
             )
             return None
         return record
 
+    def _generation_ok(self, record: dict, source: str) -> bool:
+        """Schema + engine generation gate shared by every read path."""
+        from repro import __version__
+
+        if record.get("schema_version") != SCHEMA_VERSION:
+            self._warn(
+                f"{source}:schema",
+                f"sweep store: skipping record {source} with "
+                f"schema_version={record.get('schema_version')!r} "
+                f"(expected {SCHEMA_VERSION})",
+            )
+            return False
+        if record.get("engine_version") != __version__:
+            self._warn(
+                f"{source}:engine",
+                f"sweep store: skipping record {source} computed by "
+                f"engine {record.get('engine_version')!r} (this is "
+                f"{__version__}; rerun the sweep to refresh it)",
+            )
+            return False
+        return True
+
+    # -- point reads and writes ------------------------------------------------
+
     def get(self, key: str) -> dict | None:
-        """The stored record for ``key``, or None (corrupt files count as
-        missing-with-warning, so an interrupted write is simply recomputed)."""
+        """The stored record for ``key``, or None (corrupt data counts as
+        missing-with-warning, so an interrupted write is simply recomputed).
+
+        Loose records win over sealed ones; a loose record that fails to
+        parse falls back to the sealed copy when one exists.
+        """
         path = self.path(key)
-        if not path.exists():
+        if path.exists():
+            record = self._load(path)
+            if (
+                record is not None
+                and record.get("key") == key
+                and self._generation_ok(record, path.name)
+            ):
+                return record
+        manifest = self._current_manifest()
+        if manifest is None:
             return None
-        record = self._load(path)
+        entry = manifest.entries.get(key)
+        if entry is None:
+            return None
+        segment_path = self.directory / entry.segment
+        if not segment_path.exists():
+            self._warn(
+                f"{entry.segment}:missing",
+                f"sweep store: manifest points at missing segment "
+                f"{entry.segment}; its records read as missing "
+                f"(recompact to rebuild the index)",
+            )
+            return None
+        record = seg.read_segment_record(segment_path, entry, warn=self._warn)
         if record is None or record.get("key") != key:
             return None
-        if record.get("schema_version") != SCHEMA_VERSION:
+        if not self._generation_ok(record, f"{entry.segment}:{key[:12]}"):
             return None
         return record
 
     def put(self, key: str, record: dict) -> None:
-        """Persist ``record`` under ``key`` atomically.
+        """Persist ``record`` under ``key`` atomically (as a loose file).
 
         The stamped ``key``/``schema_version``/``engine_version`` fields
         are authoritative (they overwrite any stale values in ``record``),
@@ -148,9 +337,50 @@ class SweepStore:
             "engine_version": __version__,
             "key": key,
         }
-        text = json.dumps(payload, indent=None, sort_keys=True)
-        if not atomic_write_text(self.path(key), text):
+        if not atomic_write_text(self.path(key), canonical_dumps(payload)):
             raise OSError(f"failed to persist sweep record to {self.path(key)}")
+
+    # -- iteration -------------------------------------------------------------
+
+    def _merged_records(self) -> dict:
+        """Key -> record across both backends (loose wins on overlap)."""
+        merged: dict[str, dict] = {}
+        manifest = self._current_manifest()
+        if manifest is not None:
+            for name in sorted(manifest.segments):
+                path = self.directory / name
+                if not path.exists():
+                    self._warn(
+                        f"{name}:missing",
+                        f"sweep store: manifest points at missing segment "
+                        f"{name}; its records read as missing "
+                        f"(recompact to rebuild the index)",
+                    )
+                    continue
+                try:
+                    data = path.read_bytes()
+                except OSError as exc:
+                    self._warn(
+                        f"{name}:missing",
+                        f"sweep store: manifest points at unreadable segment "
+                        f"{name} ({exc}); its records read as missing",
+                    )
+                    continue
+                for key, record in seg.iter_segment_records(
+                    data, name, warn=self._warn
+                ):
+                    if record.get("key") != key:
+                        continue
+                    if self._generation_ok(record, f"{name}:{key[:12]}"):
+                        merged[key] = record
+        for path in sorted(self.loose_paths()):
+            record = self._load(path)
+            if record is None:
+                continue
+            if not self._generation_ok(record, path.name):
+                continue
+            merged[str(record.get("key") or path.stem)] = record
+        return merged
 
     def records(self) -> "Iterator[dict]":
         """Every readable same-generation record, in ascending key order.
@@ -158,47 +388,315 @@ class SweepStore:
         Iteration order is deterministic -- sorted by each record's
         embedded ``key`` (falling back to the filename for records missing
         one) -- so aggregation built on a store is reproducible across
-        filesystems and directory-listing orders.  Unreadable,
-        wrong-schema, or foreign ``engine_version`` entries (left behind
-        when a store directory is reused across package upgrades -- the
-        Monte Carlo draw stream differs between generations, so their
-        numbers must never blend into one analysis) are skipped with a
-        warning.
+        filesystems and directory-listing orders.  Sealed segments are
+        bulk-read (one file read per segment); loose files are read one by
+        one; unreadable, wrong-schema, or foreign ``engine_version``
+        entries are skipped with one warning each (the Monte Carlo draw
+        stream differs between generations, so their numbers must never
+        blend into one analysis).
+        """
+        merged = self._merged_records()
+        for key in sorted(merged):
+            yield merged[key]
+
+    # -- bulk analysis fast path -----------------------------------------------
+
+    def analysis_columns(self) -> tuple[list[str], list[list]] | None:
+        """Unified analysis columns for the whole store, or None.
+
+        The packed fast path behind ``ResultTable.from_store``: each sealed
+        segment's columnar block is one read + one ``json.loads`` that
+        yields ready-made column lists -- no per-record dicts are ever
+        built.  Loose records (if any) are flattened through the same
+        :func:`~repro.sweeps.analysis.record_row` used at seal time and
+        merged in ascending-key order, so the resulting table -- down to
+        its CSV bytes -- is identical to the loose per-file path.
+
+        Returns None when the store has no usable sealed segments (pure
+        loose stores take the classic ``records()`` path).
+        """
+        from repro.sweeps.analysis import canonical_order, record_row
+
+        manifest = self._current_manifest()
+        if manifest is None or not manifest.segments:
+            return None
+
+        # One (keys, columns) source per readable columnar block; segments
+        # whose block is damaged degrade to the tolerant frame scan.
+        sources: list[tuple[list[str], dict]] = []
+        for name in sorted(manifest.segments):
+            path = self.directory / name
+            if not path.exists():
+                self._warn(
+                    f"{name}:missing",
+                    f"sweep store: manifest points at missing segment "
+                    f"{name}; its records read as missing "
+                    f"(recompact to rebuild the index)",
+                )
+                continue
+            block = seg.read_segment_columns(
+                path, manifest.segments[name], warn=self._warn
+            )
+            if block is not None:
+                sources.append((block["keys"], block["columns"]))
+                continue
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue
+            rows, keys = [], []
+            for key, record in seg.iter_segment_records(data, name, warn=self._warn):
+                if record.get("key") == key and self._generation_ok(
+                    record, f"{name}:{key[:12]}"
+                ):
+                    keys.append(key)
+                    rows.append(record_row(record))
+            if keys:
+                names = canonical_order({n for row in rows for n in row})
+                sources.append(
+                    (keys, {n: [row.get(n) for row in rows] for n in names})
+                )
+
+        loose_rows: list[tuple[str, dict]] = []
+        for path in sorted(self.loose_paths()):
+            record = self._load(path)
+            if record is None or not self._generation_ok(record, path.name):
+                continue
+            loose_rows.append(
+                (str(record.get("key") or path.stem), record_row(record))
+            )
+
+        if not sources and not loose_rows:
+            return None
+        if len(sources) == 1 and not loose_rows:
+            # The common compacted-store case: the block's columns are
+            # already complete and in ascending key order -- return them
+            # without touching a single row.
+            keys, columns = sources[0]
+            names = canonical_order(columns)
+            return names, [list(columns[n]) for n in names]
+
+        # General merge: later sources win on duplicate keys (loose last),
+        # then one argsort permutation restores global key order.
+        if loose_rows:
+            names = canonical_order(
+                {n for _, cols in sources for n in cols}
+                | {n for _, row in loose_rows for n in row}
+            )
+            sources = sources + [
+                (
+                    [key for key, _ in loose_rows],
+                    {
+                        n: [row.get(n) for _, row in loose_rows]
+                        for n in names
+                    },
+                )
+            ]
+        else:
+            names = canonical_order({n for _, cols in sources for n in cols})
+        claimed: dict[str, int] = {}
+        for index, (keys, _) in enumerate(sources):
+            for key in keys:
+                claimed[key] = index
+        all_keys: list[str] = []
+        concat: dict[str, list] = {n: [] for n in names}
+        for index, (keys, columns) in enumerate(sources):
+            keep = [i for i, key in enumerate(keys) if claimed[key] == index]
+            all_keys.extend(keys[i] for i in keep)
+            for n in names:
+                col = columns.get(n)
+                if col is None:
+                    concat[n].extend([None] * len(keep))
+                else:
+                    concat[n].extend(col[i] for i in keep)
+        order = sorted(range(len(all_keys)), key=all_keys.__getitem__)
+        return names, [[concat[n][i] for i in order] for n in names]
+
+    # -- compaction ------------------------------------------------------------
+
+    #: Locks older than this are presumed abandoned (a compactor killed
+    #: between acquire and release) and are broken by the next compaction.
+    _LOCK_STALE_S = 3600.0
+
+    def _acquire_compaction_lock(self) -> Path | None:
+        """Exclusive advisory lock serializing compactors on one store.
+
+        O_CREAT|O_EXCL makes acquisition atomic on any local filesystem.
+        Without it, two concurrent compactions (a ``--seal`` sweep plus an
+        operator running ``compact``) could each build a manifest from a
+        stale read and publish one that omits the other's freshly sealed
+        entries -- after the loser already unlinked its loose files, that
+        is silent data loss.  Contention is not an error: the caller skips
+        compaction and every record simply stays loose.
+        """
+        import time
+
+        lock = self.directory / "COMPACT.lock"
+        for attempt in (0, 1):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released; retry
+                if attempt == 0 and age > self._LOCK_STALE_S:
+                    try:
+                        lock.unlink()
+                    except OSError:
+                        pass
+                    continue
+                return None
+            except OSError:
+                return None
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            return lock
+        return None
+
+    def compact(self, keys: "Iterable[str] | None" = None) -> CompactionReport:
+        """Seal loose records into a new immutable packed segment.
+
+        Gathers every readable current-generation loose record (or only
+        those in ``keys``), writes them -- sorted by key -- into one new
+        segment file, publishes the segment with an atomic manifest swap,
+        and only then deletes the sealed loose files.  Consequences:
+
+        - **idempotent**: keys already sealed are never resealed; their
+          stray loose duplicates are just removed;
+        - **kill-safe**: a compactor killed before the manifest swap
+          leaves an orphan segment (ignored forever) and every loose file
+          intact; killed after the swap, the next pass removes the
+          now-duplicate loose files;
+        - **safe under concurrent writers**: evaluation workers keep
+          writing *other* loose records at any time -- compaction only
+          unlinks files it just sealed, and readers switch index
+          atomically at the manifest rename.  Concurrent *compactors* are
+          serialized by an exclusive lock file; the loser skips (records
+          stay loose) rather than risk publishing a stale manifest.
+
+        Unreadable or foreign-generation loose files are skipped, never
+        destroyed.
         """
         from repro import __version__
 
-        loaded = []
-        for path in sorted(self.directory.glob("*.json")):
-            record = self._load(path)
-            if record is None:
-                continue
-            if record.get("schema_version") != SCHEMA_VERSION:
-                warnings.warn(
-                    f"sweep store: skipping record {path.name} with "
-                    f"schema_version={record.get('schema_version')!r} "
-                    f"(expected {SCHEMA_VERSION})",
-                    RuntimeWarning,
-                    stacklevel=2,
+        lock = self._acquire_compaction_lock()
+        if lock is None:
+            self._warn(
+                "compact:locked",
+                f"sweep store: another compaction of {self.directory} is in "
+                f"progress; leaving records loose (rerun compact later)",
+            )
+            return CompactionReport(sealed=0, deduped=0, skipped=0, segment=None)
+        try:
+            # Re-read the manifest under the lock: this instance's cache
+            # may predate another process's compaction.
+            self._manifest = _UNLOADED
+            manifest = self._current_manifest()
+            sealed_keys = set(manifest.entries) if manifest is not None else set()
+            wanted = None if keys is None else set(keys)
+
+            # With an explicit key set (the --seal per-chunk path), visit
+            # only those keys' own files -- the loose filename is derived
+            # from the key -- instead of parsing the whole directory per
+            # chunk, which would make a sealed sweep quadratic in size.
+            if wanted is None:
+                candidates = sorted(self.loose_paths())
+            else:
+                candidates = sorted({self.path(key) for key in wanted})
+
+            to_seal: list[tuple[Path, str, dict]] = []
+            deduped = skipped = 0
+            for path in candidates:
+                if not path.exists():
+                    continue
+                record = self._load(path)
+                if record is None:
+                    skipped += 1
+                    continue
+                key = record.get("key")
+                if not isinstance(key, str) or not key:
+                    skipped += 1
+                    continue
+                if not self._generation_ok(record, path.name):
+                    skipped += 1
+                    continue
+                if wanted is not None and key not in wanted:
+                    continue
+                if key in sealed_keys:
+                    deduped += 1
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                to_seal.append((path, key, record))
+            if not to_seal:
+                return CompactionReport(
+                    sealed=0, deduped=deduped, skipped=skipped, segment=None
                 )
-                continue
-            if record.get("engine_version") != __version__:
-                warnings.warn(
-                    f"sweep store: skipping record {path.name} computed by "
-                    f"engine {record.get('engine_version')!r} (this is "
-                    f"{__version__}; rerun the sweep to refresh it)",
-                    RuntimeWarning,
-                    stacklevel=2,
+
+            to_seal.sort(key=lambda item: item[1])
+            written = seg.write_segment(
+                self.directory, [record for _, _, record in to_seal]
+            )
+            if written is None:
+                raise OSError(
+                    f"failed to write packed segment in {self.directory}"
                 )
-                continue
-            loaded.append((str(record.get("key") or path.stem), record))
-        loaded.sort(key=lambda item: item[0])
-        for _, record in loaded:
-            yield record
+            name, entries, columns = written
+
+            old_entries = dict(manifest.entries) if manifest is not None else {}
+            old_segments = dict(manifest.segments) if manifest is not None else {}
+            for entry in entries:
+                old_entries[entry.key] = entry
+            old_segments[name] = columns
+            new_manifest = seg.Manifest(
+                entries=old_entries,
+                segments=old_segments,
+                schema_version=SCHEMA_VERSION,
+                engine_version=__version__,
+            )
+            if not seg.write_manifest(self.directory, new_manifest):
+                raise OSError(
+                    f"failed to swap manifest in {self.directory}; "
+                    f"loose records were kept"
+                )
+            self._manifest = new_manifest
+            for path, _, _ in to_seal:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return CompactionReport(
+                sealed=len(to_seal), deduped=deduped, skipped=skipped,
+                segment=name,
+            )
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    # -- maintenance -----------------------------------------------------------
 
     def clear(self) -> None:
-        """Delete every record file (used by tests and --no-resume runs)."""
-        for path in self.directory.glob("*.json"):
+        """Delete every record file, segment, and the manifest."""
+        for path in list(self.loose_paths()):
             try:
                 path.unlink()
             except OSError:
                 pass
+        for path in self.directory.glob(seg.SEGMENT_PATTERN):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            (self.directory / seg.MANIFEST_NAME).unlink()
+        except OSError:
+            pass
+        self._manifest = _UNLOADED
+        self._warned.clear()

@@ -1,6 +1,7 @@
 """Tests for repro.sweeps: grid expansion, runner, store, and resume."""
 
 import json
+import warnings
 
 import pytest
 
@@ -131,8 +132,14 @@ class TestSweepStore:
         store.path("d" * 64).write_text(full[: len(full) // 2], encoding="utf-8")
         with pytest.warns(RuntimeWarning, match="unreadable record"):
             assert store.get("d" * 64) is None
-        with pytest.warns(RuntimeWarning, match="unreadable record"):
+        # Same bad file, same store: still missing, but the warning is
+        # deduplicated (a big scan must not flood the log).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             assert list(store.records()) == []
+        # A fresh store instance warns anew.
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            assert list(SweepStore(tmp_path / "s").records()) == []
 
     def test_records_sorted_by_key(self, tmp_path):
         store = SweepStore(tmp_path / "s")
