@@ -23,8 +23,12 @@ SC 2024).  It contains:
 - ``repro.benchcircuits`` -- the 18 evaluation workloads (Table III).
 - ``repro.experiments``   -- per-figure/table experiment runners.
 - ``repro.sweeps``        -- declarative hardware/noise scenario sweeps over
-  the batch engine, with a vectorized Monte Carlo evaluator and a
-  resumable content-addressed result store.
+  the batch engine, with a vectorized Monte Carlo evaluator, a resumable
+  content-addressed result store (loose JSON + packed segment backends),
+  and coordinator-free distributed work-stealing sweep workers.
+
+See README.md for install/quickstart and docs/ for the architecture tour
+and the store's on-disk format reference.
 """
 
 from repro.circuit import Gate, QuantumCircuit

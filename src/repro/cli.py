@@ -16,6 +16,10 @@ Techniques are resolved by name through the
 the :func:`~repro.pipeline.batch.compile_many` batch engine (``--jobs`` fans
 techniques out across processes, ``--cache-dir`` enables the persistent
 on-disk compilation cache).
+
+For multi-scenario evaluation use ``python -m repro.sweeps`` (grids,
+stores, distributed workers); ``--sweep-summary DIR`` here is a read-only
+view over such a store.  See README.md for the full CLI index.
 """
 
 from __future__ import annotations

@@ -53,13 +53,27 @@ Components
   O(segments) bulk reads, and each segment's columnar block lets
   ``ResultTable.from_store`` materialize analysis columns without building
   per-record dicts (~10x+ faster at 10^4 records).
+- :mod:`repro.sweeps.distributed` -- coordinator-free distributed sweeps:
+  N independent :func:`run_worker` claim loops (one host or many hosts on
+  a shared filesystem) steal pending scenario keys through atomically
+  created lease files in the store (``leases/<key>.lease``, heartbeat by
+  mtime, expired leases of crashed workers reclaimed after a TTL),
+  evaluate them through the same engine, and converge on a store
+  byte-identical to a single-process run for any worker count and any
+  crash/restart interleaving.  ``run_sweep(distributed=True, workers=N)``
+  / ``--workers N`` is the local spawn-and-join form;
+  ``python -m repro.sweeps worker STORE`` joins a fleet from anywhere.
 - ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
   explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
   ``--jobs`` (compilation pool), ``--eval-jobs`` (evaluation pool),
-  ``--shots``, ``--store``, ``--resume`` and ``--seal`` (compact chunks as
-  they complete); plus the ``compact STORE`` subcommand (pack an existing
-  store) and ``analyze STORE`` for marginals, axis detection, and
-  crossover reports.
+  ``--workers`` (distributed claim-loop workers), ``--shots``,
+  ``--store``, ``--resume`` and ``--seal`` (compact chunks as they
+  complete); plus the ``worker STORE`` subcommand (join a distributed
+  fleet), ``compact STORE`` (pack an existing store) and ``analyze STORE``
+  for marginals, axis detection, and crossover reports.  Run and worker
+  print one stable machine-readable ``RESUME computed=N resumed=M ...``
+  line, compact prints ``COMPACT sealed=...`` -- the grep contract CI and
+  scripts rely on (see ``docs/store-format.md``).
 
 Example::
 
@@ -95,10 +109,15 @@ __all__ = [
     "Scenario",
     "StoreStats",
     "SweepGrid",
+    "SweepPlan",
     "SweepReport",
+    "WorkerReport",
     "evaluate_tasks",
+    "plan_sweep",
     "render_store_summary",
+    "run_distributed",
     "run_sweep",
+    "run_worker",
     "SCHEMA_VERSION",
     "SweepStore",
     "scenario_key",
@@ -110,10 +129,15 @@ __all__ = [
 # lazily (PEP 562) keeps `import repro.experiments.common` free of the
 # cycle while `from repro.sweeps import run_sweep` keeps working.
 _LAZY = {
+    "SweepPlan": "repro.sweeps.runner",
     "SweepReport": "repro.sweeps.runner",
+    "plan_sweep": "repro.sweeps.runner",
     "run_sweep": "repro.sweeps.runner",
     "EvalTask": "repro.sweeps.engine",
     "evaluate_tasks": "repro.sweeps.engine",
+    "WorkerReport": "repro.sweeps.distributed",
+    "run_distributed": "repro.sweeps.distributed",
+    "run_worker": "repro.sweeps.distributed",
 }
 
 

@@ -6,9 +6,11 @@ Examples::
     python -m repro.sweeps --jobs 8 --eval-jobs 8 --store sweep-out
     python -m repro.sweeps --store sweep-out --resume --jobs 8
     python -m repro.sweeps --eval-jobs 8 --seal --store sweep-out
+    python -m repro.sweeps --workers 4 --store sweep-out
     python -m repro.sweeps --benchmarks ADD,QAOA --techniques parallax \\
         --spec-axis cz_error=0.0024,0.0048,0.0096 \\
         --noise-axis include_readout=false,true --shots 2000
+    python -m repro.sweeps worker sweep-out --preset smoke --shots 200
     python -m repro.sweeps compact sweep-out
     python -m repro.sweeps analyze sweep-out
     python -m repro.sweeps analyze sweep-out --metric success_rate \\
@@ -19,16 +21,28 @@ rerunning with ``--resume`` skips everything already on disk, so an
 interrupted sweep continues where it stopped.  ``--jobs`` shards the
 compilation phase and ``--eval-jobs`` the Monte Carlo evaluation phase;
 results are bit-identical for any value of either.  Every run prints one
-stable machine-readable summary line (``RESUME computed=N resumed=M ...``)
-for scripts and CI to grep.
+stable machine-readable summary line (``RESUME computed=N resumed=M
+scenarios=S compilations=C``, with any newer fields appended after these
+four) for scripts and CI to grep -- see ``docs/store-format.md`` for the
+full contract.
+
+``worker`` runs one coordinator-free work-stealing worker
+(:mod:`repro.sweeps.distributed`): it claims pending scenario keys through
+atomically-created lease files in the store, evaluates them, and exits
+when the grid is complete.  Start any number of workers -- same host or
+many hosts sharing the store's filesystem -- with the *same grid flags*;
+the final store is byte-identical to a single-process run.  ``--workers N``
+on a plain run is the local spawn-and-join form of the same thing.
 
 ``compact`` seals a store's loose per-scenario JSON files into packed,
 checksummed segment files (:mod:`repro.sweeps.segments`) behind an
 atomically swapped manifest: resume semantics are unchanged, but a full
 store load becomes O(segments) bulk reads -- the difference between
 seconds and minutes at ~10^6 records.  Idempotent and safe to re-run at
-any time, including around a killed previous compaction.  ``--seal`` on a
-sweep run compacts each evaluation chunk as it completes instead.
+any time, including around a killed previous compaction.  Prints one
+stable ``COMPACT sealed=N deduped=D skipped=S segment=...`` line.
+``--seal`` on a sweep run compacts each evaluation chunk as it completes
+instead.
 
 ``analyze`` loads a store into the unified
 :class:`~repro.sweeps.analysis.ResultTable` (bulk-reading packed segments
@@ -86,12 +100,96 @@ def _parse_axes(entries: list[str] | None) -> dict:
     return axes
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Grid-shape flags shared by the run and worker entry points.
+
+    Workers of one fleet must be started with identical grid flags: the
+    grid is what determines the shared key set they steal work from.
+    """
+    parser.add_argument(
+        "--preset",
+        choices=("smoke", "default"),
+        default="default",
+        help="base grid: 'default' is 108 scenarios over CZ error, T2, and "
+        "readout; 'smoke' is an 8-scenario CI grid (default: default)",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="CSV",
+        help="comma-separated Table III acronyms overriding the preset",
+    )
+    parser.add_argument(
+        "--techniques", default=None, metavar="CSV",
+        help="comma-separated technique names overriding the preset",
+    )
+    parser.add_argument(
+        "--machine", choices=sorted(_MACHINES), default=None,
+        help="base machine overriding the preset's (quera or atom)",
+    )
+    parser.add_argument(
+        "--spec-axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a HardwareSpec field (repeatable; overrides preset axes)",
+    )
+    parser.add_argument(
+        "--noise-axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a NoiseModelConfig field (repeatable; overrides preset axes)",
+    )
+    parser.add_argument(
+        "--shots", type=int, default=1000, metavar="N",
+        help="Monte Carlo shots per scenario (default: 1000)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="root seed the per-scenario content-derived seeds mix in "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only run the first N scenarios of the grid (cannot change "
+        "any scenario's seed or record)",
+    )
+
+
+def _grid_from_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> SweepGrid:
+    """Build the grid the shared flags describe (parser.error on bad axes)."""
+    preset = SweepGrid.smoke if args.preset == "smoke" else SweepGrid.default
+    grid = preset(shots=args.shots, base_seed=args.seed)
+    overrides: dict = {}
+    if args.benchmarks:
+        overrides["benchmarks"] = tuple(
+            b.strip().upper() for b in args.benchmarks.split(",")
+        )
+    if args.techniques:
+        overrides["techniques"] = tuple(
+            t.strip() for t in args.techniques.split(",")
+        )
+    if args.machine:
+        overrides["base_spec"] = _MACHINES[args.machine]()
+    try:
+        if args.spec_axis:
+            overrides["spec_axes"] = _parse_axes(args.spec_axis)
+        if args.noise_axis:
+            overrides["noise_axes"] = _parse_axes(args.noise_axis)
+        if overrides:
+            from dataclasses import replace
+
+            grid = replace(grid, **overrides)
+    except (argparse.ArgumentTypeError, ValueError) as exc:
+        parser.error(str(exc))
+    if args.limit is not None and args.limit <= 0:
+        parser.error("--limit must be positive")
+    return grid
+
+
 def _compact_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweeps compact",
         description="Seal a sweep store's loose JSON records into packed, "
         "checksummed segment files (resume-compatible, ~10x+ faster to "
-        "load; idempotent, safe to re-run).",
+        "load; idempotent, safe to re-run).  Prints one stable "
+        "'COMPACT sealed=N deduped=D skipped=S segment=...' line for "
+        "scripts to grep (see docs/store-format.md).",
     )
     parser.add_argument("store", help="sweep store directory to compact")
     args = parser.parse_args(argv)
@@ -161,48 +259,78 @@ def _analyze_main(argv: list[str]) -> int:
     return 0
 
 
+def _worker_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps worker",
+        description="Run one coordinator-free work-stealing sweep worker: "
+        "claim pending scenario keys of the given grid through atomic "
+        "lease files in STORE, evaluate them, and exit when the grid is "
+        "complete.  Start any number of workers with the same grid flags "
+        "-- on one host or many hosts sharing STORE's filesystem -- and "
+        "the final store is byte-identical to a single-process run, even "
+        "across worker crashes (expired leases are reclaimed after "
+        "--ttl).  Prints the same stable RESUME summary line as a plain "
+        "run, with owner=/reclaimed=/contended= fields appended.",
+    )
+    parser.add_argument(
+        "store", help="shared sweep store directory (created if missing)"
+    )
+    _add_grid_arguments(parser)
+    parser.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="lease-owner id; must be unique per worker "
+        "(default: a host-pid-random id)",
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="lease heartbeat TTL; leases older than this are presumed "
+        "abandoned (crashed worker) and reclaimed.  Size it above the "
+        "slowest single compile (default: 60)",
+    )
+    parser.add_argument(
+        "--seal", action="store_true",
+        help="compact this worker's finished records into packed segments "
+        "in batches (see the compact subcommand)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress lines (the stable RESUME summary line "
+        "still prints)",
+    )
+    args = parser.parse_args(argv)
+    if args.ttl is not None and args.ttl <= 0:
+        parser.error("--ttl must be positive")
+    grid = _grid_from_args(parser, args)
+
+    from repro.sweeps.distributed import run_worker
+    from repro.sweeps.store import DEFAULT_LEASE_TTL_S
+
+    store = SweepStore(args.store)
+    report = run_worker(
+        grid,
+        store,
+        owner=args.owner,
+        ttl_s=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL_S,
+        seal=args.seal,
+        limit=args.limit,
+        log=None if args.quiet else print,
+    )
+    # Machine-readable contract line, printed even under --quiet (same
+    # fields as a plain run, worker fields appended; docs/store-format.md).
+    print(report.summary_line)
+    print(f"store: {store.directory} ({store.stats().describe()})")
+    return 0
+
+
 def _run_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweeps",
         description="Sweep (circuit x technique x hardware x noise) scenarios "
         "through the batch compiler and the sharded noisy-shot engine "
-        "(or `analyze STORE` to aggregate an existing store).",
+        "(or: `worker STORE` to join a distributed fleet, `compact STORE` "
+        "to pack a store, `analyze STORE` to aggregate one).",
     )
-    parser.add_argument(
-        "--preset",
-        choices=("smoke", "default"),
-        default="default",
-        help="base grid: 'default' is 108 scenarios over CZ error, T2, and "
-        "readout; 'smoke' is an 8-scenario CI grid (default: default)",
-    )
-    parser.add_argument(
-        "--benchmarks", default=None, metavar="CSV",
-        help="comma-separated Table III acronyms overriding the preset",
-    )
-    parser.add_argument(
-        "--techniques", default=None, metavar="CSV",
-        help="comma-separated technique names overriding the preset",
-    )
-    parser.add_argument(
-        "--machine", choices=sorted(_MACHINES), default=None,
-        help="base machine overriding the preset's (quera or atom)",
-    )
-    parser.add_argument(
-        "--spec-axis", action="append", metavar="FIELD=V1,V2",
-        help="sweep a HardwareSpec field (repeatable; overrides preset axes)",
-    )
-    parser.add_argument(
-        "--noise-axis", action="append", metavar="FIELD=V1,V2",
-        help="sweep a NoiseModelConfig field (repeatable; overrides preset axes)",
-    )
-    parser.add_argument(
-        "--shots", type=int, default=1000, metavar="N",
-        help="Monte Carlo shots per scenario (default: 1000)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=0, metavar="N",
-        help="root seed the per-scenario seeds derive from (default: 0)",
-    )
+    _add_grid_arguments(parser)
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="compilation process-pool size (default: 1); results are "
@@ -215,12 +343,21 @@ def _run_main(argv: list[str]) -> int:
         "records are bit-identical for any value",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="instead of the sharded pools, spawn N distributed "
+        "work-stealing workers over --store (lease files, crash-safe; "
+        "see the worker subcommand); records are byte-identical to any "
+        "other mode",
+    )
+    parser.add_argument(
         "--store", default=None, metavar="DIR",
-        help="persist per-scenario records to DIR (written as evaluated)",
+        help="persist per-scenario records to DIR as they are evaluated "
+        "(loose JSON; pack with the compact subcommand or --seal)",
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="skip scenarios already present in --store",
+        help="skip scenarios already present in --store (byte-for-byte: "
+        "corrupt or foreign-generation records are recomputed)",
     )
     parser.add_argument(
         "--seal", action="store_true",
@@ -228,11 +365,9 @@ def _run_main(argv: list[str]) -> int:
         "packed segments as it completes (see the compact subcommand)",
     )
     parser.add_argument(
-        "--limit", type=int, default=None, metavar="N",
-        help="only run the first N scenarios of the grid",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true", help="suppress progress lines"
+        "--quiet", action="store_true",
+        help="suppress progress lines and the summary table (the stable "
+        "RESUME summary line still prints)",
     )
     args = parser.parse_args(argv)
 
@@ -240,53 +375,31 @@ def _run_main(argv: list[str]) -> int:
         parser.error("--resume requires --store")
     if args.seal and not args.store:
         parser.error("--seal requires --store")
-
-    preset = SweepGrid.smoke if args.preset == "smoke" else SweepGrid.default
-    grid = preset(shots=args.shots, base_seed=args.seed)
-    overrides: dict = {}
-    if args.benchmarks:
-        overrides["benchmarks"] = tuple(
-            b.strip().upper() for b in args.benchmarks.split(",")
-        )
-    if args.techniques:
-        overrides["techniques"] = tuple(
-            t.strip() for t in args.techniques.split(",")
-        )
-    if args.machine:
-        overrides["base_spec"] = _MACHINES[args.machine]()
-    try:
-        if args.spec_axis:
-            overrides["spec_axes"] = _parse_axes(args.spec_axis)
-        if args.noise_axis:
-            overrides["noise_axes"] = _parse_axes(args.noise_axis)
-        if overrides:
-            from dataclasses import replace
-
-            grid = replace(grid, **overrides)
-    except (argparse.ArgumentTypeError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
-    if args.limit is not None and args.limit <= 0:
-        parser.error("--limit must be positive")
+    if args.workers is not None and not args.store:
+        parser.error("--workers requires --store")
+    if args.workers is not None and args.workers <= 0:
+        parser.error("--workers must be positive")
+    grid = _grid_from_args(parser, args)
 
     from repro.sweeps.runner import run_sweep
 
     store = SweepStore(args.store) if args.store else None
     log = None if args.quiet else print
     report = run_sweep(
-        grid, store, resume=args.resume, workers=args.jobs,
+        grid, store, resume=args.resume, workers=args.workers or args.jobs,
         eval_workers=args.eval_jobs, limit=args.limit, seal=args.seal,
-        log=log,
+        distributed=args.workers is not None, log=log,
     )
 
-    summary = technique_summary(ResultTable.from_records(report.records))
-    print(
-        summary.render(
-            title=f"{report.scenarios} scenarios, {args.shots} shots each -- "
-            f"{report.computed} computed, {report.resumed} resumed, "
-            f"{report.compilations} compilations, {report.elapsed_s:.1f}s",
+    if not args.quiet:
+        summary = technique_summary(ResultTable.from_records(report.records))
+        print(
+            summary.render(
+                title=f"{report.scenarios} scenarios, {args.shots} shots each -- "
+                f"{report.computed} computed, {report.resumed} resumed, "
+                f"{report.compilations} compilations, {report.elapsed_s:.1f}s",
+            )
         )
-    )
     # One stable machine-readable line, printed even under --quiet: CI and
     # wrapper scripts key off it instead of the human-readable wording.
     print(report.summary_line)
@@ -302,6 +415,8 @@ def main(argv: list[str] | None = None) -> int:
         return _analyze_main(argv[1:])
     if argv and argv[0] == "compact":
         return _compact_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     return _run_main(argv)
 
 

@@ -1,0 +1,425 @@
+"""Coordinator-free distributed sweep workers over a shared store.
+
+A sweep store already has everything a fleet of independent hosts needs to
+share work safely: content-addressed record keys (the same scenario always
+maps to the same file name), atomic per-record writes, and records that are
+pure functions of their scenario content.  This module adds the one missing
+piece -- a **work-stealing claim loop** -- so N worker processes, on one
+host or on many hosts mounting one filesystem, converge on exactly the
+store a single-process :func:`~repro.sweeps.runner.run_sweep` would have
+produced, byte for byte, with no leader and no shared state beyond the
+store directory.
+
+How it works
+------------
+
+Every worker independently expands the grid into the same deterministic
+:class:`~repro.sweeps.runner.SweepPlan` (same scenarios, same keys, same
+seeds), then loops:
+
+1. scan the plan's keys for ones not yet in the store
+   (:meth:`SweepStore.missing_keys`), starting at an owner-derived offset
+   so workers spread over the key space instead of stampeding the same
+   prefix;
+2. claim one key by atomically creating ``leases/<key>.lease``
+   (:meth:`SweepStore.acquire_lease` -- ``O_CREAT | O_EXCL``, so exactly
+   one of any number of racing workers wins); a lease whose heartbeat
+   (file mtime) is older than the TTL is presumed to belong to a crashed
+   worker and is reclaimed;
+3. compile the claimed scenario's compile point if this worker has not
+   already (memoized per worker; with ``REPRO_CACHE_DIR`` set, all workers
+   share one on-disk compilation cache), heartbeat the lease, evaluate the
+   scenario through the same :func:`~repro.sweeps.engine.evaluate_task`
+   the sharded engine uses, and persist the record with the store's atomic
+   write;
+4. release the lease and move on; when only live-leased keys remain, wait
+   briefly and re-scan (their owners will either finish them or crash and
+   expire).
+
+Crash safety falls out of purity: leases are *only* an efficiency device.
+If a lease expires while its owner is merely slow (not dead), two workers
+may evaluate the same scenario -- both compute byte-identical records and
+the atomic write makes the duplication invisible.  A worker SIGKILLed
+mid-scenario leaves a lease that expires after ``ttl_s`` and a store
+missing that record; any surviving or replacement worker reclaims the key
+and the final store is indistinguishable from an uninterrupted run.
+
+Entry points: :func:`run_worker` (one claim loop; the
+``python -m repro.sweeps worker STORE`` CLI is a thin shell over it),
+:func:`run_distributed` (spawn-and-join N local workers; what
+``run_sweep(distributed=True, workers=N)`` delegates to).
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentSettings, compile_points
+from repro.sweeps.engine import evaluate_task
+from repro.sweeps.grid import SweepGrid
+from repro.sweeps.runner import SweepReport, plan_sweep
+from repro.sweeps.store import DEFAULT_LEASE_TTL_S, SweepStore, default_owner_id
+
+if typing.TYPE_CHECKING:
+    from collections.abc import Callable
+    from repro.core.result import CompilationResult
+
+__all__ = ["WorkerReport", "run_distributed", "run_worker"]
+
+#: Keys sealed per --seal compaction batch inside a worker (amortizes the
+#: manifest swap without letting a crash strand many unsealed records).
+_SEAL_BATCH = 16
+
+#: Seconds a worker sleeps after a full scan that made no progress (every
+#: remaining key was live-leased by someone else) before re-scanning.
+_IDLE_POLL_S = 0.1
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """Outcome of one worker's claim loop over a (possibly shared) store.
+
+    ``computed + resumed == scenarios`` always holds on a clean exit: when
+    the loop ends, every key of the plan is present in the store --
+    ``computed`` of them written by this worker, the rest (``resumed``) by
+    other workers or previous runs.  Summing ``computed`` over all workers
+    of a fleet gives the number of scenarios evaluated, which equals the
+    number that were missing except in two benign races: a lease that
+    expires while its holder is slow-but-alive lets a second worker
+    re-evaluate that scenario, and in ``seal=True`` fleets a peer's
+    compaction can land mid-scan-round, hiding a just-sealed record from
+    a worker that has not yet reloaded the manifest.  Both workers count
+    the duplicate; the records are byte-identical, so the store is
+    unaffected -- size the TTL above the slowest compile (and avoid
+    ``seal`` when exact fleet totals matter) to avoid the wasted work.
+
+    Attributes:
+        owner: this worker's lease-owner id.
+        scenarios: size of the plan the worker ran against.
+        computed: records this worker evaluated and persisted.
+        resumed: records present in the store but not computed here.
+        reclaimed: expired leases (crashed or stalled workers) taken over.
+        contended: claim attempts lost to another worker's live lease.
+        compilations: unique compile points this worker compiled.
+        elapsed_s: wall-clock duration of the claim loop.
+    """
+
+    owner: str
+    scenarios: int
+    computed: int
+    resumed: int
+    reclaimed: int
+    contended: int
+    compilations: int
+    elapsed_s: float
+
+    @property
+    def summary_line(self) -> str:
+        """Stable machine-readable one-liner, grep-compatible with
+        :attr:`~repro.sweeps.runner.SweepReport.summary_line`.
+
+        The ``RESUME computed=N resumed=M`` prefix is the same contract CI
+        greps on single-process runs; worker-specific fields are appended
+        after the shared four, never inserted.
+        """
+        return (
+            f"RESUME computed={self.computed} resumed={self.resumed} "
+            f"scenarios={self.scenarios} compilations={self.compilations} "
+            f"owner={self.owner} reclaimed={self.reclaimed} "
+            f"contended={self.contended}"
+        )
+
+
+def _rotated(indices: "list[int]", owner: str) -> "list[int]":
+    """Rotate the scan order by a stable owner-derived offset.
+
+    Workers that all scan from index 0 would race every claim at the head
+    of the key list; starting each worker at a different point spreads the
+    fleet over the key space.  Purely a contention optimization -- claim
+    order never affects record content.
+    """
+    if not indices:
+        return indices
+    offset = sum(owner.encode("utf-8")) % len(indices)
+    return indices[offset:] + indices[:offset]
+
+
+def run_worker(
+    grid: SweepGrid,
+    store: SweepStore,
+    *,
+    owner: str | None = None,
+    ttl_s: float = DEFAULT_LEASE_TTL_S,
+    seal: bool = False,
+    limit: int | None = None,
+    settings: ExperimentSettings | None = None,
+    log: "Callable[[str], None] | None" = None,
+) -> WorkerReport:
+    """Run one work-stealing claim loop until the grid is fully stored.
+
+    Safe to run any number of times, concurrently with any number of other
+    workers (same host or other hosts on a shared filesystem), against a
+    store in any state: the loop only ever *adds* missing records, each
+    byte-identical to what a single-process run would write.  Returns when
+    every scenario of the plan is present in the store.
+
+    Args:
+        grid: the scenario grid to work on; all workers of a fleet must be
+            given the same grid (it determines the shared key set).
+        store: the shared store; leases live in its ``leases/`` directory.
+        owner: lease-owner id; defaults to a collision-free
+            host/pid/random id.  Must be unique per worker.
+        ttl_s: lease heartbeat TTL; leases older than this are presumed
+            abandoned and reclaimed.  Must comfortably exceed the longest
+            single compile + evaluation (the worker heartbeats between the
+            two).
+        seal: compact this worker's freshly written records into packed
+            segments in batches (and once more on exit); content is
+            unchanged, only the on-disk backend.
+        limit: work only the first ``limit`` scenarios of the grid.
+        settings: experiment settings (must match across the fleet).
+        log: optional progress sink (e.g. ``print``).
+    """
+    start = time.perf_counter()
+    owner = owner or default_owner_id()
+    emit = log or (lambda message: None)
+    plan = plan_sweep(grid, settings=settings, limit=limit)
+    emit(
+        f"worker {owner}: {len(plan)} scenarios over {store.directory} "
+        f"(ttl={ttl_s:g}s)"
+    )
+
+    compiled: dict[tuple, "CompilationResult"] = {}
+    computed = reclaimed = contended = 0
+    unsealed: list[str] = []
+
+    def flush_seal() -> None:
+        nonlocal unsealed
+        if not unsealed:
+            return
+        try:
+            report = store.compact(keys=unsealed)
+        except OSError as exc:
+            emit(f"worker {owner}: could not seal ({exc}); records stay loose")
+        else:
+            if report.sealed:
+                emit(
+                    f"worker {owner}: sealed {report.sealed} records "
+                    f"into {report.segment}"
+                )
+        unsealed = []
+
+    # Initial scan is a full *read* pass (like run_sweep's resume), not a
+    # cheap existence pass: a corrupt or foreign-generation record reads as
+    # missing here, so the worker reclaims and rewrites it -- distributed
+    # runs self-heal damaged stores exactly like --resume does.
+    store.manifest(reload=True)
+    pending = _rotated(
+        [i for i, key in enumerate(plan.keys) if store.get(key) is None], owner
+    )
+    while pending:
+        progress = False
+        next_round: list[int] = []
+        for index in pending:
+            key = plan.keys[index]
+            # Full read, not bare membership: a corrupt loose file *exists*
+            # but must still be recomputed (self-healing, like --resume).
+            if store.get(key) is not None:
+                continue
+            claim = store.acquire_lease(key, owner, ttl_s=ttl_s)
+            if claim is None:
+                contended += 1
+                next_round.append(index)
+                continue
+            if claim == "reclaimed":
+                reclaimed += 1
+                emit(f"worker {owner}: reclaimed expired lease on {key[:12]}...")
+            try:
+                if store.get(key) is not None:
+                    # Finished by another worker between our read and
+                    # winning the (expired) lease.
+                    continue
+                compile_id = plan.compile_ids[index]
+                if compile_id not in compiled:
+                    benchmark, technique, _ = plan.point_specs[compile_id]
+                    emit(f"worker {owner}: compiling {benchmark}/{technique}")
+                    compiled[compile_id] = compile_points(
+                        [plan.point_specs[compile_id]], settings=plan.settings
+                    )[0]
+                    # Compilation can dwarf evaluation; re-arm the TTL so a
+                    # slow compile is not mistaken for a crash.
+                    store.refresh_lease(key, owner)
+                record = evaluate_task(plan.task(index, compiled[compile_id]))
+                store.put(key, record)
+                computed += 1
+                progress = True
+                if seal:
+                    unsealed.append(key)
+                    if len(unsealed) >= _SEAL_BATCH:
+                        flush_seal()
+            finally:
+                store.release_lease(key, owner)
+        pending = next_round
+        if pending:
+            # Peers compacting (--seal) delete sealed loose files, leaving
+            # their records visible only through a newer manifest; reload
+            # once per round so this worker's reads do not mistake a
+            # peer-sealed record for missing work and re-evaluate it.
+            # (A seal landing *mid-round* can still slip through -- the
+            # duplicate evaluation is byte-identical and deduped by the
+            # next compaction, so only wasted effort is at stake.)
+            store.manifest(reload=True)
+        if pending and not progress:
+            # Everything left is live-leased by other workers: wait for
+            # them to finish (their records appear) or crash (their leases
+            # expire and become reclaimable).
+            time.sleep(_IDLE_POLL_S)
+
+    if seal:
+        flush_seal()
+    store.prune_lease_dir()
+    resumed = len(plan) - computed
+    elapsed = time.perf_counter() - start
+    emit(
+        f"worker {owner}: done -- {computed} computed, {resumed} resumed, "
+        f"{reclaimed} reclaimed, {len(compiled)} compilations in {elapsed:.1f}s"
+    )
+    return WorkerReport(
+        owner=owner,
+        scenarios=len(plan),
+        computed=computed,
+        resumed=resumed,
+        reclaimed=reclaimed,
+        contended=contended,
+        compilations=len(compiled),
+        elapsed_s=elapsed,
+    )
+
+
+def _worker_entry(
+    grid: SweepGrid,
+    store_dir: str,
+    ttl_s: float,
+    seal: bool,
+    limit: int | None,
+    settings: ExperimentSettings | None,
+) -> WorkerReport:
+    """Picklable spawn target: one claim loop in a child process."""
+    return run_worker(
+        grid,
+        SweepStore(store_dir),
+        ttl_s=ttl_s,
+        seal=seal,
+        limit=limit,
+        settings=settings,
+    )
+
+
+def run_distributed(
+    grid: SweepGrid,
+    store: SweepStore,
+    *,
+    workers: int = 2,
+    ttl_s: float = DEFAULT_LEASE_TTL_S,
+    seal: bool = False,
+    limit: int | None = None,
+    settings: ExperimentSettings | None = None,
+    log: "Callable[[str], None] | None" = None,
+) -> SweepReport:
+    """Spawn-and-join ``workers`` local claim-loop workers over ``store``.
+
+    The local convenience form of the multi-host deployment (where each
+    host runs ``python -m repro.sweeps worker`` itself): N child processes
+    steal work from the shared store until the grid is complete, then the
+    parent assembles the records in grid order.  The returned
+    :class:`~repro.sweeps.runner.SweepReport` is record-for-record
+    identical to a single-process :func:`~repro.sweeps.runner.run_sweep`
+    over the same grid -- distributed runs inherently resume, so
+    pre-existing records count as ``resumed``.
+
+    Degrades to one in-process worker when process pools are unavailable
+    (sandboxed environments), with identical results.
+    """
+    start = time.perf_counter()
+    emit = log or (lambda message: None)
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    plan = plan_sweep(grid, settings=settings, limit=limit)
+    if log is not None:
+        missing = sum(1 for _ in store.missing_keys(plan.keys))
+        emit(
+            f"sweep: {missing} of {len(plan)} scenarios missing "
+            f"from {store.directory}"
+        )
+
+    reports: list[WorkerReport] = []
+    pool = None
+    if workers > 1:
+        emit(
+            f"sweep: spawning {workers} distributed workers "
+            f"over {store.directory}"
+        )
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except OSError:
+            emit("sweep: process pool unavailable; running one worker in-process")
+    if pool is not None:
+        try:
+            with pool:
+                futures = [
+                    pool.submit(
+                        _worker_entry,
+                        grid,
+                        str(store.directory),
+                        ttl_s,
+                        seal,
+                        limit,
+                        settings,
+                    )
+                    for _ in range(workers)
+                ]
+                for future in futures:
+                    report = future.result()
+                    reports.append(report)
+                    emit(f"sweep: {report.summary_line}")
+        except BrokenProcessPool:
+            emit("sweep: process pool broke; finishing with one in-process worker")
+            reports = []
+    if not reports:
+        reports = [
+            run_worker(
+                grid,
+                store,
+                ttl_s=ttl_s,
+                seal=seal,
+                limit=limit,
+                settings=settings,
+                log=log,
+            )
+        ]
+
+    # Children wrote through their own SweepStore instances; drop this
+    # instance's cached manifest before assembling (sealed runs would
+    # otherwise read a pre-spawn index).
+    store.manifest(reload=True)
+    records = []
+    for key in plan.keys:
+        record = store.get(key)
+        if record is None:
+            raise RuntimeError(
+                f"distributed sweep finished but {key[:12]}... is unreadable "
+                f"in {store.directory}; rerun to recompute it"
+            )
+        records.append(record)
+    computed = sum(report.computed for report in reports)
+    return SweepReport(
+        records=tuple(records),
+        computed=computed,
+        resumed=max(0, len(plan) - computed),
+        compilations=sum(report.compilations for report in reports),
+        elapsed_s=time.perf_counter() - start,
+    )

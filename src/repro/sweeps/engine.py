@@ -21,6 +21,11 @@ Guarantees:
 - **degrades gracefully** -- when process pools are unavailable (sandboxed
   environments), evaluation falls back to the in-process path with
   identical results.
+
+:func:`evaluate_task` -- one record as a pure function of one task -- is
+also the evaluation core of the distributed claim-loop workers
+(:mod:`repro.sweeps.distributed`): sharded pools and work-stealing
+fleets differ only in *who* runs each task, never in what it produces.
 """
 
 from __future__ import annotations

@@ -1,6 +1,9 @@
 """Execute a :class:`~repro.sweeps.grid.SweepGrid` end to end.
 
-The runner separates the two costs of a sweep and shards each across its
+The grid is first expanded into a :class:`SweepPlan` by
+:func:`plan_sweep` -- the deterministic work list (scenarios, store keys,
+deduplicated compile points) that every execution strategy shares.  The
+runner then separates the two costs of a sweep and shards each across its
 own process pool:
 
 1. **Compilation** -- the unique ``(benchmark, technique, compile spec)``
@@ -22,13 +25,18 @@ attached, each record is persisted as soon as it is evaluated;
 ``resume=True`` then skips every scenario already on disk, which is what
 lets an interrupted sweep -- killed even mid-shard -- restart without
 recomputation.
+
+A third execution strategy, ``run_sweep(distributed=True, workers=N)``,
+replaces the two pools with N coordinator-free work-stealing workers over
+the store's lease protocol (:mod:`repro.sweeps.distributed`) -- same
+plan, same records, byte-identical store.
 """
 
 from __future__ import annotations
 
 import time
 import typing
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.experiments.common import (
     ExperimentSettings,
@@ -45,7 +53,7 @@ if typing.TYPE_CHECKING:
     from collections.abc import Callable
     from repro.core.result import CompilationResult
 
-__all__ = ["SweepReport", "run_sweep"]
+__all__ = ["SweepPlan", "SweepReport", "plan_sweep", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -86,53 +94,82 @@ class SweepReport:
         )
 
 
-def run_sweep(
-    grid: SweepGrid,
-    store: SweepStore | None = None,
-    *,
-    resume: bool = False,
-    workers: int = 1,
-    eval_workers: int = 1,
-    limit: int | None = None,
-    seal: bool = False,
-    settings: ExperimentSettings | None = None,
-    log: "Callable[[str], None] | None" = None,
-) -> SweepReport:
-    """Evaluate every scenario of ``grid``; returns records in grid order.
+@dataclass(frozen=True)
+class SweepPlan:
+    """The fully-determined work list one grid expands to.
 
-    Args:
-        grid: the scenario grid to expand and evaluate.
-        store: optional on-disk store; every evaluated record is persisted
-            immediately (so a killed run keeps its progress).
-        resume: with a store, skip scenarios whose records already exist;
-            without it, existing entries are recomputed and overwritten.
-        workers: process-pool size for the compilation phase.
-        eval_workers: process-pool size for the evaluation phase
-            (``--eval-jobs``); records are bit-identical for any value.
-        limit: only evaluate the first ``limit`` scenarios of the grid
-            (truncation cannot shift any scenario's content-derived seed).
-        seal: with a store, compact each evaluation chunk's loose records
-            into packed segments as it completes (``--seal``), so the run
-            ends with a bulk-loadable store; record content is unchanged.
-        settings: experiment settings the compile configs derive from
-            (defaults match the figure runners, so compilations are shared).
-        log: optional progress sink (e.g. ``print``).
+    Everything a worker needs to evaluate any scenario of the grid --
+    scenarios, store keys, deduplicated compile points, and fingerprints --
+    computed once, before any work runs.  Both the single-process runner
+    and every distributed claim-loop worker build the *same* plan from the
+    same grid, which is what makes their outputs byte-identical: keys,
+    seeds, and task contents are pure functions of grid content.
+
+    Attributes:
+        settings: the experiment settings the compile configs derive from.
+        scenarios: the (possibly ``limit``-truncated) scenario list, in
+            grid order.
+        keys: ``scenarios[i]``'s store address, aligned by index.
+        compile_ids: ``scenarios[i]``'s compile-point identity, aligned by
+            index (scenarios differing only in noise-only fields share one).
+        point_specs: compile id -> ``(benchmark, technique, compile_spec)``,
+            the argument :func:`repro.experiments.common.compile_points`
+            takes; insertion-ordered by first use.
+        fingerprints: ``scenarios[i]``'s circuit/spec/config fingerprints,
+            aligned by index (recorded in the output record).
     """
-    start = time.perf_counter()
+
+    settings: ExperimentSettings
+    scenarios: tuple
+    keys: tuple
+    compile_ids: tuple
+    point_specs: dict = field(repr=False)
+    fingerprints: tuple = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def task(self, index: int, result: "CompilationResult") -> EvalTask:
+        """The evaluation task for ``scenarios[index]`` given its compiled
+        artifact (swapping the effective spec onto it for noise-only axes:
+        error rates never influence compilation)."""
+        scenario = self.scenarios[index]
+        if scenario.spec != result.spec:
+            result = replace(result, spec=scenario.spec)
+        return EvalTask(
+            key=self.keys[index],
+            scenario=scenario,
+            result=result,
+            fingerprints=self.fingerprints[index],
+        )
+
+
+def plan_sweep(
+    grid: SweepGrid,
+    settings: ExperimentSettings | None = None,
+    limit: int | None = None,
+) -> SweepPlan:
+    """Expand ``grid`` into its deterministic :class:`SweepPlan`.
+
+    Pure with respect to grid content: scenario order, store keys, Monte
+    Carlo seeds, and compile-point dedup depend only on the grid (and
+    ``settings``), never on the calling process, worker count, or wall
+    clock.
+    """
     settings = settings or ExperimentSettings()
     if limit is not None and limit <= 0:
         raise ValueError(f"limit must be positive, got {limit}")
     scenarios = grid.scenarios()
     if limit is not None:
         scenarios = scenarios[:limit]
-    emit = log or (lambda message: None)
-    emit(f"sweep: {len(scenarios)} scenarios ({grid.size} grid points)")
 
     factory = settings_config_factory(settings)
     circuit_fps: dict[str, str] = {}
     config_fps: dict[tuple, str] = {}
     keys: list[str] = []
     compile_ids: list[tuple] = []
+    fingerprints: list[dict] = []
+    point_specs: dict[tuple, tuple] = {}
     for scenario in scenarios:
         benchmark = scenario.benchmark
         if benchmark not in circuit_fps:
@@ -150,10 +187,94 @@ def run_sweep(
                     scenario.compile_spec,
                 )
             )
+            point_specs[compile_id] = (
+                benchmark,
+                scenario.technique,
+                scenario.compile_spec,
+            )
         compile_ids.append(compile_id)
         keys.append(
             scenario_key(scenario, circuit_fps[benchmark], config_fps[compile_id])
         )
+        fingerprints.append(
+            {
+                "circuit": circuit_fps[benchmark],
+                "spec": fingerprint_spec(scenario.spec),
+                "config": config_fps[compile_id],
+            }
+        )
+    return SweepPlan(
+        settings=settings,
+        scenarios=tuple(scenarios),
+        keys=tuple(keys),
+        compile_ids=tuple(compile_ids),
+        point_specs=point_specs,
+        fingerprints=tuple(fingerprints),
+    )
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: SweepStore | None = None,
+    *,
+    resume: bool = False,
+    workers: int = 1,
+    eval_workers: int = 1,
+    limit: int | None = None,
+    seal: bool = False,
+    distributed: bool = False,
+    settings: ExperimentSettings | None = None,
+    log: "Callable[[str], None] | None" = None,
+) -> SweepReport:
+    """Evaluate every scenario of ``grid``; returns records in grid order.
+
+    Args:
+        grid: the scenario grid to expand and evaluate.
+        store: optional on-disk store; every evaluated record is persisted
+            immediately (so a killed run keeps its progress).  Required
+            when ``distributed=True``.
+        resume: with a store, skip scenarios whose records already exist;
+            without it, existing entries are recomputed and overwritten.
+        workers: process-pool size for the compilation phase.  With
+            ``distributed=True`` this is instead the number of spawned
+            claim-loop worker processes (each compiles its own claims).
+        eval_workers: process-pool size for the evaluation phase
+            (``--eval-jobs``); records are bit-identical for any value.
+            Ignored when ``distributed=True``.
+        limit: only evaluate the first ``limit`` scenarios of the grid
+            (truncation cannot shift any scenario's content-derived seed).
+        seal: with a store, compact each evaluation chunk's loose records
+            into packed segments as it completes (``--seal``), so the run
+            ends with a bulk-loadable store; record content is unchanged.
+        distributed: spawn ``workers`` independent work-stealing workers
+            over the store's lease protocol instead of the two sharded
+            pools (see :mod:`repro.sweeps.distributed`).  Distributed runs
+            always resume -- the claim loop is idempotent over whatever is
+            already stored -- and produce records byte-identical to any
+            other mode.
+        settings: experiment settings the compile configs derive from
+            (defaults match the figure runners, so compilations are shared).
+        log: optional progress sink (e.g. ``print``).
+    """
+    if distributed:
+        from repro.sweeps.distributed import run_distributed
+
+        if store is None:
+            raise ValueError("distributed=True requires a store")
+        return run_distributed(
+            grid,
+            store,
+            workers=workers,
+            seal=seal,
+            limit=limit,
+            settings=settings,
+            log=log,
+        )
+    start = time.perf_counter()
+    emit = log or (lambda message: None)
+    plan = plan_sweep(grid, settings=settings, limit=limit)
+    scenarios, keys = plan.scenarios, plan.keys
+    emit(f"sweep: {len(scenarios)} scenarios ({grid.size} grid points)")
 
     records: list = [None] * len(scenarios)
     resumed = 0
@@ -169,17 +290,12 @@ def run_sweep(
 
     # Dedup compile points across pending scenarios (order-preserving).
     point_order: list[tuple] = []
-    point_specs: dict[tuple, tuple] = {}
+    seen_points: set[tuple] = set()
     for index in pending:
-        compile_id = compile_ids[index]
-        if compile_id not in point_specs:
+        compile_id = plan.compile_ids[index]
+        if compile_id not in seen_points:
+            seen_points.add(compile_id)
             point_order.append(compile_id)
-            scenario = scenarios[index]
-            point_specs[compile_id] = (
-                scenario.benchmark,
-                scenario.technique,
-                scenario.compile_spec,
-            )
     compiled: dict[tuple, "CompilationResult"] = {}
     if point_order:
         emit(
@@ -187,32 +303,13 @@ def run_sweep(
             f"for {len(pending)} scenarios (workers={workers})"
         )
         results = compile_points(
-            [point_specs[cid] for cid in point_order],
-            settings=settings,
+            [plan.point_specs[cid] for cid in point_order],
+            settings=plan.settings,
             workers=workers,
         )
         compiled = dict(zip(point_order, results))
 
-    tasks = []
-    for index in pending:
-        scenario = scenarios[index]
-        result = compiled[compile_ids[index]]
-        if scenario.spec != result.spec:
-            # Noise-only axes: swap the effective spec onto the shared
-            # compiled artifact (error rates never influence compilation).
-            result = replace(result, spec=scenario.spec)
-        tasks.append(
-            EvalTask(
-                key=keys[index],
-                scenario=scenario,
-                result=result,
-                fingerprints={
-                    "circuit": circuit_fps[scenario.benchmark],
-                    "spec": fingerprint_spec(scenario.spec),
-                    "config": config_fps[compile_ids[index]],
-                },
-            )
-        )
+    tasks = [plan.task(index, compiled[plan.compile_ids[index]]) for index in pending]
     if tasks:
         emit(
             f"sweep: evaluating {len(tasks)} scenarios "

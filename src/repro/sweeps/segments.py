@@ -42,6 +42,17 @@ new segment files first and publishes them with one atomic manifest swap,
 so readers and concurrent loose-record writers never observe a partial
 compaction; a compactor killed between the two steps leaves an orphan
 segment file that is simply never referenced.
+
+Compaction is equally safe under concurrent distributed *claimers*
+(:mod:`repro.sweeps.distributed`): lease files live in the store's
+``leases/`` subdirectory, outside both the loose-record glob and the
+segment/manifest namespace, so sealing neither sees nor disturbs
+outstanding claims -- and a ``--seal``-ing worker whose keyed compaction
+loses the compactor lock simply leaves those records loose for a later
+pass.
+
+The byte-level layout of every structure here is specified normatively in
+``docs/store-format.md``.
 """
 
 from __future__ import annotations

@@ -18,8 +18,24 @@ same store directory:
 
 Both backends answer :meth:`get`/:meth:`records` identically (loose wins
 when a key exists in both), corrupt or truncated data always reads as
-missing-with-warning, and each distinct problem warns **once per store**
-(a 10^5-record scan over a few bad files must not flood the log).
+missing-with-warning, and each distinct problem warns **once per store
+directory per process** (a 10^5-record scan over a few bad files must not
+flood the log).  Warnings go both to :mod:`warnings` (``RuntimeWarning``)
+and to the module logger ``repro.sweeps.store`` -- configure the latter
+(e.g. ``logging.getLogger("repro.sweeps").setLevel(...)``) to control
+store diagnostics in long-running workers.
+
+A third kind of file supports **distributed sweeps**
+(:mod:`repro.sweeps.distributed`): advisory *lease files* under
+``leases/`` mark a scenario key as claimed by one worker.  A lease is
+created atomically (``O_CREAT | O_EXCL``), carries its owner id, and is
+heartbeat by file mtime; a lease whose heartbeat is older than the
+caller's TTL is presumed abandoned (a SIGKILLed worker) and can be
+reclaimed.  Leases are an *efficiency* mechanism only: records are pure
+functions of their scenario content and :meth:`put` is atomic, so even a
+duplicated evaluation writes byte-identical data.  Lease files are never
+records -- iteration, compaction, and analysis ignore ``leases/``
+entirely.
 
 Record schema (``SCHEMA_VERSION = 2``)::
 
@@ -45,8 +61,12 @@ Record schema (``SCHEMA_VERSION = 2``)::
 from __future__ import annotations
 
 import json
+import logging
 import os
+import socket
+import time
 import typing
+import uuid
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,16 +81,61 @@ if typing.TYPE_CHECKING:
     from repro.sweeps.grid import Scenario
 
 __all__ = [
+    "DEFAULT_LEASE_TTL_S",
+    "LEASE_DIR_NAME",
     "SCHEMA_VERSION",
     "CompactionReport",
     "StoreStats",
     "SweepStore",
+    "default_owner_id",
     "scenario_key",
 ]
 
 SCHEMA_VERSION = 2
 
+#: Subdirectory holding distributed-claim lease files (never records).
+LEASE_DIR_NAME = "leases"
+
+#: Leases whose heartbeat (file mtime) is older than this are presumed
+#: abandoned -- long enough to survive one slow compile, short enough that
+#: a SIGKILLed worker's keys are reclaimed promptly.
+DEFAULT_LEASE_TTL_S = 60.0
+
 _UNLOADED = object()
+
+#: Module logger for store diagnostics; see the module docstring.
+logger = logging.getLogger(__name__)
+
+#: (scope, problem) pairs already reported this process.  Module-level so
+#: the many short-lived SweepStore instances one process opens (evaluation
+#: workers open the store once per chunk) report each distinct problem
+#: once, not once per instance.
+_WARNED: set = set()
+
+
+def _warn_once(scope: str, dedup_key: str, message: str, stacklevel: int = 5) -> None:
+    """Report one store problem once per (directory, problem) per process.
+
+    Routes through both the module logger (configurable, survives
+    ``warnings`` filters in long-running workers) and :mod:`warnings`
+    (visible in tests and interactive use).
+    """
+    entry = (scope, dedup_key)
+    if entry in _WARNED:
+        return
+    _WARNED.add(entry)
+    logger.warning(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+
+
+def default_owner_id() -> str:
+    """A collision-free lease-owner id: host, pid, and a random tail.
+
+    Host + pid alone would collide when a pid is recycled mid-sweep (or
+    across container restarts sharing one filesystem), so a random suffix
+    makes every worker invocation distinct.
+    """
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
 
 def scenario_key(
@@ -129,12 +194,16 @@ class StoreStats:
     loose: int
     sealed: int
     segments: int
+    leases: int = 0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.loose} loose + {self.sealed} sealed records "
             f"in {self.segments} segment(s)"
         )
+        if self.leases:
+            text += f", {self.leases} active lease(s)"
+        return text
 
 
 class SweepStore:
@@ -143,22 +212,20 @@ class SweepStore:
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._warned: set[str] = set()
         self._manifest: object = _UNLOADED
 
     # -- warnings --------------------------------------------------------------
 
     def _warn(self, dedup_key: str, message: str) -> None:
-        """Warn once per distinct problem per store instance.
+        """Warn once per distinct problem per store directory per process.
 
-        Every corrupt-data path funnels through here so a large scan over
-        a store with a few bad files emits a few warnings, not one per
-        access per iteration.
+        Every corrupt-data path funnels through here so a large scan over a
+        store with a few bad files emits a few warnings, not one per access
+        per iteration.  Deduplication is keyed on ``(directory, problem)``
+        at module level (see :func:`_warn_once`), so reopening the store --
+        which evaluation workers do once per chunk -- does not re-warn.
         """
-        if dedup_key in self._warned:
-            return
-        self._warned.add(dedup_key)
-        warnings.warn(message, RuntimeWarning, stacklevel=4)
+        _warn_once(str(self.directory), dedup_key, message)
 
     # -- paths and manifest ----------------------------------------------------
 
@@ -223,13 +290,29 @@ class SweepStore:
         return len(prefixes)
 
     def stats(self) -> StoreStats:
-        """Loose/sealed record counts and the segment census."""
+        """Loose/sealed record counts, segment census, and active leases."""
         manifest = self._current_manifest()
         return StoreStats(
             loose=sum(1 for _ in self.loose_paths()),
             sealed=len(manifest.entries) if manifest is not None else 0,
             segments=len(manifest.segments) if manifest is not None else 0,
+            leases=sum(1 for _ in self.lease_paths()),
         )
+
+    def missing_keys(self, keys: "Iterable[str]") -> "Iterator[str]":
+        """Yield every key of ``keys`` not yet stored, preserving order.
+
+        The pending-work iterator behind the distributed claim loop: a
+        worker scans the grid's keys through this, then races to lease
+        each one.  Membership is existence-level (loose file present or
+        key sealed in the current-generation manifest) -- cheap enough to
+        re-scan every round -- so a corrupt record *is* counted as present
+        here and only discovered (and recomputed) by :meth:`get` at resume
+        time.
+        """
+        for key in keys:
+            if key not in self:
+                yield key
 
     # -- loose-record parsing --------------------------------------------------
 
@@ -339,6 +422,182 @@ class SweepStore:
         }
         if not atomic_write_text(self.path(key), canonical_dumps(payload)):
             raise OSError(f"failed to persist sweep record to {self.path(key)}")
+
+    # -- leases (distributed claims) -------------------------------------------
+
+    @property
+    def lease_dir(self) -> Path:
+        return self.directory / LEASE_DIR_NAME
+
+    def lease_path(self, key: str) -> Path:
+        """Lease file backing ``key`` (exists iff some worker claims it)."""
+        return self.lease_dir / f"{key[:40]}.lease"
+
+    def lease_paths(self) -> "Iterator[Path]":
+        """Every lease file currently on disk (live or expired)."""
+        if not self.lease_dir.is_dir():
+            return
+        yield from self.lease_dir.glob("*.lease")
+
+    def _write_lease(self, path: Path, key: str, owner: str) -> bool:
+        """Atomically *claim* ``path`` for ``owner`` (O_CREAT | O_EXCL).
+
+        The exclusive create is the claim; the JSON body (owner/pid/host)
+        is informational.  A worker killed between create and write leaves
+        an empty lease, which simply expires by TTL like any other.
+        """
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError:
+            return False
+        try:
+            payload = canonical_dumps(
+                {
+                    "key": key,
+                    "owner": owner,
+                    "pid": os.getpid(),
+                    "host": socket.gethostname(),
+                    "acquired_at": time.time(),
+                }
+            )
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def read_lease(self, key: str) -> dict | None:
+        """The lease claiming ``key`` -- its JSON body plus ``age_s`` (the
+        seconds since its last heartbeat) -- or None when unclaimed.
+
+        An unreadable or half-written lease body reads as an *anonymous*
+        claim (``owner`` None): it still blocks acquisition until its TTL
+        expires, because some process did win the exclusive create.
+        """
+        path = self.lease_path(key)
+        try:
+            age = time.time() - path.stat().st_mtime
+            body = json.loads(path.read_text(encoding="utf-8"))
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            body = {}
+        if not isinstance(body, dict):
+            body = {}
+        return {"owner": body.get("owner"), "age_s": max(age, 0.0), **body}
+
+    def acquire_lease(
+        self, key: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> str | None:
+        """Try to claim ``key`` for ``owner``; the distributed-claim core.
+
+        Returns ``"acquired"`` (fresh claim), ``"reclaimed"`` (an expired
+        lease -- heartbeat older than ``ttl_s`` -- was taken over), or
+        ``None`` (a live lease holds the key; try another key and come
+        back).
+
+        Atomicity: creation is ``O_CREAT | O_EXCL``, so exactly one of any
+        number of racing claimers wins.  Reclaiming an expired lease first
+        *renames* it to a unique tombstone -- rename is atomic, so exactly
+        one of the racing reclaimers succeeds and the losers see the key
+        as contended -- and only then re-creates the lease, which means a
+        fresh claim can never be destroyed by a slow reclaimer.
+        """
+        path = self.lease_path(key)
+        self.lease_dir.mkdir(parents=True, exist_ok=True)
+        if self._write_lease(path, key, owner):
+            return "acquired"
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            # Holder released between our create attempt and the stat.
+            return "acquired" if self._write_lease(path, key, owner) else None
+        if age <= ttl_s:
+            return None
+        tombstone = path.with_name(
+            f"{path.name}.reclaim-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return None  # another reclaimer won the rename
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
+        if self._write_lease(path, key, owner):
+            return "reclaimed"
+        return None
+
+    def refresh_lease(self, key: str, owner: str) -> bool:
+        """Heartbeat ``owner``'s lease on ``key`` (bump its mtime).
+
+        Returns False -- without touching anything -- when the lease is
+        gone or owned by someone else (it expired and was reclaimed while
+        we worked; the work is still safe to finish, since records are
+        pure and writes atomic, but the caller should stop refreshing).
+        """
+        lease = self.read_lease(key)
+        if lease is None or lease.get("owner") != owner:
+            return False
+        try:
+            os.utime(self.lease_path(key))
+        except OSError:
+            return False
+        return True
+
+    def release_lease(self, key: str, owner: str) -> bool:
+        """Drop ``owner``'s lease on ``key``; True when removed.
+
+        Only the owner's own lease is removed: if the lease expired and
+        another worker reclaimed it, releasing must not destroy *their*
+        claim.  An orphaned lease (owner gone) is left to expire by TTL.
+
+        A plain read-then-unlink would race a reclaimer (the lease could
+        change hands between the two calls), so release renames the lease
+        to a private tombstone first -- atomic, exactly one mover -- and
+        verifies ownership on the tombstone.  A stranger's lease moved by
+        mistake is restored with ``os.link`` (which refuses to clobber an
+        even newer claim rather than overwrite it).
+        """
+        lease = self.read_lease(key)
+        if lease is None or lease.get("owner") != owner:
+            return False
+        path = self.lease_path(key)
+        tombstone = path.with_name(
+            f"{path.name}.release-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(path, tombstone)
+        except OSError:
+            return False  # already gone (released or reclaimed-and-released)
+        try:
+            body = json.loads(tombstone.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            body = {}
+        mine = isinstance(body, dict) and body.get("owner") == owner
+        if not mine:
+            # The lease changed hands between the read and the rename:
+            # put the reclaimer's claim back (link is atomic and fails --
+            # leaving their lease lost-to-TTL at worst -- if a third
+            # claim appeared meanwhile, rather than destroying it).
+            try:
+                os.link(tombstone, path)
+            except OSError:
+                pass
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
+        return mine
+
+    def prune_lease_dir(self) -> None:
+        """Remove the ``leases/`` directory if it is empty (cosmetic --
+        keeps a cleanly finished distributed store byte-identical in
+        layout to a single-process one)."""
+        try:
+            self.lease_dir.rmdir()
+        except OSError:
+            pass
 
     # -- iteration -------------------------------------------------------------
 
@@ -683,7 +942,7 @@ class SweepStore:
     # -- maintenance -----------------------------------------------------------
 
     def clear(self) -> None:
-        """Delete every record file, segment, and the manifest."""
+        """Delete every record file, segment, lease, and the manifest."""
         for path in list(self.loose_paths()):
             try:
                 path.unlink()
@@ -694,9 +953,21 @@ class SweepStore:
                 path.unlink()
             except OSError:
                 pass
+        if self.lease_dir.is_dir():
+            # Leases plus any crash-orphaned reclaim/release tombstones.
+            for path in list(self.lease_dir.iterdir()):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        self.prune_lease_dir()
         try:
             (self.directory / seg.MANIFEST_NAME).unlink()
         except OSError:
             pass
         self._manifest = _UNLOADED
-        self._warned.clear()
+        # A cleared store is new data: re-arm its warning dedup so problems
+        # in the directory's next life are reported afresh.
+        scope = str(self.directory)
+        for entry in [e for e in _WARNED if e[0] == scope]:
+            _WARNED.discard(entry)

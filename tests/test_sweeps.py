@@ -137,9 +137,31 @@ class TestSweepStore:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert list(store.records()) == []
-        # A fresh store instance warns anew.
-        with pytest.warns(RuntimeWarning, match="unreadable record"):
+        # A fresh store instance on the same directory does NOT re-warn:
+        # dedup is module-level, keyed on (directory, problem), so the many
+        # short-lived instances a multi-worker run opens report each
+        # problem once per process, not once per instance.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             assert list(SweepStore(tmp_path / "s").records()) == []
+        # clear() re-arms the dedup: the directory's next life is new data.
+        store.clear()
+        store.path("d" * 64).write_text("{not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="unreadable record"):
+            assert store.get("d" * 64) is None
+
+    def test_warnings_also_routed_to_module_logger(self, tmp_path, caplog):
+        import logging
+
+        store = SweepStore(tmp_path / "s")
+        store.path("e" * 64).write_text("{not json", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.sweeps.store"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                assert store.get("e" * 64) is None
+                assert SweepStore(tmp_path / "s").get("e" * 64) is None
+        hits = [r for r in caplog.records if "unreadable record" in r.message]
+        assert len(hits) == 1  # once per process, not once per instance
 
     def test_records_sorted_by_key(self, tmp_path):
         store = SweepStore(tmp_path / "s")
@@ -354,10 +376,14 @@ class TestSweepCLI:
     def test_bad_axis_field_reports_error(self, capsys):
         from repro.sweeps.__main__ import main
 
-        assert main([
-            "--preset", "smoke", "--quiet",
-            "--spec-axis", "warp_factor=1,2",
-        ]) == 1
+        # Axis validation goes through parser.error (argparse usage-error
+        # exit code 2), like every other bad flag.
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "--preset", "smoke", "--quiet",
+                "--spec-axis", "warp_factor=1,2",
+            ])
+        assert excinfo.value.code == 2
         assert "unknown spec axis" in capsys.readouterr().err
 
     def test_eval_jobs_flag_matches_in_process(self, tmp_path, capsys):

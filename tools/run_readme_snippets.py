@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``bash``/``python`` snippet of a markdown file.
+
+The CI docs job runs this against README.md so the documentation cannot
+drift from the code: a snippet that stops working fails the build.
+
+Rules:
+
+- Only fences whose info string starts with ``bash`` or ``python`` are
+  executed; every other language (``text``, ``yaml``, ...) is ignored.
+- A fence marked ``skip-run`` (e.g. ```` ```bash skip-run ````) is listed
+  but not executed -- for installation or illustrative-only commands.
+- All snippets of one file run **sequentially in one shared scratch
+  directory**, so a later snippet can analyze the store an earlier one
+  created, exactly as a reader following the README top-to-bottom would.
+- ``bash`` snippets run under ``bash -euo pipefail``; ``python`` snippets
+  under this interpreter.  Both get ``PYTHONPATH`` pointing at the
+  repository's ``src/`` (prepended), so the docs job needs no install
+  step.
+
+Usage::
+
+    python tools/run_readme_snippets.py README.md [MORE.md ...]
+
+Exit status is non-zero when any executed snippet fails; each failure
+prints the snippet and its combined output.  The final line is a stable
+machine-readable summary: ``SNIPPETS ran=N skipped=M failed=K``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TIMEOUT_S = 600
+
+
+@dataclass(frozen=True)
+class Snippet:
+    source: str
+    line: int
+    language: str
+    skipped: bool
+    body: str
+
+    @property
+    def label(self) -> str:
+        first = next(
+            (ln for ln in self.body.splitlines() if ln.strip()), "<empty>"
+        )
+        return f"{self.source}:{self.line} [{self.language}] {first[:60]}"
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    """Parse fenced code blocks; tolerant of unknown languages."""
+    snippets: list[Snippet] = []
+    language = None
+    skipped = False
+    start = 0
+    lines: list[str] = []
+    for number, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        stripped = raw.strip()
+        if language is None:
+            if stripped.startswith("```") and len(stripped) > 3:
+                info = stripped[3:].split()
+                language = info[0].lower()
+                skipped = "skip-run" in info[1:]
+                start = number
+                lines = []
+        elif stripped == "```":
+            if language in ("bash", "sh", "python", "py"):
+                snippets.append(
+                    Snippet(
+                        source=path.name,
+                        line=start,
+                        language="bash" if language in ("bash", "sh") else "python",
+                        skipped=skipped,
+                        body="\n".join(lines) + "\n",
+                    )
+                )
+            language = None
+        else:
+            lines.append(raw)
+    if language is not None:
+        raise SystemExit(f"{path}: unterminated code fence opened at line {start}")
+    return snippets
+
+
+def run_snippet(snippet: Snippet, cwd: Path, env: dict) -> subprocess.CompletedProcess:
+    if snippet.language == "bash":
+        argv = ["bash", "-euo", "pipefail", "-c", snippet.body]
+    else:
+        argv = [sys.executable, "-c", snippet.body]
+    return subprocess.run(
+        argv,
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+
+    files = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not files:
+        files = [REPO_ROOT / "README.md"]
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    ran = skipped = failed = 0
+    for path in files:
+        snippets = extract_snippets(path)
+        print(f"{path}: {len(snippets)} executable-language snippet(s)")
+        with tempfile.TemporaryDirectory(prefix="readme-snippets-") as scratch:
+            for snippet in snippets:
+                if snippet.skipped:
+                    skipped += 1
+                    print(f"  SKIP {snippet.label}")
+                    continue
+                result = run_snippet(snippet, Path(scratch), env)
+                if result.returncode == 0:
+                    ran += 1
+                    print(f"  PASS {snippet.label}")
+                else:
+                    failed += 1
+                    print(f"  FAIL {snippet.label} (exit {result.returncode})")
+                    print("  ---- snippet " + "-" * 50)
+                    for line in snippet.body.rstrip().splitlines():
+                        print(f"  | {line}")
+                    print("  ---- output " + "-" * 51)
+                    for line in (result.stdout or "").rstrip().splitlines():
+                        print(f"  | {line}")
+                    print("  " + "-" * 63)
+    print(f"SNIPPETS ran={ran} skipped={skipped} failed={failed}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
