@@ -78,6 +78,40 @@ class DependencyDAG:
                 out.append(idx)
         return out
 
+    def claim_layer(self) -> list[int]:
+        """Pop one parallel layer of ready gates in a single frontier pass.
+
+        Equivalent to the scheduler's per-qubit ``front_gate`` /
+        ``is_ready`` / ``pop`` scan (one gate per disjoint qubit set,
+        ascending qubit order) but without re-validating readiness on every
+        pop -- the frontier check and the dequeue share one traversal.
+        """
+        claimed: set[int] = set()
+        layer: list[int] = []
+        queues = self._queues
+        gates = self.gates
+        for qubit in range(self.circuit.num_qubits):
+            if qubit in claimed:
+                continue
+            queue = queues[qubit]
+            if not queue:
+                continue
+            idx = queue[0]
+            operands = gates[idx].qubits
+            ready = True
+            for q in operands:
+                other = queues[q]
+                if q in claimed or not other or other[0] != idx:
+                    ready = False
+                    break
+            if ready:
+                for q in operands:
+                    queues[q].popleft()
+                self._remaining -= 1
+                claimed.update(operands)
+                layer.append(idx)
+        return layer
+
     # -- mutation -----------------------------------------------------------
 
     def pop(self, gate_index: int) -> Gate:

@@ -35,6 +35,7 @@ from repro.pipeline.batch import compile_many
 from repro.pipeline.cache import CompilationCache
 from repro.pipeline.registry import available_techniques
 from repro.qasm.parser import load_file
+from repro.utils.profiling import PhaseTimer
 from repro.utils.tables import format_table
 
 __all__ = ["main"]
@@ -131,6 +132,19 @@ def main(argv: list[str] | None = None) -> int:
         help="instead of compiling, summarize the sweep store at DIR "
         "(per-benchmark/technique marginals + technique crossovers)",
     )
+    parser.add_argument(
+        "--phase-report",
+        action="store_true",
+        help="also print aggregated per-stage compile timings "
+        "(PhaseTimer totals, merged across --jobs workers)",
+    )
+    parser.add_argument(
+        "--phase-report-json",
+        metavar="PATH",
+        default=None,
+        help="dump the per-stage compile timings as JSON to PATH "
+        '({"totals": {...seconds}, "counts": {...}})',
+    )
     args = parser.parse_args(argv)
 
     if args.sweep_summary is not None:
@@ -168,9 +182,15 @@ def main(argv: list[str] | None = None) -> int:
         list(techniques_available) if args.technique == "all" else [args.technique]
     )
     cache = CompilationCache(args.cache_dir) if args.cache_dir else None
-    results = compile_many(
-        [circuit], techniques, [spec], workers=args.jobs, cache=cache
+    pairs = compile_many(
+        [circuit], techniques, [spec], workers=args.jobs, cache=cache,
+        return_timings=True,
     )
+    results = [result for result, _ in pairs]
+    phase_timer = PhaseTimer()
+    for _, stage_times in pairs:
+        if stage_times:
+            phase_timer.merge(stage_times)
 
     rows = []
     json_payload: dict[str, dict] = {}
@@ -218,6 +238,16 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(json_payload, handle, indent=2)
         print(f"wrote JSON results to {args.json}")
+    if args.phase_report:
+        print("per-stage compile timings (cache hits report no stages):")
+        print(phase_timer.report())
+    if args.phase_report_json:
+        import json
+
+        payload = {"totals": phase_timer.totals(), "counts": phase_timer.counts()}
+        with open(args.phase_report_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote phase timings to {args.phase_report_json}")
     return 0
 
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import circuit_layers
 from repro.core.machine import MachineState
+from repro.utils import kernels
 
 __all__ = ["AODSelection", "select_aod_qubits", "qubit_weights", "resolve_shared_coords"]
 
@@ -32,16 +33,32 @@ INTERFERENCE_WEIGHT = 0.01
 
 
 def _out_of_range_counts(circuit: QuantumCircuit, state: MachineState) -> np.ndarray:
-    """Per-qubit count of two-qubit interactions beyond the interaction radius."""
+    """Per-qubit count of two-qubit interactions beyond the interaction radius.
+
+    All gate operand pairs are measured in one batched distance computation;
+    ``MachineState.distance`` is itself ``np.hypot``, so the batch compares
+    bit-identically to the retained per-gate reference scan.
+    """
     counts = np.zeros(state.num_qubits, dtype=float)
     radius = state.interaction_radius
-    for gate in circuit.gates:
-        if gate.num_qubits != 2:
-            continue
-        a, b = gate.qubits
-        if state.distance(a, b) > radius:
-            counts[a] += 1.0
-            counts[b] += 1.0
+    if kernels.reference_kernels_active():
+        for gate in circuit.gates:
+            if gate.num_qubits != 2:
+                continue
+            a, b = gate.qubits
+            if state.distance(a, b) > radius:
+                counts[a] += 1.0
+                counts[b] += 1.0
+        return counts
+    pairs = np.array(
+        [gate.qubits for gate in circuit.gates if gate.num_qubits == 2],
+        dtype=np.intp,
+    ).reshape(-1, 2)
+    if len(pairs) == 0:
+        return counts
+    delta = state.positions[pairs[:, 0]] - state.positions[pairs[:, 1]]
+    far = np.hypot(delta[:, 0], delta[:, 1]) > radius
+    np.add.at(counts, pairs[far].ravel(), 1.0)
     return counts
 
 
@@ -51,22 +68,41 @@ def _interference_counts(circuit: QuantumCircuit, state: MachineState) -> np.nda
     For each ASAP layer, every pair of two-qubit gates whose atoms come
     within the blockade radius of each other adds one conflict to each
     involved qubit.  This is the "degree of serialization" tie-breaker.
+    Per layer, one broadcast operand-to-operand distance tensor replaces
+    the O(gates^2 x 4) Python pair scans.
     """
     counts = np.zeros(state.num_qubits, dtype=float)
     blockade = state.blockade_radius
+    reference = kernels.reference_kernels_active()
     for layer in circuit_layers(circuit):
         two_qubit = [g for g in layer if g.num_qubits == 2]
-        for i in range(len(two_qubit)):
-            for j in range(i + 1, len(two_qubit)):
-                ga, gb = two_qubit[i], two_qubit[j]
-                conflict = any(
-                    state.distance(qa, qb) <= blockade
-                    for qa in ga.qubits
-                    for qb in gb.qubits
-                )
-                if conflict:
-                    for q in (*ga.qubits, *gb.qubits):
-                        counts[q] += 1.0
+        if len(two_qubit) < 2:
+            continue
+        if reference:
+            for i in range(len(two_qubit)):
+                for j in range(i + 1, len(two_qubit)):
+                    ga, gb = two_qubit[i], two_qubit[j]
+                    conflict = any(
+                        state.distance(qa, qb) <= blockade
+                        for qa in ga.qubits
+                        for qb in gb.qubits
+                    )
+                    if conflict:
+                        for q in (*ga.qubits, *gb.qubits):
+                            counts[q] += 1.0
+            continue
+        operands = np.array([g.qubits for g in two_qubit], dtype=np.intp)
+        px = state.positions[operands, 0]
+        py = state.positions[operands, 1]
+        dx = px[:, :, None, None] - px[None, None, :, :]
+        dy = py[:, :, None, None] - py[None, None, :, :]
+        conflict = (np.hypot(dx, dy) <= blockade).any(axis=(1, 3))
+        iu, ju = np.triu_indices(len(two_qubit), k=1)
+        hit = conflict[iu, ju]
+        conflicting = np.concatenate(
+            [operands[iu[hit]].ravel(), operands[ju[hit]].ravel()]
+        )
+        np.add.at(counts, conflicting, 1.0)
     return counts
 
 

@@ -52,6 +52,16 @@ class MachineState:
             self.slm.place(qubit, row, col)
             self.atoms.append(Atom(qubit, positions_um[qubit], TrapType.SLM))
         self.positions = positions_um.copy()
+        # Each atom's ``position`` is a row view into ``positions``: in-place
+        # writes through ``set_position`` keep both in sync with no copies.
+        for qubit in range(self.num_qubits):
+            self.atoms[qubit].position = self.positions[qubit]
+        # Mobile/static membership, mirrored as a boolean mask for the
+        # movement engine's batched separation checks.  ``trap_version``
+        # bumps on every transfer so engine-side caches can invalidate.
+        self._mobile_mask = np.zeros(self.num_qubits, dtype=bool)
+        self._mobile_list: list[int] | None = []
+        self.trap_version = 0
 
         scale = unit_to_physical_scale(spec)
         raw_radius = layout.interaction_radius_unit * scale
@@ -64,9 +74,17 @@ class MachineState:
 
     def set_position(self, qubit: int, new_pos: np.ndarray) -> None:
         """Move one atom's recorded position (engine use only)."""
-        new_pos = np.asarray(new_pos, dtype=float)
-        self.atoms[qubit].position = new_pos.copy()
-        self.positions[qubit] = new_pos
+        self.set_position_xy(qubit, float(new_pos[0]), float(new_pos[1]))
+
+    def set_position_xy(self, qubit: int, x: float, y: float) -> None:
+        """Scalar fast path of :meth:`set_position` (no array construction).
+
+        Writes in place, so ``atoms[qubit].position`` (a row view) stays in
+        sync for free.
+        """
+        row = self.positions[qubit]
+        row[0] = x
+        row[1] = y
 
     def distance(self, a: int, b: int) -> float:
         """Distance between qubits ``a`` and ``b`` in micrometers."""
@@ -90,19 +108,28 @@ class MachineState:
         self.aod.assign_atom(qubit, row, col, x, y)
         atom.trap = TrapType.AOD
         atom.aod_row, atom.aod_col = row, col
+        self._mobile_mask[qubit] = True
+        self._mobile_list = None
+        self.trap_version += 1
 
     def is_mobile(self, qubit: int) -> bool:
         """True if the qubit is in the AOD."""
         return self.atoms[qubit].trap is TrapType.AOD
 
+    @property
+    def mobile_mask(self) -> np.ndarray:
+        """Boolean ``(n,)`` mask of AOD-trapped qubits (do not mutate)."""
+        return self._mobile_mask
+
     def mobile_qubits(self) -> list[int]:
-        """All AOD-trapped qubits."""
-        return [q for q in range(self.num_qubits) if self.is_mobile(q)]
+        """All AOD-trapped qubits, ascending."""
+        if self._mobile_list is None:
+            self._mobile_list = np.nonzero(self._mobile_mask)[0].tolist()
+        return list(self._mobile_list)
 
     def static_positions(self) -> np.ndarray:
         """Positions of all SLM atoms (view-copy used by the engine)."""
-        idx = [q for q in range(self.num_qubits) if not self.is_mobile(q)]
-        return self.positions[idx]
+        return self.positions[~self._mobile_mask]
 
     # -- validation (used heavily in tests) ----------------------------------------
 

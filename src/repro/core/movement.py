@@ -19,6 +19,17 @@ honors every hardware constraint:
 
 On failure the engine rolls the machine back to its pre-move state, so a
 failed move has no physical effect.
+
+The candidate search kernels (`_find_destination`, `_push_atom`,
+`_separation_violations`) are numpy-vectorized: each ring of candidate
+points is scored against all atoms with one broadcast distance matrix
+instead of a per-candidate Python scan.  Candidate *ranking* distances
+stay scalar ``math.hypot`` on purpose -- candidate rings are symmetric
+about the mover-target axis, so exact distance ties are common and the
+tie-break must reproduce the scalar kernel's last-ulp behavior bit for
+bit.  The original scalar kernels are retained behind
+:func:`repro.utils.kernels.reference_kernels_active` as the benchmark
+baseline and the property-test oracle.
 """
 
 from __future__ import annotations
@@ -29,10 +40,19 @@ import numpy as np
 
 from repro.core.machine import MachineState
 from repro.hardware.aod import AODOrderError
+from repro.utils import kernels
 
 __all__ = ["MovementEngine", "MoveFailure"]
 
 _EPS = 1e-6
+
+#: Destination rings, as fractions of the interaction radius (closest-in
+#: ring that clears the separation constraint wins).
+_RING_FRACTIONS = (0.9, 0.7, 0.5)
+#: Angular offsets of the 16 destination candidates per ring.
+_RING_ANGLES = tuple(math.pi * k / 8.0 for k in range(16))
+#: Angular offsets of the 8 push-landing candidates.
+_PUSH_ANGLES = tuple(math.pi * k / 4.0 for k in range(8))
 
 
 class MoveFailure(RuntimeError):
@@ -46,6 +66,18 @@ class MovementEngine:
         self.state = state
         self.spec = state.spec
         self.limit = int(recursion_limit)
+        min_sep = float(state.spec.min_separation_um)
+        self._min_sep = min_sep
+        self._sep_threshold = min_sep - _EPS
+        # Candidate destinations may overhang the SLM grid, but never by
+        # more than the separation constraint could justify: the margin is
+        # min(grid pitch, min separation).  (The margin used to be the full
+        # grid pitch, which on sparse grids -- pitch > separation -- admitted
+        # out-of-trap points well beyond any physically useful overhang.)
+        w, h = state.spec.extent_um
+        margin = min(float(state.spec.grid_pitch_um), min_sep)
+        self._x_lo, self._x_hi = -margin, float(w) + margin
+        self._y_lo, self._y_hi = -margin, float(h) + margin
         # Cumulative distance moved per AOD line object within the current
         # layer; the layer's movement time is the max over objects.
         self._object_distance: dict[tuple[str, int], float] = {}
@@ -53,6 +85,12 @@ class MovementEngine:
         # every committed line move this layer, for replay/verification.
         self._trace: list[tuple[str, int, float, float]] = []
         self._ticks = 0
+        # Home-return index arrays, rebuilt whenever AOD membership changes.
+        self._home_version = -1
+        self._home_qubits: np.ndarray | None = None
+        self._home_rows: np.ndarray | None = None
+        self._home_cols: np.ndarray | None = None
+        self._home_xy: np.ndarray | None = None
 
     # -- per-layer bookkeeping -------------------------------------------------
 
@@ -97,6 +135,65 @@ class MovementEngine:
 
     def return_home_distance(self) -> float:
         """Max distance any AOD line must travel to return to home positions."""
+        if kernels.reference_kernels_active():
+            return self._return_home_distance_scalar()
+        qubits, rows, cols, homes = self._home_arrays()
+        if len(qubits) == 0:
+            return 0.0
+        aod = self.state.aod
+        row_travel = np.abs(aod.row_y[rows] - homes[:, 1])
+        col_travel = np.abs(aod.col_x[cols] - homes[:, 0])
+        return float(max(row_travel.max(), col_travel.max(), 0.0))
+
+    def return_home(self) -> float:
+        """Send every AOD atom back to its home position (Fig. 7).
+
+        Returns the max line travel distance (timing).  Home positions were
+        validated when first established, so restoring them is always legal.
+        """
+        if kernels.reference_kernels_active():
+            return self._return_home_scalar()
+        distance = self.return_home_distance()
+        qubits, rows, cols, homes = self._home_arrays()
+        if len(qubits):
+            aod = self.state.aod
+            aod.row_y[rows] = homes[:, 1]
+            aod.col_x[cols] = homes[:, 0]
+            # Bulk write; atoms[q].position row views stay in sync for free.
+            self.state.positions[qubits] = homes
+        return distance
+
+    def _home_arrays(self) -> tuple:
+        """(qubits, rows, cols, homes) index arrays over the AOD population.
+
+        Cached against ``MachineState.trap_version``: trap transfers are the
+        only events that change AOD membership (and homes are assigned in
+        the same selection step), so the arrays survive a whole schedule.
+        """
+        state = self.state
+        if self._home_version != state.trap_version:
+            aod = state.aod
+            qubits: list[int] = []
+            rows: list[int] = []
+            cols: list[int] = []
+            homes: list[np.ndarray] = []
+            for qubit in aod.atoms():
+                row, col = aod.atom_lines(qubit)
+                qubits.append(qubit)
+                rows.append(row)
+                cols.append(col)
+                homes.append(state.atoms[qubit].home)
+            self._home_qubits = np.array(qubits, dtype=np.intp)
+            self._home_rows = np.array(rows, dtype=np.intp)
+            self._home_cols = np.array(cols, dtype=np.intp)
+            self._home_xy = (
+                np.array(homes, dtype=float) if homes else np.empty((0, 2))
+            )
+            self._home_version = state.trap_version
+        return self._home_qubits, self._home_rows, self._home_cols, self._home_xy
+
+    def _return_home_distance_scalar(self) -> float:
+        """Reference kernel: per-atom home-travel scan."""
         best = 0.0
         aod = self.state.aod
         for qubit in aod.atoms():
@@ -109,13 +206,9 @@ class MovementEngine:
             )
         return best
 
-    def return_home(self) -> float:
-        """Send every AOD atom back to its home position (Fig. 7).
-
-        Returns the max line travel distance (timing).  Home positions were
-        validated when first established, so restoring them is always legal.
-        """
-        distance = self.return_home_distance()
+    def _return_home_scalar(self) -> float:
+        """Reference kernel: per-atom home restore."""
+        distance = self._return_home_distance_scalar()
         aod = self.state.aod
         for qubit in aod.atoms():
             atom = self.state.atoms[qubit]
@@ -160,14 +253,37 @@ class MovementEngine:
     # -- destination search ---------------------------------------------------------
 
     def _bounds_ok(self, point: np.ndarray) -> bool:
-        w, h = self.spec.extent_um
-        margin = self.spec.grid_pitch_um
-        return (-margin <= point[0] <= w + margin) and (-margin <= point[1] <= h + margin)
+        return (self._x_lo <= point[0] <= self._x_hi) and (
+            self._y_lo <= point[1] <= self._y_hi
+        )
+
+    def _bounds_mask(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_bounds_ok` over a ``(k, 2)`` candidate batch."""
+        x, y = points[:, 0], points[:, 1]
+        return (x >= self._x_lo) & (x <= self._x_hi) & (y >= self._y_lo) & (
+            y <= self._y_hi
+        )
 
     def _separation_violations(
         self, point: np.ndarray, ignore: tuple[int, ...]
     ) -> tuple[int, bool]:
         """(# AOD atoms too close, any SLM atom too close) at ``point``."""
+        if kernels.reference_kernels_active():
+            return self._separation_violations_scalar(point, ignore)
+        positions = self.state.positions
+        close = (
+            np.hypot(positions[:, 0] - point[0], positions[:, 1] - point[1])
+            < self._sep_threshold
+        )
+        for q in ignore:
+            close[q] = False
+        mobile = self.state.mobile_mask
+        return int(np.count_nonzero(close & mobile)), bool(np.any(close & ~mobile))
+
+    def _separation_violations_scalar(
+        self, point: np.ndarray, ignore: tuple[int, ...]
+    ) -> tuple[int, bool]:
+        """Reference kernel: O(N) per-atom Python scan."""
         min_sep = self.spec.min_separation_um
         aod_close = 0
         slm_close = False
@@ -183,6 +299,26 @@ class MovementEngine:
                     slm_close = True
         return aod_close, slm_close
 
+    def _candidate_metrics(
+        self, points: np.ndarray, ignore: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched separation violations for a ``(k, 2)`` candidate array.
+
+        One broadcast candidate-to-atom distance matrix replaces k scans of
+        :meth:`_separation_violations`; returns per-candidate
+        ``(aod_close counts, slm_close flags)``.
+        """
+        positions = self.state.positions
+        dx = points[:, 0, None] - positions[None, :, 0]
+        dy = points[:, 1, None] - positions[None, :, 1]
+        close = np.hypot(dx, dy) < self._sep_threshold
+        for q in ignore:
+            close[:, q] = False
+        mobile = self.state.mobile_mask
+        aod_close = np.count_nonzero(close & mobile, axis=1)
+        slm_close = np.any(close & ~mobile, axis=1)
+        return aod_close, slm_close
+
     def _find_destination(self, mover: int, target: int) -> np.ndarray:
         """Pick a reachable point within the interaction radius of ``target``.
 
@@ -190,6 +326,55 @@ class MovementEngine:
         constraint), (b) displace as few AOD atoms as possible, and
         (c) are closest to the mover's current position.
         """
+        if kernels.reference_kernels_active():
+            return self._find_destination_scalar(mover, target)
+        positions = self.state.positions
+        target_pos = positions[target]
+        mover_pos = positions[mover]
+        tx, ty = target_pos[0], target_pos[1]
+        mx, my = mover_pos[0], mover_pos[1]
+        radius = self.state.interaction_radius
+        base_angle = math.atan2(my - ty, mx - tx)
+        min_r = self._min_sep + _EPS
+        for fraction in _RING_FRACTIONS:
+            r = radius * fraction
+            if r < min_r:
+                continue
+            # Candidate coordinates use scalar math.cos/math.sin so they are
+            # bit-identical to the reference kernel's construction.
+            pts = np.empty((len(_RING_ANGLES), 2))
+            for k, offset in enumerate(_RING_ANGLES):
+                angle = base_angle + offset
+                pts[k, 0] = tx + r * math.cos(angle)
+                pts[k, 1] = ty + r * math.sin(angle)
+            in_bounds = self._bounds_mask(pts)
+            if not in_bounds.any():
+                continue
+            idx = np.nonzero(in_bounds)[0]
+            aod_close, slm_close = self._candidate_metrics(
+                pts[idx], ignore=(mover, target)
+            )
+            # Ranking ties (symmetric rings!) break by candidate order, so
+            # scan in generation order and keep the strictly-best key --
+            # identical to a stable sort's first element.
+            best_key: tuple | None = None
+            best_point: np.ndarray | None = None
+            for j, k in enumerate(idx):
+                if slm_close[j]:
+                    continue
+                dist = math.hypot(pts[k, 0] - mx, pts[k, 1] - my)
+                key = (int(aod_close[j]), dist)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_point = pts[k]
+            if best_point is not None:
+                return best_point
+        raise MoveFailure(
+            f"no valid destination near qubit {target} for qubit {mover}"
+        )
+
+    def _find_destination_scalar(self, mover: int, target: int) -> np.ndarray:
+        """Reference kernel: per-candidate Python loops."""
         target_pos = self.state.positions[target]
         mover_pos = self.state.positions[mover]
         radius = self.state.interaction_radius
@@ -197,16 +382,16 @@ class MovementEngine:
             mover_pos[1] - target_pos[1], mover_pos[0] - target_pos[0]
         )
         candidates: list[tuple[int, float, np.ndarray]] = []
-        for fraction in (0.9, 0.7, 0.5):
+        for fraction in _RING_FRACTIONS:
             r = radius * fraction
             if r < self.spec.min_separation_um + _EPS:
                 continue
-            for k in range(16):
-                angle = base_angle + (math.pi * k / 8.0)
+            for offset in _RING_ANGLES:
+                angle = base_angle + offset
                 point = target_pos + r * np.array([math.cos(angle), math.sin(angle)])
                 if not self._bounds_ok(point):
                     continue
-                aod_close, slm_close = self._separation_violations(
+                aod_close, slm_close = self._separation_violations_scalar(
                     point, ignore=(mover, target)
                 )
                 if slm_close:
@@ -257,8 +442,7 @@ class MovementEngine:
             self._object_distance.get(("row", index), 0.0) + abs(delta)
         )
         for q in moved:
-            pos = self.state.positions[q]
-            self.state.set_position(q, np.array([pos[0], new_y]))
+            self.state.set_position_xy(q, self.state.positions[q, 0], new_y)
         for q in moved:
             self._resolve_separation(q)
 
@@ -280,8 +464,7 @@ class MovementEngine:
             self._object_distance.get(("col", index), 0.0) + abs(delta)
         )
         for q in moved:
-            pos = self.state.positions[q]
-            self.state.set_position(q, np.array([new_x, pos[1]]))
+            self.state.set_position_xy(q, new_x, self.state.positions[q, 1])
         for q in moved:
             self._resolve_separation(q)
 
@@ -320,11 +503,10 @@ class MovementEngine:
                 self._object_distance.get((kind, j), 0.0) + abs(value - target)
             )
             for q in sorted(line_atoms[j]):
-                pos = self.state.positions[q]
                 if kind == "row":
-                    self.state.set_position(q, np.array([pos[0], target]))
+                    self.state.set_position_xy(q, self.state.positions[q, 0], target)
                 else:
-                    self.state.set_position(q, np.array([target, pos[1]]))
+                    self.state.set_position_xy(q, target, self.state.positions[q, 1])
                 moved_atoms.append(q)
             limit = target
         for q in moved_atoms:
@@ -334,12 +516,24 @@ class MovementEngine:
 
     def _resolve_separation(self, qubit: int) -> None:
         """Recursively push AOD atoms out of ``qubit``'s separation disk."""
-        min_sep = self.spec.min_separation_um
-        here = self.state.positions[qubit]
-        for other in self.state.mobile_qubits():
+        state = self.state
+        here = state.positions[qubit]
+        if not kernels.reference_kernels_active():
+            # Fast path: one vectorized scan over the mobile atoms.  Almost
+            # every call finds no violator; only then run the exact scalar
+            # push loop (its single-pass live-position semantics -- pushes
+            # can move later candidates in tandem -- must be preserved).
+            mobile = state.mobile_mask
+            mobile_pos = state.positions[mobile]
+            d = np.hypot(mobile_pos[:, 0] - here[0], mobile_pos[:, 1] - here[1])
+            allowed_self = 1 if mobile[qubit] else 0
+            if np.count_nonzero(d < self._sep_threshold) <= allowed_self:
+                return
+        min_sep = self._min_sep
+        for other in state.mobile_qubits():
             if other == qubit:
                 continue
-            there = self.state.positions[other]
+            there = state.positions[other]
             d = math.hypot(there[0] - here[0], there[1] - here[1])
             if d >= min_sep - _EPS:
                 continue
@@ -355,31 +549,80 @@ class MovementEngine:
         Mutual-push livelock is ultimately bounded by the recursion limit.
         """
         self._tick()
-        min_sep = self.spec.min_separation_um
         pos = self.state.positions[qubit]
         direction = pos - away_from
         norm = math.hypot(direction[0], direction[1])
         if norm < _EPS:
             direction = np.array([1.0, 0.0])
         base_angle = math.atan2(direction[1], direction[0])
+        if kernels.reference_kernels_active():
+            landing = self._push_landing_scalar(qubit, pos, away_from, base_angle)
+        else:
+            landing = self._push_landing(qubit, pos, away_from, base_angle)
+        if landing is None:
+            raise MoveFailure(f"cannot push obstructing qubit {qubit} anywhere valid")
+        row, col = self.state.aod.atom_lines(qubit)
+        self._set_row(row, float(landing[1]))
+        self._set_col(col, float(landing[0]))
+        self._resolve_separation(qubit)
+
+    def _push_landing(
+        self,
+        qubit: int,
+        pos: np.ndarray,
+        away_from: np.ndarray,
+        base_angle: float,
+    ) -> np.ndarray | None:
+        """Vectorized push-landing search (one metrics batch for 8 points)."""
+        push_r = self._min_sep * 1.5
+        ax, ay = away_from[0], away_from[1]
+        pts = np.empty((len(_PUSH_ANGLES), 2))
+        for k, offset in enumerate(_PUSH_ANGLES):
+            angle = base_angle + offset
+            pts[k, 0] = ax + push_r * math.cos(angle)
+            pts[k, 1] = ay + push_r * math.sin(angle)
+        in_bounds = self._bounds_mask(pts)
+        if not in_bounds.any():
+            return None
+        idx = np.nonzero(in_bounds)[0]
+        aod_close, slm_close = self._candidate_metrics(pts[idx], ignore=(qubit,))
+        best_key: tuple | None = None
+        best_point: np.ndarray | None = None
+        for j, k in enumerate(idx):
+            if slm_close[j]:
+                continue
+            travel = math.hypot(pts[k, 0] - pos[0], pts[k, 1] - pos[1])
+            key = (int(aod_close[j]), travel)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_point = pts[k]
+        return best_point
+
+    def _push_landing_scalar(
+        self,
+        qubit: int,
+        pos: np.ndarray,
+        away_from: np.ndarray,
+        base_angle: float,
+    ) -> np.ndarray | None:
+        """Reference kernel: per-candidate push-landing loop."""
+        min_sep = self.spec.min_separation_um
         candidates: list[tuple[int, float, np.ndarray]] = []
-        for k in range(8):
-            angle = base_angle + (math.pi * k / 4.0)
+        for offset in _PUSH_ANGLES:
+            angle = base_angle + offset
             landing = away_from + (min_sep * 1.5) * np.array(
                 [math.cos(angle), math.sin(angle)]
             )
             if not self._bounds_ok(landing):
                 continue
-            aod_close, slm_close = self._separation_violations(landing, ignore=(qubit,))
+            aod_close, slm_close = self._separation_violations_scalar(
+                landing, ignore=(qubit,)
+            )
             if slm_close:
                 continue
             travel = math.hypot(*(landing - pos))
             candidates.append((aod_close, travel, landing))
         if not candidates:
-            raise MoveFailure(f"cannot push obstructing qubit {qubit} anywhere valid")
+            return None
         candidates.sort(key=lambda c: (c[0], c[1]))
-        landing = candidates[0][2]
-        row, col = self.state.aod.atom_lines(qubit)
-        self._set_row(row, float(landing[1]))
-        self._set_col(col, float(landing[0]))
-        self._resolve_separation(qubit)
+        return candidates[0][2]

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import DependencyDAG
 from repro.core.machine import MachineState
 from repro.core.movement import MovementEngine, MoveFailure
 from repro.core.result import CompiledLayer
+from repro.utils import kernels
 from repro.utils.rng import ensure_rng
 
 __all__ = ["GateScheduler", "SchedulerConfig", "SchedulerStats"]
@@ -91,22 +94,7 @@ class GateScheduler:
     # -- layer construction (lines 6-11) ------------------------------------------
 
     def _build_layer(self) -> list[int]:
-        claimed: set[int] = set()
-        layer: list[int] = []
-        for qubit in range(self.circuit.num_qubits):
-            if qubit in claimed:
-                continue
-            idx = self.dag.front_gate(qubit)
-            if idx is None:
-                continue
-            gate = self.dag.gates[idx]
-            if any(q in claimed for q in gate.qubits):
-                continue
-            if self.dag.is_ready(idx):
-                self.dag.pop(idx)
-                claimed.update(gate.qubits)
-                layer.append(idx)
-        return layer
+        return self.dag.claim_layer()
 
     def _gate_in_range(self, gate) -> bool:
         """All operand pairs within the Rydberg interaction radius."""
@@ -183,10 +171,20 @@ class GateScheduler:
         Also ejects CZ gates that recursive obstruction-clearing dragged out
         of interaction range (unless they are trap-change resolved, which
         brings the atoms together independently of current positions).
+
+        The greedy keep-or-eject scan is inherently sequential (each
+        decision depends on what is already kept), but the per-candidate
+        conflict check is batched: one broadcast distance matrix between
+        the candidate's operands and every kept operand replaces the
+        O(kept x operands^2) ``state.distance`` scans.  ``distance`` is
+        ``np.hypot``, so the batch compares bit-identically.
         """
         blockade = self.state.blockade_radius
+        reference = kernels.reference_kernels_active()
+        positions = self.state.positions
         kept: list[int] = []
         kept_cz: list[int] = []
+        kept_ops: list[int] = []
         for idx in layer:
             gate = self.dag.gates[idx]
             if gate.num_qubits < 2:
@@ -197,21 +195,29 @@ class GateScheduler:
                 self.stats.ejected_blockade += 1
                 continue
             conflict = False
-            for other_idx in kept_cz:
-                other = self.dag.gates[other_idx]
-                if any(
-                    self.state.distance(qa, qb) <= blockade
-                    for qa in gate.qubits
-                    for qb in other.qubits
-                ):
-                    conflict = True
-                    break
+            if reference:
+                for other_idx in kept_cz:
+                    other = self.dag.gates[other_idx]
+                    if any(
+                        self.state.distance(qa, qb) <= blockade
+                        for qa in gate.qubits
+                        for qb in other.qubits
+                    ):
+                        conflict = True
+                        break
+            elif kept_ops:
+                ours = positions[list(gate.qubits)]
+                theirs = positions[kept_ops]
+                dx = ours[:, 0, None] - theirs[None, :, 0]
+                dy = ours[:, 1, None] - theirs[None, :, 1]
+                conflict = bool((np.hypot(dx, dy) <= blockade).any())
             if conflict:
                 self.dag.push_back(idx)
                 self.stats.ejected_blockade += 1
             else:
                 kept.append(idx)
                 kept_cz.append(idx)
+                kept_ops.extend(gate.qubits)
         return kept
 
     # -- timing ------------------------------------------------------------------------
@@ -224,9 +230,15 @@ class GateScheduler:
         trap_count: int,
     ) -> float:
         spec = self.state.spec
-        has_cz = any(self.dag.gates[i].num_qubits == 2 for i in gates)
-        has_ccz = any(self.dag.gates[i].num_qubits == 3 for i in gates)
-        has_u3 = any(self.dag.gates[i].num_qubits == 1 for i in gates)
+        has_cz = has_ccz = has_u3 = False
+        for i in gates:
+            width = self.dag.gates[i].num_qubits
+            if width == 2:
+                has_cz = True
+            elif width == 3:
+                has_ccz = True
+            elif width == 1:
+                has_u3 = True
         # Raman (U3) and Rydberg (CZ/CCZ) pulses run simultaneously, so the
         # gate phase lasts as long as the slowest gate type present.
         gate_time = max(

@@ -127,10 +127,13 @@ def clear_caches() -> None:
     callers use this to force genuinely fresh compilation, so stale disk
     entries must not be silently reloaded afterwards.
     """
+    from repro.pipeline.fingerprint import clear_fingerprint_caches
+
     _circuit_cache.clear()
     _layout_cache.clear()
     _result_cache.clear(disk=True)
     _result_cache.stats.reset()
+    clear_fingerprint_caches()
 
 
 def prepared_circuit(benchmark: str) -> QuantumCircuit:
@@ -230,7 +233,8 @@ def compile_points(
     settings: ExperimentSettings | None = None,
     return_home: bool = True,
     workers: int = 1,
-) -> list[CompilationResult]:
+    return_timings: bool = False,
+):
     """Compile an explicit (possibly non-product) list of points.
 
     Each point is a ``(benchmark acronym, technique, spec)`` triple; unlike
@@ -241,6 +245,8 @@ def compile_points(
     experiment cache with the same configs :func:`compile_one` uses, so
     sweep compilations and figure compilations hit the same cache entries.
     Results come back in point order, bit-identical for any ``workers``.
+    With ``return_timings``, each entry is a ``(result, stage_timings)``
+    pair (cache hits and deduplicated points report empty timings).
     """
     settings = settings or ExperimentSettings()
     factory = settings_config_factory(settings, return_home)
@@ -251,7 +257,9 @@ def compile_points(
         tasks.append(
             CompileTask(technique, circuit, spec, factory(technique, circuit, spec))
         )
-    return compile_tasks(tasks, workers=workers, cache=_result_cache)
+    return compile_tasks(
+        tasks, workers=workers, cache=_result_cache, return_timings=return_timings
+    )
 
 
 def compilation_table(

@@ -8,11 +8,12 @@ still appear as isolated nodes so placement spreads them sensibly.
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.stats import interaction_counts
 
-__all__ = ["build_interaction_graph"]
+__all__ = ["build_interaction_graph", "edge_arrays"]
 
 
 def build_interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
@@ -28,3 +29,17 @@ def build_interaction_graph(circuit: QuantumCircuit) -> nx.Graph:
     for (a, b), count in interaction_counts(circuit).items():
         graph.add_edge(a, b, weight=count)
     return graph
+
+
+def edge_arrays(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(a_idx, b_idx, weights)`` arrays of the graph's weighted edges.
+
+    The array form is what the placement objective consumes; extracting it
+    once per placement (instead of per objective evaluation) keeps the
+    annealer's inner loop free of networkx traversals.
+    """
+    edges = list(graph.edges(data="weight", default=1))
+    a_idx = np.fromiter((e[0] for e in edges), dtype=int, count=len(edges))
+    b_idx = np.fromiter((e[1] for e in edges), dtype=int, count=len(edges))
+    weights = np.fromiter((e[2] for e in edges), dtype=float, count=len(edges))
+    return a_idx, b_idx, weights

@@ -27,9 +27,10 @@ import networkx as nx
 import numpy as np
 from scipy.optimize import dual_annealing
 
+from repro.layout.interaction_graph import edge_arrays
 from repro.utils.rng import ensure_rng
 
-__all__ = ["PlacementConfig", "place_qubits", "placement_cost"]
+__all__ = ["PlacementConfig", "PlacementObjective", "place_qubits", "placement_cost"]
 
 _REPULSION_WEIGHT = 0.05
 _REPULSION_FLOOR = 1e-3
@@ -56,30 +57,49 @@ class PlacementConfig:
             raise ValueError("maxiter must be positive")
 
 
+class PlacementObjective:
+    """The placement cost function with its graph-derived arrays hoisted.
+
+    Edge index/weight arrays and the upper-triangle pair indices depend
+    only on the graph, so they are extracted once here; each
+    :meth:`cost` evaluation (dual annealing calls it thousands of times)
+    is then pure batched array math over the candidate coordinates.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.num_qubits = graph.number_of_nodes()
+        self.a_idx, self.b_idx, self.weights = edge_arrays(graph)
+        if self.num_qubits >= 2:
+            self.iu, self.ju = np.triu_indices(self.num_qubits, k=1)
+        else:
+            self.iu = self.ju = np.empty(0, dtype=int)
+
+    def cost(self, positions: np.ndarray) -> float:
+        """Weighted attraction + soft repulsion (lower is better)."""
+        pos = np.asarray(positions, dtype=float).reshape(-1, 2)
+        cost = 0.0
+        if len(self.a_idx):
+            diffs = pos[self.a_idx] - pos[self.b_idx]
+            cost += float(np.sum(self.weights * np.hypot(diffs[:, 0], diffs[:, 1])))
+        n = pos.shape[0]
+        if n >= 2:
+            diff = pos[self.iu] - pos[self.ju]
+            pairwise = np.maximum(
+                np.hypot(diff[:, 0], diff[:, 1]), _REPULSION_FLOOR
+            )
+            cost += _REPULSION_WEIGHT * float(np.sum(1.0 / pairwise)) / n
+        return cost
+
+
 def placement_cost(positions: np.ndarray, graph: nx.Graph) -> float:
     """Weighted attraction + soft repulsion objective (lower is better).
 
     Attraction: sum over edges of ``weight * distance``.  Repulsion: a small
     inverse-distance penalty over all pairs, stopping the annealer from
-    stacking every qubit at one point.
+    stacking every qubit at one point.  One-shot convenience wrapper over
+    :class:`PlacementObjective` (reuse that directly in optimization loops).
     """
-    pos = np.asarray(positions, dtype=float).reshape(-1, 2)
-    edges = list(graph.edges(data="weight", default=1))
-    cost = 0.0
-    if edges:
-        a_idx = np.fromiter((e[0] for e in edges), dtype=int)
-        b_idx = np.fromiter((e[1] for e in edges), dtype=int)
-        weights = np.fromiter((e[2] for e in edges), dtype=float)
-        diffs = pos[a_idx] - pos[b_idx]
-        cost += float(np.sum(weights * np.hypot(diffs[:, 0], diffs[:, 1])))
-    n = pos.shape[0]
-    if n >= 2:
-        diff = pos[:, None, :] - pos[None, :, :]
-        dist = np.hypot(diff[..., 0], diff[..., 1])
-        iu, ju = np.triu_indices(n, k=1)
-        pairwise = np.maximum(dist[iu, ju], _REPULSION_FLOOR)
-        cost += _REPULSION_WEIGHT * float(np.sum(1.0 / pairwise)) / n
-    return cost
+    return PlacementObjective(graph).cost(positions)
 
 
 def _normalize_to_unit_square(pos: np.ndarray) -> np.ndarray:
@@ -111,8 +131,9 @@ def _annealed_placement(graph: nx.Graph, config: PlacementConfig) -> np.ndarray:
     rng = ensure_rng(config.seed)
     start = _spring_placement(graph, config.seed).ravel()
     bounds = [(0.0, 1.0)] * (2 * n)
+    objective = PlacementObjective(graph)
     result = dual_annealing(
-        lambda x: placement_cost(x, graph),
+        objective.cost,
         bounds=bounds,
         x0=start,
         maxiter=config.maxiter,

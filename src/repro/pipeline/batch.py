@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.spec import HardwareSpec
 from repro.layout.placement import PlacementConfig
-from repro.pipeline.fingerprint import fingerprint_circuit, fingerprint_spec
+from repro.pipeline.fingerprint import cache_key, fingerprint_circuit, fingerprint_spec
 from repro.pipeline.registry import REGISTRY, available_techniques, get_compiler
+from repro.utils import kernels
 from repro.utils.profiling import PhaseTimer
 
 if typing.TYPE_CHECKING:
@@ -169,6 +170,13 @@ def compile_tasks(
     example, dedups its (circuit, technique, spec) points before dispatch.
     Cache hits are skipped, misses are written back, and results come back
     in task order regardless of ``workers``.
+
+    Pending tasks are additionally deduplicated in flight by content
+    address: compilation is a pure function of the cache key (the same
+    contract the cache itself relies on), so identical tasks share one
+    compilation instead of each missing the cold cache independently.
+    Duplicates report empty stage timings, like cache hits -- no work ran
+    for them.
     """
     results: list = [None] * len(tasks)
     timings: list[StageTimings] = [{} for _ in tasks]
@@ -182,7 +190,22 @@ def compile_tasks(
         pending.append(index)
 
     if pending:
-        todo = [tasks[i] for i in pending]
+        if kernels.reference_kernels_active():
+            # Pre-dedup dispatch, retained as the benchmark baseline.
+            groups = [[index] for index in pending]
+        else:
+            group_of: dict = {}
+            groups = []
+            for index in pending:
+                task = tasks[index]
+                key = cache_key(task.technique, task.circuit, task.spec, task.config)
+                slot = group_of.get(key)
+                if slot is None:
+                    group_of[key] = len(groups)
+                    groups.append([index])
+                else:
+                    groups[slot].append(index)
+        todo = [tasks[group[0]] for group in groups]
         computed = None
         if workers > 1 and len(todo) > 1:
             from concurrent.futures.process import BrokenProcessPool
@@ -194,12 +217,15 @@ def compile_tasks(
                 computed = None  # pools unavailable (sandbox); fall through
         if computed is None:
             computed = [_execute_task(task) for task in todo]
-        for index, (result, stage_times) in zip(pending, computed):
-            results[index] = result
-            timings[index] = stage_times
+        for group, (result, stage_times) in zip(groups, computed):
+            lead = group[0]
+            results[lead] = result
+            timings[lead] = stage_times
             if cache is not None:
-                task = tasks[index]
+                task = tasks[lead]
                 cache.store(task.technique, task.circuit, task.spec, task.config, result)
+            for index in group[1:]:
+                results[index] = result
 
     if return_timings:
         return list(zip(results, timings))

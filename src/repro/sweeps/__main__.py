@@ -369,6 +369,17 @@ def _run_main(argv: list[str]) -> int:
         help="suppress progress lines and the summary table (the stable "
         "RESUME summary line still prints)",
     )
+    parser.add_argument(
+        "--phase-report", action="store_true",
+        help="also print aggregated per-stage compile timings "
+        "(PhaseTimer totals, merged across compile workers; cache hits "
+        "contribute no stages)",
+    )
+    parser.add_argument(
+        "--phase-report-json", default=None, metavar="PATH",
+        help="dump the aggregated per-stage compile timings as JSON to "
+        'PATH ({"totals": {"<technique>.<stage>": seconds, ...}})',
+    )
     args = parser.parse_args(argv)
 
     if args.resume and not args.store:
@@ -400,6 +411,17 @@ def _run_main(argv: list[str]) -> int:
                 f"{report.compilations} compilations, {report.elapsed_s:.1f}s",
             )
         )
+    if args.phase_report:
+        from repro.utils.profiling import format_phase_totals
+
+        print("per-stage compile timings (cache hits contribute no stages):")
+        print(format_phase_totals(report.phase_totals))
+    if args.phase_report_json:
+        import json
+
+        with open(args.phase_report_json, "w", encoding="utf-8") as handle:
+            json.dump({"totals": report.phase_totals}, handle, indent=2)
+        print(f"wrote phase timings to {args.phase_report_json}")
     # One stable machine-readable line, printed even under --quiet: CI and
     # wrapper scripts key off it instead of the human-readable wording.
     print(report.summary_line)

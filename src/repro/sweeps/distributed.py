@@ -56,13 +56,14 @@ import time
 import typing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments.common import ExperimentSettings, compile_points
 from repro.sweeps.engine import evaluate_task
 from repro.sweeps.grid import SweepGrid
 from repro.sweeps.runner import SweepReport, plan_sweep
 from repro.sweeps.store import DEFAULT_LEASE_TTL_S, SweepStore, default_owner_id
+from repro.utils.profiling import PhaseTimer
 
 if typing.TYPE_CHECKING:
     from collections.abc import Callable
@@ -106,6 +107,8 @@ class WorkerReport:
         contended: claim attempts lost to another worker's live lease.
         compilations: unique compile points this worker compiled.
         elapsed_s: wall-clock duration of the claim loop.
+        phase_totals: per-stage compile wall-clock seconds for this
+            worker's own compilations (``"<technique>.<stage>"`` keys).
     """
 
     owner: str
@@ -116,6 +119,7 @@ class WorkerReport:
     contended: int
     compilations: int
     elapsed_s: float
+    phase_totals: dict = field(default_factory=dict)
 
     @property
     def summary_line(self) -> str:
@@ -124,11 +128,12 @@ class WorkerReport:
 
         The ``RESUME computed=N resumed=M`` prefix is the same contract CI
         greps on single-process runs; worker-specific fields are appended
-        after the shared four, never inserted.
+        after the shared five, never inserted.
         """
         return (
             f"RESUME computed={self.computed} resumed={self.resumed} "
             f"scenarios={self.scenarios} compilations={self.compilations} "
+            f"compile_s={sum(self.phase_totals.values()):.3f} "
             f"owner={self.owner} reclaimed={self.reclaimed} "
             f"contended={self.contended}"
         )
@@ -194,6 +199,7 @@ def run_worker(
     )
 
     compiled: dict[tuple, "CompilationResult"] = {}
+    phase_timer = PhaseTimer()
     computed = reclaimed = contended = 0
     unsealed: list[str] = []
 
@@ -247,9 +253,14 @@ def run_worker(
                 if compile_id not in compiled:
                     benchmark, technique, _ = plan.point_specs[compile_id]
                     emit(f"worker {owner}: compiling {benchmark}/{technique}")
-                    compiled[compile_id] = compile_points(
-                        [plan.point_specs[compile_id]], settings=plan.settings
+                    result, stage_times = compile_points(
+                        [plan.point_specs[compile_id]],
+                        settings=plan.settings,
+                        return_timings=True,
                     )[0]
+                    compiled[compile_id] = result
+                    if stage_times:
+                        phase_timer.merge(stage_times)
                     # Compilation can dwarf evaluation; re-arm the TTL so a
                     # slow compile is not mistaken for a crash.
                     store.refresh_lease(key, owner)
@@ -297,6 +308,7 @@ def run_worker(
         contended=contended,
         compilations=len(compiled),
         elapsed_s=elapsed,
+        phase_totals=phase_timer.totals(),
     )
 
 
@@ -416,10 +428,15 @@ def run_distributed(
             )
         records.append(record)
     computed = sum(report.computed for report in reports)
+    fleet_timer = PhaseTimer()
+    for report in reports:
+        if report.phase_totals:
+            fleet_timer.merge(report.phase_totals)
     return SweepReport(
         records=tuple(records),
         computed=computed,
         resumed=max(0, len(plan) - computed),
         compilations=sum(report.compilations for report in reports),
         elapsed_s=time.perf_counter() - start,
+        phase_totals=fleet_timer.totals(),
     )

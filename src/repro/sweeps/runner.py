@@ -48,6 +48,7 @@ from repro.pipeline.fingerprint import fingerprint_config, fingerprint_circuit, 
 from repro.sweeps.engine import EvalTask, evaluate_tasks
 from repro.sweeps.grid import SweepGrid
 from repro.sweeps.store import SweepStore, scenario_key
+from repro.utils.profiling import PhaseTimer
 
 if typing.TYPE_CHECKING:
     from collections.abc import Callable
@@ -67,6 +68,9 @@ class SweepReport:
         resumed: scenarios served from the store without recomputation.
         compilations: unique compile points dispatched this run.
         elapsed_s: wall-clock duration of the run.
+        phase_totals: aggregated per-stage compile wall-clock seconds,
+            keyed ``"<technique>.<stage>"`` and merged across workers
+            (empty when every compilation was a cache hit).
     """
 
     records: tuple
@@ -74,10 +78,16 @@ class SweepReport:
     resumed: int
     compilations: int
     elapsed_s: float
+    phase_totals: dict = field(default_factory=dict)
 
     @property
     def scenarios(self) -> int:
         return len(self.records)
+
+    @property
+    def compile_s(self) -> float:
+        """Total compile wall-clock seconds across all stages and workers."""
+        return float(sum(self.phase_totals.values()))
 
     @property
     def summary_line(self) -> str:
@@ -90,7 +100,8 @@ class SweepReport:
         """
         return (
             f"RESUME computed={self.computed} resumed={self.resumed} "
-            f"scenarios={self.scenarios} compilations={self.compilations}"
+            f"scenarios={self.scenarios} compilations={self.compilations} "
+            f"compile_s={self.compile_s:.3f}"
         )
 
 
@@ -297,17 +308,22 @@ def run_sweep(
             seen_points.add(compile_id)
             point_order.append(compile_id)
     compiled: dict[tuple, "CompilationResult"] = {}
+    phase_timer = PhaseTimer()
     if point_order:
         emit(
             f"sweep: compiling {len(point_order)} unique points "
             f"for {len(pending)} scenarios (workers={workers})"
         )
-        results = compile_points(
+        pairs = compile_points(
             [plan.point_specs[cid] for cid in point_order],
             settings=plan.settings,
             workers=workers,
+            return_timings=True,
         )
-        compiled = dict(zip(point_order, results))
+        compiled = dict(zip(point_order, (result for result, _ in pairs)))
+        for _, stage_times in pairs:
+            if stage_times:
+                phase_timer.merge(stage_times)
 
     tasks = [plan.task(index, compiled[plan.compile_ids[index]]) for index in pending]
     if tasks:
@@ -332,4 +348,5 @@ def run_sweep(
         resumed=resumed,
         compilations=len(point_order),
         elapsed_s=elapsed,
+        phase_totals=phase_timer.totals(),
     )

@@ -1,0 +1,46 @@
+"""Kernel dispatch: vectorized production kernels vs. scalar references.
+
+The compile hot path (movement candidate search, scheduler conflict
+checks, fingerprint memoization) ships numpy-vectorized kernels, but the
+original scalar implementations are retained as *reference kernels*.  They
+serve two purposes:
+
+1. **Benchmark baseline** -- ``benchmarks/test_perf_compile_grid.py``
+   compiles the whole default sweep grid once per mode and gates the
+   vectorized/reference speedup ratio.
+2. **Property-test oracle** -- randomized machine states are run through
+   both kernels and the results must match exactly (same counts, flags,
+   and chosen destinations), which is what makes the vectorized path safe
+   to trust for bit-identical compilation.
+
+Reference mode is process-wide and opt-in: set the environment variable
+``REPRO_REFERENCE_KERNELS=1`` before import, or use the
+:func:`use_reference_kernels` context manager in tests.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+__all__ = ["reference_kernels_active", "use_reference_kernels"]
+
+_reference_active: bool = os.environ.get("REPRO_REFERENCE_KERNELS", "") == "1"
+
+
+def reference_kernels_active() -> bool:
+    """True when the retained scalar reference kernels should run."""
+    return _reference_active
+
+
+@contextmanager
+def use_reference_kernels(active: bool = True) -> Iterator[None]:
+    """Temporarily force reference (or vectorized) kernels process-wide."""
+    global _reference_active
+    previous = _reference_active
+    _reference_active = bool(active)
+    try:
+        yield
+    finally:
+        _reference_active = previous

@@ -12,7 +12,19 @@ import time
 from contextlib import contextmanager
 from collections.abc import Iterator
 
-__all__ = ["PhaseTimer"]
+__all__ = ["PhaseTimer", "format_phase_totals"]
+
+
+def format_phase_totals(totals: dict[str, float]) -> str:
+    """Render a bare phase->seconds mapping, slowest first.
+
+    Counterpart of :meth:`PhaseTimer.report` for aggregates that carry
+    only totals (e.g. :attr:`SweepReport.phase_totals`, where per-stage
+    entry counts were not preserved across the process boundary).
+    """
+    items = sorted(totals.items(), key=lambda kv: -kv[1])
+    lines = [f"{name:<24s} {secs:10.4f} s" for name, secs in items]
+    return "\n".join(lines) if lines else "(no phases recorded)"
 
 
 class PhaseTimer:
@@ -39,6 +51,23 @@ class PhaseTimer:
             elapsed = time.perf_counter() - start
             self._totals[name] = self._totals.get(name, 0.0) + elapsed
             self._counts[name] = self._counts.get(name, 0) + 1
+
+    def merge(
+        self, totals: dict[str, float], counts: dict[str, int] | None = None
+    ) -> None:
+        """Fold another timer's ``totals()`` (and optionally ``counts()``)
+        into this one.
+
+        This is how batch runs aggregate per-stage timings across workers:
+        each worker returns its own timer's totals over the process
+        boundary, and the coordinator merges them.  Without ``counts``,
+        each merged phase counts as one entry.
+        """
+        for name, secs in totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + secs
+            self._counts[name] = self._counts.get(name, 0) + (
+                counts[name] if counts else 1
+            )
 
     def totals(self) -> dict[str, float]:
         """Total seconds per phase, in insertion order."""

@@ -1,0 +1,201 @@
+"""Property tests: vectorized movement kernels vs the scalar reference.
+
+The vectorized candidate-search kernels in :mod:`repro.core.movement` must
+reproduce the retained scalar reference kernels *exactly* -- same violation
+counts, same SLM flags, same chosen destination point bit for bit -- on
+randomized machine states, because compilation results are hashed for the
+seed-parity suites.  The scalar kernels double as the oracle here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.machine import MachineState
+from repro.core.movement import MoveFailure, MovementEngine
+from repro.hardware.spec import HardwareSpec
+from repro.layout.graphine import GraphineLayout
+from repro.utils.kernels import reference_kernels_active, use_reference_kernels
+
+
+def random_state(rng, num_qubits=None, spec=None):
+    """A MachineState with random positions and random AOD membership.
+
+    The AOD subset is filtered so pairwise x/y gaps respect the 1 um AOD
+    line-gap constraint (random uniform picks would otherwise violate it
+    at transfer time).
+    """
+    spec = spec or HardwareSpec.quera_aquila()
+    n = num_qubits or int(rng.integers(4, 12))
+    unit = rng.uniform(0.05, 0.95, size=(n, 2))
+    layout = GraphineLayout(
+        unit_positions=unit, interaction_radius_unit=0.15
+    )
+    state = MachineState(spec, layout)
+    k = int(rng.integers(1, n))
+    candidates = rng.permutation(n).tolist()
+    aod: list[int] = []
+    for q in candidates:
+        x, y = state.positions[q]
+        if all(
+            abs(x - state.positions[p][0]) > 1.5
+            and abs(y - state.positions[p][1]) > 1.5
+            for p in aod
+        ):
+            aod.append(q)
+        if len(aod) == k:
+            break
+    aod.sort()
+    order_y = sorted(aod, key=lambda q: state.positions[q][1])
+    order_x = sorted(aod, key=lambda q: state.positions[q][0])
+    for q in aod:
+        state.transfer_to_aod(q, order_y.index(q), order_x.index(q))
+        state.atoms[q].home = state.positions[q].copy()
+    return state, aod
+
+
+class TestSeparationViolationsParity:
+    def test_matches_scalar_on_random_states(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            state, aod = random_state(rng)
+            engine = MovementEngine(state)
+            for _ in range(8):
+                point = np.array(
+                    [rng.uniform(-5.0, 110.0), rng.uniform(-5.0, 110.0)]
+                )
+                ignore = tuple(
+                    rng.choice(
+                        state.num_qubits,
+                        size=int(rng.integers(0, 3)),
+                        replace=False,
+                    ).tolist()
+                )
+                got = engine._separation_violations(point, ignore)
+                want = engine._separation_violations_scalar(point, ignore)
+                assert got == want
+
+    def test_candidate_metrics_match_per_point_scan(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            state, aod = random_state(rng)
+            engine = MovementEngine(state)
+            points = rng.uniform(0.0, 105.0, size=(16, 2))
+            ignore = (aod[0],)
+            aod_close, slm_close = engine._candidate_metrics(points, ignore)
+            for k in range(len(points)):
+                count, flag = engine._separation_violations_scalar(
+                    points[k], ignore
+                )
+                assert int(aod_close[k]) == count
+                assert bool(slm_close[k]) == flag
+
+
+class TestDestinationParity:
+    def test_find_destination_matches_scalar(self):
+        rng = np.random.default_rng(13)
+        checked = 0
+        for _ in range(30):
+            state, aod = random_state(rng)
+            engine = MovementEngine(state)
+            mover = int(rng.choice(aod))
+            others = [q for q in range(state.num_qubits) if q != mover]
+            target = int(rng.choice(others))
+            try:
+                want = engine._find_destination_scalar(mover, target)
+            except MoveFailure:
+                with pytest.raises(MoveFailure):
+                    engine._find_destination(mover, target)
+                continue
+            got = engine._find_destination(mover, target)
+            assert np.array_equal(got, want)  # bit-identical, not allclose
+            checked += 1
+        assert checked >= 10  # the sample must mostly exercise real picks
+
+    def test_push_landing_matches_scalar(self):
+        rng = np.random.default_rng(17)
+        checked = 0
+        for _ in range(30):
+            state, aod = random_state(rng)
+            engine = MovementEngine(state)
+            qubit = int(rng.choice(aod))
+            pos = state.positions[qubit].copy()
+            away = pos + rng.uniform(-2.0, 2.0, size=2)
+            direction = pos - away
+            norm = math.hypot(direction[0], direction[1])
+            if norm < 1e-6:
+                continue
+            base_angle = math.atan2(direction[1], direction[0])
+            want = engine._push_landing_scalar(qubit, pos, away, base_angle)
+            got = engine._push_landing(qubit, pos, away, base_angle)
+            if want is None:
+                assert got is None
+                continue
+            assert np.array_equal(got, want)
+            checked += 1
+        assert checked >= 10
+
+    def test_reference_mode_routes_to_scalar_kernels(self):
+        rng = np.random.default_rng(19)
+        state, aod = random_state(rng, num_qubits=6)
+        engine = MovementEngine(state)
+        assert not reference_kernels_active()
+        with use_reference_kernels():
+            assert reference_kernels_active()
+            mover = aod[0]
+            target = next(q for q in range(state.num_qubits) if q != mover)
+            ref = engine._find_destination(mover, target)
+        vec = engine._find_destination(mover, target)
+        assert np.array_equal(ref, vec)
+
+
+class TestBoundsMargin:
+    """The overhang margin is min(grid pitch, min separation) -- both modes.
+
+    The seed allowed candidates to overhang the SLM grid by a full grid
+    pitch; on sparse grids (pitch > separation) that admitted out-of-trap
+    points no separation argument could justify.
+    """
+
+    def test_margin_capped_by_separation_on_sparse_grids(self):
+        spec = HardwareSpec.quera_aquila()  # pitch 7.0 > min_sep 3.0
+        assert spec.grid_pitch_um > spec.min_separation_um
+        state, _ = random_state(np.random.default_rng(23), spec=spec)
+        engine = MovementEngine(state)
+        w, h = spec.extent_um
+        sep = spec.min_separation_um
+        inside = np.array([-sep + 1e-9, h / 2.0])
+        beyond = np.array([-sep - 1e-9, h / 2.0])
+        old_margin_point = np.array([w + spec.grid_pitch_um - 1e-9, h / 2.0])
+        assert engine._bounds_ok(inside)
+        assert not engine._bounds_ok(beyond)
+        assert not engine._bounds_ok(old_margin_point)  # the seed allowed it
+
+    def test_every_valid_spec_is_sparse(self):
+        # pitch = 2*min_sep + padding with padding >= 0, so pitch always
+        # exceeds min_sep: the margin cap engages on EVERY valid spec, and
+        # the seed's full-pitch overhang was always the wrong bound.
+        for spec in (HardwareSpec.quera_aquila(), HardwareSpec.atom_computing()):
+            assert spec.grid_pitch_um >= 2.0 * spec.min_separation_um
+
+    def test_bounds_mask_matches_bounds_ok(self):
+        state, _ = random_state(np.random.default_rng(31))
+        engine = MovementEngine(state)
+        rng = np.random.default_rng(37)
+        points = rng.uniform(-15.0, 120.0, size=(64, 2))
+        mask = engine._bounds_mask(points)
+        for k in range(len(points)):
+            assert bool(mask[k]) == engine._bounds_ok(points[k])
+
+    def test_reference_mode_applies_same_margin(self):
+        # The bugfix applies to BOTH kernel modes: the reference mode is a
+        # perf baseline, not a behavioral fork.
+        state, _ = random_state(np.random.default_rng(41))
+        engine = MovementEngine(state)
+        w, h = state.spec.extent_um
+        sep = state.spec.min_separation_um
+        beyond = np.array([w + sep + 1e-9, h / 2.0])
+        with use_reference_kernels():
+            assert not engine._bounds_ok(beyond)
+        assert not engine._bounds_ok(beyond)

@@ -472,3 +472,38 @@ class TestNoiseOnlyFieldSet:
         for name in ("grid_rows", "aod_rows", "move_speed_um_per_us",
                      "trap_switch_time_us", "min_separation_um"):
             assert name not in NOISE_ONLY_SPEC_FIELDS
+
+
+class TestPhaseTimings:
+    """Batch runs aggregate per-stage PhaseTimer totals across workers."""
+
+    def test_phase_total_keys_match_across_worker_counts(self):
+        grid = small_grid()
+        clear_caches()
+        one = run_sweep(grid, workers=1)
+        clear_caches()
+        two = run_sweep(grid, workers=2)
+        assert one.phase_totals  # fresh caches actually compiled something
+        assert set(one.phase_totals) == set(two.phase_totals)
+        stages = {"transpile", "layout", "placement", "schedule", "finalize"}
+        for key in one.phase_totals:
+            technique, _, stage = key.partition(".")
+            assert technique == "parallax"
+            assert stage in stages
+
+    def test_cached_rerun_reports_empty_phase_totals(self):
+        grid = small_grid()
+        clear_caches()
+        run_sweep(grid)
+        again = run_sweep(grid)  # every compile point is now a cache hit
+        assert again.phase_totals == {}
+        assert again.compile_s == 0.0
+
+    def test_summary_line_appends_compile_s(self):
+        grid = small_grid()
+        clear_caches()
+        report = run_sweep(grid)
+        assert (
+            f"compilations={report.compilations} compile_s=" in report.summary_line
+        )
+        assert report.compile_s == pytest.approx(sum(report.phase_totals.values()))

@@ -2,7 +2,7 @@
 
 import time
 
-from repro.utils.profiling import PhaseTimer
+from repro.utils.profiling import PhaseTimer, format_phase_totals
 
 
 class TestPhaseTimer:
@@ -44,3 +44,36 @@ class TestPhaseTimer:
 
     def test_empty_report(self):
         assert "no phases" in PhaseTimer().report()
+
+
+class TestMerge:
+    def test_merge_accumulates_totals(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        timer.merge({"a": 1.0, "b": 2.0})
+        totals = timer.totals()
+        assert totals["a"] >= 1.0
+        assert totals["b"] == 2.0
+        assert timer.counts() == {"a": 2, "b": 1}
+
+    def test_merge_with_counts(self):
+        timer = PhaseTimer()
+        timer.merge({"a": 1.0}, counts={"a": 5})
+        timer.merge({"a": 0.5}, counts={"a": 2})
+        assert timer.totals()["a"] == 1.5
+        assert timer.counts()["a"] == 7
+
+    def test_merge_empty_is_noop(self):
+        timer = PhaseTimer()
+        timer.merge({})
+        assert timer.totals() == {}
+
+
+class TestFormatPhaseTotals:
+    def test_sorted_slowest_first(self):
+        text = format_phase_totals({"fast": 0.1, "slow": 2.0})
+        assert text.index("slow") < text.index("fast")
+
+    def test_empty(self):
+        assert "no phases" in format_phase_totals({})
