@@ -47,33 +47,44 @@ Components
   byte-for-byte.
 - :mod:`repro.sweeps.segments` -- the packed store backend:
   :meth:`SweepStore.compact` seals loose records into immutable,
-  checksummed, length-prefixed segment files behind an atomically swapped
-  manifest.  Resume semantics are untouched (corrupt or truncated data
+  checksummed, length-prefixed segment files behind a sharded manifest
+  (16 key-prefix shard files plus an append-only delta log, checkpointed
+  by merge), so publishing a segment costs O(new records) rather than
+  O(store).  Resume semantics are untouched (corrupt or truncated data
   reads as missing-with-warning), but a full-store load becomes
   O(segments) bulk reads, and each segment's columnar block lets
   ``ResultTable.from_store`` materialize analysis columns without building
   per-record dicts (~10x+ faster at 10^4 records).
+  :meth:`SweepStore.merge` rewrites accumulated small segments into large
+  generation-tagged ones, checkpoints the manifest, and garbage-collects
+  superseded files -- idempotent and kill-safe.
 - :mod:`repro.sweeps.distributed` -- coordinator-free distributed sweeps:
   N independent :func:`run_worker` claim loops (one host or many hosts on
-  a shared filesystem) steal pending scenario keys through atomically
-  created lease files in the store (``leases/<key>.lease``, heartbeat by
-  mtime, expired leases of crashed workers reclaimed after a TTL),
-  evaluate them through the same engine, and converge on a store
-  byte-identical to a single-process run for any worker count and any
-  crash/restart interleaving.  ``run_sweep(distributed=True, workers=N)``
-  / ``--workers N`` is the local spawn-and-join form;
+  a shared filesystem) steal pending work through atomically created
+  lease files in the store (heartbeat by mtime, expired leases of crashed
+  workers reclaimed after a TTL), evaluate it through the same engine,
+  and converge on a store byte-identical to a single-process run for any
+  worker count and any crash/restart interleaving.  With
+  ``lease_range > 1`` workers claim contiguous ranges of the key-sorted
+  plan (:func:`range_blocks`) so one lease file amortizes over hundreds
+  of evaluations.  ``run_sweep(distributed=True, workers=N)`` /
+  ``--workers N`` is the local spawn-and-join form;
   ``python -m repro.sweeps worker STORE`` joins a fleet from anywhere.
 - ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
   explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
   ``--jobs`` (compilation pool), ``--eval-jobs`` (evaluation pool),
-  ``--workers`` (distributed claim-loop workers), ``--shots``,
-  ``--store``, ``--resume`` and ``--seal`` (compact chunks as they
-  complete); plus the ``worker STORE`` subcommand (join a distributed
-  fleet), ``compact STORE`` (pack an existing store) and ``analyze STORE``
-  for marginals, axis detection, and crossover reports.  Run and worker
-  print one stable machine-readable ``RESUME computed=N resumed=M ...``
-  line, compact prints ``COMPACT sealed=...`` -- the grep contract CI and
-  scripts rely on (see ``docs/store-format.md``).
+  ``--workers`` (distributed claim-loop workers), ``--lease-range``
+  (scenarios per lease), ``--shots``, ``--store``, ``--resume``,
+  ``--seal`` (compact chunks as they complete) and ``--merge`` (compact
+  generations after the run); plus the ``worker STORE`` subcommand (join
+  a distributed fleet), ``compact STORE`` (pack an existing store),
+  ``merge STORE`` (generational compaction), ``stats STORE`` (census) and
+  ``analyze STORE`` for marginals, axis detection, and crossover reports.
+  Run and worker print one stable machine-readable
+  ``RESUME computed=N resumed=M ...`` line, compact prints
+  ``COMPACT sealed=...``, merge prints ``MERGE sealed=...`` and stats
+  prints ``STATS loose=...`` -- the grep contract CI and scripts rely on
+  (see ``docs/store-format.md``).
 
 Example::
 
@@ -95,6 +106,7 @@ from repro.sweeps.grid import NOISE_ONLY_SPEC_FIELDS, Scenario, SweepGrid
 from repro.sweeps.store import (
     SCHEMA_VERSION,
     CompactionReport,
+    MergeReport,
     StoreStats,
     SweepStore,
     scenario_key,
@@ -105,6 +117,7 @@ __all__ = [
     "CompactionReport",
     "Crossover",
     "EvalTask",
+    "MergeReport",
     "ResultTable",
     "Scenario",
     "StoreStats",
@@ -114,6 +127,7 @@ __all__ = [
     "WorkerReport",
     "evaluate_tasks",
     "plan_sweep",
+    "range_blocks",
     "render_store_summary",
     "run_distributed",
     "run_sweep",
@@ -136,6 +150,7 @@ _LAZY = {
     "EvalTask": "repro.sweeps.engine",
     "evaluate_tasks": "repro.sweeps.engine",
     "WorkerReport": "repro.sweeps.distributed",
+    "range_blocks": "repro.sweeps.distributed",
     "run_distributed": "repro.sweeps.distributed",
     "run_worker": "repro.sweeps.distributed",
 }

@@ -11,7 +11,10 @@ Examples::
         --spec-axis cz_error=0.0024,0.0048,0.0096 \\
         --noise-axis include_readout=false,true --shots 2000
     python -m repro.sweeps worker sweep-out --preset smoke --shots 200
+    python -m repro.sweeps worker sweep-out --preset smoke --lease-range 64
     python -m repro.sweeps compact sweep-out
+    python -m repro.sweeps merge sweep-out
+    python -m repro.sweeps stats sweep-out
     python -m repro.sweeps analyze sweep-out
     python -m repro.sweeps analyze sweep-out --metric success_rate \\
         --axis cz_error --csv sweep-out.csv
@@ -35,14 +38,26 @@ the final store is byte-identical to a single-process run.  ``--workers N``
 on a plain run is the local spawn-and-join form of the same thing.
 
 ``compact`` seals a store's loose per-scenario JSON files into packed,
-checksummed segment files (:mod:`repro.sweeps.segments`) behind an
-atomically swapped manifest: resume semantics are unchanged, but a full
+checksummed segment files (:mod:`repro.sweeps.segments`) behind a
+sharded, append-only manifest: resume semantics are unchanged, but a full
 store load becomes O(segments) bulk reads -- the difference between
-seconds and minutes at ~10^6 records.  Idempotent and safe to re-run at
-any time, including around a killed previous compaction.  Prints one
-stable ``COMPACT sealed=N deduped=D skipped=S segment=...`` line.
-``--seal`` on a sweep run compacts each evaluation chunk as it completes
-instead.
+seconds and minutes at ~10^6 records -- and each new segment publishes
+with one fsynced delta-log append, O(new records) not O(store).
+Idempotent and safe to re-run at any time, including around a killed
+previous compaction.  Prints one stable ``COMPACT sealed=N deduped=D
+skipped=S segment=...`` line.  ``--seal`` on a sweep run compacts each
+evaluation chunk as it completes instead.
+
+``merge`` folds a store down to one fresh generation: loose records are
+sealed, small segments rewrite into large generation-tagged ones, the
+manifest delta log is checkpointed into fresh key-prefix shards, and
+everything superseded is garbage-collected.  Idempotent, kill-safe at
+every point, and the one-shot migration path for manifest-v1 stores.
+Prints one stable ``MERGE sealed=... merged=... generation=...`` line.
+``--merge`` on a sweep run merges once the sweep finishes.
+
+``stats`` prints the store census -- one stable ``STATS loose=... ``
+line plus a human-readable summary -- without running anything.
 
 ``analyze`` loads a store into the unified
 :class:`~repro.sweeps.analysis.ResultTable` (bulk-reading packed segments
@@ -200,11 +215,67 @@ def _compact_main(argv: list[str]) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    # Generation/delta census comes from a fresh stats read, appended
+    # after the four original fields (append-only line contract).
+    stats = store.stats()
     print(
         f"COMPACT sealed={report.sealed} deduped={report.deduped} "
-        f"skipped={report.skipped} segment={report.segment or '-'}"
+        f"skipped={report.skipped} segment={report.segment or '-'} "
+        f"generation={stats.generation} deltas={stats.deltas}"
     )
+    print(f"store: {store.directory} ({stats.describe()})")
+    return 0
+
+
+def _merge_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps merge",
+        description="Fold a sweep store down to one fresh generation: seal "
+        "loose records, rewrite small segments into large "
+        "generation-tagged ones, checkpoint the manifest delta log into "
+        "fresh shards, and garbage-collect superseded files.  Idempotent "
+        "and kill-safe; also the one-shot migration path for "
+        "manifest-v1 stores.  Prints one stable 'MERGE sealed=N merged=M "
+        "segments=S generation=G gc_segments=X gc_manifest=Y' line for "
+        "scripts to grep (see docs/store-format.md).",
+    )
+    parser.add_argument("store", help="sweep store directory to merge")
+    parser.add_argument(
+        "--target-records", type=int, default=None, metavar="N",
+        help="records per merged segment (default: "
+        f"{SweepStore.DEFAULT_MERGE_TARGET})",
+    )
+    args = parser.parse_args(argv)
+    if args.target_records is not None and args.target_records <= 0:
+        parser.error("--target-records must be positive")
+
+    store = SweepStore(args.store)
+    try:
+        report = store.merge(target_records=args.target_records)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary_line)
     print(f"store: {store.directory} ({store.stats().describe()})")
+    return 0
+
+
+def _stats_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps stats",
+        description="Print a sweep store's census without running "
+        "anything: loose/sealed record counts, segment and generation "
+        "census, manifest shard/delta counts, and active leases.  One "
+        "stable 'STATS loose=N sealed=N segments=N generation=G shards=S "
+        "deltas=D leases=L' line for scripts to grep (see "
+        "docs/store-format.md), then a human-readable summary.",
+    )
+    parser.add_argument("store", help="sweep store directory to inspect")
+    args = parser.parse_args(argv)
+
+    stats = SweepStore(args.store).stats()
+    print(stats.summary_line)
+    print(f"store: {args.store} ({stats.describe()})")
     return 0
 
 
@@ -293,6 +364,13 @@ def _worker_main(argv: list[str]) -> int:
         "in batches (see the compact subcommand)",
     )
     parser.add_argument(
+        "--lease-range", type=int, default=1, metavar="N",
+        help="claim contiguous blocks of N key-sorted scenarios per lease "
+        "file instead of one key per lease (amortizes lease metadata "
+        "traffic over the block; every worker of a fleet must use the "
+        "same value; default: 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress progress lines (the stable RESUME summary line "
         "still prints)",
@@ -300,6 +378,8 @@ def _worker_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.ttl is not None and args.ttl <= 0:
         parser.error("--ttl must be positive")
+    if args.lease_range <= 0:
+        parser.error("--lease-range must be positive")
     grid = _grid_from_args(parser, args)
 
     from repro.sweeps.distributed import run_worker
@@ -313,6 +393,7 @@ def _worker_main(argv: list[str]) -> int:
         ttl_s=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL_S,
         seal=args.seal,
         limit=args.limit,
+        lease_range=args.lease_range,
         log=None if args.quiet else print,
     )
     # Machine-readable contract line, printed even under --quiet (same
@@ -365,6 +446,17 @@ def _run_main(argv: list[str]) -> int:
         "packed segments as it completes (see the compact subcommand)",
     )
     parser.add_argument(
+        "--merge", action="store_true",
+        help="with --store, run a generational merge after the sweep "
+        "finishes (see the merge subcommand): large segments, "
+        "checkpointed manifest, superseded files collected",
+    )
+    parser.add_argument(
+        "--lease-range", type=int, default=1, metavar="N",
+        help="with --workers, claim contiguous blocks of N key-sorted "
+        "scenarios per lease file (see the worker subcommand; default: 1)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress progress lines and the summary table (the stable "
         "RESUME summary line still prints)",
@@ -386,10 +478,14 @@ def _run_main(argv: list[str]) -> int:
         parser.error("--resume requires --store")
     if args.seal and not args.store:
         parser.error("--seal requires --store")
+    if args.merge and not args.store:
+        parser.error("--merge requires --store")
     if args.workers is not None and not args.store:
         parser.error("--workers requires --store")
     if args.workers is not None and args.workers <= 0:
         parser.error("--workers must be positive")
+    if args.lease_range <= 0:
+        parser.error("--lease-range must be positive")
     grid = _grid_from_args(parser, args)
 
     from repro.sweeps.runner import run_sweep
@@ -399,7 +495,8 @@ def _run_main(argv: list[str]) -> int:
     report = run_sweep(
         grid, store, resume=args.resume, workers=args.workers or args.jobs,
         eval_workers=args.eval_jobs, limit=args.limit, seal=args.seal,
-        distributed=args.workers is not None, log=log,
+        merge=args.merge, distributed=args.workers is not None,
+        lease_range=args.lease_range, log=log,
     )
 
     if not args.quiet:
@@ -439,6 +536,10 @@ def main(argv: list[str] | None = None) -> int:
         return _compact_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "merge":
+        return _merge_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
     return _run_main(argv)
 
 

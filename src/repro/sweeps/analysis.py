@@ -247,6 +247,8 @@ class ResultTable:
         O(segments) instead of O(records) file opens -- ~10x+ faster at
         10^4 records (gated in ``benchmarks/test_perf_store_load.py``) and
         identical, down to the CSV bytes, to the loose per-file path.
+        Merged (generation-tagged) and freshly sealed segments read the
+        same way; :meth:`SweepStore.merge` never changes these bytes.
         """
         title = title or f"sweep results ({store.directory})"
         loader = getattr(store, "analysis_columns", None)

@@ -15,34 +15,44 @@ How it works
 
 Every worker independently expands the grid into the same deterministic
 :class:`~repro.sweeps.runner.SweepPlan` (same scenarios, same keys, same
-seeds), then loops:
+seeds), partitions the plan's key-sorted order into the same contiguous
+**range blocks** of ``lease_range`` keys (one block per lease; blocks are
+named ``range-<checksum of their keys>``, so every worker derives
+identical names), then loops:
 
-1. scan the plan's keys for ones not yet in the store
-   (:meth:`SweepStore.missing_keys`), starting at an owner-derived offset
-   so workers spread over the key space instead of stampeding the same
-   prefix;
-2. claim one key by atomically creating ``leases/<key>.lease``
+1. scan the blocks for ones still holding unstored keys, starting at an
+   owner-derived offset so workers spread over the key space instead of
+   stampeding the same prefix;
+2. claim one block by atomically creating ``leases/<block>.lease``
    (:meth:`SweepStore.acquire_lease` -- ``O_CREAT | O_EXCL``, so exactly
    one of any number of racing workers wins); a lease whose heartbeat
    (file mtime) is older than the TTL is presumed to belong to a crashed
-   worker and is reclaimed;
-3. compile the claimed scenario's compile point if this worker has not
-   already (memoized per worker; with ``REPRO_CACHE_DIR`` set, all workers
-   share one on-disk compilation cache), heartbeat the lease, evaluate the
-   scenario through the same :func:`~repro.sweeps.engine.evaluate_task`
-   the sharded engine uses, and persist the record with the store's atomic
-   write;
-4. release the lease and move on; when only live-leased keys remain, wait
-   briefly and re-scan (their owners will either finish them or crash and
-   expire).
+   worker and is reclaimed.  With ``lease_range=1`` (the default) a block
+   is a single key and the lease is named by the key itself -- the
+   original per-key protocol;
+3. work through the block's missing keys: compile each scenario's compile
+   point if this worker has not already (memoized per worker; with
+   ``REPRO_CACHE_DIR`` set, all workers share one on-disk compilation
+   cache), evaluate it through the same
+   :func:`~repro.sweeps.engine.evaluate_task` the sharded engine uses,
+   and persist the record with the store's atomic write.  The lease is
+   heartbeat after every compile and on a TTL/3 cadence between
+   evaluations -- hundreds of evaluations amortize one lease file's
+   create/heartbeat/unlink instead of paying it per key, which is what
+   keeps a networked filesystem alive at 10^5+ scenarios;
+4. release the block and move on; when only live-leased blocks remain,
+   wait briefly and re-scan (their owners will either finish them or
+   crash and expire).
 
 Crash safety falls out of purity: leases are *only* an efficiency device.
 If a lease expires while its owner is merely slow (not dead), two workers
 may evaluate the same scenario -- both compute byte-identical records and
 the atomic write makes the duplication invisible.  A worker SIGKILLed
-mid-scenario leaves a lease that expires after ``ttl_s`` and a store
-missing that record; any surviving or replacement worker reclaims the key
-and the final store is indistinguishable from an uninterrupted run.
+mid-block leaves a lease that expires after ``ttl_s`` and a store missing
+that block's unfinished records (everything it already wrote is durable);
+any surviving or replacement worker reclaims the block, skips the stored
+keys, and the final store is indistinguishable from an uninterrupted run
+-- for any ``lease_range``, worker count, or crash interleaving.
 
 Entry points: :func:`run_worker` (one claim loop; the
 ``python -m repro.sweeps worker STORE`` CLI is a thin shell over it),
@@ -58,6 +68,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.core.serialize import short_checksum
 from repro.experiments.common import ExperimentSettings, compile_points
 from repro.sweeps.engine import evaluate_task
 from repro.sweeps.grid import SweepGrid
@@ -69,7 +80,7 @@ if typing.TYPE_CHECKING:
     from collections.abc import Callable
     from repro.core.result import CompilationResult
 
-__all__ = ["WorkerReport", "run_distributed", "run_worker"]
+__all__ = ["WorkerReport", "range_blocks", "run_distributed", "run_worker"]
 
 #: Keys sealed per --seal compaction batch inside a worker (amortizes the
 #: manifest swap without letting a crash strand many unsealed records).
@@ -109,6 +120,8 @@ class WorkerReport:
         elapsed_s: wall-clock duration of the claim loop.
         phase_totals: per-stage compile wall-clock seconds for this
             worker's own compilations (``"<technique>.<stage>"`` keys).
+        ranges: range-block leases this worker acquired (equals the
+            number of claims with ``lease_range=1``).
     """
 
     owner: str
@@ -120,6 +133,7 @@ class WorkerReport:
     compilations: int
     elapsed_s: float
     phase_totals: dict = field(default_factory=dict)
+    ranges: int = 0
 
     @property
     def summary_line(self) -> str:
@@ -135,22 +149,49 @@ class WorkerReport:
             f"scenarios={self.scenarios} compilations={self.compilations} "
             f"compile_s={sum(self.phase_totals.values()):.3f} "
             f"owner={self.owner} reclaimed={self.reclaimed} "
-            f"contended={self.contended}"
+            f"contended={self.contended} ranges={self.ranges}"
         )
 
 
-def _rotated(indices: "list[int]", owner: str) -> "list[int]":
+def _rotated(items: list, owner: str) -> list:
     """Rotate the scan order by a stable owner-derived offset.
 
-    Workers that all scan from index 0 would race every claim at the head
-    of the key list; starting each worker at a different point spreads the
-    fleet over the key space.  Purely a contention optimization -- claim
-    order never affects record content.
+    Workers that all scan from position 0 would race every claim at the
+    head of the list; starting each worker at a different point spreads
+    the fleet over the key space.  Purely a contention optimization --
+    claim order never affects record content.
     """
-    if not indices:
-        return indices
-    offset = sum(owner.encode("utf-8")) % len(indices)
-    return indices[offset:] + indices[:offset]
+    if not items:
+        return items
+    offset = sum(owner.encode("utf-8")) % len(items)
+    return items[offset:] + items[:offset]
+
+
+def range_blocks(keys: "tuple[str, ...]", lease_range: int) -> "list[tuple[str, list[int]]]":
+    """Partition a plan's keys into the lease blocks every worker shares.
+
+    Blocks are contiguous runs of ``lease_range`` keys in *key-sorted*
+    order, each named ``range-<checksum of its keys>``: pure functions of
+    the plan, so every worker of a fleet -- including a replacement
+    started after a crash -- computes identical blocks and identical
+    lease-file names, with no coordination.  With ``lease_range=1`` the
+    block name is the key itself, making the classic per-key protocol a
+    special case of the range protocol (same lease files, same
+    reclaim/TTL semantics, byte-identical stores).
+
+    Returns ``[(lease_name, [plan indices]), ...]`` in key-sorted order.
+    """
+    if lease_range <= 0:
+        raise ValueError(f"lease_range must be positive, got {lease_range}")
+    order = sorted(range(len(keys)), key=keys.__getitem__)
+    if lease_range == 1:
+        return [(keys[i], [i]) for i in order]
+    blocks = []
+    for start in range(0, len(order), lease_range):
+        indices = order[start : start + lease_range]
+        name = "range-" + short_checksum("\n".join(keys[i] for i in indices))
+        blocks.append((name, indices))
+    return blocks
 
 
 def run_worker(
@@ -161,6 +202,7 @@ def run_worker(
     ttl_s: float = DEFAULT_LEASE_TTL_S,
     seal: bool = False,
     limit: int | None = None,
+    lease_range: int = 1,
     settings: ExperimentSettings | None = None,
     log: "Callable[[str], None] | None" = None,
 ) -> WorkerReport:
@@ -180,12 +222,18 @@ def run_worker(
             host/pid/random id.  Must be unique per worker.
         ttl_s: lease heartbeat TTL; leases older than this are presumed
             abandoned and reclaimed.  Must comfortably exceed the longest
-            single compile + evaluation (the worker heartbeats between the
-            two).
+            single compile + evaluation (the worker heartbeats after each
+            compile and at least every TTL/3 while working a block).
         seal: compact this worker's freshly written records into packed
             segments in batches (and once more on exit); content is
             unchanged, only the on-disk backend.
         limit: work only the first ``limit`` scenarios of the grid.
+        lease_range: keys per lease block (:func:`range_blocks`).  1 (the
+            default) is the classic one-lease-per-key protocol; larger
+            values amortize one lease file over up to that many
+            evaluations, cutting lease-directory metadata traffic by the
+            same factor.  Every worker of a fleet must use the same value
+            (it determines the shared block names).
         settings: experiment settings (must match across the fleet).
         log: optional progress sink (e.g. ``print``).
     """
@@ -195,12 +243,12 @@ def run_worker(
     plan = plan_sweep(grid, settings=settings, limit=limit)
     emit(
         f"worker {owner}: {len(plan)} scenarios over {store.directory} "
-        f"(ttl={ttl_s:g}s)"
+        f"(ttl={ttl_s:g}s, lease_range={lease_range})"
     )
 
     compiled: dict[tuple, "CompilationResult"] = {}
     phase_timer = PhaseTimer()
-    computed = reclaimed = contended = 0
+    computed = reclaimed = contended = ranges = 0
     unsealed: list[str] = []
 
     def flush_seal() -> None:
@@ -219,61 +267,85 @@ def run_worker(
                 )
         unsealed = []
 
+    def evaluate(index: int, lease_name: str, last_beat: float) -> float:
+        """Compile (memoized), evaluate, and persist one plan index;
+        returns the updated heartbeat timestamp."""
+        nonlocal computed
+        compile_id = plan.compile_ids[index]
+        if compile_id not in compiled:
+            benchmark, technique, _ = plan.point_specs[compile_id]
+            emit(f"worker {owner}: compiling {benchmark}/{technique}")
+            result, stage_times = compile_points(
+                [plan.point_specs[compile_id]],
+                settings=plan.settings,
+                return_timings=True,
+            )[0]
+            compiled[compile_id] = result
+            if stage_times:
+                phase_timer.merge(stage_times)
+            # Compilation can dwarf evaluation; re-arm the TTL so a
+            # slow compile is not mistaken for a crash.
+            store.refresh_lease(lease_name, owner)
+            last_beat = time.monotonic()
+        key = plan.keys[index]
+        record = evaluate_task(plan.task(index, compiled[compile_id]))
+        store.put(key, record)
+        computed += 1
+        if seal:
+            unsealed.append(key)
+            if len(unsealed) >= _SEAL_BATCH:
+                flush_seal()
+        if time.monotonic() - last_beat > ttl_s / 3.0:
+            # Range blocks hold one lease across many evaluations; a
+            # periodic heartbeat (instead of one per key) is what keeps
+            # lease metadata traffic O(blocks), not O(keys).
+            store.refresh_lease(lease_name, owner)
+            last_beat = time.monotonic()
+        return last_beat
+
     # Initial scan is a full *read* pass (like run_sweep's resume), not a
     # cheap existence pass: a corrupt or foreign-generation record reads as
     # missing here, so the worker reclaims and rewrites it -- distributed
     # runs self-heal damaged stores exactly like --resume does.
     store.manifest(reload=True)
+    blocks = range_blocks(plan.keys, lease_range)
     pending = _rotated(
-        [i for i, key in enumerate(plan.keys) if store.get(key) is None], owner
+        [
+            (name, indices)
+            for name, indices in blocks
+            if any(store.get(plan.keys[i]) is None for i in indices)
+        ],
+        owner,
     )
     while pending:
         progress = False
-        next_round: list[int] = []
-        for index in pending:
-            key = plan.keys[index]
+        next_round: list[tuple[str, list[int]]] = []
+        for name, indices in pending:
             # Full read, not bare membership: a corrupt loose file *exists*
             # but must still be recomputed (self-healing, like --resume).
-            if store.get(key) is not None:
+            missing = [i for i in indices if store.get(plan.keys[i]) is None]
+            if not missing:
                 continue
-            claim = store.acquire_lease(key, owner, ttl_s=ttl_s)
+            claim = store.acquire_lease(name, owner, ttl_s=ttl_s)
             if claim is None:
                 contended += 1
-                next_round.append(index)
+                next_round.append((name, indices))
                 continue
             if claim == "reclaimed":
                 reclaimed += 1
-                emit(f"worker {owner}: reclaimed expired lease on {key[:12]}...")
+                emit(f"worker {owner}: reclaimed expired lease on {name[:18]}...")
+            ranges += 1
+            last_beat = time.monotonic()
             try:
-                if store.get(key) is not None:
-                    # Finished by another worker between our read and
-                    # winning the (expired) lease.
-                    continue
-                compile_id = plan.compile_ids[index]
-                if compile_id not in compiled:
-                    benchmark, technique, _ = plan.point_specs[compile_id]
-                    emit(f"worker {owner}: compiling {benchmark}/{technique}")
-                    result, stage_times = compile_points(
-                        [plan.point_specs[compile_id]],
-                        settings=plan.settings,
-                        return_timings=True,
-                    )[0]
-                    compiled[compile_id] = result
-                    if stage_times:
-                        phase_timer.merge(stage_times)
-                    # Compilation can dwarf evaluation; re-arm the TTL so a
-                    # slow compile is not mistaken for a crash.
-                    store.refresh_lease(key, owner)
-                record = evaluate_task(plan.task(index, compiled[compile_id]))
-                store.put(key, record)
-                computed += 1
-                progress = True
-                if seal:
-                    unsealed.append(key)
-                    if len(unsealed) >= _SEAL_BATCH:
-                        flush_seal()
+                for index in missing:
+                    if store.get(plan.keys[index]) is not None:
+                        # Finished by another worker between our read and
+                        # winning the (expired) lease.
+                        continue
+                    last_beat = evaluate(index, name, last_beat)
+                    progress = True
             finally:
-                store.release_lease(key, owner)
+                store.release_lease(name, owner)
         pending = next_round
         if pending:
             # Peers compacting (--seal) delete sealed loose files, leaving
@@ -309,6 +381,7 @@ def run_worker(
         compilations=len(compiled),
         elapsed_s=elapsed,
         phase_totals=phase_timer.totals(),
+        ranges=ranges,
     )
 
 
@@ -318,6 +391,7 @@ def _worker_entry(
     ttl_s: float,
     seal: bool,
     limit: int | None,
+    lease_range: int,
     settings: ExperimentSettings | None,
 ) -> WorkerReport:
     """Picklable spawn target: one claim loop in a child process."""
@@ -327,6 +401,7 @@ def _worker_entry(
         ttl_s=ttl_s,
         seal=seal,
         limit=limit,
+        lease_range=lease_range,
         settings=settings,
     )
 
@@ -339,6 +414,7 @@ def run_distributed(
     ttl_s: float = DEFAULT_LEASE_TTL_S,
     seal: bool = False,
     limit: int | None = None,
+    lease_range: int = 1,
     settings: ExperimentSettings | None = None,
     log: "Callable[[str], None] | None" = None,
 ) -> SweepReport:
@@ -390,6 +466,7 @@ def run_distributed(
                         ttl_s,
                         seal,
                         limit,
+                        lease_range,
                         settings,
                     )
                     for _ in range(workers)
@@ -409,6 +486,7 @@ def run_distributed(
                 ttl_s=ttl_s,
                 seal=seal,
                 limit=limit,
+                lease_range=lease_range,
                 settings=settings,
                 log=log,
             )

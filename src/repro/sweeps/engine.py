@@ -25,7 +25,8 @@ Guarantees:
 :func:`evaluate_task` -- one record as a pure function of one task -- is
 also the evaluation core of the distributed claim-loop workers
 (:mod:`repro.sweeps.distributed`): sharded pools and work-stealing
-fleets differ only in *who* runs each task, never in what it produces.
+fleets (whether leasing one key or a whole key range at a time) differ
+only in *who* runs each task, never in what it produces.
 """
 
 from __future__ import annotations

@@ -233,7 +233,9 @@ def run_sweep(
     eval_workers: int = 1,
     limit: int | None = None,
     seal: bool = False,
+    merge: bool = False,
     distributed: bool = False,
+    lease_range: int = 1,
     settings: ExperimentSettings | None = None,
     log: "Callable[[str], None] | None" = None,
 ) -> SweepReport:
@@ -257,30 +259,43 @@ def run_sweep(
         seal: with a store, compact each evaluation chunk's loose records
             into packed segments as it completes (``--seal``), so the run
             ends with a bulk-loadable store; record content is unchanged.
+        merge: with a store, run :meth:`SweepStore.merge` after the sweep
+            finishes (``--merge``): loose records are sealed, small
+            segments fold into large generation-tagged ones, and the
+            manifest is checkpointed; record content is unchanged.
         distributed: spawn ``workers`` independent work-stealing workers
             over the store's lease protocol instead of the two sharded
             pools (see :mod:`repro.sweeps.distributed`).  Distributed runs
             always resume -- the claim loop is idempotent over whatever is
             already stored -- and produce records byte-identical to any
             other mode.
+        lease_range: with ``distributed=True``, keys per lease block
+            (``--lease-range``; see
+            :func:`repro.sweeps.distributed.range_blocks`).  1 keeps the
+            classic per-key protocol.
         settings: experiment settings the compile configs derive from
             (defaults match the figure runners, so compilations are shared).
         log: optional progress sink (e.g. ``print``).
     """
+    emit_merge = log or (lambda message: None)
     if distributed:
         from repro.sweeps.distributed import run_distributed
 
         if store is None:
             raise ValueError("distributed=True requires a store")
-        return run_distributed(
+        report = run_distributed(
             grid,
             store,
             workers=workers,
             seal=seal,
             limit=limit,
+            lease_range=lease_range,
             settings=settings,
             log=log,
         )
+        if merge:
+            emit_merge(f"sweep: {store.merge().summary_line}")
+        return report
     start = time.perf_counter()
     emit = log or (lambda message: None)
     plan = plan_sweep(grid, settings=settings, limit=limit)
@@ -336,6 +351,9 @@ def run_sweep(
     )
     for index, record in zip(pending, computed_records):
         records[index] = record
+
+    if merge and store is not None:
+        emit(f"sweep: {store.merge().summary_line}")
 
     elapsed = time.perf_counter() - start
     emit(

@@ -36,12 +36,37 @@ Segment layout (``segment-NNNNNN.seg``, UTF-8 bytes)::
   ``analyze``.
 
 Segments are immutable once written (atomic tmp + rename) and are only
-reachable through the **manifest** (``MANIFEST.json``), which maps every
-sealed key to ``(segment, offset, length, checksum)``.  Compaction writes
-new segment files first and publishes them with one atomic manifest swap,
-so readers and concurrent loose-record writers never observe a partial
-compaction; a compactor killed between the two steps leaves an orphan
-segment file that is simply never referenced.
+reachable through the **manifest**, which maps every sealed key to
+``(segment, offset, length, checksum)``.  Compaction writes new segment
+files first and publishes them only afterwards, so readers and concurrent
+loose-record writers never observe a partial compaction; a compactor
+killed between the two steps leaves an orphan segment file that is simply
+never referenced (and is garbage-collected by the next merge).
+
+Manifest format v2 (``MANIFEST_VERSION = 2``) splits the index into three
+pieces so publishing N new records costs O(N), not O(store):
+
+- the **root** (``MANIFEST.json``) -- a small atomically-swapped JSON file
+  carrying the store *generation*, the schema/engine stamp, the segment
+  census, and a pointer per key-prefix **shard**;
+- the **shards** (``manifest/shard-gGGGG-X.json``) -- the key -> entry
+  mapping partitioned by the first hex character of the key (16 shards),
+  each checksummed from the root so a corrupt shard degrades only its own
+  keys to missing-with-warning;
+- the **delta log** (``manifest/delta-gGGGG.log``) -- an append-only,
+  fsynced journal of segments published since the last checkpoint, one
+  ``D <checksum16> <canonical-json>`` line per segment.  Readers replay it
+  over the shard contents; a torn or corrupt line is skipped with a
+  warning (its segment stays orphaned until the next merge).
+
+A **checkpoint** (:func:`write_manifest`) folds everything into fresh
+shard files at a new generation and swaps the root -- the swap is the only
+commit point, exactly as the v1 monolithic rewrite was.  **Merging**
+(:meth:`~repro.sweeps.store.SweepStore.merge`) rewrites small segments
+into large generation-tagged ``segment-gGGGG-NNNNNN.seg`` files,
+checkpoints, and garbage-collects everything the new root no longer
+references.  v1 roots still load (read-only) through the same
+:func:`load_manifest`; one merge migrates them to v2.
 
 Compaction is equally safe under concurrent distributed *claimers*
 (:mod:`repro.sweeps.distributed`): lease files live in the store's
@@ -58,6 +83,8 @@ The byte-level layout of every structure here is specified normatively in
 from __future__ import annotations
 
 import json
+import os
+import re
 import typing
 import warnings
 from dataclasses import dataclass
@@ -70,19 +97,29 @@ if typing.TYPE_CHECKING:
     from collections.abc import Callable, Iterator, Sequence
 
 __all__ = [
+    "MANIFEST_DIR_NAME",
     "MANIFEST_NAME",
+    "MANIFEST_VERSION",
     "SEGMENT_FORMAT_VERSION",
     "SEGMENT_MAGIC",
     "SEGMENT_PATTERN",
+    "SHARD_IDS",
     "Manifest",
     "SegmentColumns",
     "SegmentEntry",
+    "append_manifest_delta",
+    "delta_log_name",
+    "gc_unreferenced",
+    "generation_segment_namer",
     "iter_segment_records",
     "load_manifest",
     "next_segment_name",
     "pack_segment",
     "read_segment_columns",
     "read_segment_record",
+    "segment_generation",
+    "shard_file_name",
+    "shard_id",
     "write_manifest",
     "write_segment",
 ]
@@ -90,8 +127,15 @@ __all__ = [
 SEGMENT_MAGIC = "reproseg"
 SEGMENT_FORMAT_VERSION = 1
 MANIFEST_NAME = "MANIFEST.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 SEGMENT_PATTERN = "segment-*.seg"
+
+#: Subdirectory holding manifest shards and delta logs (outside both the
+#: loose-record ``*.json`` glob and the segment namespace).
+MANIFEST_DIR_NAME = "manifest"
+
+#: The 16 key-prefix shard identifiers (first hex character of the key).
+SHARD_IDS = "0123456789abcdef"
 
 #: A ``warn(dedup_key, message)`` sink; the store passes its deduplicating
 #: warner so one bad file warns once per store, not once per access.
@@ -130,7 +174,7 @@ class SegmentColumns:
 
 @dataclass(frozen=True)
 class Manifest:
-    """The store's sealed-record index, swapped atomically on compaction.
+    """The store's sealed-record index, committed by an atomic root swap.
 
     Attributes:
         entries: key -> :class:`SegmentEntry` for every sealed record.
@@ -138,12 +182,57 @@ class Manifest:
         schema_version: record schema the sealed records were written under.
         engine_version: package version that sealed them (sealed records
             are generation-checked exactly like loose ones).
+        generation: checkpoint counter; bumped by every checkpoint
+            (:func:`write_manifest`), left alone by delta appends.  v1
+            roots load as generation 0.
+        manifest_version: on-disk root format this index was loaded from
+            (or will be written as); v1 indexes are read-only -- the first
+            compaction or merge checkpoints them forward to v2.
+        shard_count: non-empty key-prefix shards behind the root.
+        delta_records: delta-log lines replayed on top of the checkpoint
+            (0 right after a checkpoint; what :meth:`SweepStore.merge`
+            folds down).
     """
 
     entries: dict
     segments: dict
     schema_version: int
     engine_version: str
+    generation: int = 0
+    manifest_version: int = MANIFEST_VERSION
+    shard_count: int = 0
+    delta_records: int = 0
+
+
+def shard_id(key: str) -> str:
+    """Key-prefix shard of ``key`` (one of :data:`SHARD_IDS`).
+
+    Store keys are SHA-256 hex, so the first character partitions them
+    uniformly; any non-hex key (hand-written test keys) is bucketed by the
+    first character of its checksum instead, which keeps every key in
+    exactly one of the 16 shards.
+    """
+    first = key[:1].lower()
+    if first in SHARD_IDS:
+        return first
+    return short_checksum(key)[0]
+
+
+def shard_file_name(generation: int, sid: str) -> str:
+    """Shard file name inside ``manifest/`` for one generation."""
+    return f"shard-g{generation:04d}-{sid}.json"
+
+
+def delta_log_name(generation: int) -> str:
+    """Delta-log file name inside ``manifest/`` for one generation."""
+    return f"delta-g{generation:04d}.log"
+
+
+def segment_generation(name: str) -> int:
+    """Generation a segment file name was merged at (0 for unmerged
+    ``segment-NNNNNN.seg`` compaction output)."""
+    match = re.match(r"segment-g(\d+)-\d+\.seg$", name)
+    return int(match.group(1)) if match else 0
 
 
 # -- segment encoding ----------------------------------------------------------
@@ -214,7 +303,12 @@ def pack_segment(
 
 
 def next_segment_name(directory: Path) -> str:
-    """First unused ``segment-NNNNNN.seg`` name (orphans count as used)."""
+    """First unused ``segment-NNNNNN.seg`` name (orphans count as used).
+
+    Generation-tagged merge output (``segment-gGGGG-NNNNNN.seg``) lives in
+    its own numbering space (:func:`generation_segment_namer`) and is
+    ignored here.
+    """
     highest = 0
     for path in directory.glob(SEGMENT_PATTERN):
         stem = path.name[len("segment-") : -len(".seg")]
@@ -223,22 +317,46 @@ def next_segment_name(directory: Path) -> str:
     return f"segment-{highest + 1:06d}.seg"
 
 
+def generation_segment_namer(generation: int) -> "Callable[[Path], str]":
+    """A :func:`write_segment` namer for one merge generation's output.
+
+    Numbers ``segment-gGGGG-NNNNNN.seg`` sequentially per generation;
+    orphans from a merge killed before its checkpoint count as used, so a
+    re-merge at the same target generation never collides with them.
+    """
+    prefix = f"segment-g{generation:04d}-"
+
+    def namer(directory: Path) -> str:
+        highest = 0
+        for path in directory.glob(f"{prefix}*.seg"):
+            stem = path.name[len(prefix) : -len(".seg")]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        return f"{prefix}{highest + 1:06d}.seg"
+
+    return namer
+
+
 def write_segment(
-    directory: Path, records: "Sequence[dict]"
+    directory: Path,
+    records: "Sequence[dict]",
+    namer: "Callable[[Path], str] | None" = None,
 ) -> tuple[str, list[SegmentEntry], SegmentColumns] | None:
     """Pack ``records`` and write them as a new immutable segment file.
 
     The write is atomic (tmp + rename); the segment is *not* yet visible to
     readers -- it becomes reachable only when the caller publishes it in
-    the manifest.  The name is reserved with an exclusive create first, so
-    even a rogue second compactor (possible only after a stale lock was
-    force-broken) can never overwrite an existing segment.  Returns None
-    when the filesystem refuses the write.
+    the manifest.  The name (``namer`` defaults to plain compaction
+    numbering, merge passes :func:`generation_segment_namer`) is reserved
+    with an exclusive create first, so even a rogue second compactor
+    (possible only after a stale lock was force-broken) can never
+    overwrite an existing segment.  Returns None when the filesystem
+    refuses the write.
     """
     blob, frames, columns = pack_segment(records)
     name = None
     for _ in range(1000):
-        candidate = next_segment_name(directory)
+        candidate = (namer or next_segment_name)(directory)
         try:
             (directory / candidate).touch(exist_ok=False)
         except FileExistsError:
@@ -460,12 +578,204 @@ def read_segment_columns(
 # -- manifest ------------------------------------------------------------------
 
 
+def _parse_entries(raw: dict) -> dict:
+    """``{key: [segment, offset, length, checksum]}`` -> entry mapping."""
+    return {
+        key: SegmentEntry(
+            key=key,
+            segment=str(spec[0]),
+            offset=int(spec[1]),
+            length=int(spec[2]),
+            checksum=str(spec[3]),
+        )
+        for key, spec in raw.items()
+    }
+
+
+def _parse_segments(raw: dict) -> dict:
+    """``{name: {count, columns_*}}`` -> :class:`SegmentColumns` mapping."""
+    return {
+        name: SegmentColumns(
+            offset=int(spec["columns_offset"]),
+            length=int(spec["columns_length"]),
+            checksum=str(spec["columns_checksum"]),
+            count=int(spec["count"]),
+        )
+        for name, spec in raw.items()
+    }
+
+
+def _replay_delta(
+    directory: Path,
+    delta_name: str,
+    entries: dict,
+    segments: dict,
+    warn: "WarnFn",
+) -> int:
+    """Apply the delta log's segment publications onto ``entries``/
+    ``segments`` in place; returns the number of lines applied.
+
+    Each intact line is one segment published since the checkpoint.  A
+    corrupt line (torn by a crash mid-append, or damaged on disk) is
+    skipped with a warning -- its segment's records read as missing until
+    the next merge folds the log -- and replay continues with the next
+    line: the newline framing is restored by the next appender, so one bad
+    line never hides later publications.
+    """
+    path = directory / MANIFEST_DIR_NAME / delta_name
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return 0
+    except OSError as exc:
+        warn(
+            f"{delta_name}:unreadable",
+            f"sweep store: unreadable manifest delta log {delta_name} "
+            f"({exc}); segments published since the last checkpoint read "
+            f"as missing",
+        )
+        return 0
+    applied = 0
+    lines = data.split(b"\n")
+    if lines and lines[-1] != b"":
+        warn(
+            f"{delta_name}:torn",
+            f"sweep store: manifest delta log {delta_name} has a torn "
+            f"final line (appender crashed mid-write); that publication "
+            f"reads as missing until the next merge",
+        )
+    for raw_line in lines[:-1] if lines else []:
+        if not raw_line:
+            continue
+        parts = raw_line.split(b" ", 2)
+        payload = None
+        if len(parts) == 3 and parts[0] == b"D":
+            checksum = parts[1].decode("ascii", errors="replace")
+            if short_checksum(parts[2]) == checksum:
+                try:
+                    payload = json.loads(parts[2])
+                except json.JSONDecodeError:
+                    payload = None
+        if not isinstance(payload, dict):
+            warn(
+                f"{delta_name}:corrupt-line",
+                f"sweep store: skipping a corrupt line of manifest delta "
+                f"log {delta_name}; its segment's records read as missing "
+                f"until the next merge",
+            )
+            continue
+        try:
+            segment = str(payload["segment"])
+            columns = payload["columns"]
+            segments[segment] = SegmentColumns(
+                offset=int(columns["columns_offset"]),
+                length=int(columns["columns_length"]),
+                checksum=str(columns["columns_checksum"]),
+                count=int(columns["count"]),
+            )
+            for key, spec in payload["entries"].items():
+                entries[key] = SegmentEntry(
+                    key=key,
+                    segment=segment,
+                    offset=int(spec[0]),
+                    length=int(spec[1]),
+                    checksum=str(spec[2]),
+                )
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError):
+            warn(
+                f"{delta_name}:corrupt-line",
+                f"sweep store: skipping a malformed line of manifest delta "
+                f"log {delta_name}; its segment's records read as missing "
+                f"until the next merge",
+            )
+            continue
+        applied += 1
+    return applied
+
+
+def _load_manifest_v2(
+    directory: Path, data: dict, warn: "WarnFn"
+) -> Manifest | None:
+    """Assemble a v2 index: root -> shards -> delta replay."""
+    try:
+        generation = int(data.get("generation") or 0)
+        shards = data.get("shards") or {}
+        segments = _parse_segments(data.get("segments") or {})
+        delta_name = str(data.get("delta") or delta_log_name(generation))
+    except (KeyError, TypeError, ValueError, AttributeError):
+        warn(
+            f"{MANIFEST_NAME}:malformed",
+            f"sweep store: malformed manifest {MANIFEST_NAME}; sealed "
+            f"records read as missing until the next compaction",
+        )
+        return None
+    entries: dict = {}
+    shard_count = 0
+    for sid, spec in sorted(shards.items()):
+        try:
+            shard_file = str(spec["file"])
+            want = str(spec["checksum"])
+        except (KeyError, TypeError):
+            warn(
+                f"{MANIFEST_NAME}:shard-{sid}",
+                f"sweep store: manifest shard pointer {sid!r} is "
+                f"malformed; that shard's records read as missing",
+            )
+            continue
+        path = directory / MANIFEST_DIR_NAME / shard_file
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            warn(
+                f"{shard_file}:unreadable",
+                f"sweep store: unreadable manifest shard {shard_file} "
+                f"({exc}); its records read as missing until the next "
+                f"merge",
+            )
+            continue
+        if short_checksum(blob) != want:
+            warn(
+                f"{shard_file}:checksum",
+                f"sweep store: manifest shard {shard_file} fails its "
+                f"checksum; its records read as missing until the next "
+                f"merge",
+            )
+            continue
+        try:
+            entries.update(_parse_entries(json.loads(blob)["entries"]))
+        except (
+            KeyError, IndexError, TypeError, ValueError,
+            json.JSONDecodeError, AttributeError,
+        ):
+            warn(
+                f"{shard_file}:malformed",
+                f"sweep store: malformed manifest shard {shard_file}; "
+                f"its records read as missing until the next merge",
+            )
+            continue
+        shard_count += 1
+    delta_records = _replay_delta(directory, delta_name, entries, segments, warn)
+    return Manifest(
+        entries=entries,
+        segments=segments,
+        schema_version=data.get("schema_version"),
+        engine_version=data.get("engine_version"),
+        generation=generation,
+        manifest_version=MANIFEST_VERSION,
+        shard_count=shard_count,
+        delta_records=delta_records,
+    )
+
+
 def load_manifest(directory: Path, warn: "WarnFn" = _default_warn) -> Manifest | None:
     """Read the store's manifest; None when absent or unreadable.
 
-    An unreadable or malformed manifest degrades exactly like a corrupt
-    record: the sealed records it pointed at read as missing-with-warning
-    (loose records are unaffected), and the next compaction rebuilds it.
+    Dispatches on the root's ``manifest_version``: v1 monolithic roots
+    load read-only (their first compaction or merge checkpoints them to
+    v2), v2 roots assemble from shards plus delta replay.  An unreadable
+    or malformed root degrades exactly like a corrupt record: the sealed
+    records it pointed at read as missing-with-warning (loose records are
+    unaffected), and the next compaction rebuilds it.
     """
     path = directory / MANIFEST_NAME
     if not path.exists():
@@ -479,34 +789,19 @@ def load_manifest(directory: Path, warn: "WarnFn" = _default_warn) -> Manifest |
             f"sealed records read as missing until the next compaction",
         )
         return None
-    if not isinstance(data, dict) or data.get("manifest_version") != MANIFEST_VERSION:
+    version = data.get("manifest_version") if isinstance(data, dict) else None
+    if version == MANIFEST_VERSION:
+        return _load_manifest_v2(directory, data, warn)
+    if version != 1:
         warn(
             f"{MANIFEST_NAME}:version",
             f"sweep store: manifest {path.name} has unsupported version "
-            f"{data.get('manifest_version') if isinstance(data, dict) else '?'!r}; "
-            f"sealed records read as missing",
+            f"{version!r}; sealed records read as missing",
         )
         return None
     try:
-        entries = {
-            key: SegmentEntry(
-                key=key,
-                segment=str(spec[0]),
-                offset=int(spec[1]),
-                length=int(spec[2]),
-                checksum=str(spec[3]),
-            )
-            for key, spec in (data.get("entries") or {}).items()
-        }
-        segments = {
-            name: SegmentColumns(
-                offset=int(spec["columns_offset"]),
-                length=int(spec["columns_length"]),
-                checksum=str(spec["columns_checksum"]),
-                count=int(spec["count"]),
-            )
-            for name, spec in (data.get("segments") or {}).items()
-        }
+        entries = _parse_entries(data.get("entries") or {})
+        segments = _parse_segments(data.get("segments") or {})
     except (KeyError, IndexError, TypeError, ValueError):
         warn(
             f"{MANIFEST_NAME}:malformed",
@@ -519,23 +814,52 @@ def load_manifest(directory: Path, warn: "WarnFn" = _default_warn) -> Manifest |
         segments=segments,
         schema_version=data.get("schema_version"),
         engine_version=data.get("engine_version"),
+        generation=int(data.get("generation") or 0),
+        manifest_version=1,
     )
 
 
 def write_manifest(directory: Path, manifest: Manifest) -> bool:
-    """Atomically publish ``manifest`` (the compaction commit point).
+    """Checkpoint ``manifest``: shard files first, then the atomic root
+    swap (the commit point).
 
-    Readers see either the old manifest or the new one, never a mix; the
-    rename is what makes compaction safe under concurrent record writers.
+    Shards are written at ``manifest.generation`` -- callers bump the
+    generation before checkpointing, so a crash after some shard writes
+    but before the root swap leaves only unreferenced files (the old root
+    still points at the old generation's shards; the next merge
+    garbage-collects the strays).  Readers see either the old index or
+    the new one, never a mix, exactly like the v1 monolithic rename.
     """
+    manifest_dir = directory / MANIFEST_DIR_NAME
+    try:
+        manifest_dir.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return False
+    by_shard: dict[str, dict] = {}
+    for key, entry in sorted(manifest.entries.items()):
+        by_shard.setdefault(shard_id(key), {})[key] = [
+            entry.segment, entry.offset, entry.length, entry.checksum,
+        ]
+    shards = {}
+    for sid, shard_entries in sorted(by_shard.items()):
+        name = shard_file_name(manifest.generation, sid)
+        blob = canonical_dumps(
+            {"generation": manifest.generation, "entries": shard_entries}
+        ).encode("utf-8")
+        if not atomic_write_bytes(manifest_dir / name, blob):
+            return False
+        shards[sid] = {
+            "file": name,
+            "checksum": short_checksum(blob),
+            "count": len(shard_entries),
+        }
     payload = {
         "manifest_version": MANIFEST_VERSION,
         "schema_version": manifest.schema_version,
         "engine_version": manifest.engine_version,
-        "entries": {
-            key: [e.segment, e.offset, e.length, e.checksum]
-            for key, e in sorted(manifest.entries.items())
-        },
+        "generation": manifest.generation,
+        "delta": delta_log_name(manifest.generation),
+        "shards": shards,
         "segments": {
             name: {
                 "count": c.count,
@@ -549,3 +873,98 @@ def write_manifest(directory: Path, manifest: Manifest) -> bool:
     return atomic_write_bytes(
         directory / MANIFEST_NAME, canonical_dumps(payload).encode("utf-8")
     )
+
+
+def append_manifest_delta(
+    directory: Path,
+    generation: int,
+    segment: str,
+    entries: "Sequence[SegmentEntry]",
+    columns: SegmentColumns,
+) -> bool:
+    """Publish one freshly written segment with a single fsynced append.
+
+    The O(delta) publication path: one line in the current generation's
+    delta log instead of a full checkpoint rewrite.  The line only becomes
+    meaningful through the already-committed root (which names this log),
+    so the append itself is the commit -- readers replaying the log see
+    the segment exactly when the line is durable.  If the log's tail is
+    torn (a previous appender crashed mid-write), a newline is prepended
+    first so the torn bytes collapse into one skippable bad line instead
+    of corrupting this one.
+    """
+    payload = canonical_dumps(
+        {
+            "segment": segment,
+            "entries": {
+                e.key: [e.offset, e.length, e.checksum] for e in entries
+            },
+            "columns": {
+                "count": columns.count,
+                "columns_offset": columns.offset,
+                "columns_length": columns.length,
+                "columns_checksum": columns.checksum,
+            },
+        }
+    ).encode("utf-8")
+    line = b"D " + short_checksum(payload).encode("ascii") + b" " + payload + b"\n"
+    path = directory / MANIFEST_DIR_NAME / delta_log_name(generation)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        repair = b""
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        repair = b"\n"
+        except FileNotFoundError:
+            pass
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, repair + line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    except OSError:
+        return False
+    return True
+
+
+def gc_unreferenced(
+    directory: Path, manifest: Manifest, warn: "WarnFn" = _default_warn
+) -> tuple[int, int]:
+    """Remove every segment and manifest file the committed root no longer
+    references; returns ``(segments_removed, manifest_files_removed)``.
+
+    Only safe *after* a checkpoint swap and under the compaction lock:
+    anything unreferenced then is either superseded (its records were
+    rewritten into the new generation) or an orphan from a killed
+    compactor/merger.  A reader that loaded the previous root just before
+    GC can transiently see its segments as missing-with-warning; a reload
+    self-heals, and no committed data is ever touched.
+    """
+    live = set(manifest.segments)
+    removed_segments = removed_manifest = 0
+    for path in directory.glob(SEGMENT_PATTERN):
+        if path.name in live:
+            continue
+        try:
+            path.unlink()
+            removed_segments += 1
+        except OSError:
+            pass
+    keep = {shard_file_name(manifest.generation, sid) for sid in SHARD_IDS}
+    keep.add(delta_log_name(manifest.generation))
+    manifest_dir = directory / MANIFEST_DIR_NAME
+    if manifest_dir.is_dir():
+        for path in manifest_dir.iterdir():
+            if path.name in keep:
+                continue
+            try:
+                path.unlink()
+                removed_manifest += 1
+            except OSError:
+                pass
+    return removed_segments, removed_manifest

@@ -85,6 +85,7 @@ __all__ = [
     "LEASE_DIR_NAME",
     "SCHEMA_VERSION",
     "CompactionReport",
+    "MergeReport",
     "StoreStats",
     "SweepStore",
     "default_owner_id",
@@ -188,6 +189,39 @@ class CompactionReport:
 
 
 @dataclass(frozen=True)
+class MergeReport:
+    """Outcome of one :meth:`SweepStore.merge` pass.
+
+    Attributes:
+        sealed: loose records compacted into segments before merging.
+        merged: sealed records rewritten into generation-tagged segments
+            (0 when the store was already fully merged -- merge is
+            idempotent).
+        segments: generation-tagged segment files written this pass.
+        generation: the store's manifest generation after the pass.
+        gc_segments: superseded or orphaned segment files removed.
+        gc_manifest: stale manifest shard/delta files removed.
+    """
+
+    sealed: int
+    merged: int
+    segments: int
+    generation: int
+    gc_segments: int
+    gc_manifest: int
+
+    @property
+    def summary_line(self) -> str:
+        """Stable machine-readable one-liner (``MERGE sealed=... ...``);
+        fields are append-only, like every other summary-line contract."""
+        return (
+            f"MERGE sealed={self.sealed} merged={self.merged} "
+            f"segments={self.segments} generation={self.generation} "
+            f"gc_segments={self.gc_segments} gc_manifest={self.gc_manifest}"
+        )
+
+
+@dataclass(frozen=True)
 class StoreStats:
     """Backend census of one store directory."""
 
@@ -195,15 +229,34 @@ class StoreStats:
     sealed: int
     segments: int
     leases: int = 0
+    generation: int = 0
+    shards: int = 0
+    deltas: int = 0
 
     def describe(self) -> str:
         text = (
             f"{self.loose} loose + {self.sealed} sealed records "
             f"in {self.segments} segment(s)"
         )
+        if self.generation:
+            text += (
+                f", generation {self.generation} "
+                f"({self.shards} shard(s), {self.deltas} delta(s))"
+            )
         if self.leases:
             text += f", {self.leases} active lease(s)"
         return text
+
+    @property
+    def summary_line(self) -> str:
+        """Stable machine-readable one-liner (``STATS loose=... ...``) for
+        the ``stats`` subcommand and scripts; fields are append-only."""
+        return (
+            f"STATS loose={self.loose} sealed={self.sealed} "
+            f"segments={self.segments} generation={self.generation} "
+            f"shards={self.shards} deltas={self.deltas} "
+            f"leases={self.leases}"
+        )
 
 
 class SweepStore:
@@ -290,13 +343,17 @@ class SweepStore:
         return len(prefixes)
 
     def stats(self) -> StoreStats:
-        """Loose/sealed record counts, segment census, and active leases."""
+        """Loose/sealed record counts, segment/generation census, and
+        active leases."""
         manifest = self._current_manifest()
         return StoreStats(
             loose=sum(1 for _ in self.loose_paths()),
             sealed=len(manifest.entries) if manifest is not None else 0,
             segments=len(manifest.segments) if manifest is not None else 0,
             leases=sum(1 for _ in self.lease_paths()),
+            generation=manifest.generation if manifest is not None else 0,
+            shards=manifest.shard_count if manifest is not None else 0,
+            deltas=manifest.delta_records if manifest is not None else 0,
         )
 
     def missing_keys(self, keys: "Iterable[str]") -> "Iterator[str]":
@@ -430,8 +487,15 @@ class SweepStore:
         return self.directory / LEASE_DIR_NAME
 
     def lease_path(self, key: str) -> Path:
-        """Lease file backing ``key`` (exists iff some worker claims it)."""
-        return self.lease_dir / f"{key[:40]}.lease"
+        """Lease file backing ``key`` (exists iff some worker claims it).
+
+        ``key`` is any claimable resource name: a full scenario key (never
+        truncated -- two keys sharing a long prefix must not share a lease
+        file and silently serialize or cross-release each other) or a
+        ``range-<checksum>`` block name from the range-lease protocol
+        (:mod:`repro.sweeps.distributed`).
+        """
+        return self.lease_dir / f"{key}.lease"
 
     def lease_paths(self) -> "Iterator[Path]":
         """Every lease file currently on disk (live or expired)."""
@@ -838,9 +902,14 @@ class SweepStore:
 
         Unreadable or foreign-generation loose files are skipped, never
         destroyed.
-        """
-        from repro import __version__
 
+        Publication cost: on a store whose manifest is already format v2,
+        the new segment is published with one fsynced append to the
+        current generation's delta log -- O(new records), not O(store).
+        Stores with no manifest yet, or with a v1 (or foreign-generation)
+        root, get a full v2 checkpoint at the next generation instead,
+        which is also what migrates a v1 store forward.
+        """
         lock = self._acquire_compaction_lock()
         if lock is None:
             self._warn(
@@ -850,88 +919,311 @@ class SweepStore:
             )
             return CompactionReport(sealed=0, deduped=0, skipped=0, segment=None)
         try:
-            # Re-read the manifest under the lock: this instance's cache
-            # may predate another process's compaction.
-            self._manifest = _UNLOADED
-            manifest = self._current_manifest()
-            sealed_keys = set(manifest.entries) if manifest is not None else set()
-            wanted = None if keys is None else set(keys)
+            return self._compact_locked(keys)
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
 
-            # With an explicit key set (the --seal per-chunk path), visit
-            # only those keys' own files -- the loose filename is derived
-            # from the key -- instead of parsing the whole directory per
-            # chunk, which would make a sealed sweep quadratic in size.
-            if wanted is None:
-                candidates = sorted(self.loose_paths())
-            else:
-                candidates = sorted({self.path(key) for key in wanted})
+    def _compact_locked(self, keys: "Iterable[str] | None" = None) -> CompactionReport:
+        """:meth:`compact` body; caller must hold the compaction lock."""
+        from repro import __version__
 
-            to_seal: list[tuple[Path, str, dict]] = []
-            deduped = skipped = 0
-            for path in candidates:
-                if not path.exists():
-                    continue
-                record = self._load(path)
-                if record is None:
-                    skipped += 1
-                    continue
-                key = record.get("key")
-                if not isinstance(key, str) or not key:
-                    skipped += 1
-                    continue
-                if not self._generation_ok(record, path.name):
-                    skipped += 1
-                    continue
-                if wanted is not None and key not in wanted:
-                    continue
-                if key in sealed_keys:
-                    deduped += 1
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
-                    continue
-                to_seal.append((path, key, record))
-            if not to_seal:
-                return CompactionReport(
-                    sealed=0, deduped=deduped, skipped=skipped, segment=None
-                )
+        # Re-read the manifest under the lock: this instance's cache
+        # may predate another process's compaction.
+        self._manifest = _UNLOADED
+        raw = self.manifest()
+        manifest = self._current_manifest()
+        sealed_keys = set(manifest.entries) if manifest is not None else set()
+        wanted = None if keys is None else set(keys)
 
-            to_seal.sort(key=lambda item: item[1])
-            written = seg.write_segment(
-                self.directory, [record for _, _, record in to_seal]
+        # With an explicit key set (the --seal per-chunk path), visit
+        # only those keys' own files -- the loose filename is derived
+        # from the key -- instead of parsing the whole directory per
+        # chunk, which would make a sealed sweep quadratic in size.
+        if wanted is None:
+            candidates = sorted(self.loose_paths())
+        else:
+            candidates = sorted({self.path(key) for key in wanted})
+
+        to_seal: list[tuple[Path, str, dict]] = []
+        deduped = skipped = 0
+        for path in candidates:
+            if not path.exists():
+                continue
+            record = self._load(path)
+            if record is None:
+                skipped += 1
+                continue
+            key = record.get("key")
+            if not isinstance(key, str) or not key:
+                skipped += 1
+                continue
+            if not self._generation_ok(record, path.name):
+                skipped += 1
+                continue
+            if wanted is not None and key not in wanted:
+                continue
+            if key in sealed_keys:
+                deduped += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            to_seal.append((path, key, record))
+        if not to_seal:
+            return CompactionReport(
+                sealed=0, deduped=deduped, skipped=skipped, segment=None
             )
-            if written is None:
-                raise OSError(
-                    f"failed to write packed segment in {self.directory}"
-                )
-            name, entries, columns = written
 
-            old_entries = dict(manifest.entries) if manifest is not None else {}
-            old_segments = dict(manifest.segments) if manifest is not None else {}
-            for entry in entries:
-                old_entries[entry.key] = entry
-            old_segments[name] = columns
+        to_seal.sort(key=lambda item: item[1])
+        written = seg.write_segment(
+            self.directory, [record for _, _, record in to_seal]
+        )
+        if written is None:
+            raise OSError(
+                f"failed to write packed segment in {self.directory}"
+            )
+        name, entries, columns = written
+
+        old_entries = dict(manifest.entries) if manifest is not None else {}
+        old_segments = dict(manifest.segments) if manifest is not None else {}
+        for entry in entries:
+            old_entries[entry.key] = entry
+        old_segments[name] = columns
+        if manifest is not None and manifest.manifest_version >= seg.MANIFEST_VERSION:
+            # O(delta) publish: one fsynced line in the current
+            # generation's delta log; the root is untouched.
+            if not seg.append_manifest_delta(
+                self.directory, manifest.generation, name, entries, columns
+            ):
+                raise OSError(
+                    f"failed to append manifest delta in {self.directory}; "
+                    f"loose records were kept"
+                )
             new_manifest = seg.Manifest(
                 entries=old_entries,
                 segments=old_segments,
                 schema_version=SCHEMA_VERSION,
                 engine_version=__version__,
+                generation=manifest.generation,
+                manifest_version=manifest.manifest_version,
+                shard_count=manifest.shard_count,
+                delta_records=manifest.delta_records + 1,
+            )
+        else:
+            # No usable index yet (fresh store, v1 root, or a foreign
+            # generation's root): full checkpoint at the next generation.
+            # ``raw`` (the pre-generation-gate read) supplies the base so
+            # a foreign root's delta log is never reused.
+            generation = (raw.generation if raw is not None else 0) + 1
+            new_manifest = seg.Manifest(
+                entries=old_entries,
+                segments=old_segments,
+                schema_version=SCHEMA_VERSION,
+                engine_version=__version__,
+                generation=generation,
+                manifest_version=seg.MANIFEST_VERSION,
+                shard_count=len({seg.shard_id(k) for k in old_entries}),
+                delta_records=0,
             )
             if not seg.write_manifest(self.directory, new_manifest):
                 raise OSError(
                     f"failed to swap manifest in {self.directory}; "
                     f"loose records were kept"
                 )
-            self._manifest = new_manifest
-            for path, _, _ in to_seal:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-            return CompactionReport(
-                sealed=len(to_seal), deduped=deduped, skipped=skipped,
-                segment=name,
+        self._manifest = new_manifest
+        for path, _, _ in to_seal:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return CompactionReport(
+            sealed=len(to_seal), deduped=deduped, skipped=skipped,
+            segment=name,
+        )
+
+    #: Records per generation-tagged segment a merge aims for: large
+    #: enough that a 10^5-record store collapses to a dozen-odd segments,
+    #: small enough that one segment's bulk read stays cheap.
+    DEFAULT_MERGE_TARGET = 8192
+
+    def merge(self, target_records: int | None = None) -> MergeReport:
+        """Fold the store down to one fresh generation: seal loose records,
+        rewrite every live segment into large generation-tagged
+        ``segment-gGGGG-NNNNNN.seg`` files, checkpoint the manifest (delta
+        log folded into new shards), and garbage-collect everything the
+        new root no longer references.
+
+        Properties:
+
+        - **idempotent**: a store already at a single generation with an
+          empty delta log is rewritten zero times (``merged=0``); only GC
+          of stray orphans runs.
+        - **kill-safe at every point**: new segments and shards are
+          invisible until the atomic root swap; a merge killed before the
+          swap leaves only orphans (collected by the next merge), killed
+          after it leaves only superseded files (same).  Every key reads
+          identically before, during, and after.
+        - **concurrent-compactor-safe**: serialized by the same exclusive
+          lock as :meth:`compact`; the loser skips.
+        - **migration**: a v1-root store comes out the other side as a v2
+          sharded store -- this is the one-shot upgrade path.
+
+        A foreign-generation root (older engine/schema) is refused whole:
+        merging would garbage-collect data this engine cannot re-read.
+        """
+        from repro import __version__
+
+        target = target_records or self.DEFAULT_MERGE_TARGET
+        if target <= 0:
+            raise ValueError(f"target_records must be positive, got {target}")
+        lock = self._acquire_compaction_lock()
+        if lock is None:
+            self._warn(
+                "merge:locked",
+                f"sweep store: another compaction of {self.directory} is in "
+                f"progress; skipping merge (rerun later)",
+            )
+            return MergeReport(
+                sealed=0, merged=0, segments=0, generation=0,
+                gc_segments=0, gc_manifest=0,
+            )
+        try:
+            self._manifest = _UNLOADED
+            root_exists = (self.directory / seg.MANIFEST_NAME).exists()
+            raw = self.manifest()
+            if root_exists and raw is None:
+                # Corrupt or unsupported root: compact() can rebuild an
+                # index, but GC against a broken one would delete data.
+                self._warn(
+                    "merge:unreadable-root",
+                    f"sweep store: refusing to merge {self.directory} over "
+                    f"an unreadable manifest; run compact first",
+                )
+                return MergeReport(
+                    sealed=0, merged=0, segments=0, generation=0,
+                    gc_segments=0, gc_manifest=0,
+                )
+            if raw is not None and self._current_manifest() is None:
+                self._warn(
+                    "merge:foreign-root",
+                    f"sweep store: refusing to merge {self.directory}: its "
+                    f"manifest belongs to engine {raw.engine_version!r} / "
+                    f"schema {raw.schema_version!r} (this engine cannot "
+                    f"re-read what merge would garbage-collect)",
+                )
+                return MergeReport(
+                    sealed=0, merged=0, segments=0,
+                    generation=raw.generation,
+                    gc_segments=0, gc_manifest=0,
+                )
+
+            sealed = self._compact_locked(None).sealed
+            manifest = self._current_manifest()
+            if manifest is None:
+                # Nothing loose, nothing sealed: an empty store.
+                return MergeReport(
+                    sealed=sealed, merged=0, segments=0, generation=0,
+                    gc_segments=0, gc_manifest=0,
+                )
+
+            needs_rewrite = (
+                manifest.manifest_version < seg.MANIFEST_VERSION
+                or manifest.delta_records > 0
+                or any(
+                    seg.segment_generation(name) != manifest.generation
+                    for name in manifest.segments
+                )
+            )
+            merged = 0
+            new_segments_written = 0
+            if needs_rewrite:
+                # Bulk-read every live record, grouped by segment (one
+                # file read per segment, never per record).
+                records_by_key: dict[str, dict] = {}
+                for name in sorted(manifest.segments):
+                    path = self.directory / name
+                    try:
+                        data = path.read_bytes()
+                    except OSError as exc:
+                        self._warn(
+                            f"{name}:missing",
+                            f"sweep store: manifest points at unreadable "
+                            f"segment {name} ({exc}); its records read as "
+                            f"missing",
+                        )
+                        continue
+                    for key, record in seg.iter_segment_records(
+                        data, name, warn=self._warn
+                    ):
+                        entry = manifest.entries.get(key)
+                        if entry is None or entry.segment != name:
+                            continue
+                        if record.get("key") != key:
+                            continue
+                        if self._generation_ok(record, f"{name}:{key[:12]}"):
+                            records_by_key[key] = record
+                lost = len(manifest.entries) - len(records_by_key)
+                if lost:
+                    self._warn(
+                        "merge:unreadable-records",
+                        f"sweep store: {lost} sealed record(s) of "
+                        f"{self.directory} are unreadable and stay missing "
+                        f"after the merge (they already read as missing)",
+                    )
+
+                new_generation = manifest.generation + 1
+                ordered = sorted(records_by_key)
+                namer = seg.generation_segment_namer(new_generation)
+                new_entries: dict = {}
+                new_cols: dict = {}
+                for start in range(0, len(ordered), target):
+                    chunk = ordered[start : start + target]
+                    written = seg.write_segment(
+                        self.directory,
+                        [records_by_key[k] for k in chunk],
+                        namer=namer,
+                    )
+                    if written is None:
+                        raise OSError(
+                            f"failed to write merged segment in {self.directory}"
+                        )
+                    name, entries, columns = written
+                    for entry in entries:
+                        new_entries[entry.key] = entry
+                    new_cols[name] = columns
+                manifest = seg.Manifest(
+                    entries=new_entries,
+                    segments=new_cols,
+                    schema_version=SCHEMA_VERSION,
+                    engine_version=__version__,
+                    generation=new_generation,
+                    manifest_version=seg.MANIFEST_VERSION,
+                    shard_count=len({seg.shard_id(k) for k in new_entries}),
+                    delta_records=0,
+                )
+                if not seg.write_manifest(self.directory, manifest):
+                    raise OSError(
+                        f"failed to checkpoint manifest in {self.directory}; "
+                        f"the previous generation is untouched"
+                    )
+                self._manifest = manifest
+                merged = len(ordered)
+                new_segments_written = len(new_cols)
+
+            gc_segments, gc_manifest = seg.gc_unreferenced(
+                self.directory, manifest, warn=self._warn
+            )
+            return MergeReport(
+                sealed=sealed,
+                merged=merged,
+                segments=new_segments_written,
+                generation=manifest.generation,
+                gc_segments=gc_segments,
+                gc_manifest=gc_manifest,
             )
         finally:
             try:
@@ -965,6 +1257,17 @@ class SweepStore:
             (self.directory / seg.MANIFEST_NAME).unlink()
         except OSError:
             pass
+        manifest_dir = self.directory / seg.MANIFEST_DIR_NAME
+        if manifest_dir.is_dir():
+            for path in list(manifest_dir.iterdir()):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            try:
+                manifest_dir.rmdir()
+            except OSError:
+                pass
         self._manifest = _UNLOADED
         # A cleared store is new data: re-arm its warning dedup so problems
         # in the directory's next life are reported afresh.
