@@ -1,0 +1,171 @@
+"""Zero-copy read gate: mmap'd binary sidecars vs the JSON columnar path.
+
+The acceptance bar for the zero-copy envelope (PR 8), measured on a
+10^5-record store:
+
+- **sidecar bulk load >= 5x faster** -- ``analysis_columns()`` over a
+  store whose segments carry binary columnar sidecars must beat the same
+  store read through its JSON columnar blocks by at least 5x, measured
+  as *load + consume every numeric metric column*.  The sidecar path
+  memory-maps each ``segment-*.cols`` file and serves null-free numeric
+  columns as NumPy views over the mapping (no parse, no copy); the JSON
+  path pays one ``json.loads`` per segment over megabytes of block.
+
+Alongside the speed gate, the parity gates assert what makes it
+trustworthy: both paths must produce identical aggregates, and the
+sidecar path must actually serve ndarray views (if it silently degraded
+to lists, the speedup would be measuring nothing).
+"""
+
+import hashlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import __version__
+from repro.sweeps import SweepStore
+from repro.sweeps import segments as seg
+from repro.sweeps.store import SCHEMA_VERSION
+
+RECORDS = 100_000
+GATE = 5.0
+NUMERIC_COLUMNS = ("analytic_success", "success_rate", "runtime_us", "shots", "num_cz")
+
+
+def synth_record(i: int) -> tuple[str, dict]:
+    """A schema-complete record shaped like real sweep output, already
+    carrying the envelope fields ``put`` would add (so it can be packed
+    into segments directly, skipping 10^5 loose-file writes)."""
+    key = hashlib.sha256(f"perf-mmap-{i}".encode()).hexdigest()
+    return key, {
+        "key": key,
+        "schema_version": SCHEMA_VERSION,
+        "engine_version": __version__,
+        "scenario": {
+            "benchmark": ("ADD", "QAOA", "MUL", "QFT")[i % 4],
+            "technique": ("parallax", "graphine", "eldi")[i % 3],
+            "shots": 1000,
+            "seed": 17 * i + 3,
+            "spec_name": "quera_aquila",
+            "spec_overrides": {"cz_error": 0.0012 * (1 + i % 5)},
+            "noise": {"include_readout": bool(i % 2)},
+            "fingerprints": {
+                "circuit": "c" * 64, "spec": "s" * 64, "config": "g" * 64,
+            },
+        },
+        "result": {
+            "num_cz": 100 + i % 37, "num_u3": 200 + i % 53, "num_ccz": i % 3,
+            "num_swaps": i % 7, "num_moves": 40 + i % 11,
+            "trap_change_events": i % 5, "num_layers": 20 + i % 13,
+            "runtime_us": 500.0 + 0.25 * (i % 997),
+        },
+        "outcome": {
+            "shots": 1000, "successes": 600 + i % 300,
+            "gate_failures": 100 + i % 50, "movement_failures": 80 + i % 40,
+            "decoherence_failures": 60 + i % 30, "readout_failures": i % 20,
+            "success_rate": (600 + i % 300) / 1000.0,
+            "stderr": 0.015 + 1e-5 * (i % 100),
+        },
+        "analytic_success": 0.62 + 1e-4 * (i % 1000),
+    }
+
+
+def _packed_store(directory, sidecars: bool) -> SweepStore:
+    """One 10^5-record generation-1 store, sealed with or without binary
+    sidecars -- same records, same segments, same manifest shape, so the
+    only difference the benchmark can measure is the read path."""
+    directory.mkdir()
+    records = dict(synth_record(i) for i in range(RECORDS))
+    ordered = sorted(records)
+    entries: dict = {}
+    columns: dict = {}
+    namer = seg.generation_segment_namer(1)
+    with seg.use_sidecars(sidecars):
+        for start in range(0, RECORDS, SweepStore.DEFAULT_MERGE_TARGET):
+            chunk = [
+                records[k]
+                for k in ordered[start : start + SweepStore.DEFAULT_MERGE_TARGET]
+            ]
+            name, segment_entries, segment_columns = seg.write_segment(
+                directory, chunk, namer=namer
+            )
+            for entry in segment_entries:
+                entries[entry.key] = entry
+            columns[name] = segment_columns
+    manifest = seg.Manifest(
+        entries=entries,
+        segments=columns,
+        schema_version=SCHEMA_VERSION,
+        engine_version=__version__,
+        generation=1,
+        manifest_version=seg.MANIFEST_VERSION,
+    )
+    assert seg.write_manifest(directory, manifest)
+    return SweepStore(directory)
+
+
+@pytest.fixture(scope="module")
+def store_pair(tmp_path_factory):
+    base = tmp_path_factory.mktemp("perf-mmap")
+    sidecar_store = _packed_store(base / "sidecar", sidecars=True)
+    json_store = _packed_store(base / "jsononly", sidecars=False)
+    assert len(list((base / "sidecar").glob(seg.SIDECAR_PATTERN))) > 1
+    assert list((base / "jsononly").glob(seg.SIDECAR_PATTERN)) == []
+    return sidecar_store, json_store
+
+
+def _best_of(fn, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _load_and_consume(store: SweepStore) -> float:
+    """One query-layer read: bulk-load the store's analysis columns and
+    aggregate every numeric metric column -- the work a serving layer
+    does per cold query, whichever rung serves it."""
+    names, columns = store.analysis_columns()
+    by_name = dict(zip(names, columns))
+    total = 0.0
+    for name in NUMERIC_COLUMNS:
+        column = by_name[name]
+        if isinstance(column, np.ndarray):
+            total += float(column.sum())
+        else:
+            total += float(sum(seg.materialize_column(column)))
+    return total
+
+
+def test_sidecar_bulk_load_at_least_5x_faster_than_json(store_pair, perf):
+    sidecar_store, json_store = store_pair
+
+    # Parity first: identical aggregates, or the speedup measures nothing.
+    assert _load_and_consume(sidecar_store) == _load_and_consume(json_store)
+
+    # The sidecar path must actually serve zero-copy ndarray views.
+    names, columns = sidecar_store.analysis_columns()
+    by_name = dict(zip(names, columns))
+    for name in NUMERIC_COLUMNS:
+        assert isinstance(by_name[name], np.ndarray), name
+
+    t_sidecar = _best_of(lambda: _load_and_consume(sidecar_store), rounds=5)
+    t_json = _best_of(lambda: _load_and_consume(json_store), rounds=3)
+    speedup = t_json / t_sidecar
+    perf(
+        "store_mmap.sidecar_vs_json",
+        records=RECORDS,
+        segments=sidecar_store.stats().segments,
+        sidecar_s=t_sidecar,
+        json_s=t_json,
+        speedup=speedup,
+        gate=GATE,
+    )
+    assert speedup >= GATE, (
+        f"mmap'd sidecar bulk load only {speedup:.1f}x faster than the "
+        f"JSON columnar path ({t_sidecar * 1e3:.1f} ms vs "
+        f"{t_json * 1e3:.1f} ms over {RECORDS} records)"
+    )

@@ -12,9 +12,12 @@ Examples::
         --noise-axis include_readout=false,true --shots 2000
     python -m repro.sweeps worker sweep-out --preset smoke --shots 200
     python -m repro.sweeps worker sweep-out --preset smoke --lease-range 64
+    python -m repro.sweeps --eval-jobs 8 --seal --merge-every 4 --store sweep-out
     python -m repro.sweeps compact sweep-out
     python -m repro.sweeps merge sweep-out
+    python -m repro.sweeps merge sweep-out --jobs 4
     python -m repro.sweeps stats sweep-out
+    python -m repro.sweeps stats sweep-out --json
     python -m repro.sweeps analyze sweep-out
     python -m repro.sweeps analyze sweep-out --metric success_rate \\
         --axis cz_error --csv sweep-out.csv
@@ -54,10 +57,16 @@ manifest delta log is checkpointed into fresh key-prefix shards, and
 everything superseded is garbage-collected.  Idempotent, kill-safe at
 every point, and the one-shot migration path for manifest-v1 stores.
 Prints one stable ``MERGE sealed=... merged=... generation=...`` line.
-``--merge`` on a sweep run merges once the sweep finishes.
+``--merge`` on a sweep run merges once the sweep finishes; ``merge
+--jobs N`` rewrites the merged segments over a process pool
+(byte-identical output); ``--merge-every N`` on a run or worker folds
+segments *mid-sweep* whenever the pending manifest delta count reaches
+N, electing at most one merger at a time through the exclusive merge
+lock.
 
 ``stats`` prints the store census -- one stable ``STATS loose=... ``
-line plus a human-readable summary -- without running anything.
+line plus a human-readable summary -- without running anything;
+``stats --json`` emits the same fields as one JSON object.
 
 ``analyze`` loads a store into the unified
 :class:`~repro.sweeps.analysis.ResultTable` (bulk-reading packed segments
@@ -245,13 +254,20 @@ def _merge_main(argv: list[str]) -> int:
         help="records per merged segment (default: "
         f"{SweepStore.DEFAULT_MERGE_TARGET})",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="rewrite merged segments over an N-process pool (the output "
+        "is byte-identical to a serial merge; default: serial)",
+    )
     args = parser.parse_args(argv)
     if args.target_records is not None and args.target_records <= 0:
         parser.error("--target-records must be positive")
+    if args.jobs is not None and args.jobs <= 0:
+        parser.error("--jobs must be positive")
 
     store = SweepStore(args.store)
     try:
-        report = store.merge(target_records=args.target_records)
+        report = store.merge(target_records=args.target_records, jobs=args.jobs)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -271,9 +287,19 @@ def _stats_main(argv: list[str]) -> int:
         "docs/store-format.md), then a human-readable summary.",
     )
     parser.add_argument("store", help="sweep store directory to inspect")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the census as one JSON object (same fields as the "
+        "STATS line) instead of prose, for fleet tooling",
+    )
     args = parser.parse_args(argv)
 
     stats = SweepStore(args.store).stats()
+    if args.json:
+        import json
+
+        print(json.dumps(stats.as_dict(), sort_keys=True))
+        return 0
     print(stats.summary_line)
     print(f"store: {args.store} ({stats.describe()})")
     return 0
@@ -364,6 +390,12 @@ def _worker_main(argv: list[str]) -> int:
         "in batches (see the compact subcommand)",
     )
     parser.add_argument(
+        "--merge-every", type=int, default=None, metavar="N",
+        help="with --seal, fold segments once the store's pending manifest "
+        "delta count reaches N (the exclusive merge lock elects at most "
+        "one merging worker at a time; see the merge subcommand)",
+    )
+    parser.add_argument(
         "--lease-range", type=int, default=1, metavar="N",
         help="claim contiguous blocks of N key-sorted scenarios per lease "
         "file instead of one key per lease (amortizes lease metadata "
@@ -378,6 +410,11 @@ def _worker_main(argv: list[str]) -> int:
     args = parser.parse_args(argv)
     if args.ttl is not None and args.ttl <= 0:
         parser.error("--ttl must be positive")
+    if args.merge_every is not None:
+        if args.merge_every <= 0:
+            parser.error("--merge-every must be positive")
+        if not args.seal:
+            parser.error("--merge-every requires --seal")
     if args.lease_range <= 0:
         parser.error("--lease-range must be positive")
     grid = _grid_from_args(parser, args)
@@ -392,6 +429,7 @@ def _worker_main(argv: list[str]) -> int:
         owner=args.owner,
         ttl_s=args.ttl if args.ttl is not None else DEFAULT_LEASE_TTL_S,
         seal=args.seal,
+        merge_every=args.merge_every,
         limit=args.limit,
         lease_range=args.lease_range,
         log=None if args.quiet else print,
@@ -452,6 +490,12 @@ def _run_main(argv: list[str]) -> int:
         "checkpointed manifest, superseded files collected",
     )
     parser.add_argument(
+        "--merge-every", type=int, default=None, metavar="N",
+        help="with --seal, fold segments mid-sweep whenever the pending "
+        "manifest delta count reaches N, so long fleets never accumulate "
+        "unbounded deltas (see the merge subcommand)",
+    )
+    parser.add_argument(
         "--lease-range", type=int, default=1, metavar="N",
         help="with --workers, claim contiguous blocks of N key-sorted "
         "scenarios per lease file (see the worker subcommand; default: 1)",
@@ -480,6 +524,11 @@ def _run_main(argv: list[str]) -> int:
         parser.error("--seal requires --store")
     if args.merge and not args.store:
         parser.error("--merge requires --store")
+    if args.merge_every is not None:
+        if args.merge_every <= 0:
+            parser.error("--merge-every must be positive")
+        if not args.seal:
+            parser.error("--merge-every requires --seal")
     if args.workers is not None and not args.store:
         parser.error("--workers requires --store")
     if args.workers is not None and args.workers <= 0:
@@ -495,7 +544,8 @@ def _run_main(argv: list[str]) -> int:
     report = run_sweep(
         grid, store, resume=args.resume, workers=args.workers or args.jobs,
         eval_workers=args.eval_jobs, limit=args.limit, seal=args.seal,
-        merge=args.merge, distributed=args.workers is not None,
+        merge=args.merge, merge_every=args.merge_every,
+        distributed=args.workers is not None,
         lease_range=args.lease_range, log=log,
     )
 

@@ -149,6 +149,26 @@ def record_row(record: "Mapping") -> dict:
     return row
 
 
+def _plain_values(values) -> list:
+    """Normalize one column to a plain Python list of plain Python values.
+
+    The zero-copy store path hands :class:`ResultTable` NumPy array views
+    and lazily decoded sidecar columns; everything downstream (sort
+    tokens, ``isinstance(v, int)`` axis detection, CSV formatting) assumes
+    pure-Python scalars -- ``np.int64`` is *not* an ``int`` -- so columns
+    normalize exactly once, here, at the access boundary.  Duck-typed
+    (``materialize``/``tolist``) so this module needs neither NumPy nor
+    :mod:`repro.sweeps.segments` imports.
+    """
+    materialize = getattr(values, "materialize", None)
+    if materialize is not None:
+        return materialize()
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return values if isinstance(values, list) else list(values)
+
+
 def _sort_token(value: object) -> tuple:
     """Total order over mixed axis values (None < numbers < everything else)."""
     if value is None:
@@ -204,13 +224,32 @@ class ResultTable:
         columns: "Mapping[str, Sequence]",
         title: str = "results",
     ) -> None:
-        self._columns: dict[str, list] = {
-            name: list(values) for name, values in columns.items()
+        # Columnar backends (NumPy views over an mmap'd sidecar, lazy
+        # sidecar columns) are adopted without copying or decoding --
+        # anything with ``materialize``/``tolist`` converts on first
+        # access through ``_list`` instead.  Plain sequences are copied
+        # into lists exactly as before.
+        self._columns: dict = {
+            name: (
+                values
+                if hasattr(values, "materialize") or hasattr(values, "tolist")
+                else list(values)
+            )
+            for name, values in columns.items()
         }
         lengths = {len(values) for values in self._columns.values()}
         if len(lengths) > 1:
             raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
         self.title = title
+
+    def _list(self, name: str) -> list:
+        """One column as a cached plain-Python list (the normalization
+        boundary for lazy/NumPy-backed columns)."""
+        values = self._columns[name]
+        if type(values) is not list:
+            values = _plain_values(values)
+            self._columns[name] = values
+        return values
 
     # -- construction ----------------------------------------------------------
 
@@ -242,13 +281,16 @@ class ResultTable:
         """Load every readable record of ``store`` in key order.
 
         Stores holding packed segments (see :meth:`SweepStore.compact`)
-        take the bulk fast path: each sealed segment's columnar block is
-        one read + one parse that yields ready-made columns, so loading is
-        O(segments) instead of O(records) file opens -- ~10x+ faster at
-        10^4 records (gated in ``benchmarks/test_perf_store_load.py``) and
-        identical, down to the CSV bytes, to the loose per-file path.
+        take the bulk fast path: segments with binary columnar sidecars
+        are memory-mapped into zero-copy NumPy views (no JSON parse at
+        all; gated >=5x over the JSON block at 10^5 records in
+        ``benchmarks/test_perf_store_mmap.py``), sidecar-less segments
+        parse their JSON columnar block in one read (~10x+ over loose at
+        10^4 records, ``benchmarks/test_perf_store_load.py``) -- and both
+        are identical, down to the CSV bytes, to the loose per-file path.
         Merged (generation-tagged) and freshly sealed segments read the
         same way; :meth:`SweepStore.merge` never changes these bytes.
+        Pure loose stores stream through :meth:`SweepStore.records`.
         """
         title = title or f"sweep results ({store.directory})"
         loader = getattr(store, "analysis_columns", None)
@@ -316,7 +358,7 @@ class ResultTable:
     @property
     def rows(self) -> tuple[tuple, ...]:
         """Row tuples in column order (ExperimentTable rendering protocol)."""
-        columns = list(self._columns.values())
+        columns = [self._list(name) for name in self._columns]
         return tuple(zip(*columns)) if columns else ()
 
     def __len__(self) -> int:
@@ -325,7 +367,7 @@ class ResultTable:
     def column(self, name: str) -> list:
         """One column as a list; raises ``KeyError`` naming valid columns."""
         try:
-            return list(self._columns[name])
+            return list(self._list(name))
         except KeyError:
             raise KeyError(
                 f"no column {name!r}; available: {list(self._columns)}"
@@ -351,7 +393,10 @@ class ResultTable:
             if all(cols[name][i] == value for name, value in where.items())
         ]
         return ResultTable(
-            {name: [vs[i] for i in keep] for name, vs in self._columns.items()},
+            {
+                name: [values[i] for i in keep]
+                for name, values in ((n, self._list(n)) for n in self._columns)
+            },
             title=self.title,
         )
 

@@ -70,7 +70,7 @@ from dataclasses import dataclass, field
 
 from repro.core.serialize import short_checksum
 from repro.experiments.common import ExperimentSettings, compile_points
-from repro.sweeps.engine import evaluate_task
+from repro.sweeps.engine import evaluate_task, maybe_merge_store
 from repro.sweeps.grid import SweepGrid
 from repro.sweeps.runner import SweepReport, plan_sweep
 from repro.sweeps.store import DEFAULT_LEASE_TTL_S, SweepStore, default_owner_id
@@ -201,6 +201,7 @@ def run_worker(
     owner: str | None = None,
     ttl_s: float = DEFAULT_LEASE_TTL_S,
     seal: bool = False,
+    merge_every: int | None = None,
     limit: int | None = None,
     lease_range: int = 1,
     settings: ExperimentSettings | None = None,
@@ -227,6 +228,12 @@ def run_worker(
         seal: compact this worker's freshly written records into packed
             segments in batches (and once more on exit); content is
             unchanged, only the on-disk backend.
+        merge_every: with ``seal``, check the store's pending delta count
+            after each seal batch and fold segments once it crosses this
+            threshold (``--merge-every``).  The exclusive merge lock
+            elects at most one merging worker fleet-wide; contenders skip
+            and retry at their next batch.  Safe under any crash
+            interleaving -- merge is kill-safe at every write boundary.
         limit: work only the first ``limit`` scenarios of the grid.
         lease_range: keys per lease block (:func:`range_blocks`).  1 (the
             default) is the classic one-lease-per-key protocol; larger
@@ -265,6 +272,7 @@ def run_worker(
                     f"worker {owner}: sealed {report.sealed} records "
                     f"into {report.segment}"
                 )
+            maybe_merge_store(store, merge_every, emit, label=f"worker {owner}")
         unsealed = []
 
     def evaluate(index: int, lease_name: str, last_beat: float) -> float:
@@ -390,6 +398,7 @@ def _worker_entry(
     store_dir: str,
     ttl_s: float,
     seal: bool,
+    merge_every: int | None,
     limit: int | None,
     lease_range: int,
     settings: ExperimentSettings | None,
@@ -400,6 +409,7 @@ def _worker_entry(
         SweepStore(store_dir),
         ttl_s=ttl_s,
         seal=seal,
+        merge_every=merge_every,
         limit=limit,
         lease_range=lease_range,
         settings=settings,
@@ -413,6 +423,7 @@ def run_distributed(
     workers: int = 2,
     ttl_s: float = DEFAULT_LEASE_TTL_S,
     seal: bool = False,
+    merge_every: int | None = None,
     limit: int | None = None,
     lease_range: int = 1,
     settings: ExperimentSettings | None = None,
@@ -465,6 +476,7 @@ def run_distributed(
                         str(store.directory),
                         ttl_s,
                         seal,
+                        merge_every,
                         limit,
                         lease_range,
                         settings,
@@ -485,6 +497,7 @@ def run_distributed(
                 store,
                 ttl_s=ttl_s,
                 seal=seal,
+                merge_every=merge_every,
                 limit=limit,
                 lease_range=lease_range,
                 settings=settings,

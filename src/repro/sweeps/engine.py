@@ -44,7 +44,13 @@ if typing.TYPE_CHECKING:
     from repro.core.result import CompilationResult
     from repro.sweeps.grid import Scenario
 
-__all__ = ["EvalTask", "evaluate_task", "evaluate_tasks", "partition_tasks"]
+__all__ = [
+    "EvalTask",
+    "evaluate_task",
+    "evaluate_tasks",
+    "maybe_merge_store",
+    "partition_tasks",
+]
 
 
 @dataclass(frozen=True)
@@ -189,6 +195,31 @@ def _seal_chunk(
         )
 
 
+def maybe_merge_store(
+    store: SweepStore | None,
+    merge_every: int | None,
+    emit: "Callable[[str], None]",
+    label: str = "sweep",
+) -> None:
+    """Opportunistic merge once the pending delta count crosses a threshold.
+
+    The shared helper behind ``--merge-every``: a cheap
+    :meth:`SweepStore.pending_deltas` census decides whether to fold, and
+    the store's exclusive merge lock elects at most one merger per fleet
+    (contenders skip silently and retry at their next seal boundary).
+    Failures never lose records -- deltas just stay pending.
+    """
+    if store is None or not merge_every:
+        return
+    try:
+        report = store.maybe_merge(merge_every)
+    except OSError as exc:
+        emit(f"{label}: opportunistic merge failed ({exc}); deltas stay pending")
+        return
+    if report is not None:
+        emit(f"{label}: {report.summary_line}")
+
+
 def evaluate_tasks(
     tasks: "Sequence[EvalTask]",
     *,
@@ -196,6 +227,7 @@ def evaluate_tasks(
     workers: int = 1,
     chunk_size: int | None = None,
     seal: bool = False,
+    merge_every: int | None = None,
     log: "Callable[[str], None] | None" = None,
 ) -> list[dict]:
     """Evaluate every task, in task order, optionally sharded.
@@ -214,6 +246,10 @@ def evaluate_tasks(
             records into a packed segment as its future completes (the
             in-process path seals once at the end).  Record *content* is
             unaffected -- only the on-disk backend changes.
+        merge_every: with a store and ``seal``, fold segments via
+            :meth:`SweepStore.maybe_merge` whenever the pending delta
+            count reaches this threshold (checked at each seal boundary),
+            so long sweeps never accumulate unbounded manifest deltas.
         log: optional progress sink.
 
     Returns:
@@ -256,6 +292,7 @@ def evaluate_tasks(
                             done_count += 1
                             if seal:
                                 _seal_chunk(store, chunks[index], emit)
+                                maybe_merge_store(store, merge_every, emit)
                         emit(
                             f"sweep: evaluated {done_count}/{len(chunks)} "
                             f"shards (workers={workers})"
@@ -277,4 +314,5 @@ def evaluate_tasks(
             emit(f"sweep: evaluated {count}/{len(tasks)} scenarios")
     if seal:
         _seal_chunk(store, tasks, emit)
+        maybe_merge_store(store, merge_every, emit)
     return records

@@ -234,6 +234,7 @@ def run_sweep(
     limit: int | None = None,
     seal: bool = False,
     merge: bool = False,
+    merge_every: int | None = None,
     distributed: bool = False,
     lease_range: int = 1,
     settings: ExperimentSettings | None = None,
@@ -263,6 +264,13 @@ def run_sweep(
             finishes (``--merge``): loose records are sealed, small
             segments fold into large generation-tagged ones, and the
             manifest is checkpointed; record content is unchanged.
+        merge_every: with a store and ``seal``, opportunistically fold
+            segments *mid-sweep* whenever the pending manifest delta
+            count reaches this threshold (``--merge-every``; see
+            :meth:`SweepStore.maybe_merge`).  Requires ``seal=True`` --
+            deltas only accumulate from sealing.  In distributed runs
+            each worker checks at its own seal boundaries and the
+            exclusive merge lock elects at most one merger at a time.
         distributed: spawn ``workers`` independent work-stealing workers
             over the store's lease protocol instead of the two sharded
             pools (see :mod:`repro.sweeps.distributed`).  Distributed runs
@@ -278,6 +286,11 @@ def run_sweep(
         log: optional progress sink (e.g. ``print``).
     """
     emit_merge = log or (lambda message: None)
+    if merge_every is not None:
+        if merge_every <= 0:
+            raise ValueError(f"merge_every must be positive, got {merge_every}")
+        if not seal:
+            raise ValueError("merge_every requires seal=True (deltas only accumulate from sealing)")
     if distributed:
         from repro.sweeps.distributed import run_distributed
 
@@ -288,6 +301,7 @@ def run_sweep(
             store,
             workers=workers,
             seal=seal,
+            merge_every=merge_every,
             limit=limit,
             lease_range=lease_range,
             settings=settings,
@@ -347,7 +361,12 @@ def run_sweep(
             f"(eval_workers={eval_workers})"
         )
     computed_records = evaluate_tasks(
-        tasks, store=store, workers=eval_workers, seal=seal, log=emit
+        tasks,
+        store=store,
+        workers=eval_workers,
+        seal=seal,
+        merge_every=merge_every,
+        log=emit,
     )
     for index, record in zip(pending, computed_records):
         records[index] = record

@@ -59,6 +59,17 @@ pieces so publishing N new records costs O(N), not O(store):
   over the shard contents; a torn or corrupt line is skipped with a
   warning (its segment stays orphaned until the next merge).
 
+Each sealed segment may be shadowed by a **binary columnar sidecar**
+(``segment-*.cols``): the same columnar block re-encoded as checksummed
+little-endian typed arrays (int64/float64 + null bitmaps, offset-indexed
+UTF-8 string pools) that ``analysis_columns()`` memory-maps and serves as
+zero-copy NumPy views -- no JSON parse at all on the bulk-read path.
+Sidecars are strictly an acceleration layer: they are registered in the
+manifest (``sidecar_length``/``sidecar_checksum``, optional fields), a
+store without them reads exactly as before, and a corrupt or missing
+sidecar degrades to the JSON columnar block, then to the tolerant frame
+scan, through the same warn-once ladder as every other corruption.
+
 A **checkpoint** (:func:`write_manifest`) folds everything into fresh
 shard files at a new generation and swaps the root -- the swap is the only
 commit point, exactly as the v1 monolithic rewrite was.  **Merging**
@@ -82,11 +93,15 @@ The byte-level layout of every structure here is specified normatively in
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import mmap
 import os
 import re
+import struct
 import typing
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -94,7 +109,7 @@ from repro.core.serialize import canonical_dumps, short_checksum
 from repro.pipeline.cache import atomic_write_bytes
 
 if typing.TYPE_CHECKING:
-    from collections.abc import Callable, Iterator, Sequence
+    from collections.abc import Callable, Iterator, Mapping, Sequence
 
 __all__ = [
     "MANIFEST_DIR_NAME",
@@ -104,6 +119,10 @@ __all__ = [
     "SEGMENT_MAGIC",
     "SEGMENT_PATTERN",
     "SHARD_IDS",
+    "SIDECAR_FORMAT_VERSION",
+    "SIDECAR_MAGIC",
+    "SIDECAR_PATTERN",
+    "LazyColumn",
     "Manifest",
     "SegmentColumns",
     "SegmentEntry",
@@ -113,13 +132,19 @@ __all__ = [
     "generation_segment_namer",
     "iter_segment_records",
     "load_manifest",
+    "materialize_column",
     "next_segment_name",
     "pack_segment",
+    "pack_sidecar",
     "read_segment_columns",
     "read_segment_record",
+    "read_segment_sidecar",
     "segment_generation",
     "shard_file_name",
     "shard_id",
+    "sidecar_name",
+    "sidecars_enabled",
+    "use_sidecars",
     "write_manifest",
     "write_segment",
 ]
@@ -129,6 +154,10 @@ SEGMENT_FORMAT_VERSION = 1
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_VERSION = 2
 SEGMENT_PATTERN = "segment-*.seg"
+
+SIDECAR_MAGIC = "reprocols"
+SIDECAR_FORMAT_VERSION = 1
+SIDECAR_PATTERN = "segment-*.cols"
 
 #: Subdirectory holding manifest shards and delta logs (outside both the
 #: loose-record ``*.json`` glob and the segment namespace).
@@ -164,12 +193,22 @@ class SegmentEntry:
 
 @dataclass(frozen=True)
 class SegmentColumns:
-    """Manifest pointer to one segment's columnar analysis block."""
+    """Manifest pointer to one segment's columnar analysis block.
+
+    ``sidecar_length``/``sidecar_checksum`` describe the segment's binary
+    columnar sidecar (``segment-*.cols``) when one was written: a length
+    of 0 means "no sidecar" (pre-sidecar stores, or the write was skipped/
+    failed), and readers then use the JSON columnar block exactly as
+    before -- both fields are optional on disk, so v2 manifests from
+    older engines parse unchanged.
+    """
 
     offset: int
     length: int
     checksum: str
     count: int
+    sidecar_length: int = 0
+    sidecar_checksum: str = ""
 
 
 @dataclass(frozen=True)
@@ -235,12 +274,345 @@ def segment_generation(name: str) -> int:
     return int(match.group(1)) if match else 0
 
 
+# -- binary columnar sidecars --------------------------------------------------
+#
+# Sidecar layout (``segment-*.cols``, little-endian throughout)::
+#
+#     COLS reprocols <format>\n          ASCII magic line
+#     <u32 header_length>                4 bytes, little-endian
+#     <header bytes>                     canonical JSON, UTF-8
+#     <zero padding to 8-byte alignment>
+#     <payload buffers>                  each 8-byte aligned
+#
+# The header maps every analysis column (plus the key column) to a typed
+# buffer spec ``{"kind", "data": [offset, length], ...}`` with offsets
+# relative to the payload base.  Kinds: ``i8`` int64, ``f8`` float64,
+# ``b1`` uint8 bools, ``s`` offset-indexed UTF-8 string pool (int64
+# offsets, N+1 of them), ``j`` canonical-JSON list (mixed/exotic types),
+# ``z`` all-None.  An optional ``nulls`` buffer is a little-endian-packed
+# bitmap (1 = None).  The whole file is covered by the manifest's
+# ``sidecar_checksum``, so readers verify once and then trust every
+# buffer.  Full normative spec in ``docs/store-format.md``.
+
+#: Process-wide sidecar switch: ``REPRO_NO_SIDECARS=1`` disables writing
+#: sidecars at seal/merge time (reads still use any already on disk).
+_sidecars_active: bool = os.environ.get("REPRO_NO_SIDECARS", "") != "1"
+
+
+def sidecars_enabled() -> bool:
+    """True when seal/merge should write binary columnar sidecars."""
+    return _sidecars_active
+
+
+@contextmanager
+def use_sidecars(active: bool = True) -> "Iterator[None]":
+    """Temporarily enable (or disable) sidecar writing process-wide --
+    the benchmark baseline and parity-test switch, mirroring
+    :func:`repro.utils.kernels.use_reference_kernels`."""
+    global _sidecars_active
+    previous = _sidecars_active
+    _sidecars_active = bool(active)
+    try:
+        yield
+    finally:
+        _sidecars_active = previous
+
+
+def sidecar_name(segment_name: str) -> str:
+    """The binary columnar sidecar file backing one segment file."""
+    if segment_name.endswith(".seg"):
+        return segment_name[: -len(".seg")] + ".cols"
+    return segment_name + ".cols"
+
+
+class LazyColumn:
+    """A sequence over one sidecar column, decoded on first access.
+
+    Length is known up front (cheap ``len()`` for shape checks); the
+    values decode once through ``load`` and are cached.  ``materialize``
+    always returns pure-Python values (never NumPy scalars), which is
+    what keeps downstream ``ResultTable`` aggregation and CSV bytes
+    identical to the JSON columnar path.
+    """
+
+    __slots__ = ("_length", "_load", "_values")
+
+    def __init__(self, length: int, load: "Callable[[], list]") -> None:
+        self._length = length
+        self._load = load
+        self._values: list | None = None
+
+    def materialize(self) -> list:
+        if self._values is None:
+            self._values = self._load()
+            self._load = None  # type: ignore[assignment]
+        return self._values
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    def __getitem__(self, index):
+        return self.materialize()[index]
+
+
+def materialize_column(values) -> list:
+    """Normalize any column representation to a plain Python list.
+
+    ``LazyColumn`` decodes (cached), NumPy arrays convert through
+    ``tolist()`` (yielding pure-Python scalars -- ``np.int64`` is *not*
+    an ``int`` to ``isinstance``, which would break sort tokens and CSV
+    formatting downstream), and lists pass through.
+    """
+    mat = getattr(values, "materialize", None)
+    if mat is not None:
+        return mat()
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return values if isinstance(values, list) else list(values)
+
+
+def pack_sidecar(
+    keys: "Sequence[str]", names: "Sequence[str]", columns: "Mapping[str, list]"
+) -> bytes:
+    """Encode one segment's columnar block as binary sidecar bytes.
+
+    Deterministic for a given block (keys first, then columns in ``names``
+    order), so re-sealing the same records yields byte-identical sidecars.
+    Raises on anything unencodable (callers then simply skip the sidecar;
+    the JSON block remains authoritative).
+    """
+    import numpy as np
+
+    count = len(keys)
+    payload = bytearray()
+
+    def add(blob: bytes) -> list[int]:
+        pad = (-len(payload)) % 8
+        payload.extend(b"\x00" * pad)
+        offset = len(payload)
+        payload.extend(blob)
+        return [offset, len(blob)]
+
+    def null_bitmap(values: list) -> bytes | None:
+        mask = np.array([v is None for v in values], dtype=np.uint8)
+        if not mask.any():
+            return None
+        return np.packbits(mask, bitorder="little").tobytes()
+
+    def encode(values: list) -> dict:
+        present = [v for v in values if v is not None]
+        if not present:
+            return {"kind": "z"}
+        kinds = {type(v) for v in present}
+        nulls = null_bitmap(values)
+        if kinds == {bool}:
+            data = np.array(
+                [bool(v) for v in values], dtype=np.uint8
+            ).tobytes()
+            spec = {"kind": "b1", "data": add(data)}
+        elif kinds == {int} and all(
+            -(2**63) <= v < 2**63 for v in present
+        ):
+            data = np.array(
+                [0 if v is None else v for v in values], dtype="<i8"
+            ).tobytes()
+            spec = {"kind": "i8", "data": add(data)}
+        elif kinds == {float}:
+            data = np.array(
+                [0.0 if v is None else v for v in values], dtype="<f8"
+            ).tobytes()
+            spec = {"kind": "f8", "data": add(data)}
+        elif kinds == {str}:
+            blobs = [
+                b"" if v is None else v.encode("utf-8") for v in values
+            ]
+            offsets = np.zeros(len(values) + 1, dtype="<i8")
+            np.cumsum([len(b) for b in blobs], out=offsets[1:])
+            spec = {
+                "kind": "s",
+                "offsets": add(offsets.tobytes()),
+                "data": add(b"".join(blobs)),
+            }
+        else:
+            # Mixed int/float, big ints, nested values: fall back to one
+            # canonical-JSON list, which is exact for anything the JSON
+            # columnar block itself can hold (nulls included).
+            blob = canonical_dumps(list(values)).encode("utf-8")
+            return {"kind": "j", "data": add(blob)}
+        if nulls is not None:
+            spec["nulls"] = add(nulls)
+        return spec
+
+    header = {
+        "count": count,
+        "first_key": str(keys[0]) if count else "",
+        "last_key": str(keys[-1]) if count else "",
+        "keys": encode([str(k) for k in keys]),
+        "names": list(names),
+        "columns": {name: encode(list(columns[name])) for name in names},
+    }
+    head = canonical_dumps(header).encode("utf-8")
+    magic = f"COLS {SIDECAR_MAGIC} {SIDECAR_FORMAT_VERSION}\n".encode("ascii")
+    prefix = magic + struct.pack("<I", len(head)) + head
+    return prefix + b"\x00" * ((-len(prefix)) % 8) + bytes(payload)
+
+
+def read_segment_sidecar(
+    path: Path, columns: SegmentColumns, warn: "WarnFn" = _default_warn
+) -> dict | None:
+    """mmap one segment's binary sidecar into zero-copy analysis columns.
+
+    Verifies the whole file against the manifest's ``sidecar_checksum``
+    once, then serves columns straight from the mapping: null-free
+    numeric columns come back as NumPy array *views* over the mmap (no
+    copy, no parse), everything else as a :class:`LazyColumn` that
+    decodes on first touch.  Returns ``{"keys", "names", "columns",
+    "first_key", "last_key", "count"}``, or None (with one warning) on
+    any integrity or decode failure -- callers then fall back to the
+    JSON columnar block, which falls back to the frame scan: the same
+    degradation ladder every other corruption takes.
+    """
+    if columns.sidecar_length <= 0:
+        return None
+    name = path.name
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            try:
+                data = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                data = handle.read()
+    except OSError as exc:
+        warn(
+            f"{name}:sidecar",
+            f"sweep store: columnar sidecar {name} is unreadable ({exc}); "
+            f"falling back to the JSON columnar block",
+        )
+        return None
+    if (
+        len(data) != columns.sidecar_length
+        or short_checksum(data) != columns.sidecar_checksum
+    ):
+        warn(
+            f"{name}:sidecar",
+            f"sweep store: columnar sidecar {name} fails its checksum; "
+            f"falling back to the JSON columnar block",
+        )
+        return None
+    try:
+        magic = f"COLS {SIDECAR_MAGIC} {SIDECAR_FORMAT_VERSION}".encode("ascii")
+        line_end = data.find(b"\n")
+        if line_end < 0 or bytes(data[:line_end]) != magic:
+            raise ValueError("bad sidecar magic")
+        (head_length,) = struct.unpack(
+            "<I", bytes(data[line_end + 1 : line_end + 5])
+        )
+        head_start = line_end + 5
+        header = json.loads(bytes(data[head_start : head_start + head_length]))
+        base = head_start + head_length
+        base += (-base) % 8
+        count = int(header["count"])
+
+        def null_mask(spec: dict):
+            offset, length = spec["nulls"]
+            bits = np.frombuffer(
+                data, dtype=np.uint8, count=length, offset=base + offset
+            )
+            return np.unpackbits(bits, bitorder="little", count=count)
+
+        def apply_nulls(values: list, spec: dict) -> list:
+            if "nulls" not in spec:
+                return values
+            mask = null_mask(spec).tolist()
+            return [None if m else v for v, m in zip(values, mask)]
+
+        def decode(spec: dict):
+            kind = spec["kind"]
+            if kind == "z":
+                return LazyColumn(count, lambda: [None] * count)
+            offset, length = spec["data"]
+            if kind in ("i8", "f8"):
+                array = np.frombuffer(
+                    data,
+                    dtype="<i8" if kind == "i8" else "<f8",
+                    count=count,
+                    offset=base + offset,
+                )
+                if "nulls" not in spec:
+                    return array  # the zero-copy fast path
+                return LazyColumn(
+                    count, lambda: apply_nulls(array.tolist(), spec)
+                )
+            if kind == "b1":
+                array = np.frombuffer(
+                    data, dtype=np.uint8, count=count, offset=base + offset
+                )
+                return LazyColumn(
+                    count,
+                    lambda: apply_nulls(
+                        [bool(v) for v in array.tolist()], spec
+                    ),
+                )
+            if kind == "s":
+                ooffset, _ = spec["offsets"]
+
+                def load_strings() -> list:
+                    bounds = np.frombuffer(
+                        data, dtype="<i8", count=count + 1,
+                        offset=base + ooffset,
+                    ).tolist()
+                    pool = bytes(data[base + offset : base + offset + length])
+                    values = [
+                        pool[bounds[i] : bounds[i + 1]].decode("utf-8")
+                        for i in range(count)
+                    ]
+                    return apply_nulls(values, spec)
+
+                return LazyColumn(count, load_strings)
+            if kind == "j":
+                return LazyColumn(
+                    count,
+                    lambda: list(
+                        json.loads(
+                            bytes(data[base + offset : base + offset + length])
+                        )
+                    ),
+                )
+            raise ValueError(f"unknown sidecar column kind {kind!r}")
+
+        return {
+            "keys": decode(header["keys"]),
+            "names": list(header["names"]),
+            "columns": {
+                n: decode(spec) for n, spec in header["columns"].items()
+            },
+            "first_key": str(header.get("first_key", "")),
+            "last_key": str(header.get("last_key", "")),
+            "count": count,
+        }
+    except (KeyError, IndexError, TypeError, ValueError, struct.error,
+            json.JSONDecodeError, UnicodeDecodeError):
+        warn(
+            f"{name}:sidecar",
+            f"sweep store: columnar sidecar {name} is malformed; "
+            f"falling back to the JSON columnar block",
+        )
+        return None
+
+
 # -- segment encoding ----------------------------------------------------------
 
 
 def pack_segment(
     records: "Sequence[dict]",
-) -> tuple[bytes, list[tuple[str, int, int, str]], SegmentColumns]:
+) -> tuple[bytes, list[tuple[str, int, int, str]], SegmentColumns, dict]:
     """Encode sealed ``records`` into one segment byte blob.
 
     Records must already be store-stamped (``key``/``schema_version``/
@@ -248,8 +620,10 @@ def pack_segment(
     sort by key first so a sealed segment's frames -- and its columnar
     block -- are in ascending key order.
 
-    Returns ``(blob, frames, columns)`` where ``frames`` holds one
-    ``(key, payload_offset, payload_length, checksum)`` tuple per record.
+    Returns ``(blob, frames, columns, block)`` where ``frames`` holds one
+    ``(key, payload_offset, payload_length, checksum)`` tuple per record
+    and ``block`` is the un-serialized ``{"keys", "names", "columns"}``
+    columnar mapping (what :func:`pack_sidecar` encodes).
     """
     from repro import __version__
     from repro.sweeps.analysis import record_row, canonical_order
@@ -279,13 +653,12 @@ def pack_segment(
 
     rows = [record_row(record) for record in records]
     names = canonical_order({name for row in rows for name in row})
-    block = canonical_dumps(
-        {
-            "keys": keys,
-            "names": names,
-            "columns": {n: [row.get(n) for row in rows] for n in names},
-        }
-    ).encode("utf-8")
+    block_data = {
+        "keys": keys,
+        "names": names,
+        "columns": {n: [row.get(n) for row in rows] for n in names},
+    }
+    block = canonical_dumps(block_data).encode("utf-8")
     block_checksum = short_checksum(block)
     col_header = f"COL {len(block)} {block_checksum}\n".encode("utf-8")
     parts.append(col_header)
@@ -299,7 +672,7 @@ def pack_segment(
     parts.append(b"\n")
     keys_checksum = short_checksum(",".join(keys))
     parts.append(f"END {len(keys)} {keys_checksum}\n".encode("utf-8"))
-    return b"".join(parts), frames, columns
+    return b"".join(parts), frames, columns, block_data
 
 
 def next_segment_name(directory: Path) -> str:
@@ -341,34 +714,66 @@ def write_segment(
     directory: Path,
     records: "Sequence[dict]",
     namer: "Callable[[Path], str] | None" = None,
+    name: str | None = None,
 ) -> tuple[str, list[SegmentEntry], SegmentColumns] | None:
     """Pack ``records`` and write them as a new immutable segment file.
 
     The write is atomic (tmp + rename); the segment is *not* yet visible to
     readers -- it becomes reachable only when the caller publishes it in
     the manifest.  The name (``namer`` defaults to plain compaction
-    numbering, merge passes :func:`generation_segment_namer`) is reserved
-    with an exclusive create first, so even a rogue second compactor
-    (possible only after a stale lock was force-broken) can never
-    overwrite an existing segment.  Returns None when the filesystem
-    refuses the write.
+    numbering, merge passes :func:`generation_segment_namer`; a parallel
+    merge passes an explicit pre-computed ``name`` so its pool workers
+    never race each other's directory scans) is reserved with an exclusive
+    create first, so even a rogue second compactor (possible only after a
+    stale lock was force-broken) can never overwrite an existing segment.
+    Returns None when the filesystem refuses the write (or an explicit
+    ``name`` already exists).
+
+    When sidecars are enabled (:func:`sidecars_enabled`), the segment's
+    binary columnar sidecar is written beside it and its length/checksum
+    stamped into the returned :class:`SegmentColumns`; any sidecar
+    failure publishes the segment without one -- the JSON block is always
+    authoritative.
     """
-    blob, frames, columns = pack_segment(records)
-    name = None
-    for _ in range(1000):
-        candidate = (namer or next_segment_name)(directory)
+    blob, frames, columns, block_data = pack_segment(records)
+    if name is not None:
         try:
-            (directory / candidate).touch(exist_ok=False)
-        except FileExistsError:
-            continue
+            (directory / name).touch(exist_ok=False)
         except OSError:
             return None
-        name = candidate
-        break
-    if name is None:
-        return None
+    else:
+        for _ in range(1000):
+            candidate = (namer or next_segment_name)(directory)
+            try:
+                (directory / candidate).touch(exist_ok=False)
+            except FileExistsError:
+                continue
+            except OSError:
+                return None
+            name = candidate
+            break
+        if name is None:
+            return None
     if not atomic_write_bytes(directory / name, blob):
         return None
+    if sidecars_enabled():
+        try:
+            side = pack_sidecar(
+                block_data["keys"], block_data["names"], block_data["columns"]
+            )
+        except (ImportError, OverflowError, TypeError, ValueError):
+            side = None
+        # The sidecar write goes through the same atomic_write_bytes as
+        # every other durable write, so crash-injection harnesses cover
+        # it; a plain failure (False) just publishes without a sidecar.
+        if side is not None and atomic_write_bytes(
+            directory / sidecar_name(name), side
+        ):
+            columns = dataclasses.replace(
+                columns,
+                sidecar_length=len(side),
+                sidecar_checksum=short_checksum(side),
+            )
     entries = [
         SegmentEntry(key=k, segment=name, offset=o, length=n, checksum=c)
         for k, o, n, c in frames
@@ -578,6 +983,22 @@ def read_segment_columns(
 # -- manifest ------------------------------------------------------------------
 
 
+def _columns_payload(columns: SegmentColumns) -> dict:
+    """Serialize one :class:`SegmentColumns` for the root or a delta line;
+    sidecar keys are emitted only when a sidecar exists, keeping
+    sidecar-free manifests byte-identical to pre-sidecar engines."""
+    payload = {
+        "count": columns.count,
+        "columns_offset": columns.offset,
+        "columns_length": columns.length,
+        "columns_checksum": columns.checksum,
+    }
+    if columns.sidecar_length > 0:
+        payload["sidecar_length"] = columns.sidecar_length
+        payload["sidecar_checksum"] = columns.sidecar_checksum
+    return payload
+
+
 def _parse_entries(raw: dict) -> dict:
     """``{key: [segment, offset, length, checksum]}`` -> entry mapping."""
     return {
@@ -593,13 +1014,21 @@ def _parse_entries(raw: dict) -> dict:
 
 
 def _parse_segments(raw: dict) -> dict:
-    """``{name: {count, columns_*}}`` -> :class:`SegmentColumns` mapping."""
+    """``{name: {count, columns_*}}`` -> :class:`SegmentColumns` mapping.
+
+    The ``sidecar_*`` keys are optional (absent on pre-sidecar manifests
+    and on segments whose sidecar write was skipped), defaulting to "no
+    sidecar" -- which is also how unknown-to-older-engines forward
+    compatibility works: old readers simply ignore the extra keys.
+    """
     return {
         name: SegmentColumns(
             offset=int(spec["columns_offset"]),
             length=int(spec["columns_length"]),
             checksum=str(spec["columns_checksum"]),
             count=int(spec["count"]),
+            sidecar_length=int(spec.get("sidecar_length", 0)),
+            sidecar_checksum=str(spec.get("sidecar_checksum", "")),
         )
         for name, spec in raw.items()
     }
@@ -672,6 +1101,8 @@ def _replay_delta(
                 length=int(columns["columns_length"]),
                 checksum=str(columns["columns_checksum"]),
                 count=int(columns["count"]),
+                sidecar_length=int(columns.get("sidecar_length", 0)),
+                sidecar_checksum=str(columns.get("sidecar_checksum", "")),
             )
             for key, spec in payload["entries"].items():
                 entries[key] = SegmentEntry(
@@ -861,12 +1292,7 @@ def write_manifest(directory: Path, manifest: Manifest) -> bool:
         "delta": delta_log_name(manifest.generation),
         "shards": shards,
         "segments": {
-            name: {
-                "count": c.count,
-                "columns_offset": c.offset,
-                "columns_length": c.length,
-                "columns_checksum": c.checksum,
-            }
+            name: _columns_payload(c)
             for name, c in sorted(manifest.segments.items())
         },
     }
@@ -899,12 +1325,7 @@ def append_manifest_delta(
             "entries": {
                 e.key: [e.offset, e.length, e.checksum] for e in entries
             },
-            "columns": {
-                "count": columns.count,
-                "columns_offset": columns.offset,
-                "columns_length": columns.length,
-                "columns_checksum": columns.checksum,
-            },
+            "columns": _columns_payload(columns),
         }
     ).encode("utf-8")
     line = b"D " + short_checksum(payload).encode("ascii") + b" " + payload + b"\n"
@@ -953,6 +1374,22 @@ def gc_unreferenced(
         try:
             path.unlink()
             removed_segments += 1
+        except OSError:
+            pass
+    # Sidecars are shadows of their segment: drop any whose segment is
+    # gone or published without one.  Not counted -- a ``.cols`` is part
+    # of its ``.seg`` for accounting purposes, so the segment GC counters
+    # (which tests and the MERGE line contract pin down) are unchanged.
+    live_sidecars = {
+        sidecar_name(name)
+        for name, columns in manifest.segments.items()
+        if columns.sidecar_length > 0
+    }
+    for path in directory.glob(SIDECAR_PATTERN):
+        if path.name in live_sidecars:
+            continue
+        try:
+            path.unlink()
         except OSError:
             pass
     keep = {shard_file_name(manifest.generation, sid) for sid in SHARD_IDS}

@@ -60,8 +60,10 @@ Record schema (``SCHEMA_VERSION = 2``)::
 
 from __future__ import annotations
 
+import heapq
 import json
 import logging
+import mmap
 import os
 import socket
 import time
@@ -257,6 +259,21 @@ class StoreStats:
             f"shards={self.shards} deltas={self.deltas} "
             f"leases={self.leases}"
         )
+
+    def as_dict(self) -> dict:
+        """The census as one JSON-ready mapping -- the same fields as the
+        ``STATS`` line, in the same order, for ``stats --json`` and fleet
+        tooling that shouldn't grep prose.  Keys are append-only, like
+        the line's fields."""
+        return {
+            "loose": self.loose,
+            "sealed": self.sealed,
+            "segments": self.segments,
+            "generation": self.generation,
+            "shards": self.shards,
+            "deltas": self.deltas,
+            "leases": self.leases,
+        }
 
 
 class SweepStore:
@@ -665,45 +682,50 @@ class SweepStore:
 
     # -- iteration -------------------------------------------------------------
 
-    def _merged_records(self) -> dict:
-        """Key -> record across both backends (loose wins on overlap)."""
-        merged: dict[str, dict] = {}
-        manifest = self._current_manifest()
-        if manifest is not None:
-            for name in sorted(manifest.segments):
-                path = self.directory / name
-                if not path.exists():
-                    self._warn(
-                        f"{name}:missing",
-                        f"sweep store: manifest points at missing segment "
-                        f"{name}; its records read as missing "
-                        f"(recompact to rebuild the index)",
-                    )
-                    continue
+    def _segment_stream(self, name: str) -> "Iterator[tuple[str, dict]]":
+        """Yield one segment's readable ``(key, record)`` pairs in file
+        (= ascending key) order, memory-mapped so a whole-store stream
+        never holds more than the records in flight."""
+        path = self.directory / name
+        if not path.exists():
+            self._warn(
+                f"{name}:missing",
+                f"sweep store: manifest points at missing segment "
+                f"{name}; its records read as missing "
+                f"(recompact to rebuild the index)",
+            )
+            return
+        try:
+            with open(path, "rb") as handle:
                 try:
-                    data = path.read_bytes()
-                except OSError as exc:
-                    self._warn(
-                        f"{name}:missing",
-                        f"sweep store: manifest points at unreadable segment "
-                        f"{name} ({exc}); its records read as missing",
+                    data: "bytes | mmap.mmap" = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
                     )
-                    continue
-                for key, record in seg.iter_segment_records(
-                    data, name, warn=self._warn
-                ):
-                    if record.get("key") != key:
-                        continue
-                    if self._generation_ok(record, f"{name}:{key[:12]}"):
-                        merged[key] = record
+                except (ValueError, OSError):
+                    data = handle.read()
+        except OSError as exc:
+            self._warn(
+                f"{name}:missing",
+                f"sweep store: manifest points at unreadable segment "
+                f"{name} ({exc}); its records read as missing",
+            )
+            return
+        for key, record in seg.iter_segment_records(data, name, warn=self._warn):
+            if record.get("key") != key:
+                continue
+            if self._generation_ok(record, f"{name}:{key[:12]}"):
+                yield key, record
+
+    def _loose_stream(self) -> "Iterator[tuple[str, dict]]":
+        """Yield readable loose ``(key, record)`` pairs in ascending
+        filename (= key-prefix) order, one file in memory at a time."""
         for path in sorted(self.loose_paths()):
             record = self._load(path)
             if record is None:
                 continue
             if not self._generation_ok(record, path.name):
                 continue
-            merged[str(record.get("key") or path.stem)] = record
-        return merged
+            yield str(record.get("key") or path.stem), record
 
     def records(self) -> "Iterator[dict]":
         """Every readable same-generation record, in ascending key order.
@@ -711,29 +733,65 @@ class SweepStore:
         Iteration order is deterministic -- sorted by each record's
         embedded ``key`` (falling back to the filename for records missing
         one) -- so aggregation built on a store is reproducible across
-        filesystems and directory-listing orders.  Sealed segments are
-        bulk-read (one file read per segment); loose files are read one by
-        one; unreadable, wrong-schema, or foreign ``engine_version``
-        entries are skipped with one warning each (the Monte Carlo draw
-        stream differs between generations, so their numbers must never
-        blend into one analysis).
+        filesystems and directory-listing orders.  Unreadable,
+        wrong-schema, or foreign ``engine_version`` entries are skipped
+        with one warning each (the Monte Carlo draw stream differs
+        between generations, so their numbers must never blend into one
+        analysis).
+
+        The merge is a *stream*: every backend is already in ascending
+        key order (segments frame records sorted; loose filenames are the
+        keys), so a heap merge yields globally sorted records with O(1)
+        records in memory instead of materializing the whole store dict
+        first.  Duplicate keys keep the last arrival of the run -- the
+        heap is stable, sources are ordered segments-then-loose, so loose
+        wins over sealed and later segments over earlier, exactly the old
+        dict-overwrite precedence.
         """
-        merged = self._merged_records()
-        for key in sorted(merged):
-            yield merged[key]
+        streams: list = []
+        manifest = self._current_manifest()
+        if manifest is not None:
+            streams.extend(
+                self._segment_stream(name) for name in sorted(manifest.segments)
+            )
+        streams.append(self._loose_stream())
+        pending_key: str | None = None
+        pending: dict | None = None
+        for key, record in heapq.merge(*streams, key=lambda item: item[0]):
+            if pending is not None and key != pending_key:
+                yield pending
+            pending_key, pending = key, record
+        if pending is not None:
+            yield pending
 
     # -- bulk analysis fast path -----------------------------------------------
 
-    def analysis_columns(self) -> tuple[list[str], list[list]] | None:
+    def analysis_columns(self) -> tuple[list[str], list] | None:
         """Unified analysis columns for the whole store, or None.
 
-        The packed fast path behind ``ResultTable.from_store``: each sealed
-        segment's columnar block is one read + one ``json.loads`` that
-        yields ready-made column lists -- no per-record dicts are ever
-        built.  Loose records (if any) are flattened through the same
+        The packed fast path behind ``ResultTable.from_store``.  Each
+        sealed segment reads through a three-rung degradation ladder:
+
+        1. **binary sidecar** (``segment-*.cols``), memory-mapped --
+           null-free numeric columns come back as zero-copy NumPy views,
+           everything else as lazily decoded columns; no JSON parse at
+           all;
+        2. **JSON columnar block** inside the segment -- one read + one
+           ``json.loads`` yielding ready-made column lists (what every
+           pre-sidecar store serves);
+        3. **tolerant frame scan** -- salvages whatever records are
+           intact when the block itself is damaged.
+
+        Loose records (if any) are flattened through the same
         :func:`~repro.sweeps.analysis.record_row` used at seal time and
         merged in ascending-key order, so the resulting table -- down to
-        its CSV bytes -- is identical to the loose per-file path.
+        its CSV bytes -- is identical to the loose per-file path
+        whichever rung served each segment.
+
+        Columns may be NumPy arrays or :class:`~repro.sweeps.segments.
+        LazyColumn` objects as well as plain lists; all support ``len``/
+        iteration/indexing, and :class:`ResultTable` normalizes to
+        pure-Python values at the access boundary.
 
         Returns None when the store has no usable sealed segments (pure
         loose stores take the classic ``records()`` path).
@@ -744,9 +802,9 @@ class SweepStore:
         if manifest is None or not manifest.segments:
             return None
 
-        # One (keys, columns) source per readable columnar block; segments
-        # whose block is damaged degrade to the tolerant frame scan.
-        sources: list[tuple[list[str], dict]] = []
+        # One source per readable segment: {keys, columns, first_key,
+        # last_key, count}, produced by whichever ladder rung answered.
+        sources: list[dict] = []
         for name in sorted(manifest.segments):
             path = self.directory / name
             if not path.exists():
@@ -757,11 +815,28 @@ class SweepStore:
                     f"(recompact to rebuild the index)",
                 )
                 continue
-            block = seg.read_segment_columns(
-                path, manifest.segments[name], warn=self._warn
-            )
+            meta = manifest.segments[name]
+            if meta.sidecar_length > 0:
+                side = seg.read_segment_sidecar(
+                    self.directory / seg.sidecar_name(name), meta,
+                    warn=self._warn,
+                )
+                if side is not None:
+                    sources.append(side)
+                    continue
+            block = seg.read_segment_columns(path, meta, warn=self._warn)
             if block is not None:
-                sources.append((block["keys"], block["columns"]))
+                keys = block["keys"]
+                sources.append(
+                    {
+                        "keys": keys,
+                        "names": block["names"],
+                        "columns": block["columns"],
+                        "first_key": keys[0] if keys else "",
+                        "last_key": keys[-1] if keys else "",
+                        "count": len(keys),
+                    }
+                )
                 continue
             try:
                 data = path.read_bytes()
@@ -777,7 +852,16 @@ class SweepStore:
             if keys:
                 names = canonical_order({n for row in rows for n in row})
                 sources.append(
-                    (keys, {n: [row.get(n) for row in rows] for n in names})
+                    {
+                        "keys": keys,
+                        "names": names,
+                        "columns": {
+                            n: [row.get(n) for row in rows] for n in names
+                        },
+                        "first_key": keys[0],
+                        "last_key": keys[-1],
+                        "count": len(keys),
+                    }
                 )
 
         loose_rows: list[tuple[str, dict]] = []
@@ -792,46 +876,101 @@ class SweepStore:
         if not sources and not loose_rows:
             return None
         if len(sources) == 1 and not loose_rows:
-            # The common compacted-store case: the block's columns are
+            # The common compacted-store case: the source's columns are
             # already complete and in ascending key order -- return them
-            # without touching a single row.
-            keys, columns = sources[0]
+            # as-is (zero-copy views stay views).
+            columns = sources[0]["columns"]
             names = canonical_order(columns)
-            return names, [list(columns[n]) for n in names]
+            return names, [columns[n] for n in names]
+
+        if not loose_rows and all(s["count"] > 0 for s in sources):
+            # Disjoint-range fast path: merged generations partition the
+            # key space, so when the sources' [first_key, last_key]
+            # ranges don't overlap, global key order is just the sources
+            # laid end to end -- no dedup, no argsort, and each column
+            # concatenates lazily (views materialize only when touched).
+            ordered = sorted(sources, key=lambda s: s["first_key"])
+            if all(
+                ordered[i]["last_key"] < ordered[i + 1]["first_key"]
+                for i in range(len(ordered) - 1)
+            ):
+                names = canonical_order(
+                    {n for s in ordered for n in s["columns"]}
+                )
+                total = sum(s["count"] for s in ordered)
+                try:
+                    import numpy as np
+                except ImportError:
+                    np = None
+                out = []
+                for n in names:
+                    parts = [
+                        (s["columns"].get(n), s["count"]) for s in ordered
+                    ]
+                    if (
+                        np is not None
+                        and all(
+                            isinstance(column, np.ndarray)
+                            for column, _ in parts
+                        )
+                        and len({column.dtype for column, _ in parts}) == 1
+                    ):
+                        # All segments served this column as a sidecar
+                        # view: one concatenation keeps it an ndarray --
+                        # still no JSON parse, and downstream numeric
+                        # aggregation stays vectorized.
+                        out.append(
+                            np.concatenate([column for column, _ in parts])
+                        )
+                        continue
+
+                    def load(parts=parts) -> list:
+                        values: list = []
+                        for column, count in parts:
+                            if column is None:
+                                values.extend([None] * count)
+                            else:
+                                values.extend(seg.materialize_column(column))
+                        return values
+
+                    out.append(seg.LazyColumn(total, load))
+                return names, out
 
         # General merge: later sources win on duplicate keys (loose last),
         # then one argsort permutation restores global key order.
         if loose_rows:
             names = canonical_order(
-                {n for _, cols in sources for n in cols}
+                {n for s in sources for n in s["columns"]}
                 | {n for _, row in loose_rows for n in row}
             )
             sources = sources + [
-                (
-                    [key for key, _ in loose_rows],
-                    {
+                {
+                    "keys": [key for key, _ in loose_rows],
+                    "columns": {
                         n: [row.get(n) for _, row in loose_rows]
                         for n in names
                     },
-                )
+                }
             ]
         else:
-            names = canonical_order({n for _, cols in sources for n in cols})
+            names = canonical_order({n for s in sources for n in s["columns"]})
+        key_lists = [seg.materialize_column(s["keys"]) for s in sources]
         claimed: dict[str, int] = {}
-        for index, (keys, _) in enumerate(sources):
+        for index, keys in enumerate(key_lists):
             for key in keys:
                 claimed[key] = index
         all_keys: list[str] = []
         concat: dict[str, list] = {n: [] for n in names}
-        for index, (keys, columns) in enumerate(sources):
+        for index, (keys, source) in enumerate(zip(key_lists, sources)):
             keep = [i for i, key in enumerate(keys) if claimed[key] == index]
             all_keys.extend(keys[i] for i in keep)
             for n in names:
-                col = columns.get(n)
+                col = source["columns"].get(n)
                 if col is None:
                     concat[n].extend([None] * len(keep))
                 else:
-                    concat[n].extend(col[i] for i in keep)
+                    values = seg.materialize_column(col)
+                    concat[n].extend(values[i] for i in keep)
         order = sorted(range(len(all_keys)), key=all_keys.__getitem__)
         return names, [[concat[n][i] for i in order] for n in names]
 
@@ -1050,7 +1189,122 @@ class SweepStore:
     #: small enough that one segment's bulk read stays cheap.
     DEFAULT_MERGE_TARGET = 8192
 
-    def merge(self, target_records: int | None = None) -> MergeReport:
+    def pending_deltas(self) -> int:
+        """Delta-log lines accumulated behind the current v2 root.
+
+        A cheap census for opportunistic-merge triggers (``--merge-every``):
+        one small root read plus one newline count over the delta log --
+        no shard loads, no delta replay, no manifest cache invalidation.
+        Returns 0 for stores without a readable v2 root.
+        """
+        try:
+            data = json.loads(
+                (self.directory / seg.MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return 0
+        if (
+            not isinstance(data, dict)
+            or data.get("manifest_version") != seg.MANIFEST_VERSION
+        ):
+            return 0
+        try:
+            generation = int(data.get("generation") or 0)
+            delta = str(data.get("delta") or seg.delta_log_name(generation))
+        except (TypeError, ValueError):
+            return 0
+        try:
+            raw = (self.directory / seg.MANIFEST_DIR_NAME / delta).read_bytes()
+        except OSError:
+            return 0
+        return raw.count(b"\n")
+
+    def maybe_merge(
+        self,
+        threshold: int,
+        target_records: int | None = None,
+        jobs: int | None = None,
+    ) -> MergeReport | None:
+        """Merge only when the pending delta count has crossed ``threshold``.
+
+        The ``--merge-every N`` primitive: drivers and ``--seal``-ing
+        workers call this after each sealed chunk, and whichever caller
+        first observes N pending deltas folds them (election is the
+        existing exclusive merge lock -- losers skip without warning
+        noise, which is why the lock file is pre-checked here instead of
+        letting :meth:`merge` warn about perfectly healthy contention).
+        Returns the :class:`MergeReport` when a merge ran, else None.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if (self.directory / "COMPACT.lock").exists():
+            return None
+        if self.pending_deltas() < threshold:
+            return None
+        return self.merge(target_records=target_records, jobs=jobs)
+
+    def _write_merge_segments(
+        self, chunks: list, generation: int, jobs: int | None
+    ) -> "Iterator[tuple | None]":
+        """Write the merge's output segments, serially or via a pool.
+
+        Caller must hold the compaction lock.  Names are pre-computed
+        with the same highest-existing-index scan as
+        :func:`~repro.sweeps.segments.generation_segment_namer`, so the
+        serial and parallel paths produce identically named (and
+        byte-identical) segments; orphans from a previous killed merge
+        still count as used.  Pool failures (no fork support, workers
+        OOM-killed) fall back to serial writes with freshly scanned
+        names, skipping any segments the dead pool already left behind.
+        """
+        if not chunks:
+            return
+        namer = seg.generation_segment_namer(generation)
+        if jobs is not None and jobs > 1 and len(chunks) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            first = namer(self.directory)
+            base = int(first[len(f"segment-g{generation:04d}-") : -len(".seg")])
+            names = [
+                f"segment-g{generation:04d}-{base + index:06d}.seg"
+                for index in range(len(chunks))
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(chunks))
+                ) as pool:
+                    # Collected eagerly: a pool that breaks mid-map must
+                    # leave *nothing* yielded, so the serial fallback
+                    # rewrites every chunk exactly once (the dead pool's
+                    # finished segments become orphans, collected by the
+                    # next merge's GC).
+                    results = list(
+                        pool.map(
+                            _merge_chunk,
+                            [str(self.directory)] * len(chunks),
+                            chunks,
+                            names,
+                            [seg.sidecars_enabled()] * len(chunks),
+                        )
+                    )
+            except (OSError, BrokenProcessPool):
+                self._warn(
+                    "merge:pool",
+                    f"sweep store: parallel merge pool failed for "
+                    f"{self.directory}; falling back to serial rewrites",
+                )
+            else:
+                yield from results
+                return
+        for chunk in chunks:
+            yield seg.write_segment(self.directory, chunk, namer=namer)
+
+    def merge(
+        self,
+        target_records: int | None = None,
+        jobs: int | None = None,
+    ) -> MergeReport:
         """Fold the store down to one fresh generation: seal loose records,
         rewrite every live segment into large generation-tagged
         ``segment-gGGGG-NNNNNN.seg`` files, checkpoint the manifest (delta
@@ -1072,6 +1326,16 @@ class SweepStore:
         - **migration**: a v1-root store comes out the other side as a v2
           sharded store -- this is the one-shot upgrade path.
 
+        ``jobs`` > 1 rewrites the output segments through a process pool
+        (names pre-computed under the lock, so workers never race each
+        other's directory scans).  Each segment write is independently
+        atomic and invisible until the single checkpoint swap at the end,
+        so the parallel path is kill-safe at exactly the same points as
+        the serial one and converges on a byte-identical store; a pool
+        that cannot start or dies mid-rewrite falls back to the serial
+        path (re-reserving fresh segment names past any orphans the dead
+        workers left -- the next merge collects those).
+
         A foreign-generation root (older engine/schema) is refused whole:
         merging would garbage-collect data this engine cannot re-read.
         """
@@ -1080,6 +1344,8 @@ class SweepStore:
         target = target_records or self.DEFAULT_MERGE_TARGET
         if target <= 0:
             raise ValueError(f"target_records must be positive, got {target}")
+        if jobs is not None and jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
         lock = self._acquire_compaction_lock()
         if lock is None:
             self._warn(
@@ -1177,16 +1443,15 @@ class SweepStore:
 
                 new_generation = manifest.generation + 1
                 ordered = sorted(records_by_key)
-                namer = seg.generation_segment_namer(new_generation)
+                chunks = [
+                    [records_by_key[k] for k in ordered[start : start + target]]
+                    for start in range(0, len(ordered), target)
+                ]
                 new_entries: dict = {}
                 new_cols: dict = {}
-                for start in range(0, len(ordered), target):
-                    chunk = ordered[start : start + target]
-                    written = seg.write_segment(
-                        self.directory,
-                        [records_by_key[k] for k in chunk],
-                        namer=namer,
-                    )
+                for written in self._write_merge_segments(
+                    chunks, new_generation, jobs
+                ):
                     if written is None:
                         raise OSError(
                             f"failed to write merged segment in {self.directory}"
@@ -1240,11 +1505,12 @@ class SweepStore:
                 path.unlink()
             except OSError:
                 pass
-        for path in self.directory.glob(seg.SEGMENT_PATTERN):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        for pattern in (seg.SEGMENT_PATTERN, seg.SIDECAR_PATTERN):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         if self.lease_dir.is_dir():
             # Leases plus any crash-orphaned reclaim/release tombstones.
             for path in list(self.lease_dir.iterdir()):
@@ -1274,3 +1540,19 @@ class SweepStore:
         scope = str(self.directory)
         for entry in [e for e in _WARNED if e[0] == scope]:
             _WARNED.discard(entry)
+
+
+def _merge_chunk(
+    directory: str, records: list, name: str, sidecars: bool = True
+) -> tuple | None:
+    """One parallel-merge pool task: write one pre-named output segment.
+
+    Module-level so it pickles into spawn-start pools.  The parent's
+    sidecar switch rides along explicitly (a spawned worker re-reads the
+    environment, not the parent's in-process toggle).  Returns what
+    :func:`~repro.sweeps.segments.write_segment` returns; publication
+    stays entirely with the parent, so a worker killed here leaves only
+    an orphan file.
+    """
+    with seg.use_sidecars(sidecars):
+        return seg.write_segment(Path(directory), records, name=name)

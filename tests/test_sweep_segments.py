@@ -266,7 +266,8 @@ class TestIntegrity:
 
     def test_damaged_columnar_block_falls_back_to_frames(self, tmp_path):
         store, _ = filled_store(tmp_path / "s")
-        store.compact()
+        with seg.use_sidecars(False):
+            store.compact()
         path = segment_files(tmp_path / "s")[0]
         data = bytearray(path.read_bytes())
         index = data.find(b'"names":')
