@@ -5,7 +5,6 @@ Quantifies the GEYSER-orthogonality discussion: on Toffoli-heavy workloads
 entangling-gate count and raises success probability.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.benchcircuits import get_benchmark

@@ -8,7 +8,6 @@ Parallax still wins against it strengthens the Fig. 9 conclusion.
 from conftest import run_once
 
 from repro.baselines.eldi import EldiCompiler, EldiConfig
-from repro.baselines.graphine_compiler import GraphineCompiler, GraphineConfig
 from repro.baselines.router import RouterConfig
 from repro.core.compiler import ParallaxCompiler, ParallaxConfig
 from repro.experiments.common import prepared_circuit

@@ -6,10 +6,9 @@ maxima; and the best-factor time is a large reduction over serial (paper:
 97% on average for Parallax).
 """
 
-import numpy as np
 from conftest import run_once
 
-from repro.core.parallel_shots import parallelization_factor, replica_side_sites
+from repro.core.parallel_shots import parallelization_factor
 from repro.experiments.common import compile_one
 from repro.experiments.fig11 import run_fig11
 from repro.hardware.spec import HardwareSpec

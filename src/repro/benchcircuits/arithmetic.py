@@ -10,8 +10,6 @@
 
 from __future__ import annotations
 
-import math
-
 from repro.circuit.circuit import QuantumCircuit
 from repro.utils.rng import ensure_rng
 

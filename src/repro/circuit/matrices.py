@@ -170,7 +170,6 @@ def _embed(u: np.ndarray, qubits: tuple[int, ...], n: int) -> np.ndarray:
     """Embed a 1- or 2-qubit unitary acting on ``qubits`` into n-qubit space."""
     full = np.zeros((2**n, 2**n), dtype=complex)
     k = len(qubits)
-    rest = [q for q in range(n) if q not in qubits]
     for col in range(2**n):
         col_bits = [(col >> q) & 1 for q in range(n)]
         sub_col = sum(col_bits[qubits[i]] << i for i in range(k))

@@ -70,6 +70,15 @@ Components
   of evaluations.  ``run_sweep(distributed=True, workers=N)`` /
   ``--workers N`` is the local spawn-and-join form;
   ``python -m repro.sweeps worker STORE`` joins a fleet from anywhere.
+- :mod:`repro.sweeps.serve` -- the long-lived HTTP query daemon
+  (``python -m repro.sweeps serve STORE``): :class:`SweepServer` answers
+  ``/stats``, ``/columns``, ``/records/<key>``, ``/marginal``,
+  ``/pivot``, ``/crossovers`` and chunk-streamed ``/csv`` off the
+  store's mmap'd sidecar columns, caching hot :class:`ResultTable`
+  aggregations per manifest generation; the generation token is the
+  HTTP ``ETag``, so unchanged stores revalidate as 304s and a
+  merge/compact/sweep landing underneath the live daemon invalidates
+  every cache at its atomic manifest swap.
 - ``python -m repro.sweeps`` -- the CLI: ``--preset smoke|default`` or
   explicit ``--benchmarks/--techniques/--spec-axis/--noise-axis``, with
   ``--jobs`` (compilation pool), ``--eval-jobs`` (evaluation pool),
@@ -78,8 +87,9 @@ Components
   ``--seal`` (compact chunks as they complete) and ``--merge`` (compact
   generations after the run); plus the ``worker STORE`` subcommand (join
   a distributed fleet), ``compact STORE`` (pack an existing store),
-  ``merge STORE`` (generational compaction), ``stats STORE`` (census) and
-  ``analyze STORE`` for marginals, axis detection, and crossover reports.
+  ``merge STORE`` (generational compaction), ``stats STORE`` (census),
+  ``serve STORE`` (the HTTP query daemon) and ``analyze STORE`` for
+  marginals, axis detection, and crossover reports.
   Run and worker print one stable machine-readable
   ``RESUME computed=N resumed=M ...`` line, compact prints
   ``COMPACT sealed=...``, merge prints ``MERGE sealed=...`` and stats
@@ -124,6 +134,7 @@ __all__ = [
     "SweepGrid",
     "SweepPlan",
     "SweepReport",
+    "SweepServer",
     "WorkerReport",
     "evaluate_tasks",
     "plan_sweep",
@@ -132,6 +143,7 @@ __all__ = [
     "run_distributed",
     "run_sweep",
     "run_worker",
+    "serve_store",
     "SCHEMA_VERSION",
     "SweepStore",
     "scenario_key",
@@ -153,6 +165,8 @@ _LAZY = {
     "range_blocks": "repro.sweeps.distributed",
     "run_distributed": "repro.sweeps.distributed",
     "run_worker": "repro.sweeps.distributed",
+    "SweepServer": "repro.sweeps.serve",
+    "serve_store": "repro.sweeps.serve",
 }
 
 

@@ -18,6 +18,7 @@ Examples::
     python -m repro.sweeps merge sweep-out --jobs 4
     python -m repro.sweeps stats sweep-out
     python -m repro.sweeps stats sweep-out --json
+    python -m repro.sweeps serve sweep-out --port 8787
     python -m repro.sweeps analyze sweep-out
     python -m repro.sweeps analyze sweep-out --metric success_rate \\
         --axis cz_error --csv sweep-out.csv
@@ -67,6 +68,17 @@ lock.
 ``stats`` prints the store census -- one stable ``STATS loose=... ``
 line plus a human-readable summary -- without running anything;
 ``stats --json`` emits the same fields as one JSON object.
+
+``serve`` starts the long-lived HTTP query daemon
+(:mod:`repro.sweeps.serve`): JSON ``/stats``, ``/columns``,
+``/records/<key>``, ``/marginal``, ``/pivot``, ``/crossovers`` and
+chunk-streamed ``/csv`` off the store's mmap'd sidecar columns, with hot
+aggregations cached per manifest generation and the generation token
+served as the HTTP ``ETag`` (clients revalidate with ``If-None-Match``;
+a ``merge``/``compact``/sweep landing under the live daemon flips the
+tag and fresh bytes are served).  Prints one stable ``SERVE ready
+port=... store=... generation=... records=... etag=...`` line once the
+socket is bound, then blocks until interrupted.
 
 ``analyze`` loads a store into the unified
 :class:`~repro.sweeps.analysis.ResultTable` (bulk-reading packed segments
@@ -303,6 +315,56 @@ def _stats_main(argv: list[str]) -> int:
     print(stats.summary_line)
     print(f"store: {args.store} ({stats.describe()})")
     return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps serve",
+        description="Serve a sweep store's aggregations over HTTP/JSON "
+        "from a long-lived daemon: /stats, /columns, /records/<key>, "
+        "/marginal, /pivot, /crossovers, and chunk-streamed /csv.  Hot "
+        "ResultTable aggregations are cached per manifest generation; "
+        "the generation token is the HTTP ETag, so unchanged stores "
+        "answer If-None-Match with 304 and a concurrent merge/compact/"
+        "sweep underneath the daemon invalidates everything at its "
+        "atomic manifest swap.  Prints one stable 'SERVE ready port=... "
+        "store=... generation=... records=... etag=...' line once the "
+        "socket is bound (see docs/store-format.md), then blocks until "
+        "interrupted.",
+    )
+    parser.add_argument("store", help="sweep store directory to serve")
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1; use 0.0.0.0 to serve "
+        "a fleet)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="port to bind (default: 0 = an ephemeral port, reported in "
+        "the SERVE ready line)",
+    )
+    parser.add_argument(
+        "--csv-chunk-rows", type=int, default=None, metavar="N",
+        help="rows per streamed /csv chunk (default: 2048)",
+    )
+    args = parser.parse_args(argv)
+    if args.port < 0 or args.port > 65535:
+        parser.error("--port must be in [0, 65535]")
+    if args.csv_chunk_rows is not None and args.csv_chunk_rows <= 0:
+        parser.error("--csv-chunk-rows must be positive")
+
+    from repro.sweeps.serve import DEFAULT_CSV_CHUNK_ROWS, serve_store
+
+    try:
+        return serve_store(
+            args.store,
+            host=args.host,
+            port=args.port,
+            csv_chunk_rows=args.csv_chunk_rows or DEFAULT_CSV_CHUNK_ROWS,
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _analyze_main(argv: list[str]) -> int:
@@ -590,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return _merge_main(argv[1:])
     if argv and argv[0] == "stats":
         return _stats_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     return _run_main(argv)
 
 

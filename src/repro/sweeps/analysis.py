@@ -38,7 +38,6 @@ from __future__ import annotations
 
 import csv
 import io
-import math
 import typing
 from dataclasses import dataclass, fields as dataclass_fields
 
@@ -46,11 +45,12 @@ from repro.noise.fidelity import NoiseModelConfig, channel_probabilities
 from repro.utils.tables import format_table
 
 if typing.TYPE_CHECKING:
-    from collections.abc import Callable, Iterable, Mapping, Sequence
+    from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
     from repro.core.result import CompilationResult
     from repro.sweeps.store import SweepStore
 
 __all__ = [
+    "AGGREGATIONS",
     "ANALYTIC_COLUMNS",
     "Crossover",
     "IDENTITY_COLUMNS",
@@ -59,8 +59,12 @@ __all__ = [
     "RESULT_COLUMNS",
     "ResultTable",
     "canonical_order",
+    "crossover_payload",
+    "marginal_payload",
+    "pivot_payload",
     "record_row",
     "render_store_summary",
+    "table_payload",
     "technique_summary",
 ]
 
@@ -101,6 +105,11 @@ _AGGREGATES: dict[str, "Callable[[list], float]"] = {
     "sum": sum,
     "count": len,
 }
+
+#: Aggregation names :meth:`ResultTable.marginal` / :meth:`ResultTable.pivot`
+#: accept -- the validation surface for callers (the query daemon rejects
+#: anything else with a 400 before touching the table).
+AGGREGATIONS: tuple[str, ...] = tuple(sorted(_AGGREGATES))
 
 
 def canonical_order(names: "Iterable[str]") -> list[str]:
@@ -206,6 +215,20 @@ class Crossover:
             f"{self.axis}={self.axis_value:.6g} "
             f"({self.metric}={self.metric_value:.6g})"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of every field plus the prose description
+        (the ``/crossovers`` wire format; keys are append-only)."""
+        return {
+            "group": list(self.group),
+            "first": self.first,
+            "second": self.second,
+            "axis": self.axis,
+            "axis_value": self.axis_value,
+            "metric": self.metric,
+            "metric_value": self.metric_value,
+            "description": self.describe(),
+        }
 
 
 class ResultTable:
@@ -610,14 +633,38 @@ class ResultTable:
             title=title or self.title,
         )
 
-    def to_csv(self) -> str:
-        """RFC-4180 CSV of the full table (None cells become empty)."""
+    def iter_csv(self, chunk_rows: int = 2048) -> "Iterator[str]":
+        """Yield the table's CSV in chunks of at most ``chunk_rows`` rows.
+
+        The streaming form of :meth:`to_csv` -- the concatenation of the
+        chunks is byte-identical to it (``to_csv`` is literally this
+        generator joined), so a consumer reassembling a streamed extract
+        (the query daemon's ``/csv`` endpoint) gets the same bytes as an
+        in-process dump, while the producer never holds more than one
+        chunk of rendered text at a time.  The header line rides in the
+        first chunk.
+        """
+        if chunk_rows <= 0:
+            raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(self.names)
+        pending = 0
         for row in self.rows:
             writer.writerow(["" if v is None else v for v in row])
-        return buffer.getvalue()
+            pending += 1
+            if pending >= chunk_rows:
+                yield buffer.getvalue()
+                buffer.seek(0)
+                buffer.truncate(0)
+                pending = 0
+        tail = buffer.getvalue()
+        if tail:
+            yield tail
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV of the full table (None cells become empty)."""
+        return "".join(self.iter_csv())
 
 
 def technique_summary(
@@ -691,3 +738,98 @@ def render_store_summary(
     )
     parts.extend(f"  - {c.describe()}" for c in crossings)
     return "\n".join(parts)
+
+
+# -- JSON-ready aggregation payloads -------------------------------------------
+#
+# The query daemon (:mod:`repro.sweeps.serve`) serves aggregations over HTTP
+# and caches the rendered responses keyed by store generation.  These entry
+# points are the cacheable surface: pure functions of (table, parameters)
+# returning JSON-ready dicts, so one definition backs the wire format, the
+# daemon's cache, and in-process callers that want the same shapes.  Every
+# payload echoes its parameters under ``"params"`` and keeps its keys
+# append-only, like the stable output-line contracts.
+
+
+def table_payload(table: ResultTable) -> dict:
+    """One table as a JSON-ready ``{title, names, rows}`` mapping.
+
+    Rows are lists in :attr:`ResultTable.names` order with ``None`` for
+    missing cells -- the dense transport format shared by ``/marginal``
+    and ``/pivot`` (cell values are plain Python scalars by the time they
+    cross :class:`ResultTable`'s access boundary, so the dict serializes
+    with :func:`json.dumps` as-is).
+    """
+    return {
+        "title": table.title,
+        "names": list(table.names),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def marginal_payload(
+    table: ResultTable,
+    value: str = "analytic_success",
+    over: str | None = None,
+    group_by: "Sequence[str]" = ("benchmark", "technique"),
+    agg: str = "mean",
+) -> dict:
+    """:meth:`ResultTable.marginal` as a JSON-ready payload.
+
+    Raises ``ValueError``/``KeyError`` exactly like the method for unknown
+    aggregates or columns; the daemon maps those to HTTP 400.
+    """
+    out = table.marginal(value=value, over=over, group_by=tuple(group_by), agg=agg)
+    return {
+        "params": {
+            "value": value,
+            "over": over,
+            "group_by": list(group_by),
+            "agg": agg,
+        },
+        **table_payload(out),
+    }
+
+
+def pivot_payload(
+    table: ResultTable,
+    index: str,
+    column: str,
+    value: str,
+    agg: str = "mean",
+) -> dict:
+    """:meth:`ResultTable.pivot` as a JSON-ready payload (400 semantics as
+    :func:`marginal_payload`)."""
+    out = table.pivot(index=index, column=column, value=value, agg=agg)
+    return {
+        "params": {
+            "index": index,
+            "column": column,
+            "value": value,
+            "agg": agg,
+        },
+        **table_payload(out),
+    }
+
+
+def crossover_payload(
+    table: ResultTable,
+    axis: str,
+    value: str = "analytic_success",
+    by: str = "technique",
+    group_by: "Sequence[str]" = ("benchmark",),
+) -> dict:
+    """:meth:`ResultTable.crossovers` as a JSON-ready payload."""
+    found = table.crossovers(
+        axis=axis, value=value, by=by, group_by=tuple(group_by)
+    )
+    return {
+        "params": {
+            "axis": axis,
+            "value": value,
+            "by": by,
+            "group_by": list(group_by),
+        },
+        "count": len(found),
+        "crossovers": [crossing.as_dict() for crossing in found],
+    }

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Offline approximation of the repo's ruff gate (see pyproject.toml).
+
+CI runs the real, pinned ``ruff check`` (the ``lint`` job); this tool
+exists for air-gapped development environments where ruff cannot be
+installed.  It re-implements the *mechanical* subset of the configured
+rule set -- unused/duplicated imports, comparison pitfalls, bare
+excepts, trailing whitespace -- with Python's own ``ast`` and
+``tokenize`` so a pre-push check needs nothing beyond the standard
+library.  It is deliberately conservative: anything it flags, ruff
+flags too; the reverse is not guaranteed, so a clean run here is
+necessary but CI stays authoritative.
+
+Usage::
+
+    python tools/lint_local.py src tools benchmarks tests
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tokenize
+from pathlib import Path
+
+#: Rules (by ruff code) this tool approximates.  Kept in sync with the
+#: ``[tool.ruff.lint] select`` list in pyproject.toml.
+APPROXIMATED = (
+    "E401",  # multiple imports on one line
+    "E711",  # comparison to None with ==/!=
+    "E712",  # comparison to True/False with ==/!=
+    "E722",  # bare except
+    "E731",  # lambda assigned to a name
+    "F401",  # imported but unused
+    "F811",  # redefinition of an unused import
+    "W291",  # trailing whitespace
+    "W293",  # whitespace on blank line
+    "W292",  # missing newline at end of file
+)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Collect module-scope import bindings and every name usage."""
+
+    def __init__(self) -> None:
+        self.imports: dict[str, tuple[int, str]] = {}
+        self.used: set[str] = set()
+        self.redefinitions: list[tuple[int, str]] = []
+
+    def _bind(self, name: str, lineno: int, spelled: str) -> None:
+        if name in self.imports:
+            self.redefinitions.append((lineno, name))
+        self.imports[name] = (lineno, spelled)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.partition(".")[0]
+            # `import a.b` then `import a.c` both bind `a` -- distinct
+            # submodule imports, not a redefinition (pyflakes semantics).
+            if alias.asname is None and "." in alias.name:
+                if bound not in self.imports:
+                    self.imports[bound] = (node.lineno, alias.name)
+                continue
+            self._bind(bound, node.lineno, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return  # never "unused": they act at compile time
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            # ``import X as X`` is ruff's documented re-export idiom.
+            if alias.asname == alias.name:
+                self.used.add(bound)
+            self._bind(bound, node.lineno, alias.name)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+
+def _names_in_strings(tree: ast.Module) -> set[str]:
+    """Names referenced by ``__all__`` entries and *string annotations*
+    (with ``from __future__ import annotations``, ``"Callable[[], dict]"``
+    is a string constant, but ruff still counts the usage)."""
+    import re
+
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", node.value))
+    return out
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:  # E9: hand the real message through
+        return [f"{path}:{exc.lineno}: E999 {exc.msg}"]
+
+    tracker = _ImportTracker()
+    tracker.visit(tree)
+    referenced = tracker.used | _names_in_strings(tree)
+    for name, (lineno, spelled) in sorted(tracker.imports.items()):
+        if name not in referenced and not name.startswith("_"):
+            problems.append(
+                f"{path}:{lineno}: F401 {spelled!r} imported but unused"
+            )
+    for lineno, name in tracker.redefinitions:
+        if name not in referenced:
+            problems.append(
+                f"{path}:{lineno}: F811 redefinition of unused {name!r}"
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant):
+                    if comparator.value is None:
+                        problems.append(
+                            f"{path}:{node.lineno}: E711 comparison to None"
+                        )
+                    elif comparator.value is True or comparator.value is False:
+                        problems.append(
+                            f"{path}:{node.lineno}: E712 comparison to "
+                            f"{comparator.value}"
+                        )
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(f"{path}:{node.lineno}: E722 bare except")
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Lambda) and all(
+                isinstance(t, ast.Name) for t in node.targets
+            ):
+                problems.append(
+                    f"{path}:{node.lineno}: E731 lambda assigned to a name"
+                )
+    with path.open("rb") as handle:
+        try:
+            for token in tokenize.tokenize(handle.readline):
+                if token.type == tokenize.OP and token.string == ";":
+                    problems.append(
+                        f"{path}:{token.start[0]}: E702 statement ends with "
+                        "a semicolon"
+                    )
+        except tokenize.TokenizeError:
+            pass
+
+    lines = source.split("\n")
+    for number, line in enumerate(lines, start=1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            code = "W293" if not stripped.strip() else "W291"
+            problems.append(f"{path}:{number}: {code} trailing whitespace")
+    if source and not source.endswith("\n"):
+        problems.append(f"{path}:{len(lines)}: W292 no newline at end of file")
+
+    # E401: `import a, b` on one line.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import) and len(node.names) > 1:
+            problems.append(
+                f"{path}:{node.lineno}: E401 multiple imports on one line"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"lint_local: checked {len(files)} files, "
+        f"{len(problems)} problem(s) "
+        f"(approximates: {', '.join(APPROXIMATED)})"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
