@@ -16,7 +16,12 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.qasm.exporter import to_qasm
 from repro.qasm.parser import load_file
 
-__all__ = ["export_benchmark_suite", "load_benchmark_file", "benchmark_filename"]
+__all__ = [
+    "export_benchmark_suite",
+    "load_benchmark_file",
+    "benchmark_filename",
+    "suite_workload_ids",
+]
 
 
 def benchmark_filename(acronym: str) -> str:
@@ -58,3 +63,26 @@ def load_benchmark_file(path: str) -> QuantumCircuit:
     base = os.path.basename(path)
     circuit.name = base.rsplit("_", 1)[0].upper() if "_" in base else base
     return circuit
+
+
+def suite_workload_ids(directory: str) -> dict[str, str]:
+    """Map each exported benchmark acronym to its corpus workload id.
+
+    An exported suite directory is itself a valid external corpus
+    (:mod:`repro.qasm.corpus`); this resolves, for every benchmark file
+    :func:`export_benchmark_suite` wrote under ``directory``, the stable
+    content-derived id a corpus scan assigns it -- the names to pass as
+    grid benchmarks when sweeping the suite through ``--corpus``.
+    """
+    from repro.qasm.corpus import workload_id
+
+    ids: dict[str, str] = {}
+    for acronym in sorted(BENCHMARKS):
+        path = os.path.join(directory, benchmark_filename(acronym))
+        if not os.path.exists(path):
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        stem = os.path.splitext(os.path.basename(path))[0]
+        ids[acronym] = workload_id(stem, text)
+    return ids

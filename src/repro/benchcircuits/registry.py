@@ -61,12 +61,22 @@ BENCHMARKS: dict[str, BenchmarkInfo] = {
 def get_benchmark(acronym: str) -> QuantumCircuit:
     """Build the named Table III benchmark at its canonical size.
 
+    Names not in the table fall back to the registered external-corpus
+    workloads (:mod:`repro.qasm.corpus`), so a corpus id is a first-class
+    benchmark name everywhere the registry is consulted.
+
     Raises:
-        KeyError: for acronyms not in the table.
+        KeyError: for names in neither the table nor a registered corpus.
     """
     info = BENCHMARKS.get(acronym.upper())
-    if info is None:
+    if info is not None:
+        return info.builder()
+    from repro.qasm.corpus import resolve_workload
+
+    try:
+        return resolve_workload(acronym)
+    except KeyError:
         raise KeyError(
-            f"unknown benchmark {acronym!r}; choose from {sorted(BENCHMARKS)}"
-        )
-    return info.builder()
+            f"unknown benchmark {acronym!r}; choose from {sorted(BENCHMARKS)} "
+            "or register an external corpus (repro.qasm.corpus / --corpus)"
+        ) from None

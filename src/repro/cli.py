@@ -67,6 +67,14 @@ def main(argv: list[str] | None = None) -> int:
         f"one of {sorted(BENCHMARKS)}",
     )
     parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="register every .qasm file under DIR as a named workload, so "
+        "--benchmark also accepts corpus workload ids (unparseable files "
+        "are skipped with a warning)",
+    )
+    parser.add_argument(
         "--technique",
         choices=[*techniques_available, "all"],
         default="parallax",
@@ -165,6 +173,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if (args.qasm_file is None) == (args.benchmark is None):
         parser.error("provide exactly one of: a QASM file path, or --benchmark")
+
+    if args.corpus is not None:
+        from repro.qasm.corpus import activate_corpus
+
+        try:
+            corpus = activate_corpus(args.corpus)
+        except ValueError as exc:
+            parser.error(str(exc))
+        for name, reason in corpus.skipped:
+            print(f"corpus: skipped {name}: {reason}")
+        print(corpus.summary_line)
 
     try:
         if args.benchmark is not None:

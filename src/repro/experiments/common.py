@@ -29,6 +29,7 @@ import os
 import typing
 from dataclasses import dataclass
 
+from repro.baselines.router import RouterConfig
 from repro.benchcircuits import get_benchmark
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.result import CompilationResult
@@ -78,15 +79,28 @@ TECHNIQUES: tuple[str, ...] = ("graphine", "eldi", "parallax")
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Cross-experiment knobs."""
+    """Cross-experiment knobs.
+
+    Every field except ``benchmarks`` is a *technique-config knob* the
+    sweep grids can range over (``SweepGrid.config_axes``): the defaults
+    reproduce the paper's settings, and each technique's ``make_config``
+    keeps only the knobs it consumes, so varying e.g. ``placement_seed``
+    never invalidates ELDI's cache entries.
+    """
 
     benchmarks: tuple[str, ...] = ALL_BENCHMARKS
     placement_method: str = "spring"
     placement_seed: int = 7
     scheduler_seed: int = 11
+    return_home: bool = True
+    router_strategy: str = "shortest_path"
+    router_window: int = 8
 
     def placement(self) -> PlacementConfig:
         return PlacementConfig(method=self.placement_method, seed=self.placement_seed)
+
+    def router(self) -> RouterConfig:
+        return RouterConfig(strategy=self.router_strategy, window=self.router_window)
 
 
 @dataclass(frozen=True)
@@ -155,13 +169,17 @@ def prepared_layout(benchmark: str, settings: ExperimentSettings) -> GraphineLay
 
 
 def settings_config_factory(
-    settings: ExperimentSettings, return_home: bool = True
+    settings: ExperimentSettings, return_home: "bool | None" = None
 ) -> "Callable[[str, QuantumCircuit, HardwareSpec], object]":
     """Per-task config factory matching :func:`compile_one`'s cache keys.
 
     Each technique's ``make_config`` keeps only the knobs it consumes, so
-    the same factory serves all registered techniques.
+    the same factory serves all registered techniques.  ``return_home``
+    defaults to the settings field (an explicit argument overrides it --
+    the Fig. 12 ablation path).
     """
+    if return_home is None:
+        return_home = settings.return_home
 
     def factory(
         technique: str, circuit: QuantumCircuit, spec: HardwareSpec
@@ -171,6 +189,7 @@ def settings_config_factory(
             scheduler=SchedulerConfig(
                 return_home=return_home, seed=settings.scheduler_seed
             ),
+            router=settings.router(),
             transpile_input=False,
         )
 
@@ -182,7 +201,7 @@ def compile_one(
     benchmark: str,
     spec: HardwareSpec,
     settings: ExperimentSettings | None = None,
-    return_home: bool = True,
+    return_home: "bool | None" = None,
 ) -> CompilationResult:
     """Compile one benchmark with one technique on one machine (memoized)."""
     settings = settings or ExperimentSettings()
@@ -205,7 +224,7 @@ def compile_batch(
     techniques: "Sequence[str]" = TECHNIQUES,
     specs: "HardwareSpec | Sequence[HardwareSpec] | None" = None,
     settings: ExperimentSettings | None = None,
-    return_home: bool = True,
+    return_home: "bool | None" = None,
     workers: int = 1,
 ) -> list[CompilationResult]:
     """Batch-compile ``benchmarks x techniques x specs`` with cache write-back.
@@ -229,18 +248,21 @@ def compile_batch(
 
 
 def compile_points(
-    points: "Sequence[tuple[str, str, HardwareSpec]]",
+    points: "Sequence[tuple]",
     settings: ExperimentSettings | None = None,
-    return_home: bool = True,
+    return_home: "bool | None" = None,
     workers: int = 1,
     return_timings: bool = False,
 ):
     """Compile an explicit (possibly non-product) list of points.
 
-    Each point is a ``(benchmark acronym, technique, spec)`` triple; unlike
-    :func:`compile_batch` the list need not be a full cartesian product, so
-    callers (the scenario-sweep runner) can dedup shared compilations before
-    dispatch.  Routed through
+    Each point is a ``(benchmark acronym, technique, spec)`` triple, or a
+    ``(benchmark, technique, spec, config_overrides)`` 4-tuple where
+    ``config_overrides`` is a tuple of ``(field, value)`` pairs applied to
+    ``settings`` for that point only (the sweep grids' ``config_axes``
+    mechanism); unlike :func:`compile_batch` the list need not be a full
+    cartesian product, so callers (the scenario-sweep runner) can dedup
+    shared compilations before dispatch.  Routed through
     :func:`~repro.pipeline.batch.compile_tasks` against the shared
     experiment cache with the same configs :func:`compile_one` uses, so
     sweep compilations and figure compilations hit the same cache entries.
@@ -248,14 +270,30 @@ def compile_points(
     With ``return_timings``, each entry is a ``(result, stage_timings)``
     pair (cache hits and deduplicated points report empty timings).
     """
+    from dataclasses import replace
+
     settings = settings or ExperimentSettings()
-    factory = settings_config_factory(settings, return_home)
+    factories: dict[tuple, "Callable"] = {}
     tasks = []
-    for benchmark, technique, spec in points:
+    for point in points:
+        benchmark, technique, spec = point[0], point[1], point[2]
+        overrides = tuple(point[3]) if len(point) > 3 and point[3] else ()
+        if overrides not in factories:
+            point_settings = (
+                replace(settings, **dict(overrides)) if overrides else settings
+            )
+            factories[overrides] = settings_config_factory(
+                point_settings, return_home
+            )
         get_compiler(technique)  # fail fast on unknown techniques
         circuit = prepared_circuit(benchmark)
         tasks.append(
-            CompileTask(technique, circuit, spec, factory(technique, circuit, spec))
+            CompileTask(
+                technique,
+                circuit,
+                spec,
+                factories[overrides](technique, circuit, spec),
+            )
         )
     return compile_tasks(
         tasks, workers=workers, cache=_result_cache, return_timings=return_timings
@@ -266,7 +304,7 @@ def compilation_table(
     points: "Sequence[tuple[str, str, HardwareSpec]]",
     settings: ExperimentSettings | None = None,
     noise: "NoiseModelConfig | None" = None,
-    return_home: bool = True,
+    return_home: "bool | None" = None,
     workers: int = 1,
     extras: "Sequence[Mapping[str, object]] | None" = None,
     title: str = "compilation results",

@@ -11,6 +11,14 @@ those benchmarks need: ``qreg``/``creg`` declarations, ``include
 from repro.qasm.lexer import tokenize, Token, QasmSyntaxError
 from repro.qasm.parser import parse_qasm, loads, load_file
 from repro.qasm.exporter import to_qasm
+from repro.qasm.corpus import (
+    Corpus,
+    CorpusWorkload,
+    scan_corpus,
+    register_corpus,
+    activate_corpus,
+    resolve_workload,
+)
 
 __all__ = [
     "tokenize",
@@ -20,4 +28,10 @@ __all__ = [
     "loads",
     "load_file",
     "to_qasm",
+    "Corpus",
+    "CorpusWorkload",
+    "scan_corpus",
+    "register_corpus",
+    "activate_corpus",
+    "resolve_workload",
 ]

@@ -1,4 +1,12 @@
-"""Tokenizer for OpenQASM 2.0 source text."""
+"""Tokenizer for OpenQASM 2.0 source text.
+
+Every token carries its (1-based) line *and* column, and every lexical
+error raises :class:`QasmSyntaxError` with both coordinates -- the parser
+threads them through, so any malformed input is reported as ``line L, col
+C: message`` instead of a raw traceback.  Both ``//`` line comments and
+``/* ... */`` block comments are recognised; an unterminated block comment
+or string is a lexical error at its opening position.
+"""
 
 from __future__ import annotations
 
@@ -10,20 +18,28 @@ __all__ = ["Token", "tokenize", "QasmSyntaxError"]
 
 
 class QasmSyntaxError(ValueError):
-    """Raised for any lexical or syntactic error in QASM source."""
+    """Raised for any lexical or syntactic error in QASM source.
 
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    Attributes:
+        line: 1-based source line of the error (0 when unknown).
+        col: 1-based source column of the error (0 when unknown).
+    """
+
+    def __init__(self, message: str, line: int, col: int = 0) -> None:
+        location = f"line {line}, col {col}" if col else f"line {line}"
+        super().__init__(f"{location}: {message}")
         self.line = line
+        self.col = col
 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token: a kind tag, the source text, and its line number."""
+    """One lexical token: kind tag, source text, and 1-based line/column."""
 
     kind: str
     text: str
     line: int
+    col: int = 0
 
 
 _KEYWORDS = {
@@ -34,10 +50,12 @@ _KEYWORDS = {
 _TOKEN_RE = re.compile(
     r"""
     (?P<comment>//[^\n]*)
+  | (?P<block_comment>/\*)
   | (?P<real>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)
   | (?P<int>\d+)
   | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<string>"[^"\n]*")
+  | (?P<badstring>")
   | (?P<arrow>->)
   | (?P<eq>==)
   | (?P<sym>[{}()\[\];,+\-*/^])
@@ -47,33 +65,55 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
+_BLOCK_COMMENT_END = re.compile(r"\*/")
+
 
 def tokenize(source: str) -> Iterator[Token]:
     """Yield tokens from QASM source, skipping comments and whitespace.
 
     Raises:
-        QasmSyntaxError: on any character that starts no valid token.
+        QasmSyntaxError: on any character that starts no valid token, an
+            unterminated string literal, or an unterminated ``/* ...``
+            block comment.
     """
     line = 1
     pos = 0
+    line_start = 0  # offset of the first character of the current line
     length = len(source)
     while pos < length:
+        col = pos - line_start + 1
         match = _TOKEN_RE.match(source, pos)
         if match is None:
-            raise QasmSyntaxError(f"unexpected character {source[pos]!r}", line)
+            raise QasmSyntaxError(
+                f"unexpected character {source[pos]!r}", line, col
+            )
         pos = match.end()
         kind = match.lastgroup
         text = match.group()
         if kind == "newline":
             line += 1
+            line_start = pos
             continue
         if kind in ("ws", "comment"):
             continue
+        if kind == "block_comment":
+            end = _BLOCK_COMMENT_END.search(source, pos)
+            if end is None:
+                raise QasmSyntaxError("unterminated block comment", line, col)
+            body = source[pos : end.start()]
+            newlines = body.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + body.rfind("\n") + 1
+            pos = end.end()
+            continue
+        if kind == "badstring":
+            raise QasmSyntaxError("unterminated string literal", line, col)
         if kind == "id" and text in _KEYWORDS:
-            yield Token("keyword", text, line)
+            yield Token("keyword", text, line, col)
         elif kind == "string":
-            yield Token("string", text[1:-1], line)
+            yield Token("string", text[1:-1], line, col)
         else:
             assert kind is not None
-            yield Token(kind, text, line)
-    yield Token("eof", "", line)
+            yield Token(kind, text, line, col)
+    yield Token("eof", "", line, pos - line_start + 1)

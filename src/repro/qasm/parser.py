@@ -17,6 +17,14 @@ Supported grammar (the subset QASMBench-style files use)::
     h q;                  // register broadcast
     barrier q;
     measure q -> c;
+
+Hardened against adversarial input: every malformed construct -- bad
+headers, unterminated comments or strings, zero-size or duplicate
+registers, out-of-range quantum *and* classical indices, recursive or
+forward-referencing gate definitions, pathological numeric literals, and
+deeply nested constant expressions -- raises :class:`QasmSyntaxError`
+carrying the 1-based line and column, never a raw ``RecursionError`` /
+``IndexError`` / ``KeyError``.
 """
 
 from __future__ import annotations
@@ -30,6 +38,22 @@ from repro.qasm.lexer import Token, tokenize, QasmSyntaxError
 from repro.qasm.qelib import is_standard_gate
 
 __all__ = ["parse_qasm", "loads", "load_file"]
+
+#: Hard cap on one register's declared size: a sweep workload never needs
+#: more, and it bounds the memory an adversarial ``qreg q[99999999999]``
+#: can demand before the resolver materializes index lists.
+MAX_REGISTER_SIZE = 1 << 20
+
+#: Hard cap on nested custom-gate expansion.  QASM 2.0 forbids recursive
+#: definitions outright (enforced separately at definition time); this
+#: bounds legal-but-deep definition chains so expansion can never turn
+#: into an interpreter stack overflow.
+MAX_GATE_EXPANSION_DEPTH = 64
+
+#: Hard cap on constant-expression nesting (parens, unary signs, function
+#: calls).  Beyond this the evaluator reports the position instead of
+#: letting CPython raise ``RecursionError``.
+MAX_EXPR_DEPTH = 200
 
 
 @dataclass(frozen=True)
@@ -52,6 +76,7 @@ class _Parser:
         self.gate_defs: dict[str, _GateDef] = {}
         self.gates: list[Gate] = []
         self.num_qubits = 0
+        self.expansion_depth = 0
 
     # -- token helpers ------------------------------------------------------
 
@@ -60,7 +85,8 @@ class _Parser:
 
     def advance(self) -> Token:
         token = self.tokens[self.pos]
-        self.pos += 1
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
         return token
 
     def expect(self, kind: str, text: str | None = None) -> Token:
@@ -68,7 +94,9 @@ class _Parser:
         if token.kind != kind or (text is not None and token.text != text):
             want = f"{kind} {text!r}" if text else kind
             raise QasmSyntaxError(
-                f"expected {want}, got {token.kind} {token.text!r}", token.line
+                f"expected {want}, got {token.kind} {token.text!r}",
+                token.line,
+                token.col,
             )
         return token
 
@@ -78,12 +106,31 @@ class _Parser:
             return self.advance()
         return None
 
+    def _int_value(self, token: Token) -> int:
+        """``int()`` of an integer token, wrapping pathological literals
+        (e.g. thousands of digits tripping CPython's conversion limit)."""
+        try:
+            return int(token.text)
+        except ValueError as exc:
+            raise QasmSyntaxError(
+                f"invalid integer literal ({len(token.text)} digits)",
+                token.line,
+                token.col,
+            ) from exc
+
     # -- top level ----------------------------------------------------------
 
     def parse(self) -> QuantumCircuit:
         self._parse_header()
         while self.peek().kind != "eof":
             self._parse_statement()
+        if self.num_qubits == 0 and not self.gates:
+            eof = self.peek()
+            raise QasmSyntaxError(
+                "program declares no quantum registers and no gates",
+                eof.line,
+                eof.col,
+            )
         circuit = QuantumCircuit(max(self.num_qubits, 1), name="qasm")
         circuit.extend(self.gates)
         return circuit
@@ -91,9 +138,18 @@ class _Parser:
     def _parse_header(self) -> None:
         if self.accept("keyword", "OPENQASM"):
             version = self.advance()
+            if version.kind not in ("real", "int"):
+                raise QasmSyntaxError(
+                    f"expected a version number after OPENQASM, got "
+                    f"{version.text!r}",
+                    version.line,
+                    version.col,
+                )
             if version.text not in ("2.0", "2"):
                 raise QasmSyntaxError(
-                    f"unsupported OPENQASM version {version.text!r}", version.line
+                    f"unsupported OPENQASM version {version.text!r}",
+                    version.line,
+                    version.col,
                 )
             self.expect("sym", ";")
 
@@ -112,13 +168,17 @@ class _Parser:
                 "if": self._parse_if,
             }.get(token.text)
             if handler is None:
-                raise QasmSyntaxError(f"unexpected keyword {token.text!r}", token.line)
+                raise QasmSyntaxError(
+                    f"unexpected keyword {token.text!r}", token.line, token.col
+                )
             handler()
         elif token.kind == "id":
             self._parse_gate_call()
         else:
             raise QasmSyntaxError(
-                f"unexpected token {token.kind} {token.text!r}", token.line
+                f"unexpected token {token.kind} {token.text!r}",
+                token.line,
+                token.col,
             )
 
     def _parse_include(self) -> None:
@@ -127,49 +187,85 @@ class _Parser:
         self.expect("sym", ";")
         if name.text not in ("qelib1.inc",):
             raise QasmSyntaxError(
-                f"only qelib1.inc includes are supported, got {name.text!r}", name.line
+                f"only qelib1.inc includes are supported, got {name.text!r}",
+                name.line,
+                name.col,
+            )
+
+    def _parse_register_size(self, name: Token, kind: str) -> int:
+        self.expect("sym", "[")
+        size_token = self.expect("int")
+        size = self._int_value(size_token)
+        self.expect("sym", "]")
+        self.expect("sym", ";")
+        if size == 0:
+            raise QasmSyntaxError(
+                f"{kind} {name.text!r} has size 0",
+                size_token.line,
+                size_token.col,
+            )
+        if size > MAX_REGISTER_SIZE:
+            raise QasmSyntaxError(
+                f"{kind} {name.text!r} size {size} exceeds the supported "
+                f"maximum {MAX_REGISTER_SIZE}",
+                size_token.line,
+                size_token.col,
+            )
+        return size
+
+    def _check_register_name(self, name: Token) -> None:
+        if name.text in self.qregs:
+            raise QasmSyntaxError(
+                f"duplicate qreg {name.text!r}", name.line, name.col
+            )
+        if name.text in self.cregs:
+            raise QasmSyntaxError(
+                f"duplicate creg {name.text!r}", name.line, name.col
             )
 
     def _parse_qreg(self) -> None:
         self.expect("keyword", "qreg")
         name = self.expect("id")
-        self.expect("sym", "[")
-        size = int(self.expect("int").text)
-        self.expect("sym", "]")
-        self.expect("sym", ";")
-        if name.text in self.qregs:
-            raise QasmSyntaxError(f"duplicate qreg {name.text!r}", name.line)
+        size = self._parse_register_size(name, "qreg")
+        self._check_register_name(name)
         self.qregs[name.text] = (self.num_qubits, size)
         self.num_qubits += size
 
     def _parse_creg(self) -> None:
         self.expect("keyword", "creg")
         name = self.expect("id")
-        self.expect("sym", "[")
-        size = int(self.expect("int").text)
-        self.expect("sym", "]")
-        self.expect("sym", ";")
+        size = self._parse_register_size(name, "creg")
+        self._check_register_name(name)
         self.cregs[name.text] = size
 
     def _parse_opaque(self) -> None:
         token = self.expect("keyword", "opaque")
-        raise QasmSyntaxError("opaque gates are not supported", token.line)
+        raise QasmSyntaxError(
+            "opaque gates are not supported", token.line, token.col
+        )
 
     def _parse_if(self) -> None:
         token = self.expect("keyword", "if")
         raise QasmSyntaxError(
-            "classically-controlled gates are not supported", token.line
+            "classically-controlled gates are not supported",
+            token.line,
+            token.col,
         )
 
     def _parse_reset(self) -> None:
         token = self.expect("keyword", "reset")
-        raise QasmSyntaxError("reset is not supported", token.line)
+        raise QasmSyntaxError("reset is not supported", token.line, token.col)
 
     # -- gate definitions ---------------------------------------------------
 
     def _parse_gate_def(self) -> None:
         self.expect("keyword", "gate")
-        name = self.expect("id").text
+        name_token = self.expect("id")
+        name = name_token.text
+        if name in self.gate_defs or is_standard_gate(name):
+            raise QasmSyntaxError(
+                f"redefinition of gate {name!r}", name_token.line, name_token.col
+            )
         params: list[str] = []
         if self.accept("sym", "("):
             if not self.accept("sym", ")"):
@@ -181,15 +277,39 @@ class _Parser:
         qargs: list[str] = [self.expect("id").text]
         while self.accept("sym", ","):
             qargs.append(self.expect("id").text)
+        if len(set(params)) != len(params) or len(set(qargs)) != len(qargs):
+            raise QasmSyntaxError(
+                f"duplicate argument names in gate {name!r} definition",
+                name_token.line,
+                name_token.col,
+            )
         self.expect("sym", "{")
         body: list[tuple[str, tuple[tuple[Token, ...], ...], tuple[str, ...]]] = []
         while not self.accept("sym", "}"):
             if self.accept("keyword", "barrier"):
                 # barriers inside gate bodies are no-ops after inlining
                 while not self.accept("sym", ";"):
+                    token = self.peek()
+                    if token.kind == "eof":
+                        raise QasmSyntaxError(
+                            f"unterminated body of gate {name!r}",
+                            token.line,
+                            token.col,
+                        )
                     self.advance()
                 continue
-            inner = self.expect("id").text
+            inner_token = self.expect("id")
+            inner = inner_token.text
+            # QASM 2.0 allows only previously-defined (or standard) gates in
+            # a body: this is what statically rules out self- and
+            # mutually-recursive definitions.
+            if inner not in self.gate_defs and not is_standard_gate(inner):
+                raise QasmSyntaxError(
+                    f"gate {name!r} references undefined gate {inner!r} "
+                    "(recursive and forward references are not allowed)",
+                    inner_token.line,
+                    inner_token.col,
+                )
             exprs: list[tuple[Token, ...]] = []
             if self.accept("sym", "("):
                 if not self.accept("sym", ")"):
@@ -212,7 +332,9 @@ class _Parser:
         while True:
             token = self.peek()
             if token.kind == "eof":
-                raise QasmSyntaxError("unterminated expression", token.line)
+                raise QasmSyntaxError(
+                    "unterminated expression", token.line, token.col
+                )
             if depth == 0 and token.kind == "sym" and token.text in (",", ")"):
                 return collected
             if token.kind == "sym" and token.text == "(":
@@ -238,36 +360,44 @@ class _Parser:
         while self.accept("sym", ","):
             operands.append(self._parse_operand())
         self.expect("sym", ";")
-        for qubit_tuple in self._broadcast(operands, name_token.line):
-            self._emit(name, params, qubit_tuple, name_token.line)
+        for qubit_tuple in self._broadcast(operands, name_token):
+            self._emit(name, params, qubit_tuple, name_token)
 
-    def _parse_operand(self) -> tuple[str, int | None]:
-        name = self.expect("id").text
+    def _parse_operand(self) -> tuple[str, int | None, Token]:
+        token = self.expect("id")
         if self.accept("sym", "["):
-            index = int(self.expect("int").text)
+            index = self._int_value(self.expect("int"))
             self.expect("sym", "]")
-            return (name, index)
-        return (name, None)
+            return (token.text, index, token)
+        return (token.text, None, token)
 
-    def _resolve(self, operand: tuple[str, int | None], line: int) -> list[int]:
-        name, index = operand
+    def _resolve(self, operand: tuple[str, "int | None", Token]) -> list[int]:
+        name, index, token = operand
         if name not in self.qregs:
-            raise QasmSyntaxError(f"unknown qreg {name!r}", line)
+            raise QasmSyntaxError(
+                f"unknown qreg {name!r}", token.line, token.col
+            )
         offset, size = self.qregs[name]
         if index is None:
             return list(range(offset, offset + size))
         if not (0 <= index < size):
-            raise QasmSyntaxError(f"index {index} out of range for {name}[{size}]", line)
+            raise QasmSyntaxError(
+                f"index {index} out of range for {name}[{size}]",
+                token.line,
+                token.col,
+            )
         return [offset + index]
 
     def _broadcast(
-        self, operands: list[tuple[str, int | None]], line: int
+        self, operands: "list[tuple[str, int | None, Token]]", at: Token
     ) -> list[tuple[int, ...]]:
         """Expand register operands per QASM broadcasting rules."""
-        resolved = [self._resolve(op, line) for op in operands]
+        resolved = [self._resolve(op) for op in operands]
         lengths = {len(r) for r in resolved if len(r) > 1}
         if len(lengths) > 1:
-            raise QasmSyntaxError("mismatched register sizes in broadcast", line)
+            raise QasmSyntaxError(
+                "mismatched register sizes in broadcast", at.line, at.col
+            )
         width = lengths.pop() if lengths else 1
         out: list[tuple[int, ...]] = []
         for i in range(width):
@@ -275,75 +405,130 @@ class _Parser:
         return out
 
     def _emit(
-        self, name: str, params: list[float], qubits: tuple[int, ...], line: int
+        self, name: str, params: list[float], qubits: tuple[int, ...], at: Token
     ) -> None:
         if name in self.gate_defs:
-            self._expand_custom(self.gate_defs[name], params, qubits, line)
+            self._expand_custom(self.gate_defs[name], params, qubits, at)
             return
         if not is_standard_gate(name):
-            raise QasmSyntaxError(f"unknown gate {name!r}", line)
+            raise QasmSyntaxError(f"unknown gate {name!r}", at.line, at.col)
         try:
             self.gates.append(Gate(name, qubits, tuple(params)))
         except ValueError as exc:
-            raise QasmSyntaxError(str(exc), line) from exc
+            raise QasmSyntaxError(str(exc), at.line, at.col) from exc
 
     def _expand_custom(
-        self, definition: _GateDef, params: list[float], qubits: tuple[int, ...], line: int
+        self,
+        definition: _GateDef,
+        params: list[float],
+        qubits: tuple[int, ...],
+        at: Token,
     ) -> None:
         if len(params) != len(definition.params):
             raise QasmSyntaxError(
                 f"gate {definition.name!r} expects {len(definition.params)} params, "
                 f"got {len(params)}",
-                line,
+                at.line,
+                at.col,
             )
         if len(qubits) != len(definition.qargs):
             raise QasmSyntaxError(
                 f"gate {definition.name!r} expects {len(definition.qargs)} qubits, "
                 f"got {len(qubits)}",
-                line,
+                at.line,
+                at.col,
+            )
+        if self.expansion_depth >= MAX_GATE_EXPANSION_DEPTH:
+            raise QasmSyntaxError(
+                f"gate expansion deeper than {MAX_GATE_EXPANSION_DEPTH} "
+                f"levels at {definition.name!r}",
+                at.line,
+                at.col,
             )
         env = dict(zip(definition.params, params))
         qmap = dict(zip(definition.qargs, qubits))
-        for inner_name, exprs, inner_qargs in definition.body:
-            inner_params = [self._eval_expr(list(ts), env) for ts in exprs]
-            try:
-                inner_qubits = tuple(qmap[a] for a in inner_qargs)
-            except KeyError as exc:
-                raise QasmSyntaxError(
-                    f"unknown qubit argument {exc.args[0]!r} in gate "
-                    f"{definition.name!r}",
-                    line,
-                ) from exc
-            self._emit(inner_name, inner_params, inner_qubits, line)
+        self.expansion_depth += 1
+        try:
+            for inner_name, exprs, inner_qargs in definition.body:
+                inner_params = [self._eval_expr(list(ts), env) for ts in exprs]
+                try:
+                    inner_qubits = tuple(qmap[a] for a in inner_qargs)
+                except KeyError as exc:
+                    raise QasmSyntaxError(
+                        f"unknown qubit argument {exc.args[0]!r} in gate "
+                        f"{definition.name!r}",
+                        at.line,
+                        at.col,
+                    ) from exc
+                self._emit(inner_name, inner_params, inner_qubits, at)
+        finally:
+            self.expansion_depth -= 1
 
     # -- barrier / measure --------------------------------------------------
 
     def _parse_barrier(self) -> None:
-        token = self.expect("keyword", "barrier")
+        self.expect("keyword", "barrier")
         operands = [self._parse_operand()]
         while self.accept("sym", ","):
             operands.append(self._parse_operand())
         self.expect("sym", ";")
         for op in operands:
-            for q in self._resolve(op, token.line):
+            for q in self._resolve(op):
                 self.gates.append(Gate("barrier", (q,)))
 
     def _parse_measure(self) -> None:
-        token = self.expect("keyword", "measure")
+        self.expect("keyword", "measure")
         qop = self._parse_operand()
         self.expect("arrow")
-        self._parse_operand()  # classical target: recorded but unused
+        cop = self._parse_operand()
         self.expect("sym", ";")
-        for q in self._resolve(qop, token.line):
+        qubits = self._resolve(qop)
+        # The classical target is not carried into the circuit (records are
+        # keyed by qubit), but it is validated like any other operand:
+        # silently accepting out-of-range creg indices hides corrupt files.
+        cname, cindex, ctoken = cop
+        if cname not in self.cregs:
+            raise QasmSyntaxError(
+                f"unknown creg {cname!r}", ctoken.line, ctoken.col
+            )
+        csize = self.cregs[cname]
+        if cindex is not None and not (0 <= cindex < csize):
+            raise QasmSyntaxError(
+                f"index {cindex} out of range for {cname}[{csize}]",
+                ctoken.line,
+                ctoken.col,
+            )
+        targets = 1 if cindex is not None else csize
+        if len(qubits) != targets:
+            raise QasmSyntaxError(
+                f"measure maps {len(qubits)} qubit(s) onto {targets} "
+                f"classical bit(s)",
+                ctoken.line,
+                ctoken.col,
+            )
+        for q in qubits:
             self.gates.append(Gate("measure", (q,)))
 
     # -- expression evaluation ----------------------------------------------
 
     def _eval_expr(self, tokens: list[Token], env: dict[str, float]) -> float:
-        """Evaluate a constant arithmetic expression over pi and gate params."""
+        """Evaluate a constant arithmetic expression over pi and gate params.
+
+        Arithmetic faults (division by zero, power overflow, math-domain
+        errors) surface as :class:`QasmSyntaxError` at the expression's
+        position -- constant expressions must evaluate to a finite float.
+        """
         evaluator = _ExprEval(tokens, env)
-        value = evaluator.parse_expr()
-        evaluator.expect_end()
+        try:
+            value = evaluator.parse_expr()
+            evaluator.expect_end()
+        except QasmSyntaxError:
+            raise
+        except (ZeroDivisionError, OverflowError, ValueError) as exc:
+            line, col = (tokens[0].line, tokens[0].col) if tokens else (0, 0)
+            raise QasmSyntaxError(
+                f"invalid constant expression: {exc}", line, col
+            ) from exc
         return value
 
 
@@ -361,6 +546,7 @@ class _ExprEval:
         self.tokens = tokens
         self.env = env
         self.pos = 0
+        self.depth = 0
 
     def _peek(self) -> Token | None:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
@@ -370,11 +556,22 @@ class _ExprEval:
         self.pos += 1
         return token
 
+    def _enter(self, token: Token) -> None:
+        self.depth += 1
+        if self.depth > MAX_EXPR_DEPTH:
+            raise QasmSyntaxError(
+                f"expression nested deeper than {MAX_EXPR_DEPTH} levels",
+                token.line,
+                token.col,
+            )
+
     def expect_end(self) -> None:
         if self.pos != len(self.tokens):
             token = self.tokens[self.pos]
             raise QasmSyntaxError(
-                f"trailing tokens in expression at {token.text!r}", token.line
+                f"trailing tokens in expression at {token.text!r}",
+                token.line,
+                token.col,
             )
 
     def parse_expr(self) -> float:
@@ -401,12 +598,14 @@ class _ExprEval:
 
     def parse_unary(self) -> float:
         token = self._peek()
-        if token and token.kind == "sym" and token.text == "-":
+        if token and token.kind == "sym" and token.text in "+-":
             self._advance()
-            return -self.parse_unary()
-        if token and token.kind == "sym" and token.text == "+":
-            self._advance()
-            return self.parse_unary()
+            self._enter(token)
+            try:
+                value = self.parse_unary()
+            finally:
+                self.depth -= 1
+            return -value if token.text == "-" else value
         return self.parse_power()
 
     def parse_power(self) -> float:
@@ -420,7 +619,7 @@ class _ExprEval:
     def parse_atom(self) -> float:
         token = self._peek()
         if token is None:
-            raise QasmSyntaxError("unexpected end of expression", 0)
+            raise QasmSyntaxError("unexpected end of expression", 0, 0)
         if token.kind in ("int", "real"):
             self._advance()
             return float(token.text)
@@ -431,30 +630,53 @@ class _ExprEval:
             self._advance()
             if token.text in _FUNCTIONS:
                 self._expect_sym("(")
-                value = self.parse_expr()
+                self._enter(token)
+                try:
+                    value = self.parse_expr()
+                finally:
+                    self.depth -= 1
                 self._expect_sym(")")
                 return _FUNCTIONS[token.text](value)
             if token.text in self.env:
                 return self.env[token.text]
-            raise QasmSyntaxError(f"unknown identifier {token.text!r}", token.line)
+            raise QasmSyntaxError(
+                f"unknown identifier {token.text!r}", token.line, token.col
+            )
         if token.kind == "sym" and token.text == "(":
             self._advance()
-            value = self.parse_expr()
+            self._enter(token)
+            try:
+                value = self.parse_expr()
+            finally:
+                self.depth -= 1
             self._expect_sym(")")
             return value
-        raise QasmSyntaxError(f"unexpected token {token.text!r}", token.line)
+        raise QasmSyntaxError(
+            f"unexpected token {token.text!r}", token.line, token.col
+        )
 
     def _expect_sym(self, text: str) -> None:
         token = self._peek()
         if token is None or token.kind != "sym" or token.text != text:
             line = token.line if token else 0
-            raise QasmSyntaxError(f"expected {text!r} in expression", line)
+            col = token.col if token else 0
+            raise QasmSyntaxError(f"expected {text!r} in expression", line, col)
         self._advance()
 
 
 def parse_qasm(source: str) -> QuantumCircuit:
-    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`."""
-    return _Parser(source).parse()
+    """Parse OpenQASM 2.0 source text into a :class:`QuantumCircuit`.
+
+    Raises:
+        QasmSyntaxError: on any malformed input, carrying ``.line`` and
+            ``.col``.  The explicit depth guards make a ``RecursionError``
+            unreachable in practice; the safety net below keeps the
+            contract even if one is missed.
+    """
+    try:
+        return _Parser(source).parse()
+    except RecursionError as exc:
+        raise QasmSyntaxError("input too deeply nested", 0, 0) from exc
 
 
 #: Alias matching the json/yaml naming convention.
@@ -462,6 +684,17 @@ loads = parse_qasm
 
 
 def load_file(path: str) -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 file from ``path``."""
+    """Parse an OpenQASM 2.0 file from ``path``.
+
+    Raises:
+        QasmSyntaxError: for malformed QASM *and* for files that are not
+            valid UTF-8 text (binary garbage is a syntax error, not a
+            crash).
+        OSError: if the file cannot be read.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_qasm(handle.read())
+        try:
+            source = handle.read()
+        except UnicodeDecodeError as exc:
+            raise QasmSyntaxError(f"not valid UTF-8 text ({exc.reason})", 0, 0) from exc
+    return parse_qasm(source)

@@ -10,6 +10,10 @@ Examples::
     python -m repro.sweeps --benchmarks ADD,QAOA --techniques parallax \\
         --spec-axis cz_error=0.0024,0.0048,0.0096 \\
         --noise-axis include_readout=false,true --shots 2000
+    python -m repro.sweeps --corpus path/to/qasm-suite --techniques all \\
+        --store sweep-out --shots 2000
+    python -m repro.sweeps --benchmarks QAOA --techniques parallax \\
+        --config-axis placement_seed=0,1,2 --config-axis return_home=true,false
     python -m repro.sweeps worker sweep-out --preset smoke --shots 200
     python -m repro.sweeps worker sweep-out --preset smoke --lease-range 64
     python -m repro.sweeps --eval-jobs 8 --seal --merge-every 4 --store sweep-out
@@ -32,6 +36,16 @@ stable machine-readable summary line (``RESUME computed=N resumed=M
 scenarios=S compilations=C``, with any newer fields appended after these
 four) for scripts and CI to grep -- see ``docs/store-format.md`` for the
 full contract.
+
+``--corpus DIR`` opens the workload axis: every ``.qasm`` file under DIR
+becomes a sweep benchmark with a stable content-derived workload id
+(``<STEM>-<SHA256[:8]>``); files the parser rejects are skipped with one
+``corpus: skipped <file>: <reason>`` line each, followed by a stable
+``CORPUS dir=... workloads=N skipped=K`` census line.  ``--config-axis
+FIELD=V1,V2`` sweeps technique-config knobs (placement method/seed,
+router strategy/window, scheduler seed, return-home) as ordinary grid
+axes -- each combination compiles separately and lands in the store and
+analyze output as ordinary columns.
 
 ``worker`` runs one coordinator-free work-stealing worker
 (:mod:`repro.sweeps.distributed`): it claims pending scenario keys through
@@ -170,6 +184,19 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         help="sweep a NoiseModelConfig field (repeatable; overrides preset axes)",
     )
     parser.add_argument(
+        "--config-axis", action="append", metavar="FIELD=V1,V2",
+        help="sweep a technique-config knob (repeatable): placement_method, "
+        "placement_seed, scheduler_seed, return_home, router_strategy, "
+        "router_window -- turns ablations into ordinary sweep axes",
+    )
+    parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="register every .qasm file under DIR as a sweep benchmark "
+        "(stable content-derived workload ids; unparseable files are "
+        "skipped with a warning).  Without --benchmarks the grid runs "
+        "over the whole corpus",
+    )
+    parser.add_argument(
         "--shots", type=int, default=1000, metavar="N",
         help="Monte Carlo shots per scenario (default: 1000)",
     )
@@ -192,6 +219,25 @@ def _grid_from_args(
     preset = SweepGrid.smoke if args.preset == "smoke" else SweepGrid.default
     grid = preset(shots=args.shots, base_seed=args.seed)
     overrides: dict = {}
+    if args.corpus:
+        from repro.qasm.corpus import activate_corpus
+
+        try:
+            corpus = activate_corpus(args.corpus)
+        except ValueError as exc:
+            parser.error(str(exc))
+        # Stable skip + summary lines (docs/store-format.md): one
+        # 'corpus: skipped <file>: <reason>' line per rejected file, then
+        # the CORPUS census line, printed for run and worker alike.
+        for name, reason in corpus.skipped:
+            print(f"corpus: skipped {name}: {reason}")
+        print(corpus.summary_line)
+        if not args.benchmarks:
+            if not corpus.workloads:
+                parser.error(
+                    f"corpus {args.corpus!r} contains no parseable workloads"
+                )
+            overrides["benchmarks"] = corpus.workload_ids
     if args.benchmarks:
         overrides["benchmarks"] = tuple(
             b.strip().upper() for b in args.benchmarks.split(",")
@@ -207,6 +253,8 @@ def _grid_from_args(
             overrides["spec_axes"] = _parse_axes(args.spec_axis)
         if args.noise_axis:
             overrides["noise_axes"] = _parse_axes(args.noise_axis)
+        if args.config_axis:
+            overrides["config_axes"] = _parse_axes(args.config_axis)
         if overrides:
             from dataclasses import replace
 

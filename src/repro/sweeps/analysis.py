@@ -148,6 +148,10 @@ def record_row(record: "Mapping") -> dict:
     }
     for name, value in (scenario.get("spec_overrides") or {}).items():
         row[name] = value
+    # Technique-config axes flatten bare like spec axes (records written
+    # before the config-axis era simply lack the field).
+    for name, value in (scenario.get("config_overrides") or {}).items():
+        row[name] = value
     for name, value in (scenario.get("noise") or {}).items():
         row[f"noise_{name}"] = value
     row.update(record.get("result") or {})

@@ -281,7 +281,7 @@ def run_worker(
         nonlocal computed
         compile_id = plan.compile_ids[index]
         if compile_id not in compiled:
-            benchmark, technique, _ = plan.point_specs[compile_id]
+            benchmark, technique = plan.point_specs[compile_id][:2]
             emit(f"worker {owner}: compiling {benchmark}/{technique}")
             result, stage_times = compile_points(
                 [plan.point_specs[compile_id]],

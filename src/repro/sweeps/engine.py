@@ -85,20 +85,26 @@ def make_record(
     from repro import __version__
 
     scenario = task.scenario
+    scenario_section = {
+        "benchmark": scenario.benchmark,
+        "technique": scenario.technique,
+        "shots": scenario.shots,
+        "seed": scenario.seed,
+        "spec_name": scenario.spec.name,
+        "spec_overrides": dict(scenario.spec_overrides),
+        "noise": asdict(scenario.noise),
+        "fingerprints": dict(task.fingerprints),
+    }
+    # Only present for grids with config axes: records of config-less
+    # grids stay byte-identical to what older engines wrote, so resume
+    # and merge across engine updates never rewrite a store.
+    if scenario.config_overrides:
+        scenario_section["config_overrides"] = dict(scenario.config_overrides)
     return {
         "schema_version": SCHEMA_VERSION,
         "engine_version": __version__,
         "key": task.key,
-        "scenario": {
-            "benchmark": scenario.benchmark,
-            "technique": scenario.technique,
-            "shots": scenario.shots,
-            "seed": scenario.seed,
-            "spec_name": scenario.spec.name,
-            "spec_overrides": dict(scenario.spec_overrides),
-            "noise": asdict(scenario.noise),
-            "fingerprints": dict(task.fingerprints),
-        },
+        "scenario": scenario_section,
         "result": {
             "num_cz": task.result.num_cz,
             "num_u3": task.result.num_u3,

@@ -33,7 +33,25 @@ from repro.pipeline.fingerprint import fingerprint_obj, fingerprint_spec
 if typing.TYPE_CHECKING:
     from collections.abc import Mapping, Sequence
 
-__all__ = ["NOISE_ONLY_SPEC_FIELDS", "Scenario", "SweepGrid"]
+__all__ = [
+    "CONFIG_AXIS_FIELDS",
+    "NOISE_ONLY_SPEC_FIELDS",
+    "Scenario",
+    "SweepGrid",
+]
+
+#: ExperimentSettings fields a grid's ``config_axes`` may range over --
+#: the technique-config knobs (placement, scheduler, routing).  Kept as a
+#: literal so grid expansion does not import the experiments layer; the
+#: test suite asserts it stays a subset of the ExperimentSettings fields.
+CONFIG_AXIS_FIELDS: tuple = (
+    "placement_method",
+    "placement_seed",
+    "return_home",
+    "router_strategy",
+    "router_window",
+    "scheduler_seed",
+)
 
 #: HardwareSpec fields consumed exclusively by the noise model
 #: (`repro.noise.fidelity` / `repro.sim.noisy`) -- never by compilation.
@@ -56,6 +74,7 @@ NOISE_ONLY_SPEC_FIELDS: frozenset = frozenset(
 
 _SPEC_FIELDS = frozenset(f.name for f in dataclasses.fields(HardwareSpec))
 _NOISE_FIELDS = frozenset(f.name for f in dataclasses.fields(NoiseModelConfig))
+_CONFIG_FIELDS = frozenset(CONFIG_AXIS_FIELDS)
 
 
 @dataclass(frozen=True)
@@ -75,6 +94,10 @@ class Scenario:
         noise: the noise-model configuration.
         shots: Monte Carlo logical shots.
         seed: per-scenario RNG seed (a pure hash of the scenario content).
+        config_overrides: the (field, value) pairs this scenario's config
+            axes applied to the experiment settings
+            (:data:`CONFIG_AXIS_FIELDS`); empty for config-less grids, so
+            their seeds and store keys are unchanged from older engines.
     """
 
     benchmark: str
@@ -85,10 +108,12 @@ class Scenario:
     noise: NoiseModelConfig
     shots: int
     seed: int
+    config_overrides: tuple = ()
 
     def describe(self) -> str:
         """Compact one-line label, e.g. ``ADD/parallax cz_error=0.0024``."""
         parts = [f"{self.benchmark}/{self.technique}"]
+        parts += [f"{name}={value}" for name, value in self.config_overrides]
         parts += [f"{name}={value}" for name, value in self.spec_overrides]
         if self.noise != NoiseModelConfig():
             parts.append(f"noise={self.noise}")
@@ -121,6 +146,12 @@ class SweepGrid:
         base_spec: the hardware spec every spec axis perturbs.
         spec_axes: mapping of ``HardwareSpec`` field name -> values.
         noise_axes: mapping of ``NoiseModelConfig`` field name -> values.
+        config_axes: mapping of technique-config field name -> values
+            (:data:`CONFIG_AXIS_FIELDS`, i.e. ``ExperimentSettings``
+            knobs: placement method/seed, scheduler seed, routing
+            strategy/window, return-home).  Turns ablations into ordinary
+            sweep axes: the overrides land in the store key, the record,
+            and the analysis row schema like any spec/noise axis.
         base_noise: the noise config every noise axis perturbs.
         shots: Monte Carlo shots per scenario.
         base_seed: root seed the per-scenario seeds are derived from.
@@ -131,6 +162,7 @@ class SweepGrid:
     base_spec: HardwareSpec = field(default_factory=HardwareSpec.quera_aquila)
     spec_axes: "Mapping[str, Sequence]" = field(default_factory=dict)
     noise_axes: "Mapping[str, Sequence]" = field(default_factory=dict)
+    config_axes: "Mapping[str, Sequence]" = field(default_factory=dict)
     base_noise: NoiseModelConfig = field(default_factory=NoiseModelConfig)
     shots: int = 1000
     base_seed: int = 0
@@ -154,15 +186,17 @@ class SweepGrid:
         object.__setattr__(
             self, "noise_axes", _check_axes(self.noise_axes, _NOISE_FIELDS, "noise")
         )
+        object.__setattr__(
+            self, "config_axes", _check_axes(self.config_axes, _CONFIG_FIELDS, "config")
+        )
 
     @property
     def size(self) -> int:
         """Number of scenarios the grid expands to."""
         total = len(self.benchmarks) * len(self.techniques)
-        for values in self.spec_axes.values():
-            total *= len(values)
-        for values in self.noise_axes.values():
-            total *= len(values)
+        for axes in (self.spec_axes, self.noise_axes, self.config_axes):
+            for values in axes.values():
+                total *= len(values)
         return total
 
     def _spec_points(self) -> "list[tuple[tuple, HardwareSpec, HardwareSpec]]":
@@ -192,14 +226,24 @@ class SweepGrid:
             for combo in itertools.product(*(self.noise_axes[n] for n in names))
         ]
 
+    def _config_points(self) -> "list[tuple]":
+        names = list(self.config_axes)
+        return [
+            tuple(zip(names, combo))
+            for combo in itertools.product(*(self.config_axes[n] for n in names))
+        ]
+
     def scenarios(self) -> "list[Scenario]":
         """Expand the grid into its full, deterministically-ordered list.
 
-        Order is benchmark-major, then technique, then spec point (axes in
-        field-name order), then noise point.  Each scenario's Monte Carlo
-        seed is ``derive_task_seed`` of the scenario *content* (fingerprints
-        of spec and noise, plus benchmark/technique/shots), so reordering or
-        subsetting the grid never changes any scenario's draw stream.
+        Order is benchmark-major, then technique, then config point, then
+        spec point (axes in field-name order), then noise point.  Each
+        scenario's Monte Carlo seed is ``derive_task_seed`` of the scenario
+        *content* (fingerprints of spec, noise, and config overrides, plus
+        benchmark/technique/shots), so reordering or subsetting the grid
+        never changes any scenario's draw stream.  Config-less grids mix in
+        no config fingerprint at all, so every seed (and store key) is
+        identical to what older engines derived -- existing stores resume.
         """
         # Fingerprints hoisted per distinct point: expansion stays linear in
         # scenarios, not scenarios x hash cost (ROADMAP targets ~1e5 grids).
@@ -210,32 +254,41 @@ class SweepGrid:
         noise_points = [
             (noise, fingerprint_obj(noise)) for noise in self._noise_points()
         ]
+        config_points = [
+            (overrides, fingerprint_obj(dict(overrides)) if overrides else None)
+            for overrides in self._config_points()
+        ]
         out = []
         for benchmark in self.benchmarks:
             for technique in self.techniques:
-                for overrides, effective, compile_spec, spec_fp in spec_points:
-                    for noise, noise_fp in noise_points:
-                        seed = derive_task_seed(
-                            self.base_seed,
-                            "sweep-mc",
-                            benchmark,
-                            technique,
-                            spec_fp,
-                            noise_fp,
-                            self.shots,
-                        )
-                        out.append(
-                            Scenario(
-                                benchmark=benchmark,
-                                technique=technique,
-                                spec=effective,
-                                compile_spec=compile_spec,
-                                spec_overrides=overrides,
-                                noise=noise,
-                                shots=self.shots,
-                                seed=seed,
+                for config_overrides, config_fp in config_points:
+                    for overrides, effective, compile_spec, spec_fp in spec_points:
+                        for noise, noise_fp in noise_points:
+                            seed_parts = [
+                                benchmark,
+                                technique,
+                                spec_fp,
+                                noise_fp,
+                                self.shots,
+                            ]
+                            if config_fp is not None:
+                                seed_parts.append(config_fp)
+                            seed = derive_task_seed(
+                                self.base_seed, "sweep-mc", *seed_parts
                             )
-                        )
+                            out.append(
+                                Scenario(
+                                    benchmark=benchmark,
+                                    technique=technique,
+                                    spec=effective,
+                                    compile_spec=compile_spec,
+                                    spec_overrides=overrides,
+                                    noise=noise,
+                                    shots=self.shots,
+                                    seed=seed,
+                                    config_overrides=config_overrides,
+                                )
+                            )
         return out
 
     # -- presets ---------------------------------------------------------------

@@ -122,10 +122,13 @@ class SweepPlan:
             grid order.
         keys: ``scenarios[i]``'s store address, aligned by index.
         compile_ids: ``scenarios[i]``'s compile-point identity, aligned by
-            index (scenarios differing only in noise-only fields share one).
-        point_specs: compile id -> ``(benchmark, technique, compile_spec)``,
-            the argument :func:`repro.experiments.common.compile_points`
-            takes; insertion-ordered by first use.
+            index (scenarios differing only in noise-only fields share one;
+            scenarios differing in a config axis never do).
+        point_specs: compile id -> the point tuple
+            :func:`repro.experiments.common.compile_points` takes --
+            ``(benchmark, technique, compile_spec)``, with the scenario's
+            ``config_overrides`` appended as a fourth element when
+            non-empty; insertion-ordered by first use.
         fingerprints: ``scenarios[i]``'s circuit/spec/config fingerprints,
             aligned by index (recorded in the output record).
     """
@@ -174,7 +177,12 @@ def plan_sweep(
     if limit is not None:
         scenarios = scenarios[:limit]
 
-    factory = settings_config_factory(settings)
+    # One config factory per distinct config-overrides point: config axes
+    # replace fields of the base settings, and the factory output is what
+    # the store key's config fingerprint hashes.
+    factories: dict[tuple, object] = {
+        (): settings_config_factory(settings)
+    }
     circuit_fps: dict[str, str] = {}
     config_fps: dict[tuple, str] = {}
     keys: list[str] = []
@@ -183,26 +191,29 @@ def plan_sweep(
     point_specs: dict[tuple, tuple] = {}
     for scenario in scenarios:
         benchmark = scenario.benchmark
+        overrides = scenario.config_overrides
+        if overrides not in factories:
+            factories[overrides] = settings_config_factory(
+                replace(settings, **dict(overrides))
+            )
         if benchmark not in circuit_fps:
             circuit_fps[benchmark] = fingerprint_circuit(prepared_circuit(benchmark))
         compile_id = (
             benchmark,
             scenario.technique,
             fingerprint_spec(scenario.compile_spec),
+            overrides,
         )
         if compile_id not in config_fps:
             config_fps[compile_id] = fingerprint_config(
-                factory(
+                factories[overrides](
                     scenario.technique,
                     prepared_circuit(benchmark),
                     scenario.compile_spec,
                 )
             )
-            point_specs[compile_id] = (
-                benchmark,
-                scenario.technique,
-                scenario.compile_spec,
-            )
+            point = (benchmark, scenario.technique, scenario.compile_spec)
+            point_specs[compile_id] = point + (overrides,) if overrides else point
         compile_ids.append(compile_id)
         keys.append(
             scenario_key(scenario, circuit_fps[benchmark], config_fps[compile_id])

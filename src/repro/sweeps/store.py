@@ -46,6 +46,7 @@ Record schema (``SCHEMA_VERSION = 2``)::
       "scenario": {
         "benchmark", "technique", "shots", "seed",
         "spec_name", "spec_overrides": {field: value},
+        "config_overrides": {field: value},   # only for config-axis grids
         "noise": {NoiseModelConfig fields},
         "fingerprints": {"circuit", "spec", "config"}
       },
@@ -151,22 +152,31 @@ def scenario_key(
     effective spec, the noise configuration, and the shot count and seed of
     the Monte Carlo run, plus the package version (results from older
     engine code must not be resumed into newer sweeps).
+
+    Config-axis overrides are mixed in *only when present*: a technique's
+    ``make_config`` drops knobs it does not consume (ELDI ignores placement
+    seeds), so the config fingerprint alone cannot separate two scenarios
+    on an axis a technique ignores -- but they are still distinct rows of
+    the sweep.  Config-less grids hash the exact payload older engines
+    hashed, so their existing stores keep resuming byte-identically.
     """
     from repro import __version__
 
-    return fingerprint_obj(
-        {
-            "benchmark": scenario.benchmark,
-            "technique": scenario.technique,
-            "circuit": circuit_fp,
-            "config": config_fp,
-            "spec": fingerprint_obj(scenario.spec),
-            "noise": fingerprint_obj(scenario.noise),
-            "shots": scenario.shots,
-            "seed": scenario.seed,
-            "version": __version__,
-        }
-    )
+    payload = {
+        "benchmark": scenario.benchmark,
+        "technique": scenario.technique,
+        "circuit": circuit_fp,
+        "config": config_fp,
+        "spec": fingerprint_obj(scenario.spec),
+        "noise": fingerprint_obj(scenario.noise),
+        "shots": scenario.shots,
+        "seed": scenario.seed,
+        "version": __version__,
+    }
+    overrides = getattr(scenario, "config_overrides", ())
+    if overrides:
+        payload["config_overrides"] = dict(overrides)
+    return fingerprint_obj(payload)
 
 
 @dataclass(frozen=True)

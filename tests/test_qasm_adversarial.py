@@ -1,0 +1,328 @@
+"""Adversarial QASM inputs: every malformed program must die with a
+:class:`QasmSyntaxError` carrying a line (and usually a column) -- never a
+raw ``RecursionError``/``IndexError``/``KeyError``/``ValueError`` traceback.
+
+Organised as Cirq-style case families.  Each case is (source, message
+fragment); the shared assertion checks the exception type, the message,
+and that the position attributes are populated.
+"""
+
+import sys
+
+import pytest
+
+from repro.qasm.lexer import QasmSyntaxError, tokenize
+from repro.qasm.parser import (
+    MAX_EXPR_DEPTH,
+    MAX_GATE_EXPANSION_DEPTH,
+    MAX_REGISTER_SIZE,
+    load_file,
+    parse_qasm,
+)
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def assert_rejects(source: str, fragment: str) -> QasmSyntaxError:
+    """Parse must fail with a positioned QasmSyntaxError mentioning fragment."""
+    with pytest.raises(QasmSyntaxError) as info:
+        parse_qasm(source)
+    err = info.value
+    assert fragment in str(err), f"{fragment!r} not in {err}"
+    assert isinstance(err.line, int) and err.line >= 0
+    assert isinstance(err.col, int) and err.col >= 0
+    return err
+
+
+class TestVersionLine:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "OPENQASM 3.0;\nqreg q[1];",
+            "OPENQASM 2.1;\nqreg q[1];",
+            "OPENQASM 1.0;\nqreg q[1];",
+        ],
+    )
+    def test_unsupported_versions(self, source):
+        assert_rejects(source, "version")
+
+    def test_version_not_a_number(self):
+        assert_rejects("OPENQASM banana;\nqreg q[1];", "version")
+
+    def test_version_is_a_string(self):
+        assert_rejects('OPENQASM "2.0";\nqreg q[1];', "version")
+
+    def test_missing_semicolon(self):
+        assert_rejects("OPENQASM 2.0\nqreg q[1];\nx q[0];", ";")
+
+
+class TestIncludes:
+    def test_unknown_include(self):
+        assert_rejects(HEADER.replace("qelib1.inc", "notreal.inc"), "qelib1")
+
+    def test_include_without_string(self):
+        assert_rejects("OPENQASM 2.0;\ninclude qelib1;\nqreg q[1];", "string")
+
+
+class TestRegisterDeclarations:
+    def test_duplicate_qreg(self):
+        assert_rejects(HEADER + "qreg q[1];\nqreg q[2];", "duplicate")
+
+    def test_duplicate_creg(self):
+        assert_rejects(HEADER + "qreg q[1];\ncreg c[1];\ncreg c[2];", "duplicate")
+
+    def test_qreg_creg_name_collision(self):
+        assert_rejects(HEADER + "qreg r[1];\ncreg r[1];", "duplicate")
+
+    def test_creg_qreg_name_collision(self):
+        assert_rejects(HEADER + "creg r[1];\nqreg r[1];", "duplicate")
+
+    def test_undeclared_register_use(self):
+        assert_rejects(HEADER + "qreg q[1];\nx nope[0];", "nope")
+
+    def test_zero_size_register(self):
+        assert_rejects(HEADER + "qreg q[0];", "size")
+
+    def test_negative_looking_size(self):
+        # '-' is not part of an int token; must be a syntax error, not a
+        # register of negative size.
+        assert_rejects(HEADER + "qreg q[-1];", "")
+
+    def test_huge_register_size(self):
+        err = assert_rejects(
+            HEADER + f"qreg q[{MAX_REGISTER_SIZE + 1}];", "size"
+        )
+        assert err.line == 3
+
+
+class TestArityAndBroadcast:
+    def test_wrong_arity_standard_gate(self):
+        assert_rejects(HEADER + "qreg q[3];\ncx q[0];", "")
+
+    def test_out_of_range_index(self):
+        err = assert_rejects(HEADER + "qreg q[2];\nx q[2];", "out of range")
+        assert err.line == 4
+
+    def test_out_of_range_index_in_broadcast(self):
+        # Regression: broadcasting used to resolve whole-register operands
+        # without validating the indexed one it was zipped against.
+        assert_rejects(HEADER + "qreg a[2];\nqreg b[2];\ncx a, b[5];", "out of range")
+
+    def test_mismatched_broadcast_sizes(self):
+        assert_rejects(
+            HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;", "mismatched"
+        )
+
+    def test_duplicate_qubit_operand(self):
+        assert_rejects(HEADER + "qreg q[2];\ncx q[0], q[0];", "")
+
+    def test_measure_unknown_creg(self):
+        assert_rejects(
+            HEADER + "qreg q[1];\nmeasure q[0] -> nope[0];", "nope"
+        )
+
+    def test_measure_out_of_range_creg_index(self):
+        assert_rejects(
+            HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[7];",
+            "out of range",
+        )
+
+    def test_measure_width_mismatch(self):
+        assert_rejects(
+            HEADER + "qreg q[3];\ncreg c[2];\nmeasure q -> c;", "classical"
+        )
+
+
+class TestUnterminatedConstructs:
+    def test_unterminated_block_comment_at_eof(self):
+        err = assert_rejects(HEADER + "qreg q[1];\n/* no end", "block comment")
+        assert err.line == 4
+
+    def test_unterminated_block_comment_only(self):
+        assert_rejects("/*", "block comment")
+
+    def test_unterminated_string_literal(self):
+        assert_rejects('OPENQASM 2.0;\ninclude "qelib1.inc;\n', "string")
+
+    def test_unterminated_gate_body(self):
+        assert_rejects(
+            HEADER + "qreg q[1];\ngate g a { x a;", ""
+        )
+
+    def test_statement_cut_at_eof(self):
+        assert_rejects(HEADER + "qreg q[2];\ncx q[0],", "")
+
+
+class TestGateDefinitions:
+    def test_self_recursive_gate(self):
+        err = assert_rejects(
+            HEADER + "qreg q[1];\ngate g a { g a; }\ng q[0];", "recursive"
+        )
+        assert err.line == 4
+
+    def test_forward_reference(self):
+        assert_rejects(
+            HEADER + "gate f a { g a; }\ngate g a { x a; }\n"
+            "qreg q[1];\nf q[0];",
+            "recursive and forward references",
+        )
+
+    def test_mutual_recursion(self):
+        # Mutual recursion requires a forward reference, so the static
+        # definition-time check catches it too.
+        assert_rejects(
+            HEADER + "gate f a { g a; }\ngate g a { f a; }\n"
+            "qreg q[1];\nf q[0];",
+            "",
+        )
+
+    def test_redefining_standard_gate(self):
+        assert_rejects(HEADER + "gate cx a, b { CX a, b; }", "")
+
+    def test_redefining_custom_gate(self):
+        assert_rejects(
+            HEADER + "gate g a { x a; }\ngate g a { y a; }", ""
+        )
+
+    def test_duplicate_gate_params(self):
+        assert_rejects(HEADER + "gate g(t, t) a { rz(t) a; }", "duplicate")
+
+    def test_duplicate_gate_qargs(self):
+        assert_rejects(HEADER + "gate g a, a { cx a, a; }", "duplicate")
+
+    def test_wrong_param_count_at_call(self):
+        assert_rejects(
+            HEADER + "qreg q[1];\ngate g(t) a { rz(t) a; }\ng q[0];",
+            "params",
+        )
+
+    def test_deep_linear_expansion_chain(self):
+        # g0 -> g1 -> ... -> gN, each legal on its own; expansion must stop
+        # at MAX_GATE_EXPANSION_DEPTH with a positioned error, not blow the
+        # interpreter stack.
+        depth = MAX_GATE_EXPANSION_DEPTH + 8
+        lines = [HEADER + "qreg q[1];", "gate g0 a { x a; }"]
+        for i in range(1, depth):
+            lines.append(f"gate g{i} a {{ g{i - 1} a; }}")
+        lines.append(f"g{depth - 1} q[0];")
+        assert_rejects("\n".join(lines), "expansion")
+
+
+class TestPathologicalLiterals:
+    def test_huge_int_literal(self):
+        # Python >= 3.11 caps str->int conversion; either way this must not
+        # escape as a bare ValueError.
+        digits = "9" * 10_000
+        with pytest.raises((QasmSyntaxError, Exception)) as info:
+            parse_qasm(HEADER + f"qreg q[{digits}];")
+        assert isinstance(info.value, QasmSyntaxError)
+
+    def test_huge_exponent_float(self):
+        # 1e999999 overflows float conversion paths differently across
+        # platforms; it must not crash the parser.
+        source = HEADER + "qreg q[1];\nrz(1e999999) q[0];"
+        try:
+            circuit = parse_qasm(source)
+        except QasmSyntaxError:
+            return
+        assert len(circuit) == 1
+
+    def test_division_by_zero(self):
+        assert_rejects(HEADER + "qreg q[1];\nrz(1/0) q[0];", "expression")
+
+    def test_power_overflow(self):
+        assert_rejects(
+            HEADER + "qreg q[1];\nrz(9999999^9999999) q[0];", "expression"
+        )
+
+    def test_deeply_nested_parens(self):
+        depth = MAX_EXPR_DEPTH + 50
+        expr = "(" * depth + "1" + ")" * depth
+        err = assert_rejects(HEADER + f"qreg q[1];\nrz({expr}) q[0];", "")
+        assert isinstance(err, QasmSyntaxError)
+
+    def test_unary_minus_chain(self):
+        depth = MAX_EXPR_DEPTH + 50
+        expr = "-" * depth + "1"
+        assert_rejects(HEADER + f"qreg q[1];\nrz({expr}) q[0];", "")
+
+    def test_moderate_nesting_still_parses(self):
+        depth = 50
+        expr = "(" * depth + "pi" + ")" * depth
+        circuit = parse_qasm(HEADER + f"qreg q[1];\nrz({expr}) q[0];")
+        assert len(circuit) == 1
+
+    def test_pathological_whitespace(self):
+        source = (
+            "OPENQASM\t \t2.0 ;\n\n\n  include\t\"qelib1.inc\" ;\r\n"
+            "qreg\n q\n [\n 2\n ]\n ;\n cx\tq[0]\t,\tq[1]\t;"
+        )
+        circuit = parse_qasm(source)
+        assert [g.name for g in circuit] == ["cx"]
+
+    def test_null_bytes(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("OPENQASM 2.0;\x00qreg q[1];")
+
+
+class TestEmptyAndDegenerate:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "\n\n\n",
+            "// only a comment\n",
+            "/* only a block comment */",
+            "OPENQASM 2.0;",
+            HEADER,
+        ],
+    )
+    def test_no_content_rejected(self, source):
+        assert_rejects(source, "")
+
+    def test_empty_file_via_load_file(self, tmp_path):
+        # Regression: load_file used to crash on empty input.
+        path = tmp_path / "empty.qasm"
+        path.write_text("")
+        with pytest.raises(QasmSyntaxError):
+            load_file(str(path))
+
+    def test_comment_only_file_via_load_file(self, tmp_path):
+        path = tmp_path / "comments.qasm"
+        path.write_text("// nothing here\n// at all\n")
+        with pytest.raises(QasmSyntaxError):
+            load_file(str(path))
+
+    def test_non_utf8_file(self, tmp_path):
+        path = tmp_path / "binary.qasm"
+        path.write_bytes(b"\xff\xfe\x00OPENQASM")
+        with pytest.raises(QasmSyntaxError, match="UTF-8"):
+            load_file(str(path))
+
+
+class TestPositions:
+    def test_line_and_column_point_at_offender(self):
+        err = assert_rejects(HEADER + "qreg q[1];\nx q[9];", "out of range")
+        assert err.line == 4
+
+    def test_lexer_reports_columns(self):
+        with pytest.raises(QasmSyntaxError) as info:
+            list(tokenize("qreg q[1];\n  $"))
+        assert info.value.line == 2
+        assert info.value.col == 3
+
+    def test_block_comment_lines_counted(self):
+        err = assert_rejects(
+            "OPENQASM 2.0;\n/* one\ntwo\nthree */\nqreg q[1];\nx q[9];",
+            "out of range",
+        )
+        assert err.line == 6
+
+    def test_recursion_error_net(self):
+        # Even if some construct slips past the depth guards, parse_qasm
+        # converts interpreter RecursionError into a QasmSyntaxError.
+        limit = sys.getrecursionlimit()
+        depth = limit * 2
+        expr = "(" * depth + "1" + ")" * depth
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + f"qreg q[1];\nrz({expr}) q[0];")

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the QASM front-end.
+
+Three laws, over randomly generated circuits and byte-level corruptions:
+
+1. **Round-trip** -- ``parse_qasm(to_qasm(c))`` is structurally identical
+   to ``c``: same gate sequence, same qubit indices, params equal to
+   1e-12.
+2. **Fixed point** -- export/parse/export is the identity on bytes: one
+   round trip canonicalizes, a second changes nothing.
+3. **Robustness** -- corrupting any single character of a valid program
+   either still parses or raises :class:`QasmSyntaxError`; it never
+   escapes as another exception type (and never hangs -- enforced by the
+   hypothesis deadline on example size).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.qasm.exporter import to_qasm
+from repro.qasm.lexer import QasmSyntaxError
+from repro.qasm.parser import parse_qasm
+
+# Gates the exporter can emit and the parser maps straight back onto the
+# IR: (name, arity, num_params).  A representative slice of qelib1.inc
+# covering 1q/2q/3q, parameterless and parameterized.
+GATE_MENU = [
+    ("x", 1, 0),
+    ("h", 1, 0),
+    ("sdg", 1, 0),
+    ("rz", 1, 1),
+    ("ry", 1, 1),
+    ("u3", 1, 3),
+    ("cx", 2, 0),
+    ("cz", 2, 0),
+    ("swap", 2, 0),
+    ("rzz", 2, 1),
+    ("ccz", 3, 0),
+]
+
+angles = st.floats(
+    min_value=-4 * math.pi,
+    max_value=4 * math.pi,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+@st.composite
+def circuits(draw, max_qubits=5, max_gates=12):
+    num_qubits = draw(st.integers(1, max_qubits))
+    circuit = QuantumCircuit(num_qubits)
+    menu = [g for g in GATE_MENU if g[1] <= num_qubits]
+    for _ in range(draw(st.integers(0, max_gates))):
+        name, arity, num_params = draw(st.sampled_from(menu))
+        qubits = tuple(
+            draw(
+                st.lists(
+                    st.integers(0, num_qubits - 1),
+                    min_size=arity,
+                    max_size=arity,
+                    unique=True,
+                )
+            )
+        )
+        params = tuple(draw(angles) for _ in range(num_params))
+        circuit.append(Gate(name, qubits, params))
+    return circuit
+
+
+class TestRoundTrip:
+    @given(circuit=circuits())
+    @settings(max_examples=120, deadline=None)
+    def test_structural_identity(self, circuit):
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert len(parsed) == len(circuit)
+        for got, want in zip(parsed.gates, circuit.gates):
+            assert got.name == want.name
+            assert got.qubits == want.qubits
+            assert len(got.params) == len(want.params)
+            for a, b in zip(got.params, want.params):
+                assert abs(a - b) <= 1e-12
+
+    @given(circuit=circuits())
+    @settings(max_examples=120, deadline=None)
+    def test_export_parse_export_fixed_point(self, circuit):
+        once = to_qasm(parse_qasm(to_qasm(circuit)))
+        twice = to_qasm(parse_qasm(once))
+        assert once == twice
+
+    @given(circuit=circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_measure_round_trip(self, circuit):
+        for q in range(circuit.num_qubits):
+            circuit.append(Gate("measure", (q,), ()))
+        parsed = parse_qasm(to_qasm(circuit))
+        measured = [g for g in parsed.gates if g.name == "measure"]
+        assert [g.qubits for g in measured] == [
+            (q,) for q in range(circuit.num_qubits)
+        ]
+
+
+# The corruption alphabet mixes structure-relevant characters with noise.
+CORRUPTION_CHARS = st.sampled_from(
+    list("{}[]();,->*/+-^\"'\\ \t\n\x00abcxyz0189.eE_ #%$!?")
+)
+
+
+class TestSingleCharacterCorruption:
+    @given(
+        circuit=circuits(max_qubits=3, max_gates=5),
+        position=st.integers(0, 10_000),
+        replacement=CORRUPTION_CHARS,
+        mode=st.sampled_from(["replace", "insert", "delete"]),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_never_crashes(self, circuit, position, replacement, mode):
+        source = to_qasm(circuit)
+        position %= len(source)
+        if mode == "replace":
+            corrupted = source[:position] + replacement + source[position + 1 :]
+        elif mode == "insert":
+            corrupted = source[:position] + replacement + source[position:]
+        else:
+            corrupted = source[:position] + source[position + 1 :]
+        try:
+            parse_qasm(corrupted)
+        except QasmSyntaxError as exc:
+            assert exc.line >= 0
+            assert exc.col >= 0
+        # Any other exception type is a bug and fails the test naturally.

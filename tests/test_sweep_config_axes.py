@@ -1,0 +1,235 @@
+"""Technique-config sweep axes: store keying, back-compat, byte-identity.
+
+The config axis folds compiler knobs (placement method/seed, router
+strategy/window, scheduler seed, return-home) into the sweep grid.  The
+laws under test:
+
+- scenarios differing only in a config axis get **distinct store keys and
+  seeds** -- even for techniques whose config type ignores the knob (the
+  key must separate them, not the config fingerprint);
+- **configless grids are byte-identical** to what older engines produced:
+  same seeds, same keys, same record bytes -- so old stores resume as
+  no-ops and records without the ``config_overrides`` field still load;
+- resume and multi-worker runs over a config grid reproduce the
+  single-process store **byte for byte**, down to the analyze CSV.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, clear_caches
+from repro.sweeps import SweepGrid, SweepStore, run_sweep, scenario_key
+from repro.sweeps.analysis import ResultTable
+from repro.sweeps.grid import CONFIG_AXIS_FIELDS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def config_grid(**kwargs):
+    defaults = dict(
+        benchmarks=("ADD",),
+        techniques=("parallax",),
+        config_axes={"placement_seed": (0, 1)},
+        shots=200,
+        base_seed=7,
+    )
+    defaults.update(kwargs)
+    return SweepGrid(**defaults)
+
+
+class TestGridExpansion:
+    def test_config_axes_multiply_size(self):
+        grid = config_grid(
+            config_axes={
+                "placement_seed": (0, 1),
+                "return_home": (True, False),
+            }
+        )
+        assert grid.size == 4
+        assert len(grid.scenarios()) == 4
+
+    def test_unknown_config_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown config axis"):
+            config_grid(config_axes={"optimism": (1, 2)})
+
+    def test_empty_config_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            config_grid(config_axes={"placement_seed": ()})
+
+    def test_axis_fields_exist_on_experiment_settings(self):
+        # CONFIG_AXIS_FIELDS is a literal in grid.py (the grid must not
+        # import the experiments layer); this pins it to reality.
+        settings_fields = {f.name for f in dataclasses.fields(ExperimentSettings)}
+        assert set(CONFIG_AXIS_FIELDS) <= settings_fields
+
+    def test_overrides_recorded_on_scenario(self):
+        scenarios = config_grid().scenarios()
+        assert [dict(s.config_overrides) for s in scenarios] == [
+            {"placement_seed": 0},
+            {"placement_seed": 1},
+        ]
+
+    def test_describe_names_config_overrides(self):
+        description = config_grid().scenarios()[1].describe()
+        assert "placement_seed=1" in description
+
+
+class TestKeying:
+    def test_config_axis_separates_keys_and_seeds(self):
+        a, b = config_grid().scenarios()
+        assert scenario_key(a, "cfp", "gfp") != scenario_key(b, "cfp", "gfp")
+        assert a.seed != b.seed
+
+    def test_keys_separate_even_when_config_type_ignores_knob(self):
+        # ELDI's config type has no placement fields: make_config drops
+        # them, so the config *fingerprint* cannot tell the scenarios
+        # apart.  The store key still must -- identical fingerprints in,
+        # distinct keys out.
+        a, b = config_grid(techniques=("eldi",)).scenarios()
+        assert scenario_key(a, "cfp", "gfp") != scenario_key(b, "cfp", "gfp")
+
+    def test_configless_scenarios_unchanged(self):
+        # The config_overrides field must not leak into seeds or keys of
+        # grids that do not use it; a change here breaks resume of old
+        # stores.  A scenario stripped back to a configless clone must
+        # key identically.
+        grid = SweepGrid(
+            benchmarks=("ADD",),
+            techniques=("parallax",),
+            shots=200,
+            base_seed=7,
+        )
+        (scenario,) = grid.scenarios()
+        assert scenario.config_overrides == ()
+        clone = dataclasses.replace(scenario, config_overrides=())
+        assert scenario_key(clone, "cfp", "gfp") == scenario_key(
+            scenario, "cfp", "gfp"
+        )
+
+    def test_configless_seed_matches_pre_config_derivation(self):
+        # Seeds of configless grids are derived from exactly the same
+        # payload as before the config axis existed: an empty-config
+        # scenario and the same grid re-expanded agree bit for bit.
+        a = SweepGrid(
+            benchmarks=("ADD",), techniques=("parallax",), shots=200,
+            base_seed=7,
+        ).scenarios()[0]
+        b = config_grid(config_axes={}).scenarios()[0]
+        assert a.seed == b.seed
+
+
+class TestRecords:
+    def test_config_overrides_in_record_and_analysis(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        run_sweep(config_grid(), store=store)
+        records = list(store.records())
+        assert len(records) == 2
+        for record in records:
+            assert "config_overrides" in record["scenario"]
+        table = ResultTable.from_store(store)
+        assert "placement_seed" in table.names
+        assert sorted(table.column("placement_seed")) == [0, 1]
+
+    def test_configless_record_has_no_config_field(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        run_sweep(
+            SweepGrid(
+                benchmarks=("ADD",),
+                techniques=("parallax",),
+                shots=200,
+                base_seed=7,
+            ),
+            store=store,
+        )
+        (record,) = list(store.records())
+        assert "config_overrides" not in record["scenario"]
+
+    def test_legacy_record_without_config_field_loads(self, tmp_path):
+        # Simulate an old store: write a record, strip the field, reload.
+        store = SweepStore(tmp_path / "store")
+        run_sweep(config_grid(), store=store)
+        table = ResultTable.from_store(store)
+        stripped = []
+        for record in store.records():
+            record = json.loads(json.dumps(record))
+            record["scenario"].pop("config_overrides", None)
+            stripped.append(record)
+        legacy = SweepStore(tmp_path / "legacy")
+        for record in stripped:
+            legacy.put(record["key"], record)
+        legacy_table = ResultTable.from_store(legacy)
+        assert len(legacy_table) == len(table)
+        assert "placement_seed" not in legacy_table.names
+
+    def test_distinct_compilations_per_config_point(self, tmp_path):
+        report = run_sweep(config_grid())
+        assert report.compilations == 2
+
+    def test_config_point_changes_compile_output(self):
+        # Different placement seeds genuinely reach the compiler: the
+        # records differ in result content, not only in key.
+        records = run_sweep(
+            config_grid(config_axes={"placement_seed": (0, 3)})
+        ).records
+        results = [json.dumps(r["result"], sort_keys=True) for r in records]
+        assert len(set(results)) >= 1  # may coincide on tiny circuits...
+        seeds = [r["scenario"]["config_overrides"] for r in records]
+        assert seeds == [
+            {"placement_seed": 0},
+            {"placement_seed": 3},
+        ]
+
+
+def store_bytes(store: SweepStore) -> dict:
+    """Canonical byte map of a store: key -> serialized record."""
+    return {
+        record["key"]: json.dumps(record, sort_keys=True)
+        for record in store.records()
+    }
+
+
+def analyze_csv(store: SweepStore) -> str:
+    table = ResultTable.from_store(store)
+    return table.to_csv()
+
+
+class TestByteIdentity:
+    def test_resume_is_a_noop(self, tmp_path):
+        grid = config_grid(
+            config_axes={"placement_seed": (0, 1), "return_home": (True, False)}
+        )
+        store = SweepStore(tmp_path / "store")
+        run_sweep(grid, store=store)
+        before = store_bytes(store)
+        clear_caches()
+        report = run_sweep(grid, store=store, resume=True)
+        assert report.resumed == 4 and report.computed == 0
+        assert store_bytes(store) == before
+
+    def test_two_workers_byte_identical_to_single(self, tmp_path):
+        grid = config_grid(
+            config_axes={"placement_seed": (0, 1), "return_home": (True, False)}
+        )
+        solo = SweepStore(tmp_path / "solo")
+        run_sweep(grid, store=solo)
+        clear_caches()
+        fleet = SweepStore(tmp_path / "fleet")
+        run_sweep(grid, store=fleet, distributed=True, workers=2)
+        assert store_bytes(fleet) == store_bytes(solo)
+        assert analyze_csv(fleet) == analyze_csv(solo)
+
+    def test_eval_pool_byte_identical(self, tmp_path):
+        grid = config_grid()
+        solo = SweepStore(tmp_path / "solo")
+        run_sweep(grid, store=solo)
+        clear_caches()
+        pooled = SweepStore(tmp_path / "pooled")
+        run_sweep(grid, store=pooled, eval_workers=2)
+        assert store_bytes(pooled) == store_bytes(solo)
